@@ -1,0 +1,119 @@
+//! Criterion micro-benchmarks mirroring the paper's figures.
+//!
+//! - `overall/*` — framework comparison on a VGG-L6-class layer (Fig. 12)
+//! - `breakdown/*` — optimization levels No-opt → Full (Fig. 13)
+//! - `permutation/*` — loop orders ± blocking (Fig. 15)
+//! - `storage/*` — FKW vs CSR construction (Fig. 16)
+//! - `gflops/*` — pattern vs dense kernels (Fig. 17)
+//! - `fkr_ablation/*` — full FKR similarity vs identity order (DESIGN §5)
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use patdnn_bench::workloads::{Framework, PrunedLayer};
+use patdnn_compiler::csr::CsrLayer;
+use patdnn_compiler::fkr::{filter_kernel_reorder, FilterOrder};
+use patdnn_compiler::fkw::FkwLayer;
+use patdnn_compiler::tune::space::TuningConfig;
+use patdnn_runtime::executor::ConvExecutor;
+use patdnn_runtime::parallel::{ParallelPattern, Schedule};
+use patdnn_runtime::pattern_exec::{OptLevel, PatternConv};
+use patdnn_tensor::Conv2dGeometry;
+
+fn bench_layer() -> PrunedLayer {
+    // A VGG L6-class layer at quarter scale: 256x256x3x3 on 14x14.
+    let geo = Conv2dGeometry::new(256, 256, 3, 3, 14, 14, 1, 1);
+    PrunedLayer::from_geometry("bench", geo, 8, 3.6, 7)
+}
+
+fn bench_overall(c: &mut Criterion) {
+    let layer = bench_layer();
+    let input = layer.input(1);
+    let mut group = c.benchmark_group("overall");
+    group.sample_size(10);
+    for fw in [
+        Framework::TfliteLike,
+        Framework::TvmLike,
+        Framework::MnnLike,
+        Framework::PatDnnCsr,
+        Framework::PatDnn,
+    ] {
+        let exec = layer.framework_exec(fw);
+        group.bench_function(fw.label(), |b| b.iter(|| exec.run(&input)));
+    }
+    group.finish();
+}
+
+fn bench_breakdown(c: &mut Criterion) {
+    let layer = bench_layer();
+    let input = layer.input(2);
+    let mut group = c.benchmark_group("breakdown");
+    group.sample_size(10);
+    for level in OptLevel::all() {
+        let exec = layer.pattern_exec(level);
+        group.bench_function(level.label(), |b| b.iter(|| exec.run(&input)));
+    }
+    // Parallel balanced (the deployed configuration).
+    let par = ParallelPattern::new(layer.pattern_exec(OptLevel::Full), 4, Schedule::Balanced);
+    group.bench_function("Full+4threads", |b| b.iter(|| par.run(&input)));
+    group.finish();
+}
+
+fn bench_storage(c: &mut Criterion) {
+    let layer = bench_layer();
+    let mut group = c.benchmark_group("storage");
+    group.sample_size(10);
+    group.bench_function("fkw_build", |b| {
+        b.iter(|| {
+            let order = filter_kernel_reorder(&layer.lp);
+            FkwLayer::from_pruned(&layer.weights, &layer.lp, &layer.set, &order)
+        })
+    });
+    group.bench_function("csr_build", |b| {
+        b.iter(|| CsrLayer::from_dense(&layer.weights))
+    });
+    group.finish();
+}
+
+fn bench_gflops(c: &mut Criterion) {
+    let layer = bench_layer();
+    let input = layer.input(3);
+    let mut group = c.benchmark_group("gflops");
+    group.sample_size(10);
+    let dense = layer.framework_exec(Framework::PatDnnDense);
+    group.bench_function("dense_tiled", |b| b.iter(|| dense.run(&input)));
+    let pat = layer.pattern_exec(OptLevel::Full);
+    group.bench_function("pattern_full", |b| b.iter(|| pat.run(&input)));
+    group.finish();
+}
+
+fn bench_fkr_ablation(c: &mut Criterion) {
+    let layer = bench_layer();
+    let input = layer.input(4);
+    let mut group = c.benchmark_group("fkr_ablation");
+    group.sample_size(10);
+    // Identity order: no filter reorder (kernels still pattern-grouped).
+    let identity = FkwLayer::from_pruned(
+        &layer.weights,
+        &layer.lp,
+        &layer.set,
+        &FilterOrder::identity(&layer.lp),
+    );
+    let no_fkr = ParallelPattern::new(
+        PatternConv::new(layer.geo, identity, None, OptLevel::Full, TuningConfig::tuned_default()),
+        4,
+        Schedule::Contiguous,
+    );
+    group.bench_function("no_fkr_contiguous", |b| b.iter(|| no_fkr.run(&input)));
+    let fkr = ParallelPattern::new(layer.pattern_exec(OptLevel::Full), 4, Schedule::Balanced);
+    group.bench_function("fkr_balanced", |b| b.iter(|| fkr.run(&input)));
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_overall,
+    bench_breakdown,
+    bench_storage,
+    bench_gflops,
+    bench_fkr_ablation
+);
+criterion_main!(benches);

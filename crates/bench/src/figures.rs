@@ -1,0 +1,397 @@
+//! Reproductions of the paper's Figures 12-18.
+
+use patdnn_compiler::csr::CsrLayer;
+use patdnn_compiler::fkr::{filter_kernel_reorder, FilterOrder};
+use patdnn_nn::models::{mobilenet_v2, resnet50, vgg16, DatasetKind, ModelSpec};
+use patdnn_runtime::counters::{dense_gflops, pattern_register_loads};
+use patdnn_runtime::executor::{measure, ConvExecutor};
+use patdnn_runtime::gpu::simulate_pattern_conv;
+use patdnn_runtime::pattern_exec::OptLevel;
+use patdnn_runtime::platform::Platform;
+use patdnn_tensor::{Conv2dGeometry, Tensor};
+
+use crate::report::{fmt_ms, Table};
+use crate::workloads::{model_cpu_time, model_gpu_time, vgg_unique_workloads, Framework, PrunedLayer};
+use crate::RunOptions;
+
+fn paper_models() -> Vec<ModelSpec> {
+    vec![
+        vgg16(DatasetKind::ImageNet),
+        resnet50(DatasetKind::ImageNet),
+        mobilenet_v2(DatasetKind::ImageNet),
+        vgg16(DatasetKind::Cifar10),
+        resnet50(DatasetKind::Cifar10),
+        mobilenet_v2(DatasetKind::Cifar10),
+    ]
+}
+
+/// Figure 12: overall inference time of the four frameworks across the
+/// six model×dataset combinations, CPU and (simulated) GPU.
+pub fn fig12(opts: &RunOptions) -> Vec<Table> {
+    let mut cpu = Table::new(
+        "Figure 12 (CPU): conv-stack execution time (ms)",
+        &["Model", "Dataset", "TFLite", "TVM", "MNN", "PatDNN", "Best speedup"],
+    );
+    let mut gpu = Table::new(
+        "Figure 12 (GPU, simulated Adreno 640): conv-stack execution time (ms)",
+        &["Model", "Dataset", "TFLite", "TVM", "MNN", "PatDNN", "Best speedup"],
+    );
+    let gpu_model = Platform::snapdragon_855().gpu;
+    for spec in paper_models() {
+        let mut cpu_row = vec![spec.short_name.clone(), spec.dataset.label().to_owned()];
+        let mut gpu_row = cpu_row.clone();
+        let mut cpu_times = Vec::new();
+        let mut gpu_times = Vec::new();
+        for fw in Framework::figure12() {
+            let t = model_cpu_time(&spec, fw, 8, 3.6, opts.threads, opts.reps, |hw| {
+                opts.scale_hw(hw)
+            });
+            cpu_times.push(t);
+            cpu_row.push(fmt_ms(t));
+            let g = model_gpu_time(&spec, fw, 8, 3.6, &gpu_model, |hw| opts.scale_hw(hw));
+            gpu_times.push(g);
+            gpu_row.push(format!("{g:.1}"));
+        }
+        let pat_cpu = cpu_times[3];
+        let best_cpu = cpu_times[..3].iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        cpu_row.push(format!("{:.1}x", best_cpu / pat_cpu));
+        cpu.push_row(cpu_row);
+        let pat_gpu = gpu_times[3];
+        let best_gpu = gpu_times[..3].iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        gpu_row.push(format!("{:.1}x", best_gpu / pat_gpu));
+        gpu.push_row(gpu_row);
+    }
+    vec![cpu, gpu]
+}
+
+/// Figure 13: speedup of each optimization level over No-opt, per unique
+/// VGG CONV layer, CPU (measured) and GPU (simulated).
+pub fn fig13(opts: &RunOptions) -> Vec<Table> {
+    let mut cpu = Table::new(
+        "Figure 13 (CPU): speedup over No-opt per unique VGG layer",
+        &["Layer", "No-Opt", "+Reorder", "+LRE", "+Tune"],
+    );
+    let mut gpu = Table::new(
+        "Figure 13 (GPU sim): speedup over No-opt per unique VGG layer",
+        &["Layer", "No-Opt", "+Reorder", "+LRE", "+Tune"],
+    );
+    let gpu_model = Platform::snapdragon_855().gpu;
+    for (name, layer, _) in vgg_unique_workloads(8, 3.6, |hw| opts.scale_hw(hw)) {
+        let input = layer.input(1);
+        let mut cpu_times = Vec::new();
+        let mut gpu_cycles = Vec::new();
+        for level in OptLevel::all() {
+            let exec = layer.pattern_exec(level);
+            cpu_times.push(measure(&exec, &input, opts.reps).seconds);
+            gpu_cycles.push(simulate_pattern_conv(&gpu_model, &exec, &input).cycles);
+        }
+        let base_cpu = cpu_times[0];
+        let base_gpu = gpu_cycles[0];
+        cpu.push_row(
+            std::iter::once(name.clone())
+                .chain(cpu_times.iter().map(|t| format!("{:.2}x", base_cpu / t)))
+                .collect(),
+        );
+        gpu.push_row(
+            std::iter::once(name)
+                .chain(gpu_cycles.iter().map(|c| format!("{:.2}x", base_gpu / c)))
+                .collect(),
+        );
+    }
+    vec![cpu, gpu]
+}
+
+/// Figure 14: (a) filter-length distribution before/after FKR on VGG L4;
+/// (b) register load counts before/after LRE per unique layer.
+pub fn fig14(opts: &RunOptions) -> Vec<Table> {
+    let workloads = vgg_unique_workloads(8, 3.6, |hw| opts.scale_hw(hw));
+
+    // (a) L4 filter lengths, before and after reorder.
+    let (_, l4, _) = &workloads[3];
+    let identity = FilterOrder::identity(&l4.lp);
+    let reordered = filter_kernel_reorder(&l4.lp);
+    let mut a = Table::new(
+        "Figure 14a: VGG L4 filter lengths in storage order (first 16 rows)",
+        &["Row", "No-Reorder length", "Reorder length"],
+    );
+    let before = identity.lengths_in_order(&l4.lp);
+    let after = reordered.lengths_in_order(&l4.lp);
+    for i in 0..16.min(before.len()) {
+        a.push_row(vec![
+            i.to_string(),
+            before[i].to_string(),
+            after[i].to_string(),
+        ]);
+    }
+    a.push_row(vec![
+        "imbalance".into(),
+        identity.group_imbalance(&l4.lp).to_string(),
+        reordered.group_imbalance(&l4.lp).to_string(),
+    ]);
+
+    // (b) register loads per layer.
+    let mut b = Table::new(
+        "Figure 14b: register load counts before/after LRE",
+        &["Layer", "No-Eliminate", "Eliminate", "Reduction"],
+    );
+    for (name, layer, _) in &workloads {
+        let exec = layer.pattern_exec(OptLevel::Full);
+        let none = pattern_register_loads(&exec, OptLevel::NoOpt).total();
+        let full = pattern_register_loads(&exec, OptLevel::Full).total();
+        b.push_row(vec![
+            name.clone(),
+            none.to_string(),
+            full.to_string(),
+            format!("{:.1}%", (1.0 - full as f64 / none as f64) * 100.0),
+        ]);
+    }
+    vec![a, b]
+}
+
+/// Pixel-major (CoHwCi) pattern execution used by the Figure 15
+/// permutation study: output pixels outermost, kernels innermost.
+fn run_pixel_major(layer: &PrunedLayer, input: &Tensor, tile_rows: Option<usize>) -> Tensor {
+    let g = &layer.geo;
+    let fkw = &layer.fkw;
+    let np = fkw.patterns.len();
+    let in_hw = g.in_h * g.in_w;
+    let out_hw = g.out_h * g.out_w;
+    let mut out = Tensor::zeros(&[1, g.out_channels, g.out_h, g.out_w]);
+    let ind = input.data();
+    let od = out.data_mut();
+    let taps: Vec<Vec<(usize, usize)>> = fkw.patterns.iter().map(|p| p.positions()).collect();
+    let entries = fkw.entries_per_kernel;
+    let tile = tile_rows.unwrap_or(g.out_h).max(1);
+
+    for (row, f) in fkw.rows() {
+        let b = layer.bias[f];
+        od[f * out_hw..(f + 1) * out_hw].iter_mut().for_each(|v| *v = b);
+        for oh0 in (0..g.out_h).step_by(tile) {
+            let oh1 = (oh0 + tile).min(g.out_h);
+            for oh in oh0..oh1 {
+                for ow in 0..g.out_w {
+                    let mut acc = 0.0f32;
+                    for p in 0..np {
+                        for k in fkw.pattern_run(row, p) {
+                            let ic = fkw.index[k] as usize;
+                            let w = &fkw.weights[k * entries..(k + 1) * entries];
+                            for (e, &(kh, kw)) in taps[p].iter().enumerate() {
+                                let ih = (oh * g.stride + kh) as isize - g.pad as isize;
+                                let iw = (ow * g.stride + kw) as isize - g.pad as isize;
+                                if ih >= 0
+                                    && ih < g.in_h as isize
+                                    && iw >= 0
+                                    && iw < g.in_w as isize
+                                {
+                                    acc += w[e] * ind[ic * in_hw + ih as usize * g.in_w + iw as usize];
+                                }
+                            }
+                        }
+                    }
+                    od[f * out_hw + oh * g.out_w + ow] += acc;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Figure 15: GFLOPS across loop permutations ± blocking, per unique VGG
+/// layer.
+pub fn fig15(opts: &RunOptions) -> Vec<Table> {
+    let mut t = Table::new(
+        "Figure 15: dense-equivalent GFLOPS by loop permutation (CPU, 1 thread)",
+        &["Layer", "CoHWCi", "CoHWCi-Block", "CoCiHW", "CoCiHW-Block"],
+    );
+    for (name, layer, _) in vgg_unique_workloads(8, 3.6, |hw| opts.scale_hw(hw)) {
+        let input = layer.input(2);
+        let time_of = |f: &dyn Fn() -> Tensor| -> f64 {
+            let _warm = f();
+            let start = std::time::Instant::now();
+            for _ in 0..opts.reps {
+                std::hint::black_box(f());
+            }
+            start.elapsed().as_secs_f64() / opts.reps as f64
+        };
+        // CoHWCi: pixel-major; blocked variant tiles output rows.
+        let t_hwci = time_of(&|| run_pixel_major(&layer, &input, None));
+        let t_hwci_b = time_of(&|| run_pixel_major(&layer, &input, Some(8)));
+        // CoCiHW: kernel-plane major (the Reorder executor), blocked adds LRE tiling.
+        let reorder = layer.pattern_exec(OptLevel::Reorder);
+        let lre = layer.pattern_exec(OptLevel::ReorderLre);
+        let t_cihw = time_of(&|| reorder.run(&input));
+        let t_cihw_b = time_of(&|| lre.run(&input));
+        t.push_row(vec![
+            name,
+            format!("{:.2}", dense_gflops(&layer.geo, t_hwci)),
+            format!("{:.2}", dense_gflops(&layer.geo, t_hwci_b)),
+            format!("{:.2}", dense_gflops(&layer.geo, t_cihw)),
+            format!("{:.2}", dense_gflops(&layer.geo, t_cihw_b)),
+        ]);
+    }
+    vec![t]
+}
+
+/// Figure 16: FKW vs CSR extra data-structure overhead at 18×/12×/8×
+/// overall pruning rates.
+pub fn fig16(opts: &RunOptions) -> Vec<Table> {
+    let mut t = Table::new(
+        "Figure 16: FKW extra structure as % of CSR's, per unique VGG layer",
+        &["Layer", "18x rate", "12x rate", "8x rate"],
+    );
+    let mut totals = [0usize; 3];
+    let mut csr_totals = [0usize; 3];
+    let rates = [18.0f32, 12.0, 8.0];
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    for (li, (name, _, _)) in vgg_unique_workloads(8, 3.6, |hw| opts.scale_hw(hw))
+        .into_iter()
+        .enumerate()
+    {
+        let mut cells = vec![name];
+        for (ri, &rate) in rates.iter().enumerate() {
+            // Overall rate = 2.25 (patterns) x connectivity.
+            let conn = (rate / 2.25).max(1.0);
+            let spec = patdnn_nn::models::vgg_unique_layers()[li].1.clone();
+            let hw = opts.scale_hw(spec.in_h);
+            let geo = Conv2dGeometry::new(spec.out_c, spec.in_c, 3, 3, hw, hw, 1, 1);
+            let layer = PrunedLayer::from_geometry("f16", geo, 8, conn, 600 + li as u64);
+            let csr = CsrLayer::from_dense(&layer.weights);
+            totals[ri] += layer.fkw.extra_bytes();
+            csr_totals[ri] += csr.extra_bytes();
+            cells.push(format!(
+                "{:.1}%",
+                layer.fkw.extra_bytes() as f64 / csr.extra_bytes() as f64 * 100.0
+            ));
+        }
+        rows.push(cells);
+    }
+    for cells in rows {
+        t.push_row(cells);
+    }
+    t.push_row(vec![
+        "All".into(),
+        format!("{:.1}%", totals[0] as f64 / csr_totals[0] as f64 * 100.0),
+        format!("{:.1}%", totals[1] as f64 / csr_totals[1] as f64 * 100.0),
+        format!("{:.1}%", totals[2] as f64 / csr_totals[2] as f64 * 100.0),
+    ]);
+    vec![t]
+}
+
+/// Figure 17: (a) PatDNN dense vs MNN-like dense without Winograd;
+/// (b) dense-equivalent GFLOPS, pattern vs dense, per layer.
+pub fn fig17(opts: &RunOptions) -> Vec<Table> {
+    let mut a = Table::new(
+        "Figure 17a: dense VGG conv-stack time without Winograd (ms)",
+        &["Executor", "CPU time"],
+    );
+    let spec = vgg16(DatasetKind::ImageNet);
+    let mnn_no_wino = model_cpu_time(&spec, Framework::TvmLike, 8, 1.0, opts.threads, opts.reps, |hw| {
+        opts.scale_hw(hw)
+    });
+    let pat_dense = model_cpu_time(
+        &spec,
+        Framework::PatDnnDense,
+        8,
+        1.0,
+        opts.threads,
+        opts.reps,
+        |hw| opts.scale_hw(hw),
+    );
+    a.push_row(vec!["MNN-like (no Winograd)".into(), fmt_ms(mnn_no_wino)]);
+    a.push_row(vec!["PatDNN dense".into(), fmt_ms(pat_dense)]);
+
+    let mut b = Table::new(
+        "Figure 17b: dense-equivalent GFLOPS — pattern vs dense (CPU, 1 thread)",
+        &["Layer", "CPU-Dense", "CPU-Pattern", "Ratio"],
+    );
+    for (name, layer, _) in vgg_unique_workloads(8, 3.6, |hw| opts.scale_hw(hw)) {
+        let input = layer.input(3);
+        let dense = patdnn_runtime::dense::TiledConv::new(
+            layer.geo,
+            layer.dense_weights.clone(),
+            Some(layer.bias.clone()),
+        );
+        let t_dense = measure(&dense, &input, opts.reps).seconds;
+        let pat = layer.pattern_exec(OptLevel::Full);
+        let t_pat = measure(&pat, &input, opts.reps).seconds;
+        b.push_row(vec![
+            name,
+            format!("{:.2}", dense_gflops(&layer.geo, t_dense)),
+            format!("{:.2}", dense_gflops(&layer.geo, t_pat)),
+            format!("{:.2}x", t_dense / t_pat),
+        ]);
+    }
+    vec![a, b]
+}
+
+/// Figure 18: portability across platforms.
+pub fn fig18(opts: &RunOptions) -> Vec<Table> {
+    let spec = vgg16(DatasetKind::ImageNet);
+    let mut out = Vec::new();
+    for platform in Platform::all() {
+        let mut t = Table::new(
+            &format!("Figure 18 ({}): VGG conv-stack time (ms)", platform.name),
+            &["Framework", "CPU", "GPU (sim)"],
+        );
+        for fw in Framework::figure12() {
+            let host = model_cpu_time(&spec, fw, 8, 3.6, opts.threads, opts.reps, |hw| {
+                opts.scale_hw(hw)
+            });
+            // Dense frameworks are more load-bound than PatDNN.
+            let load_frac = if fw == Framework::PatDnn { 0.25 } else { 0.55 };
+            let cpu = platform.scale_cpu_seconds(host, load_frac);
+            let gpu = model_gpu_time(&spec, fw, 8, 3.6, &platform.gpu, |hw| opts.scale_hw(hw));
+            t.push_row(vec![fw.label().into(), fmt_ms(cpu), format!("{gpu:.1}")]);
+        }
+        out.push(t);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> RunOptions {
+        RunOptions::quick()
+    }
+
+    #[test]
+    fn fig14_reorder_balances_l4() {
+        let tables = fig14(&quick());
+        let a = &tables[0];
+        // Last row reports imbalance: reorder column must be 0.
+        let last = a.rows.last().expect("imbalance row");
+        assert_eq!(last[2], "0");
+        let b = &tables[1];
+        assert_eq!(b.rows.len(), 9);
+        for r in 0..9 {
+            let before: u64 = b.cell(r, 1).parse().expect("count");
+            let after: u64 = b.cell(r, 2).parse().expect("count");
+            assert!(after < before, "LRE must reduce loads on {}", b.cell(r, 0));
+        }
+    }
+
+    #[test]
+    fn fig16_fkw_is_fraction_of_csr() {
+        let tables = fig16(&quick());
+        let t = &tables[0];
+        let all = t.rows.last().expect("summary row");
+        for cell in &all[1..] {
+            let pct: f64 = cell.trim_end_matches('%').parse().expect("pct");
+            assert!(pct < 50.0, "FKW should be well under half of CSR: {cell}");
+        }
+    }
+
+    #[test]
+    fn pixel_major_matches_reference() {
+        let geo = Conv2dGeometry::new(6, 6, 3, 3, 9, 9, 1, 1);
+        let layer = PrunedLayer::from_geometry("pm", geo, 8, 3.6, 5);
+        let input = layer.input(6);
+        let expect = patdnn_tensor::conv2d_ref(&input, &layer.weights, Some(&layer.bias), &geo);
+        for tile in [None, Some(4)] {
+            let got = run_pixel_major(&layer, &input, tile);
+            assert!(expect.approx_eq(&got, 1e-3), "tile {tile:?}");
+        }
+    }
+}

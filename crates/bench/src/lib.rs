@@ -1,0 +1,62 @@
+//! # patdnn-bench
+//!
+//! The reproduction harness: regenerates every table and figure of the
+//! PatDNN paper's evaluation (§6) on the workspace's own substrate.
+//!
+//! - [`workloads`] — per-layer and per-model workload builders (random
+//!   weights pruned to the paper's rates; the execution-time figures are
+//!   weight-value independent).
+//! - [`report`] — plain-text table formatting shared by the `repro`
+//!   binary and the integration tests.
+//! - [`tables`] — Tables 1-7.
+//! - [`figures`] — Figures 12-18.
+//!
+//! Run `cargo run -p patdnn-bench --release --bin repro -- all` to
+//! regenerate everything; see `EXPERIMENTS.md` for the paper-vs-measured
+//! record.
+
+pub mod figures;
+pub mod report;
+pub mod tables;
+pub mod workloads;
+
+/// Global options for reproduction runs.
+#[derive(Debug, Clone, Copy)]
+pub struct RunOptions {
+    /// Timing repetitions per measurement (after one warm-up).
+    pub reps: usize,
+    /// Shrink spatial sizes 4× for quick smoke runs.
+    pub quick: bool,
+    /// CPU threads for parallel runs (the paper uses 8).
+    pub threads: usize,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        RunOptions {
+            reps: 2,
+            quick: false,
+            threads: 8,
+        }
+    }
+}
+
+impl RunOptions {
+    /// A fast configuration for tests and smoke runs.
+    pub fn quick() -> Self {
+        RunOptions {
+            reps: 1,
+            quick: true,
+            threads: 4,
+        }
+    }
+
+    /// Applies the quick spatial scaling to an input size.
+    pub fn scale_hw(&self, hw: usize) -> usize {
+        if self.quick {
+            (hw / 4).max(7)
+        } else {
+            hw
+        }
+    }
+}

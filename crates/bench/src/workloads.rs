@@ -1,0 +1,493 @@
+//! Workload builders for the reproduction experiments.
+
+use patdnn_compiler::fkr::{filter_kernel_reorder, FilterOrder};
+use patdnn_compiler::fkw::FkwLayer;
+use patdnn_compiler::tune::space::TuningConfig;
+use patdnn_core::pattern_set::PatternSet;
+use patdnn_core::project::{alpha_for_rate, prune_layer, LayerPruning};
+use patdnn_nn::models::{ConvSpec, ModelSpec};
+use patdnn_runtime::dense::{Im2colConv, NaiveConv, TiledConv, WinogradConv};
+use patdnn_runtime::executor::{measure, ConvExecutor};
+use patdnn_runtime::gpu::{simulate_dense_conv, simulate_pattern_conv, GpuModel};
+use patdnn_runtime::parallel::{ParallelDense, ParallelPattern, Schedule};
+use patdnn_runtime::pattern_exec::{OptLevel, PatternConv};
+use patdnn_tensor::rng::Rng;
+use patdnn_tensor::{Conv2dGeometry, Tensor};
+
+/// The frameworks compared in Figure 12 (and the paper throughout).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Framework {
+    /// TFLite-like: naive dense loop nest.
+    TfliteLike,
+    /// TVM-like: im2col + GEMM with a fixed default schedule.
+    TvmLike,
+    /// MNN-like: Winograd dense.
+    MnnLike,
+    /// PatDNN's own optimized dense kernel (Figure 17 baseline).
+    PatDnnDense,
+    /// PatDNN with CSR sparse storage (the negative result of §6.2).
+    PatDnnCsr,
+    /// Full PatDNN: pattern pruning + FKW + all compiler optimizations.
+    PatDnn,
+}
+
+impl Framework {
+    /// Display name.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Framework::TfliteLike => "TFLite",
+            Framework::TvmLike => "TVM",
+            Framework::MnnLike => "MNN",
+            Framework::PatDnnDense => "PatDNN-dense",
+            Framework::PatDnnCsr => "PatDNN-CSR",
+            Framework::PatDnn => "PatDNN",
+        }
+    }
+
+    /// The frameworks of Figure 12, in its plotting order.
+    pub fn figure12() -> [Framework; 4] {
+        [
+            Framework::TfliteLike,
+            Framework::TvmLike,
+            Framework::MnnLike,
+            Framework::PatDnn,
+        ]
+    }
+}
+
+/// A fully-prepared pruned conv layer: weights, pruning record, FKW.
+pub struct PrunedLayer {
+    /// Layer name.
+    pub name: String,
+    /// Execution geometry.
+    pub geo: Conv2dGeometry,
+    /// Pruned dense weights (zeros outside patterns / pruned kernels).
+    pub weights: Tensor,
+    /// Unpruned copy of the weights for dense baselines.
+    pub dense_weights: Tensor,
+    /// Bias.
+    pub bias: Vec<f32>,
+    /// Pruning record.
+    pub lp: LayerPruning,
+    /// Filter order after FKR.
+    pub order: FilterOrder,
+    /// FKW storage.
+    pub fkw: FkwLayer,
+    /// The pattern set used.
+    pub set: PatternSet,
+}
+
+impl PrunedLayer {
+    /// Builds a pruned layer from a spec with random weights, `patterns`
+    /// candidate patterns and the given connectivity rate.
+    pub fn build(spec: &ConvSpec, patterns: usize, conn_rate: f32, seed: u64) -> Self {
+        let geo = spec.geometry();
+        Self::from_geometry(&spec.name, geo, patterns, conn_rate, seed)
+    }
+
+    /// Builds a pruned layer directly from a geometry.
+    pub fn from_geometry(
+        name: &str,
+        geo: Conv2dGeometry,
+        patterns: usize,
+        conn_rate: f32,
+        seed: u64,
+    ) -> Self {
+        let mut rng = Rng::seed_from(seed);
+        let dense_weights = Tensor::randn_std(
+            &[geo.out_channels, geo.in_channels, geo.kernel_h, geo.kernel_w],
+            (2.0 / (geo.in_channels * geo.kernel_h * geo.kernel_w) as f32).sqrt(),
+            &mut rng,
+        );
+        let bias: Vec<f32> = (0..geo.out_channels).map(|_| rng.uniform(-0.1, 0.1)).collect();
+        let set = if geo.kernel_h == 3 {
+            PatternSet::harvest(&[&dense_weights], patterns)
+        } else {
+            PatternSet::standard(patterns)
+        };
+        let mut weights = dense_weights.clone();
+        let alpha = alpha_for_rate(geo.out_channels * geo.in_channels, conn_rate);
+        let lp = prune_layer(name, &mut weights, &set, alpha);
+        let order = filter_kernel_reorder(&lp);
+        let fkw = FkwLayer::from_pruned(&weights, &lp, &set, &order);
+        PrunedLayer {
+            name: name.to_owned(),
+            geo,
+            weights,
+            dense_weights,
+            bias,
+            lp,
+            order,
+            fkw,
+            set,
+        }
+    }
+
+    /// Builds a *connectivity-only* pruned layer (kernels stay dense
+    /// inside), for the Table 2 scheme comparison.
+    pub fn from_geometry_connectivity_only(
+        name: &str,
+        geo: Conv2dGeometry,
+        conn_rate: f32,
+        seed: u64,
+    ) -> Self {
+        let mut rng = Rng::seed_from(seed);
+        let dense_weights = Tensor::randn_std(
+            &[geo.out_channels, geo.in_channels, geo.kernel_h, geo.kernel_w],
+            (2.0 / (geo.in_channels * geo.kernel_h * geo.kernel_w) as f32).sqrt(),
+            &mut rng,
+        );
+        let bias: Vec<f32> = (0..geo.out_channels).map(|_| rng.uniform(-0.1, 0.1)).collect();
+        let set = PatternSet::standard(8);
+        let mut weights = dense_weights.clone();
+        let alpha = alpha_for_rate(geo.out_channels * geo.in_channels, conn_rate);
+        let lp = patdnn_core::project::prune_layer_connectivity_only(name, &mut weights, alpha);
+        let order = filter_kernel_reorder(&lp);
+        let fkw = FkwLayer::from_pruned(&weights, &lp, &set, &order);
+        PrunedLayer {
+            name: name.to_owned(),
+            geo,
+            weights,
+            dense_weights,
+            bias,
+            lp,
+            order,
+            fkw,
+            set,
+        }
+    }
+
+    /// A random input for this layer.
+    pub fn input(&self, seed: u64) -> Tensor {
+        let mut rng = Rng::seed_from(seed);
+        Tensor::randn(
+            &[1, self.geo.in_channels, self.geo.in_h, self.geo.in_w],
+            &mut rng,
+        )
+    }
+
+    /// A pattern executor at the given level.
+    pub fn pattern_exec(&self, level: OptLevel) -> PatternConv {
+        PatternConv::new(
+            self.geo,
+            self.fkw.clone(),
+            Some(self.bias.clone()),
+            level,
+            TuningConfig::tuned_default(),
+        )
+    }
+
+    /// A single-threaded executor for the given framework.
+    pub fn framework_exec(&self, fw: Framework) -> Box<dyn ConvExecutor + Sync> {
+        match fw {
+            Framework::TfliteLike => Box::new(NaiveConv::new(
+                self.geo,
+                self.dense_weights.clone(),
+                Some(self.bias.clone()),
+            )),
+            Framework::TvmLike => Box::new(Im2colConv::new(
+                self.geo,
+                self.dense_weights.clone(),
+                Some(self.bias.clone()),
+            )),
+            Framework::MnnLike => Box::new(WinogradConv::new(
+                self.geo,
+                self.dense_weights.clone(),
+                Some(self.bias.clone()),
+            )),
+            Framework::PatDnnDense => Box::new(TiledConv::new(
+                self.geo,
+                self.dense_weights.clone(),
+                Some(self.bias.clone()),
+            )),
+            Framework::PatDnnCsr => Box::new(patdnn_runtime::sparse_csr::CsrConv::new(
+                self.geo,
+                patdnn_compiler::csr::CsrLayer::from_dense(&self.weights),
+                Some(self.bias.clone()),
+            )),
+            Framework::PatDnn => Box::new(self.pattern_exec(OptLevel::Full)),
+        }
+    }
+
+    /// Measures one framework on this layer, multi-threaded over output
+    /// channels (the paper's 8-thread CPU configuration).
+    pub fn measure_cpu(&self, fw: Framework, threads: usize, reps: usize, seed: u64) -> f64 {
+        let input = self.input(seed);
+        match fw {
+            Framework::PatDnn => {
+                let par = ParallelPattern::new(
+                    self.pattern_exec(OptLevel::Full),
+                    threads,
+                    Schedule::Balanced,
+                );
+                measure(&par, &input, reps).seconds
+            }
+            Framework::PatDnnCsr => {
+                // CSR defeats balanced splitting; contiguous per-filter split.
+                let exec = self.framework_exec(fw);
+                measure(exec.as_ref(), &input, reps).seconds
+            }
+            _ => {
+                let geo = self.geo;
+                let weights = &self.dense_weights;
+                let bias = &self.bias;
+                let fsize = geo.in_channels * geo.kernel_h * geo.kernel_w;
+                let par = ParallelDense::new(geo, threads, |sub_geo, range| {
+                    let wslice = weights.data()[range.start * fsize..range.end * fsize].to_vec();
+                    let sub_w = Tensor::from_vec(
+                        &[
+                            sub_geo.out_channels,
+                            geo.in_channels,
+                            geo.kernel_h,
+                            geo.kernel_w,
+                        ],
+                        wslice,
+                    )
+                    .expect("weight subslice");
+                    let sub_b = bias[range].to_vec();
+                    match fw {
+                        Framework::TfliteLike => DenseKind::Naive(NaiveConv::new(sub_geo, sub_w, Some(sub_b))),
+                        Framework::TvmLike => DenseKind::Im2col(Im2colConv::new(sub_geo, sub_w, Some(sub_b))),
+                        Framework::MnnLike => DenseKind::Winograd(WinogradConv::new(sub_geo, sub_w, Some(sub_b))),
+                        _ => DenseKind::Tiled(TiledConv::new(sub_geo, sub_w, Some(sub_b))),
+                    }
+                });
+                measure(&par, &input, reps).seconds
+            }
+        }
+    }
+
+    /// Simulated GPU milliseconds for one framework on this layer.
+    pub fn measure_gpu(&self, fw: Framework, model: &GpuModel, seed: u64) -> f64 {
+        let input = self.input(seed);
+        match fw {
+            Framework::PatDnn => {
+                let exec = self.pattern_exec(OptLevel::Full);
+                simulate_pattern_conv(model, &exec, &input).millis
+            }
+            Framework::PatDnnCsr => {
+                // CSR on GPU: pattern compute without any of the
+                // divergence/load wins — model as NoOpt level.
+                let exec = self.pattern_exec(OptLevel::NoOpt);
+                simulate_pattern_conv(model, &exec, &input).millis
+            }
+            _ => {
+                let winograd = fw == Framework::MnnLike;
+                let out = Tensor::zeros(&[
+                    1,
+                    self.geo.out_channels,
+                    self.geo.out_h,
+                    self.geo.out_w,
+                ]);
+                let mut r = simulate_dense_conv(model, &self.geo, winograd, out);
+                // The naive framework forgoes tiling: charge extra loads.
+                if fw == Framework::TfliteLike {
+                    r.millis *= 1.8;
+                }
+                if fw == Framework::TvmLike {
+                    r.millis *= 1.25;
+                }
+                r.millis
+            }
+        }
+    }
+}
+
+/// Dispatch enum so [`ParallelDense`] can hold any dense kind.
+pub enum DenseKind {
+    /// Naive loop nest.
+    Naive(NaiveConv),
+    /// im2col + GEMM.
+    Im2col(Im2colConv),
+    /// Winograd.
+    Winograd(WinogradConv),
+    /// Tiled.
+    Tiled(TiledConv),
+}
+
+impl ConvExecutor for DenseKind {
+    fn name(&self) -> &str {
+        match self {
+            DenseKind::Naive(e) => e.name(),
+            DenseKind::Im2col(e) => e.name(),
+            DenseKind::Winograd(e) => e.name(),
+            DenseKind::Tiled(e) => e.name(),
+        }
+    }
+
+    fn geometry(&self) -> &Conv2dGeometry {
+        match self {
+            DenseKind::Naive(e) => e.geometry(),
+            DenseKind::Im2col(e) => e.geometry(),
+            DenseKind::Winograd(e) => e.geometry(),
+            DenseKind::Tiled(e) => e.geometry(),
+        }
+    }
+
+    fn run(&self, input: &Tensor) -> Tensor {
+        match self {
+            DenseKind::Naive(e) => e.run(input),
+            DenseKind::Im2col(e) => e.run(input),
+            DenseKind::Winograd(e) => e.run(input),
+            DenseKind::Tiled(e) => e.run(input),
+        }
+    }
+}
+
+/// The unique VGG-16 conv layers (Table 6) as pruned workloads, with
+/// multiplicities, optionally spatially scaled for quick runs.
+pub fn vgg_unique_workloads(
+    patterns: usize,
+    conn_rate: f32,
+    scale_hw: impl Fn(usize) -> usize,
+) -> Vec<(String, PrunedLayer, usize)> {
+    patdnn_nn::models::vgg_unique_layers()
+        .into_iter()
+        .enumerate()
+        .map(|(i, (lname, spec, mult))| {
+            let hw = scale_hw(spec.in_h);
+            let geo = Conv2dGeometry::new(
+                spec.out_c, spec.in_c, spec.kernel, spec.kernel, hw, hw, spec.stride, 1,
+            );
+            (
+                lname.clone(),
+                PrunedLayer::from_geometry(&lname, geo, patterns, conn_rate, 1000 + i as u64),
+                mult,
+            )
+        })
+        .collect()
+}
+
+/// Sums a framework's per-layer times over a whole model spec using the
+/// unique-layer × multiplicity decomposition.
+pub fn model_cpu_time(
+    spec: &ModelSpec,
+    fw: Framework,
+    patterns: usize,
+    conn_rate: f32,
+    threads: usize,
+    reps: usize,
+    scale_hw: impl Fn(usize) -> usize,
+) -> f64 {
+    let mut total = 0.0;
+    for (i, (conv, mult)) in spec.unique_convs().into_iter().enumerate() {
+        let hw = scale_hw(conv.in_h);
+        let in_c = if conv.depthwise { 1 } else { conv.in_c };
+        let geo = Conv2dGeometry::new(
+            conv.out_c,
+            in_c,
+            conv.kernel,
+            conv.kernel,
+            hw.max(conv.kernel),
+            hw.max(conv.kernel),
+            conv.stride,
+            conv.pad.min(conv.kernel / 2),
+        );
+        let layer = PrunedLayer::from_geometry(&conv.name, geo, patterns, conn_rate, 2000 + i as u64);
+        total += layer.measure_cpu(fw, threads, reps, 3000 + i as u64) * mult as f64;
+    }
+    total
+}
+
+/// Sums a framework's per-layer simulated GPU times over a model spec.
+pub fn model_gpu_time(
+    spec: &ModelSpec,
+    fw: Framework,
+    patterns: usize,
+    conn_rate: f32,
+    model: &GpuModel,
+    scale_hw: impl Fn(usize) -> usize,
+) -> f64 {
+    let mut total = 0.0;
+    for (i, (conv, mult)) in spec.unique_convs().into_iter().enumerate() {
+        let hw = scale_hw(conv.in_h);
+        let in_c = if conv.depthwise { 1 } else { conv.in_c };
+        let geo = Conv2dGeometry::new(
+            conv.out_c,
+            in_c,
+            conv.kernel,
+            conv.kernel,
+            hw.max(conv.kernel),
+            hw.max(conv.kernel),
+            conv.stride,
+            conv.pad.min(conv.kernel / 2),
+        );
+        let layer = PrunedLayer::from_geometry(&conv.name, geo, patterns, conn_rate, 4000 + i as u64);
+        total += layer.measure_gpu(fw, model, 5000 + i as u64) * mult as f64;
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pruned_layer_is_consistent() {
+        let geo = Conv2dGeometry::new(8, 8, 3, 3, 10, 10, 1, 1);
+        let layer = PrunedLayer::from_geometry("t", geo, 8, 3.6, 1);
+        assert_eq!(layer.fkw.to_dense(), layer.weights);
+        assert_eq!(
+            layer.lp.kept_kernels(),
+            alpha_for_rate(64, 3.6),
+        );
+    }
+
+    #[test]
+    fn all_framework_executors_agree_on_dense_weights() {
+        // Dense frameworks share dense weights, so they must agree with
+        // each other (not with the pruned PatDNN executors).
+        let geo = Conv2dGeometry::new(4, 4, 3, 3, 8, 8, 1, 1);
+        let layer = PrunedLayer::from_geometry("t", geo, 8, 2.0, 2);
+        let input = layer.input(9);
+        let reference = layer.framework_exec(Framework::TfliteLike).run(&input);
+        for fw in [Framework::TvmLike, Framework::MnnLike, Framework::PatDnnDense] {
+            let out = layer.framework_exec(fw).run(&input);
+            assert!(
+                reference.approx_eq(&out, 1e-3),
+                "{} disagrees with naive dense",
+                fw.label()
+            );
+        }
+        // And the sparse executors agree with each other on pruned weights.
+        let pat = layer.framework_exec(Framework::PatDnn).run(&input);
+        let csr = layer.framework_exec(Framework::PatDnnCsr).run(&input);
+        assert!(pat.approx_eq(&csr, 1e-3));
+    }
+
+    #[test]
+    fn vgg_workloads_cover_table6() {
+        let wl = vgg_unique_workloads(8, 3.6, |hw| (hw / 16).max(7));
+        assert_eq!(wl.len(), 9);
+        let mults: usize = wl.iter().map(|(_, _, m)| m).sum();
+        assert_eq!(mults, 13);
+        assert_eq!(wl[0].1.geo.in_channels, 3);
+    }
+
+    #[test]
+    fn measure_cpu_returns_positive_times() {
+        let geo = Conv2dGeometry::new(8, 8, 3, 3, 12, 12, 1, 1);
+        let layer = PrunedLayer::from_geometry("t", geo, 8, 3.6, 3);
+        for fw in [
+            Framework::TfliteLike,
+            Framework::TvmLike,
+            Framework::MnnLike,
+            Framework::PatDnnDense,
+            Framework::PatDnnCsr,
+            Framework::PatDnn,
+        ] {
+            let t = layer.measure_cpu(fw, 2, 1, 11);
+            assert!(t > 0.0, "{}", fw.label());
+        }
+    }
+
+    #[test]
+    fn gpu_measurement_orders_pattern_before_dense() {
+        let geo = Conv2dGeometry::new(16, 16, 3, 3, 16, 16, 1, 1);
+        let layer = PrunedLayer::from_geometry("t", geo, 8, 3.6, 4);
+        let model = GpuModel::adreno_640();
+        let pat = layer.measure_gpu(Framework::PatDnn, &model, 1);
+        let tfl = layer.measure_gpu(Framework::TfliteLike, &model, 1);
+        assert!(pat < tfl, "pattern {pat} vs tflite {tfl}");
+    }
+}

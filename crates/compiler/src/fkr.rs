@@ -1,0 +1,240 @@
+//! Filter-Kernel Reorder (FKR) — §5.2, Figure 9.
+//!
+//! "FKR is composed of two steps: filter reorder and kernel reorder. The
+//! filter reorder organizes similar filters next to each other and the
+//! kernel reorder groups kernels with identical patterns in each filter
+//! together. [...] filter similarity is decided by two factors: first,
+//! the number of non-empty kernels in each filter; and second, for
+//! filters with the same length, the number of kernels at identical
+//! positions with identical pattern IDs when the kernels in each filter
+//! are ordered according to these IDs."
+
+use std::ops::Range;
+
+use patdnn_core::project::{KernelStatus, LayerPruning};
+
+/// The result of filter-kernel reorder on one layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FilterOrder {
+    /// `order[r]` is the original filter index stored at row `r`.
+    pub order: Vec<usize>,
+    /// Contiguous ranges of rows whose filters share the same length;
+    /// these become CPU thread chunks / GPU thread blocks.
+    pub groups: Vec<Range<usize>>,
+    /// Per original filter: its kept kernels as `(input channel, status)`
+    /// sorted by pattern id then input channel (the kernel reorder).
+    pub kernel_order: Vec<Vec<(usize, KernelStatus)>>,
+}
+
+impl FilterOrder {
+    /// The identity order for `n` filters (used for un-reordered
+    /// baselines), with every filter in its own group and kernels in
+    /// input-channel order.
+    pub fn identity(lp: &LayerPruning) -> Self {
+        let order: Vec<usize> = (0..lp.out_c).collect();
+        let kernel_order = (0..lp.out_c)
+            .map(|oc| {
+                (0..lp.in_c)
+                    .filter_map(|ic| {
+                        let st = lp.kernel_at(oc, ic);
+                        st.is_kept().then_some((ic, st))
+                    })
+                    .collect()
+            })
+            .collect();
+        FilterOrder {
+            order,
+            groups: vec![0..lp.out_c],
+            kernel_order,
+        }
+    }
+
+    /// Filter lengths in storage (reordered) order.
+    pub fn lengths_in_order(&self, lp: &LayerPruning) -> Vec<usize> {
+        let lengths = lp.filter_lengths();
+        self.order.iter().map(|&f| lengths[f]).collect()
+    }
+
+    /// Maximum load imbalance across groups if each group is executed by
+    /// one thread per filter: `max length - min length` within the worst
+    /// group (0 = perfectly balanced, which FKR guarantees).
+    pub fn group_imbalance(&self, lp: &LayerPruning) -> usize {
+        let lengths = lp.filter_lengths();
+        self.groups
+            .iter()
+            .map(|g| {
+                let ls: Vec<usize> = self.order[g.clone()].iter().map(|&f| lengths[f]).collect();
+                match (ls.iter().max(), ls.iter().min()) {
+                    (Some(max), Some(min)) => max - min,
+                    _ => 0,
+                }
+            })
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+fn pattern_key(status: KernelStatus) -> usize {
+    match status {
+        KernelStatus::Pattern(id) => id,
+        KernelStatus::Dense => usize::MAX - 1,
+        KernelStatus::Pruned => usize::MAX,
+    }
+}
+
+/// Performs filter-kernel reorder on one layer's pruning record.
+///
+/// Filters are grouped by descending length (longest filters first, so
+/// heavy thread blocks launch first); within a length group filters are
+/// ordered lexicographically by their kernel-pattern signature, putting
+/// maximally similar filters adjacent. Kernels inside each filter are
+/// sorted by pattern id, then input channel.
+pub fn filter_kernel_reorder(lp: &LayerPruning) -> FilterOrder {
+    // Kernel reorder: per filter, kept kernels sorted by (pattern, channel).
+    let mut kernel_order: Vec<Vec<(usize, KernelStatus)>> = Vec::with_capacity(lp.out_c);
+    for oc in 0..lp.out_c {
+        let mut kept: Vec<(usize, KernelStatus)> = (0..lp.in_c)
+            .filter_map(|ic| {
+                let st = lp.kernel_at(oc, ic);
+                st.is_kept().then_some((ic, st))
+            })
+            .collect();
+        kept.sort_by_key(|&(ic, st)| (pattern_key(st), ic));
+        kernel_order.push(kept);
+    }
+
+    // Filter signatures: ordered pattern-id sequence.
+    let signatures: Vec<Vec<usize>> = kernel_order
+        .iter()
+        .map(|ks| ks.iter().map(|&(_, st)| pattern_key(st)).collect())
+        .collect();
+
+    let mut order: Vec<usize> = (0..lp.out_c).collect();
+    order.sort_by(|&a, &b| {
+        signatures[b]
+            .len()
+            .cmp(&signatures[a].len())
+            .then_with(|| signatures[a].cmp(&signatures[b]))
+            .then(a.cmp(&b))
+    });
+
+    // Group ranges by equal length.
+    let mut groups = Vec::new();
+    let mut start = 0;
+    while start < order.len() {
+        let len = signatures[order[start]].len();
+        let mut end = start + 1;
+        while end < order.len() && signatures[order[end]].len() == len {
+            end += 1;
+        }
+        groups.push(start..end);
+        start = end;
+    }
+
+    FilterOrder {
+        order,
+        groups,
+        kernel_order,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use patdnn_core::pattern_set::PatternSet;
+    use patdnn_core::project::prune_layer;
+    use patdnn_tensor::rng::Rng;
+    use patdnn_tensor::Tensor;
+
+    fn pruned_layer(oc: usize, ic: usize, alpha: usize, seed: u64) -> LayerPruning {
+        let mut rng = Rng::seed_from(seed);
+        let mut w = Tensor::randn(&[oc, ic, 3, 3], &mut rng);
+        let set = PatternSet::standard(8);
+        prune_layer("test", &mut w, &set, alpha)
+    }
+
+    #[test]
+    fn order_is_a_permutation() {
+        let lp = pruned_layer(16, 8, 40, 1);
+        let fo = filter_kernel_reorder(&lp);
+        let mut sorted = fo.order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..16).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn groups_are_balanced_and_sorted_by_length() {
+        let lp = pruned_layer(32, 8, 100, 2);
+        let fo = filter_kernel_reorder(&lp);
+        assert_eq!(fo.group_imbalance(&lp), 0, "groups share one length");
+        let lengths = fo.lengths_in_order(&lp);
+        // Lengths are non-increasing across the storage order.
+        for pair in lengths.windows(2) {
+            assert!(pair[0] >= pair[1], "lengths {lengths:?} not sorted");
+        }
+        // Groups tile the whole filter range.
+        let covered: usize = fo.groups.iter().map(|g| g.len()).sum();
+        assert_eq!(covered, 32);
+    }
+
+    #[test]
+    fn kernels_sorted_by_pattern_then_channel() {
+        let lp = pruned_layer(8, 16, 64, 3);
+        let fo = filter_kernel_reorder(&lp);
+        for ks in &fo.kernel_order {
+            for pair in ks.windows(2) {
+                let ka = (pattern_key(pair[0].1), pair[0].0);
+                let kb = (pattern_key(pair[1].1), pair[1].0);
+                assert!(ka <= kb, "kernel order violated: {ka:?} > {kb:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn identity_order_preserves_channel_order() {
+        let lp = pruned_layer(4, 8, 16, 4);
+        let fo = FilterOrder::identity(&lp);
+        assert_eq!(fo.order, vec![0, 1, 2, 3]);
+        for ks in &fo.kernel_order {
+            for pair in ks.windows(2) {
+                assert!(pair[0].0 < pair[1].0);
+            }
+        }
+    }
+
+    #[test]
+    fn similar_filters_become_adjacent() {
+        // Hand-build a layer where filters 0 and 2 share the exact same
+        // pattern signature and filter 1 differs; after reorder, 0 and 2
+        // must be adjacent.
+        let lp = LayerPruning {
+            name: "t".into(),
+            out_c: 3,
+            in_c: 2,
+            kernel: 3,
+            kernels: vec![
+                KernelStatus::Pattern(1),
+                KernelStatus::Pattern(2),
+                KernelStatus::Pattern(3),
+                KernelStatus::Pattern(4),
+                KernelStatus::Pattern(1),
+                KernelStatus::Pattern(2),
+            ],
+        };
+        let fo = filter_kernel_reorder(&lp);
+        let pos0 = fo.order.iter().position(|&f| f == 0).unwrap();
+        let pos2 = fo.order.iter().position(|&f| f == 2).unwrap();
+        assert_eq!(pos0.abs_diff(pos2), 1, "order {:?}", fo.order);
+    }
+
+    #[test]
+    fn reorder_reduces_imbalance_vs_identity() {
+        // A ragged layer: many different lengths. Identity keeps one big
+        // group (imbalance > 0); FKR splits into equal-length groups.
+        let lp = pruned_layer(24, 12, 90, 5);
+        let identity = FilterOrder::identity(&lp);
+        let reordered = filter_kernel_reorder(&lp);
+        assert!(identity.group_imbalance(&lp) > 0, "test needs ragged input");
+        assert_eq!(reordered.group_imbalance(&lp), 0);
+    }
+}

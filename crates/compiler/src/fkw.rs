@@ -1,0 +1,331 @@
+//! FKW (Filter-Kernel-Weight) compressed weight storage — §5.3, Figure 10.
+//!
+//! Five arrays describe a pruned layer after filter-kernel reorder:
+//!
+//! - **offset** (filter level): cumulative count of stored kernels per
+//!   filter row;
+//! - **reorder** (filter level): the original output channel of each
+//!   stored row, "used for accumulating the computation output to the
+//!   correct output channel";
+//! - **index** (kernel level): the input channel of each stored kernel;
+//! - **stride** (kernel level): per filter, cumulative kernel counts per
+//!   pattern, delimiting the branch-free per-pattern inner loops;
+//! - **weight**: the surviving weights, `entries` per kernel.
+//!
+//! Following the paper's storage argument, the kernel-level arrays use
+//! 16-bit indices (channel counts stay below 2¹⁶) while CSR-style formats
+//! need a 32-bit column index per *weight* — that difference is the
+//! Figure 16 overhead gap.
+
+use patdnn_core::pattern::Pattern;
+use patdnn_core::pattern_set::PatternSet;
+use patdnn_core::project::{KernelStatus, LayerPruning};
+use patdnn_tensor::Tensor;
+
+use crate::fkr::FilterOrder;
+
+/// A convolution layer's weights in FKW compressed form.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FkwLayer {
+    /// Number of filters (rows).
+    pub out_c: usize,
+    /// Number of input channels of the dense layer.
+    pub in_c: usize,
+    /// Kernel size (square).
+    pub kernel: usize,
+    /// Non-zero entries stored per kernel (uniform per layer: 4 for
+    /// 4-entry patterns, `kernel²` for dense kernels).
+    pub entries_per_kernel: usize,
+    /// The local pattern table; kernels reference it by position.
+    pub patterns: Vec<Pattern>,
+    /// Filter-level: cumulative stored-kernel counts, `out_c + 1` entries.
+    pub offsets: Vec<u32>,
+    /// Filter-level: original output channel per stored row.
+    pub reorder: Vec<u16>,
+    /// Kernel-level: input channel per stored kernel.
+    pub index: Vec<u16>,
+    /// Kernel-level: per filter, `patterns.len() + 1` cumulative counts
+    /// delimiting same-pattern runs (relative to the filter's offset).
+    pub stride: Vec<u16>,
+    /// Weight-level: surviving weights, `entries_per_kernel` per kernel,
+    /// in pattern-position (row-major) order.
+    pub weights: Vec<f32>,
+}
+
+impl FkwLayer {
+    /// Compresses a pruned OIHW weight tensor given its pruning record,
+    /// the model pattern set, and a filter order (use
+    /// [`FilterOrder::identity`] for the un-reordered baseline).
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes disagree, if a "kept" kernel mixes pattern and
+    /// dense statuses with different entry counts, or if channel counts
+    /// exceed 16-bit range.
+    pub fn from_pruned(
+        weights: &Tensor,
+        lp: &LayerPruning,
+        set: &PatternSet,
+        order: &FilterOrder,
+    ) -> Self {
+        let s = weights.shape4();
+        assert_eq!((s.n, s.c), (lp.out_c, lp.in_c), "pruning record shape mismatch");
+        assert_eq!(s.h, lp.kernel, "kernel size mismatch");
+        assert!(s.c <= u16::MAX as usize, "in_c exceeds 16-bit index");
+        assert!(s.n <= u16::MAX as usize, "out_c exceeds 16-bit reorder");
+        let ksize = s.h * s.w;
+
+        // Local pattern table: distinct statuses in ascending global order.
+        let mut local: Vec<(usize, Pattern)> = Vec::new(); // (sort key, pattern)
+        let dense_pattern = || {
+            let all: Vec<(usize, usize)> = (0..s.h)
+                .flat_map(|r| (0..s.w).map(move |c| (r, c)))
+                .collect();
+            Pattern::from_positions(s.h, &all)
+        };
+        for st in &lp.kernels {
+            match st {
+                KernelStatus::Pattern(id) => {
+                    if !local.iter().any(|&(k, _)| k == *id) {
+                        local.push((*id, set.get(*id)));
+                    }
+                }
+                KernelStatus::Dense => {
+                    if !local.iter().any(|&(k, _)| k == usize::MAX - 1) {
+                        local.push((usize::MAX - 1, dense_pattern()));
+                    }
+                }
+                KernelStatus::Pruned => {}
+            }
+        }
+        local.sort_by_key(|&(k, _)| k);
+        let local_of = |st: KernelStatus| -> usize {
+            let key = match st {
+                KernelStatus::Pattern(id) => id,
+                KernelStatus::Dense => usize::MAX - 1,
+                KernelStatus::Pruned => unreachable!("pruned kernels are not stored"),
+            };
+            local.iter().position(|&(k, _)| k == key).expect("pattern in table")
+        };
+        let patterns: Vec<Pattern> = local.iter().map(|&(_, p)| p).collect();
+        let entries_per_kernel = patterns.first().map_or(0, |p| p.entries());
+        assert!(
+            patterns.iter().all(|p| p.entries() == entries_per_kernel),
+            "mixed entry counts within a layer"
+        );
+
+        let np = patterns.len();
+        let mut offsets = Vec::with_capacity(s.n + 1);
+        let mut reorder = Vec::with_capacity(s.n);
+        let mut index = Vec::new();
+        let mut stride = Vec::with_capacity(s.n * (np + 1));
+        let mut wout = Vec::new();
+        offsets.push(0u32);
+
+        for &f in &order.order {
+            reorder.push(f as u16);
+            // FKW requires kernels grouped by pattern within each filter
+            // (the kernel-reorder half of FKR); enforce it regardless of
+            // the supplied order so `stride` runs are always contiguous.
+            let mut kernels_of_f: Vec<(usize, usize)> = order.kernel_order[f]
+                .iter()
+                .map(|&(ic, st)| (local_of(st), ic))
+                .collect();
+            kernels_of_f.sort_unstable();
+            // Per-pattern cumulative counts for this filter.
+            let mut counts = vec![0u16; np];
+            for &(lid, ic) in &kernels_of_f {
+                counts[lid] += 1;
+                index.push(ic as u16);
+                let kbase = (f * s.c + ic) * ksize;
+                let kernel = &weights.data()[kbase..kbase + ksize];
+                for (pos, &w) in kernel.iter().enumerate() {
+                    if patterns[lid].contains(pos / s.w, pos % s.w) {
+                        wout.push(w);
+                    }
+                }
+            }
+            stride.push(0);
+            let mut acc = 0u16;
+            for &c in &counts {
+                acc += c;
+                stride.push(acc);
+            }
+            offsets.push(offsets.last().expect("non-empty") + order.kernel_order[f].len() as u32);
+        }
+
+        FkwLayer {
+            out_c: s.n,
+            in_c: s.c,
+            kernel: s.h,
+            entries_per_kernel,
+            patterns,
+            offsets,
+            reorder,
+            index,
+            stride,
+            weights: wout,
+        }
+    }
+
+    /// Number of stored (non-empty) kernels.
+    pub fn stored_kernels(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Reconstructs the dense OIHW tensor (lossless round trip).
+    pub fn to_dense(&self) -> Tensor {
+        let ksize = self.kernel * self.kernel;
+        let mut out = Tensor::zeros(&[self.out_c, self.in_c, self.kernel, self.kernel]);
+        let np = self.patterns.len();
+        let mut wpos = 0usize;
+        for row in 0..self.out_c {
+            let f = self.reorder[row] as usize;
+            let base = self.offsets[row] as usize;
+            for p in 0..np {
+                let lo = self.stride[row * (np + 1) + p] as usize;
+                let hi = self.stride[row * (np + 1) + p + 1] as usize;
+                for k in lo..hi {
+                    let ic = self.index[base + k] as usize;
+                    let kbase = (f * self.in_c + ic) * ksize;
+                    for pos in 0..ksize {
+                        if self.patterns[p].contains(pos / self.kernel, pos % self.kernel) {
+                            out.data_mut()[kbase + pos] = self.weights[wpos];
+                            wpos += 1;
+                        }
+                    }
+                }
+            }
+        }
+        assert_eq!(wpos, self.weights.len(), "all stored weights consumed");
+        out
+    }
+
+    /// Bytes of index structure (everything except the weights): the
+    /// quantity Figure 16 compares against CSR.
+    pub fn extra_bytes(&self) -> usize {
+        self.offsets.len() * 4
+            + self.reorder.len() * 2
+            + self.index.len() * 2
+            + self.stride.len() * 2
+            // Local pattern table: one 16-bit mask per pattern.
+            + self.patterns.len() * 2
+    }
+
+    /// Bytes of stored weights.
+    pub fn weight_bytes(&self) -> usize {
+        self.weights.len() * 4
+    }
+
+    /// Total storage footprint in bytes.
+    pub fn total_bytes(&self) -> usize {
+        self.extra_bytes() + self.weight_bytes()
+    }
+
+    /// Iterates over stored rows: `(row, original_filter)`.
+    pub fn rows(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        self.reorder.iter().enumerate().map(|(r, &f)| (r, f as usize))
+    }
+
+    /// The kernel range (relative to the whole `index` array) of pattern
+    /// `p` in row `row`.
+    pub fn pattern_run(&self, row: usize, p: usize) -> std::ops::Range<usize> {
+        let np = self.patterns.len();
+        let base = self.offsets[row] as usize;
+        let lo = self.stride[row * (np + 1) + p] as usize;
+        let hi = self.stride[row * (np + 1) + p + 1] as usize;
+        base + lo..base + hi
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fkr::filter_kernel_reorder;
+    use patdnn_core::project::prune_layer;
+    use patdnn_tensor::rng::Rng;
+
+    fn setup(oc: usize, ic: usize, alpha: usize, seed: u64) -> (Tensor, LayerPruning, PatternSet) {
+        let mut rng = Rng::seed_from(seed);
+        let mut w = Tensor::randn(&[oc, ic, 3, 3], &mut rng);
+        let set = PatternSet::standard(8);
+        let lp = prune_layer("t", &mut w, &set, alpha);
+        (w, lp, set)
+    }
+
+    #[test]
+    fn round_trip_is_lossless_with_identity_order() {
+        let (w, lp, set) = setup(8, 8, 32, 1);
+        let fkw = FkwLayer::from_pruned(&w, &lp, &set, &FilterOrder::identity(&lp));
+        assert_eq!(fkw.to_dense(), w);
+    }
+
+    #[test]
+    fn round_trip_is_lossless_with_reorder() {
+        let (w, lp, set) = setup(16, 8, 64, 2);
+        let order = filter_kernel_reorder(&lp);
+        let fkw = FkwLayer::from_pruned(&w, &lp, &set, &order);
+        assert_eq!(fkw.to_dense(), w);
+    }
+
+    #[test]
+    fn counts_match_pruning_record() {
+        let (w, lp, set) = setup(8, 16, 50, 3);
+        let order = filter_kernel_reorder(&lp);
+        let fkw = FkwLayer::from_pruned(&w, &lp, &set, &order);
+        assert_eq!(fkw.stored_kernels(), lp.kept_kernels());
+        assert_eq!(fkw.weights.len(), lp.kept_kernels() * 4);
+        assert_eq!(fkw.offsets.len(), 9);
+        assert_eq!(*fkw.offsets.last().unwrap() as usize, lp.kept_kernels());
+    }
+
+    #[test]
+    fn reorder_array_is_permutation() {
+        let (w, lp, set) = setup(12, 6, 40, 4);
+        let order = filter_kernel_reorder(&lp);
+        let fkw = FkwLayer::from_pruned(&w, &lp, &set, &order);
+        let mut seen: Vec<u16> = fkw.reorder.clone();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..12u16).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn pattern_runs_tile_each_filter() {
+        let (w, lp, set) = setup(8, 8, 40, 5);
+        let order = filter_kernel_reorder(&lp);
+        let fkw = FkwLayer::from_pruned(&w, &lp, &set, &order);
+        for row in 0..fkw.out_c {
+            let mut covered = 0;
+            for p in 0..fkw.patterns.len() {
+                covered += fkw.pattern_run(row, p).len();
+            }
+            let expect = (fkw.offsets[row + 1] - fkw.offsets[row]) as usize;
+            assert_eq!(covered, expect, "row {row}");
+        }
+    }
+
+    #[test]
+    fn dense_1x1_layer_compresses_with_connectivity_only() {
+        let mut rng = Rng::seed_from(6);
+        let mut w = Tensor::randn(&[8, 8, 1, 1], &mut rng);
+        let set = PatternSet::standard(8);
+        let lp = prune_layer("proj", &mut w, &set, 16);
+        let order = filter_kernel_reorder(&lp);
+        let fkw = FkwLayer::from_pruned(&w, &lp, &set, &order);
+        assert_eq!(fkw.entries_per_kernel, 1);
+        assert_eq!(fkw.stored_kernels(), 16);
+        assert_eq!(fkw.to_dense(), w);
+    }
+
+    #[test]
+    fn extra_bytes_scale_with_kernels_not_weights() {
+        let (w, lp, set) = setup(8, 8, 32, 7);
+        let order = filter_kernel_reorder(&lp);
+        let fkw = FkwLayer::from_pruned(&w, &lp, &set, &order);
+        // 2 bytes per kernel index + filter-level arrays.
+        let per_kernel = 2 * fkw.stored_kernels();
+        assert!(fkw.extra_bytes() >= per_kernel);
+        assert!(fkw.extra_bytes() < per_kernel + 4 * (fkw.out_c + 1) + 2 * fkw.out_c + 2 * fkw.out_c * 9 + 32);
+        assert_eq!(fkw.weight_bytes(), 4 * 4 * fkw.stored_kernels());
+    }
+}

@@ -1,0 +1,242 @@
+//! Computational-graph IR.
+//!
+//! PatDNN "converts DNN models into computational graphs and applies
+//! multiple graph-based optimizations" (§5) before the layerwise work.
+//! The IR here is deliberately small: enough to express the conv / BN /
+//! activation / pool / FC chains of the paper's models and to run the
+//! fusion and elimination passes of [`crate::passes`].
+
+use patdnn_tensor::Tensor;
+
+/// A graph operation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Op {
+    /// Graph input with the given NCHW shape.
+    Input {
+        /// Activation shape.
+        shape: Vec<usize>,
+    },
+    /// Convolution; weights optional (specs without materialized weights
+    /// still flow through the passes).
+    Conv {
+        /// Output channels.
+        out_c: usize,
+        /// Input channels.
+        in_c: usize,
+        /// Kernel size.
+        kernel: usize,
+        /// Stride.
+        stride: usize,
+        /// Padding.
+        pad: usize,
+        /// Materialized weights (OIHW), if any.
+        weights: Option<Tensor>,
+        /// Bias, if any.
+        bias: Option<Vec<f32>>,
+        /// Whether a following ReLU has been fused into this conv.
+        fused_relu: bool,
+    },
+    /// Batch normalization folded form: `y = scale * x + shift` per
+    /// channel.
+    BatchNorm {
+        /// Per-channel scale.
+        scale: Vec<f32>,
+        /// Per-channel shift.
+        shift: Vec<f32>,
+    },
+    /// ReLU activation.
+    Relu,
+    /// Identity (arises from eliminated ops before DCE).
+    Identity,
+    /// Max pooling.
+    MaxPool {
+        /// Window size.
+        kernel: usize,
+        /// Stride.
+        stride: usize,
+    },
+    /// Global average pooling.
+    GlobalAvgPool,
+    /// Flatten to `[batch, features]`.
+    Flatten,
+    /// Fully-connected layer.
+    Fc {
+        /// Input features.
+        in_f: usize,
+        /// Output features.
+        out_f: usize,
+    },
+    /// Elementwise addition of two inputs (residual join).
+    Add,
+}
+
+impl Op {
+    /// Short kind label for reports.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Op::Input { .. } => "input",
+            Op::Conv { .. } => "conv",
+            Op::BatchNorm { .. } => "batchnorm",
+            Op::Relu => "relu",
+            Op::Identity => "identity",
+            Op::MaxPool { .. } => "maxpool",
+            Op::GlobalAvgPool => "gap",
+            Op::Flatten => "flatten",
+            Op::Fc { .. } => "fc",
+            Op::Add => "add",
+        }
+    }
+}
+
+/// A node: an op plus its input edges.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Node {
+    /// Node name (layer name or synthesized).
+    pub name: String,
+    /// The operation.
+    pub op: Op,
+    /// Indices of producer nodes.
+    pub inputs: Vec<usize>,
+}
+
+/// A directed acyclic computational graph with one output.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Graph {
+    /// Nodes in topological order (inputs before users).
+    pub nodes: Vec<Node>,
+    /// Index of the output node.
+    pub output: usize,
+}
+
+impl Graph {
+    /// Creates a graph containing a single input node.
+    pub fn with_input(shape: &[usize]) -> Self {
+        Graph {
+            nodes: vec![Node {
+                name: "input".into(),
+                op: Op::Input {
+                    shape: shape.to_vec(),
+                },
+                inputs: vec![],
+            }],
+            output: 0,
+        }
+    }
+
+    /// Appends a node consuming `inputs`; returns its index and marks it
+    /// as the graph output.
+    pub fn push(&mut self, name: &str, op: Op, inputs: &[usize]) -> usize {
+        for &i in inputs {
+            assert!(i < self.nodes.len(), "input edge {i} out of range");
+        }
+        self.nodes.push(Node {
+            name: name.to_owned(),
+            op,
+            inputs: inputs.to_vec(),
+        });
+        self.output = self.nodes.len() - 1;
+        self.output
+    }
+
+    /// Number of nodes of each kind, for pass reports.
+    pub fn count_kind(&self, kind: &str) -> usize {
+        self.nodes.iter().filter(|n| n.op.kind() == kind).count()
+    }
+
+    /// Users of node `id`.
+    pub fn users(&self, id: usize) -> Vec<usize> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.inputs.contains(&id))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Checks topological validity (every edge points backwards).
+    pub fn is_topologically_sorted(&self) -> bool {
+        self.nodes
+            .iter()
+            .enumerate()
+            .all(|(i, n)| n.inputs.iter().all(|&j| j < i))
+    }
+
+    /// Builds a conv(+BN)(+ReLU) chain graph for testing and
+    /// spec-driven compilation: each tuple is `(name, out_c, in_c,
+    /// kernel, stride, pad)`.
+    pub fn conv_chain(
+        input_shape: &[usize],
+        convs: &[(&str, usize, usize, usize, usize, usize)],
+        with_bn: bool,
+        with_relu: bool,
+    ) -> Graph {
+        let mut g = Graph::with_input(input_shape);
+        let mut prev = 0usize;
+        for &(name, out_c, in_c, kernel, stride, pad) in convs {
+            let conv = g.push(
+                name,
+                Op::Conv {
+                    out_c,
+                    in_c,
+                    kernel,
+                    stride,
+                    pad,
+                    weights: None,
+                    bias: None,
+                    fused_relu: false,
+                },
+                &[prev],
+            );
+            prev = conv;
+            if with_bn {
+                prev = g.push(
+                    &format!("{name}_bn"),
+                    Op::BatchNorm {
+                        scale: vec![1.0; out_c],
+                        shift: vec![0.0; out_c],
+                    },
+                    &[prev],
+                );
+            }
+            if with_relu {
+                prev = g.push(&format!("{name}_relu"), Op::Relu, &[prev]);
+            }
+        }
+        g
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chain_construction_is_topological() {
+        let g = Graph::conv_chain(
+            &[1, 3, 32, 32],
+            &[("c1", 16, 3, 3, 1, 1), ("c2", 32, 16, 3, 1, 1)],
+            true,
+            true,
+        );
+        assert!(g.is_topologically_sorted());
+        assert_eq!(g.count_kind("conv"), 2);
+        assert_eq!(g.count_kind("batchnorm"), 2);
+        assert_eq!(g.count_kind("relu"), 2);
+        assert_eq!(g.output, g.nodes.len() - 1);
+    }
+
+    #[test]
+    fn users_finds_consumers() {
+        let g = Graph::conv_chain(&[1, 3, 8, 8], &[("c1", 4, 3, 3, 1, 1)], false, true);
+        // Node 1 is the conv; its only user is the relu (node 2).
+        assert_eq!(g.users(1), vec![2]);
+        assert_eq!(g.users(2), Vec::<usize>::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn forward_edges_rejected() {
+        let mut g = Graph::with_input(&[1, 1, 4, 4]);
+        g.push("bad", Op::Relu, &[5]);
+    }
+}

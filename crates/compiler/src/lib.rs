@@ -1,0 +1,39 @@
+//! # patdnn-compiler
+//!
+//! PatDNN's execution code generation stage (§5 of the paper).
+//!
+//! "Compiler optimizations play the key role in 'recovering' the
+//! performance loss due to the fine-grained pattern-based pruning compared
+//! to fully structured pruning." The stage comprises:
+//!
+//! - [`graph`] / [`passes`] — computational-graph IR and the TVM-like
+//!   graph optimizations (conv+BN folding, activation fusion, dead-node
+//!   elimination).
+//! - [`lr`] — the high-level, fine-grained **Layerwise Representation**
+//!   (Figure 8) carrying pattern, storage, and tuning metadata per layer.
+//! - [`fkr`] — **Filter-Kernel Reorder** (Figure 9): group filters by
+//!   length, order similar filters together, sort kernels by pattern.
+//! - [`fkw`] — the **FKW compressed weight storage** format (Figure 10)
+//!   with its offset/reorder/index/stride/weight arrays; [`csr`] is the
+//!   CSR baseline it is compared against (Figure 16).
+//! - [`lre`] — register-level **Load Redundancy Elimination** analysis
+//!   (Figure 11): kernel-level and filter-level redundant-load counting.
+//! - [`codegen`] — emits the C-like execution kernels of Figure 7
+//!   (`No-opt`, `+Reorder`, `+LRE`, `+Tune`).
+//! - [`tune`] — parameter auto-tuning (§5.5): a Genetic-Algorithm
+//!   explorer plus an MLP performance estimator trained on history.
+
+pub mod codegen;
+pub mod csr;
+pub mod fkr;
+pub mod fkw;
+pub mod graph;
+pub mod lr;
+pub mod lre;
+pub mod passes;
+pub mod tune;
+
+pub use fkr::{filter_kernel_reorder, FilterOrder};
+pub use fkw::FkwLayer;
+pub use lr::LayerLr;
+pub use tune::space::{LoopPermutation, TuningConfig};

@@ -1,0 +1,197 @@
+//! The high-level, fine-grained Layerwise Representation (LR) — §5.1,
+//! Figure 8.
+//!
+//! "This LR includes intensive DNN layer specific information to enable
+//! aggressive layerwise optimizations. In particular, it includes
+//! detailed kernel pattern and connectivity-related information [...] and
+//! tuning-decided parameters."
+
+use std::fmt;
+
+use crate::fkw::FkwLayer;
+use crate::tune::space::TuningConfig;
+
+/// Target device of the generated code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Device {
+    /// Mobile CPU (vectorized C++ in the paper).
+    Cpu,
+    /// Mobile GPU (OpenCL in the paper).
+    Gpu,
+}
+
+impl Device {
+    /// The LR label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Device::Cpu => "CPU",
+            Device::Gpu => "GPU",
+        }
+    }
+}
+
+/// Weight storage scheme recorded in the LR.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Storage {
+    /// The FKW compact format ("tight" in the paper's example).
+    Tight,
+    /// CSR baseline storage.
+    Csr,
+    /// Dense storage (unpruned baselines).
+    Dense,
+}
+
+impl Storage {
+    /// The LR label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Storage::Tight => "tight",
+            Storage::Csr => "csr",
+            Storage::Dense => "dense",
+        }
+    }
+}
+
+/// The layerwise representation of one CONV layer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerLr {
+    /// Layer name (e.g. `conv_op1`).
+    pub name: String,
+    /// Target device.
+    pub device: Device,
+    /// Storage scheme.
+    pub storage: Storage,
+    /// Pattern types present in this layer (local pattern table ids).
+    pub pattern_types: Vec<usize>,
+    /// Weight layout label (`FKW` after filter-kernel reorder).
+    pub layout: String,
+    /// Tuning-decided parameters.
+    pub tuning: TuningConfig,
+    /// Convolution strides `[h, w]`.
+    pub strides: [usize; 2],
+    /// Dilations `[h, w]`.
+    pub dilations: [usize; 2],
+    /// Padding `[h, w]`.
+    pub pads: [usize; 2],
+}
+
+impl LayerLr {
+    /// Builds the LR for a pattern-pruned layer in FKW storage.
+    pub fn for_fkw(
+        name: &str,
+        device: Device,
+        fkw: &FkwLayer,
+        tuning: TuningConfig,
+        stride: usize,
+        pad: usize,
+    ) -> Self {
+        LayerLr {
+            name: name.to_owned(),
+            device,
+            storage: Storage::Tight,
+            pattern_types: (0..fkw.patterns.len()).collect(),
+            layout: "FKW".to_owned(),
+            tuning,
+            strides: [stride, stride],
+            dilations: [1, 1],
+            pads: [pad, pad],
+        }
+    }
+
+    /// Emits the YAML-like textual form of Figure 8.
+    pub fn emit(&self) -> String {
+        self.to_string()
+    }
+}
+
+fn fmt_list(xs: &[usize]) -> String {
+    let inner: Vec<String> = xs.iter().map(|x| x.to_string()).collect();
+    format!("[{}]", inner.join(", "))
+}
+
+impl fmt::Display for LayerLr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "device: [{}]", self.device.label())?;
+        writeln!(f, "layers:")?;
+        writeln!(f, "  - name: \"{}\"", self.name)?;
+        writeln!(f, "    storage: \"{}\"", self.storage.label())?;
+        writeln!(
+            f,
+            "    pattern: {{\"type\": {}, \"layout\": {}}}",
+            fmt_list(&self.pattern_types),
+            self.layout
+        )?;
+        writeln!(
+            f,
+            "    tuning:  {{\"unroll\": [{}, {}], \"tile\": [{}, {}], \"permute\": {}}}",
+            self.tuning.unroll_oc,
+            self.tuning.unroll_w,
+            self.tuning.tile_oc,
+            self.tuning.tile_hw,
+            self.tuning.permute.label(self.tuning.blocked)
+        )?;
+        write!(
+            f,
+            "    info:    {{\"strides\": {}, \"dilations\": {}, \"pads\": {}}}",
+            fmt_list(&self.strides),
+            fmt_list(&self.dilations),
+            fmt_list(&self.pads)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fkr::filter_kernel_reorder;
+    use patdnn_core::pattern_set::PatternSet;
+    use patdnn_core::project::prune_layer;
+    use patdnn_tensor::rng::Rng;
+    use patdnn_tensor::Tensor;
+
+    fn sample_lr() -> LayerLr {
+        let mut rng = Rng::seed_from(1);
+        let mut w = Tensor::randn(&[8, 8, 3, 3], &mut rng);
+        let set = PatternSet::standard(8);
+        let lp = prune_layer("conv_op1", &mut w, &set, 32);
+        let order = filter_kernel_reorder(&lp);
+        let fkw = FkwLayer::from_pruned(&w, &lp, &set, &order);
+        LayerLr::for_fkw(
+            "conv_op1",
+            Device::Cpu,
+            &fkw,
+            TuningConfig::tuned_default(),
+            1,
+            1,
+        )
+    }
+
+    #[test]
+    fn emission_matches_figure8_structure() {
+        let lr = sample_lr();
+        let text = lr.emit();
+        assert!(text.starts_with("device: [CPU]"));
+        assert!(text.contains("name: \"conv_op1\""));
+        assert!(text.contains("storage: \"tight\""));
+        assert!(text.contains("\"layout\": FKW"));
+        assert!(text.contains("\"permute\": cohwci_b"));
+        assert!(text.contains("\"strides\": [1, 1]"));
+    }
+
+    #[test]
+    fn pattern_types_enumerate_local_table() {
+        let lr = sample_lr();
+        assert!(!lr.pattern_types.is_empty());
+        assert_eq!(
+            lr.pattern_types,
+            (0..lr.pattern_types.len()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn labels_cover_all_variants() {
+        assert_eq!(Device::Gpu.label(), "GPU");
+        assert_eq!(Storage::Csr.label(), "csr");
+        assert_eq!(Storage::Dense.label(), "dense");
+    }
+}

@@ -1,0 +1,243 @@
+//! Register-level Load Redundancy Elimination (LRE) analysis — §5.4,
+//! Figure 11.
+//!
+//! Two register-level redundancies exist in pattern-pruned convolution:
+//!
+//! - **kernel-level**: consecutive output pixels computed by one kernel
+//!   touch overlapping input rows/columns; with the pattern known at
+//!   compile time the overlapping elements can stay in registers.
+//! - **filter-level**: kernels at the same input channel with the same
+//!   pattern in *different* filters read identical input elements; after
+//!   FKR groups them, an output-channel unroll loads them once.
+//!
+//! This module counts register loads for each elimination level; the
+//! runtime's instrumented executor independently counts actual loads and
+//! the two are cross-checked in tests. Figure 14(b) plots the
+//! [`LreLevel::None`] vs [`LreLevel::KernelFilter`] totals.
+
+use patdnn_core::pattern::Pattern;
+use patdnn_tensor::Conv2dGeometry;
+
+use crate::fkw::FkwLayer;
+
+/// Which load redundancies are eliminated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LreLevel {
+    /// No elimination: every tap of every kernel loads per output pixel.
+    None,
+    /// Kernel-level elimination only.
+    Kernel,
+    /// Kernel- plus filter-level elimination (full LRE).
+    KernelFilter,
+}
+
+/// Register-load totals for one layer execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LoadCounts {
+    /// Input (feature-map) register loads.
+    pub input_loads: u64,
+    /// Weight register loads.
+    pub weight_loads: u64,
+}
+
+impl LoadCounts {
+    /// Total register loads.
+    pub fn total(&self) -> u64 {
+        self.input_loads + self.weight_loads
+    }
+}
+
+/// Distinct input elements a pattern touches across `unroll_w` horizontally
+/// consecutive stride-1 output pixels (the kernel-level reuse window).
+fn kernel_window_loads(pattern: &Pattern, unroll_w: usize) -> u64 {
+    let k = pattern.kernel();
+    let mut total = 0u64;
+    for r in 0..k {
+        // Columns this row of the pattern touches, shifted across the
+        // unrolled outputs.
+        let mut touched = vec![false; k + unroll_w];
+        let mut any = false;
+        for c in 0..k {
+            if pattern.contains(r, c) {
+                any = true;
+                for j in 0..unroll_w {
+                    touched[c + j] = true;
+                }
+            }
+        }
+        if any {
+            total += touched.iter().filter(|&&t| t).count() as u64;
+        }
+    }
+    total
+}
+
+/// Counts register loads for executing a pattern layer in FKW storage
+/// order with the given unroll factors.
+///
+/// The model mirrors the generated code: output pixels are processed in
+/// windows of `unroll_w`, filter rows in chunks of `unroll_oc` (chunks
+/// never straddle FKR groups in the real executor, but load counts do
+/// not depend on that). Weight loads always occur once per window per
+/// stored weight — weights have no cross-window reuse.
+pub fn register_loads(
+    geo: &Conv2dGeometry,
+    fkw: &FkwLayer,
+    unroll_w: usize,
+    unroll_oc: usize,
+    level: LreLevel,
+) -> LoadCounts {
+    assert!(unroll_w >= 1 && unroll_oc >= 1, "unroll factors must be >= 1");
+    let windows_per_row = geo.out_w.div_ceil(unroll_w) as u64;
+    let windows = geo.out_h as u64 * windows_per_row;
+    let np = fkw.patterns.len();
+
+    let mut input_per_window = 0u64;
+    let mut weight_per_window = 0u64;
+
+    let rows: Vec<usize> = (0..fkw.out_c).collect();
+    for chunk in rows.chunks(unroll_oc) {
+        match level {
+            LreLevel::None | LreLevel::Kernel => {
+                for &row in chunk {
+                    for p in 0..np {
+                        let run = fkw.pattern_run(row, p).len() as u64;
+                        let entries = fkw.patterns[p].entries() as u64;
+                        weight_per_window += run * entries;
+                        input_per_window += run
+                            * match level {
+                                LreLevel::None => entries * unroll_w as u64,
+                                _ => kernel_window_loads(&fkw.patterns[p], unroll_w),
+                            };
+                    }
+                }
+            }
+            LreLevel::KernelFilter => {
+                // Input loads: distinct (pattern, input channel) kernels in
+                // the chunk load once; weights still load per filter.
+                let mut seen: std::collections::HashSet<(usize, u16)> =
+                    std::collections::HashSet::new();
+                for &row in chunk {
+                    for p in 0..np {
+                        let entries = fkw.patterns[p].entries() as u64;
+                        for k in fkw.pattern_run(row, p) {
+                            weight_per_window += entries;
+                            if seen.insert((p, fkw.index[k])) {
+                                input_per_window += kernel_window_loads(&fkw.patterns[p], unroll_w);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    LoadCounts {
+        input_loads: input_per_window * windows,
+        weight_loads: weight_per_window * windows,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fkr::{filter_kernel_reorder, FilterOrder};
+    use patdnn_core::pattern_set::PatternSet;
+    use patdnn_core::project::prune_layer;
+    use patdnn_tensor::rng::Rng;
+    use patdnn_tensor::Tensor;
+
+    fn build(oc: usize, ic: usize, hw: usize, alpha: usize, seed: u64) -> (Conv2dGeometry, FkwLayer) {
+        let mut rng = Rng::seed_from(seed);
+        let mut w = Tensor::randn(&[oc, ic, 3, 3], &mut rng);
+        let set = PatternSet::standard(8);
+        let lp = prune_layer("t", &mut w, &set, alpha);
+        let order = filter_kernel_reorder(&lp);
+        let fkw = FkwLayer::from_pruned(&w, &lp, &set, &order);
+        let geo = Conv2dGeometry::new(oc, ic, 3, 3, hw, hw, 1, 1);
+        (geo, fkw)
+    }
+
+    #[test]
+    fn no_unroll_no_kernel_gain() {
+        // With unroll_w = 1 there is no horizontal window, so kernel-level
+        // LRE equals no elimination... unless a pattern has multiple taps
+        // in the same (row, col) — impossible — so the counts match when
+        // each pattern's window loads equal its entries.
+        let (geo, fkw) = build(8, 8, 8, 32, 1);
+        let none = register_loads(&geo, &fkw, 1, 1, LreLevel::None);
+        let kernel = register_loads(&geo, &fkw, 1, 1, LreLevel::Kernel);
+        assert_eq!(none, kernel);
+    }
+
+    #[test]
+    fn kernel_lre_reduces_loads_with_unrolling() {
+        let (geo, fkw) = build(8, 8, 16, 32, 2);
+        let none = register_loads(&geo, &fkw, 4, 1, LreLevel::None);
+        let kernel = register_loads(&geo, &fkw, 4, 1, LreLevel::Kernel);
+        assert!(
+            kernel.input_loads < none.input_loads,
+            "kernel LRE must reduce input loads: {kernel:?} vs {none:?}"
+        );
+        assert_eq!(kernel.weight_loads, none.weight_loads);
+    }
+
+    #[test]
+    fn filter_lre_reduces_loads_with_oc_unrolling() {
+        let (geo, fkw) = build(16, 8, 16, 96, 3);
+        let kernel = register_loads(&geo, &fkw, 4, 4, LreLevel::Kernel);
+        let full = register_loads(&geo, &fkw, 4, 4, LreLevel::KernelFilter);
+        assert!(
+            full.input_loads < kernel.input_loads,
+            "filter LRE must reduce input loads further: {full:?} vs {kernel:?}"
+        );
+        assert_eq!(full.weight_loads, kernel.weight_loads);
+    }
+
+    #[test]
+    fn filter_lre_without_oc_unroll_matches_kernel_level() {
+        let (geo, fkw) = build(8, 8, 8, 40, 4);
+        let kernel = register_loads(&geo, &fkw, 2, 1, LreLevel::Kernel);
+        let full = register_loads(&geo, &fkw, 2, 1, LreLevel::KernelFilter);
+        assert_eq!(kernel, full, "chunks of one filter cannot share loads");
+    }
+
+    #[test]
+    fn window_loads_hand_case() {
+        // Vertical-line pattern: column 1 in all three rows plus centre
+        // column 0 (4 entries). For unroll 2 each touched row loads
+        // contiguous spans.
+        let p = Pattern::from_positions(3, &[(0, 1), (1, 0), (1, 1), (2, 1)]);
+        // Row 0: col {1} -> {1,2} = 2 loads; row 1: cols {0,1} -> {0,1,2} = 3;
+        // row 2: col {1} -> 2. Total 7.
+        assert_eq!(kernel_window_loads(&p, 2), 7);
+        // Without unrolling: exactly the 4 entries.
+        assert_eq!(kernel_window_loads(&p, 1), 4);
+    }
+
+    #[test]
+    fn loads_scale_with_output_size() {
+        let (geo8, fkw) = build(8, 8, 8, 32, 5);
+        let geo16 = Conv2dGeometry::new(8, 8, 3, 3, 16, 16, 1, 1);
+        let small = register_loads(&geo8, &fkw, 2, 2, LreLevel::KernelFilter);
+        let large = register_loads(&geo16, &fkw, 2, 2, LreLevel::KernelFilter);
+        let ratio = large.total() as f64 / small.total() as f64;
+        assert!((ratio - 4.0).abs() < 0.2, "ratio {ratio}");
+    }
+
+    #[test]
+    fn identity_vs_reordered_storage_same_none_counts() {
+        // Without filter-level sharing, load counts are storage-order
+        // independent.
+        let mut rng = Rng::seed_from(6);
+        let mut w = Tensor::randn(&[8, 8, 3, 3], &mut rng);
+        let set = PatternSet::standard(8);
+        let lp = prune_layer("t", &mut w, &set, 32);
+        let geo = Conv2dGeometry::new(8, 8, 3, 3, 8, 8, 1, 1);
+        let a = FkwLayer::from_pruned(&w, &lp, &set, &FilterOrder::identity(&lp));
+        let b = FkwLayer::from_pruned(&w, &lp, &set, &filter_kernel_reorder(&lp));
+        let la = register_loads(&geo, &a, 2, 1, LreLevel::Kernel);
+        let lb = register_loads(&geo, &b, 2, 1, LreLevel::Kernel);
+        assert_eq!(la, lb);
+    }
+}

@@ -1,0 +1,303 @@
+//! Graph optimization passes (the TVM-like stage of §5, Table 1).
+//!
+//! Implemented passes: batch-norm folding into the preceding convolution
+//! (constant folding of the affine pair), ReLU fusion into convolutions,
+//! identity elimination, and dead-node elimination.
+
+use crate::graph::{Graph, Op};
+
+/// Before/after node counts of one pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PassReport {
+    /// Pass name.
+    pub pass: String,
+    /// Node count before.
+    pub before: usize,
+    /// Node count after (identity nodes still count until DCE).
+    pub after: usize,
+}
+
+/// Folds `Conv → BatchNorm` pairs: the BN affine transform is absorbed
+/// into the conv weights/bias (when materialized) and the BN node becomes
+/// an identity. Only fires when the conv's sole user is the BN.
+pub fn fold_batchnorm(g: &mut Graph) -> PassReport {
+    let before = live_nodes(g);
+    for bn_id in 0..g.nodes.len() {
+        let Op::BatchNorm { scale, shift } = &g.nodes[bn_id].op else {
+            continue;
+        };
+        let (scale, shift) = (scale.clone(), shift.clone());
+        let [conv_id] = g.nodes[bn_id].inputs[..] else {
+            continue;
+        };
+        if !matches!(g.nodes[conv_id].op, Op::Conv { .. }) || g.users(conv_id).len() != 1 {
+            continue;
+        }
+        // Fold the affine pair into the convolution.
+        if let Op::Conv {
+            out_c,
+            in_c,
+            kernel,
+            weights,
+            bias,
+            ..
+        } = &mut g.nodes[conv_id].op
+        {
+            if scale.len() != *out_c {
+                continue;
+            }
+            if let Some(w) = weights {
+                let fsize = *in_c * *kernel * *kernel;
+                for oc in 0..*out_c {
+                    for v in &mut w.data_mut()[oc * fsize..(oc + 1) * fsize] {
+                        *v *= scale[oc];
+                    }
+                }
+            }
+            let new_bias: Vec<f32> = match bias {
+                Some(b) => b
+                    .iter()
+                    .zip(scale.iter().zip(&shift))
+                    .map(|(&b, (&s, &t))| b * s + t)
+                    .collect(),
+                None => shift.clone(),
+            };
+            *bias = Some(new_bias);
+        }
+        // The BN node becomes an identity feeding its users.
+        g.nodes[bn_id].op = Op::Identity;
+    }
+    eliminate_identities(g);
+    PassReport {
+        pass: "fold_batchnorm".into(),
+        before,
+        after: live_nodes(g),
+    }
+}
+
+/// Fuses `Conv → ReLU` pairs by setting the conv's `fused_relu` flag.
+/// Only fires when the conv's sole user is the ReLU.
+pub fn fuse_relu(g: &mut Graph) -> PassReport {
+    let before = live_nodes(g);
+    for relu_id in 0..g.nodes.len() {
+        if !matches!(g.nodes[relu_id].op, Op::Relu) {
+            continue;
+        }
+        let [conv_id] = g.nodes[relu_id].inputs[..] else {
+            continue;
+        };
+        if g.users(conv_id).len() != 1 {
+            continue;
+        }
+        if let Op::Conv { fused_relu, .. } = &mut g.nodes[conv_id].op {
+            *fused_relu = true;
+            g.nodes[relu_id].op = Op::Identity;
+        }
+    }
+    eliminate_identities(g);
+    PassReport {
+        pass: "fuse_relu".into(),
+        before,
+        after: live_nodes(g),
+    }
+}
+
+/// Rewires edges around identity nodes so they become dead.
+pub fn eliminate_identities(g: &mut Graph) {
+    for id in 0..g.nodes.len() {
+        if !matches!(g.nodes[id].op, Op::Identity) {
+            continue;
+        }
+        let [src] = g.nodes[id].inputs[..] else {
+            continue;
+        };
+        for user in g.users(id) {
+            for input in &mut g.nodes[user].inputs {
+                if *input == id {
+                    *input = src;
+                }
+            }
+        }
+        if g.output == id {
+            g.output = src;
+        }
+        // Drop the identity's own edge so it no longer counts as a user
+        // of its producer (it is dead now).
+        g.nodes[id].inputs.clear();
+    }
+}
+
+/// Removes nodes unreachable from the output, compacting indices.
+pub fn eliminate_dead_nodes(g: &mut Graph) -> PassReport {
+    let before = g.nodes.len();
+    let mut live = vec![false; g.nodes.len()];
+    let mut stack = vec![g.output];
+    while let Some(id) = stack.pop() {
+        if live[id] {
+            continue;
+        }
+        live[id] = true;
+        stack.extend(&g.nodes[id].inputs);
+    }
+    let mut remap = vec![usize::MAX; g.nodes.len()];
+    let mut new_nodes = Vec::with_capacity(live.iter().filter(|&&l| l).count());
+    for (id, node) in g.nodes.iter().enumerate() {
+        if live[id] {
+            remap[id] = new_nodes.len();
+            new_nodes.push(node.clone());
+        }
+    }
+    for node in &mut new_nodes {
+        for input in &mut node.inputs {
+            *input = remap[*input];
+            assert_ne!(*input, usize::MAX, "live node fed by dead node");
+        }
+    }
+    g.output = remap[g.output];
+    g.nodes = new_nodes;
+    PassReport {
+        pass: "dead_node_elimination".into(),
+        before,
+        after: g.nodes.len(),
+    }
+}
+
+fn live_nodes(g: &Graph) -> usize {
+    g.nodes
+        .iter()
+        .filter(|n| !matches!(n.op, Op::Identity))
+        .count()
+}
+
+/// Runs the full pass pipeline in order, returning per-pass reports.
+pub fn optimize(g: &mut Graph) -> Vec<PassReport> {
+    let mut reports = vec![fold_batchnorm(g), fuse_relu(g)];
+    reports.push(eliminate_dead_nodes(g));
+    assert!(g.is_topologically_sorted(), "passes must preserve topology");
+    reports
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use patdnn_tensor::rng::Rng;
+    use patdnn_tensor::Tensor;
+
+    #[test]
+    fn conv_bn_relu_chain_collapses_to_fused_convs() {
+        let mut g = Graph::conv_chain(
+            &[1, 3, 16, 16],
+            &[("c1", 8, 3, 3, 1, 1), ("c2", 8, 8, 3, 1, 1)],
+            true,
+            true,
+        );
+        let reports = optimize(&mut g);
+        assert_eq!(g.count_kind("batchnorm"), 0);
+        assert_eq!(g.count_kind("relu"), 0);
+        assert_eq!(g.count_kind("conv"), 2);
+        // input + 2 fused convs
+        assert_eq!(g.nodes.len(), 3);
+        for n in &g.nodes {
+            if let Op::Conv { fused_relu, bias, .. } = &n.op {
+                assert!(*fused_relu, "relu fused into {}", n.name);
+                assert!(bias.is_some(), "bn folded into bias of {}", n.name);
+            }
+        }
+        assert_eq!(reports.len(), 3);
+        assert!(reports.iter().all(|r| r.after <= r.before));
+    }
+
+    #[test]
+    fn bn_fold_preserves_semantics_on_materialized_weights() {
+        // y = BN(conv(x)) must equal conv'(x) after folding.
+        let mut rng = Rng::seed_from(1);
+        let weights = Tensor::randn(&[2, 1, 3, 3], &mut rng);
+        let scale = vec![2.0f32, 0.5];
+        let shift = vec![0.25f32, -1.0];
+
+        let mut g = Graph::with_input(&[1, 1, 5, 5]);
+        let conv = g.push(
+            "c",
+            Op::Conv {
+                out_c: 2,
+                in_c: 1,
+                kernel: 3,
+                stride: 1,
+                pad: 1,
+                weights: Some(weights.clone()),
+                bias: Some(vec![0.1, 0.2]),
+                fused_relu: false,
+            },
+            &[0],
+        );
+        g.push(
+            "bn",
+            Op::BatchNorm {
+                scale: scale.clone(),
+                shift: shift.clone(),
+            },
+            &[conv],
+        );
+        fold_batchnorm(&mut g);
+        eliminate_dead_nodes(&mut g);
+
+        let x = Tensor::randn(&[1, 1, 5, 5], &mut rng);
+        let geo = patdnn_tensor::Conv2dGeometry::new(2, 1, 3, 3, 5, 5, 1, 1);
+        // Reference: conv then affine.
+        let ref_out = patdnn_tensor::conv2d_ref(&x, &weights, Some(&[0.1, 0.2]), &geo);
+        let mut expect = ref_out.clone();
+        let hw = 25;
+        for oc in 0..2 {
+            for v in &mut expect.data_mut()[oc * hw..(oc + 1) * hw] {
+                *v = *v * scale[oc] + shift[oc];
+            }
+        }
+        // Folded: conv with scaled weights and folded bias.
+        let Op::Conv { weights: Some(fw), bias: Some(fb), .. } = &g.nodes[1].op else {
+            panic!("conv survived folding");
+        };
+        let folded_out = patdnn_tensor::conv2d_ref(&x, fw, Some(fb), &geo);
+        assert!(
+            expect.approx_eq(&folded_out, 1e-4),
+            "diff {:?}",
+            expect.max_abs_diff(&folded_out)
+        );
+    }
+
+    #[test]
+    fn relu_with_multiple_users_is_not_fused() {
+        let mut g = Graph::with_input(&[1, 1, 4, 4]);
+        let conv = g.push(
+            "c",
+            Op::Conv {
+                out_c: 1,
+                in_c: 1,
+                kernel: 3,
+                stride: 1,
+                pad: 1,
+                weights: None,
+                bias: None,
+                fused_relu: false,
+            },
+            &[0],
+        );
+        let relu = g.push("r", Op::Relu, &[conv]);
+        // Second consumer of the conv: an Add joining conv and relu.
+        g.push("join", Op::Add, &[conv, relu]);
+        fuse_relu(&mut g);
+        assert_eq!(g.count_kind("relu"), 1, "fusion must not fire");
+    }
+
+    #[test]
+    fn dead_nodes_are_removed() {
+        let mut g = Graph::with_input(&[1, 1, 4, 4]);
+        let live = g.push("live", Op::Relu, &[0]);
+        g.push("dead", Op::Relu, &[0]);
+        g.output = live;
+        let report = eliminate_dead_nodes(&mut g);
+        assert_eq!(report.before, 3);
+        assert_eq!(report.after, 2);
+        assert!(g.nodes.iter().all(|n| n.name != "dead"));
+        assert!(g.is_topologically_sorted());
+    }
+}

@@ -1,0 +1,167 @@
+//! MLP performance estimator.
+//!
+//! "During the exploration, history data is also collected for training
+//! the performance estimator (based on Multilayer Perceptron and least
+//! square regression loss). [...] when deploying PatDNN on a new
+//! platform, it can give a quick prediction of the optimal configuration
+//! parameters as well as the possible execution time" (§5.5).
+
+use patdnn_nn::activation::Relu;
+use patdnn_nn::layer::{Layer, Mode};
+use patdnn_nn::linear::Linear;
+use patdnn_nn::network::Sequential;
+use patdnn_nn::optim::{Adam, Optimizer};
+use patdnn_tensor::rng::Rng;
+use patdnn_tensor::Tensor;
+
+/// A small MLP regressor mapping tuning-config features to predicted
+/// execution cost, trained with least-squares loss.
+pub struct PerfEstimator {
+    net: Sequential,
+    feat_dim: usize,
+    /// Normalization: mean of targets seen during fitting.
+    target_mean: f32,
+    /// Normalization: standard deviation of targets.
+    target_std: f32,
+}
+
+impl PerfEstimator {
+    /// Creates an untrained estimator for `feat_dim`-dimensional features.
+    pub fn new(feat_dim: usize, rng: &mut Rng) -> Self {
+        let mut net = Sequential::new("perf_mlp");
+        net.push(Linear::new("h1", 32, feat_dim, rng));
+        net.push(Relu::new("a1"));
+        net.push(Linear::new("h2", 16, 32, rng));
+        net.push(Relu::new("a2"));
+        net.push(Linear::new("out", 1, 16, rng));
+        PerfEstimator {
+            net,
+            feat_dim,
+            target_mean: 0.0,
+            target_std: 1.0,
+        }
+    }
+
+    /// Fits the estimator on `(features, cost)` history with mini-batch
+    /// Adam and mean-squared-error loss.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `xs` and `ys` disagree in length, are empty, or any
+    /// feature vector has the wrong dimension.
+    pub fn fit(&mut self, xs: &[Vec<f32>], ys: &[f64], epochs: usize, rng: &mut Rng) {
+        assert_eq!(xs.len(), ys.len(), "one target per feature vector");
+        assert!(!xs.is_empty(), "cannot fit on empty history");
+        for x in xs {
+            assert_eq!(x.len(), self.feat_dim, "feature dimension mismatch");
+        }
+        // Normalize targets for stable regression.
+        let mean = ys.iter().sum::<f64>() / ys.len() as f64;
+        let var = ys.iter().map(|y| (y - mean) * (y - mean)).sum::<f64>() / ys.len() as f64;
+        self.target_mean = mean as f32;
+        self.target_std = (var.sqrt() as f32).max(1e-6);
+
+        let mut opt = Adam::new(5e-3);
+        let n = xs.len();
+        let batch = 16.min(n);
+        for _ in 0..epochs {
+            let mut order: Vec<usize> = (0..n).collect();
+            rng.shuffle(&mut order);
+            for chunk in order.chunks(batch) {
+                let mut xbuf = Vec::with_capacity(chunk.len() * self.feat_dim);
+                let mut tbuf = Vec::with_capacity(chunk.len());
+                for &i in chunk {
+                    xbuf.extend_from_slice(&xs[i]);
+                    tbuf.push((ys[i] as f32 - self.target_mean) / self.target_std);
+                }
+                let x = Tensor::from_vec(&[chunk.len(), self.feat_dim], xbuf)
+                    .expect("batch assembly");
+                self.net.zero_grads();
+                let pred = self.net.forward(&x, Mode::Train);
+                // MSE gradient: 2 (pred - target) / n.
+                let mut grad = pred.clone();
+                for (g, &t) in grad.data_mut().iter_mut().zip(&tbuf) {
+                    *g = 2.0 * (*g - t) / chunk.len() as f32;
+                }
+                self.net.backward(&grad);
+                opt.step(&mut self.net);
+            }
+        }
+    }
+
+    /// Predicts the cost of a feature vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the feature dimension differs from construction.
+    pub fn predict(&mut self, x: &[f32]) -> f64 {
+        assert_eq!(x.len(), self.feat_dim, "feature dimension mismatch");
+        let t = Tensor::from_vec(&[1, self.feat_dim], x.to_vec()).expect("single row");
+        let y = self.net.forward(&t, Mode::Eval);
+        (y.data()[0] * self.target_std + self.target_mean) as f64
+    }
+
+    /// Mean squared error on a held-out set.
+    pub fn mse(&mut self, xs: &[Vec<f32>], ys: &[f64]) -> f64 {
+        assert_eq!(xs.len(), ys.len(), "one target per feature vector");
+        let mut acc = 0.0f64;
+        for (x, &y) in xs.iter().zip(ys) {
+            let p = self.predict(x);
+            acc += (p - y) * (p - y);
+        }
+        acc / xs.len().max(1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A smooth synthetic cost over 6 features.
+    fn cost(x: &[f32]) -> f64 {
+        (1.0 + x[0] as f64) * 2.0 + (x[2] as f64 - 0.5).powi(2) * 8.0 + x[4] as f64 * 3.0
+    }
+
+    fn dataset(n: usize, rng: &mut Rng) -> (Vec<Vec<f32>>, Vec<f64>) {
+        let xs: Vec<Vec<f32>> = (0..n)
+            .map(|_| (0..6).map(|_| rng.next_f32()).collect())
+            .collect();
+        let ys: Vec<f64> = xs.iter().map(|x| cost(x)).collect();
+        (xs, ys)
+    }
+
+    #[test]
+    fn estimator_learns_a_smooth_cost_surface() {
+        let mut rng = Rng::seed_from(1);
+        let (xs, ys) = dataset(200, &mut rng);
+        let (xt, yt) = dataset(50, &mut rng);
+        let mut est = PerfEstimator::new(6, &mut rng);
+        let before = est.mse(&xt, &yt);
+        est.fit(&xs, &ys, 60, &mut rng);
+        let after = est.mse(&xt, &yt);
+        assert!(
+            after < before * 0.2,
+            "MSE should drop: before {before}, after {after}"
+        );
+    }
+
+    #[test]
+    fn estimator_ranks_configs_correctly() {
+        let mut rng = Rng::seed_from(2);
+        let (xs, ys) = dataset(300, &mut rng);
+        let mut est = PerfEstimator::new(6, &mut rng);
+        est.fit(&xs, &ys, 80, &mut rng);
+        // A clearly-cheap point vs a clearly-expensive point.
+        let cheap = vec![0.0, 0.0, 0.5, 0.0, 0.0, 0.0];
+        let pricey = vec![1.0, 0.0, 1.0, 0.0, 1.0, 0.0];
+        assert!(est.predict(&cheap) < est.predict(&pricey));
+    }
+
+    #[test]
+    #[should_panic(expected = "feature dimension mismatch")]
+    fn wrong_dimension_panics() {
+        let mut rng = Rng::seed_from(3);
+        let mut est = PerfEstimator::new(6, &mut rng);
+        est.predict(&[0.0; 4]);
+    }
+}

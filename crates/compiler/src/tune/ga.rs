@@ -1,0 +1,258 @@
+//! Genetic-Algorithm configuration explorer.
+//!
+//! "Compared with the simulated annealing in TVM, our explorer model
+//! supports better parallelism because it allows the initialization of an
+//! arbitrary number of chromosomes to start the search" (§5.5).
+
+use std::collections::HashMap;
+
+use patdnn_tensor::rng::Rng;
+
+use super::space::{ConfigSpace, TuningConfig};
+
+/// Genetic-algorithm hyperparameters.
+#[derive(Debug, Clone)]
+pub struct GaConfig {
+    /// Chromosomes per generation.
+    pub population: usize,
+    /// Number of generations.
+    pub generations: usize,
+    /// Per-gene mutation probability.
+    pub mutation_rate: f64,
+    /// Tournament size for parent selection.
+    pub tournament: usize,
+    /// Number of best chromosomes copied unchanged to the next
+    /// generation.
+    pub elitism: usize,
+}
+
+impl Default for GaConfig {
+    fn default() -> Self {
+        GaConfig {
+            population: 24,
+            generations: 12,
+            mutation_rate: 0.15,
+            tournament: 3,
+            elitism: 2,
+        }
+    }
+}
+
+/// Result of one GA exploration.
+#[derive(Debug, Clone)]
+pub struct GaOutcome {
+    /// The best configuration found.
+    pub best: TuningConfig,
+    /// Its cost.
+    pub best_cost: f64,
+    /// Best cost per generation (non-increasing).
+    pub history: Vec<f64>,
+    /// Number of distinct configurations evaluated.
+    pub evaluations: usize,
+}
+
+/// The explorer itself.
+#[derive(Debug, Clone, Default)]
+pub struct GaExplorer {
+    cfg: GaConfig,
+}
+
+impl GaExplorer {
+    /// Creates an explorer.
+    pub fn new(cfg: GaConfig) -> Self {
+        GaExplorer { cfg }
+    }
+
+    /// Minimizes `eval` over the space. Costs are memoized, so `eval` is
+    /// called once per distinct configuration.
+    pub fn optimize(
+        &self,
+        space: &ConfigSpace,
+        mut eval: impl FnMut(&TuningConfig) -> f64,
+        rng: &mut Rng,
+    ) -> GaOutcome {
+        let dims = space.dims();
+        let mut cache: HashMap<Vec<usize>, f64> = HashMap::new();
+        let mut cost_of = |genes: &Vec<usize>, space: &ConfigSpace| -> f64 {
+            if let Some(&c) = cache.get(genes) {
+                return c;
+            }
+            let c = eval(&space.decode(genes));
+            cache.insert(genes.clone(), c);
+            c
+        };
+
+        let mut population: Vec<Vec<usize>> = (0..self.cfg.population)
+            .map(|_| space.random_genes(rng))
+            .collect();
+        let mut history = Vec::with_capacity(self.cfg.generations);
+
+        for _gen in 0..self.cfg.generations {
+            let mut scored: Vec<(Vec<usize>, f64)> = population
+                .iter()
+                .map(|g| (g.clone(), cost_of(g, space)))
+                .collect();
+            scored.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite costs"));
+            history.push(scored[0].1);
+
+            let mut next: Vec<Vec<usize>> = scored
+                .iter()
+                .take(self.cfg.elitism)
+                .map(|(g, _)| g.clone())
+                .collect();
+            while next.len() < self.cfg.population {
+                let parent_a = self.tournament_pick(&scored, rng);
+                let parent_b = self.tournament_pick(&scored, rng);
+                let mut child = crossover(parent_a, parent_b, rng);
+                mutate(&mut child, &dims, self.cfg.mutation_rate, rng);
+                next.push(child);
+            }
+            population = next;
+        }
+
+        let (best_genes, best_cost) = population
+            .iter()
+            .map(|g| (g.clone(), cost_of(g, space)))
+            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite costs"))
+            .expect("population non-empty");
+        // History might not include the final generation's improvement.
+        if history.last().copied().unwrap_or(f64::INFINITY) > best_cost {
+            history.push(best_cost);
+        }
+        GaOutcome {
+            best: space.decode(&best_genes),
+            best_cost,
+            history,
+            evaluations: cache.len(),
+        }
+    }
+
+    fn tournament_pick<'p>(
+        &self,
+        scored: &'p [(Vec<usize>, f64)],
+        rng: &mut Rng,
+    ) -> &'p Vec<usize> {
+        let mut best: Option<&(Vec<usize>, f64)> = None;
+        for _ in 0..self.cfg.tournament.max(1) {
+            let cand = &scored[rng.below(scored.len())];
+            if best.is_none_or(|b| cand.1 < b.1) {
+                best = Some(cand);
+            }
+        }
+        &best.expect("tournament non-empty").0
+    }
+}
+
+fn crossover(a: &[usize], b: &[usize], rng: &mut Rng) -> Vec<usize> {
+    a.iter()
+        .zip(b)
+        .map(|(&ga, &gb)| if rng.chance(0.5) { ga } else { gb })
+        .collect()
+}
+
+fn mutate(genes: &mut [usize], dims: &[usize], rate: f64, rng: &mut Rng) {
+    for (g, &d) in genes.iter_mut().zip(dims) {
+        if rng.chance(rate) {
+            *g = rng.below(d);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Synthetic cost with a unique optimum at a known configuration.
+    fn synthetic_cost(cfg: &TuningConfig) -> f64 {
+        let mut cost = 10.0;
+        // Optimum: CoHwCi, blocked, tile_oc 32, tile_hw 16, unroll 4/4.
+        if cfg.permute != super::super::space::LoopPermutation::CoHwCi {
+            cost += 3.0;
+        }
+        if !cfg.blocked {
+            cost += 2.0;
+        }
+        cost += ((cfg.tile_oc as f64).log2() - 5.0).abs();
+        cost += ((cfg.tile_hw as f64).log2() - 4.0).abs();
+        cost += ((cfg.unroll_oc as f64).log2() - 2.0).abs();
+        cost += ((cfg.unroll_w as f64).log2() - 2.0).abs();
+        cost
+    }
+
+    #[test]
+    fn ga_finds_the_optimum_on_a_smooth_landscape() {
+        let space = ConfigSpace::standard();
+        let explorer = GaExplorer::new(GaConfig {
+            population: 30,
+            generations: 20,
+            ..GaConfig::default()
+        });
+        let mut rng = Rng::seed_from(42);
+        let out = explorer.optimize(&space, synthetic_cost, &mut rng);
+        assert!(
+            (out.best_cost - 10.0).abs() < 1e-9,
+            "best {:?} cost {}",
+            out.best,
+            out.best_cost
+        );
+        assert_eq!(out.best.tile_oc, 32);
+        assert_eq!(out.best.unroll_w, 4);
+    }
+
+    #[test]
+    fn history_is_monotone_non_increasing() {
+        let space = ConfigSpace::standard();
+        let explorer = GaExplorer::new(GaConfig::default());
+        let mut rng = Rng::seed_from(7);
+        let out = explorer.optimize(&space, synthetic_cost, &mut rng);
+        for pair in out.history.windows(2) {
+            assert!(pair[0] >= pair[1] - 1e-12, "history regressed: {:?}", out.history);
+        }
+    }
+
+    #[test]
+    fn memoization_bounds_evaluations() {
+        let space = ConfigSpace::standard();
+        let explorer = GaExplorer::new(GaConfig {
+            population: 16,
+            generations: 10,
+            ..GaConfig::default()
+        });
+        let mut rng = Rng::seed_from(8);
+        let mut calls = 0usize;
+        let out = explorer.optimize(
+            &space,
+            |c| {
+                calls += 1;
+                synthetic_cost(c)
+            },
+            &mut rng,
+        );
+        assert_eq!(calls, out.evaluations);
+        assert!(calls <= 16 * 11, "evaluations {calls} exceed population x generations");
+        assert!(calls < space.len(), "GA must not enumerate the whole space");
+    }
+
+    #[test]
+    fn beats_random_search_with_equal_budget() {
+        let space = ConfigSpace::standard();
+        let mut rng = Rng::seed_from(9);
+        let explorer = GaExplorer::new(GaConfig {
+            population: 20,
+            generations: 8,
+            ..GaConfig::default()
+        });
+        let out = explorer.optimize(&space, synthetic_cost, &mut rng);
+        // Random search with the same evaluation budget.
+        let mut best_random = f64::INFINITY;
+        for _ in 0..out.evaluations {
+            let genes = space.random_genes(&mut rng);
+            best_random = best_random.min(synthetic_cost(&space.decode(&genes)));
+        }
+        assert!(
+            out.best_cost <= best_random,
+            "GA {} vs random {best_random}",
+            out.best_cost
+        );
+    }
+}

@@ -1,0 +1,17 @@
+//! Parameter auto-tuning (§5.5).
+//!
+//! "It consists of two parts: first, an explorer model based on Genetic
+//! Algorithm to generate the configuration exploration space; and second,
+//! a performance estimation model created from our historical data to
+//! predict the possible best configuration and performance for a given
+//! hardware."
+
+pub mod estimator;
+pub mod ga;
+pub mod space;
+pub mod tuner;
+
+pub use estimator::PerfEstimator;
+pub use ga::{GaConfig, GaExplorer};
+pub use space::{ConfigSpace, LoopPermutation, TuningConfig};
+pub use tuner::{AutoTuner, TuningResult};

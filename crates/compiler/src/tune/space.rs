@@ -1,0 +1,236 @@
+//! The tuning configuration space: loop permutations, blocking, tiling
+//! and unrolling factors (the knobs of Figures 13 and 15).
+
+use patdnn_tensor::rng::Rng;
+
+/// Computation loop order of a convolution layer.
+///
+/// The paper's Figure 15 sweeps `CoCiHW` and `CoHWCi` (output channel /
+/// input channel / spatial orderings), each with and without blocking;
+/// the LR example (Figure 8) selects `cohwci_b`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LoopPermutation {
+    /// Output channel, then input channel, then spatial (`CoCiHW`).
+    CoCiHw,
+    /// Output channel, then spatial, then input channel (`CoHWCi`).
+    CoHwCi,
+}
+
+impl LoopPermutation {
+    /// Label in the paper's notation, with `_b` appended when blocked.
+    pub fn label(&self, blocked: bool) -> String {
+        let base = match self {
+            LoopPermutation::CoCiHw => "cocihw",
+            LoopPermutation::CoHwCi => "cohwci",
+        };
+        if blocked {
+            format!("{base}_b")
+        } else {
+            base.to_owned()
+        }
+    }
+
+    /// All permutations.
+    pub fn all() -> [LoopPermutation; 2] {
+        [LoopPermutation::CoCiHw, LoopPermutation::CoHwCi]
+    }
+}
+
+/// One point in the tuning space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TuningConfig {
+    /// Loop order.
+    pub permute: LoopPermutation,
+    /// Whether loop tiling ("blocking") is applied.
+    pub blocked: bool,
+    /// Output-channel tile size.
+    pub tile_oc: usize,
+    /// Spatial tile size (applied to output rows).
+    pub tile_hw: usize,
+    /// Output-channel unroll factor (enables filter-level LRE).
+    pub unroll_oc: usize,
+    /// Output-width unroll factor (enables kernel-level LRE).
+    pub unroll_w: usize,
+}
+
+impl TuningConfig {
+    /// A sensible untuned default (what the executor uses before
+    /// auto-tuning runs).
+    pub fn baseline() -> Self {
+        TuningConfig {
+            permute: LoopPermutation::CoCiHw,
+            blocked: false,
+            tile_oc: 16,
+            tile_hw: 16,
+            unroll_oc: 1,
+            unroll_w: 1,
+        }
+    }
+
+    /// The paper's LR-example-style tuned configuration.
+    pub fn tuned_default() -> Self {
+        TuningConfig {
+            permute: LoopPermutation::CoHwCi,
+            blocked: true,
+            tile_oc: 16,
+            tile_hw: 32,
+            unroll_oc: 4,
+            unroll_w: 8,
+        }
+    }
+
+    /// Normalized feature vector for the MLP performance estimator.
+    pub fn features(&self) -> Vec<f32> {
+        vec![
+            match self.permute {
+                LoopPermutation::CoCiHw => 0.0,
+                LoopPermutation::CoHwCi => 1.0,
+            },
+            if self.blocked { 1.0 } else { 0.0 },
+            (self.tile_oc as f32).log2() / 8.0,
+            (self.tile_hw as f32).log2() / 8.0,
+            (self.unroll_oc as f32).log2() / 4.0,
+            (self.unroll_w as f32).log2() / 4.0,
+        ]
+    }
+}
+
+/// The discrete choices per tuning dimension.
+#[derive(Debug, Clone)]
+pub struct ConfigSpace {
+    permutes: Vec<LoopPermutation>,
+    blocked: Vec<bool>,
+    tile_oc: Vec<usize>,
+    tile_hw: Vec<usize>,
+    unroll_oc: Vec<usize>,
+    unroll_w: Vec<usize>,
+}
+
+impl ConfigSpace {
+    /// The standard space used throughout the reproduction.
+    pub fn standard() -> Self {
+        ConfigSpace {
+            permutes: LoopPermutation::all().to_vec(),
+            blocked: vec![false, true],
+            tile_oc: vec![8, 16, 32, 64],
+            tile_hw: vec![8, 16, 32],
+            unroll_oc: vec![1, 2, 4, 8],
+            unroll_w: vec![1, 2, 4, 8],
+        }
+    }
+
+    /// Cardinality of each gene dimension, for the GA encoding.
+    pub fn dims(&self) -> Vec<usize> {
+        vec![
+            self.permutes.len(),
+            self.blocked.len(),
+            self.tile_oc.len(),
+            self.tile_hw.len(),
+            self.unroll_oc.len(),
+            self.unroll_w.len(),
+        ]
+    }
+
+    /// Total number of configurations.
+    pub fn len(&self) -> usize {
+        self.dims().iter().product()
+    }
+
+    /// Returns `true` if the space is degenerate (never for `standard`).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Decodes a GA gene vector into a configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `genes` has the wrong arity or an out-of-range gene.
+    pub fn decode(&self, genes: &[usize]) -> TuningConfig {
+        assert_eq!(genes.len(), 6, "six tuning genes expected");
+        TuningConfig {
+            permute: self.permutes[genes[0]],
+            blocked: self.blocked[genes[1]],
+            tile_oc: self.tile_oc[genes[2]],
+            tile_hw: self.tile_hw[genes[3]],
+            unroll_oc: self.unroll_oc[genes[4]],
+            unroll_w: self.unroll_w[genes[5]],
+        }
+    }
+
+    /// Uniformly samples a gene vector.
+    pub fn random_genes(&self, rng: &mut Rng) -> Vec<usize> {
+        self.dims().iter().map(|&d| rng.below(d)).collect()
+    }
+
+    /// Enumerates every configuration in the space.
+    pub fn enumerate(&self) -> Vec<TuningConfig> {
+        let dims = self.dims();
+        let mut out = Vec::with_capacity(self.len());
+        let mut genes = vec![0usize; dims.len()];
+        loop {
+            out.push(self.decode(&genes));
+            // Odometer increment.
+            let mut i = dims.len();
+            loop {
+                if i == 0 {
+                    return out;
+                }
+                i -= 1;
+                genes[i] += 1;
+                if genes[i] < dims[i] {
+                    break;
+                }
+                genes[i] = 0;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_space_size() {
+        let space = ConfigSpace::standard();
+        assert_eq!(space.len(), 2 * 2 * 4 * 3 * 4 * 4);
+        assert_eq!(space.enumerate().len(), space.len());
+    }
+
+    #[test]
+    fn enumerate_has_no_duplicates() {
+        let space = ConfigSpace::standard();
+        let mut all = space.enumerate();
+        let before = all.len();
+        all.sort_by_key(|c| format!("{c:?}"));
+        all.dedup();
+        assert_eq!(all.len(), before);
+    }
+
+    #[test]
+    fn decode_random_genes_is_total() {
+        let space = ConfigSpace::standard();
+        let mut rng = Rng::seed_from(1);
+        for _ in 0..100 {
+            let genes = space.random_genes(&mut rng);
+            let cfg = space.decode(&genes);
+            assert!(cfg.tile_oc >= 8 && cfg.tile_oc <= 64);
+        }
+    }
+
+    #[test]
+    fn labels_match_paper_notation() {
+        assert_eq!(LoopPermutation::CoHwCi.label(true), "cohwci_b");
+        assert_eq!(LoopPermutation::CoCiHw.label(false), "cocihw");
+    }
+
+    #[test]
+    fn features_are_bounded() {
+        for cfg in ConfigSpace::standard().enumerate() {
+            for f in cfg.features() {
+                assert!((0.0..=1.0).contains(&f), "feature {f} out of range for {cfg:?}");
+            }
+        }
+    }
+}

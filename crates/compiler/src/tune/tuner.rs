@@ -1,0 +1,158 @@
+//! The auto-tuner orchestration: GA exploration with history collection
+//! and estimator hand-off.
+
+use patdnn_tensor::rng::Rng;
+
+use super::estimator::PerfEstimator;
+use super::ga::{GaConfig, GaExplorer};
+use super::space::{ConfigSpace, TuningConfig};
+
+/// Result of tuning one layer.
+#[derive(Debug, Clone)]
+pub struct TuningResult {
+    /// The best configuration found.
+    pub best: TuningConfig,
+    /// Its measured cost (e.g. seconds, simulated cycles).
+    pub best_cost: f64,
+    /// Number of measurements taken.
+    pub measurements: usize,
+}
+
+/// Explores the configuration space per layer, recording every
+/// measurement as history for the performance estimator.
+pub struct AutoTuner {
+    space: ConfigSpace,
+    ga: GaConfig,
+    history: Vec<(TuningConfig, f64)>,
+}
+
+impl AutoTuner {
+    /// Creates a tuner over the standard space.
+    pub fn new() -> Self {
+        AutoTuner {
+            space: ConfigSpace::standard(),
+            ga: GaConfig::default(),
+            history: Vec::new(),
+        }
+    }
+
+    /// Creates a tuner with explicit space and GA settings.
+    pub fn with_config(space: ConfigSpace, ga: GaConfig) -> Self {
+        AutoTuner {
+            space,
+            ga,
+            history: Vec::new(),
+        }
+    }
+
+    /// The configuration space being explored.
+    pub fn space(&self) -> &ConfigSpace {
+        &self.space
+    }
+
+    /// All `(config, cost)` measurements collected so far.
+    pub fn history(&self) -> &[(TuningConfig, f64)] {
+        &self.history
+    }
+
+    /// Tunes one layer by GA over the measured cost function.
+    pub fn tune(
+        &mut self,
+        mut measure: impl FnMut(&TuningConfig) -> f64,
+        rng: &mut Rng,
+    ) -> TuningResult {
+        let explorer = GaExplorer::new(self.ga.clone());
+        let history = &mut self.history;
+        let out = explorer.optimize(
+            &self.space,
+            |cfg| {
+                let cost = measure(cfg);
+                history.push((*cfg, cost));
+                cost
+            },
+            rng,
+        );
+        TuningResult {
+            best: out.best,
+            best_cost: out.best_cost,
+            measurements: out.evaluations,
+        }
+    }
+
+    /// Trains an MLP estimator on the collected history.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no history has been collected.
+    pub fn train_estimator(&self, epochs: usize, rng: &mut Rng) -> PerfEstimator {
+        assert!(!self.history.is_empty(), "no tuning history collected yet");
+        let xs: Vec<Vec<f32>> = self.history.iter().map(|(c, _)| c.features()).collect();
+        let ys: Vec<f64> = self.history.iter().map(|&(_, y)| y).collect();
+        let mut est = PerfEstimator::new(xs[0].len(), rng);
+        est.fit(&xs, &ys, epochs, rng);
+        est
+    }
+
+    /// Predicts the best configuration on a new platform using the
+    /// estimator only (no measurements) — the paper's quick-deployment
+    /// path.
+    pub fn predict_best(&self, est: &mut PerfEstimator) -> (TuningConfig, f64) {
+        self.space
+            .enumerate()
+            .into_iter()
+            .map(|c| {
+                let p = est.predict(&c.features());
+                (c, p)
+            })
+            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite predictions"))
+            .expect("space non-empty")
+    }
+}
+
+impl Default for AutoTuner {
+    fn default() -> Self {
+        AutoTuner::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tune::space::LoopPermutation;
+
+    fn synthetic_cost(cfg: &TuningConfig) -> f64 {
+        let mut cost = 5.0;
+        if cfg.permute != LoopPermutation::CoHwCi {
+            cost += 2.0;
+        }
+        if !cfg.blocked {
+            cost += 1.0;
+        }
+        cost + ((cfg.unroll_w as f64).log2() - 3.0).abs()
+    }
+
+    #[test]
+    fn tuner_finds_good_config_and_collects_history() {
+        let mut tuner = AutoTuner::new();
+        let mut rng = Rng::seed_from(1);
+        let result = tuner.tune(synthetic_cost, &mut rng);
+        assert!((result.best_cost - 5.0).abs() < 1e-9, "{result:?}");
+        assert_eq!(result.best.unroll_w, 8);
+        assert_eq!(tuner.history().len(), result.measurements);
+    }
+
+    #[test]
+    fn estimator_predicts_a_near_optimal_config() {
+        let mut tuner = AutoTuner::new();
+        let mut rng = Rng::seed_from(2);
+        // Collect history across several tuning runs for coverage.
+        for _ in 0..4 {
+            tuner.tune(synthetic_cost, &mut rng);
+        }
+        let mut est = tuner.train_estimator(80, &mut rng);
+        let (cfg, predicted) = tuner.predict_best(&mut est);
+        let actual = synthetic_cost(&cfg);
+        // The predicted-best config should be close to the true optimum 5.0.
+        assert!(actual <= 6.5, "predicted config {cfg:?} has cost {actual} (predicted {predicted})");
+    }
+}

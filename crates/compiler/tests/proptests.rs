@@ -1,0 +1,128 @@
+//! Property-based tests of the compiler-stage invariants (DESIGN.md §6).
+
+use patdnn_compiler::csr::CsrLayer;
+use patdnn_compiler::fkr::{filter_kernel_reorder, FilterOrder};
+use patdnn_compiler::fkw::FkwLayer;
+use patdnn_compiler::lre::{register_loads, LreLevel};
+use patdnn_compiler::tune::ga::{GaConfig, GaExplorer};
+use patdnn_compiler::tune::space::ConfigSpace;
+use patdnn_core::pattern_set::PatternSet;
+use patdnn_core::project::prune_layer;
+use patdnn_tensor::rng::Rng;
+use patdnn_tensor::{Conv2dGeometry, Tensor};
+use proptest::prelude::*;
+
+fn pruned(oc: usize, ic: usize, frac: f32, seed: u64) -> (Tensor, patdnn_core::project::LayerPruning, PatternSet) {
+    let mut rng = Rng::seed_from(seed);
+    let mut w = Tensor::randn(&[oc, ic, 3, 3], &mut rng);
+    let set = PatternSet::standard(8);
+    let alpha = (((oc * ic) as f32 * frac) as usize).max(1);
+    let lp = prune_layer("p", &mut w, &set, alpha);
+    (w, lp, set)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// FKW round-trips losslessly for arbitrary shapes and sparsity, with
+    /// or without filter reorder.
+    #[test]
+    fn fkw_round_trip(
+        oc in 1usize..10,
+        ic in 1usize..10,
+        frac in 0.1f32..1.0,
+        reorder in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        let (w, lp, set) = pruned(oc, ic, frac, seed);
+        let order = if reorder {
+            filter_kernel_reorder(&lp)
+        } else {
+            FilterOrder::identity(&lp)
+        };
+        let fkw = FkwLayer::from_pruned(&w, &lp, &set, &order);
+        prop_assert_eq!(fkw.to_dense(), w);
+        // Reorder array is always a permutation.
+        let mut rows: Vec<u16> = fkw.reorder.clone();
+        rows.sort_unstable();
+        prop_assert_eq!(rows, (0..oc as u16).collect::<Vec<_>>());
+    }
+
+    /// FKR preserves the filter multiset and always yields zero
+    /// within-group imbalance.
+    #[test]
+    fn fkr_invariants(
+        oc in 2usize..16,
+        ic in 2usize..10,
+        frac in 0.2f32..0.9,
+        seed in any::<u64>(),
+    ) {
+        let (_, lp, _) = pruned(oc, ic, frac, seed);
+        let order = filter_kernel_reorder(&lp);
+        prop_assert_eq!(order.group_imbalance(&lp), 0);
+        let mut sorted = order.order.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(sorted, (0..oc).collect::<Vec<_>>());
+        // Groups tile [0, oc).
+        let covered: usize = order.groups.iter().map(|g| g.len()).sum();
+        prop_assert_eq!(covered, oc);
+    }
+
+    /// CSR round-trips and always carries 4 bytes of column index per
+    /// non-zero — the structural cost FKW avoids.
+    #[test]
+    fn csr_round_trip_and_cost(
+        oc in 1usize..8,
+        ic in 1usize..8,
+        frac in 0.1f32..1.0,
+        seed in any::<u64>(),
+    ) {
+        let (w, _, _) = pruned(oc, ic, frac, seed);
+        let csr = CsrLayer::from_dense(&w);
+        prop_assert_eq!(csr.to_dense(), w.clone());
+        prop_assert_eq!(csr.nnz(), w.count_nonzero());
+        prop_assert_eq!(csr.extra_bytes(), 4 * (oc + 1) + 4 * csr.nnz());
+    }
+
+    /// LRE never increases load counts, at any unroll configuration.
+    #[test]
+    fn lre_is_monotone(
+        oc in 2usize..8,
+        ic in 2usize..8,
+        hw in 4usize..16,
+        uw in 1usize..6,
+        uoc in 1usize..6,
+        seed in any::<u64>(),
+    ) {
+        let (w, lp, set) = pruned(oc, ic, 0.5, seed);
+        let order = filter_kernel_reorder(&lp);
+        let fkw = FkwLayer::from_pruned(&w, &lp, &set, &order);
+        let geo = Conv2dGeometry::new(oc, ic, 3, 3, hw, hw, 1, 1);
+        let none = register_loads(&geo, &fkw, uw, uoc, LreLevel::None);
+        let kernel = register_loads(&geo, &fkw, uw, uoc, LreLevel::Kernel);
+        let full = register_loads(&geo, &fkw, uw, uoc, LreLevel::KernelFilter);
+        prop_assert!(kernel.input_loads <= none.input_loads);
+        prop_assert!(full.input_loads <= kernel.input_loads);
+        prop_assert_eq!(none.weight_loads, kernel.weight_loads);
+    }
+
+    /// GA exploration is deterministic for a fixed seed and never worse
+    /// than the best of its own evaluations.
+    #[test]
+    fn ga_is_deterministic(seed in any::<u64>()) {
+        let space = ConfigSpace::standard();
+        let explorer = GaExplorer::new(GaConfig {
+            population: 10,
+            generations: 4,
+            ..GaConfig::default()
+        });
+        let cost = |c: &patdnn_compiler::tune::space::TuningConfig| -> f64 {
+            c.tile_oc as f64 + c.unroll_w as f64 * 0.5 + if c.blocked { 0.0 } else { 3.0 }
+        };
+        let a = explorer.optimize(&space, cost, &mut Rng::seed_from(seed));
+        let b = explorer.optimize(&space, cost, &mut Rng::seed_from(seed));
+        prop_assert_eq!(a.best, b.best);
+        prop_assert_eq!(a.best_cost, b.best_cost);
+        prop_assert!(a.history.iter().all(|&h| h >= a.best_cost));
+    }
+}

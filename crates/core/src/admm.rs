@@ -1,0 +1,687 @@
+//! The extended ADMM solution framework (§4.2 of the paper).
+//!
+//! The pruning problem is
+//!
+//! ```text
+//! minimize f({W}, {b})   subject to  Wₖ ∈ Sₖ (pattern),  Wₖ ∈ S'ₖ (connectivity)
+//! ```
+//!
+//! ADMM decomposes it into (1) a loss-plus-quadratic subproblem solved by
+//! SGD/Adam, and (2)/(3) Euclidean projections onto the constraint sets,
+//! with dual updates after each iteration. The engine here
+//! ([`AdmmSolver`]) is generic over constraint sets (the paper's
+//! "extension" is exactly the pattern-selection constraint), so the
+//! non-structured ADMM baseline of Table 4 reuses it with a plain
+//! sparsity constraint.
+
+use patdnn_nn::data::Dataset;
+use patdnn_nn::layer::{Layer, Mode};
+use patdnn_nn::loss::softmax_cross_entropy;
+use patdnn_nn::network::Sequential;
+use patdnn_nn::optim::{Adam, Optimizer};
+use patdnn_tensor::rng::Rng;
+use patdnn_tensor::Tensor;
+
+use crate::pattern_set::PatternSet;
+use crate::project::{
+    alpha_for_rate, project_layer_connectivity, project_layer_patterns, prune_layer, LayerPruning,
+    PrunedModel,
+};
+
+/// Applies `f` to every conv layer with its stable index.
+pub fn for_each_conv(
+    net: &mut dyn Layer,
+    mut f: impl FnMut(usize, &mut patdnn_nn::conv::Conv2d),
+) {
+    let mut i = 0;
+    net.visit_convs(&mut |c| {
+        f(i, c);
+        i += 1;
+    });
+}
+
+/// Clones the weight tensor of every conv layer, in visit order.
+pub fn conv_weights(net: &mut dyn Layer) -> Vec<Tensor> {
+    let mut out = Vec::new();
+    net.visit_convs(&mut |c| out.push(c.weight.value.clone()));
+    out
+}
+
+/// A constraint set `Wₖ ∈ S` that ADMM can project onto.
+pub trait AdmmConstraint {
+    /// Human-readable name for reports.
+    fn name(&self) -> &str;
+
+    /// Whether the constraint applies to conv layer `layer`.
+    fn applies_to(&self, layer: usize) -> bool;
+
+    /// Euclidean projection of `w` onto the constraint set, in place.
+    fn project(&self, layer: usize, w: &mut Tensor);
+}
+
+/// Kernel-pattern constraint: every 3×3 kernel matches a pattern of the
+/// candidate set.
+pub struct PatternConstraint {
+    set: PatternSet,
+    is_3x3: Vec<bool>,
+}
+
+impl PatternConstraint {
+    /// Builds the constraint for layers whose kernels are 3×3.
+    pub fn new(set: PatternSet, layer_shapes: &[Tensor]) -> Self {
+        let is_3x3 = layer_shapes
+            .iter()
+            .map(|w| {
+                let s = w.shape4();
+                s.h == 3 && s.w == 3
+            })
+            .collect();
+        PatternConstraint { set, is_3x3 }
+    }
+
+    /// The pattern set this constraint projects onto.
+    pub fn pattern_set(&self) -> &PatternSet {
+        &self.set
+    }
+}
+
+impl AdmmConstraint for PatternConstraint {
+    fn name(&self) -> &str {
+        "kernel-pattern"
+    }
+
+    fn applies_to(&self, layer: usize) -> bool {
+        self.is_3x3.get(layer).copied().unwrap_or(false)
+    }
+
+    fn project(&self, _layer: usize, w: &mut Tensor) {
+        project_layer_patterns(w, &self.set);
+    }
+}
+
+/// Connectivity constraint: at most `αₖ` non-zero kernels per layer.
+pub struct ConnectivityConstraint {
+    alphas: Vec<usize>,
+}
+
+impl ConnectivityConstraint {
+    /// Builds per-layer α from a uniform pruning rate, optionally sparing
+    /// the first layer (halved rate), per the paper's heuristic.
+    pub fn from_rate(layer_weights: &[Tensor], rate: f32, spare_first: bool) -> Self {
+        let alphas = layer_weights
+            .iter()
+            .enumerate()
+            .map(|(i, w)| {
+                let s = w.shape4();
+                let layer_rate = if i == 0 && spare_first {
+                    (rate / 2.0).max(1.0)
+                } else {
+                    rate
+                };
+                alpha_for_rate(s.n * s.c, layer_rate)
+            })
+            .collect();
+        ConnectivityConstraint { alphas }
+    }
+
+    /// Per-layer keep counts.
+    pub fn alphas(&self) -> &[usize] {
+        &self.alphas
+    }
+}
+
+impl AdmmConstraint for ConnectivityConstraint {
+    fn name(&self) -> &str {
+        "connectivity"
+    }
+
+    fn applies_to(&self, layer: usize) -> bool {
+        layer < self.alphas.len()
+    }
+
+    fn project(&self, layer: usize, w: &mut Tensor) {
+        project_layer_connectivity(w, self.alphas[layer]);
+    }
+}
+
+/// Non-structured sparsity constraint: at most `n` non-zero *weights* per
+/// layer (the ADMM-NN baseline).
+pub struct SparsityConstraint {
+    keep: Vec<usize>,
+}
+
+impl SparsityConstraint {
+    /// Builds per-layer keep counts from a uniform weight pruning rate.
+    pub fn from_rate(layer_weights: &[Tensor], rate: f32) -> Self {
+        let keep = layer_weights
+            .iter()
+            .map(|w| ((w.len() as f64 / rate as f64).round() as usize).clamp(1, w.len()))
+            .collect();
+        SparsityConstraint { keep }
+    }
+}
+
+impl AdmmConstraint for SparsityConstraint {
+    fn name(&self) -> &str {
+        "non-structured"
+    }
+
+    fn applies_to(&self, layer: usize) -> bool {
+        layer < self.keep.len()
+    }
+
+    fn project(&self, layer: usize, w: &mut Tensor) {
+        let keep = self.keep[layer];
+        let mut idx: Vec<usize> = (0..w.len()).collect();
+        idx.sort_by(|&a, &b| {
+            w.data()[b]
+                .abs()
+                .partial_cmp(&w.data()[a].abs())
+                .expect("finite weights")
+                .then(a.cmp(&b))
+        });
+        let cutoff: std::collections::HashSet<usize> = idx.into_iter().take(keep).collect();
+        for (i, v) in w.data_mut().iter_mut().enumerate() {
+            if !cutoff.contains(&i) {
+                *v = 0.0;
+            }
+        }
+    }
+}
+
+/// Hyperparameters of the ADMM pruning run.
+#[derive(Debug, Clone)]
+pub struct AdmmConfig {
+    /// Size of the candidate pattern set (the paper settles on 8).
+    pub pattern_count: usize,
+    /// Uniform connectivity pruning rate (the paper uses 3.6×).
+    pub connectivity_rate: f32,
+    /// Halve the pruning rate of the first conv layer (paper heuristic).
+    pub spare_first_layer: bool,
+    /// ADMM penalty ρ.
+    pub rho: f32,
+    /// Outer ADMM iterations.
+    pub iterations: usize,
+    /// Subproblem-1 epochs per ADMM iteration.
+    pub epochs_per_iteration: usize,
+    /// Masked retraining epochs after the final projection.
+    pub retrain_epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Adam learning rate.
+    pub lr: f32,
+    /// Skip kernel-pattern pruning entirely (connectivity-only scheme,
+    /// used by the Table 2 comparison).
+    pub connectivity_only: bool,
+}
+
+impl Default for AdmmConfig {
+    fn default() -> Self {
+        AdmmConfig {
+            pattern_count: 8,
+            connectivity_rate: 3.6,
+            spare_first_layer: true,
+            rho: 1e-2,
+            iterations: 4,
+            epochs_per_iteration: 2,
+            retrain_epochs: 4,
+            batch_size: 16,
+            lr: 1e-3,
+            connectivity_only: false,
+        }
+    }
+}
+
+/// Convergence diagnostics of an ADMM run.
+#[derive(Debug, Clone, Default)]
+pub struct AdmmReport {
+    /// Mean training loss after each ADMM iteration's subproblem 1.
+    pub iteration_losses: Vec<f32>,
+    /// Frobenius primal residual `‖W − Z‖` summed over constraints and
+    /// layers, per iteration.
+    pub primal_residuals: Vec<f32>,
+    /// Mean training loss over the final masked-retraining epochs.
+    pub retrain_losses: Vec<f32>,
+}
+
+/// Generic ADMM engine over a set of constraints.
+///
+/// After [`AdmmSolver::run`], the network's weights have been regularized
+/// towards all constraint sets; the caller performs the final hard
+/// projection ("masked mapping") and retraining.
+pub struct AdmmSolver<'c> {
+    constraints: Vec<&'c dyn AdmmConstraint>,
+    cfg: AdmmConfig,
+}
+
+impl<'c> AdmmSolver<'c> {
+    /// Creates a solver over the given constraints.
+    pub fn new(constraints: Vec<&'c dyn AdmmConstraint>, cfg: AdmmConfig) -> Self {
+        AdmmSolver { constraints, cfg }
+    }
+
+    /// Runs the ADMM iterations on `net`.
+    pub fn run(&self, net: &mut Sequential, data: &Dataset, rng: &mut Rng) -> AdmmReport {
+        let weights = conv_weights(net);
+        let n_layers = weights.len();
+        let n_cons = self.constraints.len();
+
+        // Auxiliary Z and dual U per (constraint, layer).
+        let mut z: Vec<Vec<Tensor>> = Vec::with_capacity(n_cons);
+        let mut u: Vec<Vec<Tensor>> = Vec::with_capacity(n_cons);
+        for cons in &self.constraints {
+            let mut zc = Vec::with_capacity(n_layers);
+            let mut uc = Vec::with_capacity(n_layers);
+            for (l, w) in weights.iter().enumerate() {
+                let mut zl = w.clone();
+                if cons.applies_to(l) {
+                    cons.project(l, &mut zl);
+                }
+                zc.push(zl);
+                uc.push(Tensor::zeros(w.shape()));
+            }
+            z.push(zc);
+            u.push(uc);
+        }
+
+        let mut opt = Adam::new(self.cfg.lr);
+        let mut report = AdmmReport::default();
+
+        for _iter in 0..self.cfg.iterations {
+            // Subproblem 1: loss + Σ ρ/2 ‖W − Z + U‖².
+            let mut loss_acc = 0.0f64;
+            let mut batches_seen = 0usize;
+            for _epoch in 0..self.cfg.epochs_per_iteration {
+                for batch in data.epoch_batches(self.cfg.batch_size, rng) {
+                    let (x, t) = data.batch(&batch);
+                    net.zero_grads();
+                    let logits = net.forward(&x, Mode::Train);
+                    let (loss, dl) = softmax_cross_entropy(&logits, &t);
+                    net.backward(&dl);
+                    // Add proximal gradients ρ(W − Z + U) per constraint.
+                    for_each_conv(net, |l, c| {
+                        let wsnap: Vec<f32> = c.weight.value.data().to_vec();
+                        let g = c.weight.grad_mut();
+                        for (ci, cons) in self.constraints.iter().enumerate() {
+                            if !cons.applies_to(l) {
+                                continue;
+                            }
+                            let zl = z[ci][l].data();
+                            let ul = u[ci][l].data();
+                            for (j, gj) in g.data_mut().iter_mut().enumerate() {
+                                *gj += self.cfg.rho * (wsnap[j] - zl[j] + ul[j]);
+                            }
+                        }
+                    });
+                    opt.step(net);
+                    loss_acc += loss as f64;
+                    batches_seen += 1;
+                }
+            }
+            report
+                .iteration_losses
+                .push((loss_acc / batches_seen.max(1) as f64) as f32);
+
+            // Subproblems 2..: Z ← Π(W + U); dual update U ← U + W − Z.
+            let mut residual = 0.0f64;
+            for_each_conv(net, |l, c| {
+                let w = &c.weight.value;
+                for (ci, cons) in self.constraints.iter().enumerate() {
+                    if !cons.applies_to(l) {
+                        continue;
+                    }
+                    let mut znew = w.zip_map(&u[ci][l], |a, b| a + b).expect("same shape");
+                    cons.project(l, &mut znew);
+                    // U += W - Z
+                    let diff = w.zip_map(&znew, |a, b| a - b).expect("same shape");
+                    residual += diff.l2_norm() as f64;
+                    u[ci][l].axpy(1.0, &diff);
+                    z[ci][l] = znew;
+                }
+            });
+            report.primal_residuals.push(residual as f32);
+        }
+        report
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &AdmmConfig {
+        &self.cfg
+    }
+}
+
+/// Per-conv-layer binary masks (1.0 = trainable, 0.0 = pruned).
+pub type WeightMasks = Vec<Vec<f32>>;
+
+/// Derives masks from the current non-zero structure of conv weights.
+pub fn masks_from_nonzero(net: &mut dyn Layer) -> WeightMasks {
+    let mut masks = Vec::new();
+    net.visit_convs(&mut |c| {
+        masks.push(
+            c.weight
+                .value
+                .data()
+                .iter()
+                .map(|&w| if w != 0.0 { 1.0 } else { 0.0 })
+                .collect(),
+        );
+    });
+    masks
+}
+
+/// Zeroes masked weight positions in place.
+pub fn apply_masks(net: &mut dyn Layer, masks: &WeightMasks) {
+    for_each_conv(net, |l, c| {
+        for (w, &m) in c.weight.value.data_mut().iter_mut().zip(&masks[l]) {
+            *w *= m;
+        }
+    });
+}
+
+/// Trains `net` for `epochs` while keeping masked weights at exactly zero
+/// (the paper's "masked mapping and retraining" step).
+pub fn retrain_masked(
+    net: &mut Sequential,
+    data: &Dataset,
+    masks: &WeightMasks,
+    epochs: usize,
+    batch_size: usize,
+    lr: f32,
+    rng: &mut Rng,
+) -> Vec<f32> {
+    let mut opt = Adam::new(lr);
+    let mut losses = Vec::with_capacity(epochs);
+    for _ in 0..epochs {
+        let mut loss_acc = 0.0f64;
+        let mut seen = 0usize;
+        for batch in data.epoch_batches(batch_size, rng) {
+            let (x, t) = data.batch(&batch);
+            net.zero_grads();
+            let logits = net.forward(&x, Mode::Train);
+            let (loss, dl) = softmax_cross_entropy(&logits, &t);
+            net.backward(&dl);
+            // Mask gradients so moments stay clean, then re-apply the mask
+            // after the step in case optimizer state still moves weights.
+            for_each_conv(net, |l, c| {
+                let g = c.weight.grad_mut();
+                for (gj, &m) in g.data_mut().iter_mut().zip(&masks[l]) {
+                    *gj *= m;
+                }
+            });
+            opt.step(net);
+            apply_masks(net, masks);
+            loss_acc += loss as f64;
+            seen += 1;
+        }
+        losses.push((loss_acc / seen.max(1) as f64) as f32);
+    }
+    losses
+}
+
+/// End-to-end pattern + connectivity pruner: the paper's full training
+/// stage (Figure 6).
+///
+/// # Examples
+///
+/// ```no_run
+/// use patdnn_core::{AdmmConfig, AdmmPruner};
+/// use patdnn_nn::data::Dataset;
+/// use patdnn_nn::models::vgg_small;
+/// use patdnn_tensor::rng::Rng;
+///
+/// let mut rng = Rng::seed_from(0);
+/// let data = Dataset::cifar_like(20, 0.5, &mut rng);
+/// let mut net = vgg_small(10, &mut rng);
+/// let pruner = AdmmPruner::new(AdmmConfig::default());
+/// let (pruned, report) = pruner.prune(&mut net, &data, &mut rng);
+/// println!("compression {:.1}x", pruned.conv_compression());
+/// assert!(!report.iteration_losses.is_empty());
+/// ```
+pub struct AdmmPruner {
+    cfg: AdmmConfig,
+}
+
+impl AdmmPruner {
+    /// Creates a pruner with the given configuration.
+    pub fn new(cfg: AdmmConfig) -> Self {
+        AdmmPruner { cfg }
+    }
+
+    /// Runs pattern-set generation, ADMM regularization, final projection
+    /// and masked retraining. Returns the pruned-structure description
+    /// and the convergence report. The network is modified in place.
+    pub fn prune(
+        &self,
+        net: &mut Sequential,
+        data: &Dataset,
+        rng: &mut Rng,
+    ) -> (PrunedModel, AdmmReport) {
+        let weights = conv_weights(net);
+        let refs: Vec<&Tensor> = weights.iter().collect();
+        let has_3x3 = weights.iter().any(|w| {
+            let s = w.shape4();
+            s.h == 3 && s.w == 3
+        });
+        let set = if has_3x3 {
+            PatternSet::harvest(&refs, self.cfg.pattern_count)
+        } else {
+            PatternSet::standard(self.cfg.pattern_count)
+        };
+
+        let pattern = PatternConstraint::new(set.clone(), &weights);
+        let connectivity = ConnectivityConstraint::from_rate(
+            &weights,
+            self.cfg.connectivity_rate,
+            self.cfg.spare_first_layer,
+        );
+        let constraints: Vec<&dyn AdmmConstraint> = if self.cfg.connectivity_only {
+            vec![&connectivity]
+        } else {
+            vec![&pattern, &connectivity]
+        };
+        let solver = AdmmSolver::new(constraints, self.cfg.clone());
+        let mut report = solver.run(net, data, rng);
+
+        // Masked mapping: hard projection onto the constraint sets.
+        let alphas = connectivity.alphas().to_vec();
+        let connectivity_only = self.cfg.connectivity_only;
+        let mut layers: Vec<LayerPruning> = Vec::new();
+        for_each_conv(net, |l, c| {
+            let name = c.name().to_owned();
+            let lp = if connectivity_only {
+                crate::project::prune_layer_connectivity_only(&name, &mut c.weight.value, alphas[l])
+            } else {
+                prune_layer(&name, &mut c.weight.value, &set, alphas[l])
+            };
+            layers.push(lp);
+        });
+
+        // Masked retraining restores accuracy without changing structure.
+        let masks = masks_from_nonzero(net);
+        report.retrain_losses = retrain_masked(
+            net,
+            data,
+            &masks,
+            self.cfg.retrain_epochs,
+            self.cfg.batch_size,
+            self.cfg.lr,
+            rng,
+        );
+
+        (
+            PrunedModel {
+                pattern_set: set,
+                layers,
+            },
+            report,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use patdnn_nn::models::small_cnn;
+    use patdnn_nn::prelude::*;
+
+    fn tiny_setup(rng: &mut Rng) -> (Sequential, Dataset) {
+        let data = Dataset::synthetic(3, 12, 3, 8, 8, 0.4, rng);
+        let net = small_cnn(3, 8, 3, rng);
+        (net, data)
+    }
+
+    fn fast_cfg() -> AdmmConfig {
+        AdmmConfig {
+            pattern_count: 6,
+            connectivity_rate: 2.0,
+            spare_first_layer: true,
+            rho: 1e-2,
+            iterations: 2,
+            epochs_per_iteration: 1,
+            retrain_epochs: 1,
+            batch_size: 6,
+            lr: 2e-3,
+            connectivity_only: false,
+        }
+    }
+
+    #[test]
+    fn pruner_produces_consistent_structure() {
+        let mut rng = Rng::seed_from(11);
+        let (mut net, data) = tiny_setup(&mut rng);
+        let pruner = AdmmPruner::new(fast_cfg());
+        let (pruned, report) = pruner.prune(&mut net, &data, &mut rng);
+
+        assert_eq!(pruned.layers.len(), 2, "two conv layers in small_cnn");
+        assert_eq!(report.iteration_losses.len(), 2);
+        assert_eq!(report.primal_residuals.len(), 2);
+        assert_eq!(report.retrain_losses.len(), 1);
+
+        // Every surviving 3x3 kernel has exactly 4 non-zeros on its
+        // assigned pattern; pruned kernels are all-zero.
+        let mut l = 0;
+        net.visit_convs(&mut |c| {
+            let lp = &pruned.layers[l];
+            for (i, kernel) in c.weight.value.data().chunks_exact(9).enumerate() {
+                let nz = kernel.iter().filter(|&&x| x != 0.0).count();
+                match lp.kernels[i] {
+                    crate::project::KernelStatus::Pruned => assert_eq!(nz, 0),
+                    crate::project::KernelStatus::Pattern(id) => {
+                        assert!(nz <= 4, "at most 4 non-zeros, got {nz}");
+                        let p = pruned.pattern_set.get(id);
+                        for (j, &x) in kernel.iter().enumerate() {
+                            if x != 0.0 {
+                                assert!(p.contains(j / 3, j % 3), "weight off-pattern");
+                            }
+                        }
+                    }
+                    crate::project::KernelStatus::Dense => {}
+                }
+            }
+            l += 1;
+        });
+    }
+
+    #[test]
+    fn connectivity_rate_controls_kept_kernels() {
+        let mut rng = Rng::seed_from(12);
+        let (mut net, data) = tiny_setup(&mut rng);
+        let mut cfg = fast_cfg();
+        cfg.connectivity_rate = 4.0;
+        cfg.spare_first_layer = false;
+        let pruner = AdmmPruner::new(cfg);
+        let (pruned, _) = pruner.prune(&mut net, &data, &mut rng);
+        for lp in &pruned.layers {
+            let total = lp.out_c * lp.in_c;
+            let expect = alpha_for_rate(total, 4.0);
+            assert_eq!(lp.kept_kernels(), expect, "layer {}", lp.name);
+        }
+    }
+
+    #[test]
+    fn spare_first_layer_keeps_more_kernels_there() {
+        let mut rng = Rng::seed_from(13);
+        let (mut net, data) = tiny_setup(&mut rng);
+        let mut cfg = fast_cfg();
+        cfg.connectivity_rate = 4.0;
+        cfg.spare_first_layer = true;
+        let pruner = AdmmPruner::new(cfg);
+        let (pruned, _) = pruner.prune(&mut net, &data, &mut rng);
+        let first = &pruned.layers[0];
+        let total0 = first.out_c * first.in_c;
+        assert_eq!(first.kept_kernels(), alpha_for_rate(total0, 2.0));
+    }
+
+    #[test]
+    fn masked_retraining_preserves_zero_structure() {
+        let mut rng = Rng::seed_from(14);
+        let (mut net, data) = tiny_setup(&mut rng);
+        let pruner = AdmmPruner::new(fast_cfg());
+        let (_, _) = pruner.prune(&mut net, &data, &mut rng);
+        let before = conv_weights(&mut net);
+        // Retrain more with the same masks: zeros must stay zeros.
+        let masks = masks_from_nonzero(&mut net);
+        retrain_masked(&mut net, &data, &masks, 1, 6, 1e-3, &mut rng);
+        let after = conv_weights(&mut net);
+        for (b, a) in before.iter().zip(&after) {
+            for (&wb, &wa) in b.data().iter().zip(a.data()) {
+                if wb == 0.0 {
+                    assert_eq!(wa, 0.0, "zero weight resurrected");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn admm_residuals_shrink_with_iterations() {
+        let mut rng = Rng::seed_from(15);
+        let (mut net, data) = tiny_setup(&mut rng);
+        // Pre-train briefly so ADMM starts from something sensible.
+        let mut opt = Adam::new(2e-3);
+        let cfg = TrainConfig {
+            epochs: 2,
+            batch_size: 6,
+            verbose: false,
+        };
+        train(&mut net, &data, &mut opt, &cfg, &mut rng);
+
+        let mut acfg = fast_cfg();
+        acfg.iterations = 6;
+        acfg.epochs_per_iteration = 2;
+        acfg.rho = 0.5;
+        let weights = conv_weights(&mut net);
+        let pattern = PatternConstraint::new(PatternSet::standard(6), &weights);
+        let connectivity = ConnectivityConstraint::from_rate(&weights, 2.0, false);
+        let solver = AdmmSolver::new(vec![&pattern, &connectivity], acfg);
+        let report = solver.run(&mut net, &data, &mut rng);
+        // ADMM convergence is asymptotic and the tiny run is noisy; compare
+        // the average of the first two residuals with the last two.
+        let r = &report.primal_residuals;
+        assert_eq!(r.len(), 6);
+        let early = (r[0] + r[1]) / 2.0;
+        let late = (r[4] + r[5]) / 2.0;
+        assert!(
+            late < early,
+            "residual should shrink: early {early}, late {late} ({r:?})"
+        );
+    }
+
+    #[test]
+    fn sparsity_constraint_keeps_exact_count() {
+        let mut rng = Rng::seed_from(16);
+        let w = Tensor::randn(&[4, 4, 3, 3], &mut rng);
+        let cons = SparsityConstraint::from_rate(&[w.clone()], 8.0);
+        let mut projected = w.clone();
+        cons.project(0, &mut projected);
+        assert_eq!(projected.count_nonzero(), w.len() / 8);
+        // Kept entries are the largest by magnitude.
+        let mut mags: Vec<f32> = w.data().iter().map(|x| x.abs()).collect();
+        mags.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        let threshold = mags[w.len() / 8 - 1];
+        for (&orig, &proj) in w.data().iter().zip(projected.data()) {
+            if proj != 0.0 {
+                assert!(orig.abs() >= threshold - 1e-6);
+            }
+        }
+    }
+}

@@ -1,0 +1,46 @@
+//! # patdnn-core
+//!
+//! The algorithm side of PatDNN (ASPLOS 2020): **pattern-based weight
+//! pruning** via an extended ADMM solution framework.
+//!
+//! The paper's training stage (its §4) has two steps, both implemented
+//! here:
+//!
+//! 1. **Pattern set design** ([`pattern`], [`pattern_set`]) — harvest the
+//!    *natural pattern* (centre weight + three largest-magnitude
+//!    neighbours) of every 3×3 kernel in a pre-trained model, then keep
+//!    the top-k most frequent patterns as the candidate set (§4.1).
+//! 2. **Kernel-pattern + connectivity pruning** ([`project`], [`admm`]) —
+//!    an ADMM iteration alternating an SGD/Adam subproblem with Euclidean
+//!    projections onto the pattern and connectivity constraint sets,
+//!    followed by masked retraining (§4.2).
+//!
+//! Baseline pruning schemes the paper compares against (magnitude
+//! non-structured, ADMM non-structured, filter and channel structured
+//! pruning) live in [`prune`]; sparsity/compression accounting in
+//! [`sparsity`].
+//!
+//! # Examples
+//!
+//! ```
+//! use patdnn_core::pattern::Pattern;
+//!
+//! let mut kernel = [0.9, 0.1, 0.0, 0.7, 0.8, 0.0, 0.0, 0.0, 0.6];
+//! let natural = Pattern::natural_of(&kernel);
+//! assert_eq!(natural.entries(), 4);
+//! assert!(natural.contains(1, 1)); // centre always kept
+//! natural.apply(&mut kernel);
+//! assert_eq!(kernel.iter().filter(|&&w| w != 0.0).count(), 4);
+//! ```
+
+pub mod admm;
+pub mod pattern;
+pub mod pattern_set;
+pub mod project;
+pub mod prune;
+pub mod sparsity;
+
+pub use admm::{AdmmConfig, AdmmPruner, AdmmReport};
+pub use pattern::Pattern;
+pub use pattern_set::PatternSet;
+pub use project::{LayerPruning, PrunedModel};

@@ -1,0 +1,289 @@
+//! Kernel patterns: fixed non-zero position masks inside a convolution
+//! kernel.
+//!
+//! The paper's key abstraction (§3.1): each 3×3 kernel keeps exactly four
+//! weights forming one of a small set of pre-designed shapes. The centre
+//! weight is always kept — "the central weight in a 3×3 kernel is critical
+//! and shall not be pruned" (§4.1).
+
+use std::fmt;
+
+/// A fixed non-zero position mask over a square `kernel × kernel` grid.
+///
+/// Stored as a bitmask in row-major order, bit `r * kernel + c` marking a
+/// *kept* position. Supports kernels up to 7×7 (49 bits), covering every
+/// kernel size in the paper's models (1×1, 3×3, and ResNet's 7×7 stem).
+///
+/// # Examples
+///
+/// ```
+/// use patdnn_core::Pattern;
+///
+/// let p = Pattern::from_positions(3, &[(0, 1), (1, 0), (1, 1), (1, 2)]);
+/// assert_eq!(p.entries(), 4);
+/// assert!(p.contains(1, 1));
+/// assert!(!p.contains(2, 2));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Pattern {
+    kernel: u8,
+    mask: u64,
+}
+
+impl Pattern {
+    /// Builds a pattern from kept `(row, col)` positions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kernel > 4`, a position repeats, or a position is out
+    /// of bounds.
+    pub fn from_positions(kernel: usize, positions: &[(usize, usize)]) -> Self {
+        assert!(kernel >= 1 && kernel <= 7, "kernel size {kernel} unsupported");
+        let mut mask = 0u64;
+        for &(r, c) in positions {
+            assert!(r < kernel && c < kernel, "position ({r},{c}) out of bounds");
+            let bit = 1u64 << (r * kernel + c);
+            assert_eq!(mask & bit, 0, "duplicate position ({r},{c})");
+            mask |= bit;
+        }
+        Pattern {
+            kernel: kernel as u8,
+            mask,
+        }
+    }
+
+    /// Builds a pattern directly from a bitmask.
+    ///
+    /// # Panics
+    ///
+    /// Panics if bits outside the `kernel²` grid are set.
+    pub fn from_mask(kernel: usize, mask: u64) -> Self {
+        assert!(kernel >= 1 && kernel <= 7, "kernel size {kernel} unsupported");
+        let valid = if kernel * kernel == 64 { u64::MAX } else { (1u64 << (kernel * kernel)) - 1 };
+        assert_eq!(mask & !valid, 0, "mask has bits outside the kernel");
+        Pattern {
+            kernel: kernel as u8,
+            mask,
+        }
+    }
+
+    /// The kernel size this pattern applies to.
+    pub fn kernel(&self) -> usize {
+        self.kernel as usize
+    }
+
+    /// The raw bitmask (row-major, bit `r * kernel + c`).
+    pub fn mask(&self) -> u64 {
+        self.mask
+    }
+
+    /// Number of kept positions.
+    pub fn entries(&self) -> usize {
+        self.mask.count_ones() as usize
+    }
+
+    /// Is position `(r, c)` kept?
+    pub fn contains(&self, r: usize, c: usize) -> bool {
+        r < self.kernel() && c < self.kernel() && self.mask & (1 << (r * self.kernel() + c)) != 0
+    }
+
+    /// Kept positions in row-major order.
+    pub fn positions(&self) -> Vec<(usize, usize)> {
+        let k = self.kernel();
+        (0..k * k)
+            .filter(|i| self.mask & (1 << i) != 0)
+            .map(|i| (i / k, i % k))
+            .collect()
+    }
+
+    /// Does the pattern keep the central weight (odd kernels only)?
+    pub fn includes_center(&self) -> bool {
+        let k = self.kernel();
+        k % 2 == 1 && self.contains(k / 2, k / 2)
+    }
+
+    /// Zeroes all positions outside the pattern in a row-major kernel
+    /// slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kernel.len() != kernel²`.
+    pub fn apply(&self, kernel: &mut [f32]) {
+        let k = self.kernel();
+        assert_eq!(kernel.len(), k * k, "kernel slice length mismatch");
+        for (i, w) in kernel.iter_mut().enumerate() {
+            if self.mask & (1 << i) == 0 {
+                *w = 0.0;
+            }
+        }
+    }
+
+    /// Sum of squares of the kept entries: the retained energy when this
+    /// pattern is applied, used for L2-nearest pattern selection.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kernel.len() != kernel²`.
+    pub fn kept_energy(&self, kernel: &[f32]) -> f32 {
+        let k = self.kernel();
+        assert_eq!(kernel.len(), k * k, "kernel slice length mismatch");
+        kernel
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| self.mask & (1 << i) != 0)
+            .map(|(_, &w)| w * w)
+            .sum()
+    }
+
+    /// The *natural pattern* of a 3×3 kernel: the centre plus its three
+    /// largest-magnitude neighbours (§4.1 of the paper).
+    pub fn natural_of(kernel: &[f32; 9]) -> Pattern {
+        let mut neighbours: Vec<usize> = (0..9).filter(|&i| i != 4).collect();
+        neighbours.sort_by(|&a, &b| {
+            kernel[b]
+                .abs()
+                .partial_cmp(&kernel[a].abs())
+                .expect("finite weights")
+                // Deterministic tie-break on index.
+                .then(a.cmp(&b))
+        });
+        let mut mask = 1u64 << 4;
+        for &i in neighbours.iter().take(3) {
+            mask |= 1 << i;
+        }
+        Pattern { kernel: 3, mask }
+    }
+
+    /// All 56 possible natural patterns: centre + any 3 of the 8
+    /// neighbours.
+    pub fn all_natural() -> Vec<Pattern> {
+        let neighbours: Vec<usize> = (0..9).filter(|&i| i != 4).collect();
+        let mut out = Vec::with_capacity(56);
+        for a in 0..neighbours.len() {
+            for b in a + 1..neighbours.len() {
+                for c in b + 1..neighbours.len() {
+                    let mask =
+                        (1u64 << 4) | (1 << neighbours[a]) | (1 << neighbours[b]) | (1 << neighbours[c]);
+                    out.push(Pattern { kernel: 3, mask });
+                }
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Debug for Pattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Pattern({}x{}, {:#b})", self.kernel, self.kernel, self.mask)
+    }
+}
+
+impl fmt::Display for Pattern {
+    /// Renders the pattern as a grid of `x` (kept) and `.` (pruned),
+    /// matching the paper's Figure 3 illustrations.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let k = self.kernel();
+        for r in 0..k {
+            for c in 0..k {
+                write!(f, "{}", if self.contains(r, c) { 'x' } else { '.' })?;
+            }
+            if r + 1 < k {
+                writeln!(f)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn natural_pattern_keeps_center_and_top3() {
+        let kernel = [0.1, 0.9, 0.2, 0.8, 0.05, 0.3, 0.7, 0.0, 0.0];
+        let p = Pattern::natural_of(&kernel);
+        assert!(p.contains(1, 1), "centre kept even when small");
+        assert!(p.contains(0, 1)); // 0.9
+        assert!(p.contains(1, 0)); // 0.8
+        assert!(p.contains(2, 0)); // 0.7
+        assert_eq!(p.entries(), 4);
+    }
+
+    #[test]
+    fn natural_pattern_uses_magnitude_not_sign() {
+        let kernel = [-0.9, 0.1, 0.1, -0.8, 0.5, 0.1, 0.1, 0.1, -0.7];
+        let p = Pattern::natural_of(&kernel);
+        assert!(p.contains(0, 0) && p.contains(1, 0) && p.contains(2, 2));
+    }
+
+    #[test]
+    fn there_are_56_natural_patterns() {
+        let all = Pattern::all_natural();
+        assert_eq!(all.len(), 56);
+        let mut dedup = all.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 56, "all patterns distinct");
+        for p in &all {
+            assert_eq!(p.entries(), 4);
+            assert!(p.includes_center());
+        }
+    }
+
+    #[test]
+    fn apply_zeroes_complement() {
+        let p = Pattern::from_positions(3, &[(0, 0), (1, 1), (2, 2), (0, 2)]);
+        let mut kernel = [1.0f32; 9];
+        p.apply(&mut kernel);
+        assert_eq!(kernel.iter().filter(|&&w| w != 0.0).count(), 4);
+        assert_eq!(kernel[0], 1.0);
+        assert_eq!(kernel[4], 1.0);
+        assert_eq!(kernel[8], 1.0);
+        assert_eq!(kernel[2], 1.0);
+        assert_eq!(kernel[1], 0.0);
+    }
+
+    #[test]
+    fn kept_energy_sums_squares() {
+        let p = Pattern::from_positions(2, &[(0, 0), (1, 1)]);
+        let kernel = [3.0, 5.0, 7.0, 4.0];
+        assert_eq!(p.kept_energy(&kernel), 9.0 + 16.0);
+    }
+
+    #[test]
+    fn natural_is_the_energy_maximizing_pattern() {
+        // Among all 56 candidates, the natural pattern retains maximal L2.
+        let kernel = [0.3, -0.9, 0.15, 0.01, 0.2, 0.85, -0.4, 0.0, 0.05];
+        let natural = Pattern::natural_of(&kernel);
+        let best = Pattern::all_natural()
+            .into_iter()
+            .max_by(|a, b| {
+                a.kept_energy(&kernel)
+                    .partial_cmp(&b.kept_energy(&kernel))
+                    .expect("finite")
+            })
+            .expect("non-empty");
+        assert_eq!(natural, best);
+    }
+
+    #[test]
+    fn display_draws_grid() {
+        let p = Pattern::from_positions(3, &[(0, 0), (1, 1)]);
+        assert_eq!(p.to_string(), "x..\n.x.\n...");
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate position")]
+    fn duplicate_position_panics() {
+        Pattern::from_positions(3, &[(0, 0), (0, 0)]);
+    }
+
+    #[test]
+    fn mask_round_trip() {
+        for p in Pattern::all_natural() {
+            let q = Pattern::from_mask(3, p.mask());
+            assert_eq!(p, q);
+        }
+    }
+}

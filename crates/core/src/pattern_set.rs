@@ -1,0 +1,274 @@
+//! Pattern set design (§4.1 of the paper).
+//!
+//! "First, for the pre-trained DNN, we scan all the kernels, and for each
+//! kernel, we find the four weights with largest magnitudes (including
+//! the central weight). [...] We count and select the Top-k most commonly
+//! appeared natural patterns across all kernels in the DNN, thereby
+//! forming the pattern candidate set."
+
+use std::collections::HashMap;
+
+use patdnn_tensor::Tensor;
+
+use crate::pattern::Pattern;
+
+/// The candidate set of kernel patterns for a model.
+///
+/// # Examples
+///
+/// ```
+/// use patdnn_core::PatternSet;
+///
+/// let set = PatternSet::standard(8);
+/// assert_eq!(set.len(), 8);
+/// let mut kernel = [0.5, 0.6, 0.4, 0.7, 0.9, 0.8, 0.3, 0.1, 0.2];
+/// let id = set.project_kernel(&mut kernel);
+/// assert!(id < 8);
+/// assert_eq!(kernel.iter().filter(|&&w| w != 0.0).count(), 4);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PatternSet {
+    patterns: Vec<Pattern>,
+}
+
+impl PatternSet {
+    /// Builds a set from explicit patterns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `patterns` is empty or the patterns disagree in kernel
+    /// size.
+    pub fn from_patterns(patterns: Vec<Pattern>) -> Self {
+        assert!(!patterns.is_empty(), "pattern set cannot be empty");
+        let k = patterns[0].kernel();
+        assert!(
+            patterns.iter().all(|p| p.kernel() == k),
+            "patterns must share a kernel size"
+        );
+        PatternSet { patterns }
+    }
+
+    /// Harvests natural patterns from a pre-trained model's 3×3 conv
+    /// weight tensors (OIHW) and keeps the top-k most frequent.
+    ///
+    /// Tensors whose kernels are not 3×3 are skipped — the paper applies
+    /// kernel pattern pruning only to 3×3 kernels (§4.3).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0` or no 3×3 kernels are found.
+    pub fn harvest(conv_weights: &[&Tensor], k: usize) -> Self {
+        assert!(k > 0, "pattern count must be positive");
+        let mut counts: HashMap<Pattern, usize> = HashMap::new();
+        for w in conv_weights {
+            let s = w.shape4();
+            if s.h != 3 || s.w != 3 {
+                continue;
+            }
+            for kernel in w.data().chunks_exact(9) {
+                let mut buf = [0.0f32; 9];
+                buf.copy_from_slice(kernel);
+                *counts.entry(Pattern::natural_of(&buf)).or_insert(0) += 1;
+            }
+        }
+        assert!(!counts.is_empty(), "no 3x3 kernels found to harvest from");
+        let mut ranked: Vec<(Pattern, usize)> = counts.into_iter().collect();
+        // Sort by descending frequency, then by mask for determinism.
+        ranked.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        let patterns = ranked
+            .into_iter()
+            .take(k)
+            .map(|(p, _)| p)
+            .collect::<Vec<_>>();
+        PatternSet { patterns }
+    }
+
+    /// A fixed, model-independent fallback set: the `k` natural patterns
+    /// whose three neighbours are most adjacent to the centre (these are
+    /// the shapes that dominate harvests in practice, cf. the paper's
+    /// visual-system argument).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0` or `k > 56`.
+    pub fn standard(k: usize) -> Self {
+        assert!(k >= 1 && k <= 56, "standard set supports 1..=56 patterns");
+        let mut all = Pattern::all_natural();
+        // Rank by total Chebyshev distance of kept neighbours to the centre,
+        // preferring edge-adjacent (cross-shaped) patterns first.
+        let dist = |p: &Pattern| -> (usize, u64) {
+            let d: usize = p
+                .positions()
+                .iter()
+                .filter(|&&(r, c)| (r, c) != (1, 1))
+                .map(|&(r, c)| {
+                    let dr = r.abs_diff(1);
+                    let dc = c.abs_diff(1);
+                    // Edge neighbours (distance 1) cost 1, corners cost 2.
+                    dr + dc
+                })
+                .sum();
+            (d, p.mask())
+        };
+        all.sort_by_key(dist);
+        PatternSet {
+            patterns: all.into_iter().take(k).collect(),
+        }
+    }
+
+    /// Number of patterns in the set.
+    pub fn len(&self) -> usize {
+        self.patterns.len()
+    }
+
+    /// Returns `true` if the set holds no patterns (never, by invariant).
+    pub fn is_empty(&self) -> bool {
+        self.patterns.is_empty()
+    }
+
+    /// The pattern with identifier `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn get(&self, id: usize) -> Pattern {
+        self.patterns[id]
+    }
+
+    /// Iterates over `(id, pattern)`.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, Pattern)> + '_ {
+        self.patterns.iter().copied().enumerate()
+    }
+
+    /// Kernel size the set applies to.
+    pub fn kernel(&self) -> usize {
+        self.patterns[0].kernel()
+    }
+
+    /// Selects the L2-nearest pattern for `kernel` (the Euclidean
+    /// projection step of the extended ADMM), applies it in place, and
+    /// returns its identifier.
+    ///
+    /// The L2-nearest pattern is the one retaining maximal energy, since
+    /// the projection error is `‖kernel‖² - kept_energy`.
+    pub fn project_kernel(&self, kernel: &mut [f32]) -> usize {
+        let best = self.best_pattern(kernel);
+        self.patterns[best].apply(kernel);
+        best
+    }
+
+    /// Returns the identifier of the L2-nearest pattern without applying
+    /// it.
+    pub fn best_pattern(&self, kernel: &[f32]) -> usize {
+        let mut best = 0;
+        let mut best_energy = f32::NEG_INFINITY;
+        for (i, p) in self.patterns.iter().enumerate() {
+            let e = p.kept_energy(kernel);
+            if e > best_energy {
+                best_energy = e;
+                best = i;
+            }
+        }
+        best
+    }
+}
+
+impl std::ops::Index<usize> for PatternSet {
+    type Output = Pattern;
+
+    fn index(&self, id: usize) -> &Pattern {
+        &self.patterns[id]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use patdnn_tensor::rng::Rng;
+
+    fn random_conv(oc: usize, ic: usize, rng: &mut Rng) -> Tensor {
+        Tensor::randn(&[oc, ic, 3, 3], rng)
+    }
+
+    #[test]
+    fn harvest_returns_requested_count() {
+        let mut rng = Rng::seed_from(1);
+        let w1 = random_conv(8, 4, &mut rng);
+        let w2 = random_conv(16, 8, &mut rng);
+        let set = PatternSet::harvest(&[&w1, &w2], 8);
+        assert_eq!(set.len(), 8);
+        assert!(set.iter().all(|(_, p)| p.entries() == 4 && p.includes_center()));
+    }
+
+    #[test]
+    fn harvest_ranks_by_frequency() {
+        // Construct kernels that all share one natural pattern, plus one
+        // kernel with a different pattern: the common one must rank first.
+        let common = [1.0f32, 0.9, 0.0, 0.8, 0.7, 0.0, 0.0, 0.0, 0.0];
+        let rare = [0.0f32, 0.0, 0.9, 0.0, 0.7, 0.8, 0.0, 0.0, 1.0];
+        let mut data = Vec::new();
+        for _ in 0..5 {
+            data.extend_from_slice(&common);
+        }
+        data.extend_from_slice(&rare);
+        let w = Tensor::from_vec(&[6, 1, 3, 3], data).unwrap();
+        let set = PatternSet::harvest(&[&w], 2);
+        assert_eq!(set.get(0), Pattern::natural_of(&common));
+        assert_eq!(set.get(1), Pattern::natural_of(&rare));
+    }
+
+    #[test]
+    fn harvest_skips_non_3x3() {
+        let mut rng = Rng::seed_from(2);
+        let w1 = Tensor::randn(&[8, 8, 1, 1], &mut rng);
+        let w3 = random_conv(4, 4, &mut rng);
+        let set = PatternSet::harvest(&[&w1, &w3], 4);
+        assert_eq!(set.kernel(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "no 3x3 kernels")]
+    fn harvest_without_3x3_panics() {
+        let mut rng = Rng::seed_from(3);
+        let w1 = Tensor::randn(&[8, 8, 1, 1], &mut rng);
+        PatternSet::harvest(&[&w1], 4);
+    }
+
+    #[test]
+    fn projection_picks_max_energy_pattern() {
+        let set = PatternSet::standard(8);
+        let mut rng = Rng::seed_from(4);
+        for _ in 0..50 {
+            let kernel: Vec<f32> = (0..9).map(|_| rng.uniform(-1.0, 1.0)).collect();
+            let id = set.best_pattern(&kernel);
+            let chosen_energy = set.get(id).kept_energy(&kernel);
+            for (_, p) in set.iter() {
+                assert!(p.kept_energy(&kernel) <= chosen_energy + 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn projection_is_idempotent() {
+        let set = PatternSet::standard(6);
+        let mut rng = Rng::seed_from(5);
+        let mut kernel: Vec<f32> = (0..9).map(|_| rng.uniform(-1.0, 1.0)).collect();
+        let id1 = set.project_kernel(&mut kernel);
+        let snapshot = kernel.clone();
+        let id2 = set.project_kernel(&mut kernel);
+        assert_eq!(id1, id2);
+        assert_eq!(kernel, snapshot);
+    }
+
+    #[test]
+    fn standard_prefers_cross_patterns() {
+        let set = PatternSet::standard(4);
+        // The first pattern keeps the four edge-adjacent neighbours minus
+        // one; all of the first four avoid using more than one corner.
+        for (_, p) in set.iter() {
+            let corners = [(0, 0), (0, 2), (2, 0), (2, 2)];
+            let corner_count = corners.iter().filter(|&&(r, c)| p.contains(r, c)).count();
+            assert!(corner_count <= 1, "pattern {p} uses {corner_count} corners");
+        }
+    }
+}

@@ -1,0 +1,377 @@
+//! Euclidean projections onto the pattern and connectivity constraint
+//! sets, and the [`PrunedModel`] description consumed by the compiler.
+//!
+//! The paper (§4.2): "the optimal, analytical solution of the two
+//! subproblems are Euclidean projections [...] for connectivity pruning,
+//! the projection is: keeping αₖ kernels with largest L2 norms and setting
+//! the rest of kernels to zero. For kernel pattern pruning it is similar."
+
+use patdnn_tensor::Tensor;
+
+use crate::pattern_set::PatternSet;
+
+/// The post-pruning status of one kernel (one input-channel slice of a
+/// filter).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum KernelStatus {
+    /// Removed entirely by connectivity pruning.
+    Pruned,
+    /// Kept, constrained to pattern `id` of the model's pattern set.
+    Pattern(usize),
+    /// Kept without a pattern constraint (non-3×3 kernels).
+    Dense,
+}
+
+impl KernelStatus {
+    /// Is the kernel still present after pruning?
+    pub fn is_kept(&self) -> bool {
+        !matches!(self, KernelStatus::Pruned)
+    }
+}
+
+/// Pruning decisions for one convolution layer.
+///
+/// Kernels are indexed filter-major: kernel `(oc, ic)` lives at
+/// `oc * in_c + ic`, mirroring the OIHW weight layout.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerPruning {
+    /// Layer name (matches the spec / network layer name).
+    pub name: String,
+    /// Number of filters.
+    pub out_c: usize,
+    /// Number of kernels per filter.
+    pub in_c: usize,
+    /// Kernel size.
+    pub kernel: usize,
+    /// Status per kernel, `out_c * in_c` entries.
+    pub kernels: Vec<KernelStatus>,
+}
+
+impl LayerPruning {
+    /// Status of kernel `(oc, ic)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    pub fn kernel_at(&self, oc: usize, ic: usize) -> KernelStatus {
+        assert!(oc < self.out_c && ic < self.in_c, "kernel index out of range");
+        self.kernels[oc * self.in_c + ic]
+    }
+
+    /// Number of kernels surviving connectivity pruning.
+    pub fn kept_kernels(&self) -> usize {
+        self.kernels.iter().filter(|k| k.is_kept()).count()
+    }
+
+    /// Per-filter count of surviving kernels ("filter length", the key
+    /// quantity of Figure 14a).
+    pub fn filter_lengths(&self) -> Vec<usize> {
+        (0..self.out_c)
+            .map(|oc| {
+                (0..self.in_c)
+                    .filter(|&ic| self.kernels[oc * self.in_c + ic].is_kept())
+                    .count()
+            })
+            .collect()
+    }
+
+    /// Number of non-zero weights implied by the statuses.
+    pub fn nonzero_weights(&self, set: &PatternSet) -> usize {
+        self.kernels
+            .iter()
+            .map(|k| match k {
+                KernelStatus::Pruned => 0,
+                KernelStatus::Pattern(id) => set.get(*id).entries(),
+                KernelStatus::Dense => self.kernel * self.kernel,
+            })
+            .sum()
+    }
+}
+
+/// A fully pruned model: the shared pattern set plus per-layer decisions.
+#[derive(Debug, Clone)]
+pub struct PrunedModel {
+    /// The candidate pattern set all layers draw from.
+    pub pattern_set: PatternSet,
+    /// Per-conv-layer pruning decisions, in network order.
+    pub layers: Vec<LayerPruning>,
+}
+
+impl PrunedModel {
+    /// Overall CONV compression rate: dense weights / surviving weights.
+    pub fn conv_compression(&self) -> f64 {
+        let dense: usize = self
+            .layers
+            .iter()
+            .map(|l| l.out_c * l.in_c * l.kernel * l.kernel)
+            .sum();
+        let kept: usize = self
+            .layers
+            .iter()
+            .map(|l| l.nonzero_weights(&self.pattern_set))
+            .sum();
+        dense as f64 / kept.max(1) as f64
+    }
+}
+
+/// Number of kernels to keep for a layer of `total` kernels at a
+/// connectivity pruning `rate` (e.g. 3.6× keeps `total / 3.6` kernels).
+///
+/// # Panics
+///
+/// Panics if `rate < 1.0`.
+pub fn alpha_for_rate(total: usize, rate: f32) -> usize {
+    assert!(rate >= 1.0, "connectivity rate must be >= 1");
+    (((total as f64) / rate as f64).round() as usize).clamp(1, total)
+}
+
+/// Projects every kernel of an OIHW weight tensor onto the pattern set,
+/// in place. Returns the chosen pattern id per kernel.
+///
+/// # Panics
+///
+/// Panics if the tensor's kernel size differs from the set's.
+pub fn project_layer_patterns(weights: &mut Tensor, set: &PatternSet) -> Vec<usize> {
+    let s = weights.shape4();
+    assert_eq!(s.h, s.w, "kernels must be square");
+    assert_eq!(s.h, set.kernel(), "kernel size mismatch with pattern set");
+    let ksize = s.h * s.w;
+    weights
+        .data_mut()
+        .chunks_exact_mut(ksize)
+        .map(|kernel| set.project_kernel(kernel))
+        .collect()
+}
+
+/// Projects an OIHW weight tensor onto the connectivity constraint: keeps
+/// the `alpha` kernels with largest L2 norms, zeroes the rest, in place.
+/// Returns the keep-mask per kernel.
+///
+/// # Panics
+///
+/// Panics if `alpha == 0`.
+pub fn project_layer_connectivity(weights: &mut Tensor, alpha: usize) -> Vec<bool> {
+    assert!(alpha > 0, "alpha must be positive");
+    let s = weights.shape4();
+    let ksize = s.h * s.w;
+    let kernels = s.n * s.c;
+    let alpha = alpha.min(kernels);
+    let mut norms: Vec<(usize, f32)> = weights
+        .data()
+        .chunks_exact(ksize)
+        .map(|k| k.iter().map(|&w| w * w).sum::<f32>())
+        .enumerate()
+        .collect();
+    norms.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite norms").then(a.0.cmp(&b.0)));
+    let mut keep = vec![false; kernels];
+    for &(i, _) in norms.iter().take(alpha) {
+        keep[i] = true;
+    }
+    for (i, kernel) in weights.data_mut().chunks_exact_mut(ksize).enumerate() {
+        if !keep[i] {
+            kernel.iter_mut().for_each(|w| *w = 0.0);
+        }
+    }
+    keep
+}
+
+/// Connectivity-only pruning: keeps `alpha` kernels (dense inside),
+/// zeroes the rest. Used for the paper's "connectivity pruning" scheme
+/// row in Table 2 and for layers excluded from pattern pruning.
+pub fn prune_layer_connectivity_only(
+    name: &str,
+    weights: &mut Tensor,
+    alpha: usize,
+) -> LayerPruning {
+    let s = weights.shape4();
+    let keep = project_layer_connectivity(weights, alpha);
+    let kernels = keep
+        .iter()
+        .map(|&k| if k { KernelStatus::Dense } else { KernelStatus::Pruned })
+        .collect();
+    LayerPruning {
+        name: name.to_owned(),
+        out_c: s.n,
+        in_c: s.c,
+        kernel: s.h,
+        kernels,
+    }
+}
+
+/// Jointly projects a layer: connectivity first (keep `alpha` kernels),
+/// then patterns on the survivors (3×3 layers only). Returns the layer's
+/// pruning record.
+pub fn prune_layer(
+    name: &str,
+    weights: &mut Tensor,
+    set: &PatternSet,
+    alpha: usize,
+) -> LayerPruning {
+    let s = weights.shape4();
+    let keep = project_layer_connectivity(weights, alpha);
+    let is_3x3 = s.h == 3 && s.w == 3 && set.kernel() == 3;
+    let ksize = s.h * s.w;
+    let mut kernels = Vec::with_capacity(s.n * s.c);
+    for (i, kernel) in weights.data_mut().chunks_exact_mut(ksize).enumerate() {
+        if !keep[i] {
+            kernels.push(KernelStatus::Pruned);
+        } else if is_3x3 {
+            kernels.push(KernelStatus::Pattern(set.project_kernel(kernel)));
+        } else {
+            kernels.push(KernelStatus::Dense);
+        }
+    }
+    LayerPruning {
+        name: name.to_owned(),
+        out_c: s.n,
+        in_c: s.c,
+        kernel: s.h,
+        kernels,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use patdnn_tensor::rng::Rng;
+
+    #[test]
+    fn alpha_rounds_and_clamps() {
+        assert_eq!(alpha_for_rate(36, 3.6), 10);
+        assert_eq!(alpha_for_rate(4, 100.0), 1);
+        assert_eq!(alpha_for_rate(7, 1.0), 7);
+    }
+
+    #[test]
+    fn pattern_projection_leaves_4_entries_per_kernel() {
+        let mut rng = Rng::seed_from(1);
+        let mut w = Tensor::randn(&[4, 3, 3, 3], &mut rng);
+        let set = PatternSet::standard(8);
+        let ids = project_layer_patterns(&mut w, &set);
+        assert_eq!(ids.len(), 12);
+        for kernel in w.data().chunks_exact(9) {
+            assert_eq!(kernel.iter().filter(|&&x| x != 0.0).count(), 4);
+            assert_ne!(kernel[4], 0.0, "centre weight survives");
+        }
+    }
+
+    #[test]
+    fn connectivity_keeps_largest_kernels() {
+        // Kernel norms increase with index; keeping 2 must keep the last 2.
+        let mut data = Vec::new();
+        for i in 0..4 {
+            data.extend(std::iter::repeat((i + 1) as f32).take(9));
+        }
+        let mut w = Tensor::from_vec(&[2, 2, 3, 3], data).unwrap();
+        let keep = project_layer_connectivity(&mut w, 2);
+        assert_eq!(keep, vec![false, false, true, true]);
+        assert!(w.data()[..18].iter().all(|&x| x == 0.0));
+        assert!(w.data()[18..].iter().all(|&x| x != 0.0));
+    }
+
+    #[test]
+    fn connectivity_projection_is_l2_optimal() {
+        // Among all keep-2 masks, the projection retains maximal energy.
+        let mut rng = Rng::seed_from(2);
+        let w0 = Tensor::randn(&[2, 2, 3, 3], &mut rng);
+        let mut w = w0.clone();
+        project_layer_connectivity(&mut w, 2);
+        let kept_energy: f32 = w.data().iter().map(|&x| x * x).sum();
+        // Enumerate all 6 possible keep-2 masks.
+        for a in 0..4 {
+            for b in a + 1..4 {
+                let energy: f32 = (0..4)
+                    .filter(|&i| i == a || i == b)
+                    .map(|i| {
+                        w0.data()[i * 9..(i + 1) * 9]
+                            .iter()
+                            .map(|&x| x * x)
+                            .sum::<f32>()
+                    })
+                    .sum();
+                assert!(energy <= kept_energy + 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    fn prune_layer_combines_both_constraints() {
+        let mut rng = Rng::seed_from(3);
+        let mut w = Tensor::randn(&[4, 4, 3, 3], &mut rng);
+        let set = PatternSet::standard(8);
+        let alpha = 8; // prune half the 16 kernels
+        let lp = prune_layer("conv", &mut w, &set, alpha);
+        assert_eq!(lp.kept_kernels(), 8);
+        assert_eq!(lp.nonzero_weights(&set), 8 * 4);
+        assert_eq!(w.count_nonzero(), 8 * 4);
+        // Statuses agree with the weight tensor.
+        for (i, kernel) in w.data().chunks_exact(9).enumerate() {
+            let nz = kernel.iter().filter(|&&x| x != 0.0).count();
+            match lp.kernels[i] {
+                KernelStatus::Pruned => assert_eq!(nz, 0),
+                KernelStatus::Pattern(id) => {
+                    assert_eq!(nz, 4);
+                    let p = set.get(id);
+                    for (j, &x) in kernel.iter().enumerate() {
+                        if x != 0.0 {
+                            assert!(p.contains(j / 3, j % 3));
+                        }
+                    }
+                }
+                KernelStatus::Dense => unreachable!("3x3 layers never stay dense"),
+            }
+        }
+    }
+
+    #[test]
+    fn prune_layer_1x1_is_connectivity_only() {
+        let mut rng = Rng::seed_from(4);
+        let mut w = Tensor::randn(&[8, 8, 1, 1], &mut rng);
+        let set = PatternSet::standard(8);
+        let lp = prune_layer("proj", &mut w, &set, 16);
+        assert_eq!(lp.kept_kernels(), 16);
+        assert!(lp
+            .kernels
+            .iter()
+            .all(|k| matches!(k, KernelStatus::Pruned | KernelStatus::Dense)));
+        assert_eq!(w.count_nonzero(), 16);
+    }
+
+    #[test]
+    fn filter_lengths_count_per_row() {
+        let lp = LayerPruning {
+            name: "t".into(),
+            out_c: 2,
+            in_c: 3,
+            kernel: 3,
+            kernels: vec![
+                KernelStatus::Pattern(0),
+                KernelStatus::Pruned,
+                KernelStatus::Pattern(1),
+                KernelStatus::Pruned,
+                KernelStatus::Pruned,
+                KernelStatus::Pattern(0),
+            ],
+        };
+        assert_eq!(lp.filter_lengths(), vec![2, 1]);
+        assert_eq!(lp.kernel_at(0, 2), KernelStatus::Pattern(1));
+    }
+
+    #[test]
+    fn compression_rate_matches_hand_count() {
+        let set = PatternSet::standard(4);
+        let lp = LayerPruning {
+            name: "t".into(),
+            out_c: 1,
+            in_c: 2,
+            kernel: 3,
+            kernels: vec![KernelStatus::Pattern(0), KernelStatus::Pruned],
+        };
+        let pm = PrunedModel {
+            pattern_set: set,
+            layers: vec![lp],
+        };
+        // Dense 18 weights, kept 4 -> 4.5x.
+        assert!((pm.conv_compression() - 4.5).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,352 @@
+//! Baseline pruning schemes the paper compares against (Tables 2 and 4).
+//!
+//! - **Magnitude non-structured** pruning (Deep-Compression-style): keep
+//!   the largest-magnitude weights, retrain with the mask.
+//! - **ADMM non-structured** (ADMM-NN): same constraint, solved with the
+//!   generic ADMM engine of [`crate::admm`].
+//! - **Filter pruning** and **channel pruning** (structured): remove whole
+//!   filters / input channels by L2 norm, retrain.
+//! - **Pattern + connectivity** (ours) lives in [`crate::admm::AdmmPruner`].
+
+use patdnn_nn::data::Dataset;
+use patdnn_nn::layer::Layer;
+use patdnn_nn::network::Sequential;
+use patdnn_nn::train::{evaluate, Accuracy};
+use patdnn_tensor::rng::Rng;
+use patdnn_tensor::Tensor;
+
+use crate::admm::{
+    conv_weights, for_each_conv, masks_from_nonzero, retrain_masked, AdmmConfig, AdmmSolver,
+    SparsityConstraint,
+};
+
+/// Outcome of applying a pruning scheme to a trained network.
+#[derive(Debug, Clone)]
+pub struct PruneOutcome {
+    /// Scheme name for reports.
+    pub scheme: String,
+    /// Accuracy before pruning.
+    pub before: Accuracy,
+    /// Accuracy after pruning and retraining.
+    pub after: Accuracy,
+    /// CONV-layer compression rate (dense weights / non-zero weights).
+    pub conv_compression: f64,
+}
+
+/// Measures the overall conv compression of a network in place.
+pub fn measure_conv_compression(net: &mut Sequential) -> f64 {
+    let mut dense = 0usize;
+    let mut nonzero = 0usize;
+    net.visit_convs(&mut |c| {
+        dense += c.weight.value.len();
+        nonzero += c.weight.value.count_nonzero();
+    });
+    dense as f64 / nonzero.max(1) as f64
+}
+
+/// Magnitude-based non-structured pruning of every conv layer at a
+/// uniform `rate`, followed by masked retraining.
+pub fn magnitude_prune(
+    net: &mut Sequential,
+    data: &Dataset,
+    rate: f32,
+    retrain_epochs: usize,
+    batch_size: usize,
+    lr: f32,
+    rng: &mut Rng,
+) -> PruneOutcome {
+    let before = evaluate(net, data);
+    for_each_conv(net, |_, c| {
+        let w = &mut c.weight.value;
+        let keep = ((w.len() as f64 / rate as f64).round() as usize).clamp(1, w.len());
+        let mut mags: Vec<f32> = w.data().iter().map(|x| x.abs()).collect();
+        mags.sort_by(|a, b| b.partial_cmp(a).expect("finite weights"));
+        let threshold = mags[keep - 1];
+        let mut kept = 0usize;
+        for v in w.data_mut().iter_mut() {
+            // Strictly enforce the count under ties.
+            if v.abs() >= threshold && kept < keep {
+                kept += 1;
+            } else {
+                *v = 0.0;
+            }
+        }
+    });
+    let masks = masks_from_nonzero(net);
+    retrain_masked(net, data, &masks, retrain_epochs, batch_size, lr, rng);
+    let after = evaluate(net, data);
+    PruneOutcome {
+        scheme: format!("magnitude non-structured {rate:.1}x"),
+        before,
+        after,
+        conv_compression: measure_conv_compression(net),
+    }
+}
+
+/// ADMM-regularized non-structured pruning (the ADMM-NN baseline):
+/// identical constraint to [`magnitude_prune`] but solved by ADMM before
+/// the hard projection.
+pub fn admm_nonstructured_prune(
+    net: &mut Sequential,
+    data: &Dataset,
+    rate: f32,
+    cfg: &AdmmConfig,
+    rng: &mut Rng,
+) -> PruneOutcome {
+    let before = evaluate(net, data);
+    let weights = conv_weights(net);
+    let cons = SparsityConstraint::from_rate(&weights, rate);
+    let solver = AdmmSolver::new(vec![&cons], cfg.clone());
+    solver.run(net, data, rng);
+    // Hard projection then masked retraining.
+    for_each_conv(net, |l, c| {
+        use crate::admm::AdmmConstraint;
+        cons.project(l, &mut c.weight.value);
+    });
+    let masks = masks_from_nonzero(net);
+    retrain_masked(
+        net,
+        data,
+        &masks,
+        cfg.retrain_epochs,
+        cfg.batch_size,
+        cfg.lr,
+        rng,
+    );
+    let after = evaluate(net, data);
+    PruneOutcome {
+        scheme: format!("ADMM non-structured {rate:.1}x"),
+        before,
+        after,
+        conv_compression: measure_conv_compression(net),
+    }
+}
+
+/// Zeroes the filters (output channels) with smallest L2 norm in an OIHW
+/// tensor, keeping `keep` of them. Returns the keep-mask.
+pub fn filter_prune_layer(weights: &mut Tensor, keep: usize) -> Vec<bool> {
+    let s = weights.shape4();
+    let fsize = s.c * s.h * s.w;
+    let keep = keep.clamp(1, s.n);
+    let mut norms: Vec<(usize, f32)> = weights
+        .data()
+        .chunks_exact(fsize)
+        .map(|f| f.iter().map(|&w| w * w).sum::<f32>())
+        .enumerate()
+        .collect();
+    norms.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite").then(a.0.cmp(&b.0)));
+    let mut mask = vec![false; s.n];
+    for &(i, _) in norms.iter().take(keep) {
+        mask[i] = true;
+    }
+    for (i, f) in weights.data_mut().chunks_exact_mut(fsize).enumerate() {
+        if !mask[i] {
+            f.iter_mut().for_each(|w| *w = 0.0);
+        }
+    }
+    mask
+}
+
+/// Zeroes the input channels with smallest aggregate L2 norm in an OIHW
+/// tensor, keeping `keep` of them. Returns the keep-mask.
+pub fn channel_prune_layer(weights: &mut Tensor, keep: usize) -> Vec<bool> {
+    let s = weights.shape4();
+    let ksize = s.h * s.w;
+    let keep = keep.clamp(1, s.c);
+    let mut norms = vec![0.0f32; s.c];
+    for oc in 0..s.n {
+        for ic in 0..s.c {
+            let base = (oc * s.c + ic) * ksize;
+            norms[ic] += weights.data()[base..base + ksize]
+                .iter()
+                .map(|&w| w * w)
+                .sum::<f32>();
+        }
+    }
+    let mut order: Vec<usize> = (0..s.c).collect();
+    order.sort_by(|&a, &b| norms[b].partial_cmp(&norms[a]).expect("finite").then(a.cmp(&b)));
+    let mut mask = vec![false; s.c];
+    for &i in order.iter().take(keep) {
+        mask[i] = true;
+    }
+    for oc in 0..s.n {
+        for ic in 0..s.c {
+            if !mask[ic] {
+                let base = (oc * s.c + ic) * ksize;
+                weights.data_mut()[base..base + ksize]
+                    .iter_mut()
+                    .for_each(|w| *w = 0.0);
+            }
+        }
+    }
+    mask
+}
+
+/// Structured pruning kind for [`structured_prune`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StructuredKind {
+    /// Remove whole filters (output channels).
+    Filter,
+    /// Remove whole input channels.
+    Channel,
+}
+
+/// Structured (filter or channel) pruning of every conv layer at a
+/// uniform `rate`, followed by masked retraining.
+pub fn structured_prune(
+    net: &mut Sequential,
+    data: &Dataset,
+    kind: StructuredKind,
+    rate: f32,
+    retrain_epochs: usize,
+    batch_size: usize,
+    lr: f32,
+    rng: &mut Rng,
+) -> PruneOutcome {
+    let before = evaluate(net, data);
+    for_each_conv(net, |_, c| {
+        let s = c.weight.value.shape4();
+        match kind {
+            StructuredKind::Filter => {
+                let keep = ((s.n as f64 / rate as f64).round() as usize).clamp(1, s.n);
+                filter_prune_layer(&mut c.weight.value, keep);
+            }
+            StructuredKind::Channel => {
+                let keep = ((s.c as f64 / rate as f64).round() as usize).clamp(1, s.c);
+                channel_prune_layer(&mut c.weight.value, keep);
+            }
+        }
+    });
+    let masks = masks_from_nonzero(net);
+    retrain_masked(net, data, &masks, retrain_epochs, batch_size, lr, rng);
+    let after = evaluate(net, data);
+    let kind_name = match kind {
+        StructuredKind::Filter => "filter",
+        StructuredKind::Channel => "channel",
+    };
+    PruneOutcome {
+        scheme: format!("{kind_name} structured {rate:.1}x"),
+        before,
+        after,
+        conv_compression: measure_conv_compression(net),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use patdnn_nn::models::small_cnn;
+    use patdnn_nn::optim::Adam;
+    use patdnn_nn::train::{train, TrainConfig};
+
+    fn trained_setup(rng: &mut Rng) -> (Sequential, Dataset) {
+        let data = Dataset::synthetic(3, 12, 3, 8, 8, 0.4, rng);
+        let mut net = small_cnn(3, 8, 3, rng);
+        let mut opt = Adam::new(2e-3);
+        let cfg = TrainConfig {
+            epochs: 3,
+            batch_size: 6,
+            verbose: false,
+        };
+        train(&mut net, &data, &mut opt, &cfg, rng);
+        (net, data)
+    }
+
+    #[test]
+    fn magnitude_prune_hits_requested_rate() {
+        let mut rng = Rng::seed_from(20);
+        let (mut net, data) = trained_setup(&mut rng);
+        let outcome = magnitude_prune(&mut net, &data, 4.0, 1, 6, 1e-3, &mut rng);
+        assert!(
+            (outcome.conv_compression - 4.0).abs() < 0.3,
+            "compression {}",
+            outcome.conv_compression
+        );
+    }
+
+    #[test]
+    fn admm_nonstructured_hits_requested_rate() {
+        let mut rng = Rng::seed_from(21);
+        let (mut net, data) = trained_setup(&mut rng);
+        let cfg = AdmmConfig {
+            iterations: 2,
+            epochs_per_iteration: 1,
+            retrain_epochs: 1,
+            batch_size: 6,
+            lr: 1e-3,
+            ..AdmmConfig::default()
+        };
+        let outcome = admm_nonstructured_prune(&mut net, &data, 6.0, &cfg, &mut rng);
+        assert!(
+            (outcome.conv_compression - 6.0).abs() < 0.5,
+            "compression {}",
+            outcome.conv_compression
+        );
+    }
+
+    #[test]
+    fn filter_prune_zeroes_whole_filters() {
+        let mut rng = Rng::seed_from(22);
+        let mut w = Tensor::randn(&[6, 4, 3, 3], &mut rng);
+        let mask = filter_prune_layer(&mut w, 3);
+        assert_eq!(mask.iter().filter(|&&m| m).count(), 3);
+        for (oc, f) in w.data().chunks_exact(4 * 9).enumerate() {
+            let nz = f.iter().filter(|&&x| x != 0.0).count();
+            if mask[oc] {
+                assert!(nz > 0);
+            } else {
+                assert_eq!(nz, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn channel_prune_zeroes_whole_channels() {
+        let mut rng = Rng::seed_from(23);
+        let mut w = Tensor::randn(&[4, 6, 3, 3], &mut rng);
+        let mask = channel_prune_layer(&mut w, 2);
+        assert_eq!(mask.iter().filter(|&&m| m).count(), 2);
+        for oc in 0..4 {
+            for ic in 0..6 {
+                let base = (oc * 6 + ic) * 9;
+                let nz = w.data()[base..base + 9].iter().filter(|&&x| x != 0.0).count();
+                if mask[ic] {
+                    assert!(nz > 0);
+                } else {
+                    assert_eq!(nz, 0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn structured_prune_reports_compression() {
+        let mut rng = Rng::seed_from(24);
+        let (mut net, data) = trained_setup(&mut rng);
+        let outcome = structured_prune(
+            &mut net,
+            &data,
+            StructuredKind::Filter,
+            2.0,
+            1,
+            6,
+            1e-3,
+            &mut rng,
+        );
+        assert!(outcome.conv_compression >= 1.8, "compression {}", outcome.conv_compression);
+    }
+
+    #[test]
+    fn retraining_recovers_accuracy_after_mild_pruning() {
+        let mut rng = Rng::seed_from(25);
+        let (mut net, data) = trained_setup(&mut rng);
+        let outcome = magnitude_prune(&mut net, &data, 2.0, 3, 6, 1e-3, &mut rng);
+        // Mild 2x pruning with retraining should stay close to original.
+        assert!(
+            outcome.after.top1 >= outcome.before.top1 - 0.15,
+            "before {:?} after {:?}",
+            outcome.before,
+            outcome.after
+        );
+    }
+}

@@ -1,0 +1,112 @@
+//! Sparsity and compression accounting.
+
+use patdnn_nn::layer::Layer;
+
+/// Non-zero statistics of one conv layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LayerSparsity {
+    /// Layer name.
+    pub name: String,
+    /// Dense weight count.
+    pub total_weights: usize,
+    /// Non-zero weight count.
+    pub nonzero_weights: usize,
+    /// Total kernel count (`out_c * in_c`).
+    pub total_kernels: usize,
+    /// Kernels with at least one non-zero weight.
+    pub nonzero_kernels: usize,
+}
+
+impl LayerSparsity {
+    /// Weight-level compression rate of this layer.
+    pub fn compression(&self) -> f64 {
+        self.total_weights as f64 / self.nonzero_weights.max(1) as f64
+    }
+
+    /// Kernel-level (connectivity) compression rate of this layer.
+    pub fn kernel_compression(&self) -> f64 {
+        self.total_kernels as f64 / self.nonzero_kernels.max(1) as f64
+    }
+}
+
+/// Collects sparsity statistics for every conv layer of a network.
+pub fn conv_sparsity(net: &mut dyn Layer) -> Vec<LayerSparsity> {
+    let mut out = Vec::new();
+    net.visit_convs(&mut |c| {
+        let s = c.weight.value.shape4();
+        let ksize = s.h * s.w;
+        let nonzero_kernels = c
+            .weight
+            .value
+            .data()
+            .chunks_exact(ksize)
+            .filter(|k| k.iter().any(|&w| w != 0.0))
+            .count();
+        out.push(LayerSparsity {
+            name: c.name().to_owned(),
+            total_weights: c.weight.value.len(),
+            nonzero_weights: c.weight.value.count_nonzero(),
+            total_kernels: s.n * s.c,
+            nonzero_kernels,
+        });
+    });
+    out
+}
+
+/// Overall conv compression across a set of layer statistics.
+pub fn total_compression(stats: &[LayerSparsity]) -> f64 {
+    let total: usize = stats.iter().map(|s| s.total_weights).sum();
+    let nonzero: usize = stats.iter().map(|s| s.nonzero_weights).sum();
+    total as f64 / nonzero.max(1) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use patdnn_nn::models::small_cnn;
+    use patdnn_tensor::rng::Rng;
+
+    #[test]
+    fn dense_network_has_unit_compression() {
+        let mut rng = Rng::seed_from(1);
+        let mut net = small_cnn(3, 8, 4, &mut rng);
+        let stats = conv_sparsity(&mut net);
+        assert_eq!(stats.len(), 2);
+        // Random weights are never exactly zero.
+        assert!((total_compression(&stats) - 1.0).abs() < 1e-6);
+        for s in &stats {
+            assert_eq!(s.total_kernels, s.nonzero_kernels);
+        }
+    }
+
+    #[test]
+    fn zeroing_half_doubles_compression() {
+        let mut rng = Rng::seed_from(2);
+        let mut net = small_cnn(3, 8, 4, &mut rng);
+        net.visit_convs(&mut |c| {
+            let len = c.weight.value.len();
+            for v in c.weight.value.data_mut()[..len / 2].iter_mut() {
+                *v = 0.0;
+            }
+        });
+        let stats = conv_sparsity(&mut net);
+        assert!((total_compression(&stats) - 2.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn kernel_compression_counts_empty_kernels() {
+        let mut rng = Rng::seed_from(3);
+        let mut net = small_cnn(3, 8, 4, &mut rng);
+        net.visit_convs(&mut |c| {
+            // Zero the first kernel of each layer entirely.
+            for v in c.weight.value.data_mut()[..9].iter_mut() {
+                *v = 0.0;
+            }
+        });
+        let stats = conv_sparsity(&mut net);
+        for s in &stats {
+            assert_eq!(s.nonzero_kernels, s.total_kernels - 1);
+            assert!(s.kernel_compression() > 1.0);
+        }
+    }
+}

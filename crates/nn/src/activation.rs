@@ -1,0 +1,118 @@
+//! Activation layers.
+
+use patdnn_tensor::Tensor;
+
+use crate::layer::{Layer, Mode};
+
+/// Rectified linear unit: `max(0, x)`.
+pub struct Relu {
+    name: String,
+    mask: Option<Vec<bool>>,
+}
+
+impl Relu {
+    /// Creates a ReLU layer.
+    pub fn new(name: &str) -> Self {
+        Relu {
+            name: name.to_owned(),
+            mask: None,
+        }
+    }
+}
+
+impl Layer for Relu {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
+        if mode == Mode::Train {
+            self.mask = Some(input.data().iter().map(|&x| x > 0.0).collect());
+        }
+        input.map(|x| x.max(0.0))
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let mask = self.mask.take().expect("relu backward without forward");
+        assert_eq!(mask.len(), grad_out.len(), "relu grad length mismatch");
+        let mut g = grad_out.clone();
+        for (v, keep) in g.data_mut().iter_mut().zip(mask) {
+            if !keep {
+                *v = 0.0;
+            }
+        }
+        g
+    }
+}
+
+/// ReLU capped at 6, as used by MobileNet-V2.
+pub struct Relu6 {
+    name: String,
+    mask: Option<Vec<bool>>,
+}
+
+impl Relu6 {
+    /// Creates a ReLU6 layer.
+    pub fn new(name: &str) -> Self {
+        Relu6 {
+            name: name.to_owned(),
+            mask: None,
+        }
+    }
+}
+
+impl Layer for Relu6 {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
+        if mode == Mode::Train {
+            self.mask = Some(input.data().iter().map(|&x| x > 0.0 && x < 6.0).collect());
+        }
+        input.map(|x| x.clamp(0.0, 6.0))
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let mask = self.mask.take().expect("relu6 backward without forward");
+        let mut g = grad_out.clone();
+        for (v, keep) in g.data_mut().iter_mut().zip(mask) {
+            if !keep {
+                *v = 0.0;
+            }
+        }
+        g
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relu_clamps_negatives() {
+        let mut r = Relu::new("r");
+        let x = Tensor::from_vec(&[4], vec![-1.0, 0.0, 2.0, -3.0]).unwrap();
+        let y = r.forward(&x, Mode::Eval);
+        assert_eq!(y.data(), &[0.0, 0.0, 2.0, 0.0]);
+    }
+
+    #[test]
+    fn relu_gradient_masks() {
+        let mut r = Relu::new("r");
+        let x = Tensor::from_vec(&[4], vec![-1.0, 0.5, 2.0, -3.0]).unwrap();
+        r.forward(&x, Mode::Train);
+        let g = r.backward(&Tensor::filled(&[4], 1.0));
+        assert_eq!(g.data(), &[0.0, 1.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn relu6_saturates_both_sides() {
+        let mut r = Relu6::new("r6");
+        let x = Tensor::from_vec(&[3], vec![-1.0, 3.0, 9.0]).unwrap();
+        let y = r.forward(&x, Mode::Train);
+        assert_eq!(y.data(), &[0.0, 3.0, 6.0]);
+        let g = r.backward(&Tensor::filled(&[3], 1.0));
+        assert_eq!(g.data(), &[0.0, 1.0, 0.0]);
+    }
+}

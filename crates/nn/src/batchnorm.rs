@@ -1,0 +1,278 @@
+//! 2-D batch normalization.
+
+use patdnn_tensor::Tensor;
+
+use crate::layer::{Layer, Mode, Param};
+
+/// Batch normalization over the channel axis of NCHW activations.
+///
+/// Training mode normalizes with batch statistics and updates running
+/// estimates; evaluation mode uses the running estimates. The paper notes
+/// BN is "an essential operation to increase the stability of DNN
+/// training" (§2.1) — and its folding into convolutions is one of the
+/// graph optimizations of the compiler stage.
+pub struct BatchNorm2d {
+    name: String,
+    channels: usize,
+    eps: f32,
+    momentum: f32,
+    /// Scale, shape `[channels]`.
+    pub gamma: Param,
+    /// Shift, shape `[channels]`.
+    pub beta: Param,
+    /// Running mean used at inference.
+    pub running_mean: Tensor,
+    /// Running variance used at inference.
+    pub running_var: Tensor,
+    cache: Option<BnCache>,
+}
+
+struct BnCache {
+    xhat: Tensor,
+    inv_std: Vec<f32>,
+}
+
+impl BatchNorm2d {
+    /// Creates a BN layer with unit scale and zero shift.
+    pub fn new(name: &str, channels: usize) -> Self {
+        BatchNorm2d {
+            name: name.to_owned(),
+            channels,
+            eps: 1e-5,
+            momentum: 0.1,
+            gamma: Param::new_no_decay(Tensor::filled(&[channels], 1.0)),
+            beta: Param::new_no_decay(Tensor::zeros(&[channels])),
+            running_mean: Tensor::zeros(&[channels]),
+            running_var: Tensor::filled(&[channels], 1.0),
+            cache: None,
+        }
+    }
+
+    /// Returns `(scale, shift)` per channel for folding into a preceding
+    /// convolution: `y = scale * x + shift` with the running statistics.
+    pub fn fold_params(&self) -> (Vec<f32>, Vec<f32>) {
+        let mut scale = Vec::with_capacity(self.channels);
+        let mut shift = Vec::with_capacity(self.channels);
+        for c in 0..self.channels {
+            let g = self.gamma.value.data()[c];
+            let b = self.beta.value.data()[c];
+            let m = self.running_mean.data()[c];
+            let v = self.running_var.data()[c];
+            let s = g / (v + self.eps).sqrt();
+            scale.push(s);
+            shift.push(b - s * m);
+        }
+        (scale, shift)
+    }
+}
+
+impl Layer for BatchNorm2d {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
+        let s = input.shape4();
+        assert_eq!(s.c, self.channels, "bn {}: channel mismatch", self.name);
+        let hw = s.h * s.w;
+        let m = (s.n * hw) as f32;
+        let mut out = Tensor::zeros(input.shape());
+
+        match mode {
+            Mode::Train => {
+                let mut xhat = Tensor::zeros(input.shape());
+                let mut inv_stds = vec![0.0f32; s.c];
+                for c in 0..s.c {
+                    // Batch mean and (biased) variance for this channel.
+                    let mut mean = 0.0f64;
+                    for n in 0..s.n {
+                        let base = (n * s.c + c) * hw;
+                        mean += input.data()[base..base + hw].iter().map(|&x| x as f64).sum::<f64>();
+                    }
+                    let mean = (mean / m as f64) as f32;
+                    let mut var = 0.0f64;
+                    for n in 0..s.n {
+                        let base = (n * s.c + c) * hw;
+                        var += input.data()[base..base + hw]
+                            .iter()
+                            .map(|&x| ((x - mean) as f64).powi(2))
+                            .sum::<f64>();
+                    }
+                    let var = (var / m as f64) as f32;
+                    let inv_std = 1.0 / (var + self.eps).sqrt();
+                    inv_stds[c] = inv_std;
+                    let g = self.gamma.value.data()[c];
+                    let b = self.beta.value.data()[c];
+                    for n in 0..s.n {
+                        let base = (n * s.c + c) * hw;
+                        for i in 0..hw {
+                            let xh = (input.data()[base + i] - mean) * inv_std;
+                            xhat.data_mut()[base + i] = xh;
+                            out.data_mut()[base + i] = g * xh + b;
+                        }
+                    }
+                    // Update running stats.
+                    let rm = &mut self.running_mean.data_mut()[c];
+                    *rm = (1.0 - self.momentum) * *rm + self.momentum * mean;
+                    let rv = &mut self.running_var.data_mut()[c];
+                    *rv = (1.0 - self.momentum) * *rv + self.momentum * var;
+                }
+                self.cache = Some(BnCache {
+                    xhat,
+                    inv_std: inv_stds,
+                });
+            }
+            Mode::Eval => {
+                for c in 0..s.c {
+                    let mean = self.running_mean.data()[c];
+                    let inv_std = 1.0 / (self.running_var.data()[c] + self.eps).sqrt();
+                    let g = self.gamma.value.data()[c];
+                    let b = self.beta.value.data()[c];
+                    for n in 0..s.n {
+                        let base = (n * s.c + c) * hw;
+                        for i in 0..hw {
+                            out.data_mut()[base + i] =
+                                g * (input.data()[base + i] - mean) * inv_std + b;
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let cache = self.cache.take().expect("bn backward without train forward");
+        let s = grad_out.shape4();
+        let hw = s.h * s.w;
+        let m = (s.n * hw) as f32;
+        let mut dinput = Tensor::zeros(grad_out.shape());
+
+        for c in 0..s.c {
+            let g = self.gamma.value.data()[c];
+            let inv_std = cache.inv_std[c];
+            // Channel-wise sums.
+            let mut sum_dy = 0.0f64;
+            let mut sum_dy_xhat = 0.0f64;
+            for n in 0..s.n {
+                let base = (n * s.c + c) * hw;
+                for i in 0..hw {
+                    let dy = grad_out.data()[base + i] as f64;
+                    sum_dy += dy;
+                    sum_dy_xhat += dy * cache.xhat.data()[base + i] as f64;
+                }
+            }
+            self.gamma.grad_mut().data_mut()[c] += sum_dy_xhat as f32;
+            self.beta.grad_mut().data_mut()[c] += sum_dy as f32;
+
+            let sum_dy = sum_dy as f32;
+            let sum_dy_xhat = sum_dy_xhat as f32;
+            for n in 0..s.n {
+                let base = (n * s.c + c) * hw;
+                for i in 0..hw {
+                    let dy = grad_out.data()[base + i];
+                    let xh = cache.xhat.data()[base + i];
+                    dinput.data_mut()[base + i] =
+                        g * inv_std / m * (m * dy - sum_dy - xh * sum_dy_xhat);
+                }
+            }
+        }
+        dinput
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.gamma);
+        f(&mut self.beta);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use patdnn_tensor::rng::Rng;
+
+    #[test]
+    fn train_output_is_normalized() {
+        let mut rng = Rng::seed_from(4);
+        let mut bn = BatchNorm2d::new("bn", 3);
+        let x = Tensor::randn_std(&[4, 3, 5, 5], 3.0, &mut rng).map(|v| v + 10.0);
+        let y = bn.forward(&x, Mode::Train);
+        // Per-channel mean ~ 0, var ~ 1 after normalization with unit gamma.
+        let s = y.shape4();
+        let hw = s.h * s.w;
+        for c in 0..3 {
+            let mut vals = Vec::new();
+            for n in 0..s.n {
+                let base = (n * s.c + c) * hw;
+                vals.extend_from_slice(&y.data()[base..base + hw]);
+            }
+            let mean: f32 = vals.iter().sum::<f32>() / vals.len() as f32;
+            let var: f32 = vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / vals.len() as f32;
+            assert!(mean.abs() < 1e-3, "mean {mean}");
+            assert!((var - 1.0).abs() < 1e-2, "var {var}");
+        }
+    }
+
+    #[test]
+    fn eval_uses_running_stats() {
+        let mut bn = BatchNorm2d::new("bn", 1);
+        bn.running_mean = Tensor::from_vec(&[1], vec![2.0]).unwrap();
+        bn.running_var = Tensor::from_vec(&[1], vec![4.0]).unwrap();
+        let x = Tensor::filled(&[1, 1, 1, 2], 4.0);
+        let y = bn.forward(&x, Mode::Eval);
+        // (4 - 2) / 2 = 1.
+        assert!((y.data()[0] - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn gradients_match_finite_differences() {
+        let mut rng = Rng::seed_from(5);
+        let mut bn = BatchNorm2d::new("bn", 2);
+        bn.gamma.value = Tensor::from_vec(&[2], vec![1.5, 0.5]).unwrap();
+        bn.beta.value = Tensor::from_vec(&[2], vec![0.1, -0.2]).unwrap();
+        let x = Tensor::randn(&[2, 2, 3, 3], &mut rng);
+        // Use a weighted sum as loss so gradients are non-trivial.
+        let w = Tensor::randn(&[2, 2, 3, 3], &mut rng);
+        let out = bn.forward(&x, Mode::Train);
+        let _ = out;
+        let dx = bn.backward(&w);
+
+        let loss = |bn: &mut BatchNorm2d, x: &Tensor| -> f32 {
+            // Re-run in train mode on fresh running stats to get batch statistics,
+            // then discard the cache.
+            let y = bn.forward(x, Mode::Train);
+            bn.cache = None;
+            y.dot(&w)
+        };
+        let eps = 1e-3;
+        for &ii in &[0usize, 7, 20, 35] {
+            let mut x2 = x.clone();
+            x2.data_mut()[ii] += eps;
+            let lp = loss(&mut bn, &x2);
+            x2.data_mut()[ii] -= 2.0 * eps;
+            let lm = loss(&mut bn, &x2);
+            let numeric = (lp - lm) / (2.0 * eps);
+            let analytic = dx.data()[ii];
+            assert!(
+                (numeric - analytic).abs() < 3e-2 * (1.0 + numeric.abs()),
+                "input {ii}: numeric {numeric} vs analytic {analytic}"
+            );
+        }
+    }
+
+    #[test]
+    fn fold_params_linearize_eval() {
+        let mut bn = BatchNorm2d::new("bn", 2);
+        bn.running_mean = Tensor::from_vec(&[2], vec![1.0, -1.0]).unwrap();
+        bn.running_var = Tensor::from_vec(&[2], vec![4.0, 0.25]).unwrap();
+        bn.gamma.value = Tensor::from_vec(&[2], vec![2.0, 3.0]).unwrap();
+        bn.beta.value = Tensor::from_vec(&[2], vec![0.5, -0.5]).unwrap();
+        let (scale, shift) = bn.fold_params();
+        let x = Tensor::from_vec(&[1, 2, 1, 1], vec![3.0, 2.0]).unwrap();
+        let y = bn.forward(&x, Mode::Eval);
+        for c in 0..2 {
+            let expect = scale[c] * x.data()[c] + shift[c];
+            assert!((y.data()[c] - expect).abs() < 1e-4);
+        }
+    }
+}

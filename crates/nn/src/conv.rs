@@ -1,0 +1,488 @@
+//! Convolution layers with full backpropagation.
+
+use patdnn_tensor::gemm::{gemm_at, gemm_bt};
+use patdnn_tensor::im2col::{col2im, col_cols, col_rows, im2col};
+use patdnn_tensor::rng::Rng;
+use patdnn_tensor::{Conv2dGeometry, Tensor};
+
+use crate::layer::{Layer, Mode, Param};
+
+/// Standard 2-D convolution (OIHW weights, NCHW activations).
+///
+/// Forward and backward are im2col-based; weights are Kaiming-initialized.
+///
+/// # Examples
+///
+/// ```
+/// use patdnn_nn::prelude::*;
+/// use patdnn_tensor::{rng::Rng, Tensor};
+///
+/// let mut rng = Rng::seed_from(1);
+/// let mut conv = Conv2d::new("c1", 8, 3, 3, 1, 1, &mut rng);
+/// let x = Tensor::randn(&[1, 3, 16, 16], &mut rng);
+/// assert_eq!(conv.forward(&x, Mode::Eval).shape(), &[1, 8, 16, 16]);
+/// ```
+pub struct Conv2d {
+    name: String,
+    out_channels: usize,
+    in_channels: usize,
+    kernel: usize,
+    stride: usize,
+    pad: usize,
+    /// Filter weights, shape `[out_c, in_c, k, k]`.
+    pub weight: Param,
+    /// Per-filter bias, shape `[out_c]`.
+    pub bias: Param,
+    cached_input: Option<Tensor>,
+    cached_geo: Option<Conv2dGeometry>,
+}
+
+impl Conv2d {
+    /// Creates a convolution with Kaiming-normal weights and zero bias.
+    pub fn new(
+        name: &str,
+        out_channels: usize,
+        in_channels: usize,
+        kernel: usize,
+        stride: usize,
+        pad: usize,
+        rng: &mut Rng,
+    ) -> Self {
+        let fan_in = (in_channels * kernel * kernel) as f32;
+        let std = (2.0 / fan_in).sqrt();
+        Conv2d {
+            name: name.to_owned(),
+            out_channels,
+            in_channels,
+            kernel,
+            stride,
+            pad,
+            weight: Param::new(Tensor::randn_std(
+                &[out_channels, in_channels, kernel, kernel],
+                std,
+                rng,
+            )),
+            bias: Param::new_no_decay(Tensor::zeros(&[out_channels])),
+            cached_input: None,
+            cached_geo: None,
+        }
+    }
+
+    /// Geometry for a given input height/width.
+    pub fn geometry(&self, in_h: usize, in_w: usize) -> Conv2dGeometry {
+        Conv2dGeometry::new(
+            self.out_channels,
+            self.in_channels,
+            self.kernel,
+            self.kernel,
+            in_h,
+            in_w,
+            self.stride,
+            self.pad,
+        )
+    }
+
+    /// Number of output channels.
+    pub fn out_channels(&self) -> usize {
+        self.out_channels
+    }
+}
+
+impl Layer for Conv2d {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
+        let s = input.shape4();
+        assert_eq!(s.c, self.in_channels, "conv {}: channel mismatch", self.name);
+        let geo = self.geometry(s.h, s.w);
+        let out = patdnn_tensor::im2col::conv2d_im2col(
+            input,
+            &self.weight.value,
+            Some(self.bias.value.data()),
+            &geo,
+        );
+        if mode == Mode::Train {
+            self.cached_input = Some(input.clone());
+            self.cached_geo = Some(geo);
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let input = self
+            .cached_input
+            .take()
+            .expect("conv backward without train-mode forward");
+        let geo = self.cached_geo.take().expect("geometry cached with input");
+        let batch = input.shape4().n;
+        let rows = col_rows(&geo);
+        let ncols = col_cols(&geo);
+        let in_img = geo.in_channels * geo.in_h * geo.in_w;
+        let out_img = geo.out_channels * ncols;
+
+        let mut dinput = Tensor::zeros(input.shape());
+        let mut cols = vec![0.0f32; rows * ncols];
+        let mut dcols = vec![0.0f32; rows * ncols];
+
+        // Accumulate weight/bias gradients across the batch.
+        {
+            let dw = self.weight.grad_mut();
+            let dwd = dw.data_mut();
+            for n in 0..batch {
+                let gout = &grad_out.data()[n * out_img..(n + 1) * out_img];
+                im2col(&input.data()[n * in_img..(n + 1) * in_img], &geo, &mut cols);
+                // dW (oc x rows) += gOut (oc x ncols) * colsᵀ (ncols x rows)
+                gemm_bt(geo.out_channels, rows, ncols, gout, &cols, dwd);
+            }
+        }
+        {
+            let db = self.bias.grad_mut();
+            let dbd = db.data_mut();
+            for n in 0..batch {
+                let gout = &grad_out.data()[n * out_img..(n + 1) * out_img];
+                for oc in 0..geo.out_channels {
+                    dbd[oc] += gout[oc * ncols..(oc + 1) * ncols].iter().sum::<f32>();
+                }
+            }
+        }
+
+        for n in 0..batch {
+            let gout = &grad_out.data()[n * out_img..(n + 1) * out_img];
+            dcols.iter_mut().for_each(|v| *v = 0.0);
+            // dcols (rows x ncols) = Wᵀ (rows x oc) * gOut (oc x ncols)
+            gemm_at(rows, ncols, geo.out_channels, self.weight.value.data(), gout, &mut dcols);
+            col2im(&dcols, &geo, &mut dinput.data_mut()[n * in_img..(n + 1) * in_img]);
+        }
+        dinput
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.weight);
+        f(&mut self.bias);
+    }
+
+    fn visit_convs(&mut self, f: &mut dyn FnMut(&mut Conv2d)) {
+        f(self);
+    }
+}
+
+/// Depthwise 2-D convolution (one kernel per channel), as used by
+/// MobileNet-V2's inverted residual blocks.
+pub struct DepthwiseConv2d {
+    name: String,
+    channels: usize,
+    kernel: usize,
+    stride: usize,
+    pad: usize,
+    /// Weights, shape `[channels, 1, k, k]`.
+    pub weight: Param,
+    /// Per-channel bias.
+    pub bias: Param,
+    cached_input: Option<Tensor>,
+}
+
+impl DepthwiseConv2d {
+    /// Creates a depthwise convolution with Kaiming-normal weights.
+    pub fn new(name: &str, channels: usize, kernel: usize, stride: usize, pad: usize, rng: &mut Rng) -> Self {
+        let std = (2.0 / (kernel * kernel) as f32).sqrt();
+        DepthwiseConv2d {
+            name: name.to_owned(),
+            channels,
+            kernel,
+            stride,
+            pad,
+            weight: Param::new(Tensor::randn_std(&[channels, 1, kernel, kernel], std, rng)),
+            bias: Param::new_no_decay(Tensor::zeros(&[channels])),
+            cached_input: None,
+        }
+    }
+
+    fn out_dims(&self, in_h: usize, in_w: usize) -> (usize, usize) {
+        (
+            patdnn_tensor::conv_out_dim(in_h, self.kernel, self.stride, self.pad),
+            patdnn_tensor::conv_out_dim(in_w, self.kernel, self.stride, self.pad),
+        )
+    }
+}
+
+impl Layer for DepthwiseConv2d {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
+        let s = input.shape4();
+        assert_eq!(s.c, self.channels, "dwconv {}: channel mismatch", self.name);
+        let (out_h, out_w) = self.out_dims(s.h, s.w);
+        let mut out = Tensor::zeros(&[s.n, s.c, out_h, out_w]);
+        let k = self.kernel;
+        let wd = self.weight.value.data();
+        let bd = self.bias.value.data();
+        let in_data = input.data();
+        let out_data = out.data_mut();
+        for n in 0..s.n {
+            for c in 0..s.c {
+                let ibase = (n * s.c + c) * s.h * s.w;
+                let obase = (n * s.c + c) * out_h * out_w;
+                let wbase = c * k * k;
+                for oh in 0..out_h {
+                    for ow in 0..out_w {
+                        let mut acc = bd[c];
+                        for kh in 0..k {
+                            let ih = (oh * self.stride + kh) as isize - self.pad as isize;
+                            if ih < 0 || ih >= s.h as isize {
+                                continue;
+                            }
+                            for kw in 0..k {
+                                let iw = (ow * self.stride + kw) as isize - self.pad as isize;
+                                if iw < 0 || iw >= s.w as isize {
+                                    continue;
+                                }
+                                acc += in_data[ibase + ih as usize * s.w + iw as usize]
+                                    * wd[wbase + kh * k + kw];
+                            }
+                        }
+                        out_data[obase + oh * out_w + ow] = acc;
+                    }
+                }
+            }
+        }
+        if mode == Mode::Train {
+            self.cached_input = Some(input.clone());
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let input = self
+            .cached_input
+            .take()
+            .expect("dwconv backward without train-mode forward");
+        let s = input.shape4();
+        let (out_h, out_w) = self.out_dims(s.h, s.w);
+        let k = self.kernel;
+        let mut dinput = Tensor::zeros(input.shape());
+        {
+            let go = grad_out.data();
+            let ind = input.data();
+            let dw = self.weight.grad_mut().data_mut();
+            for n in 0..s.n {
+                for c in 0..s.c {
+                    let ibase = (n * s.c + c) * s.h * s.w;
+                    let obase = (n * s.c + c) * out_h * out_w;
+                    let wbase = c * k * k;
+                    for oh in 0..out_h {
+                        for ow in 0..out_w {
+                            let g = go[obase + oh * out_w + ow];
+                            if g == 0.0 {
+                                continue;
+                            }
+                            for kh in 0..k {
+                                let ih = (oh * self.stride + kh) as isize - self.pad as isize;
+                                if ih < 0 || ih >= s.h as isize {
+                                    continue;
+                                }
+                                for kw in 0..k {
+                                    let iw = (ow * self.stride + kw) as isize - self.pad as isize;
+                                    if iw < 0 || iw >= s.w as isize {
+                                        continue;
+                                    }
+                                    dw[wbase + kh * k + kw] +=
+                                        g * ind[ibase + ih as usize * s.w + iw as usize];
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        {
+            let go = grad_out.data();
+            let db = self.bias.grad_mut().data_mut();
+            for n in 0..s.n {
+                for c in 0..s.c {
+                    let obase = (n * s.c + c) * out_h * out_w;
+                    db[c] += go[obase..obase + out_h * out_w].iter().sum::<f32>();
+                }
+            }
+        }
+        {
+            let go = grad_out.data();
+            let wd = self.weight.value.data();
+            let di = dinput.data_mut();
+            for n in 0..s.n {
+                for c in 0..s.c {
+                    let ibase = (n * s.c + c) * s.h * s.w;
+                    let obase = (n * s.c + c) * out_h * out_w;
+                    let wbase = c * k * k;
+                    for oh in 0..out_h {
+                        for ow in 0..out_w {
+                            let g = go[obase + oh * out_w + ow];
+                            if g == 0.0 {
+                                continue;
+                            }
+                            for kh in 0..k {
+                                let ih = (oh * self.stride + kh) as isize - self.pad as isize;
+                                if ih < 0 || ih >= s.h as isize {
+                                    continue;
+                                }
+                                for kw in 0..k {
+                                    let iw = (ow * self.stride + kw) as isize - self.pad as isize;
+                                    if iw < 0 || iw >= s.w as isize {
+                                        continue;
+                                    }
+                                    di[ibase + ih as usize * s.w + iw as usize] +=
+                                        g * wd[wbase + kh * k + kw];
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        dinput
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.weight);
+        f(&mut self.bias);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Numerically checks conv gradients with central differences.
+    #[test]
+    fn conv_gradients_match_finite_differences() {
+        let mut rng = Rng::seed_from(7);
+        let mut conv = Conv2d::new("c", 2, 2, 3, 1, 1, &mut rng);
+        let x = Tensor::randn(&[1, 2, 5, 5], &mut rng);
+        // Loss = sum(forward(x)); dLoss/dOut = ones.
+        let out = conv.forward(&x, Mode::Train);
+        let ones = Tensor::filled(out.shape(), 1.0);
+        let dx = conv.backward(&ones);
+
+        let eps = 1e-3;
+        // Check a few weight entries.
+        for &wi in &[0usize, 5, 17, 35] {
+            let orig = conv.weight.value.data()[wi];
+            conv.weight.value.data_mut()[wi] = orig + eps;
+            let lp = conv.forward(&x, Mode::Eval).sum();
+            conv.weight.value.data_mut()[wi] = orig - eps;
+            let lm = conv.forward(&x, Mode::Eval).sum();
+            conv.weight.value.data_mut()[wi] = orig;
+            let numeric = (lp - lm) / (2.0 * eps);
+            let analytic = conv.weight.grad().unwrap().data()[wi];
+            assert!(
+                (numeric - analytic).abs() < 2e-2 * (1.0 + numeric.abs()),
+                "weight {wi}: numeric {numeric} vs analytic {analytic}"
+            );
+        }
+        // Check a few input entries.
+        let mut x2 = x.clone();
+        for &ii in &[0usize, 12, 24, 49] {
+            let orig = x2.data()[ii];
+            x2.data_mut()[ii] = orig + eps;
+            let lp = conv.forward(&x2, Mode::Eval).sum();
+            x2.data_mut()[ii] = orig - eps;
+            let lm = conv.forward(&x2, Mode::Eval).sum();
+            x2.data_mut()[ii] = orig;
+            let numeric = (lp - lm) / (2.0 * eps);
+            let analytic = dx.data()[ii];
+            assert!(
+                (numeric - analytic).abs() < 2e-2 * (1.0 + numeric.abs()),
+                "input {ii}: numeric {numeric} vs analytic {analytic}"
+            );
+        }
+    }
+
+    #[test]
+    fn conv_bias_gradient_counts_outputs() {
+        let mut rng = Rng::seed_from(8);
+        let mut conv = Conv2d::new("c", 3, 1, 1, 1, 0, &mut rng);
+        let x = Tensor::randn(&[2, 1, 4, 4], &mut rng);
+        let out = conv.forward(&x, Mode::Train);
+        let ones = Tensor::filled(out.shape(), 1.0);
+        conv.backward(&ones);
+        // d(sum)/d(bias_c) = batch * out_h * out_w = 2 * 16.
+        for &g in conv.bias.grad().unwrap().data() {
+            assert!((g - 32.0).abs() < 1e-4, "bias grad {g}");
+        }
+    }
+
+    #[test]
+    fn depthwise_matches_grouped_reference() {
+        let mut rng = Rng::seed_from(9);
+        let mut dw = DepthwiseConv2d::new("dw", 3, 3, 1, 1, &mut rng);
+        let x = Tensor::randn(&[1, 3, 6, 6], &mut rng);
+        let out = dw.forward(&x, Mode::Eval);
+        // Compare against per-channel dense conv.
+        for c in 0..3 {
+            let geo = Conv2dGeometry::new(1, 1, 3, 3, 6, 6, 1, 1);
+            let xin = Tensor::from_vec(
+                &[1, 1, 6, 6],
+                x.data()[c * 36..(c + 1) * 36].to_vec(),
+            )
+            .unwrap();
+            let w = Tensor::from_vec(
+                &[1, 1, 3, 3],
+                dw.weight.value.data()[c * 9..(c + 1) * 9].to_vec(),
+            )
+            .unwrap();
+            let r = patdnn_tensor::conv2d_ref(&xin, &w, Some(&dw.bias.value.data()[c..c + 1]), &geo);
+            for (i, (&a, &b)) in r.data().iter().zip(&out.data()[c * 36..(c + 1) * 36]).enumerate() {
+                assert!((a - b).abs() < 1e-4, "c={c} i={i}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn depthwise_gradients_match_finite_differences() {
+        let mut rng = Rng::seed_from(10);
+        let mut dw = DepthwiseConv2d::new("dw", 2, 3, 2, 1, &mut rng);
+        let x = Tensor::randn(&[1, 2, 5, 5], &mut rng);
+        let out = dw.forward(&x, Mode::Train);
+        let ones = Tensor::filled(out.shape(), 1.0);
+        let dx = dw.backward(&ones);
+        let eps = 1e-3;
+        for &wi in &[0usize, 8, 9, 17] {
+            let orig = dw.weight.value.data()[wi];
+            dw.weight.value.data_mut()[wi] = orig + eps;
+            let lp = dw.forward(&x, Mode::Eval).sum();
+            dw.weight.value.data_mut()[wi] = orig - eps;
+            let lm = dw.forward(&x, Mode::Eval).sum();
+            dw.weight.value.data_mut()[wi] = orig;
+            let numeric = (lp - lm) / (2.0 * eps);
+            let analytic = dw.weight.grad().unwrap().data()[wi];
+            assert!(
+                (numeric - analytic).abs() < 2e-2 * (1.0 + numeric.abs()),
+                "weight {wi}: {numeric} vs {analytic}"
+            );
+        }
+        let mut x2 = x.clone();
+        for &ii in &[3usize, 20, 44] {
+            let orig = x2.data()[ii];
+            x2.data_mut()[ii] = orig + eps;
+            let lp = dw.forward(&x2, Mode::Eval).sum();
+            x2.data_mut()[ii] = orig - eps;
+            let lm = dw.forward(&x2, Mode::Eval).sum();
+            x2.data_mut()[ii] = orig;
+            let numeric = (lp - lm) / (2.0 * eps);
+            assert!(
+                (numeric - dx.data()[ii]).abs() < 2e-2 * (1.0 + numeric.abs()),
+                "input {ii}"
+            );
+        }
+    }
+
+    #[test]
+    fn param_count_is_weights_plus_bias() {
+        let mut rng = Rng::seed_from(11);
+        let mut conv = Conv2d::new("c", 8, 4, 3, 1, 1, &mut rng);
+        assert_eq!(conv.param_count(), 8 * 4 * 9 + 8);
+    }
+}

@@ -1,0 +1,281 @@
+//! Synthetic image datasets.
+//!
+//! The paper evaluates on ImageNet ILSVRC-2012 and CIFAR-10. Neither is
+//! available offline, so the reproduction substitutes deterministic
+//! synthetic datasets with the same tensor shapes: each class is defined
+//! by a smooth random prototype image and samples are noisy copies. A
+//! small CNN can learn the task, which is what the accuracy-trend
+//! experiments (Tables 3, 4, 7) need — see DESIGN.md §2 for the
+//! substitution rationale.
+
+use patdnn_tensor::rng::Rng;
+use patdnn_tensor::Tensor;
+
+/// An in-memory labelled image dataset.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    images: Vec<Tensor>,
+    labels: Vec<usize>,
+    num_classes: usize,
+    channels: usize,
+    height: usize,
+    width: usize,
+}
+
+/// Smooths a CHW tensor with a 3×3 box filter, `rounds` times.
+fn box_blur(t: &Tensor, rounds: usize) -> Tensor {
+    let s = t.shape();
+    let (c, h, w) = (s[0], s[1], s[2]);
+    let mut cur = t.clone();
+    for _ in 0..rounds {
+        let mut next = Tensor::zeros(&[c, h, w]);
+        for ci in 0..c {
+            for y in 0..h {
+                for x in 0..w {
+                    let mut acc = 0.0;
+                    let mut cnt = 0.0;
+                    for dy in -1i32..=1 {
+                        for dx in -1i32..=1 {
+                            let yy = y as i32 + dy;
+                            let xx = x as i32 + dx;
+                            if yy >= 0 && yy < h as i32 && xx >= 0 && xx < w as i32 {
+                                acc += cur.at(&[ci, yy as usize, xx as usize]);
+                                cnt += 1.0;
+                            }
+                        }
+                    }
+                    next.set(&[ci, y, x], acc / cnt);
+                }
+            }
+        }
+        cur = next;
+    }
+    cur
+}
+
+impl Dataset {
+    /// Generates a synthetic dataset of `per_class` noisy samples of each
+    /// of `num_classes` smooth prototypes.
+    ///
+    /// `noise` controls task difficulty: 0.0 is trivially separable,
+    /// values around 0.5-1.0 make a small CNN work for its accuracy.
+    pub fn synthetic(
+        num_classes: usize,
+        per_class: usize,
+        channels: usize,
+        height: usize,
+        width: usize,
+        noise: f32,
+        rng: &mut Rng,
+    ) -> Self {
+        let mut prototypes = Vec::with_capacity(num_classes);
+        for _ in 0..num_classes {
+            let raw = Tensor::randn(&[channels, height, width], rng);
+            let mut smooth = box_blur(&raw, 2);
+            // Normalize prototype energy so classes are equally hard.
+            let norm = smooth.l2_norm().max(1e-6);
+            smooth.scale((channels * height * width) as f32 / (norm * norm.sqrt()));
+            prototypes.push(smooth);
+        }
+        let mut images = Vec::with_capacity(num_classes * per_class);
+        let mut labels = Vec::with_capacity(num_classes * per_class);
+        for (label, proto) in prototypes.iter().enumerate() {
+            for _ in 0..per_class {
+                let mut img = proto.clone();
+                for v in img.data_mut() {
+                    *v += noise * rng.normal();
+                }
+                images.push(img);
+                labels.push(label);
+            }
+        }
+        // Shuffle sample order so mini-batches mix classes.
+        let mut order: Vec<usize> = (0..images.len()).collect();
+        rng.shuffle(&mut order);
+        let images = order.iter().map(|&i| images[i].clone()).collect();
+        let labels = order.iter().map(|&i| labels[i]).collect();
+        Dataset {
+            images,
+            labels,
+            num_classes,
+            channels,
+            height,
+            width,
+        }
+    }
+
+    /// CIFAR-10-shaped synthetic data: 10 classes of 3×32×32 images.
+    pub fn cifar_like(per_class: usize, noise: f32, rng: &mut Rng) -> Self {
+        Dataset::synthetic(10, per_class, 3, 32, 32, noise, rng)
+    }
+
+    /// Down-scaled ImageNet-like synthetic data (3×64×64, 10 classes) —
+    /// large enough to exercise multi-stage networks, small enough to
+    /// train on a laptop.
+    pub fn imagenet_like(per_class: usize, noise: f32, rng: &mut Rng) -> Self {
+        Dataset::synthetic(10, per_class, 3, 64, 64, noise, rng)
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.images.len()
+    }
+
+    /// Returns `true` when the dataset has no samples.
+    pub fn is_empty(&self) -> bool {
+        self.images.is_empty()
+    }
+
+    /// Number of classes.
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    /// Image shape as `(channels, height, width)`.
+    pub fn image_shape(&self) -> (usize, usize, usize) {
+        (self.channels, self.height, self.width)
+    }
+
+    /// The label of sample `i`.
+    pub fn label(&self, i: usize) -> usize {
+        self.labels[i]
+    }
+
+    /// The image of sample `i`.
+    pub fn image(&self, i: usize) -> &Tensor {
+        &self.images[i]
+    }
+
+    /// Splits into `(train, test)` with `train_fraction` of samples in the
+    /// training half.
+    pub fn split(self, train_fraction: f64) -> (Dataset, Dataset) {
+        let n_train = ((self.len() as f64) * train_fraction).round() as usize;
+        let (train_imgs, test_imgs) = {
+            let mut imgs = self.images;
+            let test = imgs.split_off(n_train.min(imgs.len()));
+            (imgs, test)
+        };
+        let (train_labels, test_labels) = {
+            let mut labels = self.labels;
+            let test = labels.split_off(n_train.min(labels.len()));
+            (labels, test)
+        };
+        let make = |images: Vec<Tensor>, labels: Vec<usize>| Dataset {
+            images,
+            labels,
+            num_classes: self.num_classes,
+            channels: self.channels,
+            height: self.height,
+            width: self.width,
+        };
+        (
+            make(train_imgs, train_labels),
+            make(test_imgs, test_labels),
+        )
+    }
+
+    /// Assembles samples `indices` into a `[batch, c, h, w]` tensor plus
+    /// labels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range.
+    pub fn batch(&self, indices: &[usize]) -> (Tensor, Vec<usize>) {
+        let img_len = self.channels * self.height * self.width;
+        let mut data = Vec::with_capacity(indices.len() * img_len);
+        let mut labels = Vec::with_capacity(indices.len());
+        for &i in indices {
+            data.extend_from_slice(self.images[i].data());
+            labels.push(self.labels[i]);
+        }
+        let t = Tensor::from_vec(
+            &[indices.len(), self.channels, self.height, self.width],
+            data,
+        )
+        .expect("batch assembly length");
+        (t, labels)
+    }
+
+    /// Returns shuffled mini-batch index lists covering the whole dataset.
+    pub fn epoch_batches(&self, batch_size: usize, rng: &mut Rng) -> Vec<Vec<usize>> {
+        assert!(batch_size > 0, "batch size must be positive");
+        let mut order: Vec<usize> = (0..self.len()).collect();
+        rng.shuffle(&mut order);
+        order.chunks(batch_size).map(|c| c.to_vec()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synthetic_has_balanced_labels() {
+        let mut rng = Rng::seed_from(1);
+        let ds = Dataset::synthetic(4, 25, 3, 8, 8, 0.3, &mut rng);
+        assert_eq!(ds.len(), 100);
+        let mut counts = [0usize; 4];
+        for i in 0..ds.len() {
+            counts[ds.label(i)] += 1;
+        }
+        assert_eq!(counts, [25, 25, 25, 25]);
+    }
+
+    #[test]
+    fn batch_shapes_and_labels() {
+        let mut rng = Rng::seed_from(2);
+        let ds = Dataset::synthetic(3, 5, 2, 4, 4, 0.1, &mut rng);
+        let (x, y) = ds.batch(&[0, 3, 7]);
+        assert_eq!(x.shape(), &[3, 2, 4, 4]);
+        assert_eq!(y, vec![ds.label(0), ds.label(3), ds.label(7)]);
+        // First image copied verbatim.
+        assert_eq!(&x.data()[..32], ds.image(0).data());
+    }
+
+    #[test]
+    fn split_partitions_without_loss() {
+        let mut rng = Rng::seed_from(3);
+        let ds = Dataset::synthetic(2, 10, 1, 4, 4, 0.2, &mut rng);
+        let total = ds.len();
+        let (train, test) = ds.split(0.8);
+        assert_eq!(train.len() + test.len(), total);
+        assert_eq!(train.len(), 16);
+    }
+
+    #[test]
+    fn epoch_batches_cover_every_sample_once() {
+        let mut rng = Rng::seed_from(4);
+        let ds = Dataset::synthetic(2, 9, 1, 2, 2, 0.1, &mut rng);
+        let batches = ds.epoch_batches(4, &mut rng);
+        let mut seen: Vec<usize> = batches.into_iter().flatten().collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..18).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn classes_are_distinguishable() {
+        // Prototype separation: same-class samples should be closer to their
+        // own prototype-mean than to another class's.
+        let mut rng = Rng::seed_from(5);
+        let ds = Dataset::synthetic(2, 20, 1, 8, 8, 0.3, &mut rng);
+        let mut means = vec![Tensor::zeros(&[1, 8, 8]); 2];
+        let mut counts = [0f32; 2];
+        for i in 0..ds.len() {
+            means[ds.label(i)].axpy(1.0, ds.image(i));
+            counts[ds.label(i)] += 1.0;
+        }
+        for (m, &c) in means.iter_mut().zip(&counts) {
+            m.scale(1.0 / c);
+        }
+        let mut correct = 0;
+        for i in 0..ds.len() {
+            let d0 = ds.image(i).zip_map(&means[0], |a, b| a - b).unwrap().l2_norm();
+            let d1 = ds.image(i).zip_map(&means[1], |a, b| a - b).unwrap().l2_norm();
+            let pred = usize::from(d1 < d0);
+            if pred == ds.label(i) {
+                correct += 1;
+            }
+        }
+        assert!(correct as f32 / ds.len() as f32 > 0.9, "correct {correct}/40");
+    }
+}

@@ -1,0 +1,152 @@
+//! The [`Layer`] trait and trainable [`Param`]eters.
+
+use patdnn_tensor::Tensor;
+
+/// Whether a forward pass is part of training or inference.
+///
+/// Training mode makes layers cache activations for the subsequent
+/// [`Layer::backward`] call and makes batch norm use batch statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// Forward for training: cache intermediates, use batch statistics.
+    Train,
+    /// Forward for inference: no caching, use running statistics.
+    Eval,
+}
+
+/// A trainable tensor with a lazily-allocated gradient buffer.
+///
+/// # Examples
+///
+/// ```
+/// use patdnn_nn::layer::Param;
+/// use patdnn_tensor::Tensor;
+///
+/// let mut p = Param::new(Tensor::zeros(&[2, 2]));
+/// p.grad_mut().data_mut()[0] = 1.0;
+/// assert_eq!(p.grad().unwrap().data()[0], 1.0);
+/// p.zero_grad();
+/// assert_eq!(p.grad().unwrap().data()[0], 0.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Param {
+    /// The current value of the parameter.
+    pub value: Tensor,
+    grad: Option<Tensor>,
+    /// Whether weight decay applies (disabled for biases and BN scales).
+    pub decay: bool,
+}
+
+impl Param {
+    /// Wraps a value with weight decay enabled.
+    pub fn new(value: Tensor) -> Self {
+        Param {
+            value,
+            grad: None,
+            decay: true,
+        }
+    }
+
+    /// Wraps a value with weight decay disabled (biases, BN parameters).
+    pub fn new_no_decay(value: Tensor) -> Self {
+        Param {
+            value,
+            grad: None,
+            decay: false,
+        }
+    }
+
+    /// The gradient, if a backward pass has produced one.
+    pub fn grad(&self) -> Option<&Tensor> {
+        self.grad.as_ref()
+    }
+
+    /// Mutable gradient, allocated as zeros on first use.
+    pub fn grad_mut(&mut self) -> &mut Tensor {
+        if self.grad.is_none() {
+            self.grad = Some(Tensor::zeros(self.value.shape()));
+        }
+        self.grad.as_mut().expect("just allocated")
+    }
+
+    /// Resets the gradient to zero (keeps the allocation).
+    pub fn zero_grad(&mut self) {
+        if let Some(g) = &mut self.grad {
+            g.map_inplace(|_| 0.0);
+        }
+    }
+
+    /// Number of scalar parameters.
+    pub fn len(&self) -> usize {
+        self.value.len()
+    }
+
+    /// Returns `true` if the parameter holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.value.is_empty()
+    }
+}
+
+/// A differentiable network layer.
+///
+/// Layers own their parameters and cache whatever they need during a
+/// [`Mode::Train`] forward pass to compute `backward` later. `backward`
+/// consumes the cache, accumulates parameter gradients, and returns the
+/// gradient with respect to the layer input.
+pub trait Layer {
+    /// A human-readable identifier used in diagnostics and specs.
+    fn name(&self) -> &str;
+
+    /// Runs the layer on `input`.
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor;
+
+    /// Propagates `grad_out` backwards; returns the input gradient.
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic if called without a preceding
+    /// [`Mode::Train`] forward pass.
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor;
+
+    /// Visits every trainable parameter in a stable order.
+    fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Param)) {}
+
+    /// Visits every standard convolution layer (depth-first), giving the
+    /// pruning stage in-place access to filter weights.
+    fn visit_convs(&mut self, _f: &mut dyn FnMut(&mut crate::conv::Conv2d)) {}
+
+    /// Total number of scalar parameters.
+    fn param_count(&mut self) -> usize {
+        let mut n = 0;
+        self.visit_params(&mut |p| n += p.len());
+        n
+    }
+
+    /// Zeroes all parameter gradients.
+    fn zero_grads(&mut self) {
+        self.visit_params(&mut |p| p.zero_grad());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grad_is_lazy() {
+        let p = Param::new(Tensor::zeros(&[4]));
+        assert!(p.grad().is_none());
+    }
+
+    #[test]
+    fn grad_mut_allocates_matching_shape() {
+        let mut p = Param::new(Tensor::zeros(&[2, 3]));
+        assert_eq!(p.grad_mut().shape(), &[2, 3]);
+    }
+
+    #[test]
+    fn decay_flags() {
+        assert!(Param::new(Tensor::zeros(&[1])).decay);
+        assert!(!Param::new_no_decay(Tensor::zeros(&[1])).decay);
+    }
+}

@@ -1,0 +1,55 @@
+//! # patdnn-nn
+//!
+//! Trainable DNN substrate for the PatDNN reproduction.
+//!
+//! The paper trains VGG-16, ResNet-50, and MobileNet-V2 in PyTorch; this
+//! crate is the from-scratch equivalent: layers with full backpropagation
+//! ([`layer`], [`conv`], [`linear`], [`pool`], [`batchnorm`],
+//! [`activation`]), sequential/residual composition ([`network`]),
+//! SGD/Adam optimizers ([`optim`]), softmax cross-entropy ([`loss`]),
+//! synthetic datasets ([`data`]), a training loop ([`train`]), and exact
+//! layer-inventory *specs* of the paper's three models ([`models`]) used by
+//! the reproduction harness for Tables 5-6 and all per-layer workloads.
+//!
+//! # Examples
+//!
+//! ```
+//! use patdnn_nn::prelude::*;
+//! use patdnn_tensor::rng::Rng;
+//!
+//! let mut rng = Rng::seed_from(0);
+//! let mut net = Sequential::new("tiny");
+//! net.push(Conv2d::new("conv", 4, 3, 3, 1, 1, &mut rng));
+//! net.push(Relu::new("relu"));
+//! let x = patdnn_tensor::Tensor::randn(&[2, 3, 8, 8], &mut rng);
+//! let y = net.forward(&x, Mode::Eval);
+//! assert_eq!(y.shape(), &[2, 4, 8, 8]);
+//! ```
+
+pub mod activation;
+pub mod batchnorm;
+pub mod conv;
+pub mod data;
+pub mod layer;
+pub mod linear;
+pub mod loss;
+pub mod models;
+pub mod network;
+pub mod optim;
+pub mod pool;
+pub mod train;
+
+/// Convenient glob import for building and training networks.
+pub mod prelude {
+    pub use crate::activation::{Relu, Relu6};
+    pub use crate::batchnorm::BatchNorm2d;
+    pub use crate::conv::{Conv2d, DepthwiseConv2d};
+    pub use crate::data::Dataset;
+    pub use crate::layer::{Layer, Mode, Param};
+    pub use crate::linear::{Flatten, Linear};
+    pub use crate::loss::softmax_cross_entropy;
+    pub use crate::network::{Residual, Sequential};
+    pub use crate::optim::{Adam, Optimizer, Sgd};
+    pub use crate::pool::{AvgPool2d, GlobalAvgPool, MaxPool2d};
+    pub use crate::train::{evaluate, train, Accuracy, TrainConfig};
+}

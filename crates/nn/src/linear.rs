@@ -1,0 +1,217 @@
+//! Fully-connected layer and the flatten adaptor.
+
+use patdnn_tensor::gemm::{gemm_at, gemm_bt, gemm_ref};
+use patdnn_tensor::rng::Rng;
+use patdnn_tensor::Tensor;
+
+use crate::layer::{Layer, Mode, Param};
+
+/// Fully-connected (dense) layer: `y = x Wᵀ + b`.
+///
+/// Inputs are `[batch, in_features]`; weights are `[out_features,
+/// in_features]` so each row is one output neuron, mirroring the OIHW
+/// convention of the conv layers.
+pub struct Linear {
+    name: String,
+    in_features: usize,
+    out_features: usize,
+    /// Weights, shape `[out_features, in_features]`.
+    pub weight: Param,
+    /// Bias, shape `[out_features]`.
+    pub bias: Param,
+    cached_input: Option<Tensor>,
+}
+
+impl Linear {
+    /// Creates a layer with Kaiming-normal weights and zero bias.
+    pub fn new(name: &str, out_features: usize, in_features: usize, rng: &mut Rng) -> Self {
+        let std = (2.0 / in_features as f32).sqrt();
+        Linear {
+            name: name.to_owned(),
+            in_features,
+            out_features,
+            weight: Param::new(Tensor::randn_std(&[out_features, in_features], std, rng)),
+            bias: Param::new_no_decay(Tensor::zeros(&[out_features])),
+            cached_input: None,
+        }
+    }
+
+    /// Number of input features.
+    pub fn in_features(&self) -> usize {
+        self.in_features
+    }
+
+    /// Number of output features.
+    pub fn out_features(&self) -> usize {
+        self.out_features
+    }
+}
+
+impl Layer for Linear {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
+        assert_eq!(input.shape().len(), 2, "linear {} expects 2-d input", self.name);
+        let batch = input.shape()[0];
+        assert_eq!(input.shape()[1], self.in_features, "linear {} feature mismatch", self.name);
+        let mut out = Tensor::zeros(&[batch, self.out_features]);
+        // out (B x O) = input (B x I) * Wᵀ (I x O); W stored O x I.
+        gemm_bt(
+            batch,
+            self.out_features,
+            self.in_features,
+            input.data(),
+            self.weight.value.data(),
+            out.data_mut(),
+        );
+        for b in 0..batch {
+            for (o, &bias) in self.bias.value.data().iter().enumerate() {
+                out.data_mut()[b * self.out_features + o] += bias;
+            }
+        }
+        if mode == Mode::Train {
+            self.cached_input = Some(input.clone());
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let input = self
+            .cached_input
+            .take()
+            .expect("linear backward without train-mode forward");
+        let batch = input.shape()[0];
+        // dW (O x I) += gOutᵀ (O x B) * input (B x I)
+        gemm_at(
+            self.out_features,
+            self.in_features,
+            batch,
+            grad_out.data(),
+            input.data(),
+            self.weight.grad_mut().data_mut(),
+        );
+        {
+            let db = self.bias.grad_mut().data_mut();
+            for b in 0..batch {
+                for o in 0..self.out_features {
+                    db[o] += grad_out.data()[b * self.out_features + o];
+                }
+            }
+        }
+        // dX (B x I) = gOut (B x O) * W (O x I)
+        let mut dinput = Tensor::zeros(input.shape());
+        gemm_ref(
+            batch,
+            self.in_features,
+            self.out_features,
+            grad_out.data(),
+            self.weight.value.data(),
+            dinput.data_mut(),
+        );
+        dinput
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.weight);
+        f(&mut self.bias);
+    }
+}
+
+/// Flattens `[batch, c, h, w]` activations to `[batch, c*h*w]`.
+pub struct Flatten {
+    name: String,
+    cached_shape: Option<Vec<usize>>,
+}
+
+impl Flatten {
+    /// Creates a flatten adaptor.
+    pub fn new(name: &str) -> Self {
+        Flatten {
+            name: name.to_owned(),
+            cached_shape: None,
+        }
+    }
+}
+
+impl Layer for Flatten {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
+        let batch = input.shape()[0];
+        let rest: usize = input.shape()[1..].iter().product();
+        if mode == Mode::Train {
+            self.cached_shape = Some(input.shape().to_vec());
+        }
+        input.clone().reshape(&[batch, rest]).expect("flatten preserves length")
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let shape = self
+            .cached_shape
+            .take()
+            .expect("flatten backward without forward");
+        grad_out.clone().reshape(&shape).expect("unflatten preserves length")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_forward_hand_case() {
+        let mut rng = Rng::seed_from(1);
+        let mut lin = Linear::new("fc", 2, 3, &mut rng);
+        lin.weight.value = Tensor::from_vec(&[2, 3], vec![1.0, 0.0, 0.0, 0.0, 1.0, 1.0]).unwrap();
+        lin.bias.value = Tensor::from_vec(&[2], vec![0.5, -0.5]).unwrap();
+        let x = Tensor::from_vec(&[1, 3], vec![2.0, 3.0, 4.0]).unwrap();
+        let y = lin.forward(&x, Mode::Eval);
+        assert_eq!(y.data(), &[2.5, 6.5]);
+    }
+
+    #[test]
+    fn linear_gradients_match_finite_differences() {
+        let mut rng = Rng::seed_from(2);
+        let mut lin = Linear::new("fc", 3, 4, &mut rng);
+        let x = Tensor::randn(&[2, 4], &mut rng);
+        let out = lin.forward(&x, Mode::Train);
+        let dx = lin.backward(&Tensor::filled(out.shape(), 1.0));
+        let eps = 1e-3;
+        for &wi in &[0usize, 5, 11] {
+            let orig = lin.weight.value.data()[wi];
+            lin.weight.value.data_mut()[wi] = orig + eps;
+            let lp = lin.forward(&x, Mode::Eval).sum();
+            lin.weight.value.data_mut()[wi] = orig - eps;
+            let lm = lin.forward(&x, Mode::Eval).sum();
+            lin.weight.value.data_mut()[wi] = orig;
+            let numeric = (lp - lm) / (2.0 * eps);
+            let analytic = lin.weight.grad().unwrap().data()[wi];
+            assert!((numeric - analytic).abs() < 1e-2 * (1.0 + numeric.abs()));
+        }
+        for &ii in &[0usize, 3, 7] {
+            let mut x2 = x.clone();
+            let orig = x2.data()[ii];
+            x2.data_mut()[ii] = orig + eps;
+            let lp = lin.forward(&x2, Mode::Eval).sum();
+            x2.data_mut()[ii] = orig - eps;
+            let lm = lin.forward(&x2, Mode::Eval).sum();
+            let numeric = (lp - lm) / (2.0 * eps);
+            assert!((numeric - dx.data()[ii]).abs() < 1e-2 * (1.0 + numeric.abs()));
+        }
+    }
+
+    #[test]
+    fn flatten_round_trips() {
+        let mut fl = Flatten::new("fl");
+        let x = Tensor::randn(&[2, 3, 4, 5], &mut Rng::seed_from(3));
+        let y = fl.forward(&x, Mode::Train);
+        assert_eq!(y.shape(), &[2, 60]);
+        let g = fl.backward(&y);
+        assert_eq!(g.shape(), x.shape());
+        assert_eq!(g.data(), x.data());
+    }
+}

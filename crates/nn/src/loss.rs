@@ -1,0 +1,129 @@
+//! Softmax cross-entropy loss.
+
+use patdnn_tensor::Tensor;
+
+/// Computes mean softmax cross-entropy and its gradient w.r.t. the logits.
+///
+/// `logits` is `[batch, classes]`; `targets` holds one class index per
+/// batch row. Returns `(mean_loss, grad_logits)`.
+///
+/// # Panics
+///
+/// Panics if `targets.len()` differs from the batch size or any target is
+/// out of range.
+pub fn softmax_cross_entropy(logits: &Tensor, targets: &[usize]) -> (f32, Tensor) {
+    assert_eq!(logits.shape().len(), 2, "logits must be [batch, classes]");
+    let batch = logits.shape()[0];
+    let classes = logits.shape()[1];
+    assert_eq!(targets.len(), batch, "one target per batch row");
+
+    let mut grad = Tensor::zeros(logits.shape());
+    let mut total_loss = 0.0f64;
+    for b in 0..batch {
+        let t = targets[b];
+        assert!(t < classes, "target {t} out of range for {classes} classes");
+        let row = &logits.data()[b * classes..(b + 1) * classes];
+        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let exps: Vec<f64> = row.iter().map(|&x| ((x - max) as f64).exp()).collect();
+        let sum: f64 = exps.iter().sum();
+        let log_sum = sum.ln();
+        total_loss += log_sum - (row[t] - max) as f64;
+        let grow = &mut grad.data_mut()[b * classes..(b + 1) * classes];
+        for (c, g) in grow.iter_mut().enumerate() {
+            let p = (exps[c] / sum) as f32;
+            *g = (p - if c == t { 1.0 } else { 0.0 }) / batch as f32;
+        }
+    }
+    ((total_loss / batch as f64) as f32, grad)
+}
+
+/// Softmax probabilities of a logit matrix, row by row.
+pub fn softmax(logits: &Tensor) -> Tensor {
+    assert_eq!(logits.shape().len(), 2, "logits must be [batch, classes]");
+    let classes = logits.shape()[1];
+    let mut out = logits.clone();
+    for row in out.data_mut().chunks_mut(classes) {
+        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0f32;
+        for v in row.iter_mut() {
+            *v = (*v - max).exp();
+            sum += *v;
+        }
+        for v in row.iter_mut() {
+            *v /= sum;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_logits_give_log_k() {
+        let logits = Tensor::zeros(&[1, 4]);
+        let (loss, _) = softmax_cross_entropy(&logits, &[2]);
+        assert!((loss - 4.0f32.ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn gradient_sums_to_zero_per_row() {
+        let logits = Tensor::from_vec(&[2, 3], vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0]).unwrap();
+        let (_, grad) = softmax_cross_entropy(&logits, &[0, 2]);
+        for b in 0..2 {
+            let s: f32 = grad.data()[b * 3..(b + 1) * 3].iter().sum();
+            assert!(s.abs() < 1e-6, "row {b} grad sum {s}");
+        }
+    }
+
+    #[test]
+    fn gradient_matches_finite_differences() {
+        let logits = Tensor::from_vec(&[2, 3], vec![0.5, -0.2, 1.0, 0.1, 0.9, -0.3]).unwrap();
+        let targets = [2usize, 1];
+        let (_, grad) = softmax_cross_entropy(&logits, &targets);
+        let eps = 1e-3;
+        for i in 0..6 {
+            let mut lp = logits.clone();
+            lp.data_mut()[i] += eps;
+            let (loss_p, _) = softmax_cross_entropy(&lp, &targets);
+            let mut lm = logits.clone();
+            lm.data_mut()[i] -= eps;
+            let (loss_m, _) = softmax_cross_entropy(&lm, &targets);
+            let numeric = (loss_p - loss_m) / (2.0 * eps);
+            assert!(
+                (numeric - grad.data()[i]).abs() < 1e-3,
+                "logit {i}: numeric {numeric} vs {}",
+                grad.data()[i]
+            );
+        }
+    }
+
+    #[test]
+    fn confident_correct_prediction_has_small_loss() {
+        let logits = Tensor::from_vec(&[1, 3], vec![10.0, -10.0, -10.0]).unwrap();
+        let (loss, _) = softmax_cross_entropy(&logits, &[0]);
+        assert!(loss < 1e-4, "loss {loss}");
+    }
+
+    #[test]
+    fn softmax_rows_are_distributions() {
+        let logits = Tensor::from_vec(&[2, 3], vec![1.0, 2.0, 3.0, 0.0, 0.0, 0.0]).unwrap();
+        let p = softmax(&logits);
+        for b in 0..2 {
+            let row = &p.data()[b * 3..(b + 1) * 3];
+            let s: f32 = row.iter().sum();
+            assert!((s - 1.0).abs() < 1e-5);
+            assert!(row.iter().all(|&v| v >= 0.0));
+        }
+        // Monotone: higher logit -> higher probability.
+        assert!(p.data()[2] > p.data()[1] && p.data()[1] > p.data()[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_target_panics() {
+        let logits = Tensor::zeros(&[1, 2]);
+        softmax_cross_entropy(&logits, &[5]);
+    }
+}

@@ -1,0 +1,656 @@
+//! Model inventories of the paper's three DNNs plus trainable scaled-down
+//! variants.
+//!
+//! Two kinds of artifacts live here:
+//!
+//! 1. **Specs** ([`ModelSpec`]) — exact layer-by-layer inventories of
+//!    VGG-16, ResNet-50, and MobileNet-V2 for both ImageNet and CIFAR-10
+//!    input shapes. Specs carry no weights; they drive Table 5 (model
+//!    characteristics), Table 6 (VGG unique CONV shapes) and every
+//!    per-layer performance workload in the reproduction harness.
+//! 2. **Trainable builders** ([`small_cnn`], [`vgg_small`],
+//!    [`resnet_small`]) — scaled-down networks used for the accuracy
+//!    experiments (Tables 3, 4, 7) on synthetic data, per the
+//!    substitution policy in DESIGN.md §2.
+
+use patdnn_tensor::rng::Rng;
+use patdnn_tensor::{conv_out_dim, Conv2dGeometry};
+
+use crate::activation::Relu;
+use crate::batchnorm::BatchNorm2d;
+use crate::conv::Conv2d;
+use crate::linear::{Flatten, Linear};
+use crate::network::{Residual, Sequential};
+use crate::pool::{GlobalAvgPool, MaxPool2d};
+
+/// Which dataset's input geometry a spec is built for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DatasetKind {
+    /// 3×224×224 inputs, 1000 classes.
+    ImageNet,
+    /// 3×32×32 inputs, 10 classes.
+    Cifar10,
+}
+
+impl DatasetKind {
+    /// Input spatial size.
+    pub fn input_hw(&self) -> usize {
+        match self {
+            DatasetKind::ImageNet => 224,
+            DatasetKind::Cifar10 => 32,
+        }
+    }
+
+    /// Number of classes.
+    pub fn classes(&self) -> usize {
+        match self {
+            DatasetKind::ImageNet => 1000,
+            DatasetKind::Cifar10 => 10,
+        }
+    }
+
+    /// Display name matching the paper's tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            DatasetKind::ImageNet => "ImageNet",
+            DatasetKind::Cifar10 => "CIFAR-10",
+        }
+    }
+}
+
+/// A convolution layer's static description.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ConvSpec {
+    /// Layer name, e.g. `conv4_2` or `stage2.block1.conv3x3`.
+    pub name: String,
+    /// Output channels (filters).
+    pub out_c: usize,
+    /// Input channels (kernels per filter).
+    pub in_c: usize,
+    /// Kernel size (square).
+    pub kernel: usize,
+    /// Stride.
+    pub stride: usize,
+    /// Padding.
+    pub pad: usize,
+    /// Input height at this layer.
+    pub in_h: usize,
+    /// Input width at this layer.
+    pub in_w: usize,
+    /// Depthwise convolution (one kernel per channel)?
+    pub depthwise: bool,
+    /// Is this a residual-shortcut projection (not counted as a "CONV
+    /// layer" in the paper's Table 5)?
+    pub shortcut: bool,
+    /// Does the conv carry a bias (false when followed by batch norm)?
+    pub bias: bool,
+}
+
+impl ConvSpec {
+    /// The layer's execution geometry.
+    pub fn geometry(&self) -> Conv2dGeometry {
+        let in_c = if self.depthwise { 1 } else { self.in_c };
+        Conv2dGeometry::new(
+            self.out_c, in_c, self.kernel, self.kernel, self.in_h, self.in_w, self.stride,
+            self.pad,
+        )
+    }
+
+    /// Number of trainable parameters.
+    pub fn params(&self) -> usize {
+        let in_c = if self.depthwise { 1 } else { self.in_c };
+        self.out_c * in_c * self.kernel * self.kernel + if self.bias { self.out_c } else { 0 }
+    }
+
+    /// Filter shape in the paper's `[out, in, kh, kw]` notation.
+    pub fn filter_shape(&self) -> String {
+        let in_c = if self.depthwise { 1 } else { self.in_c };
+        format!("[{}, {}, {}, {}]", self.out_c, in_c, self.kernel, self.kernel)
+    }
+}
+
+/// A non-convolution layer's static description (for parameter counting).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum AuxSpec {
+    /// Fully-connected layer `in → out` (with bias).
+    Fc {
+        /// Layer name.
+        name: String,
+        /// Input features.
+        in_f: usize,
+        /// Output features.
+        out_f: usize,
+    },
+    /// Batch normalization over `c` channels (gamma + beta).
+    BatchNorm {
+        /// Channel count.
+        c: usize,
+    },
+}
+
+impl AuxSpec {
+    /// Number of trainable parameters.
+    pub fn params(&self) -> usize {
+        match self {
+            AuxSpec::Fc { in_f, out_f, .. } => in_f * out_f + out_f,
+            AuxSpec::BatchNorm { c } => 2 * c,
+        }
+    }
+}
+
+/// A complete static model inventory.
+#[derive(Debug, Clone)]
+pub struct ModelSpec {
+    /// Model name (`VGG-16`, `ResNet-50`, `MobileNet-V2`).
+    pub name: String,
+    /// Short name used in the paper's plots (`VGG`, `RNT`, `MBNT`).
+    pub short_name: String,
+    /// The dataset geometry this spec targets.
+    pub dataset: DatasetKind,
+    /// All convolution layers in execution order.
+    pub convs: Vec<ConvSpec>,
+    /// Non-conv parameterized layers.
+    pub aux: Vec<AuxSpec>,
+}
+
+impl ModelSpec {
+    /// Total trainable parameters.
+    pub fn param_count(&self) -> usize {
+        self.convs.iter().map(ConvSpec::params).sum::<usize>()
+            + self.aux.iter().map(AuxSpec::params).sum::<usize>()
+    }
+
+    /// Model size in (decimal) megabytes at 32-bit floats, as Table 5
+    /// reports it.
+    pub fn size_mb(&self) -> f64 {
+        self.param_count() as f64 * 4.0 / 1e6
+    }
+
+    /// Number of CONV layers as the paper counts them (main path only,
+    /// excluding shortcut projections).
+    pub fn conv_layer_count(&self) -> usize {
+        self.convs.iter().filter(|c| !c.shortcut).count()
+    }
+
+    /// Number of "layers" as Table 5 counts them: main-path convs plus
+    /// fully-connected layers.
+    pub fn layer_count(&self) -> usize {
+        self.conv_layer_count()
+            + self
+                .aux
+                .iter()
+                .filter(|a| matches!(a, AuxSpec::Fc { .. }))
+                .count()
+    }
+
+    /// Total dense multiply-accumulates across all conv layers.
+    pub fn conv_macs(&self) -> usize {
+        self.convs.iter().map(|c| c.geometry().macs()).sum()
+    }
+
+    /// Parameters in conv layers only (the paper's compression rates are
+    /// "CONV compression rates").
+    pub fn conv_params(&self) -> usize {
+        self.convs.iter().map(ConvSpec::params).sum()
+    }
+
+    /// Groups identical `(filter shape, input size)` conv layers, in
+    /// first-appearance order, returning `(representative, multiplicity)`.
+    ///
+    /// Applied to the ImageNet VGG-16 spec this yields exactly the paper's
+    /// Table 6 unique layers L1–L9.
+    pub fn unique_convs(&self) -> Vec<(ConvSpec, usize)> {
+        let mut uniq: Vec<(ConvSpec, usize)> = Vec::new();
+        for c in self.convs.iter().filter(|c| !c.shortcut) {
+            if let Some(entry) = uniq.iter_mut().find(|(u, _)| {
+                u.out_c == c.out_c
+                    && u.in_c == c.in_c
+                    && u.kernel == c.kernel
+                    && u.in_h == c.in_h
+                    && u.stride == c.stride
+                    && u.depthwise == c.depthwise
+            }) {
+                entry.1 += 1;
+            } else {
+                uniq.push((c.clone(), 1));
+            }
+        }
+        uniq
+    }
+}
+
+fn conv(
+    name: impl Into<String>,
+    out_c: usize,
+    in_c: usize,
+    kernel: usize,
+    stride: usize,
+    pad: usize,
+    in_hw: usize,
+    bias: bool,
+) -> ConvSpec {
+    ConvSpec {
+        name: name.into(),
+        out_c,
+        in_c,
+        kernel,
+        stride,
+        pad,
+        in_h: in_hw,
+        in_w: in_hw,
+        depthwise: false,
+        shortcut: false,
+        bias,
+    }
+}
+
+/// VGG-16 (Simonyan & Zisserman) — 13 conv layers + 3 FC (ImageNet) or
+/// 2 FC (CIFAR-10).
+pub fn vgg16(dataset: DatasetKind) -> ModelSpec {
+    // (stage, layer-in-stage, channels): classic configuration D.
+    let stages: [(usize, usize); 5] = [(2, 64), (2, 128), (3, 256), (3, 512), (3, 512)];
+    let mut convs = Vec::new();
+    let mut hw = dataset.input_hw();
+    let mut in_c = 3;
+    for (si, &(layers, ch)) in stages.iter().enumerate() {
+        for li in 0..layers {
+            convs.push(conv(
+                format!("conv{}_{}", si + 1, li + 1),
+                ch,
+                in_c,
+                3,
+                1,
+                1,
+                hw,
+                true,
+            ));
+            in_c = ch;
+        }
+        hw /= 2; // 2x2 max pool after every stage
+    }
+    let aux = match dataset {
+        DatasetKind::ImageNet => vec![
+            AuxSpec::Fc {
+                name: "fc6".into(),
+                in_f: 512 * hw * hw, // hw = 7 after five pools on 224
+                out_f: 4096,
+            },
+            AuxSpec::Fc {
+                name: "fc7".into(),
+                in_f: 4096,
+                out_f: 4096,
+            },
+            AuxSpec::Fc {
+                name: "fc8".into(),
+                in_f: 4096,
+                out_f: 1000,
+            },
+        ],
+        DatasetKind::Cifar10 => vec![
+            AuxSpec::Fc {
+                name: "fc6".into(),
+                in_f: 512 * hw * hw, // hw = 1 after five pools on 32
+                out_f: 512,
+            },
+            AuxSpec::Fc {
+                name: "fc7".into(),
+                in_f: 512,
+                out_f: 10,
+            },
+        ],
+    };
+    ModelSpec {
+        name: "VGG-16".into(),
+        short_name: "VGG".into(),
+        dataset,
+        convs,
+        aux,
+    }
+}
+
+/// ResNet-50 (He et al.) — bottleneck blocks `[3, 4, 6, 3]`.
+pub fn resnet50(dataset: DatasetKind) -> ModelSpec {
+    let mut convs = Vec::new();
+    let mut aux = Vec::new();
+    let mut hw;
+    let mut in_c;
+    match dataset {
+        DatasetKind::ImageNet => {
+            convs.push(conv("stem", 64, 3, 7, 2, 3, 224, false));
+            aux.push(AuxSpec::BatchNorm { c: 64 });
+            hw = conv_out_dim(224, 7, 2, 3); // 112
+            hw = conv_out_dim(hw, 3, 2, 1); // maxpool -> 56
+            in_c = 64;
+        }
+        DatasetKind::Cifar10 => {
+            convs.push(conv("stem", 64, 3, 3, 1, 1, 32, false));
+            aux.push(AuxSpec::BatchNorm { c: 64 });
+            hw = 32;
+            in_c = 64;
+        }
+    }
+    let stages: [(usize, usize, usize); 4] =
+        [(64, 3, 1), (128, 4, 2), (256, 6, 2), (512, 3, 2)];
+    for (si, &(width, blocks, first_stride)) in stages.iter().enumerate() {
+        let out_c = width * 4;
+        for b in 0..blocks {
+            let stride = if b == 0 { first_stride } else { 1 };
+            let prefix = format!("stage{}.block{}", si + 1, b + 1);
+            convs.push(conv(format!("{prefix}.reduce"), width, in_c, 1, 1, 0, hw, false));
+            aux.push(AuxSpec::BatchNorm { c: width });
+            convs.push(conv(format!("{prefix}.conv3x3"), width, width, 3, stride, 1, hw, false));
+            aux.push(AuxSpec::BatchNorm { c: width });
+            let hw_out = conv_out_dim(hw, 3, stride, 1);
+            convs.push(conv(format!("{prefix}.expand"), out_c, width, 1, 1, 0, hw_out, false));
+            aux.push(AuxSpec::BatchNorm { c: out_c });
+            if b == 0 {
+                let mut sc = conv(format!("{prefix}.shortcut"), out_c, in_c, 1, stride, 0, hw, false);
+                sc.shortcut = true;
+                convs.push(sc);
+                aux.push(AuxSpec::BatchNorm { c: out_c });
+            }
+            hw = hw_out;
+            in_c = out_c;
+        }
+    }
+    aux.push(AuxSpec::Fc {
+        name: "fc".into(),
+        in_f: 2048,
+        out_f: dataset.classes(),
+    });
+    ModelSpec {
+        name: "ResNet-50".into(),
+        short_name: "RNT".into(),
+        dataset,
+        convs,
+        aux,
+    }
+}
+
+/// MobileNet-V2 (Sandler et al.) — inverted residual bottlenecks.
+pub fn mobilenet_v2(dataset: DatasetKind) -> ModelSpec {
+    let mut convs = Vec::new();
+    let mut aux = Vec::new();
+    let (mut hw, stem_stride) = match dataset {
+        DatasetKind::ImageNet => (224, 2),
+        DatasetKind::Cifar10 => (32, 1),
+    };
+    convs.push(conv("stem", 32, 3, 3, stem_stride, 1, hw, false));
+    aux.push(AuxSpec::BatchNorm { c: 32 });
+    hw = conv_out_dim(hw, 3, stem_stride, 1);
+    let mut in_c = 32;
+    // (expansion t, output channels c, repeats n, first stride s)
+    let cfg: [(usize, usize, usize, usize); 7] = [
+        (1, 16, 1, 1),
+        (6, 24, 2, 2),
+        (6, 32, 3, 2),
+        (6, 64, 4, 2),
+        (6, 96, 3, 1),
+        (6, 160, 3, 2),
+        (6, 320, 1, 1),
+    ];
+    for (bi, &(t, c, n, s)) in cfg.iter().enumerate() {
+        for r in 0..n {
+            let stride = if r == 0 {
+                // CIFAR keeps resolution through the first two stages.
+                if dataset == DatasetKind::Cifar10 && bi == 1 {
+                    1
+                } else {
+                    s
+                }
+            } else {
+                1
+            };
+            let prefix = format!("bneck{}.{}", bi + 1, r + 1);
+            let exp_c = in_c * t;
+            if t != 1 {
+                convs.push(conv(format!("{prefix}.expand"), exp_c, in_c, 1, 1, 0, hw, false));
+                aux.push(AuxSpec::BatchNorm { c: exp_c });
+            }
+            let mut dw = conv(format!("{prefix}.dw"), exp_c, exp_c, 3, stride, 1, hw, false);
+            dw.depthwise = true;
+            convs.push(dw);
+            aux.push(AuxSpec::BatchNorm { c: exp_c });
+            let hw_out = conv_out_dim(hw, 3, stride, 1);
+            convs.push(conv(format!("{prefix}.project"), c, exp_c, 1, 1, 0, hw_out, false));
+            aux.push(AuxSpec::BatchNorm { c });
+            hw = hw_out;
+            in_c = c;
+        }
+    }
+    convs.push(conv("head", 1280, in_c, 1, 1, 0, hw, false));
+    aux.push(AuxSpec::BatchNorm { c: 1280 });
+    aux.push(AuxSpec::Fc {
+        name: "fc".into(),
+        in_f: 1280,
+        out_f: dataset.classes(),
+    });
+    ModelSpec {
+        name: "MobileNet-V2".into(),
+        short_name: "MBNT".into(),
+        dataset,
+        convs,
+        aux,
+    }
+}
+
+/// The paper's Table 6: VGG-16's nine unique CONV layers named L1-L9.
+///
+/// Returns `(name, spec, multiplicity)` in the paper's order.
+pub fn vgg_unique_layers() -> Vec<(String, ConvSpec, usize)> {
+    vgg16(DatasetKind::ImageNet)
+        .unique_convs()
+        .into_iter()
+        .enumerate()
+        .map(|(i, (spec, mult))| (format!("L{}", i + 1), spec, mult))
+        .collect()
+}
+
+/// A small 2-conv CNN for fast tests and the quickstart example.
+pub fn small_cnn(in_c: usize, hw: usize, classes: usize, rng: &mut Rng) -> Sequential {
+    let mut net = Sequential::new("small_cnn");
+    net.push(Conv2d::new("conv1", 16, in_c, 3, 1, 1, rng));
+    net.push(Relu::new("relu1"));
+    net.push(MaxPool2d::new("pool1", 2, 2, 0));
+    net.push(Conv2d::new("conv2", 32, 16, 3, 1, 1, rng));
+    net.push(Relu::new("relu2"));
+    net.push(MaxPool2d::new("pool2", 2, 2, 0));
+    net.push(Flatten::new("flatten"));
+    net.push(Linear::new("fc", classes, 32 * (hw / 4) * (hw / 4), rng));
+    net
+}
+
+/// A scaled-down VGG-style network (all 3×3 convs) for the accuracy
+/// experiments on 32×32 synthetic data.
+pub fn vgg_small(classes: usize, rng: &mut Rng) -> Sequential {
+    let mut net = Sequential::new("vgg_small");
+    let mut in_c = 3;
+    for (si, &ch) in [16usize, 32, 64].iter().enumerate() {
+        net.push(Conv2d::new(&format!("conv{}_1", si + 1), ch, in_c, 3, 1, 1, rng));
+        net.push(Relu::new(&format!("relu{}_1", si + 1)));
+        net.push(Conv2d::new(&format!("conv{}_2", si + 1), ch, ch, 3, 1, 1, rng));
+        net.push(Relu::new(&format!("relu{}_2", si + 1)));
+        net.push(MaxPool2d::new(&format!("pool{}", si + 1), 2, 2, 0));
+        in_c = ch;
+    }
+    net.push(Flatten::new("flatten"));
+    net.push(Linear::new("fc1", 64, 64 * 4 * 4, rng));
+    net.push(Relu::new("relu_fc"));
+    net.push(Linear::new("fc2", classes, 64, rng));
+    net
+}
+
+/// A scaled-down residual network (3×3 convs in blocks) for the accuracy
+/// experiments on 32×32 synthetic data.
+pub fn resnet_small(classes: usize, rng: &mut Rng) -> Sequential {
+    let mut net = Sequential::new("resnet_small");
+    net.push(Conv2d::new("stem", 16, 3, 3, 1, 1, rng));
+    net.push(BatchNorm2d::new("stem_bn", 16));
+    net.push(Relu::new("stem_relu"));
+
+    // Identity block at 16 channels.
+    let mut main1 = Sequential::new("block1_main");
+    main1.push(Conv2d::new("block1_conv1", 16, 16, 3, 1, 1, rng));
+    main1.push(BatchNorm2d::new("block1_bn1", 16));
+    main1.push(Relu::new("block1_relu"));
+    main1.push(Conv2d::new("block1_conv2", 16, 16, 3, 1, 1, rng));
+    main1.push(BatchNorm2d::new("block1_bn2", 16));
+    net.push(Residual::identity("block1", main1));
+    net.push(Relu::new("block1_out_relu"));
+
+    // Projected block to 32 channels, stride 2.
+    let mut main2 = Sequential::new("block2_main");
+    main2.push(Conv2d::new("block2_conv1", 32, 16, 3, 2, 1, rng));
+    main2.push(BatchNorm2d::new("block2_bn1", 32));
+    main2.push(Relu::new("block2_relu"));
+    main2.push(Conv2d::new("block2_conv2", 32, 32, 3, 1, 1, rng));
+    main2.push(BatchNorm2d::new("block2_bn2", 32));
+    let mut short2 = Sequential::new("block2_short");
+    short2.push(Conv2d::new("block2_proj", 32, 16, 1, 2, 0, rng));
+    short2.push(BatchNorm2d::new("block2_proj_bn", 32));
+    net.push(Residual::projected("block2", main2, short2));
+    net.push(Relu::new("block2_out_relu"));
+
+    net.push(GlobalAvgPool::new("gap"));
+    net.push(Flatten::new("flatten"));
+    net.push(Linear::new("fc", classes, 32, rng));
+    net
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::{Layer, Mode};
+    use patdnn_tensor::Tensor;
+
+    #[test]
+    fn vgg16_imagenet_matches_known_counts() {
+        let spec = vgg16(DatasetKind::ImageNet);
+        assert_eq!(spec.conv_layer_count(), 13);
+        assert_eq!(spec.layer_count(), 16);
+        // Known VGG-16 parameter count: 138,357,544.
+        assert_eq!(spec.param_count(), 138_357_544);
+        // Table 5 reports 553.5 MB.
+        assert!((spec.size_mb() - 553.43).abs() < 0.1, "{}", spec.size_mb());
+    }
+
+    #[test]
+    fn vgg16_unique_layers_match_table6() {
+        let uniq = vgg_unique_layers();
+        assert_eq!(uniq.len(), 9);
+        let shapes: Vec<String> = uniq.iter().map(|(_, c, _)| c.filter_shape()).collect();
+        assert_eq!(
+            shapes,
+            vec![
+                "[64, 3, 3, 3]",
+                "[64, 64, 3, 3]",
+                "[128, 64, 3, 3]",
+                "[128, 128, 3, 3]",
+                "[256, 128, 3, 3]",
+                "[256, 256, 3, 3]",
+                "[512, 256, 3, 3]",
+                "[512, 512, 3, 3]",
+                "[512, 512, 3, 3]",
+            ]
+        );
+        // L8 is at 28x28, L9 at 14x14.
+        assert_eq!(uniq[7].1.in_h, 28);
+        assert_eq!(uniq[8].1.in_h, 14);
+        // Multiplicities sum to 13.
+        let total: usize = uniq.iter().map(|(_, _, m)| m).sum();
+        assert_eq!(total, 13);
+    }
+
+    #[test]
+    fn resnet50_imagenet_matches_known_counts() {
+        let spec = resnet50(DatasetKind::ImageNet);
+        // Main-path convs: 1 stem + 16 blocks * 3 = 49; layers = 50.
+        assert_eq!(spec.conv_layer_count(), 49);
+        assert_eq!(spec.layer_count(), 50);
+        // Known ResNet-50 parameter count: 25,557,032.
+        assert_eq!(spec.param_count(), 25_557_032);
+        assert!((spec.size_mb() - 102.2).abs() < 0.3, "{}", spec.size_mb());
+    }
+
+    #[test]
+    fn mobilenet_v2_imagenet_matches_known_counts() {
+        let spec = mobilenet_v2(DatasetKind::ImageNet);
+        // 1 stem + (1*2 + 16*3) block convs + 1 head = 52 convs, 53 layers.
+        assert_eq!(spec.conv_layer_count(), 52);
+        assert_eq!(spec.layer_count(), 53);
+        // Known MobileNet-V2 parameter count: 3,504,872.
+        assert_eq!(spec.param_count(), 3_504_872);
+        assert!((spec.size_mb() - 14.0).abs() < 0.3, "{}", spec.size_mb());
+    }
+
+    #[test]
+    fn cifar_specs_shrink_models() {
+        let vgg = vgg16(DatasetKind::Cifar10);
+        assert!((vgg.size_mb() - 60.0).abs() < 2.0, "{}", vgg.size_mb());
+        let rnt = resnet50(DatasetKind::Cifar10);
+        assert!((rnt.size_mb() - 94.0).abs() < 2.0, "{}", rnt.size_mb());
+        let mbnt = mobilenet_v2(DatasetKind::Cifar10);
+        assert!((mbnt.size_mb() - 9.0).abs() < 1.0, "{}", mbnt.size_mb());
+    }
+
+    #[test]
+    fn resnet50_spatial_sizes_follow_stages() {
+        let spec = resnet50(DatasetKind::ImageNet);
+        let l4_first = spec
+            .convs
+            .iter()
+            .find(|c| c.name == "stage4.block1.conv3x3")
+            .expect("stage4 exists");
+        assert_eq!(l4_first.in_h, 14);
+        let last = spec.convs.iter().filter(|c| !c.shortcut).next_back().unwrap();
+        assert_eq!(conv_out_dim(last.in_h, last.kernel, last.stride, last.pad), 7);
+    }
+
+    #[test]
+    fn geometries_chain_consistently() {
+        // Output of each main-path VGG conv must feed the next (modulo pools).
+        let spec = vgg16(DatasetKind::ImageNet);
+        for pair in spec.convs.windows(2) {
+            let (a, b) = (&pair[0], &pair[1]);
+            assert!(
+                a.out_c == b.in_c,
+                "{} ({}) feeds {} ({})",
+                a.name,
+                a.out_c,
+                b.name,
+                b.in_c
+            );
+        }
+    }
+
+    #[test]
+    fn small_models_run_forward_and_backward() {
+        let mut rng = Rng::seed_from(8);
+        let x = Tensor::randn(&[2, 3, 32, 32], &mut rng);
+        for mut net in [vgg_small(10, &mut rng), resnet_small(10, &mut rng)] {
+            let y = net.forward(&x, Mode::Train);
+            assert_eq!(y.shape(), &[2, 10]);
+            let g = net.backward(&Tensor::filled(&[2, 10], 1.0));
+            assert_eq!(g.shape(), x.shape());
+        }
+    }
+
+    #[test]
+    fn visit_convs_reaches_nested_blocks() {
+        let mut rng = Rng::seed_from(9);
+        let mut net = resnet_small(10, &mut rng);
+        let mut names = Vec::new();
+        net.visit_convs(&mut |c| names.push(c.name().to_owned()));
+        // stem + 2 in block1 + 2 in block2 + 1 projection.
+        assert_eq!(names.len(), 6);
+        assert!(names.contains(&"block2_proj".to_owned()));
+    }
+
+    #[test]
+    fn conv_macs_are_large_for_vgg() {
+        let spec = vgg16(DatasetKind::ImageNet);
+        // VGG-16 is ~15.3 GMACs over conv layers.
+        let gmacs = spec.conv_macs() as f64 / 1e9;
+        assert!((gmacs - 15.3).abs() < 0.5, "{gmacs}");
+    }
+}

@@ -1,0 +1,225 @@
+//! Network composition: sequential chains and residual blocks.
+
+use patdnn_tensor::Tensor;
+
+use crate::layer::{Layer, Mode, Param};
+
+/// A chain of layers executed in order.
+///
+/// `Sequential` is itself a [`Layer`], so chains nest (residual blocks hold
+/// sequentials for their main path and shortcut).
+pub struct Sequential {
+    name: String,
+    layers: Vec<Box<dyn Layer>>,
+}
+
+impl Sequential {
+    /// Creates an empty chain.
+    pub fn new(name: &str) -> Self {
+        Sequential {
+            name: name.to_owned(),
+            layers: Vec::new(),
+        }
+    }
+
+    /// Appends a layer.
+    pub fn push(&mut self, layer: impl Layer + 'static) {
+        self.layers.push(Box::new(layer));
+    }
+
+    /// Appends a boxed layer (for dynamically-built networks).
+    pub fn push_boxed(&mut self, layer: Box<dyn Layer>) {
+        self.layers.push(layer);
+    }
+
+    /// Number of direct child layers.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Returns `true` when the chain has no layers.
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+
+    /// Iterates over the direct children.
+    pub fn layers(&self) -> impl Iterator<Item = &dyn Layer> {
+        self.layers.iter().map(|b| b.as_ref())
+    }
+
+    /// Mutable access to direct children (used by the pruning stage to
+    /// reach convolution weights in place).
+    pub fn layers_mut(&mut self) -> &mut [Box<dyn Layer>] {
+        &mut self.layers
+    }
+}
+
+impl Layer for Sequential {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
+        let mut x = input.clone();
+        for layer in &mut self.layers {
+            x = layer.forward(&x, mode);
+        }
+        x
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let mut g = grad_out.clone();
+        for layer in self.layers.iter_mut().rev() {
+            g = layer.backward(&g);
+        }
+        g
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        for layer in &mut self.layers {
+            layer.visit_params(f);
+        }
+    }
+
+    fn visit_convs(&mut self, f: &mut dyn FnMut(&mut crate::conv::Conv2d)) {
+        for layer in &mut self.layers {
+            layer.visit_convs(f);
+        }
+    }
+}
+
+/// A residual block: `y = main(x) + shortcut(x)` (identity shortcut when
+/// `shortcut` is `None`), as used by ResNet bottlenecks and MobileNet-V2
+/// inverted residuals.
+pub struct Residual {
+    name: String,
+    main: Sequential,
+    shortcut: Option<Sequential>,
+}
+
+impl Residual {
+    /// Creates a residual block with an identity shortcut.
+    pub fn identity(name: &str, main: Sequential) -> Self {
+        Residual {
+            name: name.to_owned(),
+            main,
+            shortcut: None,
+        }
+    }
+
+    /// Creates a residual block with a projection shortcut.
+    pub fn projected(name: &str, main: Sequential, shortcut: Sequential) -> Self {
+        Residual {
+            name: name.to_owned(),
+            main,
+            shortcut: Some(shortcut),
+        }
+    }
+}
+
+impl Layer for Residual {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
+        let main_out = self.main.forward(input, mode);
+        let short_out = match &mut self.shortcut {
+            Some(s) => s.forward(input, mode),
+            None => input.clone(),
+        };
+        main_out
+            .zip_map(&short_out, |a, b| a + b)
+            .expect("residual branches must agree in shape")
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let mut g = self.main.backward(grad_out);
+        let g_short = match &mut self.shortcut {
+            Some(s) => s.backward(grad_out),
+            None => grad_out.clone(),
+        };
+        g.axpy(1.0, &g_short);
+        g
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        self.main.visit_params(f);
+        if let Some(s) = &mut self.shortcut {
+            s.visit_params(f);
+        }
+    }
+
+    fn visit_convs(&mut self, f: &mut dyn FnMut(&mut crate::conv::Conv2d)) {
+        self.main.visit_convs(f);
+        if let Some(s) = &mut self.shortcut {
+            s.visit_convs(f);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::activation::Relu;
+    use crate::conv::Conv2d;
+    use patdnn_tensor::rng::Rng;
+
+    #[test]
+    fn sequential_composes_shapes() {
+        let mut rng = Rng::seed_from(1);
+        let mut net = Sequential::new("net");
+        net.push(Conv2d::new("c1", 4, 3, 3, 1, 1, &mut rng));
+        net.push(Relu::new("r1"));
+        net.push(Conv2d::new("c2", 2, 4, 3, 2, 1, &mut rng));
+        let x = Tensor::randn(&[1, 3, 8, 8], &mut rng);
+        let y = net.forward(&x, Mode::Eval);
+        assert_eq!(y.shape(), &[1, 2, 4, 4]);
+        assert_eq!(net.param_count(), 4 * 3 * 9 + 4 + 2 * 4 * 9 + 2);
+    }
+
+    #[test]
+    fn identity_residual_doubles_identity_input_path() {
+        // main path = single conv with zero weights -> output == input.
+        let mut rng = Rng::seed_from(2);
+        let mut conv = Conv2d::new("c", 3, 3, 3, 1, 1, &mut rng);
+        conv.weight.value.map_inplace(|_| 0.0);
+        let mut main = Sequential::new("main");
+        main.push(conv);
+        let mut res = Residual::identity("res", main);
+        let x = Tensor::randn(&[1, 3, 5, 5], &mut rng);
+        let y = res.forward(&x, Mode::Eval);
+        assert!(y.approx_eq(&x, 1e-6));
+    }
+
+    #[test]
+    fn residual_backward_sums_branches() {
+        // Identity shortcut, main path conv with zero weights: gradient of
+        // input is grad_out (shortcut) + conv-backward(grad_out) (zero
+        // weights -> zero) == grad_out.
+        let mut rng = Rng::seed_from(3);
+        let mut conv = Conv2d::new("c", 3, 3, 3, 1, 1, &mut rng);
+        conv.weight.value.map_inplace(|_| 0.0);
+        let mut main = Sequential::new("main");
+        main.push(conv);
+        let mut res = Residual::identity("res", main);
+        let x = Tensor::randn(&[1, 3, 5, 5], &mut rng);
+        res.forward(&x, Mode::Train);
+        let g = Tensor::randn(&[1, 3, 5, 5], &mut rng);
+        let dx = res.backward(&g);
+        assert!(dx.approx_eq(&g, 1e-5));
+    }
+
+    #[test]
+    fn sequential_backward_reverses_order() {
+        // A chain of two ReLUs behaves like one: gradient masked by the
+        // first forward's sign pattern.
+        let mut net = Sequential::new("rr");
+        net.push(Relu::new("a"));
+        net.push(Relu::new("b"));
+        let x = Tensor::from_vec(&[3], vec![-1.0, 2.0, -0.5]).unwrap();
+        net.forward(&x, Mode::Train);
+        let g = net.backward(&Tensor::filled(&[3], 1.0));
+        assert_eq!(g.data(), &[0.0, 1.0, 0.0]);
+    }
+}

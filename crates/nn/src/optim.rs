@@ -1,0 +1,253 @@
+//! Optimizers: SGD with momentum and Adam.
+//!
+//! The paper solves ADMM subproblem 1 "by stochastic gradient descent
+//! (e.g., the ADAM algorithm)" (§4.2); both are provided.
+
+use patdnn_tensor::Tensor;
+
+use crate::layer::Layer;
+
+/// A gradient-based parameter updater.
+///
+/// Optimizers keep per-parameter state (momentum/moment buffers) keyed by
+/// the stable visit order of [`Layer::visit_params`].
+pub trait Optimizer {
+    /// Applies one update step using the gradients currently stored in the
+    /// network's parameters.
+    fn step(&mut self, net: &mut dyn Layer);
+
+    /// Current learning rate.
+    fn learning_rate(&self) -> f32;
+
+    /// Overrides the learning rate (for schedules).
+    fn set_learning_rate(&mut self, lr: f32);
+}
+
+/// Stochastic gradient descent with classical momentum and weight decay.
+#[derive(Debug)]
+pub struct Sgd {
+    lr: f32,
+    momentum: f32,
+    weight_decay: f32,
+    velocity: Vec<Tensor>,
+}
+
+impl Sgd {
+    /// Creates an SGD optimizer.
+    pub fn new(lr: f32, momentum: f32, weight_decay: f32) -> Self {
+        Sgd {
+            lr,
+            momentum,
+            weight_decay,
+            velocity: Vec::new(),
+        }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, net: &mut dyn Layer) {
+        let mut idx = 0;
+        let lr = self.lr;
+        let momentum = self.momentum;
+        let wd = self.weight_decay;
+        let velocity = &mut self.velocity;
+        net.visit_params(&mut |p| {
+            if velocity.len() == idx {
+                velocity.push(Tensor::zeros(p.value.shape()));
+            }
+            let v = &mut velocity[idx];
+            idx += 1;
+            let Some(grad) = p.grad() else { return };
+            let gsnap: Vec<f32> = grad.data().to_vec();
+            let decay = if p.decay { wd } else { 0.0 };
+            for i in 0..p.value.len() {
+                let g = gsnap[i] + decay * p.value.data()[i];
+                let vi = &mut v.data_mut()[i];
+                *vi = momentum * *vi + g;
+                p.value.data_mut()[i] -= lr * *vi;
+            }
+        });
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+/// Adam optimizer (Kingma & Ba), the solver the paper uses for ADMM
+/// subproblem 1.
+#[derive(Debug)]
+pub struct Adam {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    weight_decay: f32,
+    t: u32,
+    moments: Vec<(Tensor, Tensor)>,
+}
+
+impl Adam {
+    /// Creates an Adam optimizer with standard betas `(0.9, 0.999)`.
+    pub fn new(lr: f32) -> Self {
+        Adam::with_config(lr, 0.9, 0.999, 1e-8, 0.0)
+    }
+
+    /// Creates an Adam optimizer with explicit hyperparameters.
+    pub fn with_config(lr: f32, beta1: f32, beta2: f32, eps: f32, weight_decay: f32) -> Self {
+        Adam {
+            lr,
+            beta1,
+            beta2,
+            eps,
+            weight_decay,
+            t: 0,
+            moments: Vec::new(),
+        }
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, net: &mut dyn Layer) {
+        self.t += 1;
+        let (b1, b2) = (self.beta1, self.beta2);
+        let bias1 = 1.0 - b1.powi(self.t as i32);
+        let bias2 = 1.0 - b2.powi(self.t as i32);
+        let lr = self.lr;
+        let eps = self.eps;
+        let wd = self.weight_decay;
+        let moments = &mut self.moments;
+        let mut idx = 0;
+        net.visit_params(&mut |p| {
+            if moments.len() == idx {
+                moments.push((Tensor::zeros(p.value.shape()), Tensor::zeros(p.value.shape())));
+            }
+            let (m, v) = &mut moments[idx];
+            idx += 1;
+            let Some(grad) = p.grad() else { return };
+            let gsnap: Vec<f32> = grad.data().to_vec();
+            let decay = if p.decay { wd } else { 0.0 };
+            for i in 0..p.value.len() {
+                let g = gsnap[i] + decay * p.value.data()[i];
+                let mi = &mut m.data_mut()[i];
+                *mi = b1 * *mi + (1.0 - b1) * g;
+                let vi = &mut v.data_mut()[i];
+                *vi = b2 * *vi + (1.0 - b2) * g * g;
+                let mhat = *mi / bias1;
+                let vhat = *vi / bias2;
+                p.value.data_mut()[i] -= lr * mhat / (vhat.sqrt() + eps);
+            }
+        });
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::{Mode, Param};
+    use patdnn_tensor::rng::Rng;
+
+    /// A one-parameter quadratic "layer" for optimizer convergence tests:
+    /// loss = 0.5 * ||w - target||².
+    struct Quadratic {
+        w: Param,
+        target: Tensor,
+    }
+
+    impl Quadratic {
+        fn loss_and_grad(&mut self) -> f32 {
+            let diff = self
+                .w
+                .value
+                .zip_map(&self.target, |a, b| a - b)
+                .expect("same shape");
+            let loss = 0.5 * diff.dot(&diff);
+            self.w.zero_grad();
+            self.w.grad_mut().axpy(1.0, &diff);
+            loss
+        }
+    }
+
+    impl Layer for Quadratic {
+        fn name(&self) -> &str {
+            "quadratic"
+        }
+        fn forward(&mut self, input: &Tensor, _mode: Mode) -> Tensor {
+            input.clone()
+        }
+        fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+            grad_out.clone()
+        }
+        fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+            f(&mut self.w);
+        }
+    }
+
+    fn quadratic() -> Quadratic {
+        let mut rng = Rng::seed_from(6);
+        Quadratic {
+            w: Param::new(Tensor::randn(&[8], &mut rng)),
+            target: Tensor::randn(&[8], &mut rng),
+        }
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let mut q = quadratic();
+        let mut opt = Sgd::new(0.1, 0.9, 0.0);
+        let first = q.loss_and_grad();
+        for _ in 0..200 {
+            q.loss_and_grad();
+            opt.step(&mut q);
+        }
+        let last = q.loss_and_grad();
+        assert!(last < first * 1e-4, "first {first}, last {last}");
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let mut q = quadratic();
+        let mut opt = Adam::new(0.05);
+        let first = q.loss_and_grad();
+        for _ in 0..400 {
+            q.loss_and_grad();
+            opt.step(&mut q);
+        }
+        let last = q.loss_and_grad();
+        assert!(last < first * 1e-3, "first {first}, last {last}");
+    }
+
+    #[test]
+    fn weight_decay_shrinks_weights() {
+        let mut q = quadratic();
+        q.target.map_inplace(|_| 0.0);
+        // Pure decay: gradient of data term is w itself here, so decay adds.
+        let mut opt = Sgd::new(0.1, 0.0, 0.1);
+        let norm0 = q.w.value.l2_norm();
+        for _ in 0..50 {
+            q.loss_and_grad();
+            opt.step(&mut q);
+        }
+        assert!(q.w.value.l2_norm() < norm0 * 0.1);
+    }
+
+    #[test]
+    fn lr_accessors() {
+        let mut opt = Adam::new(0.01);
+        assert!((opt.learning_rate() - 0.01).abs() < 1e-9);
+        opt.set_learning_rate(0.002);
+        assert!((opt.learning_rate() - 0.002).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,282 @@
+//! Pooling layers.
+
+use patdnn_tensor::{conv_out_dim, Tensor};
+
+use crate::layer::{Layer, Mode};
+
+/// Max pooling over square windows.
+pub struct MaxPool2d {
+    name: String,
+    kernel: usize,
+    stride: usize,
+    pad: usize,
+    cached: Option<(Vec<usize>, Vec<usize>)>, // (input shape, argmax linear indices)
+}
+
+impl MaxPool2d {
+    /// Creates a max-pool layer (`pad` is zero padding with `-inf` filling).
+    pub fn new(name: &str, kernel: usize, stride: usize, pad: usize) -> Self {
+        MaxPool2d {
+            name: name.to_owned(),
+            kernel,
+            stride,
+            pad,
+            cached: None,
+        }
+    }
+}
+
+impl Layer for MaxPool2d {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
+        let s = input.shape4();
+        let out_h = conv_out_dim(s.h, self.kernel, self.stride, self.pad);
+        let out_w = conv_out_dim(s.w, self.kernel, self.stride, self.pad);
+        let mut out = Tensor::zeros(&[s.n, s.c, out_h, out_w]);
+        let mut argmax = vec![0usize; out.len()];
+        let ind = input.data();
+        let od = out.data_mut();
+        let mut oi = 0;
+        for n in 0..s.n {
+            for c in 0..s.c {
+                let ibase = (n * s.c + c) * s.h * s.w;
+                for oh in 0..out_h {
+                    for ow in 0..out_w {
+                        let mut best = f32::NEG_INFINITY;
+                        let mut best_idx = 0usize;
+                        for kh in 0..self.kernel {
+                            let ih = (oh * self.stride + kh) as isize - self.pad as isize;
+                            if ih < 0 || ih >= s.h as isize {
+                                continue;
+                            }
+                            for kw in 0..self.kernel {
+                                let iw = (ow * self.stride + kw) as isize - self.pad as isize;
+                                if iw < 0 || iw >= s.w as isize {
+                                    continue;
+                                }
+                                let idx = ibase + ih as usize * s.w + iw as usize;
+                                if ind[idx] > best {
+                                    best = ind[idx];
+                                    best_idx = idx;
+                                }
+                            }
+                        }
+                        od[oi] = best;
+                        argmax[oi] = best_idx;
+                        oi += 1;
+                    }
+                }
+            }
+        }
+        if mode == Mode::Train {
+            self.cached = Some((input.shape().to_vec(), argmax));
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let (shape, argmax) = self.cached.take().expect("maxpool backward without forward");
+        let mut dinput = Tensor::zeros(&shape);
+        let di = dinput.data_mut();
+        for (g, &idx) in grad_out.data().iter().zip(&argmax) {
+            di[idx] += g;
+        }
+        dinput
+    }
+}
+
+/// Average pooling over square windows (count excludes padding).
+pub struct AvgPool2d {
+    name: String,
+    kernel: usize,
+    stride: usize,
+    cached_shape: Option<Vec<usize>>,
+}
+
+impl AvgPool2d {
+    /// Creates an average-pool layer without padding.
+    pub fn new(name: &str, kernel: usize, stride: usize) -> Self {
+        AvgPool2d {
+            name: name.to_owned(),
+            kernel,
+            stride,
+            cached_shape: None,
+        }
+    }
+}
+
+impl Layer for AvgPool2d {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
+        let s = input.shape4();
+        let out_h = conv_out_dim(s.h, self.kernel, self.stride, 0);
+        let out_w = conv_out_dim(s.w, self.kernel, self.stride, 0);
+        let mut out = Tensor::zeros(&[s.n, s.c, out_h, out_w]);
+        let ind = input.data();
+        let od = out.data_mut();
+        let norm = 1.0 / (self.kernel * self.kernel) as f32;
+        let mut oi = 0;
+        for n in 0..s.n {
+            for c in 0..s.c {
+                let ibase = (n * s.c + c) * s.h * s.w;
+                for oh in 0..out_h {
+                    for ow in 0..out_w {
+                        let mut acc = 0.0;
+                        for kh in 0..self.kernel {
+                            for kw in 0..self.kernel {
+                                acc += ind[ibase + (oh * self.stride + kh) * s.w + ow * self.stride + kw];
+                            }
+                        }
+                        od[oi] = acc * norm;
+                        oi += 1;
+                    }
+                }
+            }
+        }
+        if mode == Mode::Train {
+            self.cached_shape = Some(input.shape().to_vec());
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let shape = self.cached_shape.take().expect("avgpool backward without forward");
+        let s = patdnn_tensor::Shape4::new(shape[0], shape[1], shape[2], shape[3]);
+        let go = grad_out.shape4();
+        let mut dinput = Tensor::zeros(&shape);
+        let di = dinput.data_mut();
+        let norm = 1.0 / (self.kernel * self.kernel) as f32;
+        let god = grad_out.data();
+        let mut oi = 0;
+        for n in 0..s.n {
+            for c in 0..s.c {
+                let ibase = (n * s.c + c) * s.h * s.w;
+                for oh in 0..go.h {
+                    for ow in 0..go.w {
+                        let g = god[oi] * norm;
+                        oi += 1;
+                        for kh in 0..self.kernel {
+                            for kw in 0..self.kernel {
+                                di[ibase + (oh * self.stride + kh) * s.w + ow * self.stride + kw] += g;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        dinput
+    }
+}
+
+/// Global average pooling: reduces each channel's spatial map to one value.
+pub struct GlobalAvgPool {
+    name: String,
+    cached_shape: Option<Vec<usize>>,
+}
+
+impl GlobalAvgPool {
+    /// Creates a global average pool.
+    pub fn new(name: &str) -> Self {
+        GlobalAvgPool {
+            name: name.to_owned(),
+            cached_shape: None,
+        }
+    }
+}
+
+impl Layer for GlobalAvgPool {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
+        let s = input.shape4();
+        let mut out = Tensor::zeros(&[s.n, s.c, 1, 1]);
+        let hw = s.h * s.w;
+        for n in 0..s.n {
+            for c in 0..s.c {
+                let base = (n * s.c + c) * hw;
+                let mean = input.data()[base..base + hw].iter().sum::<f32>() / hw as f32;
+                out.data_mut()[n * s.c + c] = mean;
+            }
+        }
+        if mode == Mode::Train {
+            self.cached_shape = Some(input.shape().to_vec());
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let shape = self.cached_shape.take().expect("gap backward without forward");
+        let (n, c, h, w) = (shape[0], shape[1], shape[2], shape[3]);
+        let mut dinput = Tensor::zeros(&shape);
+        let hw = h * w;
+        let norm = 1.0 / hw as f32;
+        for ni in 0..n {
+            for ci in 0..c {
+                let g = grad_out.data()[ni * c + ci] * norm;
+                let base = (ni * c + ci) * hw;
+                for v in &mut dinput.data_mut()[base..base + hw] {
+                    *v = g;
+                }
+            }
+        }
+        dinput
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maxpool_hand_case() {
+        let mut p = MaxPool2d::new("mp", 2, 2, 0);
+        let x = Tensor::from_vec(
+            &[1, 1, 4, 4],
+            vec![
+                1.0, 2.0, 5.0, 6.0, //
+                3.0, 4.0, 7.0, 8.0, //
+                9.0, 10.0, 13.0, 14.0, //
+                11.0, 12.0, 15.0, 16.0,
+            ],
+        )
+        .unwrap();
+        let y = p.forward(&x, Mode::Train);
+        assert_eq!(y.data(), &[4.0, 8.0, 12.0, 16.0]);
+        let g = p.backward(&Tensor::from_vec(&[1, 1, 2, 2], vec![1.0, 2.0, 3.0, 4.0]).unwrap());
+        // Gradient lands only on the argmax positions.
+        assert_eq!(g.at(&[0, 0, 1, 1]), 1.0);
+        assert_eq!(g.at(&[0, 0, 1, 3]), 2.0);
+        assert_eq!(g.at(&[0, 0, 3, 1]), 3.0);
+        assert_eq!(g.at(&[0, 0, 3, 3]), 4.0);
+        assert_eq!(g.sum(), 10.0);
+    }
+
+    #[test]
+    fn avgpool_averages_and_distributes() {
+        let mut p = AvgPool2d::new("ap", 2, 2);
+        let x = Tensor::from_vec(&[1, 1, 2, 2], vec![1.0, 3.0, 5.0, 7.0]).unwrap();
+        let y = p.forward(&x, Mode::Train);
+        assert_eq!(y.data(), &[4.0]);
+        let g = p.backward(&Tensor::filled(&[1, 1, 1, 1], 8.0));
+        assert_eq!(g.data(), &[2.0, 2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn global_avg_pool_shapes() {
+        let mut p = GlobalAvgPool::new("gap");
+        let x = Tensor::filled(&[2, 3, 4, 4], 2.0);
+        let y = p.forward(&x, Mode::Train);
+        assert_eq!(y.shape(), &[2, 3, 1, 1]);
+        assert!(y.data().iter().all(|&v| (v - 2.0).abs() < 1e-6));
+        let g = p.backward(&Tensor::filled(&[2, 3, 1, 1], 16.0));
+        assert!(g.data().iter().all(|&v| (v - 1.0).abs() < 1e-6));
+    }
+}

@@ -1,0 +1,210 @@
+//! Training loop and evaluation.
+
+use patdnn_tensor::rng::Rng;
+
+use crate::data::Dataset;
+use crate::layer::{Layer, Mode};
+use crate::loss::softmax_cross_entropy;
+use crate::optim::Optimizer;
+
+/// Configuration for [`train`].
+#[derive(Debug, Clone)]
+pub struct TrainConfig {
+    /// Number of passes over the training set.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// If `true`, prints per-epoch progress to stdout.
+    pub verbose: bool,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig {
+            epochs: 10,
+            batch_size: 16,
+            verbose: false,
+        }
+    }
+}
+
+/// Per-epoch training statistics.
+#[derive(Debug, Clone, Copy)]
+pub struct EpochStats {
+    /// Epoch index starting at zero.
+    pub epoch: usize,
+    /// Mean training loss over the epoch.
+    pub loss: f32,
+    /// Training top-1 accuracy over the epoch.
+    pub accuracy: f32,
+}
+
+/// Top-1/top-5 accuracy plus mean loss, as reported by [`evaluate`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Accuracy {
+    /// Fraction of samples whose argmax prediction is correct.
+    pub top1: f32,
+    /// Fraction of samples whose label is in the five highest logits
+    /// (trivially 1.0 when there are five or fewer classes).
+    pub top5: f32,
+    /// Mean cross-entropy loss.
+    pub loss: f32,
+}
+
+/// Trains `net` on `data` for the configured number of epochs.
+///
+/// Returns per-epoch statistics. The loss is softmax cross-entropy; the
+/// network must map a `[batch, c, h, w]` input to `[batch, classes]`
+/// logits.
+pub fn train(
+    net: &mut dyn Layer,
+    data: &Dataset,
+    opt: &mut dyn Optimizer,
+    cfg: &TrainConfig,
+    rng: &mut Rng,
+) -> Vec<EpochStats> {
+    let mut stats = Vec::with_capacity(cfg.epochs);
+    for epoch in 0..cfg.epochs {
+        let mut total_loss = 0.0f64;
+        let mut correct = 0usize;
+        let mut seen = 0usize;
+        for batch_idx in data.epoch_batches(cfg.batch_size, rng) {
+            let (x, y) = data.batch(&batch_idx);
+            net.zero_grads();
+            let logits = net.forward(&x, Mode::Train);
+            let (loss, dlogits) = softmax_cross_entropy(&logits, &y);
+            net.backward(&dlogits);
+            opt.step(net);
+
+            total_loss += loss as f64 * batch_idx.len() as f64;
+            let classes = logits.shape()[1];
+            for (b, &label) in y.iter().enumerate() {
+                let row = &logits.data()[b * classes..(b + 1) * classes];
+                let pred = row
+                    .iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite logits"))
+                    .map(|(i, _)| i)
+                    .expect("non-empty row");
+                if pred == label {
+                    correct += 1;
+                }
+            }
+            seen += batch_idx.len();
+        }
+        let s = EpochStats {
+            epoch,
+            loss: (total_loss / seen as f64) as f32,
+            accuracy: correct as f32 / seen as f32,
+        };
+        if cfg.verbose {
+            println!(
+                "epoch {:>3}: loss {:.4}, train acc {:.1}%",
+                s.epoch,
+                s.loss,
+                s.accuracy * 100.0
+            );
+        }
+        stats.push(s);
+    }
+    stats
+}
+
+/// Evaluates `net` on `data`, returning top-1/top-5 accuracy and loss.
+pub fn evaluate(net: &mut dyn Layer, data: &Dataset) -> Accuracy {
+    const EVAL_BATCH: usize = 32;
+    let mut top1 = 0usize;
+    let mut top5 = 0usize;
+    let mut total_loss = 0.0f64;
+    let indices: Vec<usize> = (0..data.len()).collect();
+    for chunk in indices.chunks(EVAL_BATCH) {
+        let (x, y) = data.batch(chunk);
+        let logits = net.forward(&x, Mode::Eval);
+        let (loss, _) = softmax_cross_entropy(&logits, &y);
+        total_loss += loss as f64 * chunk.len() as f64;
+        let classes = logits.shape()[1];
+        let k = 5.min(classes);
+        for (b, &label) in y.iter().enumerate() {
+            let row = &logits.data()[b * classes..(b + 1) * classes];
+            let mut order: Vec<usize> = (0..classes).collect();
+            order.sort_by(|&i, &j| row[j].partial_cmp(&row[i]).expect("finite logits"));
+            if order[0] == label {
+                top1 += 1;
+            }
+            if order[..k].contains(&label) {
+                top5 += 1;
+            }
+        }
+    }
+    let n = data.len() as f32;
+    Accuracy {
+        top1: top1 as f32 / n,
+        top5: top5 as f32 / n,
+        loss: (total_loss / n as f64) as f32,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::activation::Relu;
+    use crate::conv::Conv2d;
+    use crate::linear::{Flatten, Linear};
+    use crate::network::Sequential;
+    use crate::optim::Adam;
+    use crate::pool::MaxPool2d;
+
+    fn small_net(classes: usize, rng: &mut Rng) -> Sequential {
+        let mut net = Sequential::new("small");
+        net.push(Conv2d::new("c1", 8, 1, 3, 1, 1, rng));
+        net.push(Relu::new("r1"));
+        net.push(MaxPool2d::new("p1", 2, 2, 0));
+        net.push(Flatten::new("fl"));
+        net.push(Linear::new("fc", classes, 8 * 4 * 4, rng));
+        net
+    }
+
+    #[test]
+    fn training_learns_synthetic_task() {
+        let mut rng = Rng::seed_from(99);
+        let ds = Dataset::synthetic(3, 30, 1, 8, 8, 0.4, &mut rng);
+        let (train_ds, test_ds) = ds.split(0.8);
+        let mut net = small_net(3, &mut rng);
+        let before = evaluate(&mut net, &test_ds);
+        let mut opt = Adam::new(0.01);
+        let cfg = TrainConfig {
+            epochs: 8,
+            batch_size: 8,
+            verbose: false,
+        };
+        let stats = train(&mut net, &train_ds, &mut opt, &cfg, &mut rng);
+        let after = evaluate(&mut net, &test_ds);
+        assert!(stats.last().expect("epochs ran").loss < stats[0].loss);
+        assert!(
+            after.top1 > before.top1.max(0.5),
+            "before {:?}, after {:?}",
+            before,
+            after
+        );
+    }
+
+    #[test]
+    fn top5_at_least_top1() {
+        let mut rng = Rng::seed_from(100);
+        let ds = Dataset::synthetic(8, 5, 1, 8, 8, 1.0, &mut rng);
+        let mut net = small_net(8, &mut rng);
+        let acc = evaluate(&mut net, &ds);
+        assert!(acc.top5 >= acc.top1);
+        assert!(acc.top5 <= 1.0 && acc.top1 >= 0.0);
+    }
+
+    #[test]
+    fn top5_is_trivial_for_small_class_counts() {
+        let mut rng = Rng::seed_from(101);
+        let ds = Dataset::synthetic(3, 6, 1, 8, 8, 0.5, &mut rng);
+        let mut net = small_net(3, &mut rng);
+        let acc = evaluate(&mut net, &ds);
+        // With 3 classes the top-3 set always contains the label.
+        assert_eq!(acc.top5, 1.0);
+    }
+}

@@ -1,0 +1,105 @@
+//! FLOP accounting and register-load counting.
+
+use patdnn_compiler::lre::{register_loads, LoadCounts, LreLevel};
+use patdnn_tensor::Conv2dGeometry;
+
+use crate::executor::ConvExecutor;
+use crate::pattern_exec::{OptLevel, PatternConv};
+
+/// Dense-equivalent GFLOPS for a measured time.
+pub fn dense_gflops(geo: &Conv2dGeometry, seconds: f64) -> f64 {
+    geo.flops() as f64 / seconds / 1e9
+}
+
+/// Actual (post-pruning) GFLOPS for a measured time.
+pub fn sparse_gflops(exec: &PatternConv, seconds: f64) -> f64 {
+    let actual =
+        exec.fkw().stored_kernels() * exec.fkw().entries_per_kernel * 2 * exec.geometry().out_h
+            * exec.geometry().out_w;
+    actual as f64 / seconds / 1e9
+}
+
+/// Register load counts for a pattern executor at a given optimization
+/// level (the Figure 14b quantity).
+pub fn pattern_register_loads(exec: &PatternConv, level: OptLevel) -> LoadCounts {
+    let (lre, unroll_w, unroll_oc) = match level {
+        OptLevel::NoOpt | OptLevel::Reorder => (LreLevel::None, 1, 1),
+        OptLevel::ReorderLre => (LreLevel::KernelFilter, 4, 1),
+        OptLevel::Full => (LreLevel::KernelFilter, 4, 4),
+    };
+    register_loads(exec.geometry(), exec.fkw(), unroll_w, unroll_oc, lre)
+}
+
+/// Fraction of a pattern execution bound by the memory path, estimated
+/// from load counts vs MACs (used by [`crate::platform::Platform`]
+/// scaling).
+pub fn load_bound_fraction(exec: &PatternConv, level: OptLevel) -> f64 {
+    let loads = pattern_register_loads(exec, level).total() as f64;
+    let macs = (exec.fkw().stored_kernels()
+        * exec.fkw().entries_per_kernel
+        * exec.geometry().out_h
+        * exec.geometry().out_w) as f64;
+    (loads / (loads + macs)).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use patdnn_compiler::fkr::filter_kernel_reorder;
+    use patdnn_compiler::fkw::FkwLayer;
+    use patdnn_compiler::tune::space::TuningConfig;
+    use patdnn_core::pattern_set::PatternSet;
+    use patdnn_core::project::prune_layer;
+    use patdnn_tensor::rng::Rng;
+    use patdnn_tensor::Tensor;
+
+    fn exec() -> PatternConv {
+        let mut rng = Rng::seed_from(1);
+        let geo = Conv2dGeometry::new(8, 8, 3, 3, 12, 12, 1, 1);
+        let mut w = Tensor::randn(&[8, 8, 3, 3], &mut rng);
+        let set = PatternSet::standard(8);
+        let lp = prune_layer("t", &mut w, &set, 24);
+        let order = filter_kernel_reorder(&lp);
+        let fkw = FkwLayer::from_pruned(&w, &lp, &set, &order);
+        PatternConv::new(geo, fkw, None, OptLevel::Full, TuningConfig::tuned_default())
+    }
+
+    #[test]
+    fn gflops_is_inverse_in_time() {
+        let geo = Conv2dGeometry::new(8, 8, 3, 3, 12, 12, 1, 1);
+        let fast = dense_gflops(&geo, 0.001);
+        let slow = dense_gflops(&geo, 0.002);
+        assert!((fast / slow - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lre_levels_reduce_counted_loads() {
+        let e = exec();
+        let none = pattern_register_loads(&e, OptLevel::NoOpt);
+        let lre = pattern_register_loads(&e, OptLevel::ReorderLre);
+        let full = pattern_register_loads(&e, OptLevel::Full);
+        assert!(lre.input_loads < none.input_loads);
+        assert!(full.input_loads <= lre.input_loads);
+    }
+
+    #[test]
+    fn load_fraction_is_a_fraction() {
+        let e = exec();
+        for level in OptLevel::all() {
+            let f = load_bound_fraction(&e, level);
+            assert!((0.0..=1.0).contains(&f), "fraction {f}");
+        }
+        // Eliminating loads lowers the load-bound share.
+        assert!(
+            load_bound_fraction(&e, OptLevel::Full) < load_bound_fraction(&e, OptLevel::NoOpt)
+        );
+    }
+
+    #[test]
+    fn sparse_gflops_below_dense_equivalent() {
+        let e = exec();
+        // At the same measured time, the pruned layer retires fewer real
+        // FLOPs than the dense-equivalent figure.
+        assert!(sparse_gflops(&e, 0.001) < dense_gflops(e.geometry(), 0.001));
+    }
+}

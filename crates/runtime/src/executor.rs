@@ -1,0 +1,101 @@
+//! The executor abstraction and timing helpers.
+
+use std::time::Instant;
+
+use patdnn_tensor::{Conv2dGeometry, Tensor};
+
+/// Anything that can execute one convolution layer on a batch-1 NCHW
+/// input.
+pub trait ConvExecutor {
+    /// Executor name for reports (e.g. `dense-winograd`, `pattern-full`).
+    fn name(&self) -> &str;
+
+    /// The layer geometry this executor was built for.
+    fn geometry(&self) -> &Conv2dGeometry;
+
+    /// Runs the layer.
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic if `input` disagrees with the geometry.
+    fn run(&self, input: &Tensor) -> Tensor;
+}
+
+/// Wall-clock measurement of repeated executions.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Measurement {
+    /// Mean seconds per run.
+    pub seconds: f64,
+    /// Achieved GFLOPS relative to the *dense* FLOP count of the layer
+    /// (the paper reports dense-equivalent GFLOPS in Figure 17).
+    pub dense_gflops: f64,
+}
+
+/// Times `exec` over `reps` runs after one warm-up run.
+pub fn measure(exec: &dyn ConvExecutor, input: &Tensor, reps: usize) -> Measurement {
+    assert!(reps > 0, "need at least one repetition");
+    let _warmup = exec.run(input);
+    let start = Instant::now();
+    for _ in 0..reps {
+        std::hint::black_box(exec.run(input));
+    }
+    let seconds = start.elapsed().as_secs_f64() / reps as f64;
+    let flops = exec.geometry().flops() as f64;
+    Measurement {
+        seconds,
+        dense_gflops: flops / seconds / 1e9,
+    }
+}
+
+/// Asserts that an executor matches the reference convolution on a random
+/// input (used pervasively in tests).
+pub fn assert_matches_reference(
+    exec: &dyn ConvExecutor,
+    weights: &Tensor,
+    bias: Option<&[f32]>,
+    tol: f32,
+    seed: u64,
+) {
+    let geo = exec.geometry();
+    let mut rng = patdnn_tensor::rng::Rng::seed_from(seed);
+    let input = Tensor::randn(&[1, geo.in_channels, geo.in_h, geo.in_w], &mut rng);
+    let expect = patdnn_tensor::conv2d_ref(&input, weights, bias, geo);
+    let got = exec.run(&input);
+    assert!(
+        expect.approx_eq(&got, tol),
+        "{} diverges from reference: max diff {:?}",
+        exec.name(),
+        expect.max_abs_diff(&got)
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Copycat {
+        geo: Conv2dGeometry,
+    }
+
+    impl ConvExecutor for Copycat {
+        fn name(&self) -> &str {
+            "copycat"
+        }
+        fn geometry(&self) -> &Conv2dGeometry {
+            &self.geo
+        }
+        fn run(&self, input: &Tensor) -> Tensor {
+            input.clone()
+        }
+    }
+
+    #[test]
+    fn measure_reports_positive_time() {
+        let geo = Conv2dGeometry::new(1, 1, 1, 1, 4, 4, 1, 0);
+        let exec = Copycat { geo };
+        let input = Tensor::zeros(&[1, 1, 4, 4]);
+        let m = measure(&exec, &input, 3);
+        assert!(m.seconds > 0.0);
+        assert!(m.dense_gflops > 0.0);
+    }
+}

@@ -1,0 +1,308 @@
+//! Multi-threaded layer execution.
+//!
+//! The paper runs "8 threads on CPU". Two parallel schedules are
+//! provided: a *contiguous* split of filters (what a framework does
+//! without FKR — ragged filter lengths produce load imbalance) and an
+//! FKR-aware *balanced* split that round-robins the length-sorted storage
+//! rows across threads.
+
+use std::time::Instant;
+
+use patdnn_tensor::{Conv2dGeometry, Tensor};
+
+use crate::executor::ConvExecutor;
+use crate::pattern_exec::PatternConv;
+
+/// Per-thread wall-clock times of one parallel run, for load-imbalance
+/// reporting.
+#[derive(Debug, Clone, Default)]
+pub struct ThreadTimes {
+    /// Seconds each thread spent computing.
+    pub seconds: Vec<f64>,
+}
+
+impl ThreadTimes {
+    /// Relative imbalance `(max - min) / max`; 0.0 is perfectly balanced.
+    pub fn imbalance(&self) -> f64 {
+        let max = self.seconds.iter().copied().fold(0.0f64, f64::max);
+        let min = self.seconds.iter().copied().fold(f64::INFINITY, f64::min);
+        if max <= 0.0 || !min.is_finite() {
+            0.0
+        } else {
+            (max - min) / max
+        }
+    }
+}
+
+/// How storage rows are assigned to threads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Schedule {
+    /// Contiguous chunks of rows (pre-FKR behaviour).
+    Contiguous,
+    /// Round-robin over the (length-sorted) storage order — the FKR
+    /// balanced schedule.
+    Balanced,
+}
+
+/// A multi-threaded wrapper around [`PatternConv`].
+pub struct ParallelPattern {
+    inner: PatternConv,
+    threads: usize,
+    assignments: Vec<Vec<usize>>,
+}
+
+impl ParallelPattern {
+    /// Wraps `inner`, assigning its storage rows to `threads` workers
+    /// under the given schedule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`.
+    pub fn new(inner: PatternConv, threads: usize, schedule: Schedule) -> Self {
+        assert!(threads > 0, "need at least one thread");
+        let rows: Vec<usize> = (0..inner.fkw().out_c).collect();
+        let mut assignments = vec![Vec::new(); threads];
+        match schedule {
+            Schedule::Contiguous => {
+                let per = rows.len().div_ceil(threads);
+                for (i, chunk) in rows.chunks(per.max(1)).enumerate() {
+                    assignments[i.min(threads - 1)].extend_from_slice(chunk);
+                }
+            }
+            Schedule::Balanced => {
+                for (i, row) in rows.into_iter().enumerate() {
+                    assignments[i % threads].push(row);
+                }
+            }
+        }
+        ParallelPattern {
+            inner,
+            threads,
+            assignments,
+        }
+    }
+
+    /// Runs one batch item, returning the output and per-thread times.
+    pub fn run_timed(&self, input: &Tensor) -> (Tensor, ThreadTimes) {
+        let g = *self.inner.geometry();
+        let s = input.shape4();
+        assert_eq!(s.n, 1, "parallel runner takes batch-1 inputs");
+        assert_eq!(s.c, g.in_channels, "input channel mismatch");
+        let out_hw = g.out_h * g.out_w;
+        let mut out = Tensor::zeros(&[1, g.out_channels, g.out_h, g.out_w]);
+        let input_item = input.data();
+
+        let mut per_thread: Vec<(f64, Vec<(usize, Vec<f32>)>)> = Vec::with_capacity(self.threads);
+        crossbeam::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(self.threads);
+            for rows in &self.assignments {
+                let inner = &self.inner;
+                handles.push(scope.spawn(move |_| {
+                    let start = Instant::now();
+                    let planes: Vec<(usize, Vec<f32>)> = rows
+                        .iter()
+                        .map(|&row| inner.compute_row_plane(input_item, row))
+                        .collect();
+                    (start.elapsed().as_secs_f64(), planes)
+                }));
+            }
+            for h in handles {
+                per_thread.push(h.join().expect("worker thread panicked"));
+            }
+        })
+        .expect("thread scope failed");
+
+        let mut times = ThreadTimes::default();
+        for (secs, planes) in per_thread {
+            times.seconds.push(secs);
+            for (f, plane) in planes {
+                out.data_mut()[f * out_hw..(f + 1) * out_hw].copy_from_slice(&plane);
+            }
+        }
+        (out, times)
+    }
+}
+
+impl ConvExecutor for ParallelPattern {
+    fn name(&self) -> &str {
+        "pattern-parallel"
+    }
+
+    fn geometry(&self) -> &Conv2dGeometry {
+        self.inner.geometry()
+    }
+
+    fn run(&self, input: &Tensor) -> Tensor {
+        self.run_timed(input).0
+    }
+}
+
+/// A multi-threaded wrapper for dense executors: the layer is split into
+/// output-channel ranges, each served by an independently-built
+/// sub-executor.
+pub struct ParallelDense<E> {
+    parts: Vec<(usize, E)>, // (oc offset, sub-executor)
+    geo: Conv2dGeometry,
+    name: String,
+}
+
+impl<E: ConvExecutor + Sync> ParallelDense<E> {
+    /// Splits `geo` into up to `threads` contiguous output-channel ranges
+    /// and builds a sub-executor for each via `factory(sub_geo, oc_range)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`.
+    pub fn new(
+        geo: Conv2dGeometry,
+        threads: usize,
+        factory: impl Fn(Conv2dGeometry, std::ops::Range<usize>) -> E,
+    ) -> Self {
+        assert!(threads > 0, "need at least one thread");
+        let per = geo.out_channels.div_ceil(threads).max(1);
+        let mut parts = Vec::new();
+        let mut start = 0;
+        while start < geo.out_channels {
+            let end = (start + per).min(geo.out_channels);
+            let sub_geo = Conv2dGeometry::new(
+                end - start,
+                geo.in_channels,
+                geo.kernel_h,
+                geo.kernel_w,
+                geo.in_h,
+                geo.in_w,
+                geo.stride,
+                geo.pad,
+            );
+            parts.push((start, factory(sub_geo, start..end)));
+            start = end;
+        }
+        let name = format!("parallel-{}", parts.first().map_or("dense", |(_, e)| e.name()));
+        ParallelDense { parts, geo, name }
+    }
+}
+
+impl<E: ConvExecutor + Sync> ConvExecutor for ParallelDense<E> {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn geometry(&self) -> &Conv2dGeometry {
+        &self.geo
+    }
+
+    fn run(&self, input: &Tensor) -> Tensor {
+        let g = &self.geo;
+        assert_eq!(input.shape4().n, 1, "parallel runner takes batch-1 inputs");
+        let out_hw = g.out_h * g.out_w;
+        let mut out = Tensor::zeros(&[1, g.out_channels, g.out_h, g.out_w]);
+        let mut results: Vec<(usize, Tensor)> = Vec::with_capacity(self.parts.len());
+        crossbeam::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(self.parts.len());
+            for (offset, exec) in &self.parts {
+                handles.push(scope.spawn(move |_| (*offset, exec.run(input))));
+            }
+            for h in handles {
+                results.push(h.join().expect("worker thread panicked"));
+            }
+        })
+        .expect("thread scope failed");
+        for (offset, part) in results {
+            let len = part.len();
+            out.data_mut()[offset * out_hw..offset * out_hw + len].copy_from_slice(part.data());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dense::TiledConv;
+    use crate::pattern_exec::OptLevel;
+    use patdnn_compiler::fkr::filter_kernel_reorder;
+    use patdnn_compiler::fkw::FkwLayer;
+    use patdnn_compiler::tune::space::TuningConfig;
+    use patdnn_core::pattern_set::PatternSet;
+    use patdnn_core::project::prune_layer;
+    use patdnn_tensor::rng::Rng;
+
+    fn pattern_exec(seed: u64) -> (Tensor, PatternConv, Conv2dGeometry) {
+        let mut rng = Rng::seed_from(seed);
+        let geo = Conv2dGeometry::new(16, 8, 3, 3, 12, 12, 1, 1);
+        let mut w = Tensor::randn(&[16, 8, 3, 3], &mut rng);
+        let set = PatternSet::standard(8);
+        let lp = prune_layer("t", &mut w, &set, 48);
+        let order = filter_kernel_reorder(&lp);
+        let fkw = FkwLayer::from_pruned(&w, &lp, &set, &order);
+        (
+            w.clone(),
+            PatternConv::new(geo, fkw, None, OptLevel::Full, TuningConfig::tuned_default()),
+            geo,
+        )
+    }
+
+    #[test]
+    fn parallel_pattern_matches_serial() {
+        let (_, exec, _) = pattern_exec(1);
+        let mut rng = Rng::seed_from(2);
+        let input = Tensor::randn(&[1, 8, 12, 12], &mut rng);
+        let serial = exec.run(&input);
+        for schedule in [Schedule::Contiguous, Schedule::Balanced] {
+            let par = ParallelPattern::new(pattern_exec(1).1, 4, schedule);
+            let (out, times) = par.run_timed(&input);
+            assert!(serial.approx_eq(&out, 1e-5), "schedule {schedule:?}");
+            assert_eq!(times.seconds.len(), 4);
+        }
+    }
+
+    #[test]
+    fn parallel_dense_matches_serial() {
+        let mut rng = Rng::seed_from(3);
+        let geo = Conv2dGeometry::new(10, 4, 3, 3, 9, 9, 1, 1);
+        let w = Tensor::randn(&[10, 4, 3, 3], &mut rng);
+        let bias: Vec<f32> = (0..10).map(|_| rng.uniform(-0.5, 0.5)).collect();
+        let serial = TiledConv::new(geo, w.clone(), Some(bias.clone()));
+        let input = Tensor::randn(&[1, 4, 9, 9], &mut rng);
+        let expect = serial.run(&input);
+
+        let wref = &w;
+        let bref = &bias;
+        let par = ParallelDense::new(geo, 3, |sub_geo, range| {
+            let fsize = 4 * 9;
+            let wslice =
+                wref.data()[range.start * fsize..range.end * fsize].to_vec();
+            let sub_w = Tensor::from_vec(
+                &[sub_geo.out_channels, 4, 3, 3],
+                wslice,
+            )
+            .expect("subslice");
+            TiledConv::new(sub_geo, sub_w, Some(bref[range].to_vec()))
+        });
+        let got = par.run(&input);
+        assert!(expect.approx_eq(&got, 1e-5));
+    }
+
+    #[test]
+    fn imbalance_metric_behaves() {
+        let t = ThreadTimes {
+            seconds: vec![1.0, 1.0, 1.0],
+        };
+        assert_eq!(t.imbalance(), 0.0);
+        let t = ThreadTimes {
+            seconds: vec![2.0, 1.0],
+        };
+        assert!((t.imbalance() - 0.5).abs() < 1e-12);
+        assert_eq!(ThreadTimes::default().imbalance(), 0.0);
+    }
+
+    #[test]
+    fn balanced_schedule_distributes_rows_evenly() {
+        let (_, exec, _) = pattern_exec(4);
+        let par = ParallelPattern::new(exec, 5, Schedule::Balanced);
+        let sizes: Vec<usize> = par.assignments.iter().map(Vec::len).collect();
+        let max = sizes.iter().max().unwrap();
+        let min = sizes.iter().min().unwrap();
+        assert!(max - min <= 1, "sizes {sizes:?}");
+    }
+}

@@ -1,0 +1,469 @@
+//! Pattern-based convolution executors over FKW storage.
+//!
+//! Four variants mirror Figure 13's optimization levels; each is the Rust
+//! interpretation of the corresponding generated kernel of Figure 7:
+//!
+//! - [`OptLevel::NoOpt`] — iterates kernels in original order with a
+//!   per-kernel dispatch *inside* the pixel loops (the branchy `switch`).
+//! - [`OptLevel::Reorder`] — traverses FKW pattern runs: the dispatch is
+//!   hoisted out of the pixel loops; execution is branch-free inside.
+//! - [`OptLevel::ReorderLre`] — adds kernel-level register reuse via a
+//!   4-wide output-width unrolled interior path.
+//! - [`OptLevel::Full`] — adds output-channel unrolling (filter-level
+//!   LRE) and tuned tiling.
+
+use patdnn_compiler::fkw::FkwLayer;
+use patdnn_compiler::tune::space::TuningConfig;
+use patdnn_core::pattern::Pattern;
+use patdnn_tensor::{Conv2dGeometry, Tensor};
+
+use crate::executor::ConvExecutor;
+
+/// Optimization level of the pattern executor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OptLevel {
+    /// Branchy per-kernel dispatch (pre-reorder execution).
+    NoOpt,
+    /// Filter-kernel reordered, branch-free pattern runs.
+    Reorder,
+    /// Plus kernel-level load redundancy elimination.
+    ReorderLre,
+    /// Plus filter-level LRE and tuned tiles/unrolls.
+    Full,
+}
+
+impl OptLevel {
+    /// Display label matching Figure 13.
+    pub fn label(&self) -> &'static str {
+        match self {
+            OptLevel::NoOpt => "No-Opt",
+            OptLevel::Reorder => "Reorder",
+            OptLevel::ReorderLre => "Reorder+LRE",
+            OptLevel::Full => "Reorder+LRE+Tune",
+        }
+    }
+
+    /// All levels in ascending optimization order.
+    pub fn all() -> [OptLevel; 4] {
+        [
+            OptLevel::NoOpt,
+            OptLevel::Reorder,
+            OptLevel::ReorderLre,
+            OptLevel::Full,
+        ]
+    }
+}
+
+/// A pattern kernel's taps, pre-decoded for the inner loops.
+#[derive(Debug, Clone)]
+struct DecodedPattern {
+    /// `(kh, kw)` per entry.
+    taps: Vec<(usize, usize)>,
+}
+
+impl DecodedPattern {
+    fn new(p: &Pattern) -> Self {
+        DecodedPattern { taps: p.positions() }
+    }
+}
+
+/// Pattern-based sparse convolution executor over FKW storage.
+pub struct PatternConv {
+    geo: Conv2dGeometry,
+    fkw: FkwLayer,
+    bias: Option<Vec<f32>>,
+    level: OptLevel,
+    tuning: TuningConfig,
+    decoded: Vec<DecodedPattern>,
+    /// Per-kernel weight base offsets (uniform entries per kernel).
+    entries: usize,
+}
+
+impl PatternConv {
+    /// Creates the executor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the FKW layer disagrees with the geometry.
+    pub fn new(
+        geo: Conv2dGeometry,
+        fkw: FkwLayer,
+        bias: Option<Vec<f32>>,
+        level: OptLevel,
+        tuning: TuningConfig,
+    ) -> Self {
+        assert_eq!(fkw.out_c, geo.out_channels, "filter count mismatch");
+        assert_eq!(fkw.in_c, geo.in_channels, "channel count mismatch");
+        assert_eq!(fkw.kernel, geo.kernel_h, "kernel size mismatch");
+        let decoded = fkw.patterns.iter().map(DecodedPattern::new).collect();
+        let entries = fkw.entries_per_kernel;
+        PatternConv {
+            geo,
+            fkw,
+            bias,
+            level,
+            tuning,
+            decoded,
+            entries,
+        }
+    }
+
+    /// The FKW storage backing this executor.
+    pub fn fkw(&self) -> &FkwLayer {
+        &self.fkw
+    }
+
+    /// The optimization level.
+    pub fn level(&self) -> OptLevel {
+        self.level
+    }
+
+    /// Fraction of dense MACs actually executed.
+    pub fn compute_fraction(&self) -> f64 {
+        let dense = self.geo.in_channels * self.geo.kernel_h * self.geo.kernel_w;
+        let actual = self.fkw.stored_kernels() * self.entries;
+        actual as f64 / (dense * self.geo.out_channels) as f64
+    }
+
+    /// Accumulates one kernel over the whole output plane with per-pixel
+    /// bounds checks (the slow path and the No-opt body).
+    #[allow(clippy::too_many_arguments)]
+    fn kernel_plane_checked(
+        &self,
+        taps: &[(usize, usize)],
+        w: &[f32],
+        in_plane: &[f32],
+        out_plane: &mut [f32],
+    ) {
+        let g = &self.geo;
+        for oh in 0..g.out_h {
+            let orow = oh * g.out_w;
+            for ow in 0..g.out_w {
+                let mut acc = 0.0f32;
+                for (e, &(kh, kw)) in taps.iter().enumerate() {
+                    let ih = (oh * g.stride + kh) as isize - g.pad as isize;
+                    let iw = (ow * g.stride + kw) as isize - g.pad as isize;
+                    if ih >= 0 && ih < g.in_h as isize && iw >= 0 && iw < g.in_w as isize {
+                        acc += w[e] * in_plane[ih as usize * g.in_w + iw as usize];
+                    }
+                }
+                out_plane[orow + ow] += acc;
+            }
+        }
+    }
+
+    /// Accumulates one kernel with the LRE interior fast path: 4-wide
+    /// output unrolling keeps each loaded input element in a register for
+    /// all unrolled outputs that need it.
+    fn kernel_plane_lre(&self, taps: &[(usize, usize)], w: &[f32], in_plane: &[f32], out_plane: &mut [f32]) {
+        let g = &self.geo;
+        debug_assert_eq!(g.stride, 1, "LRE fast path requires stride 1");
+        for oh in 0..g.out_h {
+            let orow = oh * g.out_w;
+            let fast_h = oh + g.kernel_h <= g.in_h + g.pad && oh >= g.pad;
+            let mut ow = 0;
+            while ow + 4 <= g.out_w && fast_h && ow >= g.pad && ow + 3 + g.kernel_w <= g.in_w + g.pad {
+                let mut acc = [0.0f32; 4];
+                for (e, &(kh, kw)) in taps.iter().enumerate() {
+                    let ih = oh + kh - g.pad;
+                    let base = ih * g.in_w + ow + kw - g.pad;
+                    // One register-resident span serves all four outputs.
+                    let wv = w[e];
+                    acc[0] += wv * in_plane[base];
+                    acc[1] += wv * in_plane[base + 1];
+                    acc[2] += wv * in_plane[base + 2];
+                    acc[3] += wv * in_plane[base + 3];
+                }
+                out_plane[orow + ow] += acc[0];
+                out_plane[orow + ow + 1] += acc[1];
+                out_plane[orow + ow + 2] += acc[2];
+                out_plane[orow + ow + 3] += acc[3];
+                ow += 4;
+            }
+            while ow < g.out_w {
+                let mut acc = 0.0f32;
+                for (e, &(kh, kw)) in taps.iter().enumerate() {
+                    let ih = (oh * g.stride + kh) as isize - g.pad as isize;
+                    let iw = (ow * g.stride + kw) as isize - g.pad as isize;
+                    if ih >= 0 && ih < g.in_h as isize && iw >= 0 && iw < g.in_w as isize {
+                        acc += w[e] * in_plane[ih as usize * g.in_w + iw as usize];
+                    }
+                }
+                out_plane[orow + ow] += acc;
+                ow += 1;
+            }
+        }
+    }
+
+    /// Computes one storage row's output plane (bias included), returning
+    /// `(original filter index, plane)`. This is the unit of work the
+    /// parallel runner distributes across threads.
+    pub fn compute_row_plane(&self, input: &[f32], row: usize) -> (usize, Vec<f32>) {
+        let g = &self.geo;
+        let in_hw = g.in_h * g.in_w;
+        let out_hw = g.out_h * g.out_w;
+        let f = self.fkw.reorder[row] as usize;
+        let b = self.bias.as_ref().map_or(0.0, |b| b[f]);
+        let mut plane = vec![b; out_hw];
+        let lre_ok =
+            g.stride == 1 && self.level != OptLevel::NoOpt && self.level != OptLevel::Reorder;
+        for p in 0..self.fkw.patterns.len() {
+            let taps = &self.decoded[p].taps;
+            for k in self.fkw.pattern_run(row, p) {
+                let ic = self.fkw.index[k] as usize;
+                let w = &self.fkw.weights[k * self.entries..(k + 1) * self.entries];
+                let in_plane = &input[ic * in_hw..(ic + 1) * in_hw];
+                if lre_ok {
+                    self.kernel_plane_lre(taps, w, in_plane, &mut plane);
+                } else {
+                    self.kernel_plane_checked(taps, w, in_plane, &mut plane);
+                }
+            }
+        }
+        (f, plane)
+    }
+
+    fn run_batch_item(&self, input: &[f32], output: &mut [f32]) {
+        let g = &self.geo;
+        let in_hw = g.in_h * g.in_w;
+        let out_hw = g.out_h * g.out_w;
+        let np = self.fkw.patterns.len();
+        let lre_ok = g.stride == 1 && self.level != OptLevel::NoOpt && self.level != OptLevel::Reorder;
+
+        // Bias initialization.
+        for oc in 0..g.out_channels {
+            let b = self.bias.as_ref().map_or(0.0, |b| b[oc]);
+            output[oc * out_hw..(oc + 1) * out_hw]
+                .iter_mut()
+                .for_each(|v| *v = b);
+        }
+
+        match self.level {
+            OptLevel::NoOpt => {
+                // Original filter order; per-kernel dispatch in the hot
+                // loop: look up the kernel's run (the switch of Figure 7).
+                for oc in 0..g.out_channels {
+                    let row = self
+                        .fkw
+                        .reorder
+                        .iter()
+                        .position(|&f| f as usize == oc)
+                        .expect("every filter stored");
+                    let out_plane = &mut output[oc * out_hw..(oc + 1) * out_hw];
+                    for p in 0..np {
+                        for k in self.fkw.pattern_run(row, p) {
+                            let ic = self.fkw.index[k] as usize;
+                            let w = &self.fkw.weights[k * self.entries..(k + 1) * self.entries];
+                            // The branchy variant: dispatch per kernel, no
+                            // specialization, checked everywhere.
+                            self.kernel_plane_checked(
+                                &self.decoded[p].taps,
+                                w,
+                                &input[ic * in_hw..(ic + 1) * in_hw],
+                                out_plane,
+                            );
+                        }
+                    }
+                }
+            }
+            OptLevel::Reorder | OptLevel::ReorderLre => {
+                for (row, f) in self.fkw.rows() {
+                    let out_plane = &mut output[f * out_hw..(f + 1) * out_hw];
+                    for p in 0..np {
+                        let taps = &self.decoded[p].taps;
+                        for k in self.fkw.pattern_run(row, p) {
+                            let ic = self.fkw.index[k] as usize;
+                            let w = &self.fkw.weights[k * self.entries..(k + 1) * self.entries];
+                            let in_plane = &input[ic * in_hw..(ic + 1) * in_hw];
+                            if lre_ok {
+                                self.kernel_plane_lre(taps, w, in_plane, out_plane);
+                            } else {
+                                self.kernel_plane_checked(taps, w, in_plane, out_plane);
+                            }
+                        }
+                    }
+                }
+            }
+            OptLevel::Full => {
+                // Tiled over output channels; unroll_oc rows share their
+                // traversal (filter-level LRE: identical (pattern, ic)
+                // kernels in the chunk read the same input spans while
+                // they are register-resident).
+                let uoc = self.tuning.unroll_oc.max(1);
+                let rows: Vec<(usize, usize)> = self.fkw.rows().collect();
+                for chunk in rows.chunks(uoc) {
+                    for p in 0..np {
+                        let taps = &self.decoded[p].taps;
+                        for &(row, f) in chunk {
+                            let out_plane = &mut output[f * out_hw..(f + 1) * out_hw];
+                            for k in self.fkw.pattern_run(row, p) {
+                                let ic = self.fkw.index[k] as usize;
+                                let w =
+                                    &self.fkw.weights[k * self.entries..(k + 1) * self.entries];
+                                let in_plane = &input[ic * in_hw..(ic + 1) * in_hw];
+                                if lre_ok {
+                                    self.kernel_plane_lre(taps, w, in_plane, out_plane);
+                                } else {
+                                    self.kernel_plane_checked(taps, w, in_plane, out_plane);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl ConvExecutor for PatternConv {
+    fn name(&self) -> &str {
+        match self.level {
+            OptLevel::NoOpt => "pattern-noopt",
+            OptLevel::Reorder => "pattern-reorder",
+            OptLevel::ReorderLre => "pattern-lre",
+            OptLevel::Full => "pattern-full",
+        }
+    }
+
+    fn geometry(&self) -> &Conv2dGeometry {
+        &self.geo
+    }
+
+    fn run(&self, input: &Tensor) -> Tensor {
+        let g = &self.geo;
+        let s = input.shape4();
+        assert_eq!(s.c, g.in_channels, "input channel mismatch");
+        let batch = s.n;
+        let mut out = Tensor::zeros(&[batch, g.out_channels, g.out_h, g.out_w]);
+        let in_img = g.in_channels * g.in_h * g.in_w;
+        let out_img = g.out_channels * g.out_h * g.out_w;
+        for n in 0..batch {
+            let (ind, outd) = (
+                &input.data()[n * in_img..(n + 1) * in_img],
+                &mut out.data_mut()[n * out_img..(n + 1) * out_img],
+            );
+            self.run_batch_item(ind, outd);
+        }
+        out
+    }
+}
+
+/// Builds all four optimization-level executors for one pruned layer.
+pub fn all_levels(
+    geo: Conv2dGeometry,
+    fkw: &FkwLayer,
+    bias: Option<Vec<f32>>,
+    tuning: TuningConfig,
+) -> Vec<PatternConv> {
+    OptLevel::all()
+        .into_iter()
+        .map(|level| PatternConv::new(geo, fkw.clone(), bias.clone(), level, tuning))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::assert_matches_reference;
+    use patdnn_compiler::fkr::filter_kernel_reorder;
+    use patdnn_core::pattern_set::PatternSet;
+    use patdnn_core::project::prune_layer;
+    use patdnn_tensor::rng::Rng;
+
+    fn pruned_fkw(
+        oc: usize,
+        ic: usize,
+        alpha: usize,
+        seed: u64,
+    ) -> (Tensor, FkwLayer) {
+        let mut rng = Rng::seed_from(seed);
+        let mut w = Tensor::randn(&[oc, ic, 3, 3], &mut rng);
+        let set = PatternSet::standard(8);
+        let lp = prune_layer("t", &mut w, &set, alpha);
+        let order = filter_kernel_reorder(&lp);
+        let fkw = FkwLayer::from_pruned(&w, &lp, &set, &order);
+        (w, fkw)
+    }
+
+    #[test]
+    fn all_levels_match_reference() {
+        let geo = Conv2dGeometry::new(8, 6, 3, 3, 11, 11, 1, 1);
+        let (w, fkw) = pruned_fkw(8, 6, 20, 1);
+        let mut rng = Rng::seed_from(2);
+        let bias: Vec<f32> = (0..8).map(|_| rng.uniform(-0.5, 0.5)).collect();
+        for exec in all_levels(geo, &fkw, Some(bias.clone()), TuningConfig::tuned_default()) {
+            assert_matches_reference(&exec, &w, Some(&bias), 1e-3, 3);
+        }
+    }
+
+    #[test]
+    fn strided_pattern_layer_matches_reference() {
+        // Stride 2 disables the LRE fast path but must stay correct.
+        let geo = Conv2dGeometry::new(4, 4, 3, 3, 9, 9, 2, 1);
+        let (w, fkw) = pruned_fkw(4, 4, 8, 4);
+        for exec in all_levels(geo, &fkw, None, TuningConfig::tuned_default()) {
+            assert_matches_reference(&exec, &w, None, 1e-3, 5);
+        }
+    }
+
+    #[test]
+    fn connectivity_only_1x1_layer_matches_reference() {
+        let mut rng = Rng::seed_from(6);
+        let mut w = Tensor::randn(&[8, 8, 1, 1], &mut rng);
+        let set = PatternSet::standard(8);
+        let lp = prune_layer("proj", &mut w, &set, 16);
+        let order = filter_kernel_reorder(&lp);
+        let fkw = FkwLayer::from_pruned(&w, &lp, &set, &order);
+        let geo = Conv2dGeometry::new(8, 8, 1, 1, 7, 7, 1, 0);
+        for exec in all_levels(geo, &fkw, None, TuningConfig::tuned_default()) {
+            assert_matches_reference(&exec, &w, None, 1e-3, 7);
+        }
+    }
+
+    #[test]
+    fn compute_fraction_reflects_pruning() {
+        let geo = Conv2dGeometry::new(8, 8, 3, 3, 8, 8, 1, 1);
+        let (_, fkw) = pruned_fkw(8, 8, 16, 8);
+        let exec = PatternConv::new(geo, fkw, None, OptLevel::Full, TuningConfig::baseline());
+        // 16 kernels of 4 entries out of 64 kernels of 9 entries.
+        let expect = (16.0 * 4.0) / (64.0 * 9.0);
+        assert!((exec.compute_fraction() - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn batched_input_matches_itemwise_runs() {
+        let geo = Conv2dGeometry::new(4, 4, 3, 3, 8, 8, 1, 1);
+        let (_, fkw) = pruned_fkw(4, 4, 10, 9);
+        let exec = PatternConv::new(geo, fkw, None, OptLevel::Full, TuningConfig::tuned_default());
+        let mut rng = Rng::seed_from(10);
+        let a = Tensor::randn(&[1, 4, 8, 8], &mut rng);
+        let b = Tensor::randn(&[1, 4, 8, 8], &mut rng);
+        let mut both = Tensor::zeros(&[2, 4, 8, 8]);
+        both.data_mut()[..a.len()].copy_from_slice(a.data());
+        both.data_mut()[a.len()..].copy_from_slice(b.data());
+        let out_a = exec.run(&a);
+        let out_b = exec.run(&b);
+        let out = exec.run(&both);
+        assert_eq!(&out.data()[..out_a.len()], out_a.data());
+        assert_eq!(&out.data()[out_a.len()..], out_b.data());
+    }
+
+    #[test]
+    fn levels_report_distinct_names() {
+        let geo = Conv2dGeometry::new(4, 4, 3, 3, 6, 6, 1, 1);
+        let (_, fkw) = pruned_fkw(4, 4, 8, 11);
+        let names: Vec<&str> = all_levels(geo, &fkw, None, TuningConfig::baseline())
+            .iter()
+            .map(|e| match e.level() {
+                OptLevel::NoOpt => "pattern-noopt",
+                OptLevel::Reorder => "pattern-reorder",
+                OptLevel::ReorderLre => "pattern-lre",
+                OptLevel::Full => "pattern-full",
+            })
+            .collect();
+        assert_eq!(
+            names,
+            vec!["pattern-noopt", "pattern-reorder", "pattern-lre", "pattern-full"]
+        );
+    }
+}

@@ -1,0 +1,125 @@
+//! Mobile platform descriptors for the portability study (Figure 18).
+//!
+//! The paper measures on a Samsung Galaxy S10 (Snapdragon 855), a Xiaomi
+//! POCOPHONE F1 (Snapdragon 845), and an Honor Magic 2 (Kirin 980). We
+//! model each as a CPU scaling profile plus a GPU cost model; CPU times
+//! measured on the host are scaled by the platform's relative
+//! throughput, while GPU times come from the simulator directly.
+
+use crate::gpu::GpuModel;
+
+/// A mobile SoC execution profile.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Platform {
+    /// Platform name as the paper writes it.
+    pub name: String,
+    /// Big-core count used for inference (the paper uses 8 threads).
+    pub cpu_threads: usize,
+    /// CPU throughput relative to the Snapdragon 855 (1.0).
+    pub cpu_relative: f64,
+    /// Memory bandwidth relative to the Snapdragon 855; load-bound
+    /// executions scale with this.
+    pub mem_relative: f64,
+    /// The GPU model.
+    pub gpu: GpuModel,
+}
+
+impl Platform {
+    /// Snapdragon 855 (Kryo 485 + Adreno 640) — the primary device.
+    pub fn snapdragon_855() -> Self {
+        Platform {
+            name: "Snapdragon 855".into(),
+            cpu_threads: 8,
+            cpu_relative: 1.0,
+            mem_relative: 1.0,
+            gpu: GpuModel::adreno_640(),
+        }
+    }
+
+    /// Snapdragon 845 (Kryo 385 + Adreno 630).
+    pub fn snapdragon_845() -> Self {
+        Platform {
+            name: "Snapdragon 845".into(),
+            cpu_threads: 8,
+            cpu_relative: 0.78,
+            mem_relative: 0.85,
+            gpu: GpuModel::adreno_630(),
+        }
+    }
+
+    /// Kirin 980 (ARM Cortex-A76 + Mali-G76).
+    pub fn kirin_980() -> Self {
+        Platform {
+            name: "Kirin 980".into(),
+            cpu_threads: 8,
+            cpu_relative: 0.92,
+            mem_relative: 0.70,
+            gpu: GpuModel::mali_g76(),
+        }
+    }
+
+    /// All three platforms of the paper.
+    pub fn all() -> Vec<Platform> {
+        vec![
+            Platform::snapdragon_855(),
+            Platform::snapdragon_845(),
+            Platform::kirin_980(),
+        ]
+    }
+
+    /// Scales a host-measured CPU time to this platform.
+    ///
+    /// `load_bound_fraction` is the share of execution limited by the
+    /// memory path (0.0 = pure compute). PatDNN's reduced memory traffic
+    /// gives it a smaller fraction than dense frameworks, reproducing the
+    /// paper's stability observation on the Kirin 980.
+    pub fn scale_cpu_seconds(&self, host_seconds: f64, load_bound_fraction: f64) -> f64 {
+        assert!(
+            (0.0..=1.0).contains(&load_bound_fraction),
+            "fraction must be in [0, 1]"
+        );
+        let compute = host_seconds * (1.0 - load_bound_fraction) / self.cpu_relative;
+        let memory = host_seconds * load_bound_fraction / self.mem_relative;
+        compute + memory
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flagship_is_fastest() {
+        let s855 = Platform::snapdragon_855();
+        for p in [Platform::snapdragon_845(), Platform::kirin_980()] {
+            assert!(
+                p.scale_cpu_seconds(1.0, 0.3) > s855.scale_cpu_seconds(1.0, 0.3),
+                "{} should be slower than the 855",
+                p.name
+            );
+        }
+    }
+
+    #[test]
+    fn load_bound_work_suffers_more_on_kirin() {
+        let kirin = Platform::kirin_980();
+        let compute_bound = kirin.scale_cpu_seconds(1.0, 0.1);
+        let load_bound = kirin.scale_cpu_seconds(1.0, 0.7);
+        assert!(load_bound > compute_bound);
+    }
+
+    #[test]
+    fn identity_scaling_on_reference_platform() {
+        let s855 = Platform::snapdragon_855();
+        assert!((s855.scale_cpu_seconds(2.5, 0.4) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_platforms_enumerated() {
+        let names: Vec<String> = Platform::all().into_iter().map(|p| p.name).collect();
+        assert_eq!(
+            names,
+            vec!["Snapdragon 855", "Snapdragon 845", "Kirin 980"]
+        );
+    }
+}

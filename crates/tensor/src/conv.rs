@@ -1,0 +1,235 @@
+//! Reference direct convolution.
+//!
+//! Every optimized executor in the workspace — dense tiled, im2col+GEMM,
+//! Winograd, CSR sparse, and the four pattern-based variants — is validated
+//! against [`conv2d_ref`]. It is intentionally the simplest possible 7-loop
+//! nest.
+
+use crate::shape::{conv_out_dim, Shape4};
+use crate::tensor::Tensor;
+
+/// Static geometry of a 2-D convolution: shapes, stride and padding.
+///
+/// # Examples
+///
+/// ```
+/// use patdnn_tensor::Conv2dGeometry;
+///
+/// // VGG-16 L4: 128 filters over 128 channels, 3x3, on a 112x112 input.
+/// let g = Conv2dGeometry::new(128, 128, 3, 3, 112, 112, 1, 1);
+/// assert_eq!((g.out_h, g.out_w), (112, 112));
+/// assert_eq!(g.macs(), 128 * 128 * 3 * 3 * 112 * 112);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Conv2dGeometry {
+    /// Number of filters (output channels), `C_{k+1}` in the paper.
+    pub out_channels: usize,
+    /// Number of input channels (kernels per filter), `C_k` in the paper.
+    pub in_channels: usize,
+    /// Kernel height `P_k`.
+    pub kernel_h: usize,
+    /// Kernel width `Q_k`.
+    pub kernel_w: usize,
+    /// Input height `M_k`.
+    pub in_h: usize,
+    /// Input width `N_k`.
+    pub in_w: usize,
+    /// Stride `S_k` (same in both dimensions).
+    pub stride: usize,
+    /// Zero padding (same on all sides).
+    pub pad: usize,
+    /// Output height `M_{k+1}`.
+    pub out_h: usize,
+    /// Output width `N_{k+1}`.
+    pub out_w: usize,
+}
+
+impl Conv2dGeometry {
+    /// Creates the geometry, deriving the output spatial size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the kernel does not fit in the padded input or any
+    /// dimension is zero.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        out_channels: usize,
+        in_channels: usize,
+        kernel_h: usize,
+        kernel_w: usize,
+        in_h: usize,
+        in_w: usize,
+        stride: usize,
+        pad: usize,
+    ) -> Self {
+        assert!(out_channels > 0 && in_channels > 0, "channel counts must be positive");
+        assert!(kernel_h > 0 && kernel_w > 0, "kernel dims must be positive");
+        let out_h = conv_out_dim(in_h, kernel_h, stride, pad);
+        let out_w = conv_out_dim(in_w, kernel_w, stride, pad);
+        Conv2dGeometry {
+            out_channels,
+            in_channels,
+            kernel_h,
+            kernel_w,
+            in_h,
+            in_w,
+            stride,
+            pad,
+            out_h,
+            out_w,
+        }
+    }
+
+    /// Weight tensor shape in OIHW order.
+    pub fn weight_shape(&self) -> Shape4 {
+        Shape4::new(self.out_channels, self.in_channels, self.kernel_h, self.kernel_w)
+    }
+
+    /// Input shape for a batch of one, NCHW.
+    pub fn input_shape(&self) -> Shape4 {
+        Shape4::new(1, self.in_channels, self.in_h, self.in_w)
+    }
+
+    /// Output shape for a batch of one, NCHW.
+    pub fn output_shape(&self) -> Shape4 {
+        Shape4::new(1, self.out_channels, self.out_h, self.out_w)
+    }
+
+    /// Multiply-accumulate count of the dense layer.
+    pub fn macs(&self) -> usize {
+        self.out_channels * self.in_channels * self.kernel_h * self.kernel_w * self.out_h * self.out_w
+    }
+
+    /// Floating point operations of the dense layer (2 per MAC).
+    pub fn flops(&self) -> usize {
+        2 * self.macs()
+    }
+}
+
+/// Direct convolution for a batch of inputs in NCHW with OIHW weights.
+///
+/// `bias` may be `None` for bias-free layers.
+///
+/// # Panics
+///
+/// Panics if the tensor shapes disagree with `geo` or the batch dimension
+/// of `input`.
+pub fn conv2d_ref(input: &Tensor, weights: &Tensor, bias: Option<&[f32]>, geo: &Conv2dGeometry) -> Tensor {
+    let ishape = input.shape4();
+    assert_eq!(ishape.c, geo.in_channels, "input channel mismatch");
+    assert_eq!(ishape.h, geo.in_h, "input height mismatch");
+    assert_eq!(ishape.w, geo.in_w, "input width mismatch");
+    assert_eq!(weights.shape4(), geo.weight_shape(), "weight shape mismatch");
+    if let Some(b) = bias {
+        assert_eq!(b.len(), geo.out_channels, "bias length mismatch");
+    }
+
+    let batch = ishape.n;
+    let mut out = Tensor::zeros(&[batch, geo.out_channels, geo.out_h, geo.out_w]);
+    let istride_c = geo.in_h * geo.in_w;
+    let wstride_o = geo.in_channels * geo.kernel_h * geo.kernel_w;
+    let wstride_i = geo.kernel_h * geo.kernel_w;
+    let in_data = input.data();
+    let w_data = weights.data();
+    let out_hw = geo.out_h * geo.out_w;
+    let out_data = out.data_mut();
+
+    for n in 0..batch {
+        let ibase = n * geo.in_channels * istride_c;
+        let obase = n * geo.out_channels * out_hw;
+        for oc in 0..geo.out_channels {
+            let b = bias.map_or(0.0, |b| b[oc]);
+            for oh in 0..geo.out_h {
+                for ow in 0..geo.out_w {
+                    let mut acc = b;
+                    for ic in 0..geo.in_channels {
+                        for kh in 0..geo.kernel_h {
+                            let ih = (oh * geo.stride + kh) as isize - geo.pad as isize;
+                            if ih < 0 || ih >= geo.in_h as isize {
+                                continue;
+                            }
+                            for kw in 0..geo.kernel_w {
+                                let iw = (ow * geo.stride + kw) as isize - geo.pad as isize;
+                                if iw < 0 || iw >= geo.in_w as isize {
+                                    continue;
+                                }
+                                let iv = in_data
+                                    [ibase + ic * istride_c + ih as usize * geo.in_w + iw as usize];
+                                let wv = w_data[oc * wstride_o + ic * wstride_i + kh * geo.kernel_w + kw];
+                                acc += iv * wv;
+                            }
+                        }
+                    }
+                    out_data[obase + oc * out_hw + oh * geo.out_w + ow] = acc;
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Rng;
+
+    #[test]
+    fn hand_computed_1x1_case() {
+        // 1 input channel, 2x2 input, single 1x1 filter of weight 3, bias 1.
+        let geo = Conv2dGeometry::new(1, 1, 1, 1, 2, 2, 1, 0);
+        let input = Tensor::from_vec(&[1, 1, 2, 2], vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let weights = Tensor::from_vec(&[1, 1, 1, 1], vec![3.0]).unwrap();
+        let out = conv2d_ref(&input, &weights, Some(&[1.0]), &geo);
+        assert_eq!(out.data(), &[4.0, 7.0, 10.0, 13.0]);
+    }
+
+    #[test]
+    fn hand_computed_3x3_same_padding() {
+        // All-ones 3x3 input, all-ones 3x3 kernel, pad 1: every output counts
+        // the in-bounds 3x3 neighbourhood.
+        let geo = Conv2dGeometry::new(1, 1, 3, 3, 3, 3, 1, 1);
+        let input = Tensor::filled(&[1, 1, 3, 3], 1.0);
+        let weights = Tensor::filled(&[1, 1, 3, 3], 1.0);
+        let out = conv2d_ref(&input, &weights, None, &geo);
+        assert_eq!(
+            out.data(),
+            &[4.0, 6.0, 4.0, 6.0, 9.0, 6.0, 4.0, 6.0, 4.0]
+        );
+    }
+
+    #[test]
+    fn stride_two_downsamples() {
+        let geo = Conv2dGeometry::new(1, 1, 1, 1, 4, 4, 2, 0);
+        let input =
+            Tensor::from_vec(&[1, 1, 4, 4], (0..16).map(|i| i as f32).collect()).unwrap();
+        let weights = Tensor::from_vec(&[1, 1, 1, 1], vec![1.0]).unwrap();
+        let out = conv2d_ref(&input, &weights, None, &geo);
+        assert_eq!(out.shape(), &[1, 1, 2, 2]);
+        assert_eq!(out.data(), &[0.0, 2.0, 8.0, 10.0]);
+    }
+
+    #[test]
+    fn batch_entries_are_independent() {
+        let geo = Conv2dGeometry::new(2, 3, 3, 3, 5, 5, 1, 1);
+        let mut rng = Rng::seed_from(5);
+        let a = Tensor::randn(&[1, 3, 5, 5], &mut rng);
+        let b = Tensor::randn(&[1, 3, 5, 5], &mut rng);
+        let weights = Tensor::randn(&[2, 3, 3, 3], &mut rng);
+        let mut both = Tensor::zeros(&[2, 3, 5, 5]);
+        both.data_mut()[..a.len()].copy_from_slice(a.data());
+        both.data_mut()[a.len()..].copy_from_slice(b.data());
+
+        let out_a = conv2d_ref(&a, &weights, None, &geo);
+        let out_b = conv2d_ref(&b, &weights, None, &geo);
+        let out_both = conv2d_ref(&both, &weights, None, &geo);
+        assert_eq!(&out_both.data()[..out_a.len()], out_a.data());
+        assert_eq!(&out_both.data()[out_a.len()..], out_b.data());
+    }
+
+    #[test]
+    fn macs_counts_multiplications() {
+        let geo = Conv2dGeometry::new(64, 3, 3, 3, 224, 224, 1, 1);
+        assert_eq!(geo.macs(), 64 * 3 * 9 * 224 * 224);
+        assert_eq!(geo.flops(), 2 * geo.macs());
+    }
+}

@@ -1,0 +1,216 @@
+//! im2col / col2im lowering.
+//!
+//! Convolution as matrix multiplication: the input patch matrix has one
+//! column per output pixel and one row per `(ic, kh, kw)` weight position.
+//! This is the execution strategy of the "TVM-like" dense baseline and of
+//! the training convolution layers in `patdnn-nn`.
+
+use crate::conv::Conv2dGeometry;
+use crate::tensor::Tensor;
+
+/// Number of rows of the patch matrix: `in_channels * kernel_h * kernel_w`.
+pub fn col_rows(geo: &Conv2dGeometry) -> usize {
+    geo.in_channels * geo.kernel_h * geo.kernel_w
+}
+
+/// Number of columns of the patch matrix: `out_h * out_w`.
+pub fn col_cols(geo: &Conv2dGeometry) -> usize {
+    geo.out_h * geo.out_w
+}
+
+/// Expands one image (CHW slice) into the im2col patch matrix.
+///
+/// `input` must contain `in_channels * in_h * in_w` contiguous values;
+/// `cols` must have room for [`col_rows`]` * `[`col_cols`] values and is
+/// fully overwritten (out-of-bounds taps become zero).
+///
+/// # Panics
+///
+/// Panics if either slice is too short.
+pub fn im2col(input: &[f32], geo: &Conv2dGeometry, cols: &mut [f32]) {
+    let rows = col_rows(geo);
+    let ncols = col_cols(geo);
+    assert!(input.len() >= geo.in_channels * geo.in_h * geo.in_w, "input too short");
+    assert!(cols.len() >= rows * ncols, "cols buffer too short");
+
+    for ic in 0..geo.in_channels {
+        let ibase = ic * geo.in_h * geo.in_w;
+        for kh in 0..geo.kernel_h {
+            for kw in 0..geo.kernel_w {
+                let row = (ic * geo.kernel_h + kh) * geo.kernel_w + kw;
+                let rbase = row * ncols;
+                for oh in 0..geo.out_h {
+                    let ih = (oh * geo.stride + kh) as isize - geo.pad as isize;
+                    for ow in 0..geo.out_w {
+                        let iw = (ow * geo.stride + kw) as isize - geo.pad as isize;
+                        let v = if ih >= 0
+                            && ih < geo.in_h as isize
+                            && iw >= 0
+                            && iw < geo.in_w as isize
+                        {
+                            input[ibase + ih as usize * geo.in_w + iw as usize]
+                        } else {
+                            0.0
+                        };
+                        cols[rbase + oh * geo.out_w + ow] = v;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Scatters a patch-matrix gradient back into an image gradient (col2im).
+///
+/// This is the adjoint of [`im2col`]: values landing on the same input
+/// pixel accumulate. `dinput` must be zeroed by the caller if it should not
+/// accumulate into previous content.
+///
+/// # Panics
+///
+/// Panics if either slice is too short.
+pub fn col2im(cols: &[f32], geo: &Conv2dGeometry, dinput: &mut [f32]) {
+    let rows = col_rows(geo);
+    let ncols = col_cols(geo);
+    assert!(cols.len() >= rows * ncols, "cols buffer too short");
+    assert!(
+        dinput.len() >= geo.in_channels * geo.in_h * geo.in_w,
+        "dinput too short"
+    );
+
+    for ic in 0..geo.in_channels {
+        let ibase = ic * geo.in_h * geo.in_w;
+        for kh in 0..geo.kernel_h {
+            for kw in 0..geo.kernel_w {
+                let row = (ic * geo.kernel_h + kh) * geo.kernel_w + kw;
+                let rbase = row * ncols;
+                for oh in 0..geo.out_h {
+                    let ih = (oh * geo.stride + kh) as isize - geo.pad as isize;
+                    if ih < 0 || ih >= geo.in_h as isize {
+                        continue;
+                    }
+                    for ow in 0..geo.out_w {
+                        let iw = (ow * geo.stride + kw) as isize - geo.pad as isize;
+                        if iw < 0 || iw >= geo.in_w as isize {
+                            continue;
+                        }
+                        dinput[ibase + ih as usize * geo.in_w + iw as usize] +=
+                            cols[rbase + oh * geo.out_w + ow];
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Convolution of a batched NCHW tensor via im2col + GEMM.
+///
+/// Numerically equivalent to [`crate::conv::conv2d_ref`]; used as a fast
+/// path and as a correctness cross-check for the lowering itself.
+///
+/// # Panics
+///
+/// Panics if tensor shapes disagree with `geo`.
+pub fn conv2d_im2col(
+    input: &Tensor,
+    weights: &Tensor,
+    bias: Option<&[f32]>,
+    geo: &Conv2dGeometry,
+) -> Tensor {
+    let ishape = input.shape4();
+    assert_eq!(ishape.c, geo.in_channels, "input channel mismatch");
+    assert_eq!(weights.shape4(), geo.weight_shape(), "weight shape mismatch");
+    let batch = ishape.n;
+    let rows = col_rows(geo);
+    let ncols = col_cols(geo);
+    let mut cols = vec![0.0f32; rows * ncols];
+    let mut out = Tensor::zeros(&[batch, geo.out_channels, geo.out_h, geo.out_w]);
+    let in_img = geo.in_channels * geo.in_h * geo.in_w;
+    let out_img = geo.out_channels * ncols;
+
+    for n in 0..batch {
+        im2col(&input.data()[n * in_img..(n + 1) * in_img], geo, &mut cols);
+        let out_slice = &mut out.data_mut()[n * out_img..(n + 1) * out_img];
+        crate::gemm::gemm(geo.out_channels, ncols, rows, weights.data(), &cols, out_slice);
+        if let Some(b) = bias {
+            for oc in 0..geo.out_channels {
+                for v in &mut out_slice[oc * ncols..(oc + 1) * ncols] {
+                    *v += b[oc];
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::conv::conv2d_ref;
+    use crate::rng::Rng;
+
+    #[test]
+    fn im2col_identity_for_1x1() {
+        // With a 1x1 kernel, stride 1, no padding, im2col is the identity.
+        let geo = Conv2dGeometry::new(1, 2, 1, 1, 3, 3, 1, 0);
+        let input: Vec<f32> = (0..18).map(|i| i as f32).collect();
+        let mut cols = vec![0.0; col_rows(&geo) * col_cols(&geo)];
+        im2col(&input, &geo, &mut cols);
+        assert_eq!(cols, input);
+    }
+
+    #[test]
+    fn im2col_gemm_matches_reference() {
+        let mut rng = Rng::seed_from(42);
+        for &(oc, ic, k, hw, stride, pad) in &[
+            (4, 3, 3, 8, 1, 1),
+            (2, 5, 3, 7, 2, 1),
+            (3, 2, 1, 6, 1, 0),
+            (2, 2, 5, 9, 1, 2),
+        ] {
+            let geo = Conv2dGeometry::new(oc, ic, k, k, hw, hw, stride, pad);
+            let input = Tensor::randn(&[2, ic, hw, hw], &mut rng);
+            let weights = Tensor::randn(&[oc, ic, k, k], &mut rng);
+            let bias: Vec<f32> = (0..oc).map(|_| rng.uniform(-1.0, 1.0)).collect();
+            let r = conv2d_ref(&input, &weights, Some(&bias), &geo);
+            let c = conv2d_im2col(&input, &weights, Some(&bias), &geo);
+            assert!(
+                r.approx_eq(&c, 1e-4),
+                "mismatch for oc={oc} ic={ic} k={k} hw={hw} s={stride} p={pad}: {:?}",
+                r.max_abs_diff(&c)
+            );
+        }
+    }
+
+    #[test]
+    fn col2im_is_adjoint_of_im2col() {
+        // <im2col(x), y> == <x, col2im(y)> for arbitrary x, y.
+        let geo = Conv2dGeometry::new(1, 3, 3, 3, 6, 6, 2, 1);
+        let mut rng = Rng::seed_from(17);
+        let x: Vec<f32> = (0..3 * 36).map(|_| rng.uniform(-1.0, 1.0)).collect();
+        let rows = col_rows(&geo);
+        let ncols = col_cols(&geo);
+        let y: Vec<f32> = (0..rows * ncols).map(|_| rng.uniform(-1.0, 1.0)).collect();
+
+        let mut cols = vec![0.0; rows * ncols];
+        im2col(&x, &geo, &mut cols);
+        let lhs: f64 = cols.iter().zip(&y).map(|(&a, &b)| (a as f64) * (b as f64)).sum();
+
+        let mut back = vec![0.0; x.len()];
+        col2im(&y, &geo, &mut back);
+        let rhs: f64 = x.iter().zip(&back).map(|(&a, &b)| (a as f64) * (b as f64)).sum();
+
+        assert!((lhs - rhs).abs() < 1e-3, "{lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn padding_region_is_zero() {
+        let geo = Conv2dGeometry::new(1, 1, 3, 3, 2, 2, 1, 1);
+        let input = vec![1.0; 4];
+        let mut cols = vec![f32::NAN; col_rows(&geo) * col_cols(&geo)];
+        im2col(&input, &geo, &mut cols);
+        // Top-left output pixel, kernel tap (0,0) reads the padding.
+        assert_eq!(cols[0], 0.0);
+        assert!(cols.iter().all(|v| !v.is_nan()), "buffer fully written");
+    }
+}

@@ -1,0 +1,35 @@
+//! # patdnn-tensor
+//!
+//! Dense tensor substrate for the PatDNN reproduction.
+//!
+//! This crate provides the numeric foundation every other PatDNN crate builds
+//! on: a contiguous row-major [`Tensor`] of `f32`, a deterministic random
+//! number generator ([`rng::Rng`]), matrix multiplication kernels
+//! ([`gemm`]), the im2col lowering used by the convolution layers
+//! ([`im2col`]), Winograd `F(2x2, 3x3)` transforms used by the dense
+//! baselines ([`winograd`]), and a reference direct convolution
+//! ([`conv::conv2d_ref`]) that every optimized executor in the workspace is
+//! validated against.
+//!
+//! # Examples
+//!
+//! ```
+//! use patdnn_tensor::{Tensor, rng::Rng};
+//!
+//! let mut rng = Rng::seed_from(42);
+//! let a = Tensor::randn(&[2, 3], &mut rng);
+//! let b = a.map(|x| x * 2.0);
+//! assert_eq!(b.shape(), &[2, 3]);
+//! ```
+
+pub mod conv;
+pub mod gemm;
+pub mod im2col;
+pub mod rng;
+pub mod shape;
+pub mod tensor;
+pub mod winograd;
+
+pub use conv::{conv2d_ref, Conv2dGeometry};
+pub use shape::{conv_out_dim, Shape4};
+pub use tensor::{Tensor, TensorError};

@@ -1,0 +1,143 @@
+//! Shape helpers for 4-D (NCHW / OIHW) tensors.
+
+use std::fmt;
+
+/// A 4-dimensional shape in `(n, c, h, w)` order.
+///
+/// For activations the axes are batch / channels / height / width; for
+/// convolution weights they are out-channels / in-channels / kernel-height /
+/// kernel-width (OIHW), matching the paper's `[#output channel, #input
+/// channel, kernel height, kernel width]` filter-shape notation (Table 6).
+///
+/// # Examples
+///
+/// ```
+/// use patdnn_tensor::Shape4;
+///
+/// let s = Shape4::new(1, 64, 56, 56);
+/// assert_eq!(s.len(), 64 * 56 * 56);
+/// assert_eq!(s.index(0, 1, 0, 0), 56 * 56);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Shape4 {
+    /// Batch size (or output-channel count for weights).
+    pub n: usize,
+    /// Channel count (or input-channel count for weights).
+    pub c: usize,
+    /// Height.
+    pub h: usize,
+    /// Width.
+    pub w: usize,
+}
+
+impl Shape4 {
+    /// Creates a new shape.
+    pub fn new(n: usize, c: usize, h: usize, w: usize) -> Self {
+        Shape4 { n, c, h, w }
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.n * self.c * self.h * self.w
+    }
+
+    /// Returns `true` if the shape contains no elements.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Row-major linear index of `(n, c, h, w)`.
+    #[inline]
+    pub fn index(&self, n: usize, c: usize, h: usize, w: usize) -> usize {
+        debug_assert!(n < self.n && c < self.c && h < self.h && w < self.w);
+        ((n * self.c + c) * self.h + h) * self.w + w
+    }
+
+    /// The shape as a `[n, c, h, w]` slice-compatible array.
+    pub fn dims(&self) -> [usize; 4] {
+        [self.n, self.c, self.h, self.w]
+    }
+}
+
+impl From<[usize; 4]> for Shape4 {
+    fn from(d: [usize; 4]) -> Self {
+        Shape4::new(d[0], d[1], d[2], d[3])
+    }
+}
+
+impl fmt::Display for Shape4 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {}, {}, {}]", self.n, self.c, self.h, self.w)
+    }
+}
+
+/// Computes an output spatial dimension of a convolution or pooling layer.
+///
+/// Uses the standard floor formula `(input + 2*pad - kernel) / stride + 1`.
+///
+/// # Panics
+///
+/// Panics if `stride == 0` or if the kernel does not fit in the padded input.
+///
+/// # Examples
+///
+/// ```
+/// use patdnn_tensor::conv_out_dim;
+///
+/// // A 3x3/stride-1 convolution with padding 1 preserves size.
+/// assert_eq!(conv_out_dim(224, 3, 1, 1), 224);
+/// // VGG pooling halves it.
+/// assert_eq!(conv_out_dim(224, 2, 2, 0), 112);
+/// ```
+pub fn conv_out_dim(input: usize, kernel: usize, stride: usize, pad: usize) -> usize {
+    assert!(stride > 0, "stride must be positive");
+    let padded = input + 2 * pad;
+    assert!(
+        padded >= kernel,
+        "kernel {kernel} does not fit in padded input {padded}"
+    );
+    (padded - kernel) / stride + 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_is_row_major() {
+        let s = Shape4::new(2, 3, 4, 5);
+        let mut expect = 0;
+        for n in 0..2 {
+            for c in 0..3 {
+                for h in 0..4 {
+                    for w in 0..5 {
+                        assert_eq!(s.index(n, c, h, w), expect);
+                        expect += 1;
+                    }
+                }
+            }
+        }
+        assert_eq!(expect, s.len());
+    }
+
+    #[test]
+    fn out_dim_matches_known_shapes() {
+        // VGG-16 conv: 3x3 stride 1 pad 1 preserves spatial size.
+        assert_eq!(conv_out_dim(56, 3, 1, 1), 56);
+        // ResNet-50 stem: 7x7 stride 2 pad 3 on 224 -> 112.
+        assert_eq!(conv_out_dim(224, 7, 2, 3), 112);
+        // 1x1 stride 2 downsample.
+        assert_eq!(conv_out_dim(56, 1, 2, 0), 28);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn oversized_kernel_panics() {
+        conv_out_dim(2, 5, 1, 0);
+    }
+
+    #[test]
+    fn display_formats_like_paper() {
+        assert_eq!(Shape4::new(64, 3, 3, 3).to_string(), "[64, 3, 3, 3]");
+    }
+}

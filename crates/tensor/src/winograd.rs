@@ -1,0 +1,267 @@
+//! Winograd `F(2x2, 3x3)` fast convolution.
+//!
+//! The paper's dense baselines (and MNN in particular) use Winograd for
+//! 3×3/stride-1 layers; PatDNN's evaluation explicitly turns it on for "all
+//! dense runs" and off for the apples-to-apples GFLOPS study (Fig. 17).
+//! This module implements the standard `F(2x2, 3x3)` algorithm: each 4×4
+//! input tile produces a 2×2 output tile using 16 multiplications instead
+//! of 36.
+
+use crate::conv::Conv2dGeometry;
+use crate::tensor::Tensor;
+
+/// Transforms a 3×3 kernel `g` into the 4×4 Winograd domain: `G g Gᵀ`.
+pub fn transform_kernel(g: &[f32; 9]) -> [f32; 16] {
+    // G = [[1, 0, 0], [1/2, 1/2, 1/2], [1/2, -1/2, 1/2], [0, 0, 1]]
+    // t = G g  (4x3)
+    let mut t = [0.0f32; 12];
+    for col in 0..3 {
+        let g0 = g[col];
+        let g1 = g[3 + col];
+        let g2 = g[6 + col];
+        t[col] = g0;
+        t[3 + col] = 0.5 * (g0 + g1 + g2);
+        t[6 + col] = 0.5 * (g0 - g1 + g2);
+        t[9 + col] = g2;
+    }
+    // u = t Gᵀ (4x4)
+    let mut u = [0.0f32; 16];
+    for row in 0..4 {
+        let t0 = t[row * 3];
+        let t1 = t[row * 3 + 1];
+        let t2 = t[row * 3 + 2];
+        u[row * 4] = t0;
+        u[row * 4 + 1] = 0.5 * (t0 + t1 + t2);
+        u[row * 4 + 2] = 0.5 * (t0 - t1 + t2);
+        u[row * 4 + 3] = t2;
+    }
+    u
+}
+
+/// Transforms a 4×4 input tile `d` into the Winograd domain: `Bᵀ d B`.
+pub fn transform_input(d: &[f32; 16]) -> [f32; 16] {
+    // Bᵀ = [[1,0,-1,0], [0,1,1,0], [0,-1,1,0], [0,1,0,-1]]
+    // t = Bᵀ d (4x4)
+    let mut t = [0.0f32; 16];
+    for col in 0..4 {
+        let d0 = d[col];
+        let d1 = d[4 + col];
+        let d2 = d[8 + col];
+        let d3 = d[12 + col];
+        t[col] = d0 - d2;
+        t[4 + col] = d1 + d2;
+        t[8 + col] = d2 - d1;
+        t[12 + col] = d1 - d3;
+    }
+    // v = t B (4x4); B = (Bᵀ)ᵀ, so v[r][c] applies the same combination on columns.
+    let mut v = [0.0f32; 16];
+    for row in 0..4 {
+        let t0 = t[row * 4];
+        let t1 = t[row * 4 + 1];
+        let t2 = t[row * 4 + 2];
+        let t3 = t[row * 4 + 3];
+        v[row * 4] = t0 - t2;
+        v[row * 4 + 1] = t1 + t2;
+        v[row * 4 + 2] = t2 - t1;
+        v[row * 4 + 3] = t1 - t3;
+    }
+    v
+}
+
+/// Maps an elementwise-product tile back to the 2×2 output: `Aᵀ m A`.
+pub fn transform_output(m: &[f32; 16]) -> [f32; 4] {
+    // Aᵀ = [[1,1,1,0], [0,1,-1,-1]]
+    // t = Aᵀ m (2x4)
+    let mut t = [0.0f32; 8];
+    for col in 0..4 {
+        let m0 = m[col];
+        let m1 = m[4 + col];
+        let m2 = m[8 + col];
+        let m3 = m[12 + col];
+        t[col] = m0 + m1 + m2;
+        t[4 + col] = m1 - m2 - m3;
+    }
+    // y = t A (2x2)
+    let mut y = [0.0f32; 4];
+    for row in 0..2 {
+        let t0 = t[row * 4];
+        let t1 = t[row * 4 + 1];
+        let t2 = t[row * 4 + 2];
+        let t3 = t[row * 4 + 3];
+        y[row * 2] = t0 + t1 + t2;
+        y[row * 2 + 1] = t1 - t2 - t3;
+    }
+    y
+}
+
+/// Winograd convolution for 3×3, stride-1 layers (any padding).
+///
+/// Handles ragged right/bottom edges by zero-extending the virtual padded
+/// input; results match [`crate::conv::conv2d_ref`] to FP tolerance.
+///
+/// # Panics
+///
+/// Panics if `geo` is not a 3×3 stride-1 convolution or shapes disagree.
+pub fn conv2d_winograd(
+    input: &Tensor,
+    weights: &Tensor,
+    bias: Option<&[f32]>,
+    geo: &Conv2dGeometry,
+) -> Tensor {
+    assert_eq!((geo.kernel_h, geo.kernel_w), (3, 3), "winograd requires 3x3 kernels");
+    assert_eq!(geo.stride, 1, "winograd requires stride 1");
+    let ishape = input.shape4();
+    assert_eq!(ishape.c, geo.in_channels, "input channel mismatch");
+    assert_eq!(weights.shape4(), geo.weight_shape(), "weight shape mismatch");
+
+    let batch = ishape.n;
+    let mut out = Tensor::zeros(&[batch, geo.out_channels, geo.out_h, geo.out_w]);
+
+    // Pre-transform all kernels once: U[oc][ic] in the 4x4 domain.
+    let wd = weights.data();
+    let kstride = 9;
+    let mut u = vec![[0.0f32; 16]; geo.out_channels * geo.in_channels];
+    for oc in 0..geo.out_channels {
+        for ic in 0..geo.in_channels {
+            let base = (oc * geo.in_channels + ic) * kstride;
+            let mut g = [0.0f32; 9];
+            g.copy_from_slice(&wd[base..base + 9]);
+            u[oc * geo.in_channels + ic] = transform_kernel(&g);
+        }
+    }
+
+    let tiles_h = geo.out_h.div_ceil(2);
+    let tiles_w = geo.out_w.div_ceil(2);
+    let in_img = geo.in_channels * geo.in_h * geo.in_w;
+    let out_img = geo.out_channels * geo.out_h * geo.out_w;
+    let in_data = input.data();
+    let out_data = out.data_mut();
+
+    for n in 0..batch {
+        let ibase_n = n * in_img;
+        let obase_n = n * out_img;
+        for th in 0..tiles_h {
+            for tw in 0..tiles_w {
+                // Gather the 4x4 input tiles for all channels once.
+                let mut v_tiles = vec![[0.0f32; 16]; geo.in_channels];
+                for ic in 0..geo.in_channels {
+                    let mut d = [0.0f32; 16];
+                    for r in 0..4 {
+                        let ih = (th * 2 + r) as isize - geo.pad as isize;
+                        for c in 0..4 {
+                            let iw = (tw * 2 + c) as isize - geo.pad as isize;
+                            d[r * 4 + c] = if ih >= 0
+                                && ih < geo.in_h as isize
+                                && iw >= 0
+                                && iw < geo.in_w as isize
+                            {
+                                in_data
+                                    [ibase_n + ic * geo.in_h * geo.in_w + ih as usize * geo.in_w + iw as usize]
+                            } else {
+                                0.0
+                            };
+                        }
+                    }
+                    v_tiles[ic] = transform_input(&d);
+                }
+                for oc in 0..geo.out_channels {
+                    let mut m = [0.0f32; 16];
+                    for ic in 0..geo.in_channels {
+                        let uk = &u[oc * geo.in_channels + ic];
+                        let vt = &v_tiles[ic];
+                        for i in 0..16 {
+                            m[i] += uk[i] * vt[i];
+                        }
+                    }
+                    let y = transform_output(&m);
+                    let b = bias.map_or(0.0, |b| b[oc]);
+                    for r in 0..2 {
+                        let oh = th * 2 + r;
+                        if oh >= geo.out_h {
+                            continue;
+                        }
+                        for c in 0..2 {
+                            let ow = tw * 2 + c;
+                            if ow >= geo.out_w {
+                                continue;
+                            }
+                            out_data[obase_n + oc * geo.out_h * geo.out_w + oh * geo.out_w + ow] =
+                                y[r * 2 + c] + b;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::conv::conv2d_ref;
+    use crate::rng::Rng;
+
+    #[test]
+    fn single_tile_matches_direct() {
+        // 4x4 input, 3x3 kernel, no padding -> one 2x2 Winograd tile.
+        let geo = Conv2dGeometry::new(1, 1, 3, 3, 4, 4, 1, 0);
+        let mut rng = Rng::seed_from(1);
+        let input = Tensor::randn(&[1, 1, 4, 4], &mut rng);
+        let weights = Tensor::randn(&[1, 1, 3, 3], &mut rng);
+        let r = conv2d_ref(&input, &weights, None, &geo);
+        let w = conv2d_winograd(&input, &weights, None, &geo);
+        assert!(r.approx_eq(&w, 1e-4), "diff {:?}", r.max_abs_diff(&w));
+    }
+
+    #[test]
+    fn matches_reference_on_awkward_sizes() {
+        let mut rng = Rng::seed_from(2);
+        for &(oc, ic, hw, pad) in &[(2, 3, 7, 1), (4, 2, 5, 0), (3, 3, 9, 1), (1, 1, 6, 1)] {
+            let geo = Conv2dGeometry::new(oc, ic, 3, 3, hw, hw, 1, pad);
+            let input = Tensor::randn(&[2, ic, hw, hw], &mut rng);
+            let weights = Tensor::randn(&[oc, ic, 3, 3], &mut rng);
+            let bias: Vec<f32> = (0..oc).map(|_| rng.uniform(-0.5, 0.5)).collect();
+            let r = conv2d_ref(&input, &weights, Some(&bias), &geo);
+            let w = conv2d_winograd(&input, &weights, Some(&bias), &geo);
+            assert!(
+                r.approx_eq(&w, 1e-3),
+                "oc={oc} ic={ic} hw={hw} pad={pad}: diff {:?}",
+                r.max_abs_diff(&w)
+            );
+        }
+    }
+
+    #[test]
+    fn kernel_transform_of_identity_kernel() {
+        // Kernel with only the centre weight set: transformed tile must
+        // reproduce plain scaling after the round trip.
+        let mut g = [0.0f32; 9];
+        g[4] = 1.0;
+        let u = transform_kernel(&g);
+        let mut d = [0.0f32; 16];
+        for (i, v) in d.iter_mut().enumerate() {
+            *v = i as f32;
+        }
+        let v = transform_input(&d);
+        let mut m = [0.0f32; 16];
+        for i in 0..16 {
+            m[i] = u[i] * v[i];
+        }
+        let y = transform_output(&m);
+        // Centre-only kernel == shifting: output(r,c) = d[r+1][c+1].
+        assert!((y[0] - d[5]).abs() < 1e-4);
+        assert!((y[1] - d[6]).abs() < 1e-4);
+        assert!((y[2] - d[9]).abs() < 1e-4);
+        assert!((y[3] - d[10]).abs() < 1e-4);
+    }
+
+    #[test]
+    #[should_panic(expected = "stride 1")]
+    fn rejects_strided_geometry() {
+        let geo = Conv2dGeometry::new(1, 1, 3, 3, 8, 8, 2, 1);
+        let input = Tensor::zeros(&[1, 1, 8, 8]);
+        let weights = Tensor::zeros(&[1, 1, 3, 3]);
+        conv2d_winograd(&input, &weights, None, &geo);
+    }
+}

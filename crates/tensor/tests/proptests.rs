@@ -1,0 +1,122 @@
+//! Property-based tests for the tensor substrate.
+
+use patdnn_tensor::gemm::{gemm, gemm_ref};
+use patdnn_tensor::im2col::conv2d_im2col;
+use patdnn_tensor::winograd::conv2d_winograd;
+use patdnn_tensor::{conv2d_ref, Conv2dGeometry, Tensor};
+use proptest::prelude::*;
+
+fn small_f32() -> impl Strategy<Value = f32> {
+    (-100i32..100).prop_map(|v| v as f32 / 16.0)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Blocked GEMM agrees with the reference for arbitrary shapes/content.
+    #[test]
+    fn gemm_blocked_matches_ref(
+        m in 1usize..20,
+        n in 1usize..20,
+        k in 1usize..20,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = patdnn_tensor::rng::Rng::seed_from(seed);
+        let a: Vec<f32> = (0..m * k).map(|_| rng.uniform(-2.0, 2.0)).collect();
+        let b: Vec<f32> = (0..k * n).map(|_| rng.uniform(-2.0, 2.0)).collect();
+        let mut c1 = vec![0.0; m * n];
+        let mut c2 = vec![0.0; m * n];
+        gemm_ref(m, n, k, &a, &b, &mut c1);
+        gemm(m, n, k, &a, &b, &mut c2);
+        for (x, y) in c1.iter().zip(&c2) {
+            prop_assert!((x - y).abs() < 1e-3, "{x} vs {y}");
+        }
+    }
+
+    /// GEMM is linear in A: (alpha * A) * B == alpha * (A * B).
+    #[test]
+    fn gemm_is_linear(
+        m in 1usize..8,
+        n in 1usize..8,
+        k in 1usize..8,
+        alpha in small_f32(),
+        seed in any::<u64>(),
+    ) {
+        let mut rng = patdnn_tensor::rng::Rng::seed_from(seed);
+        let a: Vec<f32> = (0..m * k).map(|_| rng.uniform(-1.0, 1.0)).collect();
+        let b: Vec<f32> = (0..k * n).map(|_| rng.uniform(-1.0, 1.0)).collect();
+        let a_scaled: Vec<f32> = a.iter().map(|&x| alpha * x).collect();
+        let mut c = vec![0.0; m * n];
+        let mut c_scaled = vec![0.0; m * n];
+        gemm_ref(m, n, k, &a, &b, &mut c);
+        gemm_ref(m, n, k, &a_scaled, &b, &mut c_scaled);
+        for (x, y) in c.iter().zip(&c_scaled) {
+            prop_assert!((alpha * x - y).abs() < 1e-2, "{} vs {y}", alpha * x);
+        }
+    }
+
+    /// im2col+GEMM convolution equals the direct reference.
+    #[test]
+    fn im2col_conv_matches_ref(
+        oc in 1usize..5,
+        ic in 1usize..5,
+        hw in 3usize..10,
+        stride in 1usize..3,
+        pad in 0usize..2,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = patdnn_tensor::rng::Rng::seed_from(seed);
+        let k = 3usize.min(hw);
+        let geo = Conv2dGeometry::new(oc, ic, k, k, hw, hw, stride, pad);
+        let input = Tensor::randn(&[1, ic, hw, hw], &mut rng);
+        let weights = Tensor::randn(&[oc, ic, k, k], &mut rng);
+        let r = conv2d_ref(&input, &weights, None, &geo);
+        let c = conv2d_im2col(&input, &weights, None, &geo);
+        prop_assert!(r.approx_eq(&c, 1e-3), "diff {:?}", r.max_abs_diff(&c));
+    }
+
+    /// Winograd convolution equals the direct reference for 3x3/stride-1.
+    #[test]
+    fn winograd_conv_matches_ref(
+        oc in 1usize..4,
+        ic in 1usize..4,
+        hw in 4usize..11,
+        pad in 0usize..2,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = patdnn_tensor::rng::Rng::seed_from(seed);
+        let geo = Conv2dGeometry::new(oc, ic, 3, 3, hw, hw, 1, pad);
+        let input = Tensor::randn(&[1, ic, hw, hw], &mut rng);
+        let weights = Tensor::randn(&[oc, ic, 3, 3], &mut rng);
+        let r = conv2d_ref(&input, &weights, None, &geo);
+        let w = conv2d_winograd(&input, &weights, None, &geo);
+        prop_assert!(r.approx_eq(&w, 5e-3), "diff {:?}", r.max_abs_diff(&w));
+    }
+
+    /// Convolution is linear in the input.
+    #[test]
+    fn conv_is_linear_in_input(
+        hw in 3usize..8,
+        alpha in small_f32(),
+        seed in any::<u64>(),
+    ) {
+        let mut rng = patdnn_tensor::rng::Rng::seed_from(seed);
+        let geo = Conv2dGeometry::new(2, 2, 3, 3, hw, hw, 1, 1);
+        let input = Tensor::randn(&[1, 2, hw, hw], &mut rng);
+        let weights = Tensor::randn(&[2, 2, 3, 3], &mut rng);
+        let scaled = input.map(|x| alpha * x);
+        let out = conv2d_ref(&input, &weights, None, &geo);
+        let out_scaled = conv2d_ref(&scaled, &weights, None, &geo);
+        let expect = out.map(|x| alpha * x);
+        prop_assert!(expect.approx_eq(&out_scaled, 1e-2));
+    }
+
+    /// Tensor reshape round-trips and preserves content.
+    #[test]
+    fn reshape_round_trip(len in 1usize..64, seed in any::<u64>()) {
+        let mut rng = patdnn_tensor::rng::Rng::seed_from(seed);
+        let t = Tensor::randn(&[len], &mut rng);
+        let r = t.clone().reshape(&[1, len]).unwrap().reshape(&[len]).unwrap();
+        prop_assert_eq!(t, r);
+    }
+}

@@ -1,0 +1,93 @@
+//! Inspect the compiler stage: LR, FKW arrays, generated kernels, and the
+//! auto-tuner on one layer.
+//!
+//! Run with: `cargo run --release --example codegen_inspect`
+
+use patdnn::compiler::codegen::{emit_conv_kernel, CodegenLevel};
+use patdnn::compiler::fkr::filter_kernel_reorder;
+use patdnn::compiler::fkw::FkwLayer;
+use patdnn::compiler::lr::{Device, LayerLr};
+use patdnn::compiler::tune::ga::GaConfig;
+use patdnn::compiler::tune::tuner::AutoTuner;
+use patdnn::compiler::tune::space::{ConfigSpace, TuningConfig};
+use patdnn::core::pattern_set::PatternSet;
+use patdnn::core::project::{alpha_for_rate, prune_layer};
+use patdnn::runtime::executor::{measure, ConvExecutor};
+use patdnn::runtime::pattern_exec::{OptLevel, PatternConv};
+use patdnn::tensor::rng::Rng;
+use patdnn::tensor::{Conv2dGeometry, Tensor};
+
+fn main() {
+    let mut rng = Rng::seed_from(99);
+    let geo = Conv2dGeometry::new(16, 16, 3, 3, 28, 28, 1, 1);
+    let dense = Tensor::randn_std(&[16, 16, 3, 3], 0.08, &mut rng);
+    let set = PatternSet::harvest(&[&dense], 4);
+
+    println!("pattern set (Figure 3 style):");
+    for (id, p) in set.iter() {
+        println!("pattern {id}:");
+        for line in p.to_string().lines() {
+            println!("  {line}");
+        }
+    }
+
+    let mut weights = dense.clone();
+    let lp = prune_layer("conv_op1", &mut weights, &set, alpha_for_rate(256, 3.6));
+    let order = filter_kernel_reorder(&lp);
+    let fkw = FkwLayer::from_pruned(&weights, &lp, &set, &order);
+
+    println!("\nFKW arrays (Figure 10):");
+    println!("  offsets: {:?}", &fkw.offsets[..8.min(fkw.offsets.len())]);
+    println!("  reorder: {:?}", &fkw.reorder[..8.min(fkw.reorder.len())]);
+    println!("  index:   {:?}", &fkw.index[..12.min(fkw.index.len())]);
+    println!("  stride:  {:?}", &fkw.stride[..10.min(fkw.stride.len())]);
+    println!(
+        "  weights: {} values, {} per kernel",
+        fkw.weights.len(),
+        fkw.entries_per_kernel
+    );
+
+    let lr = LayerLr::for_fkw("conv_op1", Device::Cpu, &fkw, TuningConfig::tuned_default(), 1, 1);
+    println!("\nLR (Figure 8):\n{lr}");
+
+    for level in [CodegenLevel::NoOpt, CodegenLevel::Reorder, CodegenLevel::Full] {
+        println!("\n=== generated kernel: {} ===", level.label());
+        println!(
+            "{}",
+            emit_conv_kernel("conv_op1", &fkw, &TuningConfig::tuned_default(), level)
+        );
+    }
+
+    // Auto-tune against real measurements (§5.5).
+    println!("=== auto-tuning (GA explorer over {} configs) ===", ConfigSpace::standard().len());
+    let input = Tensor::randn(&[1, 16, 28, 28], &mut rng);
+    let mut tuner = AutoTuner::with_config(
+        ConfigSpace::standard(),
+        GaConfig {
+            population: 12,
+            generations: 5,
+            ..GaConfig::default()
+        },
+    );
+    let fkw_for_tuning = fkw.clone();
+    let result = tuner.tune(
+        |cfg| {
+            let exec = PatternConv::new(geo, fkw_for_tuning.clone(), None, OptLevel::Full, *cfg);
+            measure(&exec, &input, 2).seconds
+        },
+        &mut rng,
+    );
+    println!(
+        "best config after {} measurements: {:?} ({:.3} ms)",
+        result.measurements,
+        result.best,
+        result.best_cost * 1e3
+    );
+    let mut est = tuner.train_estimator(40, &mut rng);
+    let (predicted, cost) = tuner.predict_best(&mut est);
+    println!(
+        "MLP estimator predicts best = {:?} (predicted {:.3} ms)",
+        predicted,
+        cost * 1e3
+    );
+}

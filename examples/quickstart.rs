@@ -1,0 +1,90 @@
+//! Quickstart: the full PatDNN pipeline on one layer in under a minute.
+//!
+//! Builds a pruned conv layer, compiles it (FKR + FKW + LR + codegen),
+//! executes it at every optimization level, and verifies the outputs
+//! against the dense reference.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use patdnn::compiler::codegen::{emit_conv_kernel, CodegenLevel};
+use patdnn::compiler::fkr::filter_kernel_reorder;
+use patdnn::compiler::fkw::FkwLayer;
+use patdnn::compiler::lr::{Device, LayerLr};
+use patdnn::compiler::tune::space::TuningConfig;
+use patdnn::core::pattern_set::PatternSet;
+use patdnn::core::project::{alpha_for_rate, prune_layer};
+use patdnn::runtime::executor::{measure, ConvExecutor};
+use patdnn::runtime::pattern_exec::{OptLevel, PatternConv};
+use patdnn::tensor::rng::Rng;
+use patdnn::tensor::{conv2d_ref, Conv2dGeometry, Tensor};
+
+fn main() {
+    let mut rng = Rng::seed_from(7);
+
+    // 1. A VGG-style layer: 64 filters over 64 channels, 3x3, 56x56 input.
+    let geo = Conv2dGeometry::new(64, 64, 3, 3, 56, 56, 1, 1);
+    let dense = Tensor::randn_std(&[64, 64, 3, 3], 0.06, &mut rng);
+    println!("layer: {} ({} dense MACs)", geo.weight_shape(), geo.macs());
+
+    // 2. Pattern-based pruning: 8-pattern set harvested from the weights,
+    //    3.6x connectivity pruning.
+    let set = PatternSet::harvest(&[&dense], 8);
+    let mut weights = dense.clone();
+    let alpha = alpha_for_rate(64 * 64, 3.6);
+    let lp = prune_layer("conv_op1", &mut weights, &set, alpha);
+    println!(
+        "pruned: {} of {} kernels kept, {} non-zero weights ({:.1}x compression)",
+        lp.kept_kernels(),
+        64 * 64,
+        weights.count_nonzero(),
+        weights.len() as f64 / weights.count_nonzero() as f64,
+    );
+
+    // 3. Compile: filter-kernel reorder + FKW storage + LR.
+    let order = filter_kernel_reorder(&lp);
+    let fkw = FkwLayer::from_pruned(&weights, &lp, &set, &order);
+    let lr = LayerLr::for_fkw(
+        "conv_op1",
+        Device::Cpu,
+        &fkw,
+        TuningConfig::tuned_default(),
+        1,
+        1,
+    );
+    println!("\nlayerwise representation:\n{lr}\n");
+    println!(
+        "FKW storage: {} weight bytes + {} index bytes (CSR would need {})",
+        fkw.weight_bytes(),
+        fkw.extra_bytes(),
+        patdnn::compiler::csr::CsrLayer::from_dense(&weights).extra_bytes(),
+    );
+
+    // 4. Generated kernel sketch at the full optimization level.
+    let code = emit_conv_kernel("conv_op1", &fkw, &TuningConfig::tuned_default(), CodegenLevel::Full);
+    println!("\ngenerated kernel (first lines):");
+    for line in code.lines().take(6) {
+        println!("  {line}");
+    }
+
+    // 5. Execute at every optimization level and verify.
+    let input = Tensor::randn(&[1, 64, 56, 56], &mut rng);
+    let reference = conv2d_ref(&input, &weights, None, &geo);
+    println!("\nexecution (mean of 3 runs):");
+    for level in OptLevel::all() {
+        let exec = PatternConv::new(geo, fkw.clone(), None, level, TuningConfig::tuned_default());
+        let out = exec.run(&input);
+        assert!(
+            reference.approx_eq(&out, 1e-3),
+            "{} output mismatch",
+            level.label()
+        );
+        let m = measure(&exec, &input, 3);
+        println!(
+            "  {:<18} {:>8.2} ms   ({:.2} dense-equivalent GFLOPS)",
+            level.label(),
+            m.seconds * 1e3,
+            m.dense_gflops
+        );
+    }
+    println!("\nall levels verified against the dense reference ✓");
+}

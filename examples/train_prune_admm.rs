@@ -1,0 +1,80 @@
+//! End-to-end ADMM pattern + connectivity pruning on a trainable network.
+//!
+//! Trains a scaled-down VGG on synthetic CIFAR-shaped data, prunes it
+//! with the extended ADMM framework (8 patterns + 3.6x connectivity),
+//! and reports accuracy before/after plus the achieved compression —
+//! the workflow behind Tables 3 and 4.
+//!
+//! Run with: `cargo run --release --example train_prune_admm`
+
+use patdnn::core::admm::{AdmmConfig, AdmmPruner};
+use patdnn::core::sparsity::{conv_sparsity, total_compression};
+use patdnn::nn::data::Dataset;
+use patdnn::nn::models::vgg_small;
+use patdnn::nn::optim::Adam;
+use patdnn::nn::train::{evaluate, train, TrainConfig};
+use patdnn::tensor::rng::Rng;
+
+fn main() {
+    let mut rng = Rng::seed_from(2024);
+
+    // Synthetic 10-class dataset with CIFAR-10 geometry (see DESIGN.md §2).
+    let data = Dataset::cifar_like(24, 0.6, &mut rng);
+    let (train_ds, test_ds) = data.split(0.8);
+    println!(
+        "dataset: {} train / {} test images of 3x32x32",
+        train_ds.len(),
+        test_ds.len()
+    );
+
+    // Pre-train the dense model.
+    let mut net = vgg_small(10, &mut rng);
+    let mut opt = Adam::new(2e-3);
+    let cfg = TrainConfig {
+        epochs: 8,
+        batch_size: 16,
+        verbose: true,
+    };
+    train(&mut net, &train_ds, &mut opt, &cfg, &mut rng);
+    let dense_acc = evaluate(&mut net, &test_ds);
+    println!(
+        "\ndense model: top-1 {:.1}%, top-5 {:.1}%",
+        dense_acc.top1 * 100.0,
+        dense_acc.top5 * 100.0
+    );
+
+    // Extended-ADMM pattern + connectivity pruning.
+    let pruner = AdmmPruner::new(AdmmConfig {
+        pattern_count: 8,
+        connectivity_rate: 3.6,
+        iterations: 3,
+        epochs_per_iteration: 1,
+        retrain_epochs: 4,
+        ..AdmmConfig::default()
+    });
+    let (pruned, report) = pruner.prune(&mut net, &train_ds, &mut rng);
+    println!("\nADMM iterations: losses {:?}", report.iteration_losses);
+    println!("primal residuals: {:?}", report.primal_residuals);
+
+    let sparse_acc = evaluate(&mut net, &test_ds);
+    let stats = conv_sparsity(&mut net);
+    println!("\nper-layer sparsity:");
+    for s in &stats {
+        println!(
+            "  {:<12} {:>6}/{:<6} weights, {:>4}/{:<4} kernels ({:.1}x)",
+            s.name, s.nonzero_weights, s.total_weights, s.nonzero_kernels, s.total_kernels,
+            s.compression()
+        );
+    }
+    println!(
+        "\npruned model: top-1 {:.1}%, top-5 {:.1}% — CONV compression {:.1}x (record says {:.1}x)",
+        sparse_acc.top1 * 100.0,
+        sparse_acc.top5 * 100.0,
+        total_compression(&stats),
+        pruned.conv_compression(),
+    );
+    println!(
+        "accuracy change: {:+.1} points top-1",
+        (sparse_acc.top1 - dense_acc.top1) * 100.0
+    );
+}

@@ -1,0 +1,73 @@
+//! VGG-16 at ImageNet geometry: dense frameworks vs PatDNN, per layer.
+//!
+//! Walks the nine unique CONV layers of VGG-16 (Table 6), measures every
+//! framework executor plus the simulated mobile GPU, and prints the
+//! Figure-12-style summary for one model. Uses quarter-scale spatial
+//! sizes by default so it finishes in about a minute; pass `--full` for
+//! the exact 224-input shapes.
+//!
+//! Run with: `cargo run --release --example vgg_imagenet [-- --full]`
+
+use patdnn::nn::models::vgg_unique_layers;
+use patdnn::runtime::gpu::{simulate_pattern_conv, GpuModel};
+use patdnn::runtime::pattern_exec::OptLevel;
+use patdnn_bench::workloads::{Framework, PrunedLayer};
+use patdnn::tensor::Conv2dGeometry;
+
+fn main() {
+    let full = std::env::args().any(|a| a == "--full");
+    let scale = |hw: usize| if full { hw } else { (hw / 4).max(7) };
+    let threads = 8;
+    let gpu = GpuModel::adreno_640();
+
+    println!(
+        "VGG-16 unique CONV layers (8 patterns + 3.6x connectivity), {} spatial scale",
+        if full { "full" } else { "1/4" }
+    );
+    println!(
+        "{:<4} {:>16} {:>10} {:>10} {:>10} {:>10} {:>10}",
+        "L", "shape", "TFLite", "TVM", "MNN", "PatDNN", "GPU(sim)"
+    );
+
+    let mut totals = [0.0f64; 4];
+    let mut gpu_total = 0.0f64;
+    for (i, (name, spec, mult)) in vgg_unique_layers().into_iter().enumerate() {
+        let hw = scale(spec.in_h);
+        let geo = Conv2dGeometry::new(spec.out_c, spec.in_c, 3, 3, hw, hw, 1, 1);
+        let layer = PrunedLayer::from_geometry(&name, geo, 8, 3.6, 90 + i as u64);
+        let mut times = Vec::new();
+        for fw in Framework::figure12() {
+            times.push(layer.measure_cpu(fw, threads, 2, 17));
+        }
+        let exec = layer.pattern_exec(OptLevel::Full);
+        let sim = simulate_pattern_conv(&gpu, &exec, &layer.input(18));
+        for (t, total) in times.iter().zip(&mut totals) {
+            *total += t * mult as f64;
+        }
+        gpu_total += sim.millis * mult as f64;
+        println!(
+            "{:<4} {:>16} {:>8.1}ms {:>8.1}ms {:>8.1}ms {:>8.1}ms {:>8.2}ms",
+            name,
+            spec.filter_shape(),
+            times[0] * 1e3,
+            times[1] * 1e3,
+            times[2] * 1e3,
+            times[3] * 1e3,
+            sim.millis
+        );
+    }
+    println!(
+        "\nconv-stack totals (x multiplicity): TFLite {:.0}ms, TVM {:.0}ms, MNN {:.0}ms, PatDNN {:.0}ms, GPU(sim) {:.1}ms",
+        totals[0] * 1e3,
+        totals[1] * 1e3,
+        totals[2] * 1e3,
+        totals[3] * 1e3,
+        gpu_total
+    );
+    println!(
+        "PatDNN speedup: {:.1}x over TFLite-like, {:.1}x over TVM-like, {:.1}x over MNN-like",
+        totals[0] / totals[3],
+        totals[1] / totals[3],
+        totals[2] / totals[3]
+    );
+}

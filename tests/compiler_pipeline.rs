@@ -1,0 +1,85 @@
+//! Integration tests of the compiler stage against the model specs.
+
+use patdnn::compiler::codegen::{emit_conv_kernel, CodegenLevel};
+use patdnn::compiler::fkr::filter_kernel_reorder;
+use patdnn::compiler::fkw::FkwLayer;
+use patdnn::compiler::graph::Graph;
+use patdnn::compiler::lr::{Device, LayerLr};
+use patdnn::compiler::passes::optimize;
+use patdnn::compiler::tune::space::TuningConfig;
+use patdnn::core::pattern_set::PatternSet;
+use patdnn::core::project::{alpha_for_rate, prune_layer};
+use patdnn::nn::models::{resnet50, vgg16, DatasetKind};
+use patdnn::tensor::rng::Rng;
+use patdnn::tensor::Tensor;
+
+/// Every 3x3 VGG-16 layer compiles through prune → FKR → FKW → LR →
+/// codegen without loss.
+#[test]
+fn vgg16_layers_compile_end_to_end() {
+    let spec = vgg16(DatasetKind::Cifar10);
+    let mut rng = Rng::seed_from(5);
+    for (conv, _) in spec.unique_convs() {
+        let mut w = Tensor::randn(&[conv.out_c, conv.in_c, 3, 3], &mut rng);
+        let set = PatternSet::harvest(&[&w], 8);
+        let alpha = alpha_for_rate(conv.out_c * conv.in_c, 3.6);
+        let lp = prune_layer(&conv.name, &mut w, &set, alpha);
+        let order = filter_kernel_reorder(&lp);
+        let fkw = FkwLayer::from_pruned(&w, &lp, &set, &order);
+        assert_eq!(fkw.to_dense(), w, "{} round trip", conv.name);
+        assert_eq!(order.group_imbalance(&lp), 0, "{} balanced groups", conv.name);
+
+        let lr = LayerLr::for_fkw(&conv.name, Device::Cpu, &fkw, TuningConfig::tuned_default(), 1, 1);
+        let text = lr.emit();
+        assert!(text.contains(&conv.name));
+
+        let code = emit_conv_kernel(&conv.name, &fkw, &TuningConfig::tuned_default(), CodegenLevel::Reorder);
+        assert!(!code.contains("switch"), "{} reorder code branch-free", conv.name);
+    }
+}
+
+/// ResNet-50's conv/BN/ReLU chains fully fuse in the graph passes.
+#[test]
+fn resnet_chain_fuses_completely() {
+    let spec = resnet50(DatasetKind::Cifar10);
+    // Build a graph from the first bottleneck's main path.
+    let convs: Vec<_> = spec
+        .convs
+        .iter()
+        .filter(|c| c.name.starts_with("stage1.block1") && !c.shortcut)
+        .collect();
+    assert_eq!(convs.len(), 3);
+    let tuples: Vec<(&str, usize, usize, usize, usize, usize)> = convs
+        .iter()
+        .map(|c| (c.name.as_str(), c.out_c, c.in_c, c.kernel, c.stride, c.pad))
+        .collect();
+    let mut g = Graph::conv_chain(&[1, 64, 32, 32], &tuples, true, true);
+    let before = g.nodes.len();
+    optimize(&mut g);
+    assert_eq!(g.count_kind("batchnorm"), 0);
+    assert_eq!(g.count_kind("relu"), 0);
+    assert_eq!(g.count_kind("conv"), 3);
+    assert!(g.nodes.len() < before);
+}
+
+/// The paper-critical invariant: 1x1 layers (ResNet bottlenecks) go
+/// through connectivity-only pruning and still compile to FKW.
+#[test]
+fn resnet_1x1_layers_compile_with_connectivity_only() {
+    let spec = resnet50(DatasetKind::ImageNet);
+    let one_by_one = spec
+        .convs
+        .iter()
+        .find(|c| c.kernel == 1 && !c.shortcut)
+        .expect("resnet has 1x1 convs");
+    let mut rng = Rng::seed_from(6);
+    let mut w = Tensor::randn(&[one_by_one.out_c, one_by_one.in_c, 1, 1], &mut rng);
+    let set = PatternSet::standard(8);
+    let alpha = alpha_for_rate(one_by_one.out_c * one_by_one.in_c, 3.6);
+    let lp = prune_layer(&one_by_one.name, &mut w, &set, alpha);
+    assert_eq!(lp.kept_kernels(), alpha);
+    let order = filter_kernel_reorder(&lp);
+    let fkw = FkwLayer::from_pruned(&w, &lp, &set, &order);
+    assert_eq!(fkw.entries_per_kernel, 1);
+    assert_eq!(fkw.to_dense(), w);
+}

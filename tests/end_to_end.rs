@@ -1,0 +1,123 @@
+//! Cross-crate integration tests: the full PatDNN pipeline from training
+//! through pruning, compilation, and execution.
+
+use patdnn::compiler::fkr::filter_kernel_reorder;
+use patdnn::compiler::fkw::FkwLayer;
+use patdnn::compiler::tune::space::TuningConfig;
+use patdnn::core::admm::{conv_weights, AdmmConfig, AdmmPruner};
+use patdnn::core::sparsity::{conv_sparsity, total_compression};
+use patdnn::nn::data::Dataset;
+use patdnn::nn::layer::{Layer, Mode};
+use patdnn::nn::models::small_cnn;
+use patdnn::nn::optim::Adam;
+use patdnn::nn::train::{evaluate, train, TrainConfig};
+use patdnn::runtime::executor::ConvExecutor;
+use patdnn::runtime::pattern_exec::{OptLevel, PatternConv};
+use patdnn::tensor::rng::Rng;
+use patdnn::tensor::{Conv2dGeometry, Tensor};
+
+fn fast_admm() -> AdmmConfig {
+    AdmmConfig {
+        pattern_count: 6,
+        connectivity_rate: 2.0,
+        iterations: 2,
+        epochs_per_iteration: 1,
+        retrain_epochs: 2,
+        batch_size: 8,
+        lr: 2e-3,
+        ..AdmmConfig::default()
+    }
+}
+
+/// Train → ADMM prune → compile to FKW → execute: the pruned network's
+/// conv layers must produce identical results through the pattern
+/// executor as through the nn-layer forward pass.
+#[test]
+fn pruned_network_executes_identically_through_the_runtime() {
+    let mut rng = Rng::seed_from(1);
+    let data = Dataset::synthetic(3, 10, 3, 8, 8, 0.4, &mut rng);
+    let mut net = small_cnn(3, 8, 3, &mut rng);
+    let mut opt = Adam::new(2e-3);
+    let cfg = TrainConfig {
+        epochs: 2,
+        batch_size: 8,
+        verbose: false,
+    };
+    train(&mut net, &data, &mut opt, &cfg, &mut rng);
+
+    let pruner = AdmmPruner::new(fast_admm());
+    let (pruned, _) = pruner.prune(&mut net, &data, &mut rng);
+
+    // Pull each pruned conv's weights and compare nn vs runtime execution.
+    let weights = conv_weights(&mut net);
+    for (lp, w) in pruned.layers.iter().zip(&weights) {
+        let s = w.shape4();
+        let geo = Conv2dGeometry::new(s.n, s.c, s.h, s.w, 8, 8, 1, 1);
+        let order = filter_kernel_reorder(lp);
+        let fkw = FkwLayer::from_pruned(w, lp, &pruned.pattern_set, &order);
+        assert_eq!(fkw.to_dense(), *w, "FKW round trip for {}", lp.name);
+
+        let input = Tensor::randn(&[1, s.c, 8, 8], &mut rng);
+        let expect = patdnn::tensor::conv2d_ref(&input, w, None, &geo);
+        for level in OptLevel::all() {
+            let exec = PatternConv::new(geo, fkw.clone(), None, level, TuningConfig::tuned_default());
+            let got = exec.run(&input);
+            assert!(
+                expect.approx_eq(&got, 1e-3),
+                "{} diverges on layer {}",
+                level.label(),
+                lp.name
+            );
+        }
+    }
+}
+
+/// The accuracy pipeline end to end: pruning with retraining should stay
+/// within a reasonable band of the dense accuracy on the synthetic task.
+#[test]
+fn admm_pruning_keeps_accuracy_on_synthetic_task() {
+    let mut rng = Rng::seed_from(2);
+    let data = Dataset::synthetic(3, 20, 3, 8, 8, 0.4, &mut rng);
+    let (train_ds, test_ds) = data.split(0.8);
+    let mut net = small_cnn(3, 8, 3, &mut rng);
+    let mut opt = Adam::new(2e-3);
+    let cfg = TrainConfig {
+        epochs: 6,
+        batch_size: 8,
+        verbose: false,
+    };
+    train(&mut net, &train_ds, &mut opt, &cfg, &mut rng);
+    let dense = evaluate(&mut net, &test_ds);
+
+    let pruner = AdmmPruner::new(fast_admm());
+    let (pruned, _) = pruner.prune(&mut net, &train_ds, &mut rng);
+    let sparse = evaluate(&mut net, &test_ds);
+
+    assert!(pruned.conv_compression() > 3.0, "compression {:.2}", pruned.conv_compression());
+    assert!(
+        sparse.top1 >= dense.top1 - 0.25,
+        "accuracy collapsed: dense {:?} sparse {:?}",
+        dense,
+        sparse
+    );
+    // The sparsity accounting agrees with the pruning record.
+    let stats = conv_sparsity(&mut net);
+    assert!((total_compression(&stats) - pruned.conv_compression()).abs() < 0.3);
+}
+
+/// The network still runs forward/backward after pruning (masks do not
+/// break gradient flow for surviving weights).
+#[test]
+fn pruned_network_remains_trainable() {
+    let mut rng = Rng::seed_from(3);
+    let data = Dataset::synthetic(3, 8, 3, 8, 8, 0.4, &mut rng);
+    let mut net = small_cnn(3, 8, 3, &mut rng);
+    let pruner = AdmmPruner::new(fast_admm());
+    pruner.prune(&mut net, &data, &mut rng);
+
+    let (x, _) = data.batch(&[0, 1]);
+    let out = net.forward(&x, Mode::Train);
+    let grad = Tensor::filled(out.shape(), 1.0);
+    let dx = net.backward(&grad);
+    assert_eq!(dx.shape(), x.shape());
+}
