@@ -1,13 +1,19 @@
-//! Criterion micro-benchmarks mirroring the paper's figures.
+//! Micro-benchmarks mirroring the paper's figures, on a hand-rolled
+//! timing harness (`harness = false`; the container builds offline, so
+//! no external benchmark framework is used).
 //!
 //! - `overall/*` — framework comparison on a VGG-L6-class layer (Fig. 12)
 //! - `breakdown/*` — optimization levels No-opt → Full (Fig. 13)
-//! - `permutation/*` — loop orders ± blocking (Fig. 15)
 //! - `storage/*` — FKW vs CSR construction (Fig. 16)
 //! - `gflops/*` — pattern vs dense kernels (Fig. 17)
 //! - `fkr_ablation/*` — full FKR similarity vs identity order (DESIGN §5)
+//!
+//! Run with `cargo bench -p patdnn-bench`. Each case is timed over a
+//! fixed number of iterations after one warm-up run and reported as mean
+//! milliseconds per iteration.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Instant;
+
 use patdnn_bench::workloads::{Framework, PrunedLayer};
 use patdnn_compiler::csr::CsrLayer;
 use patdnn_compiler::fkr::{filter_kernel_reorder, FilterOrder};
@@ -18,17 +24,28 @@ use patdnn_runtime::parallel::{ParallelPattern, Schedule};
 use patdnn_runtime::pattern_exec::{OptLevel, PatternConv};
 use patdnn_tensor::Conv2dGeometry;
 
+const ITERS: usize = 10;
+
+/// Times `f` over [`ITERS`] iterations after one warm-up, printing the
+/// mean time under `group/name`.
+fn bench(group: &str, name: &str, mut f: impl FnMut()) {
+    f(); // warm-up
+    let start = Instant::now();
+    for _ in 0..ITERS {
+        f();
+    }
+    let ms = start.elapsed().as_secs_f64() * 1e3 / ITERS as f64;
+    println!("{group}/{name:<24} {ms:>10.3} ms/iter");
+}
+
 fn bench_layer() -> PrunedLayer {
     // A VGG L6-class layer at quarter scale: 256x256x3x3 on 14x14.
     let geo = Conv2dGeometry::new(256, 256, 3, 3, 14, 14, 1, 1);
     PrunedLayer::from_geometry("bench", geo, 8, 3.6, 7)
 }
 
-fn bench_overall(c: &mut Criterion) {
-    let layer = bench_layer();
+fn bench_overall(layer: &PrunedLayer) {
     let input = layer.input(1);
-    let mut group = c.benchmark_group("overall");
-    group.sample_size(10);
     for fw in [
         Framework::TfliteLike,
         Framework::TvmLike,
@@ -37,59 +54,56 @@ fn bench_overall(c: &mut Criterion) {
         Framework::PatDnn,
     ] {
         let exec = layer.framework_exec(fw);
-        group.bench_function(fw.label(), |b| b.iter(|| exec.run(&input)));
+        bench("overall", fw.label(), || {
+            std::hint::black_box(exec.run(&input));
+        });
     }
-    group.finish();
 }
 
-fn bench_breakdown(c: &mut Criterion) {
-    let layer = bench_layer();
+fn bench_breakdown(layer: &PrunedLayer) {
     let input = layer.input(2);
-    let mut group = c.benchmark_group("breakdown");
-    group.sample_size(10);
     for level in OptLevel::all() {
         let exec = layer.pattern_exec(level);
-        group.bench_function(level.label(), |b| b.iter(|| exec.run(&input)));
+        bench("breakdown", level.label(), || {
+            std::hint::black_box(exec.run(&input));
+        });
     }
     // Parallel balanced (the deployed configuration).
     let par = ParallelPattern::new(layer.pattern_exec(OptLevel::Full), 4, Schedule::Balanced);
-    group.bench_function("Full+4threads", |b| b.iter(|| par.run(&input)));
-    group.finish();
+    bench("breakdown", "Full+4threads", || {
+        std::hint::black_box(par.run(&input));
+    });
 }
 
-fn bench_storage(c: &mut Criterion) {
-    let layer = bench_layer();
-    let mut group = c.benchmark_group("storage");
-    group.sample_size(10);
-    group.bench_function("fkw_build", |b| {
-        b.iter(|| {
-            let order = filter_kernel_reorder(&layer.lp);
-            FkwLayer::from_pruned(&layer.weights, &layer.lp, &layer.set, &order)
-        })
+fn bench_storage(layer: &PrunedLayer) {
+    bench("storage", "fkw_build", || {
+        let order = filter_kernel_reorder(&layer.lp);
+        std::hint::black_box(FkwLayer::from_pruned(
+            &layer.weights,
+            &layer.lp,
+            &layer.set,
+            &order,
+        ));
     });
-    group.bench_function("csr_build", |b| {
-        b.iter(|| CsrLayer::from_dense(&layer.weights))
+    bench("storage", "csr_build", || {
+        std::hint::black_box(CsrLayer::from_dense(&layer.weights));
     });
-    group.finish();
 }
 
-fn bench_gflops(c: &mut Criterion) {
-    let layer = bench_layer();
+fn bench_gflops(layer: &PrunedLayer) {
     let input = layer.input(3);
-    let mut group = c.benchmark_group("gflops");
-    group.sample_size(10);
     let dense = layer.framework_exec(Framework::PatDnnDense);
-    group.bench_function("dense_tiled", |b| b.iter(|| dense.run(&input)));
+    bench("gflops", "dense_tiled", || {
+        std::hint::black_box(dense.run(&input));
+    });
     let pat = layer.pattern_exec(OptLevel::Full);
-    group.bench_function("pattern_full", |b| b.iter(|| pat.run(&input)));
-    group.finish();
+    bench("gflops", "pattern_full", || {
+        std::hint::black_box(pat.run(&input));
+    });
 }
 
-fn bench_fkr_ablation(c: &mut Criterion) {
-    let layer = bench_layer();
+fn bench_fkr_ablation(layer: &PrunedLayer) {
     let input = layer.input(4);
-    let mut group = c.benchmark_group("fkr_ablation");
-    group.sample_size(10);
     // Identity order: no filter reorder (kernels still pattern-grouped).
     let identity = FkwLayer::from_pruned(
         &layer.weights,
@@ -98,22 +112,30 @@ fn bench_fkr_ablation(c: &mut Criterion) {
         &FilterOrder::identity(&layer.lp),
     );
     let no_fkr = ParallelPattern::new(
-        PatternConv::new(layer.geo, identity, None, OptLevel::Full, TuningConfig::tuned_default()),
+        PatternConv::new(
+            layer.geo,
+            identity,
+            None,
+            OptLevel::Full,
+            TuningConfig::tuned_default(),
+        ),
         4,
         Schedule::Contiguous,
     );
-    group.bench_function("no_fkr_contiguous", |b| b.iter(|| no_fkr.run(&input)));
+    bench("fkr_ablation", "no_fkr_contiguous", || {
+        std::hint::black_box(no_fkr.run(&input));
+    });
     let fkr = ParallelPattern::new(layer.pattern_exec(OptLevel::Full), 4, Schedule::Balanced);
-    group.bench_function("fkr_balanced", |b| b.iter(|| fkr.run(&input)));
-    group.finish();
+    bench("fkr_ablation", "fkr_balanced", || {
+        std::hint::black_box(fkr.run(&input));
+    });
 }
 
-criterion_group!(
-    benches,
-    bench_overall,
-    bench_breakdown,
-    bench_storage,
-    bench_gflops,
-    bench_fkr_ablation
-);
-criterion_main!(benches);
+fn main() {
+    let layer = bench_layer();
+    bench_overall(&layer);
+    bench_breakdown(&layer);
+    bench_storage(&layer);
+    bench_gflops(&layer);
+    bench_fkr_ablation(&layer);
+}

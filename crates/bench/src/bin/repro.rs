@@ -4,7 +4,7 @@
 //!
 //! ```text
 //! repro <experiment>... [--quick] [--reps N] [--threads N]
-//! experiment: table1..table7, fig12..fig18, tables, figures, all
+//! experiment: table1..table7, fig12..fig18, serving, tables, figures, all
 //! ```
 
 use patdnn_bench::{figures, tables, RunOptions};
@@ -16,7 +16,13 @@ fn main() {
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
-            "--quick" => opts = RunOptions { quick: true, reps: 1, ..opts },
+            "--quick" => {
+                opts = RunOptions {
+                    quick: true,
+                    reps: 1,
+                    ..opts
+                }
+            }
             "--reps" => {
                 i += 1;
                 opts.reps = args
@@ -45,7 +51,7 @@ fn main() {
         match s.as_str() {
             "all" => expanded.extend([
                 "table1", "table2", "table3", "table4", "table5", "table6", "table7", "fig12",
-                "fig13", "fig14", "fig15", "fig16", "fig17", "fig18",
+                "fig13", "fig14", "fig15", "fig16", "fig17", "fig18", "serving",
             ]),
             "tables" => expanded.extend([
                 "table1", "table2", "table3", "table4", "table5", "table6", "table7",
@@ -79,6 +85,7 @@ fn main() {
             "fig16" => print_all(figures::fig16(&opts)),
             "fig17" => print_all(figures::fig17(&opts)),
             "fig18" => print_all(figures::fig18(&opts)),
+            "serving" => print_all(patdnn_bench::serving::serving(&opts)),
             other => die(&format!("unknown experiment {other}")),
         }
         eprintln!("[{exp} took {:.1}s]", start.elapsed().as_secs_f64());
@@ -96,7 +103,7 @@ fn print_all(tables: Vec<patdnn_bench::report::Table>) {
 fn die(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
-        "usage: repro <table1..table7|fig12..fig18|tables|figures|all> [--quick] [--reps N] [--threads N]"
+        "usage: repro <table1..table7|fig12..fig18|serving|tables|figures|all> [--quick] [--reps N] [--threads N]"
     );
     std::process::exit(2);
 }

@@ -11,7 +11,9 @@ use patdnn_runtime::platform::Platform;
 use patdnn_tensor::{Conv2dGeometry, Tensor};
 
 use crate::report::{fmt_ms, Table};
-use crate::workloads::{model_cpu_time, model_gpu_time, vgg_unique_workloads, Framework, PrunedLayer};
+use crate::workloads::{
+    model_cpu_time, model_gpu_time, vgg_unique_workloads, Framework, PrunedLayer,
+};
 use crate::RunOptions;
 
 fn paper_models() -> Vec<ModelSpec> {
@@ -30,11 +32,27 @@ fn paper_models() -> Vec<ModelSpec> {
 pub fn fig12(opts: &RunOptions) -> Vec<Table> {
     let mut cpu = Table::new(
         "Figure 12 (CPU): conv-stack execution time (ms)",
-        &["Model", "Dataset", "TFLite", "TVM", "MNN", "PatDNN", "Best speedup"],
+        &[
+            "Model",
+            "Dataset",
+            "TFLite",
+            "TVM",
+            "MNN",
+            "PatDNN",
+            "Best speedup",
+        ],
     );
     let mut gpu = Table::new(
         "Figure 12 (GPU, simulated Adreno 640): conv-stack execution time (ms)",
-        &["Model", "Dataset", "TFLite", "TVM", "MNN", "PatDNN", "Best speedup"],
+        &[
+            "Model",
+            "Dataset",
+            "TFLite",
+            "TVM",
+            "MNN",
+            "PatDNN",
+            "Best speedup",
+        ],
     );
     let gpu_model = Platform::snapdragon_855().gpu;
     for spec in paper_models() {
@@ -53,11 +71,17 @@ pub fn fig12(opts: &RunOptions) -> Vec<Table> {
             gpu_row.push(format!("{g:.1}"));
         }
         let pat_cpu = cpu_times[3];
-        let best_cpu = cpu_times[..3].iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let best_cpu = cpu_times[..3]
+            .iter()
+            .cloned()
+            .fold(f64::NEG_INFINITY, f64::max);
         cpu_row.push(format!("{:.1}x", best_cpu / pat_cpu));
         cpu.push_row(cpu_row);
         let pat_gpu = gpu_times[3];
-        let best_gpu = gpu_times[..3].iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let best_gpu = gpu_times[..3]
+            .iter()
+            .cloned()
+            .fold(f64::NEG_INFINITY, f64::max);
         gpu_row.push(format!("{:.1}x", best_gpu / pat_gpu));
         gpu.push_row(gpu_row);
     }
@@ -165,7 +189,9 @@ fn run_pixel_major(layer: &PrunedLayer, input: &Tensor, tile_rows: Option<usize>
 
     for (row, f) in fkw.rows() {
         let b = layer.bias[f];
-        od[f * out_hw..(f + 1) * out_hw].iter_mut().for_each(|v| *v = b);
+        od[f * out_hw..(f + 1) * out_hw]
+            .iter_mut()
+            .for_each(|v| *v = b);
         for oh0 in (0..g.out_h).step_by(tile) {
             let oh1 = (oh0 + tile).min(g.out_h);
             for oh in oh0..oh1 {
@@ -183,7 +209,8 @@ fn run_pixel_major(layer: &PrunedLayer, input: &Tensor, tile_rows: Option<usize>
                                     && iw >= 0
                                     && iw < g.in_w as isize
                                 {
-                                    acc += w[e] * ind[ic * in_hw + ih as usize * g.in_w + iw as usize];
+                                    acc +=
+                                        w[e] * ind[ic * in_hw + ih as usize * g.in_w + iw as usize];
                                 }
                             }
                         }
@@ -285,9 +312,15 @@ pub fn fig17(opts: &RunOptions) -> Vec<Table> {
         &["Executor", "CPU time"],
     );
     let spec = vgg16(DatasetKind::ImageNet);
-    let mnn_no_wino = model_cpu_time(&spec, Framework::TvmLike, 8, 1.0, opts.threads, opts.reps, |hw| {
-        opts.scale_hw(hw)
-    });
+    let mnn_no_wino = model_cpu_time(
+        &spec,
+        Framework::TvmLike,
+        8,
+        1.0,
+        opts.threads,
+        opts.reps,
+        |hw| opts.scale_hw(hw),
+    );
     let pat_dense = model_cpu_time(
         &spec,
         Framework::PatDnnDense,

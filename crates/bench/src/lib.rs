@@ -10,6 +10,8 @@
 //!   binary and the integration tests.
 //! - [`tables`] — Tables 1-7.
 //! - [`figures`] — Figures 12-18.
+//! - [`serving`] — beyond the paper: compiled-engine batch sweeps and
+//!   dynamic-batching server throughput (`repro serving`).
 //!
 //! Run `cargo run -p patdnn-bench --release --bin repro -- all` to
 //! regenerate everything; see `EXPERIMENTS.md` for the paper-vs-measured
@@ -17,6 +19,7 @@
 
 pub mod figures;
 pub mod report;
+pub mod serving;
 pub mod tables;
 pub mod workloads;
 

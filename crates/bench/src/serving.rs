@@ -1,0 +1,152 @@
+//! Serving-throughput workload: the compiled engine and the dynamic
+//! batching server under synthetic traffic.
+//!
+//! This goes beyond the paper's per-layer evaluation: it measures what
+//! the ROADMAP's serving story cares about — end-to-end model latency as
+//! a function of batch size, and the queue/batching overhead the server
+//! adds on top of raw engine execution.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use patdnn_core::prune::pattern_project_network;
+use patdnn_nn::models::vgg_small;
+use patdnn_nn::network::Sequential;
+use patdnn_serve::batching::BatchPolicy;
+use patdnn_serve::compile::compile_network;
+use patdnn_serve::engine::{Engine, EngineOptions};
+use patdnn_serve::registry::ModelRegistry;
+use patdnn_serve::server::{Server, ServerConfig};
+use patdnn_tensor::rng::Rng;
+use patdnn_tensor::Tensor;
+
+use crate::report::Table;
+use crate::RunOptions;
+
+/// Builds the serving benchmark model: vgg_small pruned at 3.6x.
+fn pruned_model(seed: u64) -> Sequential {
+    let mut rng = Rng::seed_from(seed);
+    let mut net = vgg_small(10, &mut rng);
+    pattern_project_network(&mut net, 8, 3.6);
+    net
+}
+
+/// Engine throughput vs batch size: per-item latency amortizes as the
+/// batch grows (the reason dynamic batching exists).
+pub fn engine_batch_sweep(opts: &RunOptions) -> Table {
+    let net = pruned_model(11);
+    let artifact = compile_network("vgg_small", &net, [3, 32, 32]).expect("compile");
+    let engine = Engine::new(artifact, EngineOptions::default()).expect("engine");
+    let mut rng = Rng::seed_from(12);
+
+    let mut table = Table::new(
+        "Serving: compiled-engine throughput vs batch size (vgg_small, 3.6x pruned)",
+        &["batch", "ms/batch", "ms/item", "items/s"],
+    );
+    for batch in [1usize, 2, 4, 8] {
+        let input = Tensor::randn(&[batch, 3, 32, 32], &mut rng);
+        let _warmup = engine.infer(&input).expect("warmup");
+        let start = Instant::now();
+        for _ in 0..opts.reps {
+            std::hint::black_box(engine.infer(&input).expect("infer"));
+        }
+        let secs = start.elapsed().as_secs_f64() / opts.reps as f64;
+        table.push_row(vec![
+            batch.to_string(),
+            format!("{:.3}", secs * 1e3),
+            format!("{:.3}", secs * 1e3 / batch as f64),
+            format!("{:.1}", batch as f64 / secs),
+        ]);
+    }
+    table
+}
+
+/// Server QPS and latency percentiles under closed-loop synthetic
+/// traffic, for a few worker/batching configurations.
+pub fn server_throughput(opts: &RunOptions) -> Table {
+    let net = pruned_model(13);
+    let artifact = compile_network("vgg_small", &net, [3, 32, 32]).expect("compile");
+    let requests_per_client = if opts.quick { 10 } else { 25 };
+
+    let mut table = Table::new(
+        "Serving: dynamic-batching server under synthetic traffic (vgg_small)",
+        &[
+            "workers",
+            "max_batch",
+            "clients",
+            "QPS",
+            "p50 ms",
+            "p95 ms",
+            "p99 ms",
+            "avg batch",
+        ],
+    );
+    for (workers, max_batch, clients) in [(1usize, 1usize, 4usize), (2, 4, 4), (2, 8, 8)] {
+        let registry = Arc::new(ModelRegistry::new());
+        registry.register(
+            "m",
+            Engine::new(artifact.clone(), EngineOptions::default()).expect("engine"),
+        );
+        let server = Arc::new(Server::start(
+            Arc::clone(&registry),
+            ServerConfig {
+                workers,
+                batch: BatchPolicy {
+                    max_batch,
+                    max_wait: Duration::from_millis(2),
+                },
+                queue_capacity: 1024,
+            },
+        ));
+        let start = Instant::now();
+        std::thread::scope(|scope| {
+            for client in 0..clients {
+                let server = Arc::clone(&server);
+                scope.spawn(move || {
+                    let mut rng = Rng::seed_from(500 + client as u64);
+                    for _ in 0..requests_per_client {
+                        let input = Tensor::randn(&[1, 3, 32, 32], &mut rng);
+                        let _ = server.infer("m", input);
+                    }
+                });
+            }
+        });
+        let wall = start.elapsed().as_secs_f64();
+        let snap = server.metrics().snapshot();
+        table.push_row(vec![
+            workers.to_string(),
+            max_batch.to_string(),
+            clients.to_string(),
+            format!("{:.1}", snap.requests as f64 / wall),
+            format!("{:.3}", snap.p50_ms),
+            format!("{:.3}", snap.p95_ms),
+            format!("{:.3}", snap.p99_ms),
+            format!("{:.2}", snap.avg_batch),
+        ]);
+    }
+    table
+}
+
+/// Both serving tables.
+pub fn serving(opts: &RunOptions) -> Vec<Table> {
+    vec![engine_batch_sweep(opts), server_throughput(opts)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serving_tables_have_expected_shape() {
+        let opts = RunOptions::quick();
+        let tables = serving(&opts);
+        assert_eq!(tables.len(), 2);
+        assert_eq!(tables[0].rows.len(), 4, "four batch sizes");
+        assert_eq!(tables[1].rows.len(), 3, "three server configs");
+        // Sanity: positive throughput in every row.
+        for row in &tables[0].rows {
+            let items_per_s: f64 = row[3].parse().expect("numeric");
+            assert!(items_per_s > 0.0);
+        }
+    }
+}

@@ -88,7 +88,12 @@ fn admm_cfg(patterns: usize, conn_rate: f32, opts: &RunOptions) -> AdmmConfig {
 pub fn table2(opts: &RunOptions) -> Table {
     let mut t = Table::new(
         "Table 2: pruning schemes at matched ~2.25x rate (accuracy vs speedup)",
-        &["Scheme", "Top-1 before", "Top-1 after", "Layer speedup vs dense"],
+        &[
+            "Scheme",
+            "Top-1 before",
+            "Top-1 after",
+            "Layer speedup vs dense",
+        ],
     );
     // Speedup micro-benchmark layer (VGG L6-like, scaled).
     let hw = opts.scale_hw(56);
@@ -102,7 +107,15 @@ pub fn table2(opts: &RunOptions) -> Table {
     // Non-structured magnitude -> CSR execution.
     {
         let (mut net, train_ds, test_ds, base) = trained_base(21, opts);
-        magnitude_prune(&mut net, &train_ds, rate, 3, 16, 1e-3, &mut Rng::seed_from(5));
+        magnitude_prune(
+            &mut net,
+            &train_ds,
+            rate,
+            3,
+            16,
+            1e-3,
+            &mut Rng::seed_from(5),
+        );
         let after = evaluate(&mut net, &test_ds);
         let csr_layer = PrunedLayer::from_geometry("t2c", geo, 8, rate, 43);
         let csr_time = csr_layer.measure_cpu(Framework::PatDnnCsr, opts.threads, opts.reps, 2);
@@ -127,16 +140,7 @@ pub fn table2(opts: &RunOptions) -> Table {
             &mut Rng::seed_from(6),
         );
         let after = evaluate(&mut net, &test_ds);
-        let shrunk = Conv2dGeometry::new(
-            ((64.0 / rate) as usize).max(1),
-            64,
-            3,
-            3,
-            hw,
-            hw,
-            1,
-            1,
-        );
+        let shrunk = Conv2dGeometry::new(((64.0 / rate) as usize).max(1), 64, 3, 3, hw, hw, 1, 1);
         let small = PrunedLayer::from_geometry("t2f", shrunk, 8, 1.0, 44);
         let time = small.measure_cpu(Framework::PatDnnDense, opts.threads, opts.reps, 3);
         t.push_row(vec![
@@ -187,7 +191,13 @@ pub fn table2(opts: &RunOptions) -> Table {
 pub fn table3(opts: &RunOptions) -> Table {
     let mut t = Table::new(
         "Table 3: top-5 accuracy vs pattern count (kernel pattern pruning only)",
-        &["Network", "Original", "6-pattern", "8-pattern", "12-pattern"],
+        &[
+            "Network",
+            "Original",
+            "6-pattern",
+            "8-pattern",
+            "12-pattern",
+        ],
     );
     for (net_name, seed) in [("VGG-small", 31u64), ("ResNet-small", 32u64)] {
         let mut cells = vec![net_name.to_owned()];
@@ -199,7 +209,11 @@ pub fn table3(opts: &RunOptions) -> Table {
             let (mut net, train_ds2, test_ds2, _) = trained_base_named(net_name, seed, opts);
             let _ = (&train_ds, &test_ds);
             let pruner = AdmmPruner::new(admm_cfg(patterns, 1.0, opts));
-            pruner.prune(&mut net, &train_ds2, &mut Rng::seed_from(seed + patterns as u64));
+            pruner.prune(
+                &mut net,
+                &train_ds2,
+                &mut Rng::seed_from(seed + patterns as u64),
+            );
             let after = evaluate(&mut net, &test_ds2);
             cells.push(fmt_pct(after.top5 as f64));
         }
@@ -243,7 +257,15 @@ pub fn table4(opts: &RunOptions) -> Table {
     // Magnitude (Deep-Compression-like) at 8x.
     {
         let (mut net, train_ds, test_ds, base) = trained_base(41, opts);
-        let out = magnitude_prune(&mut net, &train_ds, 8.0, 3, 16, 1e-3, &mut Rng::seed_from(9));
+        let out = magnitude_prune(
+            &mut net,
+            &train_ds,
+            8.0,
+            3,
+            16,
+            1e-3,
+            &mut Rng::seed_from(9),
+        );
         let after = evaluate(&mut net, &test_ds);
         t.push_row(vec![
             "Magnitude non-structured (Deep Compr.-like)".into(),
@@ -290,7 +312,16 @@ pub fn table4(opts: &RunOptions) -> Table {
 pub fn table5() -> Table {
     let mut t = Table::new(
         "Table 5: DNN characteristics (spec-derived; accuracy cols are the paper's)",
-        &["Name", "Network", "Dataset", "Layers", "Conv", "Size (MB)", "Patterns", "Paper top accu"],
+        &[
+            "Name",
+            "Network",
+            "Dataset",
+            "Layers",
+            "Conv",
+            "Size (MB)",
+            "Patterns",
+            "Paper top accu",
+        ],
     );
     let specs = [
         (vgg16(DatasetKind::ImageNet), "91.6%"),
@@ -336,14 +367,23 @@ pub fn table6() -> Table {
 pub fn table7(opts: &RunOptions) -> Table {
     let mut t = Table::new(
         "Table 7: pattern count impact (3.6x connectivity)",
-        &["#Patterns", "Top-5 accuracy", "CPU time (ms)", "GPU time (ms)"],
+        &[
+            "#Patterns",
+            "Top-5 accuracy",
+            "CPU time (ms)",
+            "GPU time (ms)",
+        ],
     );
     let gpu = GpuModel::adreno_640();
     for patterns in [6usize, 8, 12] {
         // Accuracy on the proxy model.
         let (mut net, train_ds, test_ds, _) = trained_base(70 + patterns as u64, opts);
         let pruner = AdmmPruner::new(admm_cfg(patterns, 3.6, opts));
-        pruner.prune(&mut net, &train_ds, &mut Rng::seed_from(12 + patterns as u64));
+        pruner.prune(
+            &mut net,
+            &train_ds,
+            &mut Rng::seed_from(12 + patterns as u64),
+        );
         let after = evaluate(&mut net, &test_ds);
         // Execution time over the unique VGG layers x multiplicity.
         let workloads =

@@ -95,11 +95,18 @@ impl PrunedLayer {
     ) -> Self {
         let mut rng = Rng::seed_from(seed);
         let dense_weights = Tensor::randn_std(
-            &[geo.out_channels, geo.in_channels, geo.kernel_h, geo.kernel_w],
+            &[
+                geo.out_channels,
+                geo.in_channels,
+                geo.kernel_h,
+                geo.kernel_w,
+            ],
             (2.0 / (geo.in_channels * geo.kernel_h * geo.kernel_w) as f32).sqrt(),
             &mut rng,
         );
-        let bias: Vec<f32> = (0..geo.out_channels).map(|_| rng.uniform(-0.1, 0.1)).collect();
+        let bias: Vec<f32> = (0..geo.out_channels)
+            .map(|_| rng.uniform(-0.1, 0.1))
+            .collect();
         let set = if geo.kernel_h == 3 {
             PatternSet::harvest(&[&dense_weights], patterns)
         } else {
@@ -133,11 +140,18 @@ impl PrunedLayer {
     ) -> Self {
         let mut rng = Rng::seed_from(seed);
         let dense_weights = Tensor::randn_std(
-            &[geo.out_channels, geo.in_channels, geo.kernel_h, geo.kernel_w],
+            &[
+                geo.out_channels,
+                geo.in_channels,
+                geo.kernel_h,
+                geo.kernel_w,
+            ],
             (2.0 / (geo.in_channels * geo.kernel_h * geo.kernel_w) as f32).sqrt(),
             &mut rng,
         );
-        let bias: Vec<f32> = (0..geo.out_channels).map(|_| rng.uniform(-0.1, 0.1)).collect();
+        let bias: Vec<f32> = (0..geo.out_channels)
+            .map(|_| rng.uniform(-0.1, 0.1))
+            .collect();
         let set = PatternSet::standard(8);
         let mut weights = dense_weights.clone();
         let alpha = alpha_for_rate(geo.out_channels * geo.in_channels, conn_rate);
@@ -246,9 +260,15 @@ impl PrunedLayer {
                     .expect("weight subslice");
                     let sub_b = bias[range].to_vec();
                     match fw {
-                        Framework::TfliteLike => DenseKind::Naive(NaiveConv::new(sub_geo, sub_w, Some(sub_b))),
-                        Framework::TvmLike => DenseKind::Im2col(Im2colConv::new(sub_geo, sub_w, Some(sub_b))),
-                        Framework::MnnLike => DenseKind::Winograd(WinogradConv::new(sub_geo, sub_w, Some(sub_b))),
+                        Framework::TfliteLike => {
+                            DenseKind::Naive(NaiveConv::new(sub_geo, sub_w, Some(sub_b)))
+                        }
+                        Framework::TvmLike => {
+                            DenseKind::Im2col(Im2colConv::new(sub_geo, sub_w, Some(sub_b)))
+                        }
+                        Framework::MnnLike => {
+                            DenseKind::Winograd(WinogradConv::new(sub_geo, sub_w, Some(sub_b)))
+                        }
                         _ => DenseKind::Tiled(TiledConv::new(sub_geo, sub_w, Some(sub_b))),
                     }
                 });
@@ -273,12 +293,8 @@ impl PrunedLayer {
             }
             _ => {
                 let winograd = fw == Framework::MnnLike;
-                let out = Tensor::zeros(&[
-                    1,
-                    self.geo.out_channels,
-                    self.geo.out_h,
-                    self.geo.out_w,
-                ]);
+                let out =
+                    Tensor::zeros(&[1, self.geo.out_channels, self.geo.out_h, self.geo.out_w]);
                 let mut r = simulate_dense_conv(model, &self.geo, winograd, out);
                 // The naive framework forgoes tiling: charge extra loads.
                 if fw == Framework::TfliteLike {
@@ -347,7 +363,14 @@ pub fn vgg_unique_workloads(
         .map(|(i, (lname, spec, mult))| {
             let hw = scale_hw(spec.in_h);
             let geo = Conv2dGeometry::new(
-                spec.out_c, spec.in_c, spec.kernel, spec.kernel, hw, hw, spec.stride, 1,
+                spec.out_c,
+                spec.in_c,
+                spec.kernel,
+                spec.kernel,
+                hw,
+                hw,
+                spec.stride,
+                1,
             );
             (
                 lname.clone(),
@@ -383,7 +406,8 @@ pub fn model_cpu_time(
             conv.stride,
             conv.pad.min(conv.kernel / 2),
         );
-        let layer = PrunedLayer::from_geometry(&conv.name, geo, patterns, conn_rate, 2000 + i as u64);
+        let layer =
+            PrunedLayer::from_geometry(&conv.name, geo, patterns, conn_rate, 2000 + i as u64);
         total += layer.measure_cpu(fw, threads, reps, 3000 + i as u64) * mult as f64;
     }
     total
@@ -412,7 +436,8 @@ pub fn model_gpu_time(
             conv.stride,
             conv.pad.min(conv.kernel / 2),
         );
-        let layer = PrunedLayer::from_geometry(&conv.name, geo, patterns, conn_rate, 4000 + i as u64);
+        let layer =
+            PrunedLayer::from_geometry(&conv.name, geo, patterns, conn_rate, 4000 + i as u64);
         total += layer.measure_gpu(fw, model, 5000 + i as u64) * mult as f64;
     }
     total
@@ -427,10 +452,7 @@ mod tests {
         let geo = Conv2dGeometry::new(8, 8, 3, 3, 10, 10, 1, 1);
         let layer = PrunedLayer::from_geometry("t", geo, 8, 3.6, 1);
         assert_eq!(layer.fkw.to_dense(), layer.weights);
-        assert_eq!(
-            layer.lp.kept_kernels(),
-            alpha_for_rate(64, 3.6),
-        );
+        assert_eq!(layer.lp.kept_kernels(), alpha_for_rate(64, 3.6),);
     }
 
     #[test]
@@ -441,7 +463,11 @@ mod tests {
         let layer = PrunedLayer::from_geometry("t", geo, 8, 2.0, 2);
         let input = layer.input(9);
         let reference = layer.framework_exec(Framework::TfliteLike).run(&input);
-        for fw in [Framework::TvmLike, Framework::MnnLike, Framework::PatDnnDense] {
+        for fw in [
+            Framework::TvmLike,
+            Framework::MnnLike,
+            Framework::PatDnnDense,
+        ] {
             let out = layer.framework_exec(fw).run(&input);
             assert!(
                 reference.approx_eq(&out, 1e-3),

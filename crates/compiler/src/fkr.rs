@@ -44,7 +44,7 @@ impl FilterOrder {
             .collect();
         FilterOrder {
             order,
-            groups: vec![0..lp.out_c],
+            groups: std::iter::once(0..lp.out_c).collect(),
             kernel_order,
         }
     }

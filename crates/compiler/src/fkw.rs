@@ -69,7 +69,11 @@ impl FkwLayer {
         order: &FilterOrder,
     ) -> Self {
         let s = weights.shape4();
-        assert_eq!((s.n, s.c), (lp.out_c, lp.in_c), "pruning record shape mismatch");
+        assert_eq!(
+            (s.n, s.c),
+            (lp.out_c, lp.in_c),
+            "pruning record shape mismatch"
+        );
         assert_eq!(s.h, lp.kernel, "kernel size mismatch");
         assert!(s.c <= u16::MAX as usize, "in_c exceeds 16-bit index");
         assert!(s.n <= u16::MAX as usize, "out_c exceeds 16-bit reorder");
@@ -105,7 +109,10 @@ impl FkwLayer {
                 KernelStatus::Dense => usize::MAX - 1,
                 KernelStatus::Pruned => unreachable!("pruned kernels are not stored"),
             };
-            local.iter().position(|&(k, _)| k == key).expect("pattern in table")
+            local
+                .iter()
+                .position(|&(k, _)| k == key)
+                .expect("pattern in table")
         };
         let patterns: Vec<Pattern> = local.iter().map(|&(_, p)| p).collect();
         let entries_per_kernel = patterns.first().map_or(0, |p| p.entries());
@@ -224,7 +231,10 @@ impl FkwLayer {
 
     /// Iterates over stored rows: `(row, original_filter)`.
     pub fn rows(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
-        self.reorder.iter().enumerate().map(|(r, &f)| (r, f as usize))
+        self.reorder
+            .iter()
+            .enumerate()
+            .map(|(r, &f)| (r, f as usize))
     }
 
     /// The kernel range (relative to the whole `index` array) of pattern
@@ -325,7 +335,10 @@ mod tests {
         // 2 bytes per kernel index + filter-level arrays.
         let per_kernel = 2 * fkw.stored_kernels();
         assert!(fkw.extra_bytes() >= per_kernel);
-        assert!(fkw.extra_bytes() < per_kernel + 4 * (fkw.out_c + 1) + 2 * fkw.out_c + 2 * fkw.out_c * 9 + 32);
+        assert!(
+            fkw.extra_bytes()
+                < per_kernel + 4 * (fkw.out_c + 1) + 2 * fkw.out_c + 2 * fkw.out_c * 9 + 32
+        );
         assert_eq!(fkw.weight_bytes(), 4 * 4 * fkw.stored_kernels());
     }
 }

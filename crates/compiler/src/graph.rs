@@ -65,6 +65,12 @@ pub enum Op {
         in_f: usize,
         /// Output features.
         out_f: usize,
+        /// Materialized weights (`[out_f, in_f]`), if any — specs without
+        /// weights still flow through the passes; executable plans
+        /// (patdnn-serve) require them.
+        weights: Option<Tensor>,
+        /// Bias, if any.
+        bias: Option<Vec<f32>>,
     },
     /// Elementwise addition of two inputs (residual join).
     Add,

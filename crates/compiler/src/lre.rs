@@ -87,7 +87,10 @@ pub fn register_loads(
     unroll_oc: usize,
     level: LreLevel,
 ) -> LoadCounts {
-    assert!(unroll_w >= 1 && unroll_oc >= 1, "unroll factors must be >= 1");
+    assert!(
+        unroll_w >= 1 && unroll_oc >= 1,
+        "unroll factors must be >= 1"
+    );
     let windows_per_row = geo.out_w.div_ceil(unroll_w) as u64;
     let windows = geo.out_h as u64 * windows_per_row;
     let np = fkw.patterns.len();
@@ -147,7 +150,13 @@ mod tests {
     use patdnn_tensor::rng::Rng;
     use patdnn_tensor::Tensor;
 
-    fn build(oc: usize, ic: usize, hw: usize, alpha: usize, seed: u64) -> (Conv2dGeometry, FkwLayer) {
+    fn build(
+        oc: usize,
+        ic: usize,
+        hw: usize,
+        alpha: usize,
+        seed: u64,
+    ) -> (Conv2dGeometry, FkwLayer) {
         let mut rng = Rng::seed_from(seed);
         let mut w = Tensor::randn(&[oc, ic, 3, 3], &mut rng);
         let set = PatternSet::standard(8);

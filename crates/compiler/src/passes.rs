@@ -198,7 +198,10 @@ mod tests {
         // input + 2 fused convs
         assert_eq!(g.nodes.len(), 3);
         for n in &g.nodes {
-            if let Op::Conv { fused_relu, bias, .. } = &n.op {
+            if let Op::Conv {
+                fused_relu, bias, ..
+            } = &n.op
+            {
                 assert!(*fused_relu, "relu fused into {}", n.name);
                 assert!(bias.is_some(), "bn folded into bias of {}", n.name);
             }
@@ -253,7 +256,12 @@ mod tests {
             }
         }
         // Folded: conv with scaled weights and folded bias.
-        let Op::Conv { weights: Some(fw), bias: Some(fb), .. } = &g.nodes[1].op else {
+        let Op::Conv {
+            weights: Some(fw),
+            bias: Some(fb),
+            ..
+        } = &g.nodes[1].op
+        else {
             panic!("conv survived folding");
         };
         let folded_out = patdnn_tensor::conv2d_ref(&x, fw, Some(fb), &geo);

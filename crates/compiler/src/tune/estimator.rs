@@ -74,8 +74,8 @@ impl PerfEstimator {
                     xbuf.extend_from_slice(&xs[i]);
                     tbuf.push((ys[i] as f32 - self.target_mean) / self.target_std);
                 }
-                let x = Tensor::from_vec(&[chunk.len(), self.feat_dim], xbuf)
-                    .expect("batch assembly");
+                let x =
+                    Tensor::from_vec(&[chunk.len(), self.feat_dim], xbuf).expect("batch assembly");
                 self.net.zero_grads();
                 let pred = self.net.forward(&x, Mode::Train);
                 // MSE gradient: 2 (pred - target) / n.

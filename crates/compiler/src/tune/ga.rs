@@ -206,7 +206,11 @@ mod tests {
         let mut rng = Rng::seed_from(7);
         let out = explorer.optimize(&space, synthetic_cost, &mut rng);
         for pair in out.history.windows(2) {
-            assert!(pair[0] >= pair[1] - 1e-12, "history regressed: {:?}", out.history);
+            assert!(
+                pair[0] >= pair[1] - 1e-12,
+                "history regressed: {:?}",
+                out.history
+            );
         }
     }
 
@@ -229,7 +233,10 @@ mod tests {
             &mut rng,
         );
         assert_eq!(calls, out.evaluations);
-        assert!(calls <= 16 * 11, "evaluations {calls} exceed population x generations");
+        assert!(
+            calls <= 16 * 11,
+            "evaluations {calls} exceed population x generations"
+        );
         assert!(calls < space.len(), "GA must not enumerate the whole space");
     }
 

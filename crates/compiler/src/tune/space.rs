@@ -229,7 +229,10 @@ mod tests {
     fn features_are_bounded() {
         for cfg in ConfigSpace::standard().enumerate() {
             for f in cfg.features() {
-                assert!((0.0..=1.0).contains(&f), "feature {f} out of range for {cfg:?}");
+                assert!(
+                    (0.0..=1.0).contains(&f),
+                    "feature {f} out of range for {cfg:?}"
+                );
             }
         }
     }

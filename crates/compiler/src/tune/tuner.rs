@@ -153,6 +153,9 @@ mod tests {
         let (cfg, predicted) = tuner.predict_best(&mut est);
         let actual = synthetic_cost(&cfg);
         // The predicted-best config should be close to the true optimum 5.0.
-        assert!(actual <= 6.5, "predicted config {cfg:?} has cost {actual} (predicted {predicted})");
+        assert!(
+            actual <= 6.5,
+            "predicted config {cfg:?} has cost {actual} (predicted {predicted})"
+        );
     }
 }

@@ -1,4 +1,8 @@
 //! Property-based tests of the compiler-stage invariants (DESIGN.md §6).
+//!
+//! Exercised over a deterministic sweep of seeds using the workspace's
+//! own [`Rng`]; case parameters are derived from each seed, covering the
+//! same ranges the original proptest strategies did.
 
 use patdnn_compiler::csr::CsrLayer;
 use patdnn_compiler::fkr::{filter_kernel_reorder, FilterOrder};
@@ -10,9 +14,13 @@ use patdnn_core::pattern_set::PatternSet;
 use patdnn_core::project::prune_layer;
 use patdnn_tensor::rng::Rng;
 use patdnn_tensor::{Conv2dGeometry, Tensor};
-use proptest::prelude::*;
 
-fn pruned(oc: usize, ic: usize, frac: f32, seed: u64) -> (Tensor, patdnn_core::project::LayerPruning, PatternSet) {
+fn pruned(
+    oc: usize,
+    ic: usize,
+    frac: f32,
+    seed: u64,
+) -> (Tensor, patdnn_core::project::LayerPruning, PatternSet) {
     let mut rng = Rng::seed_from(seed);
     let mut w = Tensor::randn(&[oc, ic, 3, 3], &mut rng);
     let set = PatternSet::standard(8);
@@ -21,19 +29,15 @@ fn pruned(oc: usize, ic: usize, frac: f32, seed: u64) -> (Tensor, patdnn_core::p
     (w, lp, set)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(40))]
-
-    /// FKW round-trips losslessly for arbitrary shapes and sparsity, with
-    /// or without filter reorder.
-    #[test]
-    fn fkw_round_trip(
-        oc in 1usize..10,
-        ic in 1usize..10,
-        frac in 0.1f32..1.0,
-        reorder in any::<bool>(),
-        seed in any::<u64>(),
-    ) {
+/// FKW round-trips losslessly for arbitrary shapes and sparsity, with
+/// or without filter reorder.
+#[test]
+fn fkw_round_trip() {
+    for seed in 0..40u64 {
+        let mut rng = Rng::seed_from(1000 + seed);
+        let (oc, ic) = (1 + rng.below(9), 1 + rng.below(9));
+        let frac = rng.uniform(0.1, 1.0);
+        let reorder = rng.chance(0.5);
         let (w, lp, set) = pruned(oc, ic, frac, seed);
         let order = if reorder {
             filter_kernel_reorder(&lp)
@@ -41,59 +45,62 @@ proptest! {
             FilterOrder::identity(&lp)
         };
         let fkw = FkwLayer::from_pruned(&w, &lp, &set, &order);
-        prop_assert_eq!(fkw.to_dense(), w);
+        assert_eq!(fkw.to_dense(), w, "seed {seed}");
         // Reorder array is always a permutation.
         let mut rows: Vec<u16> = fkw.reorder.clone();
         rows.sort_unstable();
-        prop_assert_eq!(rows, (0..oc as u16).collect::<Vec<_>>());
+        assert_eq!(rows, (0..oc as u16).collect::<Vec<_>>(), "seed {seed}");
     }
+}
 
-    /// FKR preserves the filter multiset and always yields zero
-    /// within-group imbalance.
-    #[test]
-    fn fkr_invariants(
-        oc in 2usize..16,
-        ic in 2usize..10,
-        frac in 0.2f32..0.9,
-        seed in any::<u64>(),
-    ) {
+/// FKR preserves the filter multiset and always yields zero
+/// within-group imbalance.
+#[test]
+fn fkr_invariants() {
+    for seed in 0..40u64 {
+        let mut rng = Rng::seed_from(2000 + seed);
+        let (oc, ic) = (2 + rng.below(14), 2 + rng.below(8));
+        let frac = rng.uniform(0.2, 0.9);
         let (_, lp, _) = pruned(oc, ic, frac, seed);
         let order = filter_kernel_reorder(&lp);
-        prop_assert_eq!(order.group_imbalance(&lp), 0);
+        assert_eq!(order.group_imbalance(&lp), 0, "seed {seed}");
         let mut sorted = order.order.clone();
         sorted.sort_unstable();
-        prop_assert_eq!(sorted, (0..oc).collect::<Vec<_>>());
+        assert_eq!(sorted, (0..oc).collect::<Vec<_>>(), "seed {seed}");
         // Groups tile [0, oc).
         let covered: usize = order.groups.iter().map(|g| g.len()).sum();
-        prop_assert_eq!(covered, oc);
+        assert_eq!(covered, oc, "seed {seed}");
     }
+}
 
-    /// CSR round-trips and always carries 4 bytes of column index per
-    /// non-zero — the structural cost FKW avoids.
-    #[test]
-    fn csr_round_trip_and_cost(
-        oc in 1usize..8,
-        ic in 1usize..8,
-        frac in 0.1f32..1.0,
-        seed in any::<u64>(),
-    ) {
+/// CSR round-trips and always carries 4 bytes of column index per
+/// non-zero — the structural cost FKW avoids.
+#[test]
+fn csr_round_trip_and_cost() {
+    for seed in 0..40u64 {
+        let mut rng = Rng::seed_from(3000 + seed);
+        let (oc, ic) = (1 + rng.below(7), 1 + rng.below(7));
+        let frac = rng.uniform(0.1, 1.0);
         let (w, _, _) = pruned(oc, ic, frac, seed);
         let csr = CsrLayer::from_dense(&w);
-        prop_assert_eq!(csr.to_dense(), w.clone());
-        prop_assert_eq!(csr.nnz(), w.count_nonzero());
-        prop_assert_eq!(csr.extra_bytes(), 4 * (oc + 1) + 4 * csr.nnz());
+        assert_eq!(csr.to_dense(), w.clone(), "seed {seed}");
+        assert_eq!(csr.nnz(), w.count_nonzero(), "seed {seed}");
+        assert_eq!(
+            csr.extra_bytes(),
+            4 * (oc + 1) + 4 * csr.nnz(),
+            "seed {seed}"
+        );
     }
+}
 
-    /// LRE never increases load counts, at any unroll configuration.
-    #[test]
-    fn lre_is_monotone(
-        oc in 2usize..8,
-        ic in 2usize..8,
-        hw in 4usize..16,
-        uw in 1usize..6,
-        uoc in 1usize..6,
-        seed in any::<u64>(),
-    ) {
+/// LRE never increases load counts, at any unroll configuration.
+#[test]
+fn lre_is_monotone() {
+    for seed in 0..40u64 {
+        let mut rng = Rng::seed_from(4000 + seed);
+        let (oc, ic) = (2 + rng.below(6), 2 + rng.below(6));
+        let hw = 4 + rng.below(12);
+        let (uw, uoc) = (1 + rng.below(5), 1 + rng.below(5));
         let (w, lp, set) = pruned(oc, ic, 0.5, seed);
         let order = filter_kernel_reorder(&lp);
         let fkw = FkwLayer::from_pruned(&w, &lp, &set, &order);
@@ -101,15 +108,17 @@ proptest! {
         let none = register_loads(&geo, &fkw, uw, uoc, LreLevel::None);
         let kernel = register_loads(&geo, &fkw, uw, uoc, LreLevel::Kernel);
         let full = register_loads(&geo, &fkw, uw, uoc, LreLevel::KernelFilter);
-        prop_assert!(kernel.input_loads <= none.input_loads);
-        prop_assert!(full.input_loads <= kernel.input_loads);
-        prop_assert_eq!(none.weight_loads, kernel.weight_loads);
+        assert!(kernel.input_loads <= none.input_loads, "seed {seed}");
+        assert!(full.input_loads <= kernel.input_loads, "seed {seed}");
+        assert_eq!(none.weight_loads, kernel.weight_loads, "seed {seed}");
     }
+}
 
-    /// GA exploration is deterministic for a fixed seed and never worse
-    /// than the best of its own evaluations.
-    #[test]
-    fn ga_is_deterministic(seed in any::<u64>()) {
+/// GA exploration is deterministic for a fixed seed and never worse
+/// than the best of its own evaluations.
+#[test]
+fn ga_is_deterministic() {
+    for seed in 0..40u64 {
         let space = ConfigSpace::standard();
         let explorer = GaExplorer::new(GaConfig {
             population: 10,
@@ -121,8 +130,8 @@ proptest! {
         };
         let a = explorer.optimize(&space, cost, &mut Rng::seed_from(seed));
         let b = explorer.optimize(&space, cost, &mut Rng::seed_from(seed));
-        prop_assert_eq!(a.best, b.best);
-        prop_assert_eq!(a.best_cost, b.best_cost);
-        prop_assert!(a.history.iter().all(|&h| h >= a.best_cost));
+        assert_eq!(a.best, b.best, "seed {seed}");
+        assert_eq!(a.best_cost, b.best_cost, "seed {seed}");
+        assert!(a.history.iter().all(|&h| h >= a.best_cost), "seed {seed}");
     }
 }

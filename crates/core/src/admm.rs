@@ -29,10 +29,7 @@ use crate::project::{
 };
 
 /// Applies `f` to every conv layer with its stable index.
-pub fn for_each_conv(
-    net: &mut dyn Layer,
-    mut f: impl FnMut(usize, &mut patdnn_nn::conv::Conv2d),
-) {
+pub fn for_each_conv(net: &mut dyn Layer, mut f: impl FnMut(usize, &mut patdnn_nn::conv::Conv2d)) {
     let mut i = 0;
     net.visit_convs(&mut |c| {
         f(i, c);
@@ -670,7 +667,7 @@ mod tests {
     fn sparsity_constraint_keeps_exact_count() {
         let mut rng = Rng::seed_from(16);
         let w = Tensor::randn(&[4, 4, 3, 3], &mut rng);
-        let cons = SparsityConstraint::from_rate(&[w.clone()], 8.0);
+        let cons = SparsityConstraint::from_rate(std::slice::from_ref(&w), 8.0);
         let mut projected = w.clone();
         cons.project(0, &mut projected);
         assert_eq!(projected.count_nonzero(), w.len() / 8);

@@ -38,7 +38,10 @@ impl Pattern {
     /// Panics if `kernel > 4`, a position repeats, or a position is out
     /// of bounds.
     pub fn from_positions(kernel: usize, positions: &[(usize, usize)]) -> Self {
-        assert!(kernel >= 1 && kernel <= 7, "kernel size {kernel} unsupported");
+        assert!(
+            (1..=7).contains(&kernel),
+            "kernel size {kernel} unsupported"
+        );
         let mut mask = 0u64;
         for &(r, c) in positions {
             assert!(r < kernel && c < kernel, "position ({r},{c}) out of bounds");
@@ -58,8 +61,15 @@ impl Pattern {
     ///
     /// Panics if bits outside the `kernel²` grid are set.
     pub fn from_mask(kernel: usize, mask: u64) -> Self {
-        assert!(kernel >= 1 && kernel <= 7, "kernel size {kernel} unsupported");
-        let valid = if kernel * kernel == 64 { u64::MAX } else { (1u64 << (kernel * kernel)) - 1 };
+        assert!(
+            (1..=7).contains(&kernel),
+            "kernel size {kernel} unsupported"
+        );
+        let valid = if kernel * kernel == 64 {
+            u64::MAX
+        } else {
+            (1u64 << (kernel * kernel)) - 1
+        };
         assert_eq!(mask & !valid, 0, "mask has bits outside the kernel");
         Pattern {
             kernel: kernel as u8,
@@ -162,8 +172,10 @@ impl Pattern {
         for a in 0..neighbours.len() {
             for b in a + 1..neighbours.len() {
                 for c in b + 1..neighbours.len() {
-                    let mask =
-                        (1u64 << 4) | (1 << neighbours[a]) | (1 << neighbours[b]) | (1 << neighbours[c]);
+                    let mask = (1u64 << 4)
+                        | (1 << neighbours[a])
+                        | (1 << neighbours[b])
+                        | (1 << neighbours[c]);
                     out.push(Pattern { kernel: 3, mask });
                 }
             }
@@ -174,7 +186,11 @@ impl Pattern {
 
 impl fmt::Debug for Pattern {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "Pattern({}x{}, {:#b})", self.kernel, self.kernel, self.mask)
+        write!(
+            f,
+            "Pattern({}x{}, {:#b})",
+            self.kernel, self.kernel, self.mask
+        )
     }
 }
 

@@ -92,7 +92,10 @@ impl PatternSet {
     ///
     /// Panics if `k == 0` or `k > 56`.
     pub fn standard(k: usize) -> Self {
-        assert!(k >= 1 && k <= 56, "standard set supports 1..=56 patterns");
+        assert!(
+            (1..=56).contains(&k),
+            "standard set supports 1..=56 patterns"
+        );
         let mut all = Pattern::all_natural();
         // Rank by total Chebyshev distance of kept neighbours to the centre,
         // preferring edge-adjacent (cross-shaped) patterns first.
@@ -197,7 +200,9 @@ mod tests {
         let w2 = random_conv(16, 8, &mut rng);
         let set = PatternSet::harvest(&[&w1, &w2], 8);
         assert_eq!(set.len(), 8);
-        assert!(set.iter().all(|(_, p)| p.entries() == 4 && p.includes_center()));
+        assert!(set
+            .iter()
+            .all(|(_, p)| p.entries() == 4 && p.includes_center()));
     }
 
     #[test]

@@ -54,7 +54,10 @@ impl LayerPruning {
     ///
     /// Panics if out of range.
     pub fn kernel_at(&self, oc: usize, ic: usize) -> KernelStatus {
-        assert!(oc < self.out_c && ic < self.in_c, "kernel index out of range");
+        assert!(
+            oc < self.out_c && ic < self.in_c,
+            "kernel index out of range"
+        );
         self.kernels[oc * self.in_c + ic]
     }
 
@@ -162,7 +165,11 @@ pub fn project_layer_connectivity(weights: &mut Tensor, alpha: usize) -> Vec<boo
         .map(|k| k.iter().map(|&w| w * w).sum::<f32>())
         .enumerate()
         .collect();
-    norms.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite norms").then(a.0.cmp(&b.0)));
+    norms.sort_by(|a, b| {
+        b.1.partial_cmp(&a.1)
+            .expect("finite norms")
+            .then(a.0.cmp(&b.0))
+    });
     let mut keep = vec![false; kernels];
     for &(i, _) in norms.iter().take(alpha) {
         keep[i] = true;
@@ -187,7 +194,13 @@ pub fn prune_layer_connectivity_only(
     let keep = project_layer_connectivity(weights, alpha);
     let kernels = keep
         .iter()
-        .map(|&k| if k { KernelStatus::Dense } else { KernelStatus::Pruned })
+        .map(|&k| {
+            if k {
+                KernelStatus::Dense
+            } else {
+                KernelStatus::Pruned
+            }
+        })
         .collect();
     LayerPruning {
         name: name.to_owned(),
@@ -260,7 +273,7 @@ mod tests {
         // Kernel norms increase with index; keeping 2 must keep the last 2.
         let mut data = Vec::new();
         for i in 0..4 {
-            data.extend(std::iter::repeat((i + 1) as f32).take(9));
+            data.extend(std::iter::repeat_n((i + 1) as f32, 9));
         }
         let mut w = Tensor::from_vec(&[2, 2, 3, 3], data).unwrap();
         let keep = project_layer_connectivity(&mut w, 2);

@@ -19,6 +19,7 @@ use crate::admm::{
     conv_weights, for_each_conv, masks_from_nonzero, retrain_masked, AdmmConfig, AdmmSolver,
     SparsityConstraint,
 };
+use crate::pattern_set::PatternSet;
 
 /// Outcome of applying a pruning scheme to a trained network.
 #[derive(Debug, Clone)]
@@ -42,6 +43,30 @@ pub fn measure_conv_compression(net: &mut Sequential) -> f64 {
         nonzero += c.weight.value.count_nonzero();
     });
     dense as f64 / nonzero.max(1) as f64
+}
+
+/// One-shot pattern + connectivity projection of every 3×3 conv layer
+/// in a network, in place: harvest a per-layer `patterns`-entry pattern
+/// set from the layer's own weights, then keep `total / conn_rate`
+/// kernels and project the survivors onto their nearest pattern.
+///
+/// This is the projection step alone — no ADMM loop, no retraining —
+/// which is exactly what deployment-side tooling (the serving demo and
+/// benchmarks) needs to manufacture a prunable network. Accuracy-bearing
+/// pruning lives in [`crate::admm::AdmmPruner`]. Non-3×3 layers are
+/// left untouched.
+pub fn pattern_project_network(net: &mut Sequential, patterns: usize, conn_rate: f32) {
+    net.visit_convs(&mut |conv| {
+        if conv.kernel() != 3 {
+            return;
+        }
+        let set = PatternSet::harvest(&[&conv.weight.value], patterns);
+        let total = conv.out_channels() * conv.in_channels();
+        let alpha = crate::project::alpha_for_rate(total, conn_rate);
+        let mut w = conv.weight.value.clone();
+        crate::project::prune_layer(conv.name(), &mut w, &set, alpha);
+        conv.weight.value = w;
+    });
 }
 
 /// Magnitude-based non-structured pruning of every conv layer at a
@@ -164,7 +189,12 @@ pub fn channel_prune_layer(weights: &mut Tensor, keep: usize) -> Vec<bool> {
         }
     }
     let mut order: Vec<usize> = (0..s.c).collect();
-    order.sort_by(|&a, &b| norms[b].partial_cmp(&norms[a]).expect("finite").then(a.cmp(&b)));
+    order.sort_by(|&a, &b| {
+        norms[b]
+            .partial_cmp(&norms[a])
+            .expect("finite")
+            .then(a.cmp(&b))
+    });
     let mut mask = vec![false; s.c];
     for &i in order.iter().take(keep) {
         mask[i] = true;
@@ -309,7 +339,10 @@ mod tests {
         for oc in 0..4 {
             for ic in 0..6 {
                 let base = (oc * 6 + ic) * 9;
-                let nz = w.data()[base..base + 9].iter().filter(|&&x| x != 0.0).count();
+                let nz = w.data()[base..base + 9]
+                    .iter()
+                    .filter(|&&x| x != 0.0)
+                    .count();
                 if mask[ic] {
                     assert!(nz > 0);
                 } else {
@@ -333,7 +366,11 @@ mod tests {
             1e-3,
             &mut rng,
         );
-        assert!(outcome.conv_compression >= 1.8, "compression {}", outcome.conv_compression);
+        assert!(
+            outcome.conv_compression >= 1.8,
+            "compression {}",
+            outcome.conv_compression
+        );
     }
 
     #[test]
@@ -348,5 +385,26 @@ mod tests {
             outcome.before,
             outcome.after
         );
+    }
+
+    #[test]
+    fn pattern_projection_helper_prunes_every_3x3_layer() {
+        let mut rng = Rng::seed_from(9);
+        let mut net = small_cnn(3, 8, 3, &mut rng);
+        pattern_project_network(&mut net, 8, 2.0);
+        let mut checked = 0;
+        net.visit_convs(&mut |c| {
+            checked += 1;
+            let total = c.out_channels() * c.in_channels();
+            // Half the kernels survive, each constrained to 4 entries.
+            assert_eq!(
+                c.weight.value.count_nonzero(),
+                crate::project::alpha_for_rate(total, 2.0) * 4,
+                "{}",
+                c.name()
+            );
+        });
+        assert_eq!(checked, 2);
+        assert!(measure_conv_compression(&mut net) > 4.0);
     }
 }

@@ -1,4 +1,8 @@
 //! Property-based tests of the pruning invariants (DESIGN.md §6).
+//!
+//! Exercised over a deterministic sweep of seeds using the workspace's
+//! own [`Rng`]; case parameters are derived from each seed, covering the
+//! same ranges the original proptest strategies did.
 
 use patdnn_core::pattern::Pattern;
 use patdnn_core::pattern_set::PatternSet;
@@ -8,39 +12,35 @@ use patdnn_core::project::{
 };
 use patdnn_tensor::rng::Rng;
 use patdnn_tensor::Tensor;
-use proptest::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Natural pattern: 4 entries, includes centre, maximal retained L2
-    /// among all 56 candidates.
-    #[test]
-    fn natural_pattern_is_l2_optimal(seed in any::<u64>()) {
+/// Natural pattern: 4 entries, includes centre, maximal retained L2
+/// among all 56 candidates.
+#[test]
+fn natural_pattern_is_l2_optimal() {
+    for seed in 0..48u64 {
         let mut rng = Rng::seed_from(seed);
         let mut kernel = [0.0f32; 9];
         for v in &mut kernel {
             *v = rng.uniform(-1.0, 1.0);
         }
         let natural = Pattern::natural_of(&kernel);
-        prop_assert_eq!(natural.entries(), 4);
-        prop_assert!(natural.includes_center());
+        assert_eq!(natural.entries(), 4, "seed {seed}");
+        assert!(natural.includes_center(), "seed {seed}");
         let e = natural.kept_energy(&kernel);
         for p in Pattern::all_natural() {
-            prop_assert!(p.kept_energy(&kernel) <= e + 1e-6);
+            assert!(p.kept_energy(&kernel) <= e + 1e-6, "seed {seed}");
         }
     }
+}
 
-    /// Pattern projection leaves exactly `entries` non-zeros, all on the
-    /// chosen pattern's positions, and the choice maximizes energy.
-    #[test]
-    fn pattern_projection_invariants(
-        oc in 1usize..6,
-        ic in 1usize..6,
-        k in 2usize..9,
-        seed in any::<u64>(),
-    ) {
+/// Pattern projection leaves exactly `entries` non-zeros, all on the
+/// chosen pattern's positions, and the choice maximizes energy.
+#[test]
+fn pattern_projection_invariants() {
+    for seed in 0..48u64 {
         let mut rng = Rng::seed_from(seed);
+        let (oc, ic) = (1 + rng.below(5), 1 + rng.below(5));
+        let k = 2 + rng.below(7);
         let set = PatternSet::standard(k);
         let mut w = Tensor::randn(&[oc, ic, 3, 3], &mut rng);
         let original = w.clone();
@@ -49,35 +49,34 @@ proptest! {
             let p = set.get(ids[i]);
             for (j, &v) in kernel.iter().enumerate() {
                 if !p.contains(j / 3, j % 3) {
-                    prop_assert_eq!(v, 0.0);
+                    assert_eq!(v, 0.0, "seed {seed}");
                 } else {
-                    prop_assert_eq!(v, original.data()[i * 9 + j]);
+                    assert_eq!(v, original.data()[i * 9 + j], "seed {seed}");
                 }
             }
             // Energy-optimal among the set.
             let orig_kernel = &original.data()[i * 9..(i + 1) * 9];
             let chosen = p.kept_energy(orig_kernel);
             for (_, q) in set.iter() {
-                prop_assert!(q.kept_energy(orig_kernel) <= chosen + 1e-5);
+                assert!(q.kept_energy(orig_kernel) <= chosen + 1e-5, "seed {seed}");
             }
         }
     }
+}
 
-    /// Connectivity projection keeps exactly alpha kernels — the ones
-    /// with the largest L2 norms.
-    #[test]
-    fn connectivity_projection_invariants(
-        oc in 1usize..6,
-        ic in 1usize..6,
-        rate in 1.0f32..8.0,
-        seed in any::<u64>(),
-    ) {
+/// Connectivity projection keeps exactly alpha kernels — the ones
+/// with the largest L2 norms.
+#[test]
+fn connectivity_projection_invariants() {
+    for seed in 0..48u64 {
         let mut rng = Rng::seed_from(seed);
+        let (oc, ic) = (1 + rng.below(5), 1 + rng.below(5));
+        let rate = rng.uniform(1.0, 8.0);
         let mut w = Tensor::randn(&[oc, ic, 3, 3], &mut rng);
         let original = w.clone();
         let alpha = alpha_for_rate(oc * ic, rate);
         let keep = project_layer_connectivity(&mut w, alpha);
-        prop_assert_eq!(keep.iter().filter(|&&x| x).count(), alpha);
+        assert_eq!(keep.iter().filter(|&&x| x).count(), alpha, "seed {seed}");
         // Minimum kept norm >= maximum dropped norm.
         let norms: Vec<f32> = original
             .data()
@@ -96,50 +95,48 @@ proptest! {
             .filter(|(&k, _)| !k)
             .map(|(_, &n)| n)
             .fold(0.0f32, f32::max);
-        prop_assert!(min_kept >= max_dropped - 1e-6);
+        assert!(min_kept >= max_dropped - 1e-6, "seed {seed}");
     }
+}
 
-    /// Joint pruning satisfies both constraints simultaneously and its
-    /// record is consistent with the weight tensor.
-    #[test]
-    fn joint_pruning_satisfies_both_constraints(
-        oc in 2usize..8,
-        ic in 2usize..8,
-        rate in 1.5f32..6.0,
-        seed in any::<u64>(),
-    ) {
+/// Joint pruning satisfies both constraints simultaneously and its
+/// record is consistent with the weight tensor.
+#[test]
+fn joint_pruning_satisfies_both_constraints() {
+    for seed in 0..48u64 {
         let mut rng = Rng::seed_from(seed);
+        let (oc, ic) = (2 + rng.below(6), 2 + rng.below(6));
+        let rate = rng.uniform(1.5, 6.0);
         let set = PatternSet::standard(8);
         let mut w = Tensor::randn(&[oc, ic, 3, 3], &mut rng);
         let alpha = alpha_for_rate(oc * ic, rate);
         let lp = prune_layer("p", &mut w, &set, alpha);
-        prop_assert_eq!(lp.kept_kernels(), alpha);
-        prop_assert_eq!(w.count_nonzero(), lp.nonzero_weights(&set));
+        assert_eq!(lp.kept_kernels(), alpha, "seed {seed}");
+        assert_eq!(w.count_nonzero(), lp.nonzero_weights(&set), "seed {seed}");
         for (i, kernel) in w.data().chunks_exact(9).enumerate() {
             match lp.kernels[i] {
                 KernelStatus::Pruned => {
-                    prop_assert!(kernel.iter().all(|&x| x == 0.0));
+                    assert!(kernel.iter().all(|&x| x == 0.0), "seed {seed}");
                 }
                 KernelStatus::Pattern(id) => {
                     let p = set.get(id);
                     for (j, &v) in kernel.iter().enumerate() {
-                        prop_assert!(v == 0.0 || p.contains(j / 3, j % 3));
+                        assert!(v == 0.0 || p.contains(j / 3, j % 3), "seed {seed}");
                     }
                 }
-                KernelStatus::Dense => prop_assert!(false, "3x3 never Dense"),
+                KernelStatus::Dense => unreachable!("3x3 never Dense"),
             }
         }
     }
+}
 
-    /// Connectivity-only pruning never touches the inside of surviving
-    /// kernels.
-    #[test]
-    fn connectivity_only_keeps_kernels_dense(
-        oc in 2usize..6,
-        ic in 2usize..6,
-        seed in any::<u64>(),
-    ) {
+/// Connectivity-only pruning never touches the inside of surviving
+/// kernels.
+#[test]
+fn connectivity_only_keeps_kernels_dense() {
+    for seed in 0..48u64 {
         let mut rng = Rng::seed_from(seed);
+        let (oc, ic) = (2 + rng.below(4), 2 + rng.below(4));
         let mut w = Tensor::randn(&[oc, ic, 3, 3], &mut rng);
         let original = w.clone();
         let alpha = (oc * ic).div_ceil(2);
@@ -148,33 +145,32 @@ proptest! {
             let kernel = &w.data()[i * 9..(i + 1) * 9];
             match st {
                 KernelStatus::Dense => {
-                    prop_assert_eq!(kernel, &original.data()[i * 9..(i + 1) * 9]);
+                    assert_eq!(kernel, &original.data()[i * 9..(i + 1) * 9], "seed {seed}");
                 }
-                KernelStatus::Pruned => prop_assert!(kernel.iter().all(|&x| x == 0.0)),
-                KernelStatus::Pattern(_) => prop_assert!(false, "no patterns here"),
+                KernelStatus::Pruned => assert!(kernel.iter().all(|&x| x == 0.0), "seed {seed}"),
+                KernelStatus::Pattern(_) => unreachable!("no patterns here"),
             }
         }
     }
+}
 
-    /// Projections are idempotent.
-    #[test]
-    fn projections_are_idempotent(
-        oc in 1usize..5,
-        ic in 1usize..5,
-        seed in any::<u64>(),
-    ) {
+/// Projections are idempotent.
+#[test]
+fn projections_are_idempotent() {
+    for seed in 0..48u64 {
         let mut rng = Rng::seed_from(seed);
+        let (oc, ic) = (1 + rng.below(4), 1 + rng.below(4));
         let set = PatternSet::standard(6);
         let mut w = Tensor::randn(&[oc, ic, 3, 3], &mut rng);
         let alpha = (oc * ic).div_ceil(3);
         prune_layer("p", &mut w, &set, alpha);
         let snapshot = w.clone();
         let ids1 = project_layer_patterns(&mut w, &set);
-        prop_assert_eq!(&w, &snapshot);
+        assert_eq!(&w, &snapshot, "seed {seed}");
         let keep = project_layer_connectivity(&mut w, alpha);
-        prop_assert_eq!(&w, &snapshot);
-        prop_assert_eq!(keep.iter().filter(|&&x| x).count(), alpha);
+        assert_eq!(&w, &snapshot, "seed {seed}");
+        assert_eq!(keep.iter().filter(|&&x| x).count(), alpha, "seed {seed}");
         let ids2 = project_layer_patterns(&mut w, &set);
-        prop_assert_eq!(ids1, ids2);
+        assert_eq!(ids1, ids2, "seed {seed}");
     }
 }

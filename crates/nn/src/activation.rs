@@ -43,6 +43,12 @@ impl Layer for Relu {
         }
         g
     }
+
+    fn export_ops(&self, out: &mut Vec<crate::export::LayerExport>) {
+        out.push(crate::export::LayerExport::Relu {
+            name: self.name.clone(),
+        });
+    }
 }
 
 /// ReLU capped at 6, as used by MobileNet-V2.
@@ -82,6 +88,12 @@ impl Layer for Relu6 {
             }
         }
         g
+    }
+
+    fn export_ops(&self, out: &mut Vec<crate::export::LayerExport>) {
+        out.push(crate::export::LayerExport::Relu6 {
+            name: self.name.clone(),
+        });
     }
 }
 

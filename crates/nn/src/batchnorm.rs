@@ -87,7 +87,10 @@ impl Layer for BatchNorm2d {
                     let mut mean = 0.0f64;
                     for n in 0..s.n {
                         let base = (n * s.c + c) * hw;
-                        mean += input.data()[base..base + hw].iter().map(|&x| x as f64).sum::<f64>();
+                        mean += input.data()[base..base + hw]
+                            .iter()
+                            .map(|&x| x as f64)
+                            .sum::<f64>();
                     }
                     let mean = (mean / m as f64) as f32;
                     let mut var = 0.0f64;
@@ -142,7 +145,10 @@ impl Layer for BatchNorm2d {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let cache = self.cache.take().expect("bn backward without train forward");
+        let cache = self
+            .cache
+            .take()
+            .expect("bn backward without train forward");
         let s = grad_out.shape4();
         let hw = s.h * s.w;
         let m = (s.n * hw) as f32;
@@ -184,6 +190,15 @@ impl Layer for BatchNorm2d {
         f(&mut self.gamma);
         f(&mut self.beta);
     }
+
+    fn export_ops(&self, out: &mut Vec<crate::export::LayerExport>) {
+        let (scale, shift) = self.fold_params();
+        out.push(crate::export::LayerExport::BatchNorm {
+            name: self.name.clone(),
+            scale,
+            shift,
+        });
+    }
 }
 
 #[cfg(test)]
@@ -207,7 +222,8 @@ mod tests {
                 vals.extend_from_slice(&y.data()[base..base + hw]);
             }
             let mean: f32 = vals.iter().sum::<f32>() / vals.len() as f32;
-            let var: f32 = vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / vals.len() as f32;
+            let var: f32 =
+                vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / vals.len() as f32;
             assert!(mean.abs() < 1e-3, "mean {mean}");
             assert!((var - 1.0).abs() < 1e-2, "var {var}");
         }

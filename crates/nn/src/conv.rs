@@ -86,6 +86,26 @@ impl Conv2d {
     pub fn out_channels(&self) -> usize {
         self.out_channels
     }
+
+    /// Number of input channels.
+    pub fn in_channels(&self) -> usize {
+        self.in_channels
+    }
+
+    /// Square kernel size.
+    pub fn kernel(&self) -> usize {
+        self.kernel
+    }
+
+    /// Stride.
+    pub fn stride(&self) -> usize {
+        self.stride
+    }
+
+    /// Padding.
+    pub fn pad(&self) -> usize {
+        self.pad
+    }
 }
 
 impl Layer for Conv2d {
@@ -95,7 +115,11 @@ impl Layer for Conv2d {
 
     fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
         let s = input.shape4();
-        assert_eq!(s.c, self.in_channels, "conv {}: channel mismatch", self.name);
+        assert_eq!(
+            s.c, self.in_channels,
+            "conv {}: channel mismatch",
+            self.name
+        );
         let geo = self.geometry(s.h, s.w);
         let out = patdnn_tensor::im2col::conv2d_im2col(
             input,
@@ -152,8 +176,19 @@ impl Layer for Conv2d {
             let gout = &grad_out.data()[n * out_img..(n + 1) * out_img];
             dcols.iter_mut().for_each(|v| *v = 0.0);
             // dcols (rows x ncols) = Wᵀ (rows x oc) * gOut (oc x ncols)
-            gemm_at(rows, ncols, geo.out_channels, self.weight.value.data(), gout, &mut dcols);
-            col2im(&dcols, &geo, &mut dinput.data_mut()[n * in_img..(n + 1) * in_img]);
+            gemm_at(
+                rows,
+                ncols,
+                geo.out_channels,
+                self.weight.value.data(),
+                gout,
+                &mut dcols,
+            );
+            col2im(
+                &dcols,
+                &geo,
+                &mut dinput.data_mut()[n * in_img..(n + 1) * in_img],
+            );
         }
         dinput
     }
@@ -165,6 +200,19 @@ impl Layer for Conv2d {
 
     fn visit_convs(&mut self, f: &mut dyn FnMut(&mut Conv2d)) {
         f(self);
+    }
+
+    fn export_ops(&self, out: &mut Vec<crate::export::LayerExport>) {
+        out.push(crate::export::LayerExport::Conv {
+            name: self.name.clone(),
+            out_c: self.out_channels,
+            in_c: self.in_channels,
+            kernel: self.kernel,
+            stride: self.stride,
+            pad: self.pad,
+            weights: self.weight.value.clone(),
+            bias: self.bias.value.data().to_vec(),
+        });
     }
 }
 
@@ -185,7 +233,14 @@ pub struct DepthwiseConv2d {
 
 impl DepthwiseConv2d {
     /// Creates a depthwise convolution with Kaiming-normal weights.
-    pub fn new(name: &str, channels: usize, kernel: usize, stride: usize, pad: usize, rng: &mut Rng) -> Self {
+    pub fn new(
+        name: &str,
+        channels: usize,
+        kernel: usize,
+        stride: usize,
+        pad: usize,
+        rng: &mut Rng,
+    ) -> Self {
         let std = (2.0 / (kernel * kernel) as f32).sqrt();
         DepthwiseConv2d {
             name: name.to_owned(),
@@ -423,18 +478,21 @@ mod tests {
         // Compare against per-channel dense conv.
         for c in 0..3 {
             let geo = Conv2dGeometry::new(1, 1, 3, 3, 6, 6, 1, 1);
-            let xin = Tensor::from_vec(
-                &[1, 1, 6, 6],
-                x.data()[c * 36..(c + 1) * 36].to_vec(),
-            )
-            .unwrap();
+            let xin =
+                Tensor::from_vec(&[1, 1, 6, 6], x.data()[c * 36..(c + 1) * 36].to_vec()).unwrap();
             let w = Tensor::from_vec(
                 &[1, 1, 3, 3],
                 dw.weight.value.data()[c * 9..(c + 1) * 9].to_vec(),
             )
             .unwrap();
-            let r = patdnn_tensor::conv2d_ref(&xin, &w, Some(&dw.bias.value.data()[c..c + 1]), &geo);
-            for (i, (&a, &b)) in r.data().iter().zip(&out.data()[c * 36..(c + 1) * 36]).enumerate() {
+            let r =
+                patdnn_tensor::conv2d_ref(&xin, &w, Some(&dw.bias.value.data()[c..c + 1]), &geo);
+            for (i, (&a, &b)) in r
+                .data()
+                .iter()
+                .zip(&out.data()[c * 36..(c + 1) * 36])
+                .enumerate()
+            {
                 assert!((a - b).abs() < 1e-4, "c={c} i={i}: {a} vs {b}");
             }
         }

@@ -168,10 +168,7 @@ impl Dataset {
             height: self.height,
             width: self.width,
         };
-        (
-            make(train_imgs, train_labels),
-            make(test_imgs, test_labels),
-        )
+        (make(train_imgs, train_labels), make(test_imgs, test_labels))
     }
 
     /// Assembles samples `indices` into a `[batch, c, h, w]` tensor plus
@@ -269,13 +266,24 @@ mod tests {
         }
         let mut correct = 0;
         for i in 0..ds.len() {
-            let d0 = ds.image(i).zip_map(&means[0], |a, b| a - b).unwrap().l2_norm();
-            let d1 = ds.image(i).zip_map(&means[1], |a, b| a - b).unwrap().l2_norm();
+            let d0 = ds
+                .image(i)
+                .zip_map(&means[0], |a, b| a - b)
+                .unwrap()
+                .l2_norm();
+            let d1 = ds
+                .image(i)
+                .zip_map(&means[1], |a, b| a - b)
+                .unwrap()
+                .l2_norm();
             let pred = usize::from(d1 < d0);
             if pred == ds.label(i) {
                 correct += 1;
             }
         }
-        assert!(correct as f32 / ds.len() as f32 > 0.9, "correct {correct}/40");
+        assert!(
+            correct as f32 / ds.len() as f32 > 0.9,
+            "correct {correct}/40"
+        );
     }
 }

@@ -1,0 +1,208 @@
+//! Inference-time weight export.
+//!
+//! Trained networks are built from boxed [`Layer`] trait objects, which
+//! the compiler and serving stages cannot introspect directly. The
+//! [`Layer::export_ops`] hook flattens a network into a neutral list of
+//! [`LayerExport`] records — weights, folded batch-norm parameters, and
+//! layer geometry — that `patdnn-serve` converts into a compiler graph
+//! and compiles into a model artifact. Exporting reads the *current*
+//! weights, so a network pruned in place (e.g. by the ADMM stage) exports
+//! its pruned weights without retraining.
+
+use patdnn_tensor::Tensor;
+
+use crate::layer::Layer;
+use crate::network::Sequential;
+
+/// One exported layer: everything inference needs, nothing training
+/// needs (no gradients, no caches, no running-statistic updates).
+#[derive(Debug, Clone)]
+pub enum LayerExport {
+    /// Standard convolution with OIHW weights.
+    Conv {
+        /// Layer name.
+        name: String,
+        /// Output channels.
+        out_c: usize,
+        /// Input channels.
+        in_c: usize,
+        /// Square kernel size.
+        kernel: usize,
+        /// Stride.
+        stride: usize,
+        /// Padding.
+        pad: usize,
+        /// Weights, shape `[out_c, in_c, kernel, kernel]`.
+        weights: Tensor,
+        /// Per-filter bias.
+        bias: Vec<f32>,
+    },
+    /// Batch normalization, folded to its inference-time affine form
+    /// `y = scale * x + shift` using the running statistics.
+    BatchNorm {
+        /// Layer name.
+        name: String,
+        /// Per-channel scale.
+        scale: Vec<f32>,
+        /// Per-channel shift.
+        shift: Vec<f32>,
+    },
+    /// ReLU activation.
+    Relu {
+        /// Layer name.
+        name: String,
+    },
+    /// ReLU capped at 6 (MobileNet-V2).
+    Relu6 {
+        /// Layer name.
+        name: String,
+    },
+    /// Max pooling.
+    MaxPool {
+        /// Layer name.
+        name: String,
+        /// Window size.
+        kernel: usize,
+        /// Stride.
+        stride: usize,
+        /// Padding.
+        pad: usize,
+    },
+    /// Global average pooling.
+    GlobalAvgPool {
+        /// Layer name.
+        name: String,
+    },
+    /// Flatten to `[batch, features]`.
+    Flatten {
+        /// Layer name.
+        name: String,
+    },
+    /// Fully-connected layer with `[out_f, in_f]` weights.
+    Linear {
+        /// Layer name.
+        name: String,
+        /// Weights, shape `[out_f, in_f]`.
+        weights: Tensor,
+        /// Per-output bias.
+        bias: Vec<f32>,
+    },
+    /// A layer kind the export path does not understand (residual blocks,
+    /// depthwise convolutions, custom layers). Consumers must reject it.
+    Opaque {
+        /// Layer name.
+        name: String,
+    },
+}
+
+impl LayerExport {
+    /// The exported layer's name.
+    pub fn name(&self) -> &str {
+        match self {
+            LayerExport::Conv { name, .. }
+            | LayerExport::BatchNorm { name, .. }
+            | LayerExport::Relu { name }
+            | LayerExport::Relu6 { name }
+            | LayerExport::MaxPool { name, .. }
+            | LayerExport::GlobalAvgPool { name }
+            | LayerExport::Flatten { name }
+            | LayerExport::Linear { name, .. }
+            | LayerExport::Opaque { name } => name,
+        }
+    }
+
+    /// Short kind label for diagnostics.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            LayerExport::Conv { .. } => "conv",
+            LayerExport::BatchNorm { .. } => "batchnorm",
+            LayerExport::Relu { .. } => "relu",
+            LayerExport::Relu6 { .. } => "relu6",
+            LayerExport::MaxPool { .. } => "maxpool",
+            LayerExport::GlobalAvgPool { .. } => "gap",
+            LayerExport::Flatten { .. } => "flatten",
+            LayerExport::Linear { .. } => "fc",
+            LayerExport::Opaque { .. } => "opaque",
+        }
+    }
+}
+
+/// Flattens a network into its exported layer list.
+pub fn export_network(net: &Sequential) -> Vec<LayerExport> {
+    let mut out = Vec::new();
+    net.export_ops(&mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::small_cnn;
+    use crate::prelude::*;
+    use patdnn_tensor::rng::Rng;
+
+    #[test]
+    fn small_cnn_exports_every_layer_in_order() {
+        let mut rng = Rng::seed_from(1);
+        let net = small_cnn(3, 8, 4, &mut rng);
+        let ops = export_network(&net);
+        let kinds: Vec<&str> = ops.iter().map(LayerExport::kind).collect();
+        assert_eq!(
+            kinds,
+            vec!["conv", "relu", "maxpool", "conv", "relu", "maxpool", "flatten", "fc"]
+        );
+        let LayerExport::Conv {
+            out_c,
+            in_c,
+            kernel,
+            weights,
+            bias,
+            ..
+        } = &ops[0]
+        else {
+            panic!("first export is the conv");
+        };
+        assert_eq!((*out_c, *in_c, *kernel), (16, 3, 3));
+        assert_eq!(weights.shape(), &[16, 3, 3, 3]);
+        assert_eq!(bias.len(), 16);
+    }
+
+    #[test]
+    fn batchnorm_exports_folded_running_stats() {
+        let mut net = Sequential::new("n");
+        net.push(BatchNorm2d::new("bn", 4));
+        let ops = export_network(&net);
+        let LayerExport::BatchNorm { scale, shift, .. } = &ops[0] else {
+            panic!("bn export");
+        };
+        // Fresh BN: unit scale (up to eps), zero shift.
+        assert!(scale.iter().all(|&s| (s - 1.0).abs() < 1e-2));
+        assert!(shift.iter().all(|&s| s.abs() < 1e-6));
+    }
+
+    #[test]
+    fn residual_blocks_export_as_opaque() {
+        let mut net = Sequential::new("n");
+        let mut rng = Rng::seed_from(2);
+        let mut main = Sequential::new("main");
+        main.push(Conv2d::new("c", 3, 3, 3, 1, 1, &mut rng));
+        net.push(Residual::identity("res", main));
+        let ops = export_network(&net);
+        assert_eq!(ops.len(), 1);
+        assert_eq!(ops[0].kind(), "opaque");
+        assert_eq!(ops[0].name(), "res");
+    }
+
+    #[test]
+    fn export_reflects_in_place_pruning() {
+        let mut rng = Rng::seed_from(3);
+        let mut net = Sequential::new("n");
+        net.push(Conv2d::new("c", 4, 3, 3, 1, 1, &mut rng));
+        net.visit_convs(&mut |conv| conv.weight.value.map_inplace(|_| 0.0));
+        let ops = export_network(&net);
+        let LayerExport::Conv { weights, .. } = &ops[0] else {
+            panic!("conv export");
+        };
+        assert_eq!(weights.count_nonzero(), 0);
+    }
+}

@@ -115,6 +115,16 @@ pub trait Layer {
     /// pruning stage in-place access to filter weights.
     fn visit_convs(&mut self, _f: &mut dyn FnMut(&mut crate::conv::Conv2d)) {}
 
+    /// Appends this layer's inference-time export records (weights plus
+    /// geometry) to `out`; see [`crate::export`]. The default marks the
+    /// layer as [`crate::export::LayerExport::Opaque`], which export
+    /// consumers must reject — layers override it to describe themselves.
+    fn export_ops(&self, out: &mut Vec<crate::export::LayerExport>) {
+        out.push(crate::export::LayerExport::Opaque {
+            name: self.name().to_owned(),
+        });
+    }
+
     /// Total number of scalar parameters.
     fn param_count(&mut self) -> usize {
         let mut n = 0;

@@ -30,6 +30,7 @@ pub mod activation;
 pub mod batchnorm;
 pub mod conv;
 pub mod data;
+pub mod export;
 pub mod layer;
 pub mod linear;
 pub mod loss;

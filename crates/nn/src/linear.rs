@@ -53,9 +53,19 @@ impl Layer for Linear {
     }
 
     fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
-        assert_eq!(input.shape().len(), 2, "linear {} expects 2-d input", self.name);
+        assert_eq!(
+            input.shape().len(),
+            2,
+            "linear {} expects 2-d input",
+            self.name
+        );
         let batch = input.shape()[0];
-        assert_eq!(input.shape()[1], self.in_features, "linear {} feature mismatch", self.name);
+        assert_eq!(
+            input.shape()[1],
+            self.in_features,
+            "linear {} feature mismatch",
+            self.name
+        );
         let mut out = Tensor::zeros(&[batch, self.out_features]);
         // out (B x O) = input (B x I) * Wᵀ (I x O); W stored O x I.
         gemm_bt(
@@ -117,6 +127,14 @@ impl Layer for Linear {
         f(&mut self.weight);
         f(&mut self.bias);
     }
+
+    fn export_ops(&self, out: &mut Vec<crate::export::LayerExport>) {
+        out.push(crate::export::LayerExport::Linear {
+            name: self.name.clone(),
+            weights: self.weight.value.clone(),
+            bias: self.bias.value.data().to_vec(),
+        });
+    }
 }
 
 /// Flattens `[batch, c, h, w]` activations to `[batch, c*h*w]`.
@@ -146,7 +164,10 @@ impl Layer for Flatten {
         if mode == Mode::Train {
             self.cached_shape = Some(input.shape().to_vec());
         }
-        input.clone().reshape(&[batch, rest]).expect("flatten preserves length")
+        input
+            .clone()
+            .reshape(&[batch, rest])
+            .expect("flatten preserves length")
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
@@ -154,7 +175,16 @@ impl Layer for Flatten {
             .cached_shape
             .take()
             .expect("flatten backward without forward");
-        grad_out.clone().reshape(&shape).expect("unflatten preserves length")
+        grad_out
+            .clone()
+            .reshape(&shape)
+            .expect("unflatten preserves length")
+    }
+
+    fn export_ops(&self, out: &mut Vec<crate::export::LayerExport>) {
+        out.push(crate::export::LayerExport::Flatten {
+            name: self.name.clone(),
+        });
     }
 }
 

@@ -91,7 +91,13 @@ impl ConvSpec {
     pub fn geometry(&self) -> Conv2dGeometry {
         let in_c = if self.depthwise { 1 } else { self.in_c };
         Conv2dGeometry::new(
-            self.out_c, in_c, self.kernel, self.kernel, self.in_h, self.in_w, self.stride,
+            self.out_c,
+            in_c,
+            self.kernel,
+            self.kernel,
+            self.in_h,
+            self.in_w,
+            self.stride,
             self.pad,
         )
     }
@@ -105,7 +111,10 @@ impl ConvSpec {
     /// Filter shape in the paper's `[out, in, kh, kw]` notation.
     pub fn filter_shape(&self) -> String {
         let in_c = if self.depthwise { 1 } else { self.in_c };
-        format!("[{}, {}, {}, {}]", self.out_c, in_c, self.kernel, self.kernel)
+        format!(
+            "[{}, {}, {}, {}]",
+            self.out_c, in_c, self.kernel, self.kernel
+        )
     }
 }
 
@@ -329,22 +338,57 @@ pub fn resnet50(dataset: DatasetKind) -> ModelSpec {
             in_c = 64;
         }
     }
-    let stages: [(usize, usize, usize); 4] =
-        [(64, 3, 1), (128, 4, 2), (256, 6, 2), (512, 3, 2)];
+    let stages: [(usize, usize, usize); 4] = [(64, 3, 1), (128, 4, 2), (256, 6, 2), (512, 3, 2)];
     for (si, &(width, blocks, first_stride)) in stages.iter().enumerate() {
         let out_c = width * 4;
         for b in 0..blocks {
             let stride = if b == 0 { first_stride } else { 1 };
             let prefix = format!("stage{}.block{}", si + 1, b + 1);
-            convs.push(conv(format!("{prefix}.reduce"), width, in_c, 1, 1, 0, hw, false));
+            convs.push(conv(
+                format!("{prefix}.reduce"),
+                width,
+                in_c,
+                1,
+                1,
+                0,
+                hw,
+                false,
+            ));
             aux.push(AuxSpec::BatchNorm { c: width });
-            convs.push(conv(format!("{prefix}.conv3x3"), width, width, 3, stride, 1, hw, false));
+            convs.push(conv(
+                format!("{prefix}.conv3x3"),
+                width,
+                width,
+                3,
+                stride,
+                1,
+                hw,
+                false,
+            ));
             aux.push(AuxSpec::BatchNorm { c: width });
             let hw_out = conv_out_dim(hw, 3, stride, 1);
-            convs.push(conv(format!("{prefix}.expand"), out_c, width, 1, 1, 0, hw_out, false));
+            convs.push(conv(
+                format!("{prefix}.expand"),
+                out_c,
+                width,
+                1,
+                1,
+                0,
+                hw_out,
+                false,
+            ));
             aux.push(AuxSpec::BatchNorm { c: out_c });
             if b == 0 {
-                let mut sc = conv(format!("{prefix}.shortcut"), out_c, in_c, 1, stride, 0, hw, false);
+                let mut sc = conv(
+                    format!("{prefix}.shortcut"),
+                    out_c,
+                    in_c,
+                    1,
+                    stride,
+                    0,
+                    hw,
+                    false,
+                );
                 sc.shortcut = true;
                 convs.push(sc);
                 aux.push(AuxSpec::BatchNorm { c: out_c });
@@ -404,15 +448,42 @@ pub fn mobilenet_v2(dataset: DatasetKind) -> ModelSpec {
             let prefix = format!("bneck{}.{}", bi + 1, r + 1);
             let exp_c = in_c * t;
             if t != 1 {
-                convs.push(conv(format!("{prefix}.expand"), exp_c, in_c, 1, 1, 0, hw, false));
+                convs.push(conv(
+                    format!("{prefix}.expand"),
+                    exp_c,
+                    in_c,
+                    1,
+                    1,
+                    0,
+                    hw,
+                    false,
+                ));
                 aux.push(AuxSpec::BatchNorm { c: exp_c });
             }
-            let mut dw = conv(format!("{prefix}.dw"), exp_c, exp_c, 3, stride, 1, hw, false);
+            let mut dw = conv(
+                format!("{prefix}.dw"),
+                exp_c,
+                exp_c,
+                3,
+                stride,
+                1,
+                hw,
+                false,
+            );
             dw.depthwise = true;
             convs.push(dw);
             aux.push(AuxSpec::BatchNorm { c: exp_c });
             let hw_out = conv_out_dim(hw, 3, stride, 1);
-            convs.push(conv(format!("{prefix}.project"), c, exp_c, 1, 1, 0, hw_out, false));
+            convs.push(conv(
+                format!("{prefix}.project"),
+                c,
+                exp_c,
+                1,
+                1,
+                0,
+                hw_out,
+                false,
+            ));
             aux.push(AuxSpec::BatchNorm { c });
             hw = hw_out;
             in_c = c;
@@ -466,9 +537,25 @@ pub fn vgg_small(classes: usize, rng: &mut Rng) -> Sequential {
     let mut net = Sequential::new("vgg_small");
     let mut in_c = 3;
     for (si, &ch) in [16usize, 32, 64].iter().enumerate() {
-        net.push(Conv2d::new(&format!("conv{}_1", si + 1), ch, in_c, 3, 1, 1, rng));
+        net.push(Conv2d::new(
+            &format!("conv{}_1", si + 1),
+            ch,
+            in_c,
+            3,
+            1,
+            1,
+            rng,
+        ));
         net.push(Relu::new(&format!("relu{}_1", si + 1)));
-        net.push(Conv2d::new(&format!("conv{}_2", si + 1), ch, ch, 3, 1, 1, rng));
+        net.push(Conv2d::new(
+            &format!("conv{}_2", si + 1),
+            ch,
+            ch,
+            3,
+            1,
+            1,
+            rng,
+        ));
         net.push(Relu::new(&format!("relu{}_2", si + 1)));
         net.push(MaxPool2d::new(&format!("pool{}", si + 1), 2, 2, 0));
         in_c = ch;
@@ -602,8 +689,11 @@ mod tests {
             .find(|c| c.name == "stage4.block1.conv3x3")
             .expect("stage4 exists");
         assert_eq!(l4_first.in_h, 14);
-        let last = spec.convs.iter().filter(|c| !c.shortcut).next_back().unwrap();
-        assert_eq!(conv_out_dim(last.in_h, last.kernel, last.stride, last.pad), 7);
+        let last = spec.convs.iter().rfind(|c| !c.shortcut).unwrap();
+        assert_eq!(
+            conv_out_dim(last.in_h, last.kernel, last.stride, last.pad),
+            7
+        );
     }
 
     #[test]

@@ -86,6 +86,12 @@ impl Layer for Sequential {
             layer.visit_convs(f);
         }
     }
+
+    fn export_ops(&self, out: &mut Vec<crate::export::LayerExport>) {
+        for layer in &self.layers {
+            layer.export_ops(out);
+        }
+    }
 }
 
 /// A residual block: `y = main(x) + shortcut(x)` (identity shortcut when

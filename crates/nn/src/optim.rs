@@ -124,7 +124,10 @@ impl Optimizer for Adam {
         let mut idx = 0;
         net.visit_params(&mut |p| {
             if moments.len() == idx {
-                moments.push((Tensor::zeros(p.value.shape()), Tensor::zeros(p.value.shape())));
+                moments.push((
+                    Tensor::zeros(p.value.shape()),
+                    Tensor::zeros(p.value.shape()),
+                ));
             }
             let (m, v) = &mut moments[idx];
             idx += 1;

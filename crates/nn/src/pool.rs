@@ -78,13 +78,25 @@ impl Layer for MaxPool2d {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let (shape, argmax) = self.cached.take().expect("maxpool backward without forward");
+        let (shape, argmax) = self
+            .cached
+            .take()
+            .expect("maxpool backward without forward");
         let mut dinput = Tensor::zeros(&shape);
         let di = dinput.data_mut();
         for (g, &idx) in grad_out.data().iter().zip(&argmax) {
             di[idx] += g;
         }
         dinput
+    }
+
+    fn export_ops(&self, out: &mut Vec<crate::export::LayerExport>) {
+        out.push(crate::export::LayerExport::MaxPool {
+            name: self.name.clone(),
+            kernel: self.kernel,
+            stride: self.stride,
+            pad: self.pad,
+        });
     }
 }
 
@@ -130,7 +142,8 @@ impl Layer for AvgPool2d {
                         let mut acc = 0.0;
                         for kh in 0..self.kernel {
                             for kw in 0..self.kernel {
-                                acc += ind[ibase + (oh * self.stride + kh) * s.w + ow * self.stride + kw];
+                                acc += ind
+                                    [ibase + (oh * self.stride + kh) * s.w + ow * self.stride + kw];
                             }
                         }
                         od[oi] = acc * norm;
@@ -146,7 +159,10 @@ impl Layer for AvgPool2d {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let shape = self.cached_shape.take().expect("avgpool backward without forward");
+        let shape = self
+            .cached_shape
+            .take()
+            .expect("avgpool backward without forward");
         let s = patdnn_tensor::Shape4::new(shape[0], shape[1], shape[2], shape[3]);
         let go = grad_out.shape4();
         let mut dinput = Tensor::zeros(&shape);
@@ -163,7 +179,10 @@ impl Layer for AvgPool2d {
                         oi += 1;
                         for kh in 0..self.kernel {
                             for kw in 0..self.kernel {
-                                di[ibase + (oh * self.stride + kh) * s.w + ow * self.stride + kw] += g;
+                                di[ibase
+                                    + (oh * self.stride + kh) * s.w
+                                    + ow * self.stride
+                                    + kw] += g;
                             }
                         }
                     }
@@ -213,7 +232,10 @@ impl Layer for GlobalAvgPool {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let shape = self.cached_shape.take().expect("gap backward without forward");
+        let shape = self
+            .cached_shape
+            .take()
+            .expect("gap backward without forward");
         let (n, c, h, w) = (shape[0], shape[1], shape[2], shape[3]);
         let mut dinput = Tensor::zeros(&shape);
         let hw = h * w;
@@ -228,6 +250,12 @@ impl Layer for GlobalAvgPool {
             }
         }
         dinput
+    }
+
+    fn export_ops(&self, out: &mut Vec<crate::export::LayerExport>) {
+        out.push(crate::export::LayerExport::GlobalAvgPool {
+            name: self.name.clone(),
+        });
     }
 }
 

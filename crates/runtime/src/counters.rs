@@ -13,9 +13,11 @@ pub fn dense_gflops(geo: &Conv2dGeometry, seconds: f64) -> f64 {
 
 /// Actual (post-pruning) GFLOPS for a measured time.
 pub fn sparse_gflops(exec: &PatternConv, seconds: f64) -> f64 {
-    let actual =
-        exec.fkw().stored_kernels() * exec.fkw().entries_per_kernel * 2 * exec.geometry().out_h
-            * exec.geometry().out_w;
+    let actual = exec.fkw().stored_kernels()
+        * exec.fkw().entries_per_kernel
+        * 2
+        * exec.geometry().out_h
+        * exec.geometry().out_w;
     actual as f64 / seconds / 1e9
 }
 
@@ -61,7 +63,13 @@ mod tests {
         let lp = prune_layer("t", &mut w, &set, 24);
         let order = filter_kernel_reorder(&lp);
         let fkw = FkwLayer::from_pruned(&w, &lp, &set, &order);
-        PatternConv::new(geo, fkw, None, OptLevel::Full, TuningConfig::tuned_default())
+        PatternConv::new(
+            geo,
+            fkw,
+            None,
+            OptLevel::Full,
+            TuningConfig::tuned_default(),
+        )
     }
 
     #[test]
@@ -90,9 +98,7 @@ mod tests {
             assert!((0.0..=1.0).contains(&f), "fraction {f}");
         }
         // Eliminating loads lowers the load-bound share.
-        assert!(
-            load_bound_fraction(&e, OptLevel::Full) < load_bound_fraction(&e, OptLevel::NoOpt)
-        );
+        assert!(load_bound_fraction(&e, OptLevel::Full) < load_bound_fraction(&e, OptLevel::NoOpt));
     }
 
     #[test]

@@ -30,7 +30,11 @@ pub struct NaiveConv {
 impl NaiveConv {
     /// Creates the executor.
     pub fn new(geo: Conv2dGeometry, weights: Tensor, bias: Option<Vec<f32>>) -> Self {
-        assert_eq!(weights.shape4(), geo.weight_shape(), "weight shape mismatch");
+        assert_eq!(
+            weights.shape4(),
+            geo.weight_shape(),
+            "weight shape mismatch"
+        );
         NaiveConv { geo, weights, bias }
     }
 }
@@ -59,7 +63,11 @@ pub struct Im2colConv {
 impl Im2colConv {
     /// Creates the executor.
     pub fn new(geo: Conv2dGeometry, weights: Tensor, bias: Option<Vec<f32>>) -> Self {
-        assert_eq!(weights.shape4(), geo.weight_shape(), "weight shape mismatch");
+        assert_eq!(
+            weights.shape4(),
+            geo.weight_shape(),
+            "weight shape mismatch"
+        );
         Im2colConv { geo, weights, bias }
     }
 }
@@ -88,7 +96,11 @@ pub struct WinogradConv {
 impl WinogradConv {
     /// Creates the executor.
     pub fn new(geo: Conv2dGeometry, weights: Tensor, bias: Option<Vec<f32>>) -> Self {
-        assert_eq!(weights.shape4(), geo.weight_shape(), "weight shape mismatch");
+        assert_eq!(
+            weights.shape4(),
+            geo.weight_shape(),
+            "weight shape mismatch"
+        );
         WinogradConv { geo, weights, bias }
     }
 
@@ -127,7 +139,11 @@ pub struct TiledConv {
 impl TiledConv {
     /// Creates the executor.
     pub fn new(geo: Conv2dGeometry, weights: Tensor, bias: Option<Vec<f32>>) -> Self {
-        assert_eq!(weights.shape4(), geo.weight_shape(), "weight shape mismatch");
+        assert_eq!(
+            weights.shape4(),
+            geo.weight_shape(),
+            "weight shape mismatch"
+        );
         TiledConv { geo, weights, bias }
     }
 }
@@ -234,10 +250,17 @@ mod tests {
     fn build(geo: Conv2dGeometry, seed: u64) -> (Tensor, Vec<f32>) {
         let mut rng = Rng::seed_from(seed);
         let w = Tensor::randn(
-            &[geo.out_channels, geo.in_channels, geo.kernel_h, geo.kernel_w],
+            &[
+                geo.out_channels,
+                geo.in_channels,
+                geo.kernel_h,
+                geo.kernel_w,
+            ],
             &mut rng,
         );
-        let b: Vec<f32> = (0..geo.out_channels).map(|_| rng.uniform(-0.5, 0.5)).collect();
+        let b: Vec<f32> = (0..geo.out_channels)
+            .map(|_| rng.uniform(-0.5, 0.5))
+            .collect();
         (w, b)
     }
 

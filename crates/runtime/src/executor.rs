@@ -32,6 +32,9 @@ pub struct Measurement {
 }
 
 /// Times `exec` over `reps` runs after one warm-up run.
+///
+/// `dense_gflops` accounts for the whole batch: a batch-N input performs
+/// N times the per-image dense FLOPs of the layer geometry.
 pub fn measure(exec: &dyn ConvExecutor, input: &Tensor, reps: usize) -> Measurement {
     assert!(reps > 0, "need at least one repetition");
     let _warmup = exec.run(input);
@@ -40,7 +43,8 @@ pub fn measure(exec: &dyn ConvExecutor, input: &Tensor, reps: usize) -> Measurem
         std::hint::black_box(exec.run(input));
     }
     let seconds = start.elapsed().as_secs_f64() / reps as f64;
-    let flops = exec.geometry().flops() as f64;
+    let batch = input.shape4().n.max(1);
+    let flops = exec.geometry().flops() as f64 * batch as f64;
     Measurement {
         seconds,
         dense_gflops: flops / seconds / 1e9,
@@ -97,5 +101,24 @@ mod tests {
         let m = measure(&exec, &input, 3);
         assert!(m.seconds > 0.0);
         assert!(m.dense_gflops > 0.0);
+    }
+
+    #[test]
+    fn measure_scales_flops_with_batch_size() {
+        // A sleep-free no-op executor: batch-4 must report 4x the work of
+        // batch-1 per unit time, so with (near-)identical timing the
+        // GFLOPS figure scales with the batch.
+        let geo = Conv2dGeometry::new(2, 2, 3, 3, 8, 8, 1, 1);
+        let exec = Copycat { geo };
+        let one = Tensor::zeros(&[1, 2, 8, 8]);
+        let four = Tensor::zeros(&[4, 2, 8, 8]);
+        let m1 = measure(&exec, &one, 2);
+        let m4 = measure(&exec, &four, 2);
+        let work1 = m1.dense_gflops * m1.seconds;
+        let work4 = m4.dense_gflops * m4.seconds;
+        assert!(
+            (work4 / work1 - 4.0).abs() < 1e-9,
+            "batch-4 work {work4} should be 4x batch-1 work {work1}"
+        );
     }
 }

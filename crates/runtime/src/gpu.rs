@@ -119,8 +119,7 @@ pub fn simulate_pattern_conv(model: &GpuModel, exec: &PatternConv, input: &Tenso
     // share below.
     let loads = register_loads(geo, fkw, unroll_w, unroll_oc, lre);
     let total_kernels = fkw.stored_kernels().max(1) as f64;
-    let loads_per_kernel =
-        (loads.input_loads + loads.weight_loads) as f64 / total_kernels;
+    let loads_per_kernel = (loads.input_loads + loads.weight_loads) as f64 / total_kernels;
 
     let np = fkw.patterns.len();
     let mut block_cycles: Vec<f64> = Vec::with_capacity(fkw.out_c);
@@ -140,7 +139,8 @@ pub fn simulate_pattern_conv(model: &GpuModel, exec: &PatternConv, input: &Tenso
             runs += usize::from(len > 0);
         }
         let entries = fkw.entries_per_kernel as f64;
-        let compute = kernels as f64 * entries * out_hw / (model.macs_per_cycle * model.warp_size as f64);
+        let compute =
+            kernels as f64 * entries * out_hw / (model.macs_per_cycle * model.warp_size as f64);
         let branches = match level {
             // Dispatch per kernel per warp of pixels.
             OptLevel::NoOpt => kernels as f64 * warps * model.branch_penalty,
@@ -169,8 +169,7 @@ pub fn simulate_dense_conv(
     output: Tensor,
 ) -> GpuSimResult {
     let out_hw = (geo.out_h * geo.out_w) as f64;
-    let macs_per_filter =
-        geo.in_channels as f64 * (geo.kernel_h * geo.kernel_w) as f64 * out_hw;
+    let macs_per_filter = geo.in_channels as f64 * (geo.kernel_h * geo.kernel_w) as f64 * out_hw;
     let effective = if winograd && geo.kernel_h == 3 && geo.stride == 1 {
         macs_per_filter / 2.25
     } else {
@@ -224,10 +223,7 @@ mod tests {
             cycles.push(r.cycles);
         }
         for pair in cycles.windows(2) {
-            assert!(
-                pair[1] <= pair[0],
-                "levels must not slow down: {cycles:?}"
-            );
+            assert!(pair[1] <= pair[0], "levels must not slow down: {cycles:?}");
         }
         assert!(
             cycles[3] < cycles[0] * 0.7,

@@ -86,18 +86,26 @@ impl ParallelPattern {
     pub fn run_timed(&self, input: &Tensor) -> (Tensor, ThreadTimes) {
         let g = *self.inner.geometry();
         let s = input.shape4();
-        assert_eq!(s.n, 1, "parallel runner takes batch-1 inputs");
+        assert_eq!(s.n, 1, "run_timed takes batch-1 inputs");
         assert_eq!(s.c, g.in_channels, "input channel mismatch");
         let out_hw = g.out_h * g.out_w;
         let mut out = Tensor::zeros(&[1, g.out_channels, g.out_h, g.out_w]);
-        let input_item = input.data();
+        let (planes, times) = self.compute_planes(input.data());
+        for (f, plane) in planes {
+            out.data_mut()[f * out_hw..(f + 1) * out_hw].copy_from_slice(&plane);
+        }
+        (out, times)
+    }
 
+    /// Computes all output planes of one batch item across the thread
+    /// pool, returning `(original filter, plane)` pairs and thread times.
+    fn compute_planes(&self, input_item: &[f32]) -> (Vec<(usize, Vec<f32>)>, ThreadTimes) {
         let mut per_thread: Vec<(f64, Vec<(usize, Vec<f32>)>)> = Vec::with_capacity(self.threads);
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(self.threads);
             for rows in &self.assignments {
                 let inner = &self.inner;
-                handles.push(scope.spawn(move |_| {
+                handles.push(scope.spawn(move || {
                     let start = Instant::now();
                     let planes: Vec<(usize, Vec<f32>)> = rows
                         .iter()
@@ -109,17 +117,15 @@ impl ParallelPattern {
             for h in handles {
                 per_thread.push(h.join().expect("worker thread panicked"));
             }
-        })
-        .expect("thread scope failed");
+        });
 
         let mut times = ThreadTimes::default();
+        let mut all_planes = Vec::with_capacity(self.inner.fkw().out_c);
         for (secs, planes) in per_thread {
             times.seconds.push(secs);
-            for (f, plane) in planes {
-                out.data_mut()[f * out_hw..(f + 1) * out_hw].copy_from_slice(&plane);
-            }
+            all_planes.extend(planes);
         }
-        (out, times)
+        (all_planes, times)
     }
 }
 
@@ -133,7 +139,21 @@ impl ConvExecutor for ParallelPattern {
     }
 
     fn run(&self, input: &Tensor) -> Tensor {
-        self.run_timed(input).0
+        let g = *self.inner.geometry();
+        let s = input.shape4();
+        assert_eq!(s.c, g.in_channels, "input channel mismatch");
+        let in_img = g.in_channels * g.in_h * g.in_w;
+        let out_hw = g.out_h * g.out_w;
+        let out_img = g.out_channels * out_hw;
+        let mut out = Tensor::zeros(&[s.n, g.out_channels, g.out_h, g.out_w]);
+        for n in 0..s.n {
+            let (planes, _) = self.compute_planes(&input.data()[n * in_img..(n + 1) * in_img]);
+            let item = &mut out.data_mut()[n * out_img..(n + 1) * out_img];
+            for (f, plane) in planes {
+                item[f * out_hw..(f + 1) * out_hw].copy_from_slice(&plane);
+            }
+        }
+        out
     }
 }
 
@@ -177,7 +197,10 @@ impl<E: ConvExecutor + Sync> ParallelDense<E> {
             parts.push((start, factory(sub_geo, start..end)));
             start = end;
         }
-        let name = format!("parallel-{}", parts.first().map_or("dense", |(_, e)| e.name()));
+        let name = format!(
+            "parallel-{}",
+            parts.first().map_or("dense", |(_, e)| e.name())
+        );
         ParallelDense { parts, geo, name }
     }
 }
@@ -197,16 +220,15 @@ impl<E: ConvExecutor + Sync> ConvExecutor for ParallelDense<E> {
         let out_hw = g.out_h * g.out_w;
         let mut out = Tensor::zeros(&[1, g.out_channels, g.out_h, g.out_w]);
         let mut results: Vec<(usize, Tensor)> = Vec::with_capacity(self.parts.len());
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(self.parts.len());
             for (offset, exec) in &self.parts {
-                handles.push(scope.spawn(move |_| (*offset, exec.run(input))));
+                handles.push(scope.spawn(move || (*offset, exec.run(input))));
             }
             for h in handles {
                 results.push(h.join().expect("worker thread panicked"));
             }
-        })
-        .expect("thread scope failed");
+        });
         for (offset, part) in results {
             let len = part.len();
             out.data_mut()[offset * out_hw..offset * out_hw + len].copy_from_slice(part.data());
@@ -237,7 +259,13 @@ mod tests {
         let fkw = FkwLayer::from_pruned(&w, &lp, &set, &order);
         (
             w.clone(),
-            PatternConv::new(geo, fkw, None, OptLevel::Full, TuningConfig::tuned_default()),
+            PatternConv::new(
+                geo,
+                fkw,
+                None,
+                OptLevel::Full,
+                TuningConfig::tuned_default(),
+            ),
             geo,
         )
     }
@@ -270,17 +298,30 @@ mod tests {
         let bref = &bias;
         let par = ParallelDense::new(geo, 3, |sub_geo, range| {
             let fsize = 4 * 9;
-            let wslice =
-                wref.data()[range.start * fsize..range.end * fsize].to_vec();
-            let sub_w = Tensor::from_vec(
-                &[sub_geo.out_channels, 4, 3, 3],
-                wslice,
-            )
-            .expect("subslice");
+            let wslice = wref.data()[range.start * fsize..range.end * fsize].to_vec();
+            let sub_w =
+                Tensor::from_vec(&[sub_geo.out_channels, 4, 3, 3], wslice).expect("subslice");
             TiledConv::new(sub_geo, sub_w, Some(bref[range].to_vec()))
         });
         let got = par.run(&input);
         assert!(expect.approx_eq(&got, 1e-5));
+    }
+
+    #[test]
+    fn parallel_pattern_handles_batched_inputs() {
+        let (_, exec, _) = pattern_exec(7);
+        let mut rng = Rng::seed_from(8);
+        let a = Tensor::randn(&[1, 8, 12, 12], &mut rng);
+        let b = Tensor::randn(&[1, 8, 12, 12], &mut rng);
+        let mut both = Tensor::zeros(&[2, 8, 12, 12]);
+        both.data_mut()[..a.len()].copy_from_slice(a.data());
+        both.data_mut()[a.len()..].copy_from_slice(b.data());
+        let par = ParallelPattern::new(exec, 3, Schedule::Balanced);
+        let out = par.run(&both);
+        let oa = par.run(&a);
+        let ob = par.run(&b);
+        assert_eq!(&out.data()[..oa.len()], oa.data());
+        assert_eq!(&out.data()[oa.len()..], ob.data());
     }
 
     #[test]

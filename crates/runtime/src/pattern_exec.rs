@@ -63,7 +63,9 @@ struct DecodedPattern {
 
 impl DecodedPattern {
     fn new(p: &Pattern) -> Self {
-        DecodedPattern { taps: p.positions() }
+        DecodedPattern {
+            taps: p.positions(),
+        }
     }
 }
 
@@ -155,14 +157,24 @@ impl PatternConv {
     /// Accumulates one kernel with the LRE interior fast path: 4-wide
     /// output unrolling keeps each loaded input element in a register for
     /// all unrolled outputs that need it.
-    fn kernel_plane_lre(&self, taps: &[(usize, usize)], w: &[f32], in_plane: &[f32], out_plane: &mut [f32]) {
+    fn kernel_plane_lre(
+        &self,
+        taps: &[(usize, usize)],
+        w: &[f32],
+        in_plane: &[f32],
+        out_plane: &mut [f32],
+    ) {
         let g = &self.geo;
         debug_assert_eq!(g.stride, 1, "LRE fast path requires stride 1");
         for oh in 0..g.out_h {
             let orow = oh * g.out_w;
             let fast_h = oh + g.kernel_h <= g.in_h + g.pad && oh >= g.pad;
             let mut ow = 0;
-            while ow + 4 <= g.out_w && fast_h && ow >= g.pad && ow + 3 + g.kernel_w <= g.in_w + g.pad {
+            while ow + 4 <= g.out_w
+                && fast_h
+                && ow >= g.pad
+                && ow + 3 + g.kernel_w <= g.in_w + g.pad
+            {
                 let mut acc = [0.0f32; 4];
                 for (e, &(kh, kw)) in taps.iter().enumerate() {
                     let ih = oh + kh - g.pad;
@@ -228,7 +240,8 @@ impl PatternConv {
         let in_hw = g.in_h * g.in_w;
         let out_hw = g.out_h * g.out_w;
         let np = self.fkw.patterns.len();
-        let lre_ok = g.stride == 1 && self.level != OptLevel::NoOpt && self.level != OptLevel::Reorder;
+        let lre_ok =
+            g.stride == 1 && self.level != OptLevel::NoOpt && self.level != OptLevel::Reorder;
 
         // Bias initialization.
         for oc in 0..g.out_channels {
@@ -298,8 +311,7 @@ impl PatternConv {
                             let out_plane = &mut output[f * out_hw..(f + 1) * out_hw];
                             for k in self.fkw.pattern_run(row, p) {
                                 let ic = self.fkw.index[k] as usize;
-                                let w =
-                                    &self.fkw.weights[k * self.entries..(k + 1) * self.entries];
+                                let w = &self.fkw.weights[k * self.entries..(k + 1) * self.entries];
                                 let in_plane = &input[ic * in_hw..(ic + 1) * in_hw];
                                 if lre_ok {
                                     self.kernel_plane_lre(taps, w, in_plane, out_plane);
@@ -311,6 +323,34 @@ impl PatternConv {
                     }
                 }
             }
+        }
+    }
+}
+
+impl PatternConv {
+    /// Runs the layer into a caller-provided output tensor, reusing its
+    /// allocation across calls (the serving engine's buffer-reuse path).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out` does not have the batch-matched output shape.
+    pub fn run_into(&self, input: &Tensor, out: &mut Tensor) {
+        let g = &self.geo;
+        let s = input.shape4();
+        assert_eq!(s.c, g.in_channels, "input channel mismatch");
+        assert_eq!(
+            out.shape(),
+            &[s.n, g.out_channels, g.out_h, g.out_w],
+            "output buffer shape mismatch"
+        );
+        let in_img = g.in_channels * g.in_h * g.in_w;
+        let out_img = g.out_channels * g.out_h * g.out_w;
+        for n in 0..s.n {
+            let (ind, outd) = (
+                &input.data()[n * in_img..(n + 1) * in_img],
+                &mut out.data_mut()[n * out_img..(n + 1) * out_img],
+            );
+            self.run_batch_item(ind, outd);
         }
     }
 }
@@ -332,18 +372,8 @@ impl ConvExecutor for PatternConv {
     fn run(&self, input: &Tensor) -> Tensor {
         let g = &self.geo;
         let s = input.shape4();
-        assert_eq!(s.c, g.in_channels, "input channel mismatch");
-        let batch = s.n;
-        let mut out = Tensor::zeros(&[batch, g.out_channels, g.out_h, g.out_w]);
-        let in_img = g.in_channels * g.in_h * g.in_w;
-        let out_img = g.out_channels * g.out_h * g.out_w;
-        for n in 0..batch {
-            let (ind, outd) = (
-                &input.data()[n * in_img..(n + 1) * in_img],
-                &mut out.data_mut()[n * out_img..(n + 1) * out_img],
-            );
-            self.run_batch_item(ind, outd);
-        }
+        let mut out = Tensor::zeros(&[s.n, g.out_channels, g.out_h, g.out_w]);
+        self.run_into(input, &mut out);
         out
     }
 }
@@ -370,12 +400,7 @@ mod tests {
     use patdnn_core::project::prune_layer;
     use patdnn_tensor::rng::Rng;
 
-    fn pruned_fkw(
-        oc: usize,
-        ic: usize,
-        alpha: usize,
-        seed: u64,
-    ) -> (Tensor, FkwLayer) {
+    fn pruned_fkw(oc: usize, ic: usize, alpha: usize, seed: u64) -> (Tensor, FkwLayer) {
         let mut rng = Rng::seed_from(seed);
         let mut w = Tensor::randn(&[oc, ic, 3, 3], &mut rng);
         let set = PatternSet::standard(8);
@@ -434,7 +459,13 @@ mod tests {
     fn batched_input_matches_itemwise_runs() {
         let geo = Conv2dGeometry::new(4, 4, 3, 3, 8, 8, 1, 1);
         let (_, fkw) = pruned_fkw(4, 4, 10, 9);
-        let exec = PatternConv::new(geo, fkw, None, OptLevel::Full, TuningConfig::tuned_default());
+        let exec = PatternConv::new(
+            geo,
+            fkw,
+            None,
+            OptLevel::Full,
+            TuningConfig::tuned_default(),
+        );
         let mut rng = Rng::seed_from(10);
         let a = Tensor::randn(&[1, 4, 8, 8], &mut rng);
         let b = Tensor::randn(&[1, 4, 8, 8], &mut rng);
@@ -463,7 +494,12 @@ mod tests {
             .collect();
         assert_eq!(
             names,
-            vec!["pattern-noopt", "pattern-reorder", "pattern-lre", "pattern-full"]
+            vec![
+                "pattern-noopt",
+                "pattern-reorder",
+                "pattern-lre",
+                "pattern-full"
+            ]
         );
     }
 }

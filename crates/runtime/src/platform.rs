@@ -117,9 +117,6 @@ mod tests {
     #[test]
     fn all_platforms_enumerated() {
         let names: Vec<String> = Platform::all().into_iter().map(|p| p.name).collect();
-        assert_eq!(
-            names,
-            vec!["Snapdragon 855", "Snapdragon 845", "Kirin 980"]
-        );
+        assert_eq!(names, vec!["Snapdragon 855", "Snapdragon 845", "Kirin 980"]);
     }
 }

@@ -1,0 +1,800 @@
+//! The versioned model artifact format.
+//!
+//! A [`ModelArtifact`] is the on-disk form of a compiled pruned network:
+//! per-layer FKW compressed weights plus layer geometry, enough to
+//! rebuild an [`crate::engine::Engine`] without retraining, re-pruning,
+//! or re-running filter-kernel reorder. The codec is a hand-rolled
+//! little-endian byte format (the container builds offline, so no
+//! serialization framework is used):
+//!
+//! ```text
+//! "PATDNN" magic | u16 version | model name | input [c, h, w]
+//! u32 layer count | tagged layer records (see LayerPlan)
+//! ```
+//!
+//! Weights are stored as raw `f32` bit patterns, so a save → load round
+//! trip is bitwise lossless.
+
+use std::fmt;
+use std::path::Path;
+
+use patdnn_compiler::fkw::FkwLayer;
+use patdnn_core::pattern::Pattern;
+use patdnn_tensor::Tensor;
+
+/// File magic.
+pub const MAGIC: &[u8; 6] = b"PATDNN";
+/// Current format version.
+pub const VERSION: u16 = 1;
+
+/// Errors produced while decoding an artifact.
+#[derive(Debug)]
+pub enum ArtifactError {
+    /// The buffer does not start with the `PATDNN` magic.
+    BadMagic,
+    /// The format version is newer than this build understands.
+    UnsupportedVersion(u16),
+    /// The buffer ended before the structure was complete.
+    Truncated,
+    /// A structural invariant failed while decoding.
+    Malformed(String),
+    /// Filesystem error during save/load.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for ArtifactError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArtifactError::BadMagic => write!(f, "not a PatDNN artifact (bad magic)"),
+            ArtifactError::UnsupportedVersion(v) => {
+                write!(f, "unsupported artifact version {v} (max {VERSION})")
+            }
+            ArtifactError::Truncated => write!(f, "artifact truncated"),
+            ArtifactError::Malformed(msg) => write!(f, "malformed artifact: {msg}"),
+            ArtifactError::Io(e) => write!(f, "artifact i/o: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ArtifactError {}
+
+impl From<std::io::Error> for ArtifactError {
+    fn from(e: std::io::Error) -> Self {
+        ArtifactError::Io(e)
+    }
+}
+
+/// One compiled layer of the executable plan.
+///
+/// Convolution records carry only weight-side geometry (stride/pad plus
+/// whatever the weight arrays imply); spatial input sizes are derived at
+/// engine-build time from the artifact's input shape, so one artifact
+/// serves any compatible spatial resolution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LayerPlan {
+    /// Pattern-pruned convolution in FKW storage.
+    PatternConv {
+        /// Layer name.
+        name: String,
+        /// Stride.
+        stride: usize,
+        /// Padding.
+        pad: usize,
+        /// FKW compressed weights.
+        fkw: FkwLayer,
+        /// Per-filter bias, if any.
+        bias: Option<Vec<f32>>,
+        /// Whether a ReLU was fused into this convolution.
+        relu: bool,
+    },
+    /// Dense (unpruned or unpatternable) convolution.
+    DenseConv {
+        /// Layer name.
+        name: String,
+        /// Stride.
+        stride: usize,
+        /// Padding.
+        pad: usize,
+        /// OIHW weights.
+        weights: Tensor,
+        /// Per-filter bias, if any.
+        bias: Option<Vec<f32>>,
+        /// Whether a ReLU was fused into this convolution.
+        relu: bool,
+    },
+    /// Max pooling.
+    MaxPool {
+        /// Window size.
+        kernel: usize,
+        /// Stride.
+        stride: usize,
+        /// Padding.
+        pad: usize,
+    },
+    /// Global average pooling to `[batch, c, 1, 1]`.
+    GlobalAvgPool,
+    /// Flatten to `[batch, features]`.
+    Flatten,
+    /// Standalone ReLU (post-FC; post-conv ReLUs are fused).
+    Relu,
+    /// Fully-connected layer.
+    Fc {
+        /// Layer name.
+        name: String,
+        /// Weights, shape `[out_f, in_f]`.
+        weights: Tensor,
+        /// Per-output bias.
+        bias: Vec<f32>,
+    },
+}
+
+impl LayerPlan {
+    /// Short kind label for diagnostics.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            LayerPlan::PatternConv { .. } => "pattern-conv",
+            LayerPlan::DenseConv { .. } => "dense-conv",
+            LayerPlan::MaxPool { .. } => "maxpool",
+            LayerPlan::GlobalAvgPool => "gap",
+            LayerPlan::Flatten => "flatten",
+            LayerPlan::Relu => "relu",
+            LayerPlan::Fc { .. } => "fc",
+        }
+    }
+}
+
+/// A compiled model: input geometry plus the executable layer plan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelArtifact {
+    /// Model name (registry key by convention).
+    pub name: String,
+    /// Per-item input shape `[c, h, w]`.
+    pub input: [usize; 3],
+    /// The layer plan in execution order.
+    pub layers: Vec<LayerPlan>,
+}
+
+impl ModelArtifact {
+    /// Total bytes of weight payload (FKW weights + dense weights + FC
+    /// weights), for size reporting.
+    pub fn weight_bytes(&self) -> usize {
+        self.layers
+            .iter()
+            .map(|l| match l {
+                LayerPlan::PatternConv { fkw, .. } => fkw.total_bytes(),
+                LayerPlan::DenseConv { weights, .. } => weights.len() * 4,
+                LayerPlan::Fc { weights, .. } => weights.len() * 4,
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// Encodes the artifact to its binary form.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        w.bytes(MAGIC);
+        w.u16(VERSION);
+        w.str(&self.name);
+        for d in self.input {
+            w.u32(d as u32);
+        }
+        w.u32(self.layers.len() as u32);
+        for layer in &self.layers {
+            encode_layer(&mut w, layer);
+        }
+        w.finish()
+    }
+
+    /// Decodes an artifact from its binary form.
+    pub fn decode(buf: &[u8]) -> Result<Self, ArtifactError> {
+        let mut r = ByteReader::new(buf);
+        if r.bytes(MAGIC.len())? != MAGIC {
+            return Err(ArtifactError::BadMagic);
+        }
+        let version = r.u16()?;
+        if version == 0 || version > VERSION {
+            return Err(ArtifactError::UnsupportedVersion(version));
+        }
+        let name = r.str()?;
+        let input = [r.u32()? as usize, r.u32()? as usize, r.u32()? as usize];
+        let count = r.u32()? as usize;
+        let mut layers = Vec::with_capacity(count.min(1024));
+        for _ in 0..count {
+            layers.push(decode_layer(&mut r)?);
+        }
+        if !r.is_empty() {
+            return Err(ArtifactError::Malformed("trailing bytes".into()));
+        }
+        Ok(ModelArtifact {
+            name,
+            input,
+            layers,
+        })
+    }
+
+    /// Writes the encoded artifact to `path`.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), ArtifactError> {
+        std::fs::write(path, self.encode())?;
+        Ok(())
+    }
+
+    /// Reads and decodes an artifact from `path`.
+    pub fn load(path: impl AsRef<Path>) -> Result<Self, ArtifactError> {
+        Self::decode(&std::fs::read(path)?)
+    }
+}
+
+const TAG_PATTERN_CONV: u8 = 0;
+const TAG_DENSE_CONV: u8 = 1;
+const TAG_MAXPOOL: u8 = 2;
+const TAG_GAP: u8 = 3;
+const TAG_FLATTEN: u8 = 4;
+const TAG_RELU: u8 = 5;
+const TAG_FC: u8 = 6;
+
+fn encode_layer(w: &mut ByteWriter, layer: &LayerPlan) {
+    match layer {
+        LayerPlan::PatternConv {
+            name,
+            stride,
+            pad,
+            fkw,
+            bias,
+            relu,
+        } => {
+            w.u8(TAG_PATTERN_CONV);
+            w.str(name);
+            w.u32(*stride as u32);
+            w.u32(*pad as u32);
+            w.u8(u8::from(*relu));
+            encode_opt_f32s(w, bias.as_deref());
+            encode_fkw(w, fkw);
+        }
+        LayerPlan::DenseConv {
+            name,
+            stride,
+            pad,
+            weights,
+            bias,
+            relu,
+        } => {
+            w.u8(TAG_DENSE_CONV);
+            w.str(name);
+            w.u32(*stride as u32);
+            w.u32(*pad as u32);
+            w.u8(u8::from(*relu));
+            encode_opt_f32s(w, bias.as_deref());
+            encode_tensor(w, weights);
+        }
+        LayerPlan::MaxPool {
+            kernel,
+            stride,
+            pad,
+        } => {
+            w.u8(TAG_MAXPOOL);
+            w.u32(*kernel as u32);
+            w.u32(*stride as u32);
+            w.u32(*pad as u32);
+        }
+        LayerPlan::GlobalAvgPool => w.u8(TAG_GAP),
+        LayerPlan::Flatten => w.u8(TAG_FLATTEN),
+        LayerPlan::Relu => w.u8(TAG_RELU),
+        LayerPlan::Fc {
+            name,
+            weights,
+            bias,
+        } => {
+            w.u8(TAG_FC);
+            w.str(name);
+            encode_tensor(w, weights);
+            encode_f32s(w, bias);
+        }
+    }
+}
+
+fn decode_layer(r: &mut ByteReader) -> Result<LayerPlan, ArtifactError> {
+    let malformed = |msg: String| ArtifactError::Malformed(msg);
+    let tag = r.u8()?;
+    Ok(match tag {
+        TAG_PATTERN_CONV => {
+            let name = r.str()?;
+            let stride = r.u32()? as usize;
+            let pad = r.u32()? as usize;
+            let relu = r.u8()? != 0;
+            let bias = decode_opt_f32s(r)?;
+            let fkw = decode_fkw(r)?;
+            if stride == 0 {
+                return Err(malformed(format!("{name}: zero conv stride")));
+            }
+            if let Some(b) = &bias {
+                if b.len() != fkw.out_c {
+                    return Err(malformed(format!("{name}: bias arity")));
+                }
+            }
+            LayerPlan::PatternConv {
+                name,
+                stride,
+                pad,
+                fkw,
+                bias,
+                relu,
+            }
+        }
+        TAG_DENSE_CONV => {
+            let name = r.str()?;
+            let stride = r.u32()? as usize;
+            let pad = r.u32()? as usize;
+            let relu = r.u8()? != 0;
+            let bias = decode_opt_f32s(r)?;
+            let weights = decode_tensor(r)?;
+            if stride == 0 {
+                return Err(malformed(format!("{name}: zero conv stride")));
+            }
+            let [oc, _, kh, kw] = weights.shape() else {
+                return Err(malformed(format!("{name}: conv weights must be OIHW")));
+            };
+            if *kh == 0 || *kw == 0 || *oc == 0 {
+                return Err(malformed(format!("{name}: degenerate conv weights")));
+            }
+            if let Some(b) = &bias {
+                if b.len() != *oc {
+                    return Err(malformed(format!("{name}: bias arity")));
+                }
+            }
+            LayerPlan::DenseConv {
+                name,
+                stride,
+                pad,
+                weights,
+                bias,
+                relu,
+            }
+        }
+        TAG_MAXPOOL => {
+            let kernel = r.u32()? as usize;
+            let stride = r.u32()? as usize;
+            let pad = r.u32()? as usize;
+            if kernel == 0 || stride == 0 {
+                return Err(malformed("degenerate maxpool window".into()));
+            }
+            LayerPlan::MaxPool {
+                kernel,
+                stride,
+                pad,
+            }
+        }
+        TAG_GAP => LayerPlan::GlobalAvgPool,
+        TAG_FLATTEN => LayerPlan::Flatten,
+        TAG_RELU => LayerPlan::Relu,
+        TAG_FC => {
+            let name = r.str()?;
+            let weights = decode_tensor(r)?;
+            let bias = decode_f32s(r)?;
+            let [out_f, _] = weights.shape() else {
+                return Err(malformed(format!("{name}: fc weights must be 2-d")));
+            };
+            if bias.len() != *out_f {
+                return Err(malformed(format!("{name}: fc bias arity")));
+            }
+            LayerPlan::Fc {
+                name,
+                weights,
+                bias,
+            }
+        }
+        other => {
+            return Err(ArtifactError::Malformed(format!(
+                "unknown layer tag {other}"
+            )))
+        }
+    })
+}
+
+fn encode_fkw(w: &mut ByteWriter, fkw: &FkwLayer) {
+    w.u32(fkw.out_c as u32);
+    w.u32(fkw.in_c as u32);
+    w.u32(fkw.kernel as u32);
+    w.u32(fkw.entries_per_kernel as u32);
+    w.u32(fkw.patterns.len() as u32);
+    for p in &fkw.patterns {
+        w.u8(p.kernel() as u8);
+        w.u64(p.mask());
+    }
+    w.u32(fkw.offsets.len() as u32);
+    for &o in &fkw.offsets {
+        w.u32(o);
+    }
+    w.u32(fkw.reorder.len() as u32);
+    for &x in &fkw.reorder {
+        w.u16(x);
+    }
+    w.u32(fkw.index.len() as u32);
+    for &x in &fkw.index {
+        w.u16(x);
+    }
+    w.u32(fkw.stride.len() as u32);
+    for &x in &fkw.stride {
+        w.u16(x);
+    }
+    encode_f32s(w, &fkw.weights);
+}
+
+fn decode_fkw(r: &mut ByteReader) -> Result<FkwLayer, ArtifactError> {
+    let out_c = r.u32()? as usize;
+    let in_c = r.u32()? as usize;
+    let kernel = r.u32()? as usize;
+    let entries_per_kernel = r.u32()? as usize;
+    let np = r.u32()? as usize;
+    let mut patterns = Vec::with_capacity(np.min(256));
+    for _ in 0..np {
+        let k = r.u8()? as usize;
+        let mask = r.u64()?;
+        if !(1..=7).contains(&k) {
+            return Err(ArtifactError::Malformed(format!("pattern kernel {k}")));
+        }
+        let valid = (1u64 << (k * k)) - 1;
+        if mask & !valid != 0 {
+            return Err(ArtifactError::Malformed(
+                "pattern mask outside kernel".into(),
+            ));
+        }
+        patterns.push(Pattern::from_mask(k, mask));
+    }
+    let offsets = r.u32s()?;
+    let reorder = r.u16s()?;
+    let index = r.u16s()?;
+    let stride = r.u16s()?;
+    let weights = decode_f32s(r)?;
+    let malformed = |msg: &str| ArtifactError::Malformed(format!("FKW {msg}"));
+    // Structural validation: everything the executors index with has to
+    // be in range here, so a corrupted artifact fails at load instead of
+    // panicking inside a worker at request time.
+    if out_c == 0 || in_c == 0 || !(1..=7).contains(&kernel) {
+        return Err(malformed("degenerate layer dimensions"));
+    }
+    if patterns
+        .iter()
+        .any(|p| p.kernel() != kernel || p.entries() != entries_per_kernel)
+    {
+        return Err(malformed("pattern table disagrees with layer kernel"));
+    }
+    if offsets.len() != out_c + 1 || reorder.len() != out_c {
+        return Err(malformed("filter-level arity"));
+    }
+    if offsets[0] != 0
+        || offsets.windows(2).any(|w| w[0] > w[1])
+        || *offsets.last().expect("out_c+1 entries") as usize != index.len()
+    {
+        return Err(malformed("offsets are not a cumulative kernel count"));
+    }
+    if reorder.iter().any(|&f| f as usize >= out_c) {
+        return Err(malformed("reorder entry out of filter range"));
+    }
+    if index.iter().any(|&ic| ic as usize >= in_c) {
+        return Err(malformed("kernel index out of channel range"));
+    }
+    if stride.len() != out_c * (np + 1) {
+        return Err(malformed("stride arity"));
+    }
+    for row in 0..out_c {
+        let runs = &stride[row * (np + 1)..(row + 1) * (np + 1)];
+        let row_kernels = (offsets[row + 1] - offsets[row]) as usize;
+        if runs[0] != 0 || runs.windows(2).any(|w| w[0] > w[1]) || runs[np] as usize != row_kernels
+        {
+            return Err(malformed("stride runs do not tile the filter"));
+        }
+    }
+    if weights.len() != index.len() * entries_per_kernel {
+        return Err(malformed("weight arity"));
+    }
+    Ok(FkwLayer {
+        out_c,
+        in_c,
+        kernel,
+        entries_per_kernel,
+        patterns,
+        offsets,
+        reorder,
+        index,
+        stride,
+        weights,
+    })
+}
+
+fn encode_tensor(w: &mut ByteWriter, t: &Tensor) {
+    w.u32(t.shape().len() as u32);
+    for &d in t.shape() {
+        w.u32(d as u32);
+    }
+    encode_f32s(w, t.data());
+}
+
+fn decode_tensor(r: &mut ByteReader) -> Result<Tensor, ArtifactError> {
+    let rank = r.u32()? as usize;
+    if rank > 8 {
+        return Err(ArtifactError::Malformed(format!("tensor rank {rank}")));
+    }
+    let mut shape = Vec::with_capacity(rank);
+    for _ in 0..rank {
+        shape.push(r.u32()? as usize);
+    }
+    let data = decode_f32s(r)?;
+    Tensor::from_vec(&shape, data)
+        .map_err(|e| ArtifactError::Malformed(format!("tensor payload: {e:?}")))
+}
+
+fn encode_f32s(w: &mut ByteWriter, xs: &[f32]) {
+    w.u32(xs.len() as u32);
+    for &x in xs {
+        w.u32(x.to_bits());
+    }
+}
+
+fn decode_f32s(r: &mut ByteReader) -> Result<Vec<f32>, ArtifactError> {
+    let n = r.u32()? as usize;
+    r.check_remaining(n * 4)?;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push(f32::from_bits(r.u32()?));
+    }
+    Ok(out)
+}
+
+fn encode_opt_f32s(w: &mut ByteWriter, xs: Option<&[f32]>) {
+    match xs {
+        Some(xs) => {
+            w.u8(1);
+            encode_f32s(w, xs);
+        }
+        None => w.u8(0),
+    }
+}
+
+fn decode_opt_f32s(r: &mut ByteReader) -> Result<Option<Vec<f32>>, ArtifactError> {
+    Ok(if r.u8()? != 0 {
+        Some(decode_f32s(r)?)
+    } else {
+        None
+    })
+}
+
+/// Little-endian byte sink.
+struct ByteWriter {
+    buf: Vec<u8>,
+}
+
+impl ByteWriter {
+    fn new() -> Self {
+        ByteWriter { buf: Vec::new() }
+    }
+
+    fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+
+    fn u8(&mut self, x: u8) {
+        self.buf.push(x);
+    }
+
+    fn u16(&mut self, x: u16) {
+        self.buf.extend_from_slice(&x.to_le_bytes());
+    }
+
+    fn u32(&mut self, x: u32) {
+        self.buf.extend_from_slice(&x.to_le_bytes());
+    }
+
+    fn u64(&mut self, x: u64) {
+        self.buf.extend_from_slice(&x.to_le_bytes());
+    }
+
+    fn bytes(&mut self, xs: &[u8]) {
+        self.buf.extend_from_slice(xs);
+    }
+
+    fn str(&mut self, s: &str) {
+        let bytes = s.as_bytes();
+        assert!(bytes.len() <= u16::MAX as usize, "name too long");
+        self.u16(bytes.len() as u16);
+        self.bytes(bytes);
+    }
+}
+
+/// Little-endian byte source with bounds checking.
+struct ByteReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        ByteReader { buf, pos: 0 }
+    }
+
+    fn is_empty(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+
+    fn check_remaining(&self, n: usize) -> Result<(), ArtifactError> {
+        if self.buf.len() - self.pos < n {
+            Err(ArtifactError::Truncated)
+        } else {
+            Ok(())
+        }
+    }
+
+    fn bytes(&mut self, n: usize) -> Result<&'a [u8], ArtifactError> {
+        self.check_remaining(n)?;
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    fn u8(&mut self) -> Result<u8, ArtifactError> {
+        Ok(self.bytes(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, ArtifactError> {
+        Ok(u16::from_le_bytes(
+            self.bytes(2)?.try_into().expect("2 bytes"),
+        ))
+    }
+
+    fn u32(&mut self) -> Result<u32, ArtifactError> {
+        Ok(u32::from_le_bytes(
+            self.bytes(4)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    fn u64(&mut self) -> Result<u64, ArtifactError> {
+        Ok(u64::from_le_bytes(
+            self.bytes(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    fn u16s(&mut self) -> Result<Vec<u16>, ArtifactError> {
+        let n = self.u32()? as usize;
+        self.check_remaining(n * 2)?;
+        (0..n).map(|_| self.u16()).collect()
+    }
+
+    fn u32s(&mut self) -> Result<Vec<u32>, ArtifactError> {
+        let n = self.u32()? as usize;
+        self.check_remaining(n * 4)?;
+        (0..n).map(|_| self.u32()).collect()
+    }
+
+    fn str(&mut self) -> Result<String, ArtifactError> {
+        let n = self.u16()? as usize;
+        let bytes = self.bytes(n)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| ArtifactError::Malformed("non-utf8 name".into()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_model_round_trips() {
+        let a = ModelArtifact {
+            name: "empty".into(),
+            input: [3, 8, 8],
+            layers: vec![],
+        };
+        let bytes = a.encode();
+        assert_eq!(&bytes[..6], MAGIC);
+        let b = ModelArtifact::decode(&bytes).expect("decode");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        assert!(matches!(
+            ModelArtifact::decode(b"NOTDNN rest"),
+            Err(ArtifactError::BadMagic)
+        ));
+    }
+
+    #[test]
+    fn future_version_is_rejected() {
+        let mut bytes = ModelArtifact {
+            name: "v".into(),
+            input: [1, 1, 1],
+            layers: vec![],
+        }
+        .encode();
+        bytes[6] = 0xFF;
+        bytes[7] = 0xFF;
+        assert!(matches!(
+            ModelArtifact::decode(&bytes),
+            Err(ArtifactError::UnsupportedVersion(0xFFFF))
+        ));
+    }
+
+    #[test]
+    fn truncation_is_detected_not_panicking() {
+        let bytes = ModelArtifact {
+            name: "t".into(),
+            input: [2, 4, 4],
+            layers: vec![LayerPlan::MaxPool {
+                kernel: 2,
+                stride: 2,
+                pad: 0,
+            }],
+        }
+        .encode();
+        for cut in 0..bytes.len() {
+            let r = ModelArtifact::decode(&bytes[..cut]);
+            assert!(r.is_err(), "cut at {cut} must error");
+        }
+    }
+
+    #[test]
+    fn degenerate_maxpool_window_is_rejected_at_decode() {
+        let bytes = ModelArtifact {
+            name: "z".into(),
+            input: [1, 4, 4],
+            layers: vec![LayerPlan::MaxPool {
+                kernel: 0,
+                stride: 0,
+                pad: 0,
+            }],
+        }
+        .encode();
+        assert!(matches!(
+            ModelArtifact::decode(&bytes),
+            Err(ArtifactError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn out_of_range_fkw_index_is_rejected_at_decode() {
+        use patdnn_compiler::fkr::filter_kernel_reorder;
+        use patdnn_core::pattern_set::PatternSet;
+        use patdnn_core::project::prune_layer;
+        use patdnn_tensor::rng::Rng;
+
+        let mut rng = Rng::seed_from(1);
+        let mut w = Tensor::randn(&[4, 4, 3, 3], &mut rng);
+        let set = PatternSet::standard(8);
+        let lp = prune_layer("t", &mut w, &set, 8);
+        let order = filter_kernel_reorder(&lp);
+        let mut fkw = FkwLayer::from_pruned(&w, &lp, &set, &order);
+        // Corrupt one kernel's input-channel index past the layer width.
+        fkw.index[0] = fkw.in_c as u16;
+        let bytes = ModelArtifact {
+            name: "corrupt".into(),
+            input: [4, 6, 6],
+            layers: vec![LayerPlan::PatternConv {
+                name: "c".into(),
+                stride: 1,
+                pad: 1,
+                fkw,
+                bias: None,
+                relu: false,
+            }],
+        }
+        .encode();
+        assert!(matches!(
+            ModelArtifact::decode(&bytes),
+            Err(ArtifactError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut bytes = ModelArtifact {
+            name: "t".into(),
+            input: [1, 2, 2],
+            layers: vec![],
+        }
+        .encode();
+        bytes.push(0);
+        assert!(matches!(
+            ModelArtifact::decode(&bytes),
+            Err(ArtifactError::Malformed(_))
+        ));
+    }
+}

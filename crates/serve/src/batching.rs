@@ -1,0 +1,258 @@
+//! The bounded request queue with dynamic batching.
+//!
+//! Requests enqueue individually; workers dequeue *batches*. A batch is
+//! all queued requests for one model, capped at `max_batch`; if fewer
+//! are waiting, the worker holds the batch open until the oldest
+//! request has waited `max_wait`, then runs with whatever arrived. This
+//! trades a bounded latency penalty on the first request of a batch for
+//! amortized execution of the whole batch — the classic dynamic
+//! batching policy (see DESIGN.md §7).
+//!
+//! The queue is bounded: pushes beyond `capacity` fail with
+//! [`ServeError::QueueFull`] so overload surfaces as backpressure
+//! instead of unbounded memory growth.
+
+use std::collections::VecDeque;
+use std::sync::mpsc::SyncSender;
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use patdnn_tensor::Tensor;
+
+use crate::server::RequestResult;
+use crate::ServeError;
+
+/// Dynamic batching policy knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchPolicy {
+    /// Maximum requests per executed batch.
+    pub max_batch: usize,
+    /// Maximum time the oldest queued request waits for batch-mates.
+    pub max_wait: Duration,
+}
+
+impl Default for BatchPolicy {
+    fn default() -> Self {
+        BatchPolicy {
+            max_batch: 8,
+            max_wait: Duration::from_millis(2),
+        }
+    }
+}
+
+/// One queued inference request.
+pub struct PendingRequest {
+    /// Registry name of the target model.
+    pub model: String,
+    /// Single-item input `[1, c, h, w]`.
+    pub input: Tensor,
+    /// When the request entered the queue (latency is measured from
+    /// here, so queueing and batching delay are included).
+    pub enqueued: Instant,
+    /// Where to deliver the result.
+    pub respond: SyncSender<RequestResult>,
+}
+
+struct QueueState {
+    entries: VecDeque<PendingRequest>,
+    closed: bool,
+}
+
+/// A bounded multi-producer queue whose consumers pop same-model batches.
+pub struct BatchQueue {
+    state: Mutex<QueueState>,
+    cv: Condvar,
+    capacity: usize,
+}
+
+impl BatchQueue {
+    /// Creates a queue holding at most `capacity` waiting requests.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "queue capacity must be positive");
+        BatchQueue {
+            state: Mutex::new(QueueState {
+                entries: VecDeque::new(),
+                closed: false,
+            }),
+            cv: Condvar::new(),
+            capacity,
+        }
+    }
+
+    /// Enqueues a request, failing fast when full or closed.
+    pub fn push(&self, req: PendingRequest) -> Result<(), ServeError> {
+        let mut state = self.state.lock().expect("queue lock");
+        if state.closed {
+            return Err(ServeError::Closed);
+        }
+        if state.entries.len() >= self.capacity {
+            return Err(ServeError::QueueFull);
+        }
+        state.entries.push_back(req);
+        self.cv.notify_all();
+        Ok(())
+    }
+
+    /// Number of waiting requests.
+    pub fn len(&self) -> usize {
+        self.state.lock().expect("queue lock").entries.len()
+    }
+
+    /// Returns `true` when no requests wait.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Closes the queue: pending pushes fail, poppers drain what's left
+    /// and then observe `None`.
+    pub fn close(&self) {
+        self.state.lock().expect("queue lock").closed = true;
+        self.cv.notify_all();
+    }
+
+    /// Blocks until a batch is ready under `policy`, returning the
+    /// model name and its requests in arrival order — or `None` once the
+    /// queue is closed and drained.
+    ///
+    /// Batch formation: the oldest queued request nominates the model;
+    /// all queued requests for that model join, up to `max_batch`. If
+    /// the batch is not full, the worker sleeps until either enough
+    /// batch-mates arrive or the nominating request's `max_wait`
+    /// deadline passes.
+    pub fn pop_batch(&self, policy: &BatchPolicy) -> Option<(String, Vec<PendingRequest>)> {
+        assert!(policy.max_batch > 0, "max_batch must be positive");
+        let mut state = self.state.lock().expect("queue lock");
+        loop {
+            if let Some(head) = state.entries.front() {
+                let model = head.model.clone();
+                let deadline = head.enqueued + policy.max_wait;
+                let waiting = state.entries.iter().filter(|r| r.model == model).count();
+                let now = Instant::now();
+                if waiting >= policy.max_batch || now >= deadline || state.closed {
+                    let batch = extract_model(&mut state.entries, &model, policy.max_batch);
+                    return Some((model, batch));
+                }
+                let (next, _timeout) = self
+                    .cv
+                    .wait_timeout(state, deadline - now)
+                    .expect("queue lock");
+                state = next;
+            } else if state.closed {
+                return None;
+            } else {
+                state = self.cv.wait(state).expect("queue lock");
+            }
+        }
+    }
+}
+
+/// Removes up to `max` requests for `model`, preserving arrival order of
+/// both the batch and the requests left behind.
+fn extract_model(
+    entries: &mut VecDeque<PendingRequest>,
+    model: &str,
+    max: usize,
+) -> Vec<PendingRequest> {
+    let mut batch = Vec::new();
+    let mut rest = VecDeque::with_capacity(entries.len());
+    for req in entries.drain(..) {
+        if batch.len() < max && req.model == model {
+            batch.push(req);
+        } else {
+            rest.push_back(req);
+        }
+    }
+    *entries = rest;
+    batch
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::mpsc::sync_channel;
+
+    fn req(model: &str) -> PendingRequest {
+        let (tx, _rx) = sync_channel(1);
+        PendingRequest {
+            model: model.to_owned(),
+            input: Tensor::zeros(&[1, 1, 1, 1]),
+            enqueued: Instant::now(),
+            respond: tx,
+        }
+    }
+
+    fn policy(max_batch: usize, max_wait_ms: u64) -> BatchPolicy {
+        BatchPolicy {
+            max_batch,
+            max_wait: Duration::from_millis(max_wait_ms),
+        }
+    }
+
+    #[test]
+    fn full_batch_pops_immediately() {
+        let q = BatchQueue::new(16);
+        for _ in 0..4 {
+            q.push(req("m")).unwrap();
+        }
+        let start = Instant::now();
+        let (model, batch) = q.pop_batch(&policy(4, 10_000)).expect("batch");
+        assert_eq!(model, "m");
+        assert_eq!(batch.len(), 4);
+        assert!(start.elapsed() < Duration::from_secs(1), "no deadline wait");
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn deadline_flushes_partial_batch() {
+        let q = BatchQueue::new(16);
+        q.push(req("m")).unwrap();
+        let (_, batch) = q.pop_batch(&policy(8, 20)).expect("batch");
+        assert_eq!(batch.len(), 1, "partial batch after max_wait");
+    }
+
+    #[test]
+    fn batches_group_by_model_preserving_order() {
+        let q = BatchQueue::new(16);
+        q.push(req("a")).unwrap();
+        q.push(req("b")).unwrap();
+        q.push(req("a")).unwrap();
+        let (model, batch) = q.pop_batch(&policy(8, 0)).expect("batch");
+        assert_eq!(model, "a");
+        assert_eq!(batch.len(), 2);
+        assert_eq!(q.len(), 1, "other model's request remains");
+        let (model, batch) = q.pop_batch(&policy(8, 0)).expect("batch");
+        assert_eq!(model, "b");
+        assert_eq!(batch.len(), 1);
+    }
+
+    #[test]
+    fn capacity_is_enforced() {
+        let q = BatchQueue::new(2);
+        q.push(req("m")).unwrap();
+        q.push(req("m")).unwrap();
+        assert!(matches!(q.push(req("m")), Err(ServeError::QueueFull)));
+    }
+
+    #[test]
+    fn close_drains_then_ends() {
+        let q = BatchQueue::new(4);
+        q.push(req("m")).unwrap();
+        q.close();
+        assert!(matches!(q.push(req("m")), Err(ServeError::Closed)));
+        let (_, batch) = q.pop_batch(&policy(8, 10_000)).expect("drain");
+        assert_eq!(batch.len(), 1);
+        assert!(q.pop_batch(&policy(8, 0)).is_none(), "closed and empty");
+    }
+
+    #[test]
+    fn max_batch_splits_oversized_backlog() {
+        let q = BatchQueue::new(16);
+        for _ in 0..7 {
+            q.push(req("m")).unwrap();
+        }
+        let (_, first) = q.pop_batch(&policy(4, 0)).expect("first");
+        assert_eq!(first.len(), 4);
+        let (_, second) = q.pop_batch(&policy(4, 0)).expect("second");
+        assert_eq!(second.len(), 3);
+    }
+}

@@ -1,0 +1,207 @@
+//! `patdnn-serve` — end-to-end serving demo.
+//!
+//! Builds a VGG-style network, pattern-prunes it, compiles it to a model
+//! artifact, saves and reloads the artifact, verifies the compiled
+//! engine against the original network, then serves a synthetic traffic
+//! workload through the dynamic-batching server and reports latency
+//! percentiles and throughput.
+//!
+//! ```text
+//! patdnn-serve [--requests N] [--clients N] [--workers N]
+//!              [--max-batch N] [--max-wait-ms N] [--threads N]
+//! ```
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use patdnn_core::prune::pattern_project_network;
+use patdnn_nn::layer::{Layer, Mode};
+use patdnn_nn::models::vgg_small;
+use patdnn_serve::batching::BatchPolicy;
+use patdnn_serve::compile::compile_network;
+use patdnn_serve::engine::{Engine, EngineOptions};
+use patdnn_serve::registry::ModelRegistry;
+use patdnn_serve::server::{Server, ServerConfig};
+use patdnn_serve::ModelArtifact;
+use patdnn_tensor::rng::Rng;
+use patdnn_tensor::Tensor;
+
+struct Args {
+    requests: usize,
+    clients: usize,
+    workers: usize,
+    max_batch: usize,
+    max_wait_ms: u64,
+    threads: usize,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        requests: 200,
+        clients: 4,
+        workers: 2,
+        max_batch: 8,
+        max_wait_ms: 2,
+        threads: 1,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        let need = |i: usize| -> usize {
+            argv.get(i + 1)
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| die(&format!("{} needs a number", argv[i])))
+        };
+        match argv[i].as_str() {
+            "--requests" => args.requests = need(i),
+            "--clients" => args.clients = need(i),
+            "--workers" => args.workers = need(i),
+            "--max-batch" => args.max_batch = need(i),
+            "--max-wait-ms" => args.max_wait_ms = need(i) as u64,
+            "--threads" => args.threads = need(i),
+            other => die(&format!("unknown flag {other}")),
+        }
+        i += 2;
+    }
+    for (value, flag) in [
+        (args.requests, "--requests"),
+        (args.clients, "--clients"),
+        (args.workers, "--workers"),
+        (args.max_batch, "--max-batch"),
+        (args.threads, "--threads"),
+    ] {
+        if value == 0 {
+            die(&format!("{flag} must be at least 1"));
+        }
+    }
+    args
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!(
+        "usage: patdnn-serve [--requests N] [--clients N] [--workers N] \
+         [--max-batch N] [--max-wait-ms N] [--threads N]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args = parse_args();
+    let mut rng = Rng::seed_from(7);
+
+    // 1. Train-stage stand-in: a VGG-style network, pattern-pruned at
+    //    the paper's 3.6x connectivity rate (weight values are random;
+    //    serving performance is value-independent).
+    println!("[1/5] building and pruning vgg_small (3x32x32 input)...");
+    let mut net = vgg_small(10, &mut rng);
+    pattern_project_network(&mut net, 8, 3.6);
+
+    // 2. Compile to an artifact, save, and reload from disk.
+    println!("[2/5] compiling to a model artifact...");
+    let artifact = compile_network("vgg_small", &net, [3, 32, 32])
+        .unwrap_or_else(|e| die(&format!("compile failed: {e}")));
+    let pattern_layers = artifact
+        .layers
+        .iter()
+        .filter(|l| l.kind() == "pattern-conv")
+        .count();
+    println!(
+        "      {} plan steps, {} pattern-conv layers, {:.1} KiB of weights",
+        artifact.layers.len(),
+        pattern_layers,
+        artifact.weight_bytes() as f64 / 1024.0
+    );
+    let path = std::env::temp_dir().join("patdnn_serve_demo.patdnn");
+    artifact
+        .save(&path)
+        .unwrap_or_else(|e| die(&format!("save failed: {e}")));
+    let reloaded = ModelArtifact::load(&path).unwrap_or_else(|e| die(&format!("load failed: {e}")));
+    std::fs::remove_file(&path).ok();
+    assert_eq!(artifact, reloaded, "artifact round trip");
+    println!("      artifact save -> load round trip: OK ({path:?})");
+
+    // 3. Build a fresh engine from the reloaded artifact and verify it
+    //    against the original network.
+    println!("[3/5] verifying compiled engine against the nn forward pass...");
+    let engine = Engine::new(
+        reloaded,
+        EngineOptions {
+            threads: args.threads,
+            ..EngineOptions::default()
+        },
+    )
+    .unwrap_or_else(|e| die(&format!("engine build failed: {e}")));
+    let x = Tensor::randn(&[1, 3, 32, 32], &mut rng);
+    let want = net.forward(&x, Mode::Eval);
+    let got = engine
+        .infer(&x)
+        .unwrap_or_else(|e| die(&format!("infer failed: {e}")));
+    let diff = want.max_abs_diff(&got).unwrap_or(f32::INFINITY);
+    assert!(diff < 1e-4, "engine diverges from reference: {diff}");
+    println!("      max |engine - reference| = {diff:.2e} (< 1e-4): OK");
+
+    // 4. Serve synthetic traffic through the dynamic-batching server.
+    println!(
+        "[4/5] serving {} requests from {} clients ({} workers, max_batch={}, max_wait={}ms)...",
+        args.requests, args.clients, args.workers, args.max_batch, args.max_wait_ms
+    );
+    let registry = Arc::new(ModelRegistry::new());
+    registry.register("vgg_small", engine);
+    let server = Arc::new(Server::start(
+        Arc::clone(&registry),
+        ServerConfig {
+            workers: args.workers,
+            batch: BatchPolicy {
+                max_batch: args.max_batch,
+                max_wait: Duration::from_millis(args.max_wait_ms),
+            },
+            queue_capacity: 1024,
+        },
+    ));
+
+    let start = Instant::now();
+    let per_client = args.requests.div_ceil(args.clients.max(1));
+    std::thread::scope(|scope| {
+        for client in 0..args.clients {
+            let server = Arc::clone(&server);
+            scope.spawn(move || {
+                let mut rng = Rng::seed_from(100 + client as u64);
+                for _ in 0..per_client {
+                    let input = Tensor::randn(&[1, 3, 32, 32], &mut rng);
+                    match server.infer("vgg_small", input) {
+                        Ok(_) => {}
+                        Err(e) => eprintln!("client {client}: request failed: {e}"),
+                    }
+                    // Jittered think time keeps arrivals bursty enough
+                    // to exercise partial batches.
+                    if rng.chance(0.3) {
+                        std::thread::sleep(Duration::from_micros(rng.below(500) as u64));
+                    }
+                }
+            });
+        }
+    });
+    let wall = start.elapsed().as_secs_f64();
+
+    // 5. Report.
+    println!("[5/5] results");
+    let snap = server.metrics().snapshot();
+    println!(
+        "      requests     {}  (rejected {})",
+        snap.requests, snap.rejected
+    );
+    println!(
+        "      batches      {}  (avg batch {:.2})",
+        snap.batches, snap.avg_batch
+    );
+    println!(
+        "      latency ms   p50 {:.3} | p95 {:.3} | p99 {:.3} | mean {:.3}",
+        snap.p50_ms, snap.p95_ms, snap.p99_ms, snap.mean_ms
+    );
+    println!(
+        "      throughput   {:.1} QPS over {:.2}s wall",
+        snap.requests as f64 / wall,
+        wall
+    );
+}

@@ -1,0 +1,411 @@
+//! Whole-network compilation: exported layers → graph passes → artifact.
+//!
+//! The flow mirrors the paper's deployment story: the trained, pruned
+//! network is exported once ([`patdnn_nn::export`]), lowered to the
+//! compiler's graph IR, optimized by the TVM-like passes (conv+BN
+//! folding, ReLU fusion, dead-node elimination), and each surviving
+//! convolution is compressed to FKW storage after filter-kernel reorder.
+//! The result is a [`ModelArtifact`] that an [`crate::engine::Engine`]
+//! executes directly.
+//!
+//! Pattern derivation is weight-driven: a layer whose kept 3×3 kernels
+//! all fit a 4-entry natural pattern (centre + 3 neighbours) compiles to
+//! the pattern executor; anything else (unpruned layers, kernels with
+//! more than 4 survivors) falls back to the dense tiled executor, so
+//! compilation is total over well-formed chains and always lossless.
+
+use std::fmt;
+
+use patdnn_compiler::fkr::filter_kernel_reorder;
+use patdnn_compiler::fkw::FkwLayer;
+use patdnn_compiler::graph::{Graph, Op};
+use patdnn_compiler::passes;
+use patdnn_core::pattern::Pattern;
+use patdnn_core::pattern_set::PatternSet;
+use patdnn_core::project::{KernelStatus, LayerPruning};
+use patdnn_nn::export::{export_network, LayerExport};
+use patdnn_nn::network::Sequential;
+use patdnn_tensor::Tensor;
+
+use crate::artifact::{LayerPlan, ModelArtifact};
+
+/// Errors produced while compiling a network.
+#[derive(Debug)]
+pub enum CompileError {
+    /// A node kind the serving plan cannot execute (residual joins,
+    /// depthwise convolutions, custom layers).
+    Unsupported {
+        /// Node or layer name.
+        name: String,
+        /// Node kind label.
+        kind: String,
+    },
+    /// A convolution or FC node without materialized weights.
+    MissingWeights(String),
+    /// The optimized graph is not a single chain.
+    NotAChain(String),
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::Unsupported { name, kind } => {
+                write!(f, "layer {name:?} of kind {kind:?} is not servable")
+            }
+            CompileError::MissingWeights(name) => {
+                write!(f, "node {name:?} has no materialized weights")
+            }
+            CompileError::NotAChain(name) => {
+                write!(f, "graph is not a single chain at node {name:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+/// Lowers exported layers to the compiler's graph IR.
+///
+/// `input` is the per-item shape `[c, h, w]`; the graph input node gets a
+/// batch dimension of 1 (plans are batch-size independent).
+pub fn graph_from_exports(
+    input: [usize; 3],
+    layers: &[LayerExport],
+) -> Result<Graph, CompileError> {
+    let mut g = Graph::with_input(&[1, input[0], input[1], input[2]]);
+    let mut prev = 0usize;
+    for layer in layers {
+        let node = match layer {
+            LayerExport::Conv {
+                name,
+                out_c,
+                in_c,
+                kernel,
+                stride,
+                pad,
+                weights,
+                bias,
+            } => g.push(
+                name,
+                Op::Conv {
+                    out_c: *out_c,
+                    in_c: *in_c,
+                    kernel: *kernel,
+                    stride: *stride,
+                    pad: *pad,
+                    weights: Some(weights.clone()),
+                    bias: Some(bias.clone()),
+                    fused_relu: false,
+                },
+                &[prev],
+            ),
+            LayerExport::BatchNorm { name, scale, shift } => g.push(
+                name,
+                Op::BatchNorm {
+                    scale: scale.clone(),
+                    shift: shift.clone(),
+                },
+                &[prev],
+            ),
+            LayerExport::Relu { name } => g.push(name, Op::Relu, &[prev]),
+            LayerExport::MaxPool {
+                name,
+                kernel,
+                stride,
+                pad,
+            } => {
+                if *pad != 0 {
+                    return Err(CompileError::Unsupported {
+                        name: name.clone(),
+                        kind: "maxpool-padded".into(),
+                    });
+                }
+                g.push(
+                    name,
+                    Op::MaxPool {
+                        kernel: *kernel,
+                        stride: *stride,
+                    },
+                    &[prev],
+                )
+            }
+            LayerExport::GlobalAvgPool { name } => g.push(name, Op::GlobalAvgPool, &[prev]),
+            LayerExport::Flatten { name } => g.push(name, Op::Flatten, &[prev]),
+            LayerExport::Linear {
+                name,
+                weights,
+                bias,
+            } => {
+                let (out_f, in_f) = (weights.shape()[0], weights.shape()[1]);
+                g.push(
+                    name,
+                    Op::Fc {
+                        in_f,
+                        out_f,
+                        weights: Some(weights.clone()),
+                        bias: Some(bias.clone()),
+                    },
+                    &[prev],
+                )
+            }
+            LayerExport::Relu6 { name } | LayerExport::Opaque { name } => {
+                return Err(CompileError::Unsupported {
+                    name: name.clone(),
+                    kind: layer.kind().into(),
+                })
+            }
+        };
+        prev = node;
+    }
+    Ok(g)
+}
+
+/// Derives the pruning record implied by a pruned weight tensor, along
+/// with the local pattern set its kernels draw from.
+///
+/// Returns `None` when the layer cannot be expressed in pattern form
+/// (some kept 3×3 kernel has non-zeros outside every 4-entry natural
+/// pattern — e.g. an unpruned layer), in which case the caller falls
+/// back to dense execution. Non-3×3 layers derive connectivity-only
+/// records (kept kernels stay dense inside), matching the paper's §4.3
+/// treatment.
+pub fn derive_pruning(name: &str, weights: &Tensor) -> Option<(LayerPruning, PatternSet)> {
+    let s = weights.shape4();
+    let ksize = s.h * s.w;
+    let is_3x3 = s.h == 3 && s.w == 3;
+    let mut statuses = Vec::with_capacity(s.n * s.c);
+    let mut patterns: Vec<Pattern> = Vec::new();
+    for kernel in weights.data().chunks_exact(ksize) {
+        let nonzeros = kernel.iter().filter(|&&x| x != 0.0).count();
+        if nonzeros == 0 {
+            statuses.push(KernelStatus::Pruned);
+        } else if is_3x3 {
+            if nonzeros > 4 {
+                return None;
+            }
+            let mut buf = [0.0f32; 9];
+            buf.copy_from_slice(kernel);
+            let natural = Pattern::natural_of(&buf);
+            let covered = kernel
+                .iter()
+                .enumerate()
+                .all(|(i, &x)| x == 0.0 || natural.contains(i / 3, i % 3));
+            if !covered {
+                return None;
+            }
+            let id = match patterns.iter().position(|&p| p == natural) {
+                Some(id) => id,
+                None => {
+                    patterns.push(natural);
+                    patterns.len() - 1
+                }
+            };
+            statuses.push(KernelStatus::Pattern(id));
+        } else {
+            statuses.push(KernelStatus::Dense);
+        }
+    }
+    if statuses.iter().all(|st| !st.is_kept()) {
+        // A fully-pruned layer would produce a degenerate FKW table;
+        // treat it as unpatternable and let the dense path zero it.
+        return None;
+    }
+    let lp = LayerPruning {
+        name: name.to_owned(),
+        out_c: s.n,
+        in_c: s.c,
+        kernel: s.h,
+        kernels: statuses,
+    };
+    // Non-3x3 layers never reference the set; give them a placeholder.
+    let set = if patterns.is_empty() {
+        PatternSet::standard(1)
+    } else {
+        PatternSet::from_patterns(patterns)
+    };
+    Some((lp, set))
+}
+
+/// Compiles an optimized-or-not graph into a model artifact.
+///
+/// Runs the graph passes first (BN folding, ReLU fusion, DCE), then
+/// lowers the surviving chain into layer plans: pattern-expressible
+/// convolutions go through filter-kernel reorder into FKW storage, the
+/// rest stay dense.
+pub fn compile_graph(
+    name: &str,
+    input: [usize; 3],
+    graph: &Graph,
+) -> Result<ModelArtifact, CompileError> {
+    let mut g = graph.clone();
+    passes::optimize(&mut g);
+
+    let mut layers = Vec::new();
+    for (id, node) in g.nodes.iter().enumerate() {
+        // The optimized graph must be a single chain: node i feeds i+1.
+        match (id, &node.inputs[..]) {
+            (0, []) => {}
+            (_, [prev]) if *prev == id - 1 => {}
+            _ => return Err(CompileError::NotAChain(node.name.clone())),
+        }
+        match &node.op {
+            Op::Input { .. } => {
+                if id != 0 {
+                    return Err(CompileError::NotAChain(node.name.clone()));
+                }
+            }
+            Op::Conv {
+                stride,
+                pad,
+                weights,
+                bias,
+                fused_relu,
+                ..
+            } => {
+                let w = weights
+                    .as_ref()
+                    .ok_or_else(|| CompileError::MissingWeights(node.name.clone()))?;
+                match derive_pruning(&node.name, w) {
+                    Some((lp, set)) => {
+                        let order = filter_kernel_reorder(&lp);
+                        let fkw = FkwLayer::from_pruned(w, &lp, &set, &order);
+                        debug_assert_eq!(fkw.to_dense(), *w, "FKW lowering is lossless");
+                        layers.push(LayerPlan::PatternConv {
+                            name: node.name.clone(),
+                            stride: *stride,
+                            pad: *pad,
+                            fkw,
+                            bias: bias.clone(),
+                            relu: *fused_relu,
+                        });
+                    }
+                    None => layers.push(LayerPlan::DenseConv {
+                        name: node.name.clone(),
+                        stride: *stride,
+                        pad: *pad,
+                        weights: w.clone(),
+                        bias: bias.clone(),
+                        relu: *fused_relu,
+                    }),
+                }
+            }
+            Op::MaxPool { kernel, stride } => layers.push(LayerPlan::MaxPool {
+                kernel: *kernel,
+                stride: *stride,
+                pad: 0,
+            }),
+            Op::GlobalAvgPool => layers.push(LayerPlan::GlobalAvgPool),
+            Op::Flatten => layers.push(LayerPlan::Flatten),
+            Op::Relu => layers.push(LayerPlan::Relu),
+            Op::Fc { weights, bias, .. } => {
+                let w = weights
+                    .as_ref()
+                    .ok_or_else(|| CompileError::MissingWeights(node.name.clone()))?;
+                layers.push(LayerPlan::Fc {
+                    name: node.name.clone(),
+                    weights: w.clone(),
+                    bias: bias.clone().unwrap_or_else(|| vec![0.0; w.shape()[0]]),
+                });
+            }
+            other => {
+                return Err(CompileError::Unsupported {
+                    name: node.name.clone(),
+                    kind: other.kind().into(),
+                })
+            }
+        }
+    }
+    Ok(ModelArtifact {
+        name: name.to_owned(),
+        input,
+        layers,
+    })
+}
+
+/// Compiles a trained network end to end: export → graph → passes →
+/// artifact. `input` is the per-item shape `[c, h, w]`.
+pub fn compile_network(
+    name: &str,
+    net: &Sequential,
+    input: [usize; 3],
+) -> Result<ModelArtifact, CompileError> {
+    let exports = export_network(net);
+    let graph = graph_from_exports(input, &exports)?;
+    compile_graph(name, input, &graph)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use patdnn_core::project::{alpha_for_rate, prune_layer};
+    use patdnn_nn::models::small_cnn;
+    use patdnn_tensor::rng::Rng;
+
+    #[test]
+    fn derive_pruning_round_trips_pruned_weights() {
+        let mut rng = Rng::seed_from(1);
+        let mut w = Tensor::randn(&[8, 8, 3, 3], &mut rng);
+        let set = PatternSet::standard(8);
+        let lp0 = prune_layer("l", &mut w, &set, alpha_for_rate(64, 3.6));
+        let (lp, local) = derive_pruning("l", &w).expect("pruned layer derives");
+        assert_eq!(lp.kept_kernels(), lp0.kept_kernels());
+        let order = filter_kernel_reorder(&lp);
+        let fkw = FkwLayer::from_pruned(&w, &lp, &local, &order);
+        assert_eq!(fkw.to_dense(), w, "derived FKW is lossless");
+    }
+
+    #[test]
+    fn derive_pruning_rejects_dense_3x3() {
+        let mut rng = Rng::seed_from(2);
+        let w = Tensor::randn(&[4, 4, 3, 3], &mut rng);
+        assert!(derive_pruning("dense", &w).is_none());
+    }
+
+    #[test]
+    fn derive_pruning_handles_1x1_connectivity_only() {
+        let mut rng = Rng::seed_from(3);
+        let mut w = Tensor::randn(&[8, 8, 1, 1], &mut rng);
+        let set = PatternSet::standard(8);
+        prune_layer("p", &mut w, &set, 16);
+        let (lp, local) = derive_pruning("p", &w).expect("1x1 derives");
+        assert_eq!(lp.kept_kernels(), 16);
+        let order = filter_kernel_reorder(&lp);
+        let fkw = FkwLayer::from_pruned(&w, &lp, &local, &order);
+        assert_eq!(fkw.to_dense(), w);
+    }
+
+    #[test]
+    fn unpruned_network_compiles_to_dense_plans() {
+        let mut rng = Rng::seed_from(4);
+        let net = small_cnn(3, 8, 4, &mut rng);
+        let artifact = compile_network("cnn", &net, [3, 8, 8]).expect("compiles");
+        let kinds: Vec<&str> = artifact.layers.iter().map(LayerPlan::kind).collect();
+        // Post-fusion: conv(+relu), maxpool, conv(+relu), maxpool, flatten, fc.
+        assert_eq!(
+            kinds,
+            vec![
+                "dense-conv",
+                "maxpool",
+                "dense-conv",
+                "maxpool",
+                "flatten",
+                "fc"
+            ]
+        );
+        for plan in &artifact.layers {
+            if let LayerPlan::DenseConv { relu, .. } = plan {
+                assert!(*relu, "relu fused into conv");
+            }
+        }
+    }
+
+    #[test]
+    fn residual_network_is_rejected() {
+        let mut rng = Rng::seed_from(5);
+        let net = patdnn_nn::models::resnet_small(4, &mut rng);
+        assert!(matches!(
+            compile_network("res", &net, [3, 32, 32]),
+            Err(CompileError::Unsupported { .. })
+        ));
+    }
+}

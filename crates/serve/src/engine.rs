@@ -1,0 +1,606 @@
+//! The compiled-model inference engine.
+//!
+//! An [`Engine`] turns a [`ModelArtifact`] into an executable plan: one
+//! executor per layer (pattern executors over FKW storage for pruned
+//! convolutions, the tiled dense kernel otherwise) plus per-step output
+//! shapes. Intermediate activations live in a pool of reusable scratch
+//! buffer sets — a warm engine allocates nothing on the steady-state
+//! `infer` path for pattern-conv steps, and concurrent callers each
+//! check out their own buffer set, so `infer(&self)` is freely shareable
+//! across server workers.
+//!
+//! Every step handles batch-N inputs; [`Engine::infer_batch`] stacks
+//! per-request items into one batched execution (the dynamic-batching
+//! fast path) and splits the results back out.
+
+use std::sync::Mutex;
+
+use patdnn_compiler::tune::space::TuningConfig;
+use patdnn_runtime::dense::TiledConv;
+use patdnn_runtime::executor::ConvExecutor;
+use patdnn_runtime::parallel::{ParallelPattern, Schedule};
+use patdnn_runtime::pattern_exec::{OptLevel, PatternConv};
+use patdnn_tensor::gemm::gemm_bt;
+use patdnn_tensor::{conv_out_dim, Conv2dGeometry, Tensor};
+
+use crate::artifact::{ArtifactError, LayerPlan, ModelArtifact};
+use crate::ServeError;
+
+/// Engine construction options.
+#[derive(Debug, Clone, Copy)]
+pub struct EngineOptions {
+    /// Optimization level for pattern executors (Figure 13 levels).
+    pub opt_level: OptLevel,
+    /// Tuning configuration for pattern executors.
+    pub tuning: TuningConfig,
+    /// Intra-layer CPU threads for pattern convolutions (1 = serial).
+    /// Uses the runtime's FKR-balanced parallel schedule.
+    pub threads: usize,
+}
+
+impl Default for EngineOptions {
+    fn default() -> Self {
+        EngineOptions {
+            opt_level: OptLevel::Full,
+            tuning: TuningConfig::tuned_default(),
+            threads: 1,
+        }
+    }
+}
+
+/// One executable step of the plan.
+enum StepExec {
+    Pattern(PatternConv),
+    PatternPar(ParallelPattern),
+    Dense(TiledConv),
+    MaxPool {
+        kernel: usize,
+        stride: usize,
+        pad: usize,
+    },
+    GlobalAvgPool,
+    Flatten,
+    Relu,
+    Fc {
+        weights: Tensor,
+        bias: Vec<f32>,
+    },
+}
+
+struct Step {
+    exec: StepExec,
+    /// Apply ReLU to this step's output (fused activation).
+    relu: bool,
+    /// Per-item output shape: `[c, h, w]` or `[features]`.
+    out_shape: Vec<usize>,
+}
+
+/// A compiled network ready to serve inference.
+pub struct Engine {
+    name: String,
+    input: [usize; 3],
+    steps: Vec<Step>,
+    artifact: ModelArtifact,
+    /// Pool of per-call scratch buffer sets (one tensor per step).
+    scratch: Mutex<Vec<Vec<Tensor>>>,
+}
+
+impl Engine {
+    /// Builds the executable plan from an artifact.
+    ///
+    /// Shape checking happens here: every layer's input requirements are
+    /// verified against the shape flowing from the artifact's declared
+    /// input, so a malformed artifact fails at load, not at request time.
+    pub fn new(artifact: ModelArtifact, opts: EngineOptions) -> Result<Self, ServeError> {
+        assert!(opts.threads > 0, "need at least one thread");
+        let malformed = |msg: String| ServeError::Artifact(ArtifactError::Malformed(msg));
+        let mut steps = Vec::with_capacity(artifact.layers.len());
+        // The shape flowing between steps, per item.
+        let mut shape: Vec<usize> = artifact.input.to_vec();
+        for plan in &artifact.layers {
+            let step = match plan {
+                LayerPlan::PatternConv {
+                    name,
+                    stride,
+                    pad,
+                    fkw,
+                    bias,
+                    relu,
+                } => {
+                    let [c, h, w] = spatial(&shape)
+                        .ok_or_else(|| malformed(format!("{name}: conv after flatten")))?;
+                    if c != fkw.in_c {
+                        return Err(malformed(format!(
+                            "{name}: expects {} input channels, got {c}",
+                            fkw.in_c
+                        )));
+                    }
+                    check_window(name, fkw.kernel, *stride, *pad, h, w)?;
+                    let geo = Conv2dGeometry::new(
+                        fkw.out_c, fkw.in_c, fkw.kernel, fkw.kernel, h, w, *stride, *pad,
+                    );
+                    let exec = PatternConv::new(
+                        geo,
+                        fkw.clone(),
+                        bias.clone(),
+                        opts.opt_level,
+                        opts.tuning,
+                    );
+                    let out_shape = vec![geo.out_channels, geo.out_h, geo.out_w];
+                    let exec = if opts.threads > 1 {
+                        StepExec::PatternPar(ParallelPattern::new(
+                            exec,
+                            opts.threads,
+                            Schedule::Balanced,
+                        ))
+                    } else {
+                        StepExec::Pattern(exec)
+                    };
+                    shape = out_shape.clone();
+                    Step {
+                        exec,
+                        relu: *relu,
+                        out_shape,
+                    }
+                }
+                LayerPlan::DenseConv {
+                    name,
+                    stride,
+                    pad,
+                    weights,
+                    bias,
+                    relu,
+                } => {
+                    let [c, h, w] = spatial(&shape)
+                        .ok_or_else(|| malformed(format!("{name}: conv after flatten")))?;
+                    let ws = weights.shape4();
+                    if c != ws.c {
+                        return Err(malformed(format!(
+                            "{name}: expects {} input channels, got {c}",
+                            ws.c
+                        )));
+                    }
+                    check_window(name, ws.h.max(ws.w), *stride, *pad, h, w)?;
+                    let geo = Conv2dGeometry::new(ws.n, ws.c, ws.h, ws.w, h, w, *stride, *pad);
+                    let out_shape = vec![geo.out_channels, geo.out_h, geo.out_w];
+                    shape = out_shape.clone();
+                    Step {
+                        exec: StepExec::Dense(TiledConv::new(geo, weights.clone(), bias.clone())),
+                        relu: *relu,
+                        out_shape,
+                    }
+                }
+                LayerPlan::MaxPool {
+                    kernel,
+                    stride,
+                    pad,
+                } => {
+                    let [c, h, w] =
+                        spatial(&shape).ok_or_else(|| malformed("maxpool after flatten".into()))?;
+                    check_window("maxpool", *kernel, *stride, *pad, h, w)?;
+                    let out_shape = vec![
+                        c,
+                        conv_out_dim(h, *kernel, *stride, *pad),
+                        conv_out_dim(w, *kernel, *stride, *pad),
+                    ];
+                    shape = out_shape.clone();
+                    Step {
+                        exec: StepExec::MaxPool {
+                            kernel: *kernel,
+                            stride: *stride,
+                            pad: *pad,
+                        },
+                        relu: false,
+                        out_shape,
+                    }
+                }
+                LayerPlan::GlobalAvgPool => {
+                    let [c, _, _] =
+                        spatial(&shape).ok_or_else(|| malformed("gap after flatten".into()))?;
+                    let out_shape = vec![c, 1, 1];
+                    shape = out_shape.clone();
+                    Step {
+                        exec: StepExec::GlobalAvgPool,
+                        relu: false,
+                        out_shape,
+                    }
+                }
+                LayerPlan::Flatten => {
+                    let features: usize = shape.iter().product();
+                    shape = vec![features];
+                    Step {
+                        exec: StepExec::Flatten,
+                        relu: false,
+                        out_shape: shape.clone(),
+                    }
+                }
+                LayerPlan::Relu => Step {
+                    exec: StepExec::Relu,
+                    relu: false,
+                    out_shape: shape.clone(),
+                },
+                LayerPlan::Fc {
+                    name,
+                    weights,
+                    bias,
+                } => {
+                    let features: usize = shape.iter().product();
+                    let (out_f, in_f) = (weights.shape()[0], weights.shape()[1]);
+                    if features != in_f {
+                        return Err(malformed(format!(
+                            "{name}: expects {in_f} input features, got {features}"
+                        )));
+                    }
+                    if bias.len() != out_f {
+                        return Err(malformed(format!("{name}: bias arity")));
+                    }
+                    shape = vec![out_f];
+                    Step {
+                        exec: StepExec::Fc {
+                            weights: weights.clone(),
+                            bias: bias.clone(),
+                        },
+                        relu: false,
+                        out_shape: shape.clone(),
+                    }
+                }
+            };
+            steps.push(step);
+        }
+        Ok(Engine {
+            name: artifact.name.clone(),
+            input: artifact.input,
+            steps,
+            artifact,
+            scratch: Mutex::new(Vec::new()),
+        })
+    }
+
+    /// Loads an artifact from disk and builds the engine.
+    pub fn load(
+        path: impl AsRef<std::path::Path>,
+        opts: EngineOptions,
+    ) -> Result<Self, ServeError> {
+        Engine::new(ModelArtifact::load(path)?, opts)
+    }
+
+    /// The model name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Per-item input shape `[c, h, w]`.
+    pub fn input_shape(&self) -> [usize; 3] {
+        self.input
+    }
+
+    /// Per-item output shape.
+    pub fn output_shape(&self) -> &[usize] {
+        self.steps
+            .last()
+            .map_or(&self.input[..], |s| &s.out_shape[..])
+    }
+
+    /// The artifact this engine was built from (save it with
+    /// [`ModelArtifact::save`]).
+    pub fn artifact(&self) -> &ModelArtifact {
+        &self.artifact
+    }
+
+    /// Number of plan steps.
+    pub fn step_count(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Runs the whole plan on a batched NCHW input.
+    ///
+    /// The input's trailing dimensions must match the model input; any
+    /// batch size works. Scratch buffers are checked out from the pool,
+    /// reused across calls, and returned afterwards.
+    pub fn infer(&self, input: &Tensor) -> Result<Tensor, ServeError> {
+        let shape = input.shape();
+        if shape.len() != 4 || shape[1..] != self.input[..] {
+            return Err(ServeError::ShapeMismatch {
+                expected: self.input.to_vec(),
+                got: shape.to_vec(),
+            });
+        }
+        let batch = shape[0];
+
+        let mut bufs = self
+            .scratch
+            .lock()
+            .expect("scratch pool")
+            .pop()
+            .unwrap_or_default();
+        bufs.resize_with(self.steps.len(), || Tensor::zeros(&[0]));
+        for (step, buf) in self.steps.iter().zip(&mut bufs) {
+            let mut want = Vec::with_capacity(step.out_shape.len() + 1);
+            want.push(batch);
+            want.extend_from_slice(&step.out_shape);
+            if buf.shape() != want {
+                *buf = Tensor::zeros(&want);
+            }
+        }
+
+        for i in 0..self.steps.len() {
+            let (done, rest) = bufs.split_at_mut(i);
+            let prev: &Tensor = if i == 0 { input } else { &done[i - 1] };
+            let buf = &mut rest[0];
+            let step = &self.steps[i];
+            run_step(step, prev, buf);
+            if step.relu {
+                buf.map_inplace(|x| x.max(0.0));
+            }
+        }
+
+        let out = match bufs.last() {
+            Some(t) => t.clone(),
+            None => input.clone(),
+        };
+        self.scratch.lock().expect("scratch pool").push(bufs);
+        Ok(out)
+    }
+
+    /// Runs a set of single-item requests as one batched execution and
+    /// scatters the per-request outputs (the dynamic-batching path).
+    ///
+    /// Each input must be `[1, c, h, w]` with the model's item shape.
+    pub fn infer_batch(&self, inputs: &[Tensor]) -> Result<Vec<Tensor>, ServeError> {
+        if inputs.is_empty() {
+            return Ok(Vec::new());
+        }
+        let item = [self.input[0], self.input[1], self.input[2]];
+        for t in inputs {
+            let s = t.shape();
+            if s.len() != 4 || s[0] != 1 || s[1..] != item[..] {
+                return Err(ServeError::ShapeMismatch {
+                    expected: item.to_vec(),
+                    got: s.to_vec(),
+                });
+            }
+        }
+        let item_len: usize = item.iter().product();
+        let mut stacked = Tensor::zeros(&[inputs.len(), item[0], item[1], item[2]]);
+        for (n, t) in inputs.iter().enumerate() {
+            stacked.data_mut()[n * item_len..(n + 1) * item_len].copy_from_slice(t.data());
+        }
+        let out = self.infer(&stacked)?;
+        let out_item: usize = self.output_shape().iter().product();
+        let mut per_request = Vec::with_capacity(inputs.len());
+        let mut out_shape = vec![1usize];
+        out_shape.extend_from_slice(self.output_shape());
+        for n in 0..inputs.len() {
+            let slice = out.data()[n * out_item..(n + 1) * out_item].to_vec();
+            per_request.push(Tensor::from_vec(&out_shape, slice).expect("split batch"));
+        }
+        Ok(per_request)
+    }
+}
+
+/// Extracts `[c, h, w]` when the flowing shape is still spatial.
+fn spatial(shape: &[usize]) -> Option<[usize; 3]> {
+    match shape {
+        [c, h, w] => Some([*c, *h, *w]),
+        _ => None,
+    }
+}
+
+/// Rejects window geometry `conv_out_dim` would panic on, so malformed
+/// artifacts fail at engine build with a typed error.
+fn check_window(
+    name: &str,
+    kernel: usize,
+    stride: usize,
+    pad: usize,
+    h: usize,
+    w: usize,
+) -> Result<(), ServeError> {
+    if kernel == 0 || stride == 0 {
+        return Err(ServeError::Artifact(ArtifactError::Malformed(format!(
+            "{name}: degenerate window (kernel {kernel}, stride {stride})"
+        ))));
+    }
+    if h + 2 * pad < kernel || w + 2 * pad < kernel {
+        return Err(ServeError::Artifact(ArtifactError::Malformed(format!(
+            "{name}: {kernel}x{kernel} window does not fit {h}x{w} input with pad {pad}"
+        ))));
+    }
+    Ok(())
+}
+
+fn run_step(step: &Step, prev: &Tensor, buf: &mut Tensor) {
+    match &step.exec {
+        StepExec::Pattern(exec) => exec.run_into(prev, buf),
+        StepExec::PatternPar(exec) => {
+            let out = exec.run(prev);
+            buf.data_mut().copy_from_slice(out.data());
+        }
+        StepExec::Dense(exec) => {
+            let out = exec.run(prev);
+            buf.data_mut().copy_from_slice(out.data());
+        }
+        StepExec::MaxPool {
+            kernel,
+            stride,
+            pad,
+        } => maxpool_into(prev, buf, *kernel, *stride, *pad),
+        StepExec::GlobalAvgPool => gap_into(prev, buf),
+        StepExec::Flatten | StepExec::Relu => {
+            buf.data_mut().copy_from_slice(prev.data());
+            if matches!(step.exec, StepExec::Relu) {
+                buf.map_inplace(|x| x.max(0.0));
+            }
+        }
+        StepExec::Fc { weights, bias } => fc_into(prev, weights, bias, buf),
+    }
+}
+
+fn maxpool_into(input: &Tensor, out: &mut Tensor, kernel: usize, stride: usize, pad: usize) {
+    let s = input.shape4();
+    let o = out.shape4();
+    let ind = input.data();
+    let od = out.data_mut();
+    let mut oi = 0;
+    for n in 0..s.n {
+        for c in 0..s.c {
+            let ibase = (n * s.c + c) * s.h * s.w;
+            for oh in 0..o.h {
+                for ow in 0..o.w {
+                    let mut best = f32::NEG_INFINITY;
+                    for kh in 0..kernel {
+                        let ih = (oh * stride + kh) as isize - pad as isize;
+                        if ih < 0 || ih >= s.h as isize {
+                            continue;
+                        }
+                        for kw in 0..kernel {
+                            let iw = (ow * stride + kw) as isize - pad as isize;
+                            if iw < 0 || iw >= s.w as isize {
+                                continue;
+                            }
+                            best = best.max(ind[ibase + ih as usize * s.w + iw as usize]);
+                        }
+                    }
+                    od[oi] = best;
+                    oi += 1;
+                }
+            }
+        }
+    }
+}
+
+fn gap_into(input: &Tensor, out: &mut Tensor) {
+    let s = input.shape4();
+    let hw = s.h * s.w;
+    for n in 0..s.n {
+        for c in 0..s.c {
+            let base = (n * s.c + c) * hw;
+            let mean = input.data()[base..base + hw].iter().sum::<f32>() / hw as f32;
+            out.data_mut()[n * s.c + c] = mean;
+        }
+    }
+}
+
+fn fc_into(input: &Tensor, weights: &Tensor, bias: &[f32], out: &mut Tensor) {
+    let batch = input.shape()[0];
+    let in_f = weights.shape()[1];
+    let out_f = weights.shape()[0];
+    out.data_mut().fill(0.0);
+    gemm_bt(
+        batch,
+        out_f,
+        in_f,
+        input.data(),
+        weights.data(),
+        out.data_mut(),
+    );
+    for b in 0..batch {
+        for (o, &bv) in bias.iter().enumerate() {
+            out.data_mut()[b * out_f + o] += bv;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::compile_network;
+    use patdnn_core::prune::pattern_project_network;
+    use patdnn_nn::layer::{Layer, Mode};
+    use patdnn_nn::models::small_cnn;
+    use patdnn_tensor::rng::Rng;
+
+    fn pruned_cnn(seed: u64) -> patdnn_nn::network::Sequential {
+        let mut rng = Rng::seed_from(seed);
+        let mut net = small_cnn(3, 8, 4, &mut rng);
+        pattern_project_network(&mut net, 8, 2.0);
+        net
+    }
+
+    #[test]
+    fn pruned_network_compiles_to_pattern_plans() {
+        let net = pruned_cnn(1);
+        let artifact = compile_network("pruned", &net, [3, 8, 8]).expect("compiles");
+        let pattern_layers = artifact
+            .layers
+            .iter()
+            .filter(|l| l.kind() == "pattern-conv")
+            .count();
+        assert_eq!(pattern_layers, 2, "both convs compile to pattern executors");
+    }
+
+    #[test]
+    fn engine_matches_nn_forward() {
+        let mut net = pruned_cnn(2);
+        let artifact = compile_network("m", &net, [3, 8, 8]).expect("compiles");
+        let engine = Engine::new(artifact, EngineOptions::default()).expect("engine");
+        let mut rng = Rng::seed_from(3);
+        let x = Tensor::randn(&[2, 3, 8, 8], &mut rng);
+        let want = net.forward(&x, Mode::Eval);
+        let got = engine.infer(&x).expect("infer");
+        assert_eq!(got.shape(), want.shape());
+        assert!(
+            want.approx_eq(&got, 1e-4),
+            "engine diverges from nn forward: {:?}",
+            want.max_abs_diff(&got)
+        );
+    }
+
+    #[test]
+    fn scratch_buffers_are_reused_across_calls() {
+        let net = pruned_cnn(4);
+        let artifact = compile_network("m", &net, [3, 8, 8]).expect("compiles");
+        let engine = Engine::new(artifact, EngineOptions::default()).expect("engine");
+        let mut rng = Rng::seed_from(5);
+        let x = Tensor::randn(&[1, 3, 8, 8], &mut rng);
+        let a = engine.infer(&x).expect("first");
+        assert_eq!(engine.scratch.lock().unwrap().len(), 1, "buffer set pooled");
+        let b = engine.infer(&x).expect("second");
+        assert_eq!(engine.scratch.lock().unwrap().len(), 1, "buffer set reused");
+        assert_eq!(a, b, "inference is deterministic");
+    }
+
+    #[test]
+    fn unfittable_window_errors_at_engine_build_not_panic() {
+        let net = pruned_cnn(9);
+        let mut artifact = compile_network("m", &net, [3, 8, 8]).expect("compiles");
+        // Shrink the declared input until the 3x3 convs cannot fit.
+        artifact.input = [3, 1, 1];
+        assert!(matches!(
+            Engine::new(artifact, EngineOptions::default()),
+            Err(ServeError::Artifact(_))
+        ));
+    }
+
+    #[test]
+    fn infer_rejects_wrong_shape() {
+        let net = pruned_cnn(6);
+        let artifact = compile_network("m", &net, [3, 8, 8]).expect("compiles");
+        let engine = Engine::new(artifact, EngineOptions::default()).expect("engine");
+        let bad = Tensor::zeros(&[1, 3, 9, 9]);
+        assert!(matches!(
+            engine.infer(&bad),
+            Err(ServeError::ShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn threaded_engine_matches_serial() {
+        let net = pruned_cnn(7);
+        let artifact = compile_network("m", &net, [3, 8, 8]).expect("compiles");
+        let serial = Engine::new(artifact.clone(), EngineOptions::default()).expect("engine");
+        let par = Engine::new(
+            artifact,
+            EngineOptions {
+                threads: 3,
+                ..EngineOptions::default()
+            },
+        )
+        .expect("engine");
+        let mut rng = Rng::seed_from(8);
+        let x = Tensor::randn(&[2, 3, 8, 8], &mut rng);
+        let a = serial.infer(&x).expect("serial");
+        let b = par.infer(&x).expect("parallel");
+        assert!(a.approx_eq(&b, 1e-5));
+    }
+}

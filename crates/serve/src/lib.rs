@@ -1,0 +1,119 @@
+//! # patdnn-serve
+//!
+//! The serving layer of the PatDNN reproduction: everything between a
+//! pruned, compiled network and live inference traffic.
+//!
+//! PatDNN's end-to-end promise is real-time *inference* — the compiler
+//! stack (FKW storage, filter-kernel reorder, LRE, tuning) only pays off
+//! when a whole network executes as one compiled plan. This crate
+//! provides that plan plus the deployment story around it:
+//!
+//! - [`compile`] — lowers an exported network ([`patdnn_nn::export`])
+//!   through the compiler's graph passes (BN folding, ReLU fusion, DCE)
+//!   into a [`artifact::ModelArtifact`], deriving each pruned layer's
+//!   pattern table and FKW storage from its weights.
+//! - [`artifact`] — the versioned binary model format: pruned FKW
+//!   weights plus layer geometry, save/load without retraining or
+//!   re-pruning.
+//! - [`engine`] — the [`engine::Engine`]: an executable plan of
+//!   per-layer executors with preallocated, reused intermediate buffers
+//!   and a single `infer` entry point; batch-N throughout.
+//! - [`registry`] — named models, shared between workers.
+//! - [`batching`] — the bounded request queue with dynamic batching:
+//!   collect up to `max_batch` same-model requests or a `max_wait`
+//!   deadline, execute as one batch, scatter the results.
+//! - [`server`] — the worker pool tying registry + queue together.
+//! - [`metrics`] — per-request latency and throughput counters
+//!   (p50/p95/p99, QPS).
+//!
+//! See `DESIGN.md` §7 for the serving architecture and batching policy.
+//!
+//! # Examples
+//!
+//! ```
+//! use patdnn_nn::models::small_cnn;
+//! use patdnn_serve::compile::compile_network;
+//! use patdnn_serve::engine::{Engine, EngineOptions};
+//! use patdnn_tensor::{rng::Rng, Tensor};
+//!
+//! let mut rng = Rng::seed_from(0);
+//! let net = small_cnn(3, 8, 4, &mut rng);
+//! let artifact = compile_network("demo", &net, [3, 8, 8]).unwrap();
+//! let engine = Engine::new(artifact, EngineOptions::default()).unwrap();
+//! let out = engine.infer(&Tensor::randn(&[1, 3, 8, 8], &mut rng)).unwrap();
+//! assert_eq!(out.shape(), &[1, 4]);
+//! ```
+
+pub mod artifact;
+pub mod batching;
+pub mod compile;
+pub mod engine;
+pub mod metrics;
+pub mod registry;
+pub mod server;
+
+pub use artifact::{ArtifactError, LayerPlan, ModelArtifact};
+pub use compile::{compile_graph, compile_network, CompileError};
+pub use engine::{Engine, EngineOptions};
+pub use metrics::{MetricsSnapshot, ServerMetrics};
+pub use registry::ModelRegistry;
+pub use server::{Server, ServerConfig};
+
+use std::fmt;
+
+/// Errors surfaced by the serving layer.
+#[derive(Debug)]
+pub enum ServeError {
+    /// The named model is not registered.
+    UnknownModel(String),
+    /// The request queue is at capacity (backpressure).
+    QueueFull,
+    /// The server is shutting down.
+    Closed,
+    /// The request input does not match the model's input shape.
+    ShapeMismatch {
+        /// Shape the model expects (per item, `[c, h, w]`).
+        expected: Vec<usize>,
+        /// Shape the request carried.
+        got: Vec<usize>,
+    },
+    /// Compilation failed.
+    Compile(CompileError),
+    /// Artifact decoding failed.
+    Artifact(ArtifactError),
+    /// An unexpected failure inside a worker.
+    Internal(String),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::UnknownModel(name) => write!(f, "unknown model {name:?}"),
+            ServeError::QueueFull => write!(f, "request queue full"),
+            ServeError::Closed => write!(f, "server closed"),
+            ServeError::ShapeMismatch { expected, got } => {
+                write!(
+                    f,
+                    "input shape {got:?} does not match model input {expected:?}"
+                )
+            }
+            ServeError::Compile(e) => write!(f, "compile error: {e}"),
+            ServeError::Artifact(e) => write!(f, "artifact error: {e}"),
+            ServeError::Internal(msg) => write!(f, "internal server error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<CompileError> for ServeError {
+    fn from(e: CompileError) -> Self {
+        ServeError::Compile(e)
+    }
+}
+
+impl From<ArtifactError> for ServeError {
+    fn from(e: ArtifactError) -> Self {
+        ServeError::Artifact(e)
+    }
+}

@@ -1,0 +1,222 @@
+//! Serving counters: per-request latency and throughput.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Cap on retained latency samples: percentiles are computed over the
+/// most recent window so a long-running server neither grows without
+/// bound nor pays ever-increasing snapshot costs.
+const MAX_SAMPLES: usize = 16_384;
+
+/// Fixed-capacity ring of the most recent latency samples.
+#[derive(Default)]
+struct LatencyRing {
+    samples: Vec<u64>,
+    next: usize,
+}
+
+impl LatencyRing {
+    fn push(&mut self, us: u64) {
+        if self.samples.len() < MAX_SAMPLES {
+            self.samples.push(us);
+        } else {
+            self.samples[self.next] = us;
+            self.next = (self.next + 1) % MAX_SAMPLES;
+        }
+    }
+}
+
+/// Live counters updated by server workers.
+pub struct ServerMetrics {
+    latencies_us: Mutex<LatencyRing>,
+    requests: AtomicU64,
+    batches: AtomicU64,
+    rejected: AtomicU64,
+    started: Instant,
+}
+
+impl Default for ServerMetrics {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ServerMetrics {
+    /// Creates zeroed counters; QPS is measured from this instant.
+    pub fn new() -> Self {
+        ServerMetrics {
+            latencies_us: Mutex::new(LatencyRing::default()),
+            requests: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            started: Instant::now(),
+        }
+    }
+
+    /// Records one executed batch and its per-request latencies.
+    ///
+    /// Latency percentiles are computed over the most recent
+    /// [`MAX_SAMPLES`] requests; the request/batch totals are exact.
+    pub fn record_batch(&self, latencies: &[Duration]) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.requests
+            .fetch_add(latencies.len() as u64, Ordering::Relaxed);
+        let mut ring = self.latencies_us.lock().expect("metrics lock");
+        for d in latencies {
+            ring.push(d.as_micros() as u64);
+        }
+    }
+
+    /// Records a rejected (queue-full) request.
+    pub fn record_rejected(&self) {
+        self.rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Takes a consistent snapshot of the counters.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let latencies = self
+            .latencies_us
+            .lock()
+            .expect("metrics lock")
+            .samples
+            .clone();
+        let requests = self.requests.load(Ordering::Relaxed);
+        let batches = self.batches.load(Ordering::Relaxed);
+        let rejected = self.rejected.load(Ordering::Relaxed);
+        let elapsed = self.started.elapsed().as_secs_f64();
+        let mut sorted = latencies;
+        sorted.sort_unstable();
+        let pct = |q: f64| -> f64 {
+            if sorted.is_empty() {
+                return 0.0;
+            }
+            let rank = (q * (sorted.len() - 1) as f64).round() as usize;
+            sorted[rank] as f64 / 1e3
+        };
+        let mean_ms = if sorted.is_empty() {
+            0.0
+        } else {
+            sorted.iter().sum::<u64>() as f64 / sorted.len() as f64 / 1e3
+        };
+        MetricsSnapshot {
+            requests,
+            batches,
+            rejected,
+            avg_batch: if batches == 0 {
+                0.0
+            } else {
+                requests as f64 / batches as f64
+            },
+            qps: if elapsed <= 0.0 {
+                0.0
+            } else {
+                requests as f64 / elapsed
+            },
+            p50_ms: pct(0.50),
+            p95_ms: pct(0.95),
+            p99_ms: pct(0.99),
+            mean_ms,
+        }
+    }
+}
+
+/// A point-in-time view of the serving counters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Requests completed.
+    pub requests: u64,
+    /// Batched executions run.
+    pub batches: u64,
+    /// Requests rejected for backpressure.
+    pub rejected: u64,
+    /// Mean requests per executed batch.
+    pub avg_batch: f64,
+    /// Completed requests per second since server start.
+    pub qps: f64,
+    /// Median request latency (enqueue → response), milliseconds.
+    pub p50_ms: f64,
+    /// 95th percentile latency, milliseconds.
+    pub p95_ms: f64,
+    /// 99th percentile latency, milliseconds.
+    pub p99_ms: f64,
+    /// Mean latency, milliseconds.
+    pub mean_ms: f64,
+}
+
+impl std::fmt::Display for MetricsSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "requests={} batches={} rejected={} avg_batch={:.2} qps={:.1} \
+             latency p50={:.3}ms p95={:.3}ms p99={:.3}ms mean={:.3}ms",
+            self.requests,
+            self.batches,
+            self.rejected,
+            self.avg_batch,
+            self.qps,
+            self.p50_ms,
+            self.p95_ms,
+            self.p99_ms,
+            self.mean_ms,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_metrics_snapshot_is_zeroed() {
+        let m = ServerMetrics::new();
+        let s = m.snapshot();
+        assert_eq!(s.requests, 0);
+        assert_eq!(s.p99_ms, 0.0);
+        assert_eq!(s.avg_batch, 0.0);
+    }
+
+    #[test]
+    fn percentiles_order_correctly() {
+        let m = ServerMetrics::new();
+        // 100 requests in two batches: latencies 1ms..100ms.
+        let first: Vec<Duration> = (1..=50).map(Duration::from_millis).collect();
+        let second: Vec<Duration> = (51..=100).map(Duration::from_millis).collect();
+        m.record_batch(&first);
+        m.record_batch(&second);
+        let s = m.snapshot();
+        assert_eq!(s.requests, 100);
+        assert_eq!(s.batches, 2);
+        assert_eq!(s.avg_batch, 50.0);
+        assert!((s.p50_ms - 51.0).abs() < 1.5, "p50 {}", s.p50_ms);
+        assert!((s.p95_ms - 95.0).abs() < 1.5, "p95 {}", s.p95_ms);
+        assert!((s.p99_ms - 99.0).abs() < 1.5, "p99 {}", s.p99_ms);
+        assert!(s.p50_ms <= s.p95_ms && s.p95_ms <= s.p99_ms);
+    }
+
+    #[test]
+    fn rejections_are_counted() {
+        let m = ServerMetrics::new();
+        m.record_rejected();
+        m.record_rejected();
+        assert_eq!(m.snapshot().rejected, 2);
+    }
+
+    #[test]
+    fn sample_store_is_bounded_and_keeps_the_recent_window() {
+        let m = ServerMetrics::new();
+        // Overfill the ring: MAX_SAMPLES slow requests, then MAX_SAMPLES
+        // fast ones. The window must hold only the fast tail.
+        let slow = vec![Duration::from_millis(1000); MAX_SAMPLES];
+        m.record_batch(&slow);
+        let fast = vec![Duration::from_millis(1); MAX_SAMPLES];
+        m.record_batch(&fast);
+        let s = m.snapshot();
+        assert_eq!(s.requests, 2 * MAX_SAMPLES as u64, "totals stay exact");
+        assert!(
+            (s.p99_ms - 1.0).abs() < 0.01,
+            "p99 {} reflects only the recent window",
+            s.p99_ms
+        );
+    }
+}

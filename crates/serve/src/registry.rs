@@ -1,0 +1,116 @@
+//! The model registry: named engines shared between server workers.
+
+use std::collections::HashMap;
+use std::sync::{Arc, RwLock};
+
+use crate::engine::Engine;
+use crate::ServeError;
+
+/// A thread-safe name → [`Engine`] map.
+///
+/// Engines are immutable once built (inference takes `&self`), so the
+/// registry hands out `Arc` clones; replacing a model under a live name
+/// swaps the `Arc` atomically and in-flight requests finish on the
+/// engine they resolved.
+#[derive(Default)]
+pub struct ModelRegistry {
+    models: RwLock<HashMap<String, Arc<Engine>>>,
+}
+
+impl ModelRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers (or replaces) a model under `name`.
+    pub fn register(&self, name: &str, engine: Engine) -> Arc<Engine> {
+        let engine = Arc::new(engine);
+        self.models
+            .write()
+            .expect("registry lock")
+            .insert(name.to_owned(), Arc::clone(&engine));
+        engine
+    }
+
+    /// Looks up a model.
+    pub fn get(&self, name: &str) -> Result<Arc<Engine>, ServeError> {
+        self.models
+            .read()
+            .expect("registry lock")
+            .get(name)
+            .cloned()
+            .ok_or_else(|| ServeError::UnknownModel(name.to_owned()))
+    }
+
+    /// Removes a model; returns whether it existed.
+    pub fn remove(&self, name: &str) -> bool {
+        self.models
+            .write()
+            .expect("registry lock")
+            .remove(name)
+            .is_some()
+    }
+
+    /// Registered model names, sorted.
+    pub fn names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self
+            .models
+            .read()
+            .expect("registry lock")
+            .keys()
+            .cloned()
+            .collect();
+        names.sort();
+        names
+    }
+
+    /// Number of registered models.
+    pub fn len(&self) -> usize {
+        self.models.read().expect("registry lock").len()
+    }
+
+    /// Returns `true` when no models are registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::compile_network;
+    use crate::engine::EngineOptions;
+    use patdnn_nn::models::small_cnn;
+    use patdnn_tensor::rng::Rng;
+
+    fn engine(seed: u64) -> Engine {
+        let mut rng = Rng::seed_from(seed);
+        let net = small_cnn(3, 8, 4, &mut rng);
+        let artifact = compile_network("m", &net, [3, 8, 8]).expect("compiles");
+        Engine::new(artifact, EngineOptions::default()).expect("engine")
+    }
+
+    #[test]
+    fn register_get_remove() {
+        let reg = ModelRegistry::new();
+        assert!(reg.is_empty());
+        reg.register("a", engine(1));
+        reg.register("b", engine(2));
+        assert_eq!(reg.names(), vec!["a".to_string(), "b".to_string()]);
+        assert!(reg.get("a").is_ok());
+        assert!(matches!(reg.get("c"), Err(ServeError::UnknownModel(_))));
+        assert!(reg.remove("a"));
+        assert!(!reg.remove("a"));
+        assert_eq!(reg.len(), 1);
+    }
+
+    #[test]
+    fn replacement_swaps_engine() {
+        let reg = ModelRegistry::new();
+        let first = reg.register("m", engine(3));
+        let second = reg.register("m", engine(4));
+        assert!(!Arc::ptr_eq(&first, &second));
+        assert!(Arc::ptr_eq(&reg.get("m").unwrap(), &second));
+    }
+}

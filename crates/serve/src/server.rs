@@ -1,0 +1,269 @@
+//! The serving front-end: a worker pool draining the batch queue.
+//!
+//! Workers pop same-model batches (see [`crate::batching`]), stack the
+//! inputs, run one batched execution on the registered engine, and
+//! scatter the results back to each request's response channel with its
+//! end-to-end latency. Engines themselves may use the runtime's
+//! FKR-balanced thread pool per layer ([`crate::engine::EngineOptions::threads`]),
+//! so total parallelism is `workers × threads`.
+
+use std::sync::mpsc::{sync_channel, Receiver};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use patdnn_tensor::Tensor;
+
+use crate::batching::{BatchPolicy, BatchQueue, PendingRequest};
+use crate::metrics::ServerMetrics;
+use crate::registry::ModelRegistry;
+use crate::ServeError;
+
+/// A completed inference.
+#[derive(Debug)]
+pub struct InferResponse {
+    /// The model output for this request, `[1, ...]`.
+    pub output: Tensor,
+    /// End-to-end latency: enqueue → response.
+    pub latency: Duration,
+    /// Size of the batch this request was executed in.
+    pub batch_size: usize,
+}
+
+/// What a request's response channel eventually carries.
+pub type RequestResult = Result<InferResponse, ServeError>;
+
+/// Server construction knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct ServerConfig {
+    /// Worker threads draining the queue.
+    pub workers: usize,
+    /// Dynamic batching policy.
+    pub batch: BatchPolicy,
+    /// Bounded queue capacity (backpressure threshold).
+    pub queue_capacity: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: 2,
+            batch: BatchPolicy::default(),
+            queue_capacity: 256,
+        }
+    }
+}
+
+/// A running model server.
+pub struct Server {
+    registry: Arc<ModelRegistry>,
+    queue: Arc<BatchQueue>,
+    metrics: Arc<ServerMetrics>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Starts `cfg.workers` worker threads over `registry`.
+    pub fn start(registry: Arc<ModelRegistry>, cfg: ServerConfig) -> Self {
+        assert!(cfg.workers > 0, "need at least one worker");
+        let queue = Arc::new(BatchQueue::new(cfg.queue_capacity));
+        let metrics = Arc::new(ServerMetrics::new());
+        let workers = (0..cfg.workers)
+            .map(|_| {
+                let queue = Arc::clone(&queue);
+                let registry = Arc::clone(&registry);
+                let metrics = Arc::clone(&metrics);
+                let policy = cfg.batch;
+                std::thread::spawn(move || worker_loop(&queue, &registry, &metrics, policy))
+            })
+            .collect();
+        Server {
+            registry,
+            queue,
+            metrics,
+            workers,
+        }
+    }
+
+    /// The registry this server resolves models against.
+    pub fn registry(&self) -> &ModelRegistry {
+        &self.registry
+    }
+
+    /// Live serving counters.
+    pub fn metrics(&self) -> &ServerMetrics {
+        &self.metrics
+    }
+
+    /// Submits a single-item request, returning the channel its result
+    /// will arrive on. Fails fast on unknown models, shape mismatches,
+    /// and queue backpressure.
+    pub fn submit(
+        &self,
+        model: &str,
+        input: Tensor,
+    ) -> Result<Receiver<RequestResult>, ServeError> {
+        let engine = self.registry.get(model)?;
+        let expected = engine.input_shape();
+        let s = input.shape();
+        if s.len() != 4 || s[0] != 1 || s[1..] != expected[..] {
+            return Err(ServeError::ShapeMismatch {
+                expected: expected.to_vec(),
+                got: s.to_vec(),
+            });
+        }
+        let (tx, rx) = sync_channel(1);
+        let push = self.queue.push(PendingRequest {
+            model: model.to_owned(),
+            input,
+            enqueued: Instant::now(),
+            respond: tx,
+        });
+        if let Err(e) = push {
+            if matches!(e, ServeError::QueueFull) {
+                self.metrics.record_rejected();
+            }
+            return Err(e);
+        }
+        Ok(rx)
+    }
+
+    /// Submits a request and blocks for its result.
+    pub fn infer(&self, model: &str, input: Tensor) -> Result<InferResponse, ServeError> {
+        let rx = self.submit(model, input)?;
+        rx.recv().map_err(|_| ServeError::Closed)?
+    }
+
+    /// Stops accepting requests, drains the queue, and joins workers.
+    pub fn shutdown(mut self) {
+        self.queue.close();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.queue.close();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop(
+    queue: &BatchQueue,
+    registry: &ModelRegistry,
+    metrics: &ServerMetrics,
+    policy: BatchPolicy,
+) {
+    while let Some((model, batch)) = queue.pop_batch(&policy) {
+        let engine = match registry.get(&model) {
+            Ok(engine) => engine,
+            Err(_) => {
+                // Model was removed while requests were queued.
+                for req in batch {
+                    let _ = req
+                        .respond
+                        .send(Err(ServeError::UnknownModel(model.clone())));
+                }
+                continue;
+            }
+        };
+        // Move the inputs out of the requests: the batch only needs its
+        // response channels and enqueue times afterwards, so the tensors
+        // are not cloned on the hot path.
+        let batch_size = batch.len();
+        let mut inputs = Vec::with_capacity(batch_size);
+        let mut responders = Vec::with_capacity(batch_size);
+        for req in batch {
+            inputs.push(req.input);
+            responders.push((req.respond, req.enqueued));
+        }
+        match engine.infer_batch(&inputs) {
+            Ok(outputs) => {
+                let done = Instant::now();
+                let latencies: Vec<Duration> = responders
+                    .iter()
+                    .map(|(_, enqueued)| done.duration_since(*enqueued))
+                    .collect();
+                metrics.record_batch(&latencies);
+                for (((respond, _), output), latency) in
+                    responders.into_iter().zip(outputs).zip(latencies)
+                {
+                    let _ = respond.send(Ok(InferResponse {
+                        output,
+                        latency,
+                        batch_size,
+                    }));
+                }
+            }
+            Err(e) => {
+                // Shape errors are caught at submit; anything here is a
+                // per-batch failure every requester learns about.
+                let msg = e.to_string();
+                for (respond, _) in responders {
+                    let _ = respond.send(Err(ServeError::Internal(msg.clone())));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::compile_network;
+    use crate::engine::{Engine, EngineOptions};
+    use patdnn_nn::models::small_cnn;
+    use patdnn_tensor::rng::Rng;
+
+    fn registry_with(name: &str, seed: u64) -> Arc<ModelRegistry> {
+        let mut rng = Rng::seed_from(seed);
+        let net = small_cnn(3, 8, 4, &mut rng);
+        let artifact = compile_network(name, &net, [3, 8, 8]).expect("compiles");
+        let registry = Arc::new(ModelRegistry::new());
+        registry.register(
+            name,
+            Engine::new(artifact, EngineOptions::default()).expect("engine"),
+        );
+        registry
+    }
+
+    #[test]
+    fn serves_a_request_end_to_end() {
+        let registry = registry_with("m", 1);
+        let server = Server::start(Arc::clone(&registry), ServerConfig::default());
+        let mut rng = Rng::seed_from(2);
+        let x = Tensor::randn(&[1, 3, 8, 8], &mut rng);
+        let want = registry.get("m").unwrap().infer(&x).unwrap();
+        let resp = server.infer("m", x).expect("served");
+        assert_eq!(resp.output, want);
+        assert!(resp.latency > Duration::ZERO);
+        assert_eq!(server.metrics().snapshot().requests, 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn unknown_model_fails_at_submit() {
+        let registry = registry_with("m", 3);
+        let server = Server::start(registry, ServerConfig::default());
+        let x = Tensor::zeros(&[1, 3, 8, 8]);
+        assert!(matches!(
+            server.infer("nope", x),
+            Err(ServeError::UnknownModel(_))
+        ));
+    }
+
+    #[test]
+    fn wrong_shape_fails_at_submit() {
+        let registry = registry_with("m", 4);
+        let server = Server::start(registry, ServerConfig::default());
+        let x = Tensor::zeros(&[1, 3, 9, 9]);
+        assert!(matches!(
+            server.infer("m", x),
+            Err(ServeError::ShapeMismatch { .. })
+        ));
+    }
+}

@@ -62,7 +62,10 @@ impl Conv2dGeometry {
         stride: usize,
         pad: usize,
     ) -> Self {
-        assert!(out_channels > 0 && in_channels > 0, "channel counts must be positive");
+        assert!(
+            out_channels > 0 && in_channels > 0,
+            "channel counts must be positive"
+        );
         assert!(kernel_h > 0 && kernel_w > 0, "kernel dims must be positive");
         let out_h = conv_out_dim(in_h, kernel_h, stride, pad);
         let out_w = conv_out_dim(in_w, kernel_w, stride, pad);
@@ -82,7 +85,12 @@ impl Conv2dGeometry {
 
     /// Weight tensor shape in OIHW order.
     pub fn weight_shape(&self) -> Shape4 {
-        Shape4::new(self.out_channels, self.in_channels, self.kernel_h, self.kernel_w)
+        Shape4::new(
+            self.out_channels,
+            self.in_channels,
+            self.kernel_h,
+            self.kernel_w,
+        )
     }
 
     /// Input shape for a batch of one, NCHW.
@@ -97,7 +105,12 @@ impl Conv2dGeometry {
 
     /// Multiply-accumulate count of the dense layer.
     pub fn macs(&self) -> usize {
-        self.out_channels * self.in_channels * self.kernel_h * self.kernel_w * self.out_h * self.out_w
+        self.out_channels
+            * self.in_channels
+            * self.kernel_h
+            * self.kernel_w
+            * self.out_h
+            * self.out_w
     }
 
     /// Floating point operations of the dense layer (2 per MAC).
@@ -114,12 +127,21 @@ impl Conv2dGeometry {
 ///
 /// Panics if the tensor shapes disagree with `geo` or the batch dimension
 /// of `input`.
-pub fn conv2d_ref(input: &Tensor, weights: &Tensor, bias: Option<&[f32]>, geo: &Conv2dGeometry) -> Tensor {
+pub fn conv2d_ref(
+    input: &Tensor,
+    weights: &Tensor,
+    bias: Option<&[f32]>,
+    geo: &Conv2dGeometry,
+) -> Tensor {
     let ishape = input.shape4();
     assert_eq!(ishape.c, geo.in_channels, "input channel mismatch");
     assert_eq!(ishape.h, geo.in_h, "input height mismatch");
     assert_eq!(ishape.w, geo.in_w, "input width mismatch");
-    assert_eq!(weights.shape4(), geo.weight_shape(), "weight shape mismatch");
+    assert_eq!(
+        weights.shape4(),
+        geo.weight_shape(),
+        "weight shape mismatch"
+    );
     if let Some(b) = bias {
         assert_eq!(b.len(), geo.out_channels, "bias length mismatch");
     }
@@ -155,7 +177,8 @@ pub fn conv2d_ref(input: &Tensor, weights: &Tensor, bias: Option<&[f32]>, geo: &
                                 }
                                 let iv = in_data
                                     [ibase + ic * istride_c + ih as usize * geo.in_w + iw as usize];
-                                let wv = w_data[oc * wstride_o + ic * wstride_i + kh * geo.kernel_w + kw];
+                                let wv = w_data
+                                    [oc * wstride_o + ic * wstride_i + kh * geo.kernel_w + kw];
                                 acc += iv * wv;
                             }
                         }
@@ -191,17 +214,13 @@ mod tests {
         let input = Tensor::filled(&[1, 1, 3, 3], 1.0);
         let weights = Tensor::filled(&[1, 1, 3, 3], 1.0);
         let out = conv2d_ref(&input, &weights, None, &geo);
-        assert_eq!(
-            out.data(),
-            &[4.0, 6.0, 4.0, 6.0, 9.0, 6.0, 4.0, 6.0, 4.0]
-        );
+        assert_eq!(out.data(), &[4.0, 6.0, 4.0, 6.0, 9.0, 6.0, 4.0, 6.0, 4.0]);
     }
 
     #[test]
     fn stride_two_downsamples() {
         let geo = Conv2dGeometry::new(1, 1, 1, 1, 4, 4, 2, 0);
-        let input =
-            Tensor::from_vec(&[1, 1, 4, 4], (0..16).map(|i| i as f32).collect()).unwrap();
+        let input = Tensor::from_vec(&[1, 1, 4, 4], (0..16).map(|i| i as f32).collect()).unwrap();
         let weights = Tensor::from_vec(&[1, 1, 1, 1], vec![1.0]).unwrap();
         let out = conv2d_ref(&input, &weights, None, &geo);
         assert_eq!(out.shape(), &[1, 1, 2, 2]);

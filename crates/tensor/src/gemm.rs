@@ -213,7 +213,13 @@ mod tests {
     #[test]
     fn blocked_matches_reference_on_odd_sizes() {
         let mut rng = Rng::seed_from(21);
-        for &(m, n, k) in &[(1, 1, 1), (3, 5, 7), (17, 9, 33), (64, 64, 64), (70, 130, 150)] {
+        for &(m, n, k) in &[
+            (1, 1, 1),
+            (3, 5, 7),
+            (17, 9, 33),
+            (64, 64, 64),
+            (70, 130, 150),
+        ] {
             let a = random_mat(&mut rng, m * k);
             let b = random_mat(&mut rng, k * n);
             let mut c_ref = vec![0.0; m * n];

@@ -30,7 +30,10 @@ pub fn col_cols(geo: &Conv2dGeometry) -> usize {
 pub fn im2col(input: &[f32], geo: &Conv2dGeometry, cols: &mut [f32]) {
     let rows = col_rows(geo);
     let ncols = col_cols(geo);
-    assert!(input.len() >= geo.in_channels * geo.in_h * geo.in_w, "input too short");
+    assert!(
+        input.len() >= geo.in_channels * geo.in_h * geo.in_w,
+        "input too short"
+    );
     assert!(cols.len() >= rows * ncols, "cols buffer too short");
 
     for ic in 0..geo.in_channels {
@@ -119,7 +122,11 @@ pub fn conv2d_im2col(
 ) -> Tensor {
     let ishape = input.shape4();
     assert_eq!(ishape.c, geo.in_channels, "input channel mismatch");
-    assert_eq!(weights.shape4(), geo.weight_shape(), "weight shape mismatch");
+    assert_eq!(
+        weights.shape4(),
+        geo.weight_shape(),
+        "weight shape mismatch"
+    );
     let batch = ishape.n;
     let rows = col_rows(geo);
     let ncols = col_cols(geo);
@@ -131,7 +138,14 @@ pub fn conv2d_im2col(
     for n in 0..batch {
         im2col(&input.data()[n * in_img..(n + 1) * in_img], geo, &mut cols);
         let out_slice = &mut out.data_mut()[n * out_img..(n + 1) * out_img];
-        crate::gemm::gemm(geo.out_channels, ncols, rows, weights.data(), &cols, out_slice);
+        crate::gemm::gemm(
+            geo.out_channels,
+            ncols,
+            rows,
+            weights.data(),
+            &cols,
+            out_slice,
+        );
         if let Some(b) = bias {
             for oc in 0..geo.out_channels {
                 for v in &mut out_slice[oc * ncols..(oc + 1) * ncols] {
@@ -194,11 +208,19 @@ mod tests {
 
         let mut cols = vec![0.0; rows * ncols];
         im2col(&x, &geo, &mut cols);
-        let lhs: f64 = cols.iter().zip(&y).map(|(&a, &b)| (a as f64) * (b as f64)).sum();
+        let lhs: f64 = cols
+            .iter()
+            .zip(&y)
+            .map(|(&a, &b)| (a as f64) * (b as f64))
+            .sum();
 
         let mut back = vec![0.0; x.len()];
         col2im(&y, &geo, &mut back);
-        let rhs: f64 = x.iter().zip(&back).map(|(&a, &b)| (a as f64) * (b as f64)).sum();
+        let rhs: f64 = x
+            .iter()
+            .zip(&back)
+            .map(|(&a, &b)| (a as f64) * (b as f64))
+            .sum();
 
         assert!((lhs - rhs).abs() < 1e-3, "{lhs} vs {rhs}");
     }

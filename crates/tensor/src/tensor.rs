@@ -29,7 +29,10 @@ impl fmt::Display for TensorError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             TensorError::LengthMismatch { expected, actual } => {
-                write!(f, "buffer of {actual} elements does not fill shape of {expected}")
+                write!(
+                    f,
+                    "buffer of {actual} elements does not fill shape of {expected}"
+                )
             }
             TensorError::ShapeMismatch { left, right } => {
                 write!(f, "shape mismatch: {left:?} vs {right:?}")
@@ -168,7 +171,12 @@ impl Tensor {
     ///
     /// Panics if the tensor is not 4-dimensional.
     pub fn shape4(&self) -> Shape4 {
-        assert_eq!(self.shape.len(), 4, "tensor is {}-d, not 4-d", self.shape.len());
+        assert_eq!(
+            self.shape.len(),
+            4,
+            "tensor is {}-d, not 4-d",
+            self.shape.len()
+        );
         Shape4::new(self.shape[0], self.shape[1], self.shape[2], self.shape[3])
     }
 
@@ -181,7 +189,10 @@ impl Tensor {
         assert_eq!(idx.len(), self.shape.len(), "index rank mismatch");
         let mut off = 0;
         for (i, (&ix, &dim)) in idx.iter().zip(&self.shape).enumerate() {
-            assert!(ix < dim, "index {ix} out of bounds for axis {i} (len {dim})");
+            assert!(
+                ix < dim,
+                "index {ix} out of bounds for axis {i} (len {dim})"
+            );
             off = off * dim + ix;
         }
         off
@@ -258,7 +269,11 @@ impl Tensor {
     /// # Errors
     ///
     /// Returns [`TensorError::ShapeMismatch`] when shapes differ.
-    pub fn zip_map(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Result<Tensor, TensorError> {
+    pub fn zip_map(
+        &self,
+        other: &Tensor,
+        f: impl Fn(f32, f32) -> f32,
+    ) -> Result<Tensor, TensorError> {
         if self.shape != other.shape {
             return Err(TensorError::ShapeMismatch {
                 left: self.shape.clone(),
@@ -323,7 +338,11 @@ impl Tensor {
 
     /// Euclidean (Frobenius) norm.
     pub fn l2_norm(&self) -> f32 {
-        self.data.iter().map(|&x| (x as f64) * (x as f64)).sum::<f64>().sqrt() as f32
+        self.data
+            .iter()
+            .map(|&x| (x as f64) * (x as f64))
+            .sum::<f64>()
+            .sqrt() as f32
     }
 
     /// Number of non-zero elements.
@@ -395,7 +414,13 @@ mod tests {
     #[test]
     fn from_vec_validates_length() {
         let err = Tensor::from_vec(&[2, 3], vec![0.0; 5]).unwrap_err();
-        assert_eq!(err, TensorError::LengthMismatch { expected: 6, actual: 5 });
+        assert_eq!(
+            err,
+            TensorError::LengthMismatch {
+                expected: 6,
+                actual: 5
+            }
+        );
     }
 
     #[test]

@@ -108,11 +108,19 @@ pub fn conv2d_winograd(
     bias: Option<&[f32]>,
     geo: &Conv2dGeometry,
 ) -> Tensor {
-    assert_eq!((geo.kernel_h, geo.kernel_w), (3, 3), "winograd requires 3x3 kernels");
+    assert_eq!(
+        (geo.kernel_h, geo.kernel_w),
+        (3, 3),
+        "winograd requires 3x3 kernels"
+    );
     assert_eq!(geo.stride, 1, "winograd requires stride 1");
     let ishape = input.shape4();
     assert_eq!(ishape.c, geo.in_channels, "input channel mismatch");
-    assert_eq!(weights.shape4(), geo.weight_shape(), "weight shape mismatch");
+    assert_eq!(
+        weights.shape4(),
+        geo.weight_shape(),
+        "weight shape mismatch"
+    );
 
     let batch = ishape.n;
     let mut out = Tensor::zeros(&[batch, geo.out_channels, geo.out_h, geo.out_w]);
@@ -155,8 +163,10 @@ pub fn conv2d_winograd(
                                 && iw >= 0
                                 && iw < geo.in_w as isize
                             {
-                                in_data
-                                    [ibase_n + ic * geo.in_h * geo.in_w + ih as usize * geo.in_w + iw as usize]
+                                in_data[ibase_n
+                                    + ic * geo.in_h * geo.in_w
+                                    + ih as usize * geo.in_w
+                                    + iw as usize]
                             } else {
                                 0.0
                             };

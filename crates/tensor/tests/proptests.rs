@@ -1,27 +1,28 @@
 //! Property-based tests for the tensor substrate.
+//!
+//! The properties are exercised over a deterministic sweep of seeds and
+//! shapes drawn from the workspace's own [`Rng`] (the container builds
+//! offline, so no external property-testing framework is used). Each test
+//! derives its case parameters from the seed, covering the same ranges
+//! the original proptest strategies did.
 
 use patdnn_tensor::gemm::{gemm, gemm_ref};
 use patdnn_tensor::im2col::conv2d_im2col;
+use patdnn_tensor::rng::Rng;
 use patdnn_tensor::winograd::conv2d_winograd;
 use patdnn_tensor::{conv2d_ref, Conv2dGeometry, Tensor};
-use proptest::prelude::*;
 
-fn small_f32() -> impl Strategy<Value = f32> {
-    (-100i32..100).prop_map(|v| v as f32 / 16.0)
+/// Quantized small scalar, mirroring the original `small_f32` strategy.
+fn small_f32(rng: &mut Rng) -> f32 {
+    (rng.below(200) as i32 - 100) as f32 / 16.0
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Blocked GEMM agrees with the reference for arbitrary shapes/content.
-    #[test]
-    fn gemm_blocked_matches_ref(
-        m in 1usize..20,
-        n in 1usize..20,
-        k in 1usize..20,
-        seed in any::<u64>(),
-    ) {
-        let mut rng = patdnn_tensor::rng::Rng::seed_from(seed);
+/// Blocked GEMM agrees with the reference for arbitrary shapes/content.
+#[test]
+fn gemm_blocked_matches_ref() {
+    for seed in 0..64u64 {
+        let mut rng = Rng::seed_from(seed);
+        let (m, n, k) = (1 + rng.below(19), 1 + rng.below(19), 1 + rng.below(19));
         let a: Vec<f32> = (0..m * k).map(|_| rng.uniform(-2.0, 2.0)).collect();
         let b: Vec<f32> = (0..k * n).map(|_| rng.uniform(-2.0, 2.0)).collect();
         let mut c1 = vec![0.0; m * n];
@@ -29,20 +30,18 @@ proptest! {
         gemm_ref(m, n, k, &a, &b, &mut c1);
         gemm(m, n, k, &a, &b, &mut c2);
         for (x, y) in c1.iter().zip(&c2) {
-            prop_assert!((x - y).abs() < 1e-3, "{x} vs {y}");
+            assert!((x - y).abs() < 1e-3, "seed {seed}: {x} vs {y}");
         }
     }
+}
 
-    /// GEMM is linear in A: (alpha * A) * B == alpha * (A * B).
-    #[test]
-    fn gemm_is_linear(
-        m in 1usize..8,
-        n in 1usize..8,
-        k in 1usize..8,
-        alpha in small_f32(),
-        seed in any::<u64>(),
-    ) {
-        let mut rng = patdnn_tensor::rng::Rng::seed_from(seed);
+/// GEMM is linear in A: (alpha * A) * B == alpha * (A * B).
+#[test]
+fn gemm_is_linear() {
+    for seed in 0..64u64 {
+        let mut rng = Rng::seed_from(seed);
+        let (m, n, k) = (1 + rng.below(7), 1 + rng.below(7), 1 + rng.below(7));
+        let alpha = small_f32(&mut rng);
         let a: Vec<f32> = (0..m * k).map(|_| rng.uniform(-1.0, 1.0)).collect();
         let b: Vec<f32> = (0..k * n).map(|_| rng.uniform(-1.0, 1.0)).collect();
         let a_scaled: Vec<f32> = a.iter().map(|&x| alpha * x).collect();
@@ -51,56 +50,66 @@ proptest! {
         gemm_ref(m, n, k, &a, &b, &mut c);
         gemm_ref(m, n, k, &a_scaled, &b, &mut c_scaled);
         for (x, y) in c.iter().zip(&c_scaled) {
-            prop_assert!((alpha * x - y).abs() < 1e-2, "{} vs {y}", alpha * x);
+            assert!(
+                (alpha * x - y).abs() < 1e-2,
+                "seed {seed}: {} vs {y}",
+                alpha * x
+            );
         }
     }
+}
 
-    /// im2col+GEMM convolution equals the direct reference.
-    #[test]
-    fn im2col_conv_matches_ref(
-        oc in 1usize..5,
-        ic in 1usize..5,
-        hw in 3usize..10,
-        stride in 1usize..3,
-        pad in 0usize..2,
-        seed in any::<u64>(),
-    ) {
-        let mut rng = patdnn_tensor::rng::Rng::seed_from(seed);
+/// im2col+GEMM convolution equals the direct reference.
+#[test]
+fn im2col_conv_matches_ref() {
+    for seed in 0..64u64 {
+        let mut rng = Rng::seed_from(seed);
+        let (oc, ic) = (1 + rng.below(4), 1 + rng.below(4));
+        let hw = 3 + rng.below(7);
+        let stride = 1 + rng.below(2);
+        let pad = rng.below(2);
         let k = 3usize.min(hw);
         let geo = Conv2dGeometry::new(oc, ic, k, k, hw, hw, stride, pad);
         let input = Tensor::randn(&[1, ic, hw, hw], &mut rng);
         let weights = Tensor::randn(&[oc, ic, k, k], &mut rng);
         let r = conv2d_ref(&input, &weights, None, &geo);
         let c = conv2d_im2col(&input, &weights, None, &geo);
-        prop_assert!(r.approx_eq(&c, 1e-3), "diff {:?}", r.max_abs_diff(&c));
+        assert!(
+            r.approx_eq(&c, 1e-3),
+            "seed {seed}: diff {:?}",
+            r.max_abs_diff(&c)
+        );
     }
+}
 
-    /// Winograd convolution equals the direct reference for 3x3/stride-1.
-    #[test]
-    fn winograd_conv_matches_ref(
-        oc in 1usize..4,
-        ic in 1usize..4,
-        hw in 4usize..11,
-        pad in 0usize..2,
-        seed in any::<u64>(),
-    ) {
-        let mut rng = patdnn_tensor::rng::Rng::seed_from(seed);
+/// Winograd convolution equals the direct reference for 3x3/stride-1.
+#[test]
+fn winograd_conv_matches_ref() {
+    for seed in 0..64u64 {
+        let mut rng = Rng::seed_from(seed);
+        let (oc, ic) = (1 + rng.below(3), 1 + rng.below(3));
+        let hw = 4 + rng.below(7);
+        let pad = rng.below(2);
         let geo = Conv2dGeometry::new(oc, ic, 3, 3, hw, hw, 1, pad);
         let input = Tensor::randn(&[1, ic, hw, hw], &mut rng);
         let weights = Tensor::randn(&[oc, ic, 3, 3], &mut rng);
         let r = conv2d_ref(&input, &weights, None, &geo);
         let w = conv2d_winograd(&input, &weights, None, &geo);
-        prop_assert!(r.approx_eq(&w, 5e-3), "diff {:?}", r.max_abs_diff(&w));
+        assert!(
+            r.approx_eq(&w, 5e-3),
+            "seed {seed}: diff {:?}",
+            r.max_abs_diff(&w)
+        );
     }
+}
 
-    /// Convolution is linear in the input.
-    #[test]
-    fn conv_is_linear_in_input(
-        hw in 3usize..8,
-        alpha in small_f32(),
-        seed in any::<u64>(),
-    ) {
-        let mut rng = patdnn_tensor::rng::Rng::seed_from(seed);
+/// Convolution is linear in the input.
+#[test]
+fn conv_is_linear_in_input() {
+    for seed in 0..64u64 {
+        let mut rng = Rng::seed_from(seed);
+        let hw = 3 + rng.below(5);
+        let alpha = small_f32(&mut rng);
         let geo = Conv2dGeometry::new(2, 2, 3, 3, hw, hw, 1, 1);
         let input = Tensor::randn(&[1, 2, hw, hw], &mut rng);
         let weights = Tensor::randn(&[2, 2, 3, 3], &mut rng);
@@ -108,15 +117,23 @@ proptest! {
         let out = conv2d_ref(&input, &weights, None, &geo);
         let out_scaled = conv2d_ref(&scaled, &weights, None, &geo);
         let expect = out.map(|x| alpha * x);
-        prop_assert!(expect.approx_eq(&out_scaled, 1e-2));
+        assert!(expect.approx_eq(&out_scaled, 1e-2), "seed {seed}");
     }
+}
 
-    /// Tensor reshape round-trips and preserves content.
-    #[test]
-    fn reshape_round_trip(len in 1usize..64, seed in any::<u64>()) {
-        let mut rng = patdnn_tensor::rng::Rng::seed_from(seed);
+/// Tensor reshape round-trips and preserves content.
+#[test]
+fn reshape_round_trip() {
+    for seed in 0..64u64 {
+        let mut rng = Rng::seed_from(seed);
+        let len = 1 + rng.below(63);
         let t = Tensor::randn(&[len], &mut rng);
-        let r = t.clone().reshape(&[1, len]).unwrap().reshape(&[len]).unwrap();
-        prop_assert_eq!(t, r);
+        let r = t
+            .clone()
+            .reshape(&[1, len])
+            .unwrap()
+            .reshape(&[len])
+            .unwrap();
+        assert_eq!(t, r, "seed {seed}");
     }
 }

@@ -8,11 +8,11 @@ use patdnn::compiler::fkr::filter_kernel_reorder;
 use patdnn::compiler::fkw::FkwLayer;
 use patdnn::compiler::lr::{Device, LayerLr};
 use patdnn::compiler::tune::ga::GaConfig;
-use patdnn::compiler::tune::tuner::AutoTuner;
 use patdnn::compiler::tune::space::{ConfigSpace, TuningConfig};
+use patdnn::compiler::tune::tuner::AutoTuner;
 use patdnn::core::pattern_set::PatternSet;
 use patdnn::core::project::{alpha_for_rate, prune_layer};
-use patdnn::runtime::executor::{measure, ConvExecutor};
+use patdnn::runtime::executor::measure;
 use patdnn::runtime::pattern_exec::{OptLevel, PatternConv};
 use patdnn::tensor::rng::Rng;
 use patdnn::tensor::{Conv2dGeometry, Tensor};
@@ -47,10 +47,21 @@ fn main() {
         fkw.entries_per_kernel
     );
 
-    let lr = LayerLr::for_fkw("conv_op1", Device::Cpu, &fkw, TuningConfig::tuned_default(), 1, 1);
+    let lr = LayerLr::for_fkw(
+        "conv_op1",
+        Device::Cpu,
+        &fkw,
+        TuningConfig::tuned_default(),
+        1,
+        1,
+    );
     println!("\nLR (Figure 8):\n{lr}");
 
-    for level in [CodegenLevel::NoOpt, CodegenLevel::Reorder, CodegenLevel::Full] {
+    for level in [
+        CodegenLevel::NoOpt,
+        CodegenLevel::Reorder,
+        CodegenLevel::Full,
+    ] {
         println!("\n=== generated kernel: {} ===", level.label());
         println!(
             "{}",
@@ -59,7 +70,10 @@ fn main() {
     }
 
     // Auto-tune against real measurements (§5.5).
-    println!("=== auto-tuning (GA explorer over {} configs) ===", ConfigSpace::standard().len());
+    println!(
+        "=== auto-tuning (GA explorer over {} configs) ===",
+        ConfigSpace::standard().len()
+    );
     let input = Tensor::randn(&[1, 16, 28, 28], &mut rng);
     let mut tuner = AutoTuner::with_config(
         ConfigSpace::standard(),

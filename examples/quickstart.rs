@@ -60,7 +60,12 @@ fn main() {
     );
 
     // 4. Generated kernel sketch at the full optimization level.
-    let code = emit_conv_kernel("conv_op1", &fkw, &TuningConfig::tuned_default(), CodegenLevel::Full);
+    let code = emit_conv_kernel(
+        "conv_op1",
+        &fkw,
+        &TuningConfig::tuned_default(),
+        CodegenLevel::Full,
+    );
     println!("\ngenerated kernel (first lines):");
     for line in code.lines().take(6) {
         println!("  {line}");

@@ -62,7 +62,11 @@ fn main() {
     for s in &stats {
         println!(
             "  {:<12} {:>6}/{:<6} weights, {:>4}/{:<4} kernels ({:.1}x)",
-            s.name, s.nonzero_weights, s.total_weights, s.nonzero_kernels, s.total_kernels,
+            s.name,
+            s.nonzero_weights,
+            s.total_weights,
+            s.nonzero_kernels,
+            s.total_kernels,
             s.compression()
         );
     }

@@ -11,8 +11,8 @@
 use patdnn::nn::models::vgg_unique_layers;
 use patdnn::runtime::gpu::{simulate_pattern_conv, GpuModel};
 use patdnn::runtime::pattern_exec::OptLevel;
-use patdnn_bench::workloads::{Framework, PrunedLayer};
 use patdnn::tensor::Conv2dGeometry;
+use patdnn_bench::workloads::{Framework, PrunedLayer};
 
 fn main() {
     let full = std::env::args().any(|a| a == "--full");

@@ -11,6 +11,8 @@
 //! - [`core`] — pattern-based pruning: pattern sets, projections, ADMM.
 //! - [`compiler`] — LR, filter-kernel reorder, FKW storage, LRE, tuning.
 //! - [`runtime`] — dense/CSR/pattern executors, thread pool, GPU simulator.
+//! - [`serve`] — compiled-model engine, model artifacts, dynamic
+//!   batching, and the serving front-end.
 //!
 //! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
 //! paper-vs-measured record of every table and figure.
@@ -28,4 +30,5 @@ pub use patdnn_compiler as compiler;
 pub use patdnn_core as core;
 pub use patdnn_nn as nn;
 pub use patdnn_runtime as runtime;
+pub use patdnn_serve as serve;
 pub use patdnn_tensor as tensor;

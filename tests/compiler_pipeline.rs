@@ -27,14 +27,35 @@ fn vgg16_layers_compile_end_to_end() {
         let order = filter_kernel_reorder(&lp);
         let fkw = FkwLayer::from_pruned(&w, &lp, &set, &order);
         assert_eq!(fkw.to_dense(), w, "{} round trip", conv.name);
-        assert_eq!(order.group_imbalance(&lp), 0, "{} balanced groups", conv.name);
+        assert_eq!(
+            order.group_imbalance(&lp),
+            0,
+            "{} balanced groups",
+            conv.name
+        );
 
-        let lr = LayerLr::for_fkw(&conv.name, Device::Cpu, &fkw, TuningConfig::tuned_default(), 1, 1);
+        let lr = LayerLr::for_fkw(
+            &conv.name,
+            Device::Cpu,
+            &fkw,
+            TuningConfig::tuned_default(),
+            1,
+            1,
+        );
         let text = lr.emit();
         assert!(text.contains(&conv.name));
 
-        let code = emit_conv_kernel(&conv.name, &fkw, &TuningConfig::tuned_default(), CodegenLevel::Reorder);
-        assert!(!code.contains("switch"), "{} reorder code branch-free", conv.name);
+        let code = emit_conv_kernel(
+            &conv.name,
+            &fkw,
+            &TuningConfig::tuned_default(),
+            CodegenLevel::Reorder,
+        );
+        assert!(
+            !code.contains("switch"),
+            "{} reorder code branch-free",
+            conv.name
+        );
     }
 }
 

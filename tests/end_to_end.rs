@@ -60,7 +60,8 @@ fn pruned_network_executes_identically_through_the_runtime() {
         let input = Tensor::randn(&[1, s.c, 8, 8], &mut rng);
         let expect = patdnn::tensor::conv2d_ref(&input, w, None, &geo);
         for level in OptLevel::all() {
-            let exec = PatternConv::new(geo, fkw.clone(), None, level, TuningConfig::tuned_default());
+            let exec =
+                PatternConv::new(geo, fkw.clone(), None, level, TuningConfig::tuned_default());
             let got = exec.run(&input);
             assert!(
                 expect.approx_eq(&got, 1e-3),
@@ -93,7 +94,11 @@ fn admm_pruning_keeps_accuracy_on_synthetic_task() {
     let (pruned, _) = pruner.prune(&mut net, &train_ds, &mut rng);
     let sparse = evaluate(&mut net, &test_ds);
 
-    assert!(pruned.conv_compression() > 3.0, "compression {:.2}", pruned.conv_compression());
+    assert!(
+        pruned.conv_compression() > 3.0,
+        "compression {:.2}",
+        pruned.conv_compression()
+    );
     assert!(
         sparse.top1 >= dense.top1 - 0.25,
         "accuracy collapsed: dense {:?} sparse {:?}",

@@ -1,5 +1,9 @@
 //! Property-based cross-executor equivalence: every executor in the
 //! workspace computes the same convolution.
+//!
+//! Exercised over a deterministic sweep of seeds using the workspace's
+//! own [`Rng`]; case parameters are derived from each seed, covering the
+//! same ranges the original proptest strategies did.
 
 use patdnn::compiler::csr::CsrLayer;
 use patdnn::compiler::fkr::{filter_kernel_reorder, FilterOrder};
@@ -14,22 +18,16 @@ use patdnn::runtime::pattern_exec::{OptLevel, PatternConv};
 use patdnn::runtime::sparse_csr::CsrConv;
 use patdnn::tensor::rng::Rng;
 use patdnn::tensor::{conv2d_ref, Conv2dGeometry, Tensor};
-use proptest::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// Dense executors agree with the reference for arbitrary geometry.
-    #[test]
-    fn dense_executors_agree(
-        oc in 1usize..6,
-        ic in 1usize..6,
-        hw in 4usize..12,
-        stride in 1usize..3,
-        seed in any::<u64>(),
-    ) {
-        let geo = Conv2dGeometry::new(oc, ic, 3, 3, hw, hw, stride, 1);
+/// Dense executors agree with the reference for arbitrary geometry.
+#[test]
+fn dense_executors_agree() {
+    for seed in 0..24u64 {
         let mut rng = Rng::seed_from(seed);
+        let (oc, ic) = (1 + rng.below(5), 1 + rng.below(5));
+        let hw = 4 + rng.below(8);
+        let stride = 1 + rng.below(2);
+        let geo = Conv2dGeometry::new(oc, ic, 3, 3, hw, hw, stride, 1);
         let w = Tensor::randn(&[oc, ic, 3, 3], &mut rng);
         let b: Vec<f32> = (0..oc).map(|_| rng.uniform(-0.5, 0.5)).collect();
         let input = Tensor::randn(&[1, ic, hw, hw], &mut rng);
@@ -42,22 +40,25 @@ proptest! {
         ];
         for e in execs {
             let got = e.run(&input);
-            prop_assert!(expect.approx_eq(&got, 5e-3), "{} diverged", e.name());
+            assert!(
+                expect.approx_eq(&got, 5e-3),
+                "seed {seed}: {} diverged",
+                e.name()
+            );
         }
     }
+}
 
-    /// Sparse executors (CSR + all pattern levels + parallel) agree with
-    /// the reference on pruned weights, for any pruning rate.
-    #[test]
-    fn sparse_executors_agree(
-        oc in 2usize..8,
-        ic in 2usize..8,
-        hw in 4usize..10,
-        keep_frac in 0.2f32..1.0,
-        seed in any::<u64>(),
-    ) {
-        let geo = Conv2dGeometry::new(oc, ic, 3, 3, hw, hw, 1, 1);
+/// Sparse executors (CSR + all pattern levels + parallel) agree with
+/// the reference on pruned weights, for any pruning rate.
+#[test]
+fn sparse_executors_agree() {
+    for seed in 0..24u64 {
         let mut rng = Rng::seed_from(seed);
+        let (oc, ic) = (2 + rng.below(6), 2 + rng.below(6));
+        let hw = 4 + rng.below(6);
+        let keep_frac = rng.uniform(0.2, 1.0);
+        let geo = Conv2dGeometry::new(oc, ic, 3, 3, hw, hw, 1, 1);
         let mut w = Tensor::randn(&[oc, ic, 3, 3], &mut rng);
         let set = PatternSet::standard(8);
         let alpha = (((oc * ic) as f32 * keep_frac) as usize).max(1);
@@ -66,45 +67,68 @@ proptest! {
         let expect = conv2d_ref(&input, &w, None, &geo);
 
         let csr = CsrConv::new(geo, CsrLayer::from_dense(&w), None);
-        prop_assert!(expect.approx_eq(&csr.run(&input), 1e-3), "CSR diverged");
+        assert!(
+            expect.approx_eq(&csr.run(&input), 1e-3),
+            "seed {seed}: CSR diverged"
+        );
 
         for order in [FilterOrder::identity(&lp), filter_kernel_reorder(&lp)] {
             let fkw = FkwLayer::from_pruned(&w, &lp, &set, &order);
-            prop_assert_eq!(fkw.to_dense(), w.clone());
+            assert_eq!(fkw.to_dense(), w.clone(), "seed {seed}");
             for level in OptLevel::all() {
-                let exec = PatternConv::new(geo, fkw.clone(), None, level, TuningConfig::tuned_default());
-                prop_assert!(
+                let exec =
+                    PatternConv::new(geo, fkw.clone(), None, level, TuningConfig::tuned_default());
+                assert!(
                     expect.approx_eq(&exec.run(&input), 1e-3),
-                    "{} diverged", level.label()
+                    "seed {seed}: {} diverged",
+                    level.label()
                 );
             }
             let par = ParallelPattern::new(
-                PatternConv::new(geo, fkw, None, OptLevel::Full, TuningConfig::tuned_default()),
+                PatternConv::new(
+                    geo,
+                    fkw,
+                    None,
+                    OptLevel::Full,
+                    TuningConfig::tuned_default(),
+                ),
                 3,
                 Schedule::Balanced,
             );
-            prop_assert!(expect.approx_eq(&par.run(&input), 1e-3), "parallel diverged");
+            assert!(
+                expect.approx_eq(&par.run(&input), 1e-3),
+                "seed {seed}: parallel diverged"
+            );
         }
     }
+}
 
-    /// FKR + FKW never lose weights: the multiset of non-zero values is
-    /// preserved exactly.
-    #[test]
-    fn fkw_preserves_weight_multiset(
-        oc in 2usize..8,
-        ic in 2usize..8,
-        seed in any::<u64>(),
-    ) {
+/// FKR + FKW never lose weights: the multiset of non-zero values is
+/// preserved exactly.
+#[test]
+fn fkw_preserves_weight_multiset() {
+    for seed in 0..24u64 {
         let mut rng = Rng::seed_from(seed);
+        let (oc, ic) = (2 + rng.below(6), 2 + rng.below(6));
         let mut w = Tensor::randn(&[oc, ic, 3, 3], &mut rng);
         let set = PatternSet::standard(6);
         let lp = prune_layer("p", &mut w, &set, (oc * ic).div_ceil(2));
         let order = filter_kernel_reorder(&lp);
         let fkw = FkwLayer::from_pruned(&w, &lp, &set, &order);
-        let mut original: Vec<u32> = w.data().iter().filter(|&&x| x != 0.0).map(|x| x.to_bits()).collect();
-        let mut stored: Vec<u32> = fkw.weights.iter().filter(|&&x| x != 0.0).map(|x| x.to_bits()).collect();
+        let mut original: Vec<u32> = w
+            .data()
+            .iter()
+            .filter(|&&x| x != 0.0)
+            .map(|x| x.to_bits())
+            .collect();
+        let mut stored: Vec<u32> = fkw
+            .weights
+            .iter()
+            .filter(|&&x| x != 0.0)
+            .map(|x| x.to_bits())
+            .collect();
         original.sort_unstable();
         stored.sort_unstable();
-        prop_assert_eq!(original, stored);
+        assert_eq!(original, stored, "seed {seed}");
     }
 }
