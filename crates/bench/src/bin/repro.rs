@@ -4,7 +4,8 @@
 //!
 //! ```text
 //! repro <experiment>... [--quick] [--reps N] [--threads N]
-//! experiment: table1..table7, fig12..fig18, serving, tables, figures, all
+//! experiment: table1..table7, fig12..fig18, serving, serving-resnet,
+//!             tables, figures, all
 //! ```
 
 use patdnn_bench::{figures, tables, RunOptions};
@@ -50,8 +51,22 @@ fn main() {
     for s in &selected {
         match s.as_str() {
             "all" => expanded.extend([
-                "table1", "table2", "table3", "table4", "table5", "table6", "table7", "fig12",
-                "fig13", "fig14", "fig15", "fig16", "fig17", "fig18", "serving",
+                "table1",
+                "table2",
+                "table3",
+                "table4",
+                "table5",
+                "table6",
+                "table7",
+                "fig12",
+                "fig13",
+                "fig14",
+                "fig15",
+                "fig16",
+                "fig17",
+                "fig18",
+                "serving",
+                "serving-resnet",
             ]),
             "tables" => expanded.extend([
                 "table1", "table2", "table3", "table4", "table5", "table6", "table7",
@@ -86,6 +101,9 @@ fn main() {
             "fig17" => print_all(figures::fig17(&opts)),
             "fig18" => print_all(figures::fig18(&opts)),
             "serving" => print_all(patdnn_bench::serving::serving(&opts)),
+            "serving-resnet" => {
+                println!("{}", patdnn_bench::serving::resnet_serving(&opts));
+            }
             other => die(&format!("unknown experiment {other}")),
         }
         eprintln!("[{exp} took {:.1}s]", start.elapsed().as_secs_f64());
@@ -103,7 +121,8 @@ fn print_all(tables: Vec<patdnn_bench::report::Table>) {
 fn die(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
-        "usage: repro <table1..table7|fig12..fig18|serving|tables|figures|all> [--quick] [--reps N] [--threads N]"
+        "usage: repro <table1..table7|fig12..fig18|serving|serving-resnet|tables|figures|all> \
+         [--quick] [--reps N] [--threads N]"
     );
     std::process::exit(2);
 }

@@ -73,7 +73,10 @@ pub enum Op {
         bias: Option<Vec<f32>>,
     },
     /// Elementwise addition of two inputs (residual join).
-    Add,
+    Add {
+        /// Whether a following ReLU has been fused into this join.
+        fused_relu: bool,
+    },
 }
 
 impl Op {
@@ -89,7 +92,7 @@ impl Op {
             Op::GlobalAvgPool => "gap",
             Op::Flatten => "flatten",
             Op::Fc { .. } => "fc",
-            Op::Add => "add",
+            Op::Add { .. } => "add",
         }
     }
 }
@@ -115,6 +118,10 @@ pub struct Graph {
 }
 
 impl Graph {
+    /// The absent-shortcut argument for [`Graph::residual_block`]: an
+    /// identity skip connection.
+    pub const IDENTITY_SHORTCUT: Option<fn(&mut Graph, usize) -> usize> = None;
+
     /// Creates a graph containing a single input node.
     pub fn with_input(shape: &[usize]) -> Self {
         Graph {
@@ -165,6 +172,33 @@ impl Graph {
             .iter()
             .enumerate()
             .all(|(i, n)| n.inputs.iter().all(|&j| j < i))
+    }
+
+    /// Appends a residual block rooted at `input`: `main` (and `shortcut`,
+    /// when present) are builder closures that receive the graph and the
+    /// block's input node and return their branch's output node; an
+    /// [`Op::Add`] named `name` joins the two branches (the shortcut
+    /// defaults to the identity skip, i.e. the block input itself).
+    /// Returns the join node's index.
+    ///
+    /// Pass `Graph::IDENTITY_SHORTCUT` for an identity skip.
+    pub fn residual_block<M, S>(
+        &mut self,
+        name: &str,
+        input: usize,
+        main: M,
+        shortcut: Option<S>,
+    ) -> usize
+    where
+        M: FnOnce(&mut Graph, usize) -> usize,
+        S: FnOnce(&mut Graph, usize) -> usize,
+    {
+        let main_out = main(self, input);
+        let short_out = match shortcut {
+            Some(s) => s(self, input),
+            None => input,
+        };
+        self.push(name, Op::Add { fused_relu: false }, &[main_out, short_out])
     }
 
     /// Builds a conv(+BN)(+ReLU) chain graph for testing and
@@ -244,5 +278,62 @@ mod tests {
     fn forward_edges_rejected() {
         let mut g = Graph::with_input(&[1, 1, 4, 4]);
         g.push("bad", Op::Relu, &[5]);
+    }
+
+    #[test]
+    fn residual_block_joins_branches_with_add() {
+        let mut g = Graph::with_input(&[1, 4, 8, 8]);
+        let join = g.residual_block(
+            "block1",
+            0,
+            |g, x| {
+                let c = g.push(
+                    "c1",
+                    Op::Conv {
+                        out_c: 4,
+                        in_c: 4,
+                        kernel: 3,
+                        stride: 1,
+                        pad: 1,
+                        weights: None,
+                        bias: None,
+                        fused_relu: false,
+                    },
+                    &[x],
+                );
+                g.push("r1", Op::Relu, &[c])
+            },
+            Graph::IDENTITY_SHORTCUT,
+        );
+        assert!(g.is_topologically_sorted());
+        assert_eq!(g.nodes[join].op.kind(), "add");
+        // Identity skip: the join reads the branch output and the input.
+        assert_eq!(g.nodes[join].inputs, vec![2, 0]);
+        assert_eq!(g.output, join);
+        // The block input now has two users: the main conv and the join.
+        assert_eq!(g.users(0).len(), 2);
+    }
+
+    #[test]
+    fn projected_residual_block_builds_shortcut_branch() {
+        let mut g = Graph::with_input(&[1, 4, 8, 8]);
+        let conv = |out_c, in_c, kernel, stride, pad| Op::Conv {
+            out_c,
+            in_c,
+            kernel,
+            stride,
+            pad,
+            weights: None,
+            bias: None,
+            fused_relu: false,
+        };
+        let join = g.residual_block(
+            "block2",
+            0,
+            |g, x| g.push("main", conv(8, 4, 3, 2, 1), &[x]),
+            Some(|g: &mut Graph, x| g.push("proj", conv(8, 4, 1, 2, 0), &[x])),
+        );
+        assert_eq!(g.nodes[join].inputs.len(), 2);
+        assert_eq!(g.nodes[g.nodes[join].inputs[1]].name, "proj");
     }
 }

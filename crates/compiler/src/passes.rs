@@ -1,8 +1,11 @@
 //! Graph optimization passes (the TVM-like stage of §5, Table 1).
 //!
 //! Implemented passes: batch-norm folding into the preceding convolution
-//! (constant folding of the affine pair), ReLU fusion into convolutions,
-//! identity elimination, and dead-node elimination.
+//! (constant folding of the affine pair), ReLU fusion into convolutions
+//! and residual joins, identity elimination, and dead-node elimination.
+//! All passes are DAG-correct: fusion and folding fire only when the
+//! producer has a single consumer, so values feeding a skip path are
+//! never rewritten underneath their other users.
 
 use crate::graph::{Graph, Op};
 
@@ -75,23 +78,28 @@ pub fn fold_batchnorm(g: &mut Graph) -> PassReport {
     }
 }
 
-/// Fuses `Conv → ReLU` pairs by setting the conv's `fused_relu` flag.
-/// Only fires when the conv's sole user is the ReLU.
+/// Fuses `Conv → ReLU` and `Add → ReLU` pairs by setting the producer's
+/// `fused_relu` flag. Only fires when the producer's sole user is the
+/// ReLU — a conv whose output also feeds a residual skip keeps its ReLU
+/// standalone, because the skip path must see the pre-activation value.
 pub fn fuse_relu(g: &mut Graph) -> PassReport {
     let before = live_nodes(g);
     for relu_id in 0..g.nodes.len() {
         if !matches!(g.nodes[relu_id].op, Op::Relu) {
             continue;
         }
-        let [conv_id] = g.nodes[relu_id].inputs[..] else {
+        let [prod_id] = g.nodes[relu_id].inputs[..] else {
             continue;
         };
-        if g.users(conv_id).len() != 1 {
+        if g.users(prod_id).len() != 1 {
             continue;
         }
-        if let Op::Conv { fused_relu, .. } = &mut g.nodes[conv_id].op {
-            *fused_relu = true;
-            g.nodes[relu_id].op = Op::Identity;
+        match &mut g.nodes[prod_id].op {
+            Op::Conv { fused_relu, .. } | Op::Add { fused_relu } => {
+                *fused_relu = true;
+                g.nodes[relu_id].op = Op::Identity;
+            }
+            _ => {}
         }
     }
     eliminate_identities(g);
@@ -291,9 +299,104 @@ mod tests {
         );
         let relu = g.push("r", Op::Relu, &[conv]);
         // Second consumer of the conv: an Add joining conv and relu.
-        g.push("join", Op::Add, &[conv, relu]);
+        g.push("join", Op::Add { fused_relu: false }, &[conv, relu]);
         fuse_relu(&mut g);
         assert_eq!(g.count_kind("relu"), 1, "fusion must not fire");
+    }
+
+    #[test]
+    fn relu_after_join_fuses_into_add() {
+        let mut g = Graph::with_input(&[1, 2, 4, 4]);
+        let join = g.push("join", Op::Add { fused_relu: false }, &[0, 0]);
+        g.push("out_relu", Op::Relu, &[join]);
+        fuse_relu(&mut g);
+        eliminate_dead_nodes(&mut g);
+        assert_eq!(g.count_kind("relu"), 0);
+        let Op::Add { fused_relu } = g.nodes[g.output].op else {
+            panic!("add survives as the output");
+        };
+        assert!(fused_relu, "relu fused into the join");
+    }
+
+    #[test]
+    fn bn_fold_skips_conv_feeding_a_skip_path() {
+        // conv feeds both its BN and a residual Add: folding the BN into
+        // the conv would corrupt the skip path, so the pass must not fire.
+        let mut g = Graph::with_input(&[1, 2, 4, 4]);
+        let conv = g.push(
+            "c",
+            Op::Conv {
+                out_c: 2,
+                in_c: 2,
+                kernel: 3,
+                stride: 1,
+                pad: 1,
+                weights: None,
+                bias: None,
+                fused_relu: false,
+            },
+            &[0],
+        );
+        let bn = g.push(
+            "bn",
+            Op::BatchNorm {
+                scale: vec![2.0; 2],
+                shift: vec![0.5; 2],
+            },
+            &[conv],
+        );
+        g.push("join", Op::Add { fused_relu: false }, &[bn, conv]);
+        fold_batchnorm(&mut g);
+        assert_eq!(g.count_kind("batchnorm"), 1, "fold must not fire");
+    }
+
+    #[test]
+    fn optimize_residual_graph_keeps_join_and_topology() {
+        // stem -> [conv+bn+relu -> conv+bn] + identity -> add -> relu.
+        let mut g = Graph::with_input(&[1, 4, 8, 8]);
+        let conv = |out_c| Op::Conv {
+            out_c,
+            in_c: 4,
+            kernel: 3,
+            stride: 1,
+            pad: 1,
+            weights: None,
+            bias: None,
+            fused_relu: false,
+        };
+        let bn = || Op::BatchNorm {
+            scale: vec![1.0; 4],
+            shift: vec![0.0; 4],
+        };
+        let join = g.residual_block(
+            "block",
+            0,
+            |g, x| {
+                let c1 = g.push("c1", conv(4), &[x]);
+                let b1 = g.push("b1", bn(), &[c1]);
+                let r1 = g.push("r1", Op::Relu, &[b1]);
+                let c2 = g.push("c2", conv(4), &[r1]);
+                g.push("b2", bn(), &[c2])
+            },
+            Graph::IDENTITY_SHORTCUT,
+        );
+        g.push("out_relu", Op::Relu, &[join]);
+        optimize(&mut g);
+        assert!(g.is_topologically_sorted());
+        assert_eq!(g.count_kind("batchnorm"), 0, "both BNs folded");
+        assert_eq!(g.count_kind("relu"), 0, "both relus fused");
+        assert_eq!(g.count_kind("add"), 1, "join survives");
+        let add = g
+            .nodes
+            .iter()
+            .position(|n| n.op.kind() == "add")
+            .expect("join");
+        let Op::Add { fused_relu } = g.nodes[add].op else {
+            unreachable!()
+        };
+        assert!(fused_relu, "post-join relu fused into the add");
+        // Identity skip: the join still reads the graph input directly.
+        assert!(g.nodes[add].inputs.contains(&0));
     }
 
     #[test]

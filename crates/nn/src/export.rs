@@ -87,8 +87,19 @@ pub enum LayerExport {
         /// Per-output bias.
         bias: Vec<f32>,
     },
-    /// A layer kind the export path does not understand (residual blocks,
-    /// depthwise convolutions, custom layers). Consumers must reject it.
+    /// A residual block: `y = main(x) + shortcut(x)`, with an identity
+    /// skip when `shortcut` is `None`. Branches are nested export lists,
+    /// so arbitrary block depths flatten structurally instead of opaquely.
+    Residual {
+        /// Block name.
+        name: String,
+        /// Main-path layers in execution order.
+        main: Vec<LayerExport>,
+        /// Projection-shortcut layers, or `None` for an identity skip.
+        shortcut: Option<Vec<LayerExport>>,
+    },
+    /// A layer kind the export path does not understand (depthwise
+    /// convolutions, custom layers). Consumers must reject it.
     Opaque {
         /// Layer name.
         name: String,
@@ -107,6 +118,7 @@ impl LayerExport {
             | LayerExport::GlobalAvgPool { name }
             | LayerExport::Flatten { name }
             | LayerExport::Linear { name, .. }
+            | LayerExport::Residual { name, .. }
             | LayerExport::Opaque { name } => name,
         }
     }
@@ -122,6 +134,7 @@ impl LayerExport {
             LayerExport::GlobalAvgPool { .. } => "gap",
             LayerExport::Flatten { .. } => "flatten",
             LayerExport::Linear { .. } => "fc",
+            LayerExport::Residual { .. } => "residual",
             LayerExport::Opaque { .. } => "opaque",
         }
     }
@@ -181,7 +194,7 @@ mod tests {
     }
 
     #[test]
-    fn residual_blocks_export_as_opaque() {
+    fn residual_blocks_export_structured_branches() {
         let mut net = Sequential::new("n");
         let mut rng = Rng::seed_from(2);
         let mut main = Sequential::new("main");
@@ -189,8 +202,33 @@ mod tests {
         net.push(Residual::identity("res", main));
         let ops = export_network(&net);
         assert_eq!(ops.len(), 1);
-        assert_eq!(ops[0].kind(), "opaque");
+        assert_eq!(ops[0].kind(), "residual");
         assert_eq!(ops[0].name(), "res");
+        let LayerExport::Residual { main, shortcut, .. } = &ops[0] else {
+            panic!("residual export");
+        };
+        assert_eq!(main.len(), 1);
+        assert_eq!(main[0].kind(), "conv");
+        assert!(shortcut.is_none(), "identity skip exports no shortcut");
+    }
+
+    #[test]
+    fn projected_residual_exports_both_branches() {
+        let mut rng = Rng::seed_from(4);
+        let mut main = Sequential::new("main");
+        main.push(Conv2d::new("c1", 8, 4, 3, 2, 1, &mut rng));
+        let mut short = Sequential::new("short");
+        short.push(Conv2d::new("proj", 8, 4, 1, 2, 0, &mut rng));
+        let mut net = Sequential::new("n");
+        net.push(Residual::projected("res", main, short));
+        let ops = export_network(&net);
+        let LayerExport::Residual { main, shortcut, .. } = &ops[0] else {
+            panic!("residual export");
+        };
+        assert_eq!(main[0].kind(), "conv");
+        let shortcut = shortcut.as_ref().expect("projection shortcut exported");
+        assert_eq!(shortcut.len(), 1);
+        assert_eq!(shortcut[0].name(), "proj");
     }
 
     #[test]

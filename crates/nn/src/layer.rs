@@ -117,8 +117,9 @@ pub trait Layer {
 
     /// Appends this layer's inference-time export records (weights plus
     /// geometry) to `out`; see [`crate::export`]. The default marks the
-    /// layer as [`crate::export::LayerExport::Opaque`], which export
-    /// consumers must reject — layers override it to describe themselves.
+    /// layer as [`crate::export::LayerExport::Opaque`] (depthwise
+    /// convolutions, custom layers), which export consumers must reject —
+    /// layers override it to describe themselves.
     fn export_ops(&self, out: &mut Vec<crate::export::LayerExport>) {
         out.push(crate::export::LayerExport::Opaque {
             name: self.name().to_owned(),

@@ -162,6 +162,21 @@ impl Layer for Residual {
             s.visit_convs(f);
         }
     }
+
+    fn export_ops(&self, out: &mut Vec<crate::export::LayerExport>) {
+        let mut main = Vec::new();
+        self.main.export_ops(&mut main);
+        let shortcut = self.shortcut.as_ref().map(|s| {
+            let mut ops = Vec::new();
+            s.export_ops(&mut ops);
+            ops
+        });
+        out.push(crate::export::LayerExport::Residual {
+            name: self.name.clone(),
+            main,
+            shortcut,
+        });
+    }
 }
 
 #[cfg(test)]

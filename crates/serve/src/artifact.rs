@@ -1,19 +1,32 @@
 //! The versioned model artifact format.
 //!
 //! A [`ModelArtifact`] is the on-disk form of a compiled pruned network:
-//! per-layer FKW compressed weights plus layer geometry, enough to
-//! rebuild an [`crate::engine::Engine`] without retraining, re-pruning,
-//! or re-running filter-kernel reorder. The codec is a hand-rolled
+//! per-layer FKW compressed weights plus layer geometry and the plan's
+//! buffer-slot topology, enough to rebuild an
+//! [`crate::engine::Engine`] without retraining, re-pruning, or
+//! re-running filter-kernel reorder. The codec is a hand-rolled
 //! little-endian byte format (the container builds offline, so no
 //! serialization framework is used):
 //!
 //! ```text
 //! "PATDNN" magic | u16 version | model name | input [c, h, w]
-//! u32 layer count | tagged layer records (see LayerPlan)
+//! u32 slot count | u32 step count | tagged step records:
+//!   u8 op tag | u8 n_inputs | u32 input slots... | u32 output slot
+//!   | op payload (see LayerPlan)
 //! ```
 //!
+//! Version 2 (current) encodes an explicit DAG plan: every step reads
+//! one or more buffer *slots* and writes one, slot 0 being the network
+//! input. Slot ids come from the compiler's liveness analysis
+//! ([`crate::compile`]), so two values whose live ranges do not overlap
+//! share a buffer. Version 1 artifacts (implicit chains, no topology)
+//! still decode: each record `i` is synthesized as reading slot `i` and
+//! writing slot `i + 1`, which is exactly the chain plan.
+//!
 //! Weights are stored as raw `f32` bit patterns, so a save → load round
-//! trip is bitwise lossless.
+//! trip is bitwise lossless. Decoding validates slot topology (bounds,
+//! def-before-use, no in-place aliasing) so malformed plans fail at
+//! load, not at request time.
 
 use std::fmt;
 use std::path::Path;
@@ -24,8 +37,10 @@ use patdnn_tensor::Tensor;
 
 /// File magic.
 pub const MAGIC: &[u8; 6] = b"PATDNN";
-/// Current format version.
-pub const VERSION: u16 = 1;
+/// Current format version (explicit DAG plans with slot topology).
+pub const VERSION: u16 = 2;
+/// The legacy chain format (no slot topology); still decodable.
+pub const VERSION_V1: u16 = 1;
 
 /// Errors produced while decoding an artifact.
 #[derive(Debug)]
@@ -64,7 +79,7 @@ impl From<std::io::Error> for ArtifactError {
     }
 }
 
-/// One compiled layer of the executable plan.
+/// One compiled operation of the executable plan.
 ///
 /// Convolution records carry only weight-side geometry (stride/pad plus
 /// whatever the weight arrays imply); spatial input sizes are derived at
@@ -126,6 +141,11 @@ pub enum LayerPlan {
         /// Per-output bias.
         bias: Vec<f32>,
     },
+    /// Elementwise addition of two slots (residual join).
+    Add {
+        /// Whether a ReLU was fused into this join.
+        relu: bool,
+    },
 }
 
 impl LayerPlan {
@@ -139,28 +159,74 @@ impl LayerPlan {
             LayerPlan::Flatten => "flatten",
             LayerPlan::Relu => "relu",
             LayerPlan::Fc { .. } => "fc",
+            LayerPlan::Add { .. } => "add",
+        }
+    }
+
+    /// How many slots this op reads.
+    pub fn arity(&self) -> usize {
+        match self {
+            LayerPlan::Add { .. } => 2,
+            _ => 1,
         }
     }
 }
 
-/// A compiled model: input geometry plus the executable layer plan.
+/// One step of the executable DAG plan: an op plus the buffer slots it
+/// reads and the slot it writes. Slot 0 is the network input and is
+/// never written.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanStep {
+    /// The operation.
+    pub op: LayerPlan,
+    /// Slots read, in op order (conv input; `Add` reads two).
+    pub inputs: Vec<usize>,
+    /// Slot written. Never 0 and never one of `inputs` (steps are not
+    /// in-place, so the engine can borrow inputs and output disjointly).
+    pub output: usize,
+}
+
+/// A compiled model: input geometry plus the executable DAG plan.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ModelArtifact {
     /// Model name (registry key by convention).
     pub name: String,
     /// Per-item input shape `[c, h, w]`.
     pub input: [usize; 3],
-    /// The layer plan in execution order.
-    pub layers: Vec<LayerPlan>,
+    /// Total buffer slots, including slot 0 (the network input).
+    pub slots: usize,
+    /// The plan steps in execution order (producers before consumers).
+    pub steps: Vec<PlanStep>,
 }
 
 impl ModelArtifact {
+    /// Builds a chain-plan artifact from a bare op list: step `i` reads
+    /// slot `i` and writes slot `i + 1`. This is the v1 layout and the
+    /// natural form for straight-line models and tests.
+    pub fn chain(name: &str, input: [usize; 3], ops: Vec<LayerPlan>) -> Self {
+        let steps = ops
+            .into_iter()
+            .enumerate()
+            .map(|(i, op)| PlanStep {
+                op,
+                inputs: vec![i],
+                output: i + 1,
+            })
+            .collect::<Vec<_>>();
+        ModelArtifact {
+            name: name.to_owned(),
+            input,
+            slots: steps.len() + 1,
+            steps,
+        }
+    }
+
     /// Total bytes of weight payload (FKW weights + dense weights + FC
     /// weights), for size reporting.
     pub fn weight_bytes(&self) -> usize {
-        self.layers
+        self.steps
             .iter()
-            .map(|l| match l {
+            .map(|s| match &s.op {
                 LayerPlan::PatternConv { fkw, .. } => fkw.total_bytes(),
                 LayerPlan::DenseConv { weights, .. } => weights.len() * 4,
                 LayerPlan::Fc { weights, .. } => weights.len() * 4,
@@ -169,7 +235,18 @@ impl ModelArtifact {
             .sum()
     }
 
-    /// Encodes the artifact to its binary form.
+    /// Whether the plan is a straight chain in v1 layout (step `i` reads
+    /// slot `i`, writes slot `i + 1`, no joins).
+    pub fn is_chain(&self) -> bool {
+        self.slots == self.steps.len() + 1
+            && self
+                .steps
+                .iter()
+                .enumerate()
+                .all(|(i, s)| s.inputs[..] == [i] && s.output == i + 1)
+    }
+
+    /// Encodes the artifact to its binary form (current version).
     pub fn encode(&self) -> Vec<u8> {
         let mut w = ByteWriter::new();
         w.bytes(MAGIC);
@@ -178,14 +255,41 @@ impl ModelArtifact {
         for d in self.input {
             w.u32(d as u32);
         }
-        w.u32(self.layers.len() as u32);
-        for layer in &self.layers {
-            encode_layer(&mut w, layer);
+        w.u32(self.slots as u32);
+        w.u32(self.steps.len() as u32);
+        for step in &self.steps {
+            encode_step(&mut w, step);
         }
         w.finish()
     }
 
-    /// Decodes an artifact from its binary form.
+    /// Encodes the artifact in the legacy v1 chain layout (no slot
+    /// topology). Fails unless [`ModelArtifact::is_chain`]; kept so the
+    /// backward-compatibility path stays testable against real v1 bytes.
+    pub fn encode_v1(&self) -> Result<Vec<u8>, ArtifactError> {
+        if !self.is_chain() {
+            return Err(ArtifactError::Malformed(
+                "v1 cannot represent non-chain plans".into(),
+            ));
+        }
+        let mut w = ByteWriter::new();
+        w.bytes(MAGIC);
+        w.u16(VERSION_V1);
+        w.str(&self.name);
+        for d in self.input {
+            w.u32(d as u32);
+        }
+        w.u32(self.steps.len() as u32);
+        for step in &self.steps {
+            if matches!(step.op, LayerPlan::Add { .. }) {
+                return Err(ArtifactError::Malformed("v1 has no add op".into()));
+            }
+            encode_op(&mut w, &step.op);
+        }
+        Ok(w.finish())
+    }
+
+    /// Decodes an artifact from its binary form (v1 or v2).
     pub fn decode(buf: &[u8]) -> Result<Self, ArtifactError> {
         let mut r = ByteReader::new(buf);
         if r.bytes(MAGIC.len())? != MAGIC {
@@ -197,19 +301,94 @@ impl ModelArtifact {
         }
         let name = r.str()?;
         let input = [r.u32()? as usize, r.u32()? as usize, r.u32()? as usize];
-        let count = r.u32()? as usize;
-        let mut layers = Vec::with_capacity(count.min(1024));
-        for _ in 0..count {
-            layers.push(decode_layer(&mut r)?);
-        }
+        let artifact = if version == VERSION_V1 {
+            // v1: bare op records form an implicit chain.
+            let count = r.u32()? as usize;
+            let mut ops = Vec::with_capacity(count.min(1024));
+            for _ in 0..count {
+                ops.push(decode_op(&mut r)?);
+            }
+            ModelArtifact::chain(&name, input, ops)
+        } else {
+            let slots = r.u32()? as usize;
+            let count = r.u32()? as usize;
+            let mut steps = Vec::with_capacity(count.min(1024));
+            for _ in 0..count {
+                steps.push(decode_step(&mut r)?);
+            }
+            ModelArtifact {
+                name,
+                input,
+                slots,
+                steps,
+            }
+        };
         if !r.is_empty() {
             return Err(ArtifactError::Malformed("trailing bytes".into()));
         }
-        Ok(ModelArtifact {
-            name,
-            input,
-            layers,
-        })
+        artifact.validate_topology()?;
+        Ok(artifact)
+    }
+
+    /// Structural validation of the slot topology: bounds,
+    /// def-before-use, per-op arity, and the no-aliasing invariant the
+    /// engine's disjoint borrows rely on. Runs at decode and again at
+    /// engine build (artifacts can be constructed in memory).
+    pub(crate) fn validate_topology(&self) -> Result<(), ArtifactError> {
+        let malformed = |msg: String| ArtifactError::Malformed(msg);
+        if self.slots == 0 {
+            return Err(malformed("plan needs at least the input slot".into()));
+        }
+        // Each step writes exactly one slot, so a meaningful plan never
+        // declares more than steps + 1 (input) slots. Checked before the
+        // per-slot allocations below so a tiny malformed buffer cannot
+        // request gigabytes.
+        if self.slots > self.steps.len() + 1 {
+            return Err(malformed(format!(
+                "{} slots declared but {} steps can write at most {}",
+                self.slots,
+                self.steps.len(),
+                self.steps.len() + 1
+            )));
+        }
+        let mut written = vec![false; self.slots];
+        written[0] = true; // the network input
+        for (i, step) in self.steps.iter().enumerate() {
+            let kind = step.op.kind();
+            if step.inputs.len() != step.op.arity() {
+                return Err(malformed(format!(
+                    "step {i} ({kind}): reads {} slots, op arity is {}",
+                    step.inputs.len(),
+                    step.op.arity()
+                )));
+            }
+            for &s in &step.inputs {
+                if s >= self.slots {
+                    return Err(malformed(format!(
+                        "step {i} ({kind}): input slot {s} out of range"
+                    )));
+                }
+                if !written[s] {
+                    return Err(malformed(format!(
+                        "step {i} ({kind}): reads slot {s} before any step wrote it"
+                    )));
+                }
+            }
+            if step.output == 0 || step.output >= self.slots {
+                return Err(malformed(format!(
+                    "step {i} ({kind}): output slot {} out of range",
+                    step.output
+                )));
+            }
+            if step.inputs.contains(&step.output) {
+                return Err(malformed(format!(
+                    "step {i} ({kind}): writes its own input slot {}",
+                    step.output
+                )));
+            }
+            written[step.output] = true;
+        }
+        Ok(())
     }
 
     /// Writes the encoded artifact to `path`.
@@ -231,8 +410,30 @@ const TAG_GAP: u8 = 3;
 const TAG_FLATTEN: u8 = 4;
 const TAG_RELU: u8 = 5;
 const TAG_FC: u8 = 6;
+const TAG_ADD: u8 = 7;
 
-fn encode_layer(w: &mut ByteWriter, layer: &LayerPlan) {
+fn encode_step(w: &mut ByteWriter, step: &PlanStep) {
+    assert!(step.inputs.len() <= u8::MAX as usize, "step arity");
+    w.u8(step.inputs.len() as u8);
+    for &s in &step.inputs {
+        w.u32(s as u32);
+    }
+    w.u32(step.output as u32);
+    encode_op(w, &step.op);
+}
+
+fn decode_step(r: &mut ByteReader) -> Result<PlanStep, ArtifactError> {
+    let n = r.u8()? as usize;
+    let mut inputs = Vec::with_capacity(n);
+    for _ in 0..n {
+        inputs.push(r.u32()? as usize);
+    }
+    let output = r.u32()? as usize;
+    let op = decode_op(r)?;
+    Ok(PlanStep { op, inputs, output })
+}
+
+fn encode_op(w: &mut ByteWriter, layer: &LayerPlan) {
     match layer {
         LayerPlan::PatternConv {
             name,
@@ -289,10 +490,14 @@ fn encode_layer(w: &mut ByteWriter, layer: &LayerPlan) {
             encode_tensor(w, weights);
             encode_f32s(w, bias);
         }
+        LayerPlan::Add { relu } => {
+            w.u8(TAG_ADD);
+            w.u8(u8::from(*relu));
+        }
     }
 }
 
-fn decode_layer(r: &mut ByteReader) -> Result<LayerPlan, ArtifactError> {
+fn decode_op(r: &mut ByteReader) -> Result<LayerPlan, ArtifactError> {
     let malformed = |msg: String| ArtifactError::Malformed(msg);
     let tag = r.u8()?;
     Ok(match tag {
@@ -382,6 +587,7 @@ fn decode_layer(r: &mut ByteReader) -> Result<LayerPlan, ArtifactError> {
                 bias,
             }
         }
+        TAG_ADD => LayerPlan::Add { relu: r.u8()? != 0 },
         other => {
             return Err(ArtifactError::Malformed(format!(
                 "unknown layer tag {other}"
@@ -678,15 +884,133 @@ mod tests {
 
     #[test]
     fn empty_model_round_trips() {
-        let a = ModelArtifact {
-            name: "empty".into(),
-            input: [3, 8, 8],
-            layers: vec![],
-        };
+        let a = ModelArtifact::chain("empty", [3, 8, 8], vec![]);
         let bytes = a.encode();
         assert_eq!(&bytes[..6], MAGIC);
         let b = ModelArtifact::decode(&bytes).expect("decode");
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn dag_plan_round_trips() {
+        // input -> relu (slot 1), add(relu, input) -> slot 2.
+        let a = ModelArtifact {
+            name: "dag".into(),
+            input: [2, 4, 4],
+            slots: 3,
+            steps: vec![
+                PlanStep {
+                    op: LayerPlan::Relu,
+                    inputs: vec![0],
+                    output: 1,
+                },
+                PlanStep {
+                    op: LayerPlan::Add { relu: true },
+                    inputs: vec![1, 0],
+                    output: 2,
+                },
+            ],
+        };
+        let b = ModelArtifact::decode(&a.encode()).expect("decode");
+        assert_eq!(a, b);
+        assert!(!a.is_chain());
+    }
+
+    #[test]
+    fn v1_bytes_decode_into_the_chain_plan() {
+        let a = ModelArtifact::chain(
+            "legacy",
+            [1, 4, 4],
+            vec![
+                LayerPlan::MaxPool {
+                    kernel: 2,
+                    stride: 2,
+                    pad: 0,
+                },
+                LayerPlan::Flatten,
+            ],
+        );
+        let v1 = a.encode_v1().expect("chains encode as v1");
+        assert_eq!(u16::from_le_bytes([v1[6], v1[7]]), VERSION_V1);
+        let b = ModelArtifact::decode(&v1).expect("v1 decodes");
+        assert_eq!(a, b, "v1 decodes into the equivalent v2 chain plan");
+        // And the v2 re-encode of the decoded artifact round-trips.
+        assert_eq!(ModelArtifact::decode(&b.encode()).expect("v2"), a);
+    }
+
+    #[test]
+    fn encode_v1_rejects_dag_plans() {
+        let a = ModelArtifact {
+            name: "dag".into(),
+            input: [1, 4, 4],
+            slots: 3,
+            steps: vec![
+                PlanStep {
+                    op: LayerPlan::Relu,
+                    inputs: vec![0],
+                    output: 1,
+                },
+                PlanStep {
+                    op: LayerPlan::Add { relu: false },
+                    inputs: vec![1, 0],
+                    output: 2,
+                },
+            ],
+        };
+        assert!(matches!(a.encode_v1(), Err(ArtifactError::Malformed(_))));
+    }
+
+    #[test]
+    fn aliasing_and_use_before_def_are_rejected() {
+        // A step writing its own input slot.
+        let aliased = ModelArtifact {
+            name: "alias".into(),
+            input: [1, 4, 4],
+            slots: 2,
+            steps: vec![PlanStep {
+                op: LayerPlan::Relu,
+                inputs: vec![1],
+                output: 1,
+            }],
+        };
+        assert!(matches!(
+            ModelArtifact::decode(&aliased.encode()),
+            Err(ArtifactError::Malformed(_))
+        ));
+        // A step reading a slot no earlier step wrote.
+        let undef = ModelArtifact {
+            name: "undef".into(),
+            input: [1, 4, 4],
+            slots: 3,
+            steps: vec![PlanStep {
+                op: LayerPlan::Relu,
+                inputs: vec![2],
+                output: 1,
+            }],
+        };
+        assert!(matches!(
+            ModelArtifact::decode(&undef.encode()),
+            Err(ArtifactError::Malformed(_))
+        ));
+        // An add with chain arity.
+        let bad_arity =
+            ModelArtifact::chain("arity", [1, 4, 4], vec![LayerPlan::Add { relu: false }]);
+        assert!(matches!(
+            ModelArtifact::decode(&bad_arity.encode()),
+            Err(ArtifactError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn huge_unbacked_slot_count_is_rejected_without_allocating() {
+        // A tiny buffer declaring a giant slot count must fail with a
+        // typed error before any per-slot allocation happens.
+        let mut artifact = ModelArtifact::chain("huge", [1, 4, 4], vec![]);
+        artifact.slots = 100_000_000;
+        assert!(matches!(
+            ModelArtifact::decode(&artifact.encode()),
+            Err(ArtifactError::Malformed(_))
+        ));
     }
 
     #[test]
@@ -699,12 +1023,7 @@ mod tests {
 
     #[test]
     fn future_version_is_rejected() {
-        let mut bytes = ModelArtifact {
-            name: "v".into(),
-            input: [1, 1, 1],
-            layers: vec![],
-        }
-        .encode();
+        let mut bytes = ModelArtifact::chain("v", [1, 1, 1], vec![]).encode();
         bytes[6] = 0xFF;
         bytes[7] = 0xFF;
         assert!(matches!(
@@ -715,33 +1034,34 @@ mod tests {
 
     #[test]
     fn truncation_is_detected_not_panicking() {
-        let bytes = ModelArtifact {
-            name: "t".into(),
-            input: [2, 4, 4],
-            layers: vec![LayerPlan::MaxPool {
+        let chain = ModelArtifact::chain(
+            "t",
+            [2, 4, 4],
+            vec![LayerPlan::MaxPool {
                 kernel: 2,
                 stride: 2,
                 pad: 0,
             }],
-        }
-        .encode();
-        for cut in 0..bytes.len() {
-            let r = ModelArtifact::decode(&bytes[..cut]);
-            assert!(r.is_err(), "cut at {cut} must error");
+        );
+        for bytes in [chain.encode(), chain.encode_v1().expect("v1")] {
+            for cut in 0..bytes.len() {
+                let r = ModelArtifact::decode(&bytes[..cut]);
+                assert!(r.is_err(), "cut at {cut} must error");
+            }
         }
     }
 
     #[test]
     fn degenerate_maxpool_window_is_rejected_at_decode() {
-        let bytes = ModelArtifact {
-            name: "z".into(),
-            input: [1, 4, 4],
-            layers: vec![LayerPlan::MaxPool {
+        let bytes = ModelArtifact::chain(
+            "z",
+            [1, 4, 4],
+            vec![LayerPlan::MaxPool {
                 kernel: 0,
                 stride: 0,
                 pad: 0,
             }],
-        }
+        )
         .encode();
         assert!(matches!(
             ModelArtifact::decode(&bytes),
@@ -764,10 +1084,10 @@ mod tests {
         let mut fkw = FkwLayer::from_pruned(&w, &lp, &set, &order);
         // Corrupt one kernel's input-channel index past the layer width.
         fkw.index[0] = fkw.in_c as u16;
-        let bytes = ModelArtifact {
-            name: "corrupt".into(),
-            input: [4, 6, 6],
-            layers: vec![LayerPlan::PatternConv {
+        let bytes = ModelArtifact::chain(
+            "corrupt",
+            [4, 6, 6],
+            vec![LayerPlan::PatternConv {
                 name: "c".into(),
                 stride: 1,
                 pad: 1,
@@ -775,7 +1095,7 @@ mod tests {
                 bias: None,
                 relu: false,
             }],
-        }
+        )
         .encode();
         assert!(matches!(
             ModelArtifact::decode(&bytes),
@@ -785,12 +1105,7 @@ mod tests {
 
     #[test]
     fn trailing_bytes_are_rejected() {
-        let mut bytes = ModelArtifact {
-            name: "t".into(),
-            input: [1, 2, 2],
-            layers: vec![],
-        }
-        .encode();
+        let mut bytes = ModelArtifact::chain("t", [1, 2, 2], vec![]).encode();
         bytes.push(0);
         assert!(matches!(
             ModelArtifact::decode(&bytes),

@@ -1,14 +1,16 @@
 //! `patdnn-serve` — end-to-end serving demo.
 //!
-//! Builds a VGG-style network, pattern-prunes it, compiles it to a model
-//! artifact, saves and reloads the artifact, verifies the compiled
-//! engine against the original network, then serves a synthetic traffic
-//! workload through the dynamic-batching server and reports latency
-//! percentiles and throughput.
+//! Builds a network (a VGG-style chain or a ResNet-style residual DAG),
+//! pattern-prunes it, compiles it to a model artifact, saves and
+//! reloads the artifact, verifies the compiled engine against the
+//! original network, then serves a synthetic traffic workload through
+//! the dynamic-batching server and reports latency percentiles and
+//! throughput.
 //!
 //! ```text
-//! patdnn-serve [--requests N] [--clients N] [--workers N]
-//!              [--max-batch N] [--max-wait-ms N] [--threads N]
+//! patdnn-serve [--model vgg_small|resnet_small] [--requests N]
+//!              [--clients N] [--workers N] [--max-batch N]
+//!              [--max-wait-ms N] [--threads N]
 //! ```
 
 use std::sync::Arc;
@@ -16,7 +18,8 @@ use std::time::{Duration, Instant};
 
 use patdnn_core::prune::pattern_project_network;
 use patdnn_nn::layer::{Layer, Mode};
-use patdnn_nn::models::vgg_small;
+use patdnn_nn::models::{resnet_small, vgg_small};
+use patdnn_nn::network::Sequential;
 use patdnn_serve::batching::BatchPolicy;
 use patdnn_serve::compile::compile_network;
 use patdnn_serve::engine::{Engine, EngineOptions};
@@ -27,6 +30,7 @@ use patdnn_tensor::rng::Rng;
 use patdnn_tensor::Tensor;
 
 struct Args {
+    model: String,
     requests: usize,
     clients: usize,
     workers: usize,
@@ -37,6 +41,7 @@ struct Args {
 
 fn parse_args() -> Args {
     let mut args = Args {
+        model: "vgg_small".into(),
         requests: 200,
         clients: 4,
         workers: 2,
@@ -53,6 +58,12 @@ fn parse_args() -> Args {
                 .unwrap_or_else(|| die(&format!("{} needs a number", argv[i])))
         };
         match argv[i].as_str() {
+            "--model" => {
+                args.model = argv
+                    .get(i + 1)
+                    .cloned()
+                    .unwrap_or_else(|| die("--model needs a name"));
+            }
             "--requests" => args.requests = need(i),
             "--clients" => args.clients = need(i),
             "--workers" => args.workers = need(i),
@@ -80,8 +91,8 @@ fn parse_args() -> Args {
 fn die(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
-        "usage: patdnn-serve [--requests N] [--clients N] [--workers N] \
-         [--max-batch N] [--max-wait-ms N] [--threads N]"
+        "usage: patdnn-serve [--model vgg_small|resnet_small] [--requests N] \
+         [--clients N] [--workers N] [--max-batch N] [--max-wait-ms N] [--threads N]"
     );
     std::process::exit(2);
 }
@@ -90,29 +101,47 @@ fn main() {
     let args = parse_args();
     let mut rng = Rng::seed_from(7);
 
-    // 1. Train-stage stand-in: a VGG-style network, pattern-pruned at
-    //    the paper's 3.6x connectivity rate (weight values are random;
-    //    serving performance is value-independent).
-    println!("[1/5] building and pruning vgg_small (3x32x32 input)...");
-    let mut net = vgg_small(10, &mut rng);
+    // 1. Train-stage stand-in: a chain (VGG-style) or residual DAG
+    //    (ResNet-style) network, pattern-pruned at the paper's 3.6x
+    //    connectivity rate (weight values are random; serving
+    //    performance is value-independent).
+    println!(
+        "[1/5] building and pruning {} (3x32x32 input)...",
+        args.model
+    );
+    let mut net: Sequential = match args.model.as_str() {
+        "vgg_small" => vgg_small(10, &mut rng),
+        "resnet_small" => resnet_small(10, &mut rng),
+        other => die(&format!(
+            "unknown model {other} (expected vgg_small or resnet_small)"
+        )),
+    };
     pattern_project_network(&mut net, 8, 3.6);
 
     // 2. Compile to an artifact, save, and reload from disk.
     println!("[2/5] compiling to a model artifact...");
-    let artifact = compile_network("vgg_small", &net, [3, 32, 32])
+    let artifact = compile_network(&args.model, &net, [3, 32, 32])
         .unwrap_or_else(|e| die(&format!("compile failed: {e}")));
     let pattern_layers = artifact
-        .layers
+        .steps
         .iter()
-        .filter(|l| l.kind() == "pattern-conv")
+        .filter(|s| s.op.kind() == "pattern-conv")
+        .count();
+    let joins = artifact
+        .steps
+        .iter()
+        .filter(|s| s.op.kind() == "add")
         .count();
     println!(
-        "      {} plan steps, {} pattern-conv layers, {:.1} KiB of weights",
-        artifact.layers.len(),
+        "      {} plan steps ({} pattern-conv, {} residual joins), \
+         {} buffer slots, {:.1} KiB of weights",
+        artifact.steps.len(),
         pattern_layers,
+        joins,
+        artifact.slots,
         artifact.weight_bytes() as f64 / 1024.0
     );
-    let path = std::env::temp_dir().join("patdnn_serve_demo.patdnn");
+    let path = std::env::temp_dir().join(format!("patdnn_serve_demo_{}.patdnn", args.model));
     artifact
         .save(&path)
         .unwrap_or_else(|e| die(&format!("save failed: {e}")));
@@ -147,7 +176,7 @@ fn main() {
         args.requests, args.clients, args.workers, args.max_batch, args.max_wait_ms
     );
     let registry = Arc::new(ModelRegistry::new());
-    registry.register("vgg_small", engine);
+    registry.register(&args.model, engine);
     let server = Arc::new(Server::start(
         Arc::clone(&registry),
         ServerConfig {
@@ -162,6 +191,7 @@ fn main() {
 
     let start = Instant::now();
     let per_client = args.requests.div_ceil(args.clients.max(1));
+    let model = args.model.as_str();
     std::thread::scope(|scope| {
         for client in 0..args.clients {
             let server = Arc::clone(&server);
@@ -169,7 +199,7 @@ fn main() {
                 let mut rng = Rng::seed_from(100 + client as u64);
                 for _ in 0..per_client {
                     let input = Tensor::randn(&[1, 3, 32, 32], &mut rng);
-                    match server.infer("vgg_small", input) {
+                    match server.infer(model, input) {
                         Ok(_) => {}
                         Err(e) => eprintln!("client {client}: request failed: {e}"),
                     }

@@ -3,16 +3,29 @@
 //! The flow mirrors the paper's deployment story: the trained, pruned
 //! network is exported once ([`patdnn_nn::export`]), lowered to the
 //! compiler's graph IR, optimized by the TVM-like passes (conv+BN
-//! folding, ReLU fusion, dead-node elimination), and each surviving
-//! convolution is compressed to FKW storage after filter-kernel reorder.
-//! The result is a [`ModelArtifact`] that an [`crate::engine::Engine`]
-//! executes directly.
+//! folding, ReLU fusion into convs and joins, dead-node elimination),
+//! and each surviving convolution is compressed to FKW storage after
+//! filter-kernel reorder. The result is a [`ModelArtifact`] that an
+//! [`crate::engine::Engine`] executes directly.
+//!
+//! Lowering is a topological walk over the optimized DAG — residual
+//! joins and multi-consumer values included — that assigns every value
+//! a buffer *slot* via liveness analysis: a slot is returned to the
+//! free pool once its value's last consumer has executed, and reused by
+//! any later value of the same per-item shape. The slot count is
+//! therefore bounded by the plan's peak number of simultaneously-live
+//! values (a deep residual network needs ~4 activation slots, not one
+//! per layer), and because reuse is shape-exact a warm engine never
+//! reallocates on the hot path.
 //!
 //! Pattern derivation is weight-driven: a layer whose kept 3×3 kernels
 //! all fit a 4-entry natural pattern (centre + 3 neighbours) compiles to
 //! the pattern executor; anything else (unpruned layers, kernels with
-//! more than 4 survivors) falls back to the dense tiled executor, so
-//! compilation is total over well-formed chains and always lossless.
+//! more than 4 survivors) falls back to the dense tiled executor. 1×1
+//! projection shortcuts compile through the same path with
+//! connectivity-only pruning records, so pruned skip projections get
+//! FKW storage too. Compilation is total over well-formed DAGs of the
+//! supported ops and always lossless.
 
 use std::fmt;
 
@@ -25,15 +38,15 @@ use patdnn_core::pattern_set::PatternSet;
 use patdnn_core::project::{KernelStatus, LayerPruning};
 use patdnn_nn::export::{export_network, LayerExport};
 use patdnn_nn::network::Sequential;
-use patdnn_tensor::Tensor;
+use patdnn_tensor::{conv_out_dim, Tensor};
 
-use crate::artifact::{LayerPlan, ModelArtifact};
+use crate::artifact::{LayerPlan, ModelArtifact, PlanStep};
 
 /// Errors produced while compiling a network.
 #[derive(Debug)]
 pub enum CompileError {
-    /// A node kind the serving plan cannot execute (residual joins,
-    /// depthwise convolutions, custom layers).
+    /// A node kind the serving plan cannot execute (depthwise
+    /// convolutions, custom layers, standalone batch norms).
     Unsupported {
         /// Node or layer name.
         name: String,
@@ -42,8 +55,15 @@ pub enum CompileError {
     },
     /// A convolution or FC node without materialized weights.
     MissingWeights(String),
-    /// The optimized graph is not a single chain.
-    NotAChain(String),
+    /// The graph's wiring cannot be lowered at this node: branch shapes
+    /// disagree at a join, an op has the wrong arity, a window does not
+    /// fit its input, or the flowing shape is not what the op expects.
+    UnsupportedTopology {
+        /// Offending node name.
+        node: String,
+        /// Human-readable reason.
+        reason: String,
+    },
 }
 
 impl fmt::Display for CompileError {
@@ -55,8 +75,8 @@ impl fmt::Display for CompileError {
             CompileError::MissingWeights(name) => {
                 write!(f, "node {name:?} has no materialized weights")
             }
-            CompileError::NotAChain(name) => {
-                write!(f, "graph is not a single chain at node {name:?}")
+            CompileError::UnsupportedTopology { node, reason } => {
+                write!(f, "unsupported topology at node {node:?}: {reason}")
             }
         }
     }
@@ -67,13 +87,27 @@ impl std::error::Error for CompileError {}
 /// Lowers exported layers to the compiler's graph IR.
 ///
 /// `input` is the per-item shape `[c, h, w]`; the graph input node gets a
-/// batch dimension of 1 (plans are batch-size independent).
+/// batch dimension of 1 (plans are batch-size independent). Residual
+/// exports lower recursively: both branches are built from the block's
+/// input node and joined by an `Add`, so arbitrary nesting depths
+/// flatten into one DAG.
 pub fn graph_from_exports(
     input: [usize; 3],
     layers: &[LayerExport],
 ) -> Result<Graph, CompileError> {
     let mut g = Graph::with_input(&[1, input[0], input[1], input[2]]);
-    let mut prev = 0usize;
+    let out = lower_exports(&mut g, 0, layers)?;
+    g.output = out;
+    Ok(g)
+}
+
+/// Appends `layers` to the graph starting from node `prev`; returns the
+/// final node of the lowered run.
+fn lower_exports(
+    g: &mut Graph,
+    mut prev: usize,
+    layers: &[LayerExport],
+) -> Result<usize, CompileError> {
     for layer in layers {
         let node = match layer {
             LayerExport::Conv {
@@ -148,6 +182,18 @@ pub fn graph_from_exports(
                     &[prev],
                 )
             }
+            LayerExport::Residual {
+                name,
+                main,
+                shortcut,
+            } => {
+                let main_out = lower_exports(g, prev, main)?;
+                let short_out = match shortcut {
+                    Some(s) => lower_exports(g, prev, s)?,
+                    None => prev,
+                };
+                g.push(name, Op::Add { fused_relu: false }, &[main_out, short_out])
+            }
             LayerExport::Relu6 { name } | LayerExport::Opaque { name } => {
                 return Err(CompileError::Unsupported {
                     name: name.clone(),
@@ -157,7 +203,7 @@ pub fn graph_from_exports(
         };
         prev = node;
     }
-    Ok(g)
+    Ok(prev)
 }
 
 /// Derives the pruning record implied by a pruned weight tensor, along
@@ -226,12 +272,60 @@ pub fn derive_pruning(name: &str, weights: &Tensor) -> Option<(LayerPruning, Pat
     Some((lp, set))
 }
 
+/// A shape-keyed pool of free buffer slots for the liveness walk.
+#[derive(Default)]
+struct SlotPool {
+    /// `(per-item shape, free slot ids of that shape)`.
+    free: Vec<(Vec<usize>, Vec<usize>)>,
+    next: usize,
+}
+
+impl SlotPool {
+    fn new() -> Self {
+        SlotPool {
+            free: Vec::new(),
+            // Slot 0 is the network input and is never allocated.
+            next: 1,
+        }
+    }
+
+    /// Takes a free slot of exactly `shape`, or mints a new one. Reuse
+    /// is shape-exact so a warm engine sizes every slot once and never
+    /// reallocates mid-inference.
+    fn acquire(&mut self, shape: &[usize]) -> usize {
+        if let Some((_, slots)) = self.free.iter_mut().find(|(s, _)| s == shape) {
+            if let Some(slot) = slots.pop() {
+                return slot;
+            }
+        }
+        let slot = self.next;
+        self.next += 1;
+        slot
+    }
+
+    /// Returns `slot` (holding a value of `shape`) to the pool.
+    fn release(&mut self, shape: &[usize], slot: usize) {
+        if slot == 0 {
+            return; // the input slot is read-only and never recycled
+        }
+        match self.free.iter_mut().find(|(s, _)| s == shape) {
+            Some((_, slots)) => slots.push(slot),
+            None => self.free.push((shape.to_vec(), vec![slot])),
+        }
+    }
+}
+
 /// Compiles an optimized-or-not graph into a model artifact.
 ///
-/// Runs the graph passes first (BN folding, ReLU fusion, DCE), then
-/// lowers the surviving chain into layer plans: pattern-expressible
-/// convolutions go through filter-kernel reorder into FKW storage, the
-/// rest stay dense.
+/// Runs the graph passes first (BN folding, ReLU fusion into convs and
+/// joins, DCE), then lowers the surviving DAG in topological order into
+/// plan steps: pattern-expressible convolutions go through
+/// filter-kernel reorder into FKW storage, the rest stay dense, and
+/// `Add` joins become two-input steps. Every value is assigned a buffer
+/// slot via liveness analysis — a slot is freed once its value's last
+/// consumer has been lowered and reused by later same-shaped values —
+/// so the artifact records the peak-live buffer plan, not one buffer
+/// per layer.
 pub fn compile_graph(
     name: &str,
     input: [usize; 3],
@@ -240,85 +334,235 @@ pub fn compile_graph(
     let mut g = graph.clone();
     passes::optimize(&mut g);
 
-    let mut layers = Vec::new();
-    for (id, node) in g.nodes.iter().enumerate() {
-        // The optimized graph must be a single chain: node i feeds i+1.
-        match (id, &node.inputs[..]) {
-            (0, []) => {}
-            (_, [prev]) if *prev == id - 1 => {}
-            _ => return Err(CompileError::NotAChain(node.name.clone())),
-        }
-        match &node.op {
-            Op::Input { .. } => {
-                if id != 0 {
-                    return Err(CompileError::NotAChain(node.name.clone()));
-                }
-            }
-            Op::Conv {
-                stride,
-                pad,
-                weights,
-                bias,
-                fused_relu,
-                ..
-            } => {
-                let w = weights
-                    .as_ref()
-                    .ok_or_else(|| CompileError::MissingWeights(node.name.clone()))?;
-                match derive_pruning(&node.name, w) {
-                    Some((lp, set)) => {
-                        let order = filter_kernel_reorder(&lp);
-                        let fkw = FkwLayer::from_pruned(w, &lp, &set, &order);
-                        debug_assert_eq!(fkw.to_dense(), *w, "FKW lowering is lossless");
-                        layers.push(LayerPlan::PatternConv {
-                            name: node.name.clone(),
-                            stride: *stride,
-                            pad: *pad,
-                            fkw,
-                            bias: bias.clone(),
-                            relu: *fused_relu,
-                        });
-                    }
-                    None => layers.push(LayerPlan::DenseConv {
-                        name: node.name.clone(),
-                        stride: *stride,
-                        pad: *pad,
-                        weights: w.clone(),
-                        bias: bias.clone(),
-                        relu: *fused_relu,
-                    }),
-                }
-            }
-            Op::MaxPool { kernel, stride } => layers.push(LayerPlan::MaxPool {
-                kernel: *kernel,
-                stride: *stride,
-                pad: 0,
-            }),
-            Op::GlobalAvgPool => layers.push(LayerPlan::GlobalAvgPool),
-            Op::Flatten => layers.push(LayerPlan::Flatten),
-            Op::Relu => layers.push(LayerPlan::Relu),
-            Op::Fc { weights, bias, .. } => {
-                let w = weights
-                    .as_ref()
-                    .ok_or_else(|| CompileError::MissingWeights(node.name.clone()))?;
-                layers.push(LayerPlan::Fc {
-                    name: node.name.clone(),
-                    weights: w.clone(),
-                    bias: bias.clone().unwrap_or_else(|| vec![0.0; w.shape()[0]]),
-                });
-            }
-            other => {
-                return Err(CompileError::Unsupported {
-                    name: node.name.clone(),
-                    kind: other.kind().into(),
-                })
-            }
+    let topo = |node: &str, reason: String| CompileError::UnsupportedTopology {
+        node: node.to_owned(),
+        reason,
+    };
+
+    // Remaining-consumer counts per value, counting duplicate edges
+    // (an `Add(x, x)` consumes x twice); the graph output gets one
+    // extra use for the caller reading the result.
+    let mut uses = vec![0usize; g.nodes.len()];
+    for node in &g.nodes {
+        for &i in &node.inputs {
+            uses[i] += 1;
         }
     }
+    uses[g.output] += 1;
+
+    let mut pool = SlotPool::new();
+    // Per-value slot id and per-item shape, filled in topological order.
+    let mut slot_of: Vec<Option<usize>> = vec![None; g.nodes.len()];
+    let mut shape_of: Vec<Option<Vec<usize>>> = vec![None; g.nodes.len()];
+    let mut steps = Vec::new();
+
+    for (id, node) in g.nodes.iter().enumerate() {
+        if matches!(node.op, Op::Input { .. }) {
+            if id != 0 {
+                return Err(topo(&node.name, "multiple graph inputs".into()));
+            }
+            slot_of[id] = Some(0);
+            shape_of[id] = Some(input.to_vec());
+            continue;
+        }
+        if id == 0 {
+            return Err(topo(&node.name, "graph does not start at an input".into()));
+        }
+        let in_shapes: Vec<&[usize]> = node
+            .inputs
+            .iter()
+            .map(|&i| {
+                shape_of[i]
+                    .as_deref()
+                    .ok_or_else(|| topo(&node.name, format!("reads unlowered node {i}")))
+            })
+            .collect::<Result<_, _>>()?;
+        let (op, out_shape) = lower_node(node, &in_shapes)?;
+
+        // Liveness: acquire the output slot *before* releasing this
+        // step's inputs, so a step never writes a slot it also reads
+        // (the engine borrows inputs and output disjointly).
+        let out_slot = pool.acquire(&out_shape);
+        let inputs: Vec<usize> = node
+            .inputs
+            .iter()
+            .map(|&i| slot_of[i].expect("lowered above"))
+            .collect();
+        for &i in &node.inputs {
+            uses[i] -= 1;
+            if uses[i] == 0 {
+                pool.release(
+                    shape_of[i].as_deref().expect("lowered above"),
+                    slot_of[i].expect("lowered above"),
+                );
+            }
+        }
+        slot_of[id] = Some(out_slot);
+        shape_of[id] = Some(out_shape);
+        steps.push(PlanStep {
+            op,
+            inputs,
+            output: out_slot,
+        });
+    }
+
     Ok(ModelArtifact {
         name: name.to_owned(),
         input,
-        layers,
+        slots: pool.next,
+        steps,
+    })
+}
+
+/// Lowers one graph node to a plan op, returning the op plus its
+/// per-item output shape given the per-item input shapes.
+fn lower_node(
+    node: &patdnn_compiler::graph::Node,
+    in_shapes: &[&[usize]],
+) -> Result<(LayerPlan, Vec<usize>), CompileError> {
+    let topo = |reason: String| CompileError::UnsupportedTopology {
+        node: node.name.clone(),
+        reason,
+    };
+    let unary = || -> Result<&[usize], CompileError> {
+        match in_shapes {
+            [s] => Ok(s),
+            _ => Err(topo(format!("expects one input, has {}", in_shapes.len()))),
+        }
+    };
+    let spatial = |s: &[usize]| -> Result<[usize; 3], CompileError> {
+        match s {
+            [c, h, w] => Ok([*c, *h, *w]),
+            other => Err(topo(format!("needs a spatial input, got shape {other:?}"))),
+        }
+    };
+    let window = |kernel: usize, stride: usize, pad: usize, h: usize, w: usize| {
+        if kernel == 0 || stride == 0 {
+            return Err(topo(format!(
+                "degenerate window (kernel {kernel}, stride {stride})"
+            )));
+        }
+        if h + 2 * pad < kernel || w + 2 * pad < kernel {
+            return Err(topo(format!(
+                "{kernel}x{kernel} window does not fit {h}x{w} input with pad {pad}"
+            )));
+        }
+        Ok(())
+    };
+    Ok(match &node.op {
+        Op::Conv {
+            stride,
+            pad,
+            weights,
+            bias,
+            fused_relu,
+            ..
+        } => {
+            let [c, h, w] = spatial(unary()?)?;
+            let wt = weights
+                .as_ref()
+                .ok_or_else(|| CompileError::MissingWeights(node.name.clone()))?;
+            let ws = wt.shape4();
+            if c != ws.c {
+                return Err(topo(format!("expects {} input channels, got {c}", ws.c)));
+            }
+            window(ws.h.max(ws.w), *stride, *pad, h, w)?;
+            let out_shape = vec![
+                ws.n,
+                conv_out_dim(h, ws.h, *stride, *pad),
+                conv_out_dim(w, ws.w, *stride, *pad),
+            ];
+            let op = match derive_pruning(&node.name, wt) {
+                Some((lp, set)) => {
+                    let order = filter_kernel_reorder(&lp);
+                    let fkw = FkwLayer::from_pruned(wt, &lp, &set, &order);
+                    debug_assert_eq!(fkw.to_dense(), *wt, "FKW lowering is lossless");
+                    LayerPlan::PatternConv {
+                        name: node.name.clone(),
+                        stride: *stride,
+                        pad: *pad,
+                        fkw,
+                        bias: bias.clone(),
+                        relu: *fused_relu,
+                    }
+                }
+                None => LayerPlan::DenseConv {
+                    name: node.name.clone(),
+                    stride: *stride,
+                    pad: *pad,
+                    weights: wt.clone(),
+                    bias: bias.clone(),
+                    relu: *fused_relu,
+                },
+            };
+            (op, out_shape)
+        }
+        Op::MaxPool { kernel, stride } => {
+            let [c, h, w] = spatial(unary()?)?;
+            window(*kernel, *stride, 0, h, w)?;
+            (
+                LayerPlan::MaxPool {
+                    kernel: *kernel,
+                    stride: *stride,
+                    pad: 0,
+                },
+                vec![
+                    c,
+                    conv_out_dim(h, *kernel, *stride, 0),
+                    conv_out_dim(w, *kernel, *stride, 0),
+                ],
+            )
+        }
+        Op::GlobalAvgPool => {
+            let [c, _, _] = spatial(unary()?)?;
+            (LayerPlan::GlobalAvgPool, vec![c, 1, 1])
+        }
+        Op::Flatten => {
+            let features: usize = unary()?.iter().product();
+            (LayerPlan::Flatten, vec![features])
+        }
+        Op::Relu => {
+            let s = unary()?.to_vec();
+            (LayerPlan::Relu, s)
+        }
+        Op::Fc { weights, bias, .. } => {
+            let features: usize = unary()?.iter().product();
+            let w = weights
+                .as_ref()
+                .ok_or_else(|| CompileError::MissingWeights(node.name.clone()))?;
+            let (out_f, in_f) = (w.shape()[0], w.shape()[1]);
+            if features != in_f {
+                return Err(topo(format!(
+                    "expects {in_f} input features, got {features}"
+                )));
+            }
+            (
+                LayerPlan::Fc {
+                    name: node.name.clone(),
+                    weights: w.clone(),
+                    bias: bias.clone().unwrap_or_else(|| vec![0.0; out_f]),
+                },
+                vec![out_f],
+            )
+        }
+        Op::Add { fused_relu } => {
+            let [a, b] = in_shapes else {
+                return Err(topo(format!(
+                    "residual join expects two inputs, has {}",
+                    in_shapes.len()
+                )));
+            };
+            if a != b {
+                return Err(topo(format!("join branch shapes disagree: {a:?} vs {b:?}")));
+            }
+            (LayerPlan::Add { relu: *fused_relu }, a.to_vec())
+        }
+        other => {
+            return Err(CompileError::Unsupported {
+                name: node.name.clone(),
+                kind: other.kind().into(),
+            })
+        }
     })
 }
 
@@ -379,7 +623,7 @@ mod tests {
         let mut rng = Rng::seed_from(4);
         let net = small_cnn(3, 8, 4, &mut rng);
         let artifact = compile_network("cnn", &net, [3, 8, 8]).expect("compiles");
-        let kinds: Vec<&str> = artifact.layers.iter().map(LayerPlan::kind).collect();
+        let kinds: Vec<&str> = artifact.steps.iter().map(|s| s.op.kind()).collect();
         // Post-fusion: conv(+relu), maxpool, conv(+relu), maxpool, flatten, fc.
         assert_eq!(
             kinds,
@@ -392,20 +636,78 @@ mod tests {
                 "fc"
             ]
         );
-        for plan in &artifact.layers {
-            if let LayerPlan::DenseConv { relu, .. } = plan {
+        for step in &artifact.steps {
+            if let LayerPlan::DenseConv { relu, .. } = &step.op {
                 assert!(*relu, "relu fused into conv");
             }
         }
     }
 
     #[test]
-    fn residual_network_is_rejected() {
+    fn residual_network_compiles_to_a_dag_plan() {
         let mut rng = Rng::seed_from(5);
         let net = patdnn_nn::models::resnet_small(4, &mut rng);
-        assert!(matches!(
-            compile_network("res", &net, [3, 32, 32]),
-            Err(CompileError::Unsupported { .. })
-        ));
+        let artifact = compile_network("res", &net, [3, 32, 32]).expect("residual compiles");
+        assert!(!artifact.is_chain(), "residual plan is a DAG");
+        let adds = artifact
+            .steps
+            .iter()
+            .filter(|s| s.op.kind() == "add")
+            .count();
+        assert_eq!(adds, 2, "one join per residual block");
+        // Both joins carry the fused post-block ReLU.
+        for step in &artifact.steps {
+            if let LayerPlan::Add { relu } = &step.op {
+                assert!(*relu, "post-join relu fused");
+            }
+        }
+        // The artifact survives its own codec (DAG topology intact).
+        let decoded = ModelArtifact::decode(&artifact.encode()).expect("round trip");
+        assert_eq!(artifact, decoded);
+    }
+
+    #[test]
+    fn liveness_reuses_slots_instead_of_one_per_layer() {
+        let mut rng = Rng::seed_from(6);
+        let net = patdnn_nn::models::resnet_small(4, &mut rng);
+        let artifact = compile_network("res", &net, [3, 32, 32]).expect("compiles");
+        assert!(
+            artifact.slots < artifact.steps.len(),
+            "liveness analysis must reuse buffers: {} slots for {} steps",
+            artifact.slots,
+            artifact.steps.len()
+        );
+        // Some slot other than the input is written by more than one step.
+        let mut writes = vec![0usize; artifact.slots];
+        for s in &artifact.steps {
+            writes[s.output] += 1;
+        }
+        assert!(writes.iter().any(|&w| w > 1), "no slot was ever reused");
+    }
+
+    #[test]
+    fn join_shape_mismatch_is_a_typed_topology_error() {
+        use patdnn_compiler::graph::Graph;
+        let mut g = Graph::with_input(&[1, 3, 8, 8]);
+        let conv = g.push(
+            "c",
+            Op::Conv {
+                out_c: 5, // disagrees with the 3-channel identity skip
+                in_c: 3,
+                kernel: 3,
+                stride: 1,
+                pad: 1,
+                weights: Some(Tensor::zeros(&[5, 3, 3, 3])),
+                bias: None,
+                fused_relu: false,
+            },
+            &[0],
+        );
+        g.push("join", Op::Add { fused_relu: false }, &[conv, 0]);
+        let err = compile_graph("bad", [3, 8, 8], &g).expect_err("must reject");
+        assert!(
+            matches!(err, CompileError::UnsupportedTopology { ref node, .. } if node == "join"),
+            "got {err}"
+        );
     }
 }

@@ -1,9 +1,13 @@
 //! The compiled-model inference engine.
 //!
-//! An [`Engine`] turns a [`ModelArtifact`] into an executable plan: one
-//! executor per layer (pattern executors over FKW storage for pruned
-//! convolutions, the tiled dense kernel otherwise) plus per-step output
-//! shapes. Intermediate activations live in a pool of reusable scratch
+//! An [`Engine`] turns a [`ModelArtifact`] into an executable DAG plan:
+//! one executor per step (pattern executors over FKW storage for pruned
+//! convolutions — main path and 1×1 projection shortcuts alike — the
+//! tiled dense kernel otherwise, and an elementwise `Add` for residual
+//! joins) plus per-slot buffer shapes. Steps read and write named
+//! buffer *slots* assigned by the compiler's liveness analysis, so a
+//! value's buffer is recycled as soon as its last consumer has run.
+//! Intermediate activations live in a pool of reusable per-slot scratch
 //! buffer sets — a warm engine allocates nothing on the steady-state
 //! `infer` path for pattern-conv steps, and concurrent callers each
 //! check out their own buffer set, so `infer(&self)` is freely shareable
@@ -65,12 +69,18 @@ enum StepExec {
         weights: Tensor,
         bias: Vec<f32>,
     },
+    /// Elementwise residual join of two slots.
+    Add,
 }
 
 struct Step {
     exec: StepExec,
     /// Apply ReLU to this step's output (fused activation).
     relu: bool,
+    /// Slots read, in op order (slot 0 is the network input).
+    inputs: Vec<usize>,
+    /// Slot written (never 0, never one of `inputs`).
+    output: usize,
     /// Per-item output shape: `[c, h, w]` or `[features]`.
     out_shape: Vec<usize>,
 }
@@ -80,25 +90,44 @@ pub struct Engine {
     name: String,
     input: [usize; 3],
     steps: Vec<Step>,
+    /// Per-slot per-item shape; `None` for slots the plan never writes
+    /// (slot 0 — the borrowed input — and any unused declared slots).
+    slot_shapes: Vec<Option<Vec<usize>>>,
     artifact: ModelArtifact,
-    /// Pool of per-call scratch buffer sets (one tensor per step).
+    /// Pool of per-call scratch buffer sets (one tensor per slot).
     scratch: Mutex<Vec<Vec<Tensor>>>,
 }
 
 impl Engine {
     /// Builds the executable plan from an artifact.
     ///
-    /// Shape checking happens here: every layer's input requirements are
-    /// verified against the shape flowing from the artifact's declared
-    /// input, so a malformed artifact fails at load, not at request time.
+    /// Shape checking happens here: every step's input requirements are
+    /// verified against the shapes flowing through its slots from the
+    /// artifact's declared input, so a malformed artifact fails at
+    /// load, not at request time. Two steps writing the same slot must
+    /// produce the same per-item shape (the compiler's liveness
+    /// analysis guarantees this at the compiled resolution; an artifact
+    /// served at an incompatible resolution is rejected here).
     pub fn new(artifact: ModelArtifact, opts: EngineOptions) -> Result<Self, ServeError> {
         assert!(opts.threads > 0, "need at least one thread");
         let malformed = |msg: String| ServeError::Artifact(ArtifactError::Malformed(msg));
-        let mut steps = Vec::with_capacity(artifact.layers.len());
-        // The shape flowing between steps, per item.
-        let mut shape: Vec<usize> = artifact.input.to_vec();
-        for plan in &artifact.layers {
-            let step = match plan {
+        artifact.validate_topology().map_err(ServeError::Artifact)?;
+        let mut steps = Vec::with_capacity(artifact.steps.len());
+        // Per-slot per-item shapes; slot 0 is the network input.
+        let mut slot_shapes: Vec<Option<Vec<usize>>> = vec![None; artifact.slots];
+        let input_shape: Vec<usize> = artifact.input.to_vec();
+        for plan_step in &artifact.steps {
+            let slot_shape = |slot: usize| -> Vec<usize> {
+                if slot == 0 {
+                    input_shape.clone()
+                } else {
+                    slot_shapes[slot].clone().expect("validated def-before-use")
+                }
+            };
+            // The shape flowing into this step (first input; `Add`
+            // checks its second against it below).
+            let shape: Vec<usize> = slot_shape(plan_step.inputs[0]);
+            let step = match &plan_step.op {
                 LayerPlan::PatternConv {
                     name,
                     stride,
@@ -136,12 +165,7 @@ impl Engine {
                     } else {
                         StepExec::Pattern(exec)
                     };
-                    shape = out_shape.clone();
-                    Step {
-                        exec,
-                        relu: *relu,
-                        out_shape,
-                    }
+                    (exec, *relu, out_shape)
                 }
                 LayerPlan::DenseConv {
                     name,
@@ -163,12 +187,11 @@ impl Engine {
                     check_window(name, ws.h.max(ws.w), *stride, *pad, h, w)?;
                     let geo = Conv2dGeometry::new(ws.n, ws.c, ws.h, ws.w, h, w, *stride, *pad);
                     let out_shape = vec![geo.out_channels, geo.out_h, geo.out_w];
-                    shape = out_shape.clone();
-                    Step {
-                        exec: StepExec::Dense(TiledConv::new(geo, weights.clone(), bias.clone())),
-                        relu: *relu,
+                    (
+                        StepExec::Dense(TiledConv::new(geo, weights.clone(), bias.clone())),
+                        *relu,
                         out_shape,
-                    }
+                    )
                 }
                 LayerPlan::MaxPool {
                     kernel,
@@ -183,42 +206,26 @@ impl Engine {
                         conv_out_dim(h, *kernel, *stride, *pad),
                         conv_out_dim(w, *kernel, *stride, *pad),
                     ];
-                    shape = out_shape.clone();
-                    Step {
-                        exec: StepExec::MaxPool {
+                    (
+                        StepExec::MaxPool {
                             kernel: *kernel,
                             stride: *stride,
                             pad: *pad,
                         },
-                        relu: false,
+                        false,
                         out_shape,
-                    }
+                    )
                 }
                 LayerPlan::GlobalAvgPool => {
                     let [c, _, _] =
                         spatial(&shape).ok_or_else(|| malformed("gap after flatten".into()))?;
-                    let out_shape = vec![c, 1, 1];
-                    shape = out_shape.clone();
-                    Step {
-                        exec: StepExec::GlobalAvgPool,
-                        relu: false,
-                        out_shape,
-                    }
+                    (StepExec::GlobalAvgPool, false, vec![c, 1, 1])
                 }
                 LayerPlan::Flatten => {
                     let features: usize = shape.iter().product();
-                    shape = vec![features];
-                    Step {
-                        exec: StepExec::Flatten,
-                        relu: false,
-                        out_shape: shape.clone(),
-                    }
+                    (StepExec::Flatten, false, vec![features])
                 }
-                LayerPlan::Relu => Step {
-                    exec: StepExec::Relu,
-                    relu: false,
-                    out_shape: shape.clone(),
-                },
+                LayerPlan::Relu => (StepExec::Relu, false, shape.clone()),
                 LayerPlan::Fc {
                     name,
                     weights,
@@ -234,23 +241,50 @@ impl Engine {
                     if bias.len() != out_f {
                         return Err(malformed(format!("{name}: bias arity")));
                     }
-                    shape = vec![out_f];
-                    Step {
-                        exec: StepExec::Fc {
+                    (
+                        StepExec::Fc {
                             weights: weights.clone(),
                             bias: bias.clone(),
                         },
-                        relu: false,
-                        out_shape: shape.clone(),
+                        false,
+                        vec![out_f],
+                    )
+                }
+                LayerPlan::Add { relu } => {
+                    let other = slot_shape(plan_step.inputs[1]);
+                    if shape != other {
+                        return Err(malformed(format!(
+                            "add: branch shapes disagree ({shape:?} vs {other:?})"
+                        )));
                     }
+                    (StepExec::Add, *relu, shape.clone())
                 }
             };
-            steps.push(step);
+            let (exec, relu, out_shape) = step;
+            match &slot_shapes[plan_step.output] {
+                None => slot_shapes[plan_step.output] = Some(out_shape.clone()),
+                Some(existing) if *existing != out_shape => {
+                    return Err(malformed(format!(
+                        "slot {} shape conflict: {existing:?} vs {out_shape:?} \
+                         (artifact compiled for an incompatible resolution)",
+                        plan_step.output
+                    )));
+                }
+                Some(_) => {}
+            }
+            steps.push(Step {
+                exec,
+                relu,
+                inputs: plan_step.inputs.clone(),
+                output: plan_step.output,
+                out_shape,
+            });
         }
         Ok(Engine {
             name: artifact.name.clone(),
             input: artifact.input,
             steps,
+            slot_shapes,
             artifact,
             scratch: Mutex::new(Vec::new()),
         })
@@ -295,8 +329,10 @@ impl Engine {
     /// Runs the whole plan on a batched NCHW input.
     ///
     /// The input's trailing dimensions must match the model input; any
-    /// batch size works. Scratch buffers are checked out from the pool,
-    /// reused across calls, and returned afterwards.
+    /// batch size works. Per-slot scratch buffers are checked out from
+    /// the pool, reused across calls, and returned afterwards; a warm
+    /// engine serving a stable batch size reallocates nothing (slot
+    /// reuse is shape-exact by construction).
     pub fn infer(&self, input: &Tensor) -> Result<Tensor, ServeError> {
         let shape = input.shape();
         if shape.len() != 4 || shape[1..] != self.input[..] {
@@ -307,38 +343,58 @@ impl Engine {
         }
         let batch = shape[0];
 
-        let mut bufs = self
+        let mut slots = self
             .scratch
             .lock()
             .expect("scratch pool")
             .pop()
             .unwrap_or_default();
-        bufs.resize_with(self.steps.len(), || Tensor::zeros(&[0]));
-        for (step, buf) in self.steps.iter().zip(&mut bufs) {
-            let mut want = Vec::with_capacity(step.out_shape.len() + 1);
-            want.push(batch);
-            want.extend_from_slice(&step.out_shape);
-            if buf.shape() != want {
+        slots.resize_with(self.slot_shapes.len(), || Tensor::zeros(&[0]));
+        for (slot, item) in self.slot_shapes.iter().enumerate() {
+            let Some(item) = item else {
+                continue; // slot 0 (borrowed input) or never written
+            };
+            let buf = &mut slots[slot];
+            let got = buf.shape();
+            let fits = got.len() == item.len() + 1 && got[0] == batch && got[1..] == item[..];
+            if !fits {
+                let mut want = Vec::with_capacity(item.len() + 1);
+                want.push(batch);
+                want.extend_from_slice(item);
                 *buf = Tensor::zeros(&want);
             }
         }
 
-        for i in 0..self.steps.len() {
-            let (done, rest) = bufs.split_at_mut(i);
-            let prev: &Tensor = if i == 0 { input } else { &done[i - 1] };
-            let buf = &mut rest[0];
-            let step = &self.steps[i];
-            run_step(step, prev, buf);
+        for step in &self.steps {
+            // Slot 0 never holds data (the input is the caller's borrow),
+            // so park the output buffer there to borrow it mutably while
+            // the input slots stay readable.
+            slots.swap(0, step.output);
+            let (head, rest) = slots.split_at_mut(1);
+            let buf = &mut head[0];
+            match step.inputs[..] {
+                [a] => {
+                    let a = if a == 0 { input } else { &rest[a - 1] };
+                    run_step(step, &[a], buf);
+                }
+                [a, b] => {
+                    let a = if a == 0 { input } else { &rest[a - 1] };
+                    let b = if b == 0 { input } else { &rest[b - 1] };
+                    run_step(step, &[a, b], buf);
+                }
+                _ => unreachable!("step arity validated at engine build"),
+            }
             if step.relu {
                 buf.map_inplace(|x| x.max(0.0));
             }
+            slots.swap(0, step.output);
         }
 
-        let out = match bufs.last() {
-            Some(t) => t.clone(),
+        let out = match self.steps.last() {
+            Some(s) => slots[s.output].clone(),
             None => input.clone(),
         };
-        self.scratch.lock().expect("scratch pool").push(bufs);
+        self.scratch.lock().expect("scratch pool").push(slots);
         Ok(out)
     }
 
@@ -409,7 +465,8 @@ fn check_window(
     Ok(())
 }
 
-fn run_step(step: &Step, prev: &Tensor, buf: &mut Tensor) {
+fn run_step(step: &Step, inputs: &[&Tensor], buf: &mut Tensor) {
+    let prev = inputs[0];
     match &step.exec {
         StepExec::Pattern(exec) => exec.run_into(prev, buf),
         StepExec::PatternPar(exec) => {
@@ -433,6 +490,12 @@ fn run_step(step: &Step, prev: &Tensor, buf: &mut Tensor) {
             }
         }
         StepExec::Fc { weights, bias } => fc_into(prev, weights, bias, buf),
+        StepExec::Add => {
+            let b = inputs[1].data();
+            for (o, (&x, &y)) in buf.data_mut().iter_mut().zip(prev.data().iter().zip(b)) {
+                *o = x + y;
+            }
+        }
     }
 }
 
@@ -522,9 +585,9 @@ mod tests {
         let net = pruned_cnn(1);
         let artifact = compile_network("pruned", &net, [3, 8, 8]).expect("compiles");
         let pattern_layers = artifact
-            .layers
+            .steps
             .iter()
-            .filter(|l| l.kind() == "pattern-conv")
+            .filter(|s| s.op.kind() == "pattern-conv")
             .count();
         assert_eq!(pattern_layers, 2, "both convs compile to pattern executors");
     }
@@ -544,6 +607,41 @@ mod tests {
             "engine diverges from nn forward: {:?}",
             want.max_abs_diff(&got)
         );
+    }
+
+    #[test]
+    fn residual_engine_matches_nn_forward() {
+        let mut rng = Rng::seed_from(21);
+        let mut net = patdnn_nn::models::resnet_small(10, &mut rng);
+        pattern_project_network(&mut net, 8, 3.6);
+        let artifact = compile_network("res", &net, [3, 32, 32]).expect("compiles");
+        assert!(!artifact.is_chain(), "residual plan is a DAG");
+        let engine = Engine::new(artifact, EngineOptions::default()).expect("engine");
+        for batch in [1usize, 3] {
+            let x = Tensor::randn(&[batch, 3, 32, 32], &mut rng);
+            let want = net.forward(&x, Mode::Eval);
+            let got = engine.infer(&x).expect("infer");
+            assert_eq!(got.shape(), want.shape());
+            assert!(
+                want.approx_eq(&got, 1e-4),
+                "batch {batch}: engine diverges from nn forward: {:?}",
+                want.max_abs_diff(&got)
+            );
+        }
+    }
+
+    #[test]
+    fn residual_engine_serves_reloaded_artifact() {
+        let mut rng = Rng::seed_from(22);
+        let mut net = patdnn_nn::models::resnet_small(10, &mut rng);
+        pattern_project_network(&mut net, 8, 3.6);
+        let artifact = compile_network("res", &net, [3, 32, 32]).expect("compiles");
+        let reloaded = crate::ModelArtifact::decode(&artifact.encode()).expect("codec round trip");
+        let engine = Engine::new(reloaded, EngineOptions::default()).expect("engine");
+        let x = Tensor::randn(&[2, 3, 32, 32], &mut rng);
+        let want = net.forward(&x, Mode::Eval);
+        let got = engine.infer(&x).expect("infer");
+        assert!(want.approx_eq(&got, 1e-4));
     }
 
     #[test]

@@ -8,16 +8,19 @@
 //! when a whole network executes as one compiled plan. This crate
 //! provides that plan plus the deployment story around it:
 //!
-//! - [`compile`] — lowers an exported network ([`patdnn_nn::export`])
-//!   through the compiler's graph passes (BN folding, ReLU fusion, DCE)
-//!   into a [`artifact::ModelArtifact`], deriving each pruned layer's
-//!   pattern table and FKW storage from its weights.
+//! - [`compile`] — lowers an exported network ([`patdnn_nn::export`]),
+//!   residual blocks included, through the compiler's graph passes (BN
+//!   folding, ReLU fusion into convs and joins, DCE) into a
+//!   [`artifact::ModelArtifact`]: a DAG plan whose values are assigned
+//!   buffer slots by liveness analysis, with each pruned layer's
+//!   pattern table and FKW storage derived from its weights.
 //! - [`artifact`] — the versioned binary model format: pruned FKW
-//!   weights plus layer geometry, save/load without retraining or
-//!   re-pruning.
-//! - [`engine`] — the [`engine::Engine`]: an executable plan of
-//!   per-layer executors with preallocated, reused intermediate buffers
-//!   and a single `infer` entry point; batch-N throughout.
+//!   weights plus layer geometry and slot topology, save/load without
+//!   retraining or re-pruning; legacy v1 chain artifacts still decode.
+//! - [`engine`] — the [`engine::Engine`]: an executable DAG plan of
+//!   per-step executors (residual `Add` joins included) reading and
+//!   writing pooled, liveness-shared slot buffers, with a single
+//!   `infer` entry point; batch-N throughout.
 //! - [`registry`] — named models, shared between workers.
 //! - [`batching`] — the bounded request queue with dynamic batching:
 //!   collect up to `max_batch` same-model requests or a `max_wait`

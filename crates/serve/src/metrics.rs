@@ -57,7 +57,7 @@ impl ServerMetrics {
     /// Records one executed batch and its per-request latencies.
     ///
     /// Latency percentiles are computed over the most recent
-    /// [`MAX_SAMPLES`] requests; the request/batch totals are exact.
+    /// `MAX_SAMPLES` requests; the request/batch totals are exact.
     pub fn record_batch(&self, latencies: &[Duration]) {
         self.batches.fetch_add(1, Ordering::Relaxed);
         self.requests

@@ -1,0 +1,102 @@
+//! Warm-engine allocation budget: the slot-based plan must execute the
+//! pattern-conv path out of pooled buffers, allocating nothing for
+//! intermediate activations once warm.
+//!
+//! A counting global allocator (this test binary's only job — the
+//! allocator is process-global) measures allocations across warm
+//! `infer` calls. The budget is the response envelope only: cloning the
+//! output slot into the returned tensor (data + shape vectors). Every
+//! plan-internal buffer — conv outputs, pool outputs, residual-join
+//! operands — must come from the reused slot set, so the count is flat
+//! in plan depth and identical call over call.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocations() -> usize {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+use patdnn_core::prune::pattern_project_network;
+use patdnn_nn::models::{resnet_small, vgg_small};
+use patdnn_nn::network::Sequential;
+use patdnn_serve::compile::compile_network;
+use patdnn_serve::engine::{Engine, EngineOptions};
+use patdnn_tensor::rng::Rng;
+use patdnn_tensor::Tensor;
+
+/// The response envelope: the output tensor clone (data vec + shape
+/// vec) plus a small slack for platform-dependent `Vec` behaviour.
+const WARM_CALL_BUDGET: usize = 8;
+
+fn warm_allocation_count(mut net: Sequential, name: &str) -> usize {
+    pattern_project_network(&mut net, 8, 3.6);
+    let artifact = compile_network(name, &net, [3, 32, 32]).expect("compiles");
+    assert!(
+        artifact.steps.iter().all(|s| s.op.kind() != "dense-conv"),
+        "{name}: budget only holds on the pattern-conv path"
+    );
+    let engine = Engine::new(artifact, EngineOptions::default()).expect("engine");
+    let mut rng = Rng::seed_from(77);
+    let x = Tensor::randn(&[1, 3, 32, 32], &mut rng);
+
+    // Warm up: first call allocates the slot buffers, second settles any
+    // lazy internals.
+    engine.infer(&x).expect("warmup 1");
+    engine.infer(&x).expect("warmup 2");
+
+    let before = allocations();
+    engine.infer(&x).expect("warm call");
+    let per_call = allocations() - before;
+
+    // The count must also be stable call over call, not just small.
+    let again = allocations();
+    engine.infer(&x).expect("warm call 2");
+    assert_eq!(
+        allocations() - again,
+        per_call,
+        "{name}: warm allocation count must be steady"
+    );
+    per_call
+}
+
+/// One test fn for both models: the allocation counter is
+/// process-global, so concurrent tests would perturb each other's
+/// deltas.
+#[test]
+fn warm_engines_stay_within_the_response_envelope() {
+    let mut rng = Rng::seed_from(51);
+    let chain = warm_allocation_count(vgg_small(10, &mut rng), "vgg_small");
+    assert!(
+        chain <= WARM_CALL_BUDGET,
+        "warm chain infer made {chain} allocations (budget {WARM_CALL_BUDGET})"
+    );
+    let residual = warm_allocation_count(resnet_small(10, &mut rng), "resnet_small");
+    assert!(
+        residual <= WARM_CALL_BUDGET,
+        "warm residual infer made {residual} allocations (budget {WARM_CALL_BUDGET})"
+    );
+}

@@ -34,7 +34,7 @@ fn artifact_round_trip_is_bitwise_lossless() {
     let net = pruned_cnn(1);
     let artifact = compile_network("rt", &net, [3, 8, 8]).expect("compiles");
     assert!(
-        artifact.layers.iter().any(|l| l.kind() == "pattern-conv"),
+        artifact.steps.iter().any(|s| s.op.kind() == "pattern-conv"),
         "round trip must cover FKW layers"
     );
 
@@ -47,9 +47,9 @@ fn artifact_round_trip_is_bitwise_lossless() {
 
     assert_eq!(artifact, reloaded, "decoded artifact is structurally equal");
     // Bitwise weight equality, FKW layer by FKW layer.
-    for (a, b) in artifact.layers.iter().zip(&reloaded.layers) {
+    for (a, b) in artifact.steps.iter().zip(&reloaded.steps) {
         if let (LayerPlan::PatternConv { fkw: fa, .. }, LayerPlan::PatternConv { fkw: fb, .. }) =
-            (a, b)
+            (&a.op, &b.op)
         {
             let bits_a: Vec<u32> = fa.weights.iter().map(|w| w.to_bits()).collect();
             let bits_b: Vec<u32> = fb.weights.iter().map(|w| w.to_bits()).collect();
@@ -71,11 +71,13 @@ fn engine_matches_layerwise_execution() {
     let mut rng = Rng::seed_from(3);
     let x = Tensor::randn(&[1, 3, 8, 8], &mut rng);
 
-    // Hand-rolled layerwise execution of the same plan.
+    // Hand-rolled layerwise execution of the same plan (a chain, so the
+    // steps execute in slot-feeding order).
+    assert!(artifact.is_chain(), "small_cnn compiles to a chain plan");
     let mut cur = x.clone();
     let mut shape = [3usize, 8, 8];
-    for plan in &artifact.layers {
-        cur = match plan {
+    for step in &artifact.steps {
+        cur = match &step.op {
             LayerPlan::PatternConv {
                 stride,
                 pad,
@@ -157,9 +159,9 @@ fn vgg_small_compiles_and_serves_from_reloaded_artifact() {
     let artifact = compile_network("vgg_small", &net, [3, 32, 32]).expect("compiles");
 
     let pattern_layers = artifact
-        .layers
+        .steps
         .iter()
-        .filter(|l| l.kind() == "pattern-conv")
+        .filter(|s| s.op.kind() == "pattern-conv")
         .count();
     assert_eq!(pattern_layers, 6, "all six 3x3 convs compile to FKW");
 
@@ -175,6 +177,78 @@ fn vgg_small_compiles_and_serves_from_reloaded_artifact() {
         "reloaded engine diverges: {:?}",
         want.max_abs_diff(&got)
     );
+}
+
+/// Backward compatibility: a chain model encoded in the legacy v1
+/// layout decodes into the v2 plan representation and infers
+/// bit-identically to the engine built from the v2 encoding.
+#[test]
+fn v1_chain_artifact_loads_and_infers_bit_identically() {
+    let mut rng = Rng::seed_from(31);
+    let mut net = vgg_small(10, &mut rng);
+    pattern_project_network(&mut net, 8, 3.6);
+    let artifact = compile_network("legacy", &net, [3, 32, 32]).expect("compiles");
+    assert!(artifact.is_chain(), "vgg_small is a chain model");
+
+    let v1_bytes = artifact.encode_v1().expect("chains encode as v1");
+    let from_v1 = ModelArtifact::decode(&v1_bytes).expect("v1 decodes");
+    assert_eq!(artifact, from_v1, "v1 decodes into the v2 chain plan");
+
+    let engine_v2 = Engine::new(artifact, EngineOptions::default()).expect("v2 engine");
+    let engine_v1 = Engine::new(from_v1, EngineOptions::default()).expect("v1 engine");
+    for batch in [1usize, 4] {
+        let x = Tensor::randn(&[batch, 3, 32, 32], &mut rng);
+        let a = engine_v2.infer(&x).expect("v2 infer");
+        let b = engine_v1.infer(&x).expect("v1 infer");
+        let bits_a: Vec<u32> = a.data().iter().map(|v| v.to_bits()).collect();
+        let bits_b: Vec<u32> = b.data().iter().map(|v| v.to_bits()).collect();
+        assert_eq!(
+            bits_a, bits_b,
+            "batch {batch}: outputs must be bit-identical"
+        );
+    }
+}
+
+/// A pruned residual model served through the dynamic-batching server:
+/// batched results equal per-request engine results.
+#[test]
+fn residual_model_serves_through_dynamic_batching() {
+    let mut rng = Rng::seed_from(32);
+    let mut net = patdnn_nn::models::resnet_small(10, &mut rng);
+    pattern_project_network(&mut net, 8, 3.6);
+    let artifact = compile_network("res", &net, [3, 32, 32]).expect("compiles");
+    let registry = Arc::new(ModelRegistry::new());
+    let engine = registry.register(
+        "res",
+        Engine::new(artifact, EngineOptions::default()).unwrap(),
+    );
+    let server = Server::start(
+        Arc::clone(&registry),
+        ServerConfig {
+            workers: 2,
+            batch: BatchPolicy {
+                max_batch: 4,
+                max_wait: Duration::from_millis(5),
+            },
+            queue_capacity: 64,
+        },
+    );
+    let inputs: Vec<Tensor> = (0..8)
+        .map(|_| Tensor::randn(&[1, 3, 32, 32], &mut rng))
+        .collect();
+    let receivers: Vec<_> = inputs
+        .iter()
+        .map(|x| server.submit("res", x.clone()).expect("submit"))
+        .collect();
+    for (x, rx) in inputs.iter().zip(receivers) {
+        let resp = rx.recv().expect("response").expect("served");
+        let direct = engine.infer(x).expect("direct");
+        assert!(
+            direct.approx_eq(&resp.output, 1e-5),
+            "batched residual result diverges from per-request result"
+        );
+    }
+    server.shutdown();
 }
 
 /// Dynamic batching: results served through the batching queue equal

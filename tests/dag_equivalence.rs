@@ -1,0 +1,166 @@
+//! DAG engine equivalence over randomized residual topologies.
+//!
+//! The chain-model analogue lives in `executor_equivalence.rs`; this
+//! sweep covers the serving pipeline's DAG path end to end: for each
+//! seed, build a random residual network (block count, widths, strides,
+//! identity vs projection shortcuts, and trailing head all derived from
+//! the seed), pattern-prune it, compile it through the graph passes and
+//! liveness slot assignment, and assert the compiled engine matches the
+//! `nn` forward pass within 1e-4 — batched and batch-1 — both directly
+//! and after an artifact codec round trip.
+
+use patdnn::core::prune::pattern_project_network;
+use patdnn::nn::activation::Relu;
+use patdnn::nn::batchnorm::BatchNorm2d;
+use patdnn::nn::conv::Conv2d;
+use patdnn::nn::layer::{Layer, Mode};
+use patdnn::nn::linear::{Flatten, Linear};
+use patdnn::nn::network::{Residual, Sequential};
+use patdnn::nn::pool::GlobalAvgPool;
+use patdnn::serve::compile::compile_network;
+use patdnn::serve::engine::{Engine, EngineOptions};
+use patdnn::serve::ModelArtifact;
+use patdnn::tensor::rng::Rng;
+use patdnn::tensor::Tensor;
+
+/// Builds a random residual network on 3×16×16 inputs: a stem, 1–3
+/// residual blocks (each with a seed-derived width, stride, and
+/// shortcut kind), then GAP → flatten → FC.
+fn random_residual_net(rng: &mut Rng) -> Sequential {
+    let mut net = Sequential::new("rand_res");
+    let mut channels = 4 + rng.below(5); // 4..=8
+    net.push(Conv2d::new("stem", channels, 3, 3, 1, 1, rng));
+    net.push(BatchNorm2d::new("stem_bn", channels));
+    net.push(Relu::new("stem_relu"));
+
+    let blocks = 1 + rng.below(3); // 1..=3
+    let mut hw = 16usize;
+    for b in 0..blocks {
+        let name = format!("block{b}");
+        // Stride-2 blocks halve resolution and must project; stride-1
+        // blocks flip a coin between identity and projection.
+        let stride = if hw >= 8 && rng.chance(0.4) { 2 } else { 1 };
+        let out_c = if rng.chance(0.5) {
+            channels
+        } else {
+            channels + 2 + rng.below(4)
+        };
+        let needs_projection = stride != 1 || out_c != channels;
+
+        let mut main = Sequential::new("main");
+        main.push(Conv2d::new(
+            &format!("{name}_conv1"),
+            out_c,
+            channels,
+            3,
+            stride,
+            1,
+            rng,
+        ));
+        main.push(BatchNorm2d::new(&format!("{name}_bn1"), out_c));
+        main.push(Relu::new(&format!("{name}_relu1")));
+        main.push(Conv2d::new(
+            &format!("{name}_conv2"),
+            out_c,
+            out_c,
+            3,
+            1,
+            1,
+            rng,
+        ));
+        main.push(BatchNorm2d::new(&format!("{name}_bn2"), out_c));
+
+        if needs_projection || rng.chance(0.3) {
+            // Projection shortcut: 1×1 conv (+BN), the connectivity-pruned
+            // skip-path case.
+            let mut short = Sequential::new("short");
+            short.push(Conv2d::new(
+                &format!("{name}_proj"),
+                out_c,
+                channels,
+                1,
+                stride,
+                0,
+                rng,
+            ));
+            short.push(BatchNorm2d::new(&format!("{name}_proj_bn"), out_c));
+            net.push(Residual::projected(&name, main, short));
+        } else {
+            net.push(Residual::identity(&name, main));
+        }
+        net.push(Relu::new(&format!("{name}_out_relu")));
+        channels = out_c;
+        hw /= stride;
+    }
+
+    net.push(GlobalAvgPool::new("gap"));
+    net.push(Flatten::new("flatten"));
+    net.push(Linear::new("fc", 5, channels, rng));
+    net
+}
+
+#[test]
+fn random_residual_topologies_compile_and_match_nn_forward() {
+    for seed in 0..12u64 {
+        let mut rng = Rng::seed_from(1000 + seed);
+        let mut net = random_residual_net(&mut rng);
+        // Seed-derived pruning pressure (connectivity rate 2x..4x).
+        let rate = rng.uniform(2.0, 4.0);
+        pattern_project_network(&mut net, 8, rate);
+
+        let artifact = compile_network("rand", &net, [3, 16, 16])
+            .unwrap_or_else(|e| panic!("seed {seed}: compile failed: {e}"));
+        assert!(
+            artifact.steps.iter().any(|s| s.op.kind() == "add"),
+            "seed {seed}: residual plan must contain a join"
+        );
+        // The artifact survives its own codec.
+        let decoded = ModelArtifact::decode(&artifact.encode())
+            .unwrap_or_else(|e| panic!("seed {seed}: decode failed: {e}"));
+        assert_eq!(artifact, decoded, "seed {seed}: codec round trip");
+
+        let engine = Engine::new(decoded, EngineOptions::default())
+            .unwrap_or_else(|e| panic!("seed {seed}: engine build failed: {e}"));
+        for batch in [1usize, 2 + rng.below(3)] {
+            let x = Tensor::randn(&[batch, 3, 16, 16], &mut rng);
+            let want = net.forward(&x, Mode::Eval);
+            let got = engine
+                .infer(&x)
+                .unwrap_or_else(|e| panic!("seed {seed}: infer failed: {e}"));
+            assert_eq!(got.shape(), want.shape(), "seed {seed}");
+            assert!(
+                want.approx_eq(&got, 1e-4),
+                "seed {seed} batch {batch}: engine diverges from nn forward by {:?}",
+                want.max_abs_diff(&got)
+            );
+        }
+    }
+}
+
+/// The threaded engine agrees with the serial one on DAG plans.
+#[test]
+fn random_residual_topologies_match_across_thread_counts() {
+    for seed in 0..6u64 {
+        let mut rng = Rng::seed_from(2000 + seed);
+        let mut net = random_residual_net(&mut rng);
+        pattern_project_network(&mut net, 8, 3.0);
+        let artifact = compile_network("rand", &net, [3, 16, 16])
+            .unwrap_or_else(|e| panic!("seed {seed}: compile failed: {e}"));
+        let serial = Engine::new(artifact.clone(), EngineOptions::default()).expect("serial");
+        let par = Engine::new(
+            artifact,
+            EngineOptions {
+                threads: 3,
+                ..EngineOptions::default()
+            },
+        )
+        .expect("parallel");
+        let x = Tensor::randn(&[2, 3, 16, 16], &mut rng);
+        let a = serial.infer(&x).expect("serial infer");
+        let b = par.infer(&x).expect("parallel infer");
+        assert!(
+            a.approx_eq(&b, 1e-5),
+            "seed {seed}: threaded engine diverges"
+        );
+    }
+}
