@@ -5,7 +5,7 @@
 //! ```text
 //! repro <experiment>... [--quick] [--reps N] [--threads N]
 //! experiment: table1..table7, fig12..fig18, serving, serving-resnet,
-//!             tables, figures, all
+//!             serving-tuned, tables, figures, all
 //! ```
 
 use patdnn_bench::{figures, tables, RunOptions};
@@ -67,6 +67,7 @@ fn main() {
                 "fig18",
                 "serving",
                 "serving-resnet",
+                "serving-tuned",
             ]),
             "tables" => expanded.extend([
                 "table1", "table2", "table3", "table4", "table5", "table6", "table7",
@@ -104,6 +105,9 @@ fn main() {
             "serving-resnet" => {
                 println!("{}", patdnn_bench::serving::resnet_serving(&opts));
             }
+            "serving-tuned" => {
+                println!("{}", patdnn_bench::serving::tuned_serving(&opts));
+            }
             other => die(&format!("unknown experiment {other}")),
         }
         eprintln!("[{exp} took {:.1}s]", start.elapsed().as_secs_f64());
@@ -121,8 +125,8 @@ fn print_all(tables: Vec<patdnn_bench::report::Table>) {
 fn die(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
-        "usage: repro <table1..table7|fig12..fig18|serving|serving-resnet|tables|figures|all> \
-         [--quick] [--reps N] [--threads N]"
+        "usage: repro <table1..table7|fig12..fig18|serving|serving-resnet|serving-tuned|\
+         tables|figures|all> [--quick] [--reps N] [--threads N]"
     );
     std::process::exit(2);
 }

@@ -13,10 +13,11 @@ use patdnn_core::prune::pattern_project_network;
 use patdnn_nn::models::{resnet_small, vgg_small};
 use patdnn_nn::network::Sequential;
 use patdnn_serve::batching::BatchPolicy;
-use patdnn_serve::compile::compile_network;
+use patdnn_serve::compile::{compile_network, compile_network_with, CompileOptions};
 use patdnn_serve::engine::{Engine, EngineOptions};
 use patdnn_serve::registry::ModelRegistry;
 use patdnn_serve::server::{Server, ServerConfig};
+use patdnn_serve::TunePolicy;
 use patdnn_tensor::rng::Rng;
 use patdnn_tensor::Tensor;
 
@@ -217,6 +218,125 @@ pub fn resnet_serving(opts: &RunOptions) -> Table {
     table
 }
 
+/// Per-layer auto-tuned serving: each model compiled under every
+/// [`TunePolicy`] — `off` (the single global default config),
+/// `estimate` (per-layer estimator-predicted configs, no timed runs)
+/// and `measure` (per-layer GA exploration over real timed runs) — then
+/// measured two ways: direct batch-1 engine latency (the paper's
+/// real-time metric) and served QPS/tail latency under synthetic
+/// traffic. The `cfgs` column counts distinct pattern-conv exec
+/// configs, showing that tuned plans are genuinely per-layer rather
+/// than one global choice.
+pub fn tuned_serving(opts: &RunOptions) -> Table {
+    let requests_per_client = if opts.quick { 5 } else { 25 };
+    let reps = if opts.quick { 5 } else { 30.max(opts.reps) };
+    let budget = if opts.quick { 8 } else { 24 };
+    let policies = [
+        TunePolicy::Off,
+        TunePolicy::Estimate,
+        TunePolicy::Measure { budget },
+    ];
+    let mut table = Table::new(
+        "Serving: per-layer auto-tuned plans, default vs estimate vs measure \
+         (2 workers, max_batch=4, 4 clients)",
+        &[
+            "model",
+            "tune",
+            "cfgs",
+            "b1 p50 ms",
+            "QPS",
+            "p50 ms",
+            "p99 ms",
+        ],
+    );
+    for (name, seed) in [("vgg_small", 41u64), ("resnet_small", 42u64)] {
+        let mut rng = Rng::seed_from(seed);
+        let mut net = match name {
+            "vgg_small" => vgg_small(10, &mut rng),
+            _ => resnet_small(10, &mut rng),
+        };
+        pattern_project_network(&mut net, 8, 3.6);
+        for policy in policies {
+            let artifact = compile_network_with(
+                name,
+                &net,
+                [3, 32, 32],
+                &CompileOptions {
+                    tune: policy,
+                    ..CompileOptions::default()
+                },
+            )
+            .expect("compile");
+            let distinct_configs = {
+                let mut cfgs: Vec<_> = artifact
+                    .steps
+                    .iter()
+                    .filter(|s| s.op.kind() == "pattern-conv")
+                    .map(|s| format!("{:?}", s.exec))
+                    .collect();
+                cfgs.sort();
+                cfgs.dedup();
+                cfgs.len()
+            };
+            let engine = Engine::new(artifact.clone(), EngineOptions::default()).expect("engine");
+
+            // Direct batch-1 latency: median of `reps` warm runs.
+            let mut lat_rng = Rng::seed_from(seed + 100);
+            let x = Tensor::randn(&[1, 3, 32, 32], &mut lat_rng);
+            engine.infer(&x).expect("warmup");
+            let mut runs: Vec<f64> = (0..reps)
+                .map(|_| {
+                    let t = Instant::now();
+                    std::hint::black_box(engine.infer(&x).expect("infer"));
+                    t.elapsed().as_secs_f64() * 1e3
+                })
+                .collect();
+            runs.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+            let b1_p50 = runs[runs.len() / 2];
+
+            // Served traffic through the dynamic-batching server.
+            let registry = Arc::new(ModelRegistry::new());
+            registry.register(name, engine);
+            let server = Arc::new(Server::start(
+                Arc::clone(&registry),
+                ServerConfig {
+                    workers: 2,
+                    batch: BatchPolicy {
+                        max_batch: 4,
+                        max_wait: Duration::from_millis(2),
+                    },
+                    queue_capacity: 1024,
+                },
+            ));
+            let start = Instant::now();
+            std::thread::scope(|scope| {
+                for client in 0..4usize {
+                    let server = Arc::clone(&server);
+                    scope.spawn(move || {
+                        let mut rng = Rng::seed_from(900 + client as u64);
+                        for _ in 0..requests_per_client {
+                            let input = Tensor::randn(&[1, 3, 32, 32], &mut rng);
+                            let _ = server.infer(name, input);
+                        }
+                    });
+                }
+            });
+            let wall = start.elapsed().as_secs_f64();
+            let snap = server.metrics().snapshot();
+            table.push_row(vec![
+                name.to_string(),
+                policy.label().to_string(),
+                distinct_configs.to_string(),
+                format!("{b1_p50:.3}"),
+                format!("{:.1}", snap.requests as f64 / wall),
+                format!("{:.3}", snap.p50_ms),
+                format!("{:.3}", snap.p99_ms),
+            ]);
+        }
+    }
+    table
+}
+
 /// Both serving tables.
 pub fn serving(opts: &RunOptions) -> Vec<Table> {
     vec![engine_batch_sweep(opts), server_throughput(opts)]
@@ -237,6 +357,30 @@ mod tests {
         for row in &tables[0].rows {
             let items_per_s: f64 = row[3].parse().expect("numeric");
             assert!(items_per_s > 0.0);
+        }
+    }
+
+    #[test]
+    fn tuned_serving_reports_every_policy_for_both_models() {
+        let opts = RunOptions::quick();
+        let table = tuned_serving(&opts);
+        assert_eq!(table.rows.len(), 6, "2 models x 3 tuning policies");
+        for row in &table.rows {
+            let qps: f64 = row[4].parse().expect("numeric QPS");
+            assert!(qps > 0.0);
+            let b1_p50: f64 = row[3].parse().expect("numeric batch-1 p50");
+            assert!(b1_p50 > 0.0);
+        }
+        // Untuned plans carry one global config; estimated plans must be
+        // per-layer (visibly non-uniform).
+        for chunk in table.rows.chunks(3) {
+            let off_cfgs: usize = chunk[0][2].parse().expect("numeric");
+            let est_cfgs: usize = chunk[1][2].parse().expect("numeric");
+            assert_eq!(off_cfgs, 1, "off policy is one global config");
+            assert!(
+                est_cfgs > 1,
+                "estimate policy must produce per-layer configs, got {est_cfgs}"
+            );
         }
     }
 

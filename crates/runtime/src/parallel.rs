@@ -55,6 +55,11 @@ impl ParallelPattern {
     /// Wraps `inner`, assigning its storage rows to `threads` workers
     /// under the given schedule.
     ///
+    /// Requesting more threads than the layer has filters yields empty
+    /// row assignments; those are dropped, so no worker thread is ever
+    /// spawned with nothing to do and a ~0s idle thread cannot pin the
+    /// reported load imbalance near 1.0 on small layers.
+    ///
     /// # Panics
     ///
     /// Panics if `threads == 0`.
@@ -75,6 +80,7 @@ impl ParallelPattern {
                 }
             }
         }
+        assignments.retain(|rows| !rows.is_empty());
         ParallelPattern {
             inner,
             threads,
@@ -335,6 +341,31 @@ mod tests {
         };
         assert!((t.imbalance() - 0.5).abs() < 1e-12);
         assert_eq!(ThreadTimes::default().imbalance(), 0.0);
+    }
+
+    #[test]
+    fn oversubscribed_threads_skip_empty_assignments() {
+        let mut rng = Rng::seed_from(9);
+        let input = Tensor::randn(&[1, 8, 12, 12], &mut rng);
+        let serial = pattern_exec(5).1.run(&input);
+        // 24 threads over a 16-filter layer: 8 assignments would be
+        // empty under either schedule and must be dropped, not spawned.
+        for schedule in [Schedule::Contiguous, Schedule::Balanced] {
+            let par = ParallelPattern::new(pattern_exec(5).1, 24, schedule);
+            assert_eq!(
+                par.assignments.len(),
+                16,
+                "{schedule:?}: no empty row assignments"
+            );
+            assert!(par.assignments.iter().all(|rows| !rows.is_empty()));
+            let (out, times) = par.run_timed(&input);
+            assert!(serial.approx_eq(&out, 1e-5), "{schedule:?}");
+            assert_eq!(
+                times.seconds.len(),
+                16,
+                "{schedule:?}: idle threads must not enter the imbalance figure"
+            );
+        }
     }
 
     #[test]

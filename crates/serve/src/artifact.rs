@@ -15,13 +15,19 @@
 //!   | op payload (see LayerPlan)
 //! ```
 //!
-//! Version 2 (current) encodes an explicit DAG plan: every step reads
-//! one or more buffer *slots* and writes one, slot 0 being the network
-//! input. Slot ids come from the compiler's liveness analysis
-//! ([`crate::compile`]), so two values whose live ranges do not overlap
-//! share a buffer. Version 1 artifacts (implicit chains, no topology)
-//! still decode: each record `i` is synthesized as reading slot `i` and
-//! writing slot `i + 1`, which is exactly the chain plan.
+//! Version 3 (current) additionally records a per-step [`ExecConfig`]
+//! — the auto-tuner's chosen optimization level, tile/unroll parameters
+//! and thread schedule (§5.5) — so a tuned artifact serves tuned
+//! without retuning at load. Version 2 encodes the explicit DAG plan:
+//! every step reads one or more buffer *slots* and writes one, slot 0
+//! being the network input. Slot ids come from the compiler's liveness
+//! analysis ([`crate::compile`]), so two values whose live ranges do
+//! not overlap share a buffer. Version 1 artifacts (implicit chains, no
+//! topology) still decode: each record `i` is synthesized as reading
+//! slot `i` and writing slot `i + 1`, which is exactly the chain plan.
+//! v1 and v2 artifacts carry no execution configs; every step decodes
+//! to [`ExecConfig::default`], reproducing the pre-v3 engine behavior
+//! bit for bit.
 //!
 //! Weights are stored as raw `f32` bit patterns, so a save → load round
 //! trip is bitwise lossless. Decoding validates slot topology (bounds,
@@ -32,13 +38,17 @@ use std::fmt;
 use std::path::Path;
 
 use patdnn_compiler::fkw::FkwLayer;
+use patdnn_compiler::tune::space::{LoopPermutation, TuningConfig};
 use patdnn_core::pattern::Pattern;
+use patdnn_runtime::pattern_exec::OptLevel;
 use patdnn_tensor::Tensor;
 
 /// File magic.
 pub const MAGIC: &[u8; 6] = b"PATDNN";
-/// Current format version (explicit DAG plans with slot topology).
-pub const VERSION: u16 = 2;
+/// Current format version (DAG plans with per-step execution configs).
+pub const VERSION: u16 = 3;
+/// The DAG format without execution configs; still decodable.
+pub const VERSION_V2: u16 = 2;
 /// The legacy chain format (no slot topology); still decodable.
 pub const VERSION_V1: u16 = 1;
 
@@ -172,6 +182,90 @@ impl LayerPlan {
     }
 }
 
+/// The executor configuration of one plan step: the auto-tuner's
+/// per-layer choices (§5.5) persisted in the artifact so a tuned plan
+/// serves tuned without retuning at load.
+///
+/// Only pattern-conv steps are sensitive to it today (the other ops
+/// have no tuning knobs and carry the default). Tile and unroll sizes
+/// must be nonzero powers of two — the codec rejects anything else at
+/// decode with a typed [`ArtifactError::Malformed`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExecConfig {
+    /// Optimization level of the pattern executor (Figure 13 levels).
+    pub opt_level: OptLevel,
+    /// Loop order, blocking, tile and unroll factors.
+    pub tuning: TuningConfig,
+    /// Intra-layer CPU threads (1 = serial; >1 uses the runtime's
+    /// FKR-balanced parallel schedule).
+    pub threads: usize,
+}
+
+impl Default for ExecConfig {
+    /// The untuned configuration every pre-v3 artifact decodes to:
+    /// `OptLevel::Full` at the global tuned default, serial.
+    fn default() -> Self {
+        ExecConfig {
+            opt_level: OptLevel::Full,
+            tuning: TuningConfig::tuned_default(),
+            threads: 1,
+        }
+    }
+}
+
+/// Largest tile size the codec accepts.
+const MAX_TILE: usize = 1024;
+/// Largest unroll factor the codec accepts.
+const MAX_UNROLL: usize = 64;
+/// Largest per-step thread count the codec accepts.
+const MAX_THREADS: usize = 256;
+
+impl ExecConfig {
+    /// The default config with an explicit thread schedule.
+    pub fn with_threads(threads: usize) -> Self {
+        ExecConfig {
+            threads,
+            ..ExecConfig::default()
+        }
+    }
+
+    /// Structural validation: tile/unroll sizes are nonzero powers of
+    /// two within codec bounds and the thread count is sane. Runs at
+    /// decode and again at engine build.
+    pub fn validate(&self) -> Result<(), String> {
+        let pow2 = |what: &str, x: usize, max: usize| -> Result<(), String> {
+            if x == 0 || !x.is_power_of_two() || x > max {
+                Err(format!("{what} {x} is not a power of two in 1..={max}"))
+            } else {
+                Ok(())
+            }
+        };
+        pow2("tile_oc", self.tuning.tile_oc, MAX_TILE)?;
+        pow2("tile_hw", self.tuning.tile_hw, MAX_TILE)?;
+        pow2("unroll_oc", self.tuning.unroll_oc, MAX_UNROLL)?;
+        pow2("unroll_w", self.tuning.unroll_w, MAX_UNROLL)?;
+        if self.threads == 0 || self.threads > MAX_THREADS {
+            return Err(format!("thread count {} out of range", self.threads));
+        }
+        Ok(())
+    }
+
+    /// Compact human-readable form for plan dumps, e.g.
+    /// `Reorder+LRE+Tune cohwci_b tile 16x32 unroll 4x8 1t`.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} {} tile {}x{} unroll {}x{} {}t",
+            self.opt_level.label(),
+            self.tuning.permute.label(self.tuning.blocked),
+            self.tuning.tile_oc,
+            self.tuning.tile_hw,
+            self.tuning.unroll_oc,
+            self.tuning.unroll_w,
+            self.threads,
+        )
+    }
+}
+
 /// One step of the executable DAG plan: an op plus the buffer slots it
 /// reads and the slot it writes. Slot 0 is the network input and is
 /// never written.
@@ -184,6 +278,8 @@ pub struct PlanStep {
     /// Slot written. Never 0 and never one of `inputs` (steps are not
     /// in-place, so the engine can borrow inputs and output disjointly).
     pub output: usize,
+    /// The executor configuration this step runs with.
+    pub exec: ExecConfig,
 }
 
 /// A compiled model: input geometry plus the executable DAG plan.
@@ -211,6 +307,7 @@ impl ModelArtifact {
                 op,
                 inputs: vec![i],
                 output: i + 1,
+                exec: ExecConfig::default(),
             })
             .collect::<Vec<_>>();
         ModelArtifact {
@@ -264,14 +361,17 @@ impl ModelArtifact {
     }
 
     /// Encodes the artifact in the legacy v1 chain layout (no slot
-    /// topology). Fails unless [`ModelArtifact::is_chain`]; kept so the
-    /// backward-compatibility path stays testable against real v1 bytes.
+    /// topology, no execution configs). Fails unless
+    /// [`ModelArtifact::is_chain`] and every step carries the default
+    /// config; kept so the backward-compatibility path stays testable
+    /// against real v1 bytes.
     pub fn encode_v1(&self) -> Result<Vec<u8>, ArtifactError> {
         if !self.is_chain() {
             return Err(ArtifactError::Malformed(
                 "v1 cannot represent non-chain plans".into(),
             ));
         }
+        self.require_default_configs("v1")?;
         let mut w = ByteWriter::new();
         w.bytes(MAGIC);
         w.u16(VERSION_V1);
@@ -289,7 +389,42 @@ impl ModelArtifact {
         Ok(w.finish())
     }
 
-    /// Decodes an artifact from its binary form (v1 or v2).
+    /// Encodes the artifact in the v2 DAG layout (slot topology but no
+    /// execution configs). Fails if any step carries a non-default
+    /// config — v2 cannot represent tuned plans, and a silently-lossy
+    /// encode would break the codec's round-trip invariant.
+    pub fn encode_v2(&self) -> Result<Vec<u8>, ArtifactError> {
+        self.require_default_configs("v2")?;
+        let mut w = ByteWriter::new();
+        w.bytes(MAGIC);
+        w.u16(VERSION_V2);
+        w.str(&self.name);
+        for d in self.input {
+            w.u32(d as u32);
+        }
+        w.u32(self.slots as u32);
+        w.u32(self.steps.len() as u32);
+        for step in &self.steps {
+            encode_step_topology(&mut w, step);
+            encode_op(&mut w, &step.op);
+        }
+        Ok(w.finish())
+    }
+
+    fn require_default_configs(&self, version: &str) -> Result<(), ArtifactError> {
+        if let Some(i) = self
+            .steps
+            .iter()
+            .position(|s| s.exec != ExecConfig::default())
+        {
+            return Err(ArtifactError::Malformed(format!(
+                "{version} cannot represent per-step exec configs (step {i} is tuned)"
+            )));
+        }
+        Ok(())
+    }
+
+    /// Decodes an artifact from its binary form (v1, v2 or v3).
     pub fn decode(buf: &[u8]) -> Result<Self, ArtifactError> {
         let mut r = ByteReader::new(buf);
         if r.bytes(MAGIC.len())? != MAGIC {
@@ -314,7 +449,7 @@ impl ModelArtifact {
             let count = r.u32()? as usize;
             let mut steps = Vec::with_capacity(count.min(1024));
             for _ in 0..count {
-                steps.push(decode_step(&mut r)?);
+                steps.push(decode_step(&mut r, version)?);
             }
             ModelArtifact {
                 name,
@@ -386,6 +521,9 @@ impl ModelArtifact {
                     step.output
                 )));
             }
+            step.exec
+                .validate()
+                .map_err(|msg| malformed(format!("step {i} ({kind}): exec config: {msg}")))?;
             written[step.output] = true;
         }
         Ok(())
@@ -412,25 +550,104 @@ const TAG_RELU: u8 = 5;
 const TAG_FC: u8 = 6;
 const TAG_ADD: u8 = 7;
 
-fn encode_step(w: &mut ByteWriter, step: &PlanStep) {
+fn encode_step_topology(w: &mut ByteWriter, step: &PlanStep) {
     assert!(step.inputs.len() <= u8::MAX as usize, "step arity");
     w.u8(step.inputs.len() as u8);
     for &s in &step.inputs {
         w.u32(s as u32);
     }
     w.u32(step.output as u32);
+}
+
+fn encode_step(w: &mut ByteWriter, step: &PlanStep) {
+    encode_step_topology(w, step);
+    encode_exec_config(w, &step.exec);
     encode_op(w, &step.op);
 }
 
-fn decode_step(r: &mut ByteReader) -> Result<PlanStep, ArtifactError> {
+fn decode_step(r: &mut ByteReader, version: u16) -> Result<PlanStep, ArtifactError> {
     let n = r.u8()? as usize;
     let mut inputs = Vec::with_capacity(n);
     for _ in 0..n {
         inputs.push(r.u32()? as usize);
     }
     let output = r.u32()? as usize;
+    // v2 predates per-step configs; its steps decode to the default.
+    // Gated on the fixed v2 boundary (not the floating current VERSION)
+    // so future format bumps keep reading v3's config bytes.
+    let exec = if version > VERSION_V2 {
+        decode_exec_config(r)?
+    } else {
+        ExecConfig::default()
+    };
     let op = decode_op(r)?;
-    Ok(PlanStep { op, inputs, output })
+    Ok(PlanStep {
+        op,
+        inputs,
+        output,
+        exec,
+    })
+}
+
+const OPT_TAGS: [OptLevel; 4] = [
+    OptLevel::NoOpt,
+    OptLevel::Reorder,
+    OptLevel::ReorderLre,
+    OptLevel::Full,
+];
+
+fn encode_exec_config(w: &mut ByteWriter, cfg: &ExecConfig) {
+    // Validated before writing: the fields below are cast to u16, and a
+    // silently truncated config would decode valid-looking but
+    // different, breaking the codec's round-trip invariant.
+    cfg.validate().expect("encodable exec config");
+    let opt = OPT_TAGS
+        .iter()
+        .position(|&l| l == cfg.opt_level)
+        .expect("every opt level has a tag");
+    w.u8(opt as u8);
+    w.u8(match cfg.tuning.permute {
+        LoopPermutation::CoCiHw => 0,
+        LoopPermutation::CoHwCi => 1,
+    });
+    w.u8(u8::from(cfg.tuning.blocked));
+    w.u16(cfg.tuning.tile_oc as u16);
+    w.u16(cfg.tuning.tile_hw as u16);
+    w.u16(cfg.tuning.unroll_oc as u16);
+    w.u16(cfg.tuning.unroll_w as u16);
+    w.u16(cfg.threads as u16);
+}
+
+fn decode_exec_config(r: &mut ByteReader) -> Result<ExecConfig, ArtifactError> {
+    let malformed = |msg: String| ArtifactError::Malformed(msg);
+    let opt_level = *OPT_TAGS
+        .get(r.u8()? as usize)
+        .ok_or_else(|| malformed("unknown opt level tag".into()))?;
+    let permute = match r.u8()? {
+        0 => LoopPermutation::CoCiHw,
+        1 => LoopPermutation::CoHwCi,
+        other => return Err(malformed(format!("unknown loop permutation tag {other}"))),
+    };
+    let blocked = match r.u8()? {
+        0 => false,
+        1 => true,
+        other => return Err(malformed(format!("blocked flag must be 0/1, got {other}"))),
+    };
+    let cfg = ExecConfig {
+        opt_level,
+        tuning: TuningConfig {
+            permute,
+            blocked,
+            tile_oc: r.u16()? as usize,
+            tile_hw: r.u16()? as usize,
+            unroll_oc: r.u16()? as usize,
+            unroll_w: r.u16()? as usize,
+        },
+        threads: r.u16()? as usize,
+    };
+    cfg.validate()
+        .map_err(|msg| malformed(format!("exec config: {msg}")))?;
+    Ok(cfg)
 }
 
 fn encode_op(w: &mut ByteWriter, layer: &LayerPlan) {
@@ -903,11 +1120,13 @@ mod tests {
                     op: LayerPlan::Relu,
                     inputs: vec![0],
                     output: 1,
+                    exec: ExecConfig::default(),
                 },
                 PlanStep {
                     op: LayerPlan::Add { relu: true },
                     inputs: vec![1, 0],
                     output: 2,
+                    exec: ExecConfig::default(),
                 },
             ],
         };
@@ -949,11 +1168,13 @@ mod tests {
                     op: LayerPlan::Relu,
                     inputs: vec![0],
                     output: 1,
+                    exec: ExecConfig::default(),
                 },
                 PlanStep {
                     op: LayerPlan::Add { relu: false },
                     inputs: vec![1, 0],
                     output: 2,
+                    exec: ExecConfig::default(),
                 },
             ],
         };
@@ -971,6 +1192,7 @@ mod tests {
                 op: LayerPlan::Relu,
                 inputs: vec![1],
                 output: 1,
+                exec: ExecConfig::default(),
             }],
         };
         assert!(matches!(
@@ -986,6 +1208,7 @@ mod tests {
                 op: LayerPlan::Relu,
                 inputs: vec![2],
                 output: 1,
+                exec: ExecConfig::default(),
             }],
         };
         assert!(matches!(
@@ -1101,6 +1324,127 @@ mod tests {
             ModelArtifact::decode(&bytes),
             Err(ArtifactError::Malformed(_))
         ));
+    }
+
+    /// A tuned config distinct from the default in every field that has
+    /// alternatives.
+    fn tuned_exec() -> ExecConfig {
+        ExecConfig {
+            opt_level: OptLevel::ReorderLre,
+            tuning: TuningConfig {
+                permute: LoopPermutation::CoCiHw,
+                blocked: false,
+                tile_oc: 64,
+                tile_hw: 8,
+                unroll_oc: 2,
+                unroll_w: 4,
+            },
+            threads: 3,
+        }
+    }
+
+    fn two_step_chain() -> ModelArtifact {
+        ModelArtifact::chain(
+            "t",
+            [1, 4, 4],
+            vec![
+                LayerPlan::MaxPool {
+                    kernel: 2,
+                    stride: 2,
+                    pad: 0,
+                },
+                LayerPlan::Flatten,
+            ],
+        )
+    }
+
+    #[test]
+    fn v3_round_trips_per_step_exec_configs() {
+        let mut a = two_step_chain();
+        a.steps[0].exec = tuned_exec();
+        let bytes = a.encode();
+        assert_eq!(u16::from_le_bytes([bytes[6], bytes[7]]), VERSION);
+        let b = ModelArtifact::decode(&bytes).expect("v3 decodes");
+        assert_eq!(a, b, "per-step configs survive the round trip");
+        assert_eq!(b.steps[0].exec, tuned_exec());
+        assert_eq!(b.steps[1].exec, ExecConfig::default());
+    }
+
+    #[test]
+    fn v2_bytes_decode_with_default_exec_configs() {
+        let a = two_step_chain();
+        let v2 = a.encode_v2().expect("default-config plans encode as v2");
+        assert_eq!(u16::from_le_bytes([v2[6], v2[7]]), VERSION_V2);
+        let b = ModelArtifact::decode(&v2).expect("v2 decodes");
+        assert_eq!(a, b, "v2 decodes into the default-config plan");
+        assert!(b.steps.iter().all(|s| s.exec == ExecConfig::default()));
+        // And the v3 re-encode of the decoded artifact round-trips.
+        assert_eq!(ModelArtifact::decode(&b.encode()).expect("v3"), a);
+    }
+
+    #[test]
+    fn legacy_encoders_reject_tuned_plans() {
+        let mut a = two_step_chain();
+        a.steps[1].exec = tuned_exec();
+        assert!(matches!(a.encode_v2(), Err(ArtifactError::Malformed(_))));
+        assert!(matches!(a.encode_v1(), Err(ArtifactError::Malformed(_))));
+    }
+
+    /// First step's exec config starts right after magic(6), version(2),
+    /// name(2 + 1), input(12), slots(4), count(4), n_inputs(1),
+    /// input slot(4), output slot(4): byte 40. Field layout from there:
+    /// opt(1) permute(1) blocked(1) tile_oc(2) tile_hw(2) unroll_oc(2)
+    /// unroll_w(2) threads(2).
+    const FIRST_EXEC_OFFSET: usize = 40;
+
+    #[test]
+    fn bad_tile_sizes_are_rejected_at_decode() {
+        // Corrupt the encoded tile fields (encode itself refuses invalid
+        // configs, so malformed bytes are forged directly).
+        for (field_offset, value) in [(3u16, 12u16), (3, 0), (5, 2048), (5, 0)] {
+            let mut bytes = two_step_chain().encode();
+            let at = FIRST_EXEC_OFFSET + field_offset as usize;
+            bytes[at..at + 2].copy_from_slice(&value.to_le_bytes());
+            assert!(
+                matches!(
+                    ModelArtifact::decode(&bytes),
+                    Err(ArtifactError::Malformed(_))
+                ),
+                "tile field at +{field_offset} = {value} must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_opt_level_tag_is_rejected_at_decode() {
+        let a = two_step_chain();
+        let mut bytes = a.encode();
+        assert_eq!(bytes[FIRST_EXEC_OFFSET], 3, "encoded Full opt level");
+        bytes[FIRST_EXEC_OFFSET] = 9;
+        assert!(matches!(
+            ModelArtifact::decode(&bytes),
+            Err(ArtifactError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn zero_threads_is_rejected_at_decode() {
+        let mut bytes = two_step_chain().encode();
+        let at = FIRST_EXEC_OFFSET + 11; // threads field
+        bytes[at..at + 2].copy_from_slice(&0u16.to_le_bytes());
+        assert!(matches!(
+            ModelArtifact::decode(&bytes),
+            Err(ArtifactError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "encodable exec config")]
+    fn encode_refuses_invalid_exec_configs_instead_of_truncating() {
+        let mut a = two_step_chain();
+        // Would truncate to a different, valid-looking value as u16.
+        a.steps[0].exec.threads = 65544;
+        a.encode();
     }
 
     #[test]

@@ -114,34 +114,64 @@ impl BatchQueue {
     /// model name and its requests in arrival order — or `None` once the
     /// queue is closed and drained.
     ///
-    /// Batch formation: the oldest queued request nominates the model;
-    /// all queued requests for that model join, up to `max_batch`. If
-    /// the batch is not full, the worker sleeps until either enough
-    /// batch-mates arrive or the nominating request's `max_wait`
-    /// deadline passes.
+    /// Batch formation scans every queued model in order of each
+    /// model's oldest request: the first model with a *ready* batch —
+    /// full, past its oldest request's `max_wait` deadline, or any
+    /// model once the queue is closed — is popped. A stalled head
+    /// therefore cannot block a full batch of another model queued
+    /// behind it (no head-of-line blocking). When no model is ready the
+    /// worker sleeps until the earliest deadline over all queued
+    /// models' oldest requests, or a push wakes it.
     pub fn pop_batch(&self, policy: &BatchPolicy) -> Option<(String, Vec<PendingRequest>)> {
         assert!(policy.max_batch > 0, "max_batch must be positive");
         let mut state = self.state.lock().expect("queue lock");
         loop {
-            if let Some(head) = state.entries.front() {
-                let model = head.model.clone();
-                let deadline = head.enqueued + policy.max_wait;
-                let waiting = state.entries.iter().filter(|r| r.model == model).count();
-                let now = Instant::now();
-                if waiting >= policy.max_batch || now >= deadline || state.closed {
-                    let batch = extract_model(&mut state.entries, &model, policy.max_batch);
-                    return Some((model, batch));
+            if state.entries.is_empty() {
+                if state.closed {
+                    return None;
                 }
-                let (next, _timeout) = self
-                    .cv
-                    .wait_timeout(state, deadline - now)
-                    .expect("queue lock");
-                state = next;
-            } else if state.closed {
-                return None;
-            } else {
                 state = self.cv.wait(state).expect("queue lock");
+                continue;
             }
+            let now = Instant::now();
+            // One pass accumulating per-model state in head-arrival
+            // order (each model's head is its first entry): waiting
+            // count plus the head's max_wait deadline. Kept to a single
+            // queue traversal so a wake under the lock stays O(entries
+            // × distinct models) in string compares, never a rescan of
+            // the whole queue per model.
+            let mut models: Vec<(&str, usize, Instant)> = Vec::new();
+            for req in &state.entries {
+                match models.iter_mut().find(|(m, _, _)| *m == req.model) {
+                    Some((_, waiting, _)) => *waiting += 1,
+                    None => models.push((&req.model, 1, req.enqueued + policy.max_wait)),
+                }
+            }
+            // First ready model in head order wins; otherwise sleep to
+            // the earliest head deadline.
+            let mut ready: Option<String> = None;
+            let mut earliest_deadline: Option<Instant> = None;
+            for &(model, waiting, deadline) in &models {
+                if waiting >= policy.max_batch || now >= deadline || state.closed {
+                    ready = Some(model.to_owned());
+                    break;
+                }
+                earliest_deadline = Some(match earliest_deadline {
+                    Some(d) if d < deadline => d,
+                    _ => deadline,
+                });
+            }
+            drop(models);
+            if let Some(model) = ready {
+                let batch = extract_model(&mut state.entries, &model, policy.max_batch);
+                return Some((model, batch));
+            }
+            let deadline = earliest_deadline.expect("non-empty queue yields a deadline");
+            let (next, _timeout) = self
+                .cv
+                .wait_timeout(state, deadline.saturating_duration_since(now))
+                .expect("queue lock");
+            state = next;
         }
     }
 }
@@ -242,6 +272,100 @@ mod tests {
         let (_, batch) = q.pop_batch(&policy(8, 10_000)).expect("drain");
         assert_eq!(batch.len(), 1);
         assert!(q.pop_batch(&policy(8, 0)).is_none(), "closed and empty");
+    }
+
+    /// Head-of-line regression: a full batch for model B queued behind
+    /// model A's still-waiting head must pop immediately, not after A's
+    /// deadline. (The pre-fix `pop_batch` slept on A's deadline and
+    /// hangs this test for its full 10s max_wait.)
+    #[test]
+    fn full_batch_behind_a_waiting_head_pops_immediately() {
+        let q = BatchQueue::new(16);
+        q.push(req("a")).unwrap();
+        for _ in 0..4 {
+            q.push(req("b")).unwrap();
+        }
+        let start = Instant::now();
+        let (model, batch) = q.pop_batch(&policy(4, 10_000)).expect("batch");
+        assert_eq!(model, "b", "the ready batch must overtake the waiting head");
+        assert_eq!(batch.len(), 4);
+        assert!(
+            start.elapsed() < Duration::from_secs(1),
+            "must not sleep on model a's deadline"
+        );
+        assert_eq!(q.len(), 1, "model a's request stays queued");
+    }
+
+    /// The sleep deadline is the minimum over queued models' heads: a
+    /// later-arriving model cannot extend an earlier head's wait.
+    #[test]
+    fn partial_batches_flush_on_the_earliest_head_deadline() {
+        let q = BatchQueue::new(16);
+        q.push(req("a")).unwrap();
+        q.push(req("b")).unwrap();
+        let start = Instant::now();
+        let (model, batch) = q.pop_batch(&policy(8, 30)).expect("batch");
+        assert_eq!(model, "a", "the oldest head expires first");
+        assert_eq!(batch.len(), 1);
+        assert!(start.elapsed() < Duration::from_millis(500));
+    }
+
+    /// Two workers draining interleaved models: every request is
+    /// answered exactly once, routed to its own requester.
+    #[test]
+    fn two_workers_drain_interleaved_models_exactly_once() {
+        use crate::server::InferResponse;
+        use std::sync::Arc;
+
+        let q = Arc::new(BatchQueue::new(64));
+        let n = 24usize;
+        let mut receivers = Vec::with_capacity(n);
+        for i in 0..n {
+            let (tx, rx) = sync_channel(1);
+            let model = if i % 2 == 0 { "a" } else { "b" };
+            q.push(PendingRequest {
+                model: model.to_owned(),
+                input: Tensor::from_vec(&[1, 1, 1, 1], vec![i as f32]).expect("tagged input"),
+                enqueued: Instant::now(),
+                respond: tx,
+            })
+            .unwrap();
+            receivers.push((i, rx));
+        }
+        q.close();
+        std::thread::scope(|scope| {
+            for _ in 0..2 {
+                let q = Arc::clone(&q);
+                scope.spawn(move || {
+                    let pol = policy(4, 0);
+                    while let Some((model, batch)) = q.pop_batch(&pol) {
+                        for r in batch {
+                            assert_eq!(r.model, model, "batches are single-model");
+                            r.respond
+                                .send(Ok(InferResponse {
+                                    output: r.input.clone(),
+                                    latency: Duration::ZERO,
+                                    batch_size: 1,
+                                }))
+                                .expect("requester is waiting");
+                        }
+                    }
+                });
+            }
+        });
+        for (i, rx) in receivers {
+            let resp = rx
+                .recv()
+                .expect("every request gets a response")
+                .expect("served");
+            assert_eq!(
+                resp.output.data()[0],
+                i as f32,
+                "response routed to its own requester"
+            );
+            assert!(rx.try_recv().is_err(), "exactly one response per request");
+        }
+        assert!(q.pop_batch(&policy(4, 0)).is_none(), "drained and closed");
     }
 
     #[test]

@@ -1,16 +1,20 @@
 //! `patdnn-serve` — end-to-end serving demo.
 //!
 //! Builds a network (a VGG-style chain or a ResNet-style residual DAG),
-//! pattern-prunes it, compiles it to a model artifact, saves and
-//! reloads the artifact, verifies the compiled engine against the
-//! original network, then serves a synthetic traffic workload through
-//! the dynamic-batching server and reports latency percentiles and
-//! throughput.
+//! pattern-prunes it, compiles it to a model artifact — optionally with
+//! the per-layer auto-tuner selecting each step's execution config
+//! (`--tune estimate` for the deterministic estimator path, `--tune
+//! measure` for GA exploration over real timed runs) — saves and
+//! reloads the artifact, dumps the tuned plan, verifies the compiled
+//! engine against the original network, then serves a synthetic traffic
+//! workload through the dynamic-batching server and reports latency
+//! percentiles and throughput.
 //!
 //! ```text
 //! patdnn-serve [--model vgg_small|resnet_small] [--requests N]
 //!              [--clients N] [--workers N] [--max-batch N]
 //!              [--max-wait-ms N] [--threads N]
+//!              [--tune off|estimate|measure] [--budget N]
 //! ```
 
 use std::sync::Arc;
@@ -21,11 +25,11 @@ use patdnn_nn::layer::{Layer, Mode};
 use patdnn_nn::models::{resnet_small, vgg_small};
 use patdnn_nn::network::Sequential;
 use patdnn_serve::batching::BatchPolicy;
-use patdnn_serve::compile::compile_network;
+use patdnn_serve::compile::{compile_network_with, CompileOptions};
 use patdnn_serve::engine::{Engine, EngineOptions};
 use patdnn_serve::registry::ModelRegistry;
 use patdnn_serve::server::{Server, ServerConfig};
-use patdnn_serve::ModelArtifact;
+use patdnn_serve::{ModelArtifact, TunePolicy};
 use patdnn_tensor::rng::Rng;
 use patdnn_tensor::Tensor;
 
@@ -37,6 +41,8 @@ struct Args {
     max_batch: usize,
     max_wait_ms: u64,
     threads: usize,
+    tune: TunePolicy,
+    budget: usize,
 }
 
 fn parse_args() -> Args {
@@ -48,6 +54,8 @@ fn parse_args() -> Args {
         max_batch: 8,
         max_wait_ms: 2,
         threads: 1,
+        tune: TunePolicy::Off,
+        budget: 24,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -70,9 +78,23 @@ fn parse_args() -> Args {
             "--max-batch" => args.max_batch = need(i),
             "--max-wait-ms" => args.max_wait_ms = need(i) as u64,
             "--threads" => args.threads = need(i),
+            "--budget" => args.budget = need(i),
+            "--tune" => {
+                args.tune = match argv.get(i + 1).map(String::as_str) {
+                    Some("off") => TunePolicy::Off,
+                    Some("estimate") => TunePolicy::Estimate,
+                    Some("measure") => TunePolicy::Measure { budget: 0 },
+                    other => die(&format!(
+                        "--tune expects off|estimate|measure, got {other:?}"
+                    )),
+                };
+            }
             other => die(&format!("unknown flag {other}")),
         }
         i += 2;
+    }
+    if let TunePolicy::Measure { budget } = &mut args.tune {
+        *budget = args.budget;
     }
     for (value, flag) in [
         (args.requests, "--requests"),
@@ -80,10 +102,14 @@ fn parse_args() -> Args {
         (args.workers, "--workers"),
         (args.max_batch, "--max-batch"),
         (args.threads, "--threads"),
+        (args.budget, "--budget"),
     ] {
         if value == 0 {
             die(&format!("{flag} must be at least 1"));
         }
+    }
+    if args.threads > 256 {
+        die("--threads must be at most 256 (the artifact codec's bound)");
     }
     args
 }
@@ -92,7 +118,8 @@ fn die(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
         "usage: patdnn-serve [--model vgg_small|resnet_small] [--requests N] \
-         [--clients N] [--workers N] [--max-batch N] [--max-wait-ms N] [--threads N]"
+         [--clients N] [--workers N] [--max-batch N] [--max-wait-ms N] [--threads N] \
+         [--tune off|estimate|measure] [--budget N]"
     );
     std::process::exit(2);
 }
@@ -118,9 +145,18 @@ fn main() {
     };
     pattern_project_network(&mut net, 8, 3.6);
 
-    // 2. Compile to an artifact, save, and reload from disk.
-    println!("[2/5] compiling to a model artifact...");
-    let artifact = compile_network(&args.model, &net, [3, 32, 32])
+    // 2. Compile to an artifact (tuning each layer's execution config
+    //    under the selected policy), save, and reload from disk.
+    println!(
+        "[2/5] compiling to a model artifact (tune policy: {})...",
+        args.tune.label()
+    );
+    let compile_opts = CompileOptions {
+        tune: args.tune,
+        threads: args.threads,
+        ..CompileOptions::default()
+    };
+    let artifact = compile_network_with(&args.model, &net, [3, 32, 32], &compile_opts)
         .unwrap_or_else(|e| die(&format!("compile failed: {e}")));
     let pattern_layers = artifact
         .steps
@@ -141,6 +177,20 @@ fn main() {
         artifact.slots,
         artifact.weight_bytes() as f64 / 1024.0
     );
+    println!("      plan (slots read -> written, per-step exec config):");
+    for (i, step) in artifact.steps.iter().enumerate() {
+        let cfg = if step.op.kind() == "pattern-conv" {
+            format!("  [{}]", step.exec.summary())
+        } else {
+            String::new()
+        };
+        println!(
+            "        {i:>2} {:<13} {:?} -> {}{cfg}",
+            step.op.kind(),
+            step.inputs,
+            step.output,
+        );
+    }
     let path = std::env::temp_dir().join(format!("patdnn_serve_demo_{}.patdnn", args.model));
     artifact
         .save(&path)
@@ -151,16 +201,11 @@ fn main() {
     println!("      artifact save -> load round trip: OK ({path:?})");
 
     // 3. Build a fresh engine from the reloaded artifact and verify it
-    //    against the original network.
+    //    against the original network. The engine honors each step's
+    //    persisted exec config (a tuned artifact serves tuned).
     println!("[3/5] verifying compiled engine against the nn forward pass...");
-    let engine = Engine::new(
-        reloaded,
-        EngineOptions {
-            threads: args.threads,
-            ..EngineOptions::default()
-        },
-    )
-    .unwrap_or_else(|e| die(&format!("engine build failed: {e}")));
+    let engine = Engine::new(reloaded, EngineOptions::default())
+        .unwrap_or_else(|e| die(&format!("engine build failed: {e}")));
     let x = Tensor::randn(&[1, 3, 32, 32], &mut rng);
     let want = net.forward(&x, Mode::Eval);
     let got = engine
@@ -230,8 +275,9 @@ fn main() {
         snap.p50_ms, snap.p95_ms, snap.p99_ms, snap.mean_ms
     );
     println!(
-        "      throughput   {:.1} QPS over {:.2}s wall",
+        "      throughput   {:.1} QPS over {:.2}s wall ({:.1} window QPS)",
         snap.requests as f64 / wall,
-        wall
+        wall,
+        snap.qps
     );
 }

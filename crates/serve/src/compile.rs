@@ -38,9 +38,36 @@ use patdnn_core::pattern_set::PatternSet;
 use patdnn_core::project::{KernelStatus, LayerPruning};
 use patdnn_nn::export::{export_network, LayerExport};
 use patdnn_nn::network::Sequential;
-use patdnn_tensor::{conv_out_dim, Tensor};
+use patdnn_tensor::rng::Rng;
+use patdnn_tensor::{conv_out_dim, Conv2dGeometry, Tensor};
 
-use crate::artifact::{LayerPlan, ModelArtifact, PlanStep};
+use crate::artifact::{ExecConfig, LayerPlan, ModelArtifact, PlanStep};
+use crate::tune::{self, TunePolicy};
+
+/// Compile-time knobs: the tuning policy plus the thread schedule and
+/// rng seed it records into each pattern-conv step's [`ExecConfig`].
+#[derive(Debug, Clone, Copy)]
+pub struct CompileOptions {
+    /// How per-layer executor configurations are selected (§5.5).
+    pub tune: TunePolicy,
+    /// Intra-layer threads stamped into each pattern-conv step's config
+    /// (1 = serial). The engine honors this at load unless overridden.
+    pub threads: usize,
+    /// Seed for the tuners (estimator init and fitting, GA exploration);
+    /// each layer derives its own stream from it, so `Estimate` plans
+    /// are reproducible.
+    pub seed: u64,
+}
+
+impl Default for CompileOptions {
+    fn default() -> Self {
+        CompileOptions {
+            tune: TunePolicy::Off,
+            threads: 1,
+            seed: 0x9a7d_2e10,
+        }
+    }
+}
 
 /// Errors produced while compiling a network.
 #[derive(Debug)]
@@ -64,6 +91,9 @@ pub enum CompileError {
         /// Human-readable reason.
         reason: String,
     },
+    /// The [`CompileOptions`] cannot produce an encodable artifact
+    /// (e.g. a thread count outside the codec's bounds).
+    InvalidOptions(String),
 }
 
 impl fmt::Display for CompileError {
@@ -77,6 +107,9 @@ impl fmt::Display for CompileError {
             }
             CompileError::UnsupportedTopology { node, reason } => {
                 write!(f, "unsupported topology at node {node:?}: {reason}")
+            }
+            CompileError::InvalidOptions(msg) => {
+                write!(f, "invalid compile options: {msg}")
             }
         }
     }
@@ -331,6 +364,25 @@ pub fn compile_graph(
     input: [usize; 3],
     graph: &Graph,
 ) -> Result<ModelArtifact, CompileError> {
+    compile_graph_with(name, input, graph, &CompileOptions::default())
+}
+
+/// [`compile_graph`] with explicit [`CompileOptions`]: under
+/// [`TunePolicy::Estimate`] or [`TunePolicy::Measure`] every
+/// pattern-conv step gets its own auto-tuned [`ExecConfig`], persisted
+/// in the artifact and honored by the engine at load.
+pub fn compile_graph_with(
+    name: &str,
+    input: [usize; 3],
+    graph: &Graph,
+    opts: &CompileOptions,
+) -> Result<ModelArtifact, CompileError> {
+    // Fail here, with a typed error, rather than panicking later in the
+    // artifact encoder: the thread schedule is stamped into every conv
+    // step's ExecConfig and must satisfy the codec's bounds.
+    ExecConfig::with_threads(opts.threads)
+        .validate()
+        .map_err(CompileError::InvalidOptions)?;
     let mut g = graph.clone();
     passes::optimize(&mut g);
 
@@ -398,11 +450,13 @@ pub fn compile_graph(
             }
         }
         slot_of[id] = Some(out_slot);
+        let exec = select_exec_config(&op, in_shapes[0], opts, steps.len());
         shape_of[id] = Some(out_shape);
         steps.push(PlanStep {
             op,
             inputs,
             output: out_slot,
+            exec,
         });
     }
 
@@ -412,6 +466,44 @@ pub fn compile_graph(
         slots: pool.next,
         steps,
     })
+}
+
+/// Selects the executor configuration of one lowered plan step under
+/// the compile options' tuning policy. Only pattern convolutions have
+/// tuning knobs; every other op carries the default config.
+fn select_exec_config(
+    op: &LayerPlan,
+    in_shape: &[usize],
+    opts: &CompileOptions,
+    step_index: usize,
+) -> ExecConfig {
+    let LayerPlan::PatternConv {
+        stride,
+        pad,
+        fkw,
+        bias,
+        ..
+    } = op
+    else {
+        return ExecConfig::default();
+    };
+    let [_, h, w] = in_shape else {
+        unreachable!("pattern convs lower from spatial inputs");
+    };
+    let geo = Conv2dGeometry::new(
+        fkw.out_c, fkw.in_c, fkw.kernel, fkw.kernel, *h, *w, *stride, *pad,
+    );
+    // Each layer gets its own deterministic rng stream so plans are
+    // reproducible regardless of how many layers precede them.
+    let mut rng =
+        Rng::seed_from(opts.seed ^ (step_index as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+    match opts.tune {
+        TunePolicy::Off => ExecConfig::with_threads(opts.threads),
+        TunePolicy::Estimate => tune::estimate_exec_config(&geo, fkw, opts.threads, &mut rng),
+        TunePolicy::Measure { budget } => {
+            tune::measure_exec_config(&geo, fkw, bias.as_deref(), budget, opts.threads, &mut rng)
+        }
+    }
 }
 
 /// Lowers one graph node to a plan op, returning the op plus its
@@ -573,9 +665,20 @@ pub fn compile_network(
     net: &Sequential,
     input: [usize; 3],
 ) -> Result<ModelArtifact, CompileError> {
+    compile_network_with(name, net, input, &CompileOptions::default())
+}
+
+/// [`compile_network`] with explicit [`CompileOptions`] (tuning policy,
+/// thread schedule, tuner seed).
+pub fn compile_network_with(
+    name: &str,
+    net: &Sequential,
+    input: [usize; 3],
+    opts: &CompileOptions,
+) -> Result<ModelArtifact, CompileError> {
     let exports = export_network(net);
     let graph = graph_from_exports(input, &exports)?;
-    compile_graph(name, input, &graph)
+    compile_graph_with(name, input, &graph, opts)
 }
 
 #[cfg(test)]
@@ -683,6 +786,28 @@ mod tests {
             writes[s.output] += 1;
         }
         assert!(writes.iter().any(|&w| w > 1), "no slot was ever reused");
+    }
+
+    #[test]
+    fn out_of_range_thread_schedule_is_a_typed_compile_error() {
+        let mut rng = Rng::seed_from(9);
+        let net = small_cnn(3, 8, 4, &mut rng);
+        for threads in [0usize, 300] {
+            let err = compile_network_with(
+                "bad",
+                &net,
+                [3, 8, 8],
+                &CompileOptions {
+                    threads,
+                    ..CompileOptions::default()
+                },
+            )
+            .expect_err("out-of-range threads must not compile");
+            assert!(
+                matches!(err, CompileError::InvalidOptions(_)),
+                "threads {threads}: got {err}"
+            );
+        }
     }
 
     #[test]

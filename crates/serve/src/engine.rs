@@ -19,11 +19,10 @@
 
 use std::sync::Mutex;
 
-use patdnn_compiler::tune::space::TuningConfig;
 use patdnn_runtime::dense::TiledConv;
 use patdnn_runtime::executor::ConvExecutor;
 use patdnn_runtime::parallel::{ParallelPattern, Schedule};
-use patdnn_runtime::pattern_exec::{OptLevel, PatternConv};
+use patdnn_runtime::pattern_exec::PatternConv;
 use patdnn_tensor::gemm::gemm_bt;
 use patdnn_tensor::{conv_out_dim, Conv2dGeometry, Tensor};
 
@@ -31,25 +30,18 @@ use crate::artifact::{ArtifactError, LayerPlan, ModelArtifact};
 use crate::ServeError;
 
 /// Engine construction options.
-#[derive(Debug, Clone, Copy)]
+///
+/// Each step's optimization level, tuning parameters, and thread
+/// schedule come from its persisted [`crate::artifact::ExecConfig`] — a
+/// tuned artifact serves tuned without retuning at load. The only knob
+/// left here is a deployment-side thread override for serving a plan on
+/// a machine with a different core budget than it was compiled for.
+#[derive(Debug, Clone, Copy, Default)]
 pub struct EngineOptions {
-    /// Optimization level for pattern executors (Figure 13 levels).
-    pub opt_level: OptLevel,
-    /// Tuning configuration for pattern executors.
-    pub tuning: TuningConfig,
-    /// Intra-layer CPU threads for pattern convolutions (1 = serial).
-    /// Uses the runtime's FKR-balanced parallel schedule.
-    pub threads: usize,
-}
-
-impl Default for EngineOptions {
-    fn default() -> Self {
-        EngineOptions {
-            opt_level: OptLevel::Full,
-            tuning: TuningConfig::tuned_default(),
-            threads: 1,
-        }
-    }
+    /// `Some(n)` forces every pattern-conv step to `n` intra-layer
+    /// threads (1 = serial), ignoring the artifact's per-step schedule;
+    /// `None` (the default) honors each step's persisted config.
+    pub threads: Option<usize>,
 }
 
 /// One executable step of the plan.
@@ -109,7 +101,10 @@ impl Engine {
     /// analysis guarantees this at the compiled resolution; an artifact
     /// served at an incompatible resolution is rejected here).
     pub fn new(artifact: ModelArtifact, opts: EngineOptions) -> Result<Self, ServeError> {
-        assert!(opts.threads > 0, "need at least one thread");
+        assert!(
+            opts.threads.is_none_or(|t| t > 0),
+            "thread override needs at least one thread"
+        );
         let malformed = |msg: String| ServeError::Artifact(ArtifactError::Malformed(msg));
         artifact.validate_topology().map_err(ServeError::Artifact)?;
         let mut steps = Vec::with_capacity(artifact.steps.len());
@@ -148,18 +143,17 @@ impl Engine {
                     let geo = Conv2dGeometry::new(
                         fkw.out_c, fkw.in_c, fkw.kernel, fkw.kernel, h, w, *stride, *pad,
                     );
-                    let exec = PatternConv::new(
-                        geo,
-                        fkw.clone(),
-                        bias.clone(),
-                        opts.opt_level,
-                        opts.tuning,
-                    );
+                    // The step's persisted config drives the executor;
+                    // only the thread schedule can be overridden at load.
+                    let cfg = plan_step.exec;
+                    let exec =
+                        PatternConv::new(geo, fkw.clone(), bias.clone(), cfg.opt_level, cfg.tuning);
                     let out_shape = vec![geo.out_channels, geo.out_h, geo.out_w];
-                    let exec = if opts.threads > 1 {
+                    let threads = opts.threads.unwrap_or(cfg.threads);
+                    let exec = if threads > 1 {
                         StepExec::PatternPar(ParallelPattern::new(
                             exec,
-                            opts.threads,
+                            threads,
                             Schedule::Balanced,
                         ))
                     } else {
@@ -687,18 +681,82 @@ mod tests {
         let net = pruned_cnn(7);
         let artifact = compile_network("m", &net, [3, 8, 8]).expect("compiles");
         let serial = Engine::new(artifact.clone(), EngineOptions::default()).expect("engine");
-        let par = Engine::new(
-            artifact,
-            EngineOptions {
-                threads: 3,
-                ..EngineOptions::default()
-            },
-        )
-        .expect("engine");
+        let par = Engine::new(artifact, EngineOptions { threads: Some(3) }).expect("engine");
         let mut rng = Rng::seed_from(8);
         let x = Tensor::randn(&[2, 3, 8, 8], &mut rng);
         let a = serial.infer(&x).expect("serial");
         let b = par.infer(&x).expect("parallel");
         assert!(a.approx_eq(&b, 1e-5));
+    }
+
+    #[test]
+    fn per_step_exec_configs_are_honored_without_changing_results() {
+        use crate::artifact::ExecConfig;
+        use patdnn_compiler::tune::space::{LoopPermutation, TuningConfig};
+        use patdnn_runtime::pattern_exec::OptLevel;
+
+        let mut net = pruned_cnn(11);
+        let mut artifact = compile_network("m", &net, [3, 8, 8]).expect("compiles");
+        let reference = Engine::new(artifact.clone(), EngineOptions::default()).expect("engine");
+
+        // Hand every pattern-conv step a different non-default config:
+        // a lower opt level, unusual tiles, and a threaded schedule.
+        let variants = [
+            ExecConfig {
+                opt_level: OptLevel::Reorder,
+                tuning: TuningConfig::baseline(),
+                threads: 1,
+            },
+            ExecConfig {
+                opt_level: OptLevel::ReorderLre,
+                tuning: TuningConfig {
+                    permute: LoopPermutation::CoCiHw,
+                    blocked: true,
+                    tile_oc: 8,
+                    tile_hw: 8,
+                    unroll_oc: 2,
+                    unroll_w: 2,
+                },
+                threads: 2,
+            },
+        ];
+        let mut next = 0;
+        for step in &mut artifact.steps {
+            if step.op.kind() == "pattern-conv" {
+                step.exec = variants[next % variants.len()];
+                next += 1;
+            }
+        }
+        assert_eq!(next, 2, "both convs reconfigured");
+
+        // The tuned plan survives its own codec and infers identically.
+        let reloaded = crate::ModelArtifact::decode(&artifact.encode()).expect("round trip");
+        assert_eq!(artifact, reloaded, "per-step configs persist");
+        let tuned = Engine::new(reloaded, EngineOptions::default()).expect("engine");
+        let mut rng = Rng::seed_from(12);
+        let x = Tensor::randn(&[2, 3, 8, 8], &mut rng);
+        let want = net.forward(&x, Mode::Eval);
+        let got = tuned.infer(&x).expect("infer");
+        assert!(want.approx_eq(&got, 1e-4), "tuned engine diverges");
+        let base = reference.infer(&x).expect("infer");
+        assert!(base.approx_eq(&got, 1e-4));
+    }
+
+    #[test]
+    fn thread_override_beats_the_artifact_schedule() {
+        use crate::artifact::ExecConfig;
+        let net = pruned_cnn(13);
+        let mut artifact = compile_network("m", &net, [3, 8, 8]).expect("compiles");
+        for step in &mut artifact.steps {
+            step.exec = ExecConfig::with_threads(4);
+        }
+        let mut rng = Rng::seed_from(14);
+        let x = Tensor::randn(&[1, 3, 8, 8], &mut rng);
+        let honored = Engine::new(artifact.clone(), EngineOptions::default()).expect("engine");
+        let forced_serial =
+            Engine::new(artifact, EngineOptions { threads: Some(1) }).expect("engine");
+        let a = honored.infer(&x).expect("threaded");
+        let b = forced_serial.infer(&x).expect("serial");
+        assert!(a.approx_eq(&b, 1e-5), "override changes scheduling only");
     }
 }

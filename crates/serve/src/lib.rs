@@ -14,9 +14,15 @@
 //!   [`artifact::ModelArtifact`]: a DAG plan whose values are assigned
 //!   buffer slots by liveness analysis, with each pruned layer's
 //!   pattern table and FKW storage derived from its weights.
+//! - [`tune`] — per-layer execution tuning (§5.5 at deployment): a
+//!   [`compile::CompileOptions`] tuning policy selects each
+//!   pattern-conv step's [`artifact::ExecConfig`] (opt level,
+//!   tile/unroll parameters, thread schedule) via the compiler's
+//!   performance estimator or GA exploration over real timed runs.
 //! - [`artifact`] — the versioned binary model format: pruned FKW
-//!   weights plus layer geometry and slot topology, save/load without
-//!   retraining or re-pruning; legacy v1 chain artifacts still decode.
+//!   weights plus layer geometry, slot topology and per-step execution
+//!   configs (format v3), save/load without retraining, re-pruning or
+//!   retuning; legacy v1/v2 artifacts still decode (default configs).
 //! - [`engine`] — the [`engine::Engine`]: an executable DAG plan of
 //!   per-step executors (residual `Add` joins included) reading and
 //!   writing pooled, liveness-shared slot buffers, with a single
@@ -54,13 +60,18 @@ pub mod engine;
 pub mod metrics;
 pub mod registry;
 pub mod server;
+pub mod tune;
 
-pub use artifact::{ArtifactError, LayerPlan, ModelArtifact};
-pub use compile::{compile_graph, compile_network, CompileError};
+pub use artifact::{ArtifactError, ExecConfig, LayerPlan, ModelArtifact};
+pub use compile::{
+    compile_graph, compile_graph_with, compile_network, compile_network_with, CompileError,
+    CompileOptions,
+};
 pub use engine::{Engine, EngineOptions};
 pub use metrics::{MetricsSnapshot, ServerMetrics};
 pub use registry::ModelRegistry;
 pub use server::{Server, ServerConfig};
+pub use tune::TunePolicy;
 
 use std::fmt;
 

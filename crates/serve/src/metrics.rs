@@ -9,20 +9,37 @@ use std::time::{Duration, Instant};
 /// bound nor pays ever-increasing snapshot costs.
 const MAX_SAMPLES: usize = 16_384;
 
-/// Fixed-capacity ring of the most recent latency samples.
+/// Fixed-capacity ring of the most recent latency samples, each with
+/// its record time so throughput can be computed over the retained
+/// window rather than process uptime.
 #[derive(Default)]
 struct LatencyRing {
     samples: Vec<u64>,
+    /// When each retained sample was recorded (parallel to `samples`).
+    recorded: Vec<Instant>,
     next: usize,
 }
 
 impl LatencyRing {
-    fn push(&mut self, us: u64) {
+    fn push(&mut self, us: u64, at: Instant) {
         if self.samples.len() < MAX_SAMPLES {
             self.samples.push(us);
+            self.recorded.push(at);
         } else {
             self.samples[self.next] = us;
+            self.recorded[self.next] = at;
             self.next = (self.next + 1) % MAX_SAMPLES;
+        }
+    }
+
+    /// Record time of the oldest retained sample. Before wrap-around
+    /// that is the first push; once full, the slot `next` is about to
+    /// overwrite.
+    fn oldest(&self) -> Option<Instant> {
+        if self.recorded.len() < MAX_SAMPLES {
+            self.recorded.first().copied()
+        } else {
+            Some(self.recorded[self.next])
         }
     }
 }
@@ -62,9 +79,10 @@ impl ServerMetrics {
         self.batches.fetch_add(1, Ordering::Relaxed);
         self.requests
             .fetch_add(latencies.len() as u64, Ordering::Relaxed);
+        let now = Instant::now();
         let mut ring = self.latencies_us.lock().expect("metrics lock");
         for d in latencies {
-            ring.push(d.as_micros() as u64);
+            ring.push(d.as_micros() as u64, now);
         }
     }
 
@@ -75,16 +93,27 @@ impl ServerMetrics {
 
     /// Takes a consistent snapshot of the counters.
     pub fn snapshot(&self) -> MetricsSnapshot {
-        let latencies = self
-            .latencies_us
-            .lock()
-            .expect("metrics lock")
-            .samples
-            .clone();
+        let (latencies, window_oldest) = {
+            let ring = self.latencies_us.lock().expect("metrics lock");
+            (ring.samples.clone(), ring.oldest())
+        };
         let requests = self.requests.load(Ordering::Relaxed);
         let batches = self.batches.load(Ordering::Relaxed);
         let rejected = self.rejected.load(Ordering::Relaxed);
         let elapsed = self.started.elapsed().as_secs_f64();
+        // Window throughput: retained samples over the span from the
+        // oldest retained sample to now. Unlike requests/uptime this
+        // does not stay decayed forever after an idle stretch — once
+        // load resumes, old samples are overwritten and the span tracks
+        // the active window. A truly idle server decays toward 0, which
+        // is the truthful reading. The span is floored so a snapshot
+        // taken right after a single burst (all samples sharing one
+        // record instant) cannot report an absurd spike.
+        const MIN_WINDOW_SECS: f64 = 0.1;
+        let window_qps = match window_oldest {
+            Some(t0) => latencies.len() as f64 / t0.elapsed().as_secs_f64().max(MIN_WINDOW_SECS),
+            None => 0.0,
+        };
         let mut sorted = latencies;
         sorted.sort_unstable();
         let pct = |q: f64| -> f64 {
@@ -108,7 +137,8 @@ impl ServerMetrics {
             } else {
                 requests as f64 / batches as f64
             },
-            qps: if elapsed <= 0.0 {
+            qps: window_qps,
+            lifetime_qps: if elapsed <= 0.0 {
                 0.0
             } else {
                 requests as f64 / elapsed
@@ -132,8 +162,13 @@ pub struct MetricsSnapshot {
     pub rejected: u64,
     /// Mean requests per executed batch.
     pub avg_batch: f64,
-    /// Completed requests per second since server start.
+    /// Completed requests per second over the retained sample window
+    /// (oldest retained sample → snapshot time). Immune to long idle
+    /// stretches before the load started.
     pub qps: f64,
+    /// Completed requests per second since server start (the lifetime
+    /// average; decays while idle).
+    pub lifetime_qps: f64,
     /// Median request latency (enqueue → response), milliseconds.
     pub p50_ms: f64,
     /// 95th percentile latency, milliseconds.
@@ -149,12 +184,13 @@ impl std::fmt::Display for MetricsSnapshot {
         write!(
             f,
             "requests={} batches={} rejected={} avg_batch={:.2} qps={:.1} \
-             latency p50={:.3}ms p95={:.3}ms p99={:.3}ms mean={:.3}ms",
+             (lifetime {:.1}) latency p50={:.3}ms p95={:.3}ms p99={:.3}ms mean={:.3}ms",
             self.requests,
             self.batches,
             self.rejected,
             self.avg_batch,
             self.qps,
+            self.lifetime_qps,
             self.p50_ms,
             self.p95_ms,
             self.p99_ms,
@@ -200,6 +236,66 @@ mod tests {
         m.record_rejected();
         m.record_rejected();
         assert_eq!(m.snapshot().rejected, 2);
+    }
+
+    #[test]
+    fn qps_reflects_the_active_window_not_idle_uptime() {
+        let m = ServerMetrics::new();
+        // Idle stretch before any traffic arrives.
+        std::thread::sleep(Duration::from_millis(300));
+        m.record_batch(&vec![Duration::from_millis(1); 50]);
+        std::thread::sleep(Duration::from_millis(120));
+        m.record_batch(&vec![Duration::from_millis(1); 50]);
+        let s = m.snapshot();
+        assert_eq!(s.requests, 100);
+        // 100 requests over a ~120ms active window vs ~420ms of uptime:
+        // the window rate must not be dragged down by the idle period.
+        assert!(
+            s.qps > s.lifetime_qps * 2.0,
+            "windowed qps {} must beat decayed lifetime qps {}",
+            s.qps,
+            s.lifetime_qps
+        );
+        assert!(s.lifetime_qps > 0.0);
+    }
+
+    #[test]
+    fn qps_is_bounded_right_after_a_single_burst() {
+        let m = ServerMetrics::new();
+        m.record_batch(&vec![Duration::from_millis(1); 50]);
+        let s = m.snapshot();
+        // All 50 samples share one record instant; the floored window
+        // must keep the reading sane instead of dividing by ~0.
+        assert!(
+            s.qps <= 50.0 / 0.1 + 1.0,
+            "burst qps {} must be span-floored",
+            s.qps
+        );
+    }
+
+    /// LatencyRing wrap-around: after pushing more than `MAX_SAMPLES`
+    /// samples, percentiles reflect only the most recent window — the
+    /// overwritten prefix must not contribute.
+    #[test]
+    fn wrapped_ring_percentiles_cover_only_the_recent_window() {
+        let m = ServerMetrics::new();
+        // Fill the ring with slow samples, then overwrite 3/4 of it
+        // with fast ones: the window is now 3/4 fast, 1/4 slow.
+        m.record_batch(&vec![Duration::from_millis(100); MAX_SAMPLES]);
+        m.record_batch(&vec![Duration::from_millis(1); MAX_SAMPLES * 3 / 4]);
+        let s = m.snapshot();
+        assert_eq!(s.requests, (MAX_SAMPLES + MAX_SAMPLES * 3 / 4) as u64);
+        assert!(
+            (s.p50_ms - 1.0).abs() < 0.01,
+            "p50 {} must come from the fast 3/4 of the window",
+            s.p50_ms
+        );
+        assert!(
+            (s.p95_ms - 100.0).abs() < 0.01,
+            "p95 {} must still see the slow 1/4 tail",
+            s.p95_ms
+        );
+        assert!((s.p99_ms - 100.0).abs() < 0.01, "p99 {}", s.p99_ms);
     }
 
     #[test]

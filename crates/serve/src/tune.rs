@@ -1,0 +1,355 @@
+//! Per-layer execution tuning for the serving compiler (§5.5 wired
+//! into deployment).
+//!
+//! PatDNN's compile-time story selects a tiling/unroll configuration
+//! *per layer*: a GA explorer generates the configuration space and a
+//! performance estimator trained on collected history predicts the best
+//! point for quick deployment. This module runs both paths at
+//! `serve::compile` time and returns the [`ExecConfig`] each
+//! pattern-conv plan step is persisted with:
+//!
+//! - [`TunePolicy::Estimate`] — the paper's quick-deployment path: fit
+//!   a [`PerfEstimator`] on this layer's cost surface (an analytic
+//!   model over its [`FkwLayer`] storage and [`Conv2dGeometry`]), then
+//!   pick the predicted-best configuration and the cheapest
+//!   [`OptLevel`] at that configuration. Fully deterministic.
+//! - [`TunePolicy::Measure`] — GA exploration with real timed runs via
+//!   [`AutoTuner`], bounded by a measurement budget. The untuned
+//!   default is always included in the final timed comparison, so a
+//!   measured plan is never slower than the default by construction
+//!   (up to timer noise).
+//!
+//! The analytic cost model is not a cycle-accurate simulator; it is a
+//! smooth, deterministic surface that ranks configurations the way the
+//! executor's loop structure does (amortized dispatch under
+//! output-channel unrolling, cache-driven spatial blocking, wasted
+//! traversal when tiles exceed the layer), which is what the estimator
+//! needs to learn and what makes per-layer choices non-uniform across a
+//! real network.
+
+use std::time::Instant;
+
+use patdnn_compiler::fkw::FkwLayer;
+use patdnn_compiler::tune::ga::GaConfig;
+use patdnn_compiler::tune::space::{ConfigSpace, LoopPermutation, TuningConfig};
+use patdnn_compiler::tune::{AutoTuner, PerfEstimator};
+use patdnn_runtime::executor::ConvExecutor;
+use patdnn_runtime::parallel::{ParallelPattern, Schedule};
+use patdnn_runtime::pattern_exec::{OptLevel, PatternConv};
+use patdnn_tensor::rng::Rng;
+use patdnn_tensor::{Conv2dGeometry, Tensor};
+
+use crate::artifact::ExecConfig;
+
+/// How `serve::compile` selects each pattern-conv step's [`ExecConfig`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TunePolicy {
+    /// No tuning: every step gets [`ExecConfig::default`] (the pre-tuning
+    /// global configuration).
+    Off,
+    /// Estimator-only quick deployment: per layer, fit a
+    /// [`PerfEstimator`] on the analytic cost surface and take its
+    /// predicted-best configuration. No timed runs; deterministic.
+    Estimate,
+    /// GA exploration with real timed runs; `budget` caps (approximately)
+    /// the number of distinct configurations measured per layer.
+    Measure {
+        /// Measured configurations per layer (clamped to at least 4).
+        budget: usize,
+    },
+}
+
+impl TunePolicy {
+    /// Short label for reports and plan dumps.
+    pub fn label(&self) -> &'static str {
+        match self {
+            TunePolicy::Off => "off",
+            TunePolicy::Estimate => "estimate",
+            TunePolicy::Measure { .. } => "measure",
+        }
+    }
+}
+
+/// An approximate L1 working-set budget; spatial blocking starts paying
+/// off once a layer's input image overflows it.
+const L1_BYTES: f64 = 32.0 * 1024.0;
+
+/// Deterministic analytic cost (arbitrary units, lower is better) of
+/// running one pattern layer at `level` with `cfg`.
+///
+/// The tuning knobs only steer the `Full` executor — the lower levels
+/// ignore them, so their cost is configuration-independent (a fixed
+/// overhead factor shaped like Figure 13's ablation).
+pub fn analytic_cost(
+    geo: &Conv2dGeometry,
+    fkw: &FkwLayer,
+    level: OptLevel,
+    cfg: &TuningConfig,
+) -> f64 {
+    let out_hw = (geo.out_h * geo.out_w) as f64;
+    let macs = (fkw.stored_kernels() * fkw.entries_per_kernel) as f64 * out_hw;
+    let level_factor = match level {
+        OptLevel::NoOpt => 1.60,
+        OptLevel::Reorder => 1.28,
+        OptLevel::ReorderLre => 1.08,
+        OptLevel::Full => 1.0,
+    };
+    let mut cost = macs * level_factor;
+    if level != OptLevel::Full {
+        return cost;
+    }
+    let rows = fkw.out_c as f64;
+    let kernels_per_row = (fkw.stored_kernels() as f64 / rows).max(1.0);
+
+    // Output-channel unrolling amortizes the per-row pattern dispatch,
+    // but chunks wider than the row's kernel runs reload more than they
+    // reuse (filter-level LRE only pays within shared traversals).
+    cost += 0.06 * macs / cfg.unroll_oc as f64;
+    cost += (cfg.unroll_oc as f64 / kernels_per_row).max(1.0).ln() * 0.06 * macs;
+
+    // Output-channel tiling: fewer tiles mean less tile-loop overhead,
+    // but tiles wider than the layer are pure wasted traversal.
+    let eff_tile_oc = cfg.tile_oc.min(fkw.out_c) as f64;
+    cost += 0.04 * macs * (1.0 - eff_tile_oc / rows);
+    cost += (cfg.tile_oc as f64 / rows).max(1.0).ln() * 0.05 * macs;
+
+    // Spatial blocking pays once the input image overflows L1; on
+    // cache-resident layers it is pure loop overhead. Oversized spatial
+    // tiles approximate the unblocked loop.
+    let in_bytes = (geo.in_channels * geo.in_h * geo.in_w * 4) as f64;
+    let tile_rows_bytes = cfg.tile_hw as f64 * (geo.in_w * geo.in_channels * 4) as f64;
+    if cfg.blocked {
+        if in_bytes > L1_BYTES {
+            cost -= 0.10 * macs * (L1_BYTES / tile_rows_bytes).min(1.0);
+        } else {
+            cost += 0.02 * macs;
+        }
+    } else if in_bytes > L1_BYTES {
+        cost += 0.06 * macs;
+    }
+    cost += 0.03 * macs * (1.0 - 1.0 / rows_of(cfg.tile_hw, geo.out_h));
+    cost += (cfg.tile_hw as f64 / geo.out_h.max(1) as f64).max(1.0).ln() * 0.04 * macs;
+
+    // CoHWCi keeps a blocked input span register/cache-resident across
+    // filters (the paper's Figure 15 winner is cohwci_b).
+    if cfg.permute == LoopPermutation::CoHwCi && cfg.blocked {
+        cost -= 0.03 * macs;
+    }
+    // The LRE interior path is 4-wide; width unrolls far from it cost
+    // remainder work or spills.
+    cost += (cfg.unroll_w as f64 / 4.0).ln().abs() * 0.02 * macs;
+    cost
+}
+
+/// Spatial tile count for the tile-loop overhead term.
+fn rows_of(tile_hw: usize, out_h: usize) -> f64 {
+    (out_h as f64 / tile_hw.min(out_h.max(1)) as f64).ceil()
+}
+
+/// The estimator path: fit a per-layer MLP on the analytic cost surface,
+/// pick the predicted-best configuration over the whole space, then the
+/// cheapest opt level at that configuration.
+pub fn estimate_exec_config(
+    geo: &Conv2dGeometry,
+    fkw: &FkwLayer,
+    threads: usize,
+    rng: &mut Rng,
+) -> ExecConfig {
+    let space = ConfigSpace::standard();
+    let all = space.enumerate();
+    // Train on a deterministic third of the space; predicting over the
+    // full enumeration is the paper's "quick prediction of the optimal
+    // configuration parameters" on a new platform.
+    let xs: Vec<Vec<f32>> = all.iter().step_by(3).map(|c| c.features()).collect();
+    let ys: Vec<f64> = all
+        .iter()
+        .step_by(3)
+        .map(|c| analytic_cost(geo, fkw, OptLevel::Full, c))
+        .collect();
+    let mut est = PerfEstimator::new(xs[0].len(), rng);
+    est.fit(&xs, &ys, 30, rng);
+    let tuning = all
+        .into_iter()
+        .map(|c| {
+            let p = est.predict(&c.features());
+            (c, p)
+        })
+        .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite predictions"))
+        .expect("standard space is non-empty")
+        .0;
+    let opt_level = cheapest_level(&tuning, |level, cfg| analytic_cost(geo, fkw, level, cfg));
+    ExecConfig {
+        opt_level,
+        tuning,
+        threads,
+    }
+}
+
+/// The measured path: GA exploration over timed runs of the real
+/// executor on a synthetic input, budget-bounded, with the untuned
+/// default kept whenever it times faster than the GA's winner.
+///
+/// Measurements run under the *deployed* schedule: when the compile
+/// options ask for a multi-threaded step, every candidate (and the
+/// sticky default) is timed through the same FKR-balanced parallel
+/// wrapper the engine will build at load, so the winner is the fastest
+/// configuration of what actually serves — not of a serial stand-in.
+pub fn measure_exec_config(
+    geo: &Conv2dGeometry,
+    fkw: &FkwLayer,
+    bias: Option<&[f32]>,
+    budget: usize,
+    threads: usize,
+    rng: &mut Rng,
+) -> ExecConfig {
+    let budget = budget.max(4);
+    let input = Tensor::randn(&[1, geo.in_channels, geo.in_h, geo.in_w], rng);
+    let mut out = Tensor::zeros(&[1, geo.out_channels, geo.out_h, geo.out_w]);
+    // Min-of-3 after a warmup run: the standard microbenchmark
+    // estimator, robust against scheduler noise on these small layers.
+    let mut time_of = |level: OptLevel, cfg: &TuningConfig| -> f64 {
+        let exec = PatternConv::new(*geo, fkw.clone(), bias.map(<[f32]>::to_vec), level, *cfg);
+        let mut best = f64::INFINITY;
+        if threads > 1 {
+            let par = ParallelPattern::new(exec, threads, Schedule::Balanced);
+            std::hint::black_box(par.run(&input)); // warm the caches
+            for _ in 0..3 {
+                let t = Instant::now();
+                std::hint::black_box(par.run(&input));
+                best = best.min(t.elapsed().as_secs_f64());
+            }
+        } else {
+            exec.run_into(&input, &mut out); // warm the caches
+            for _ in 0..3 {
+                let t = Instant::now();
+                exec.run_into(&input, &mut out);
+                best = best.min(t.elapsed().as_secs_f64());
+            }
+        }
+        best
+    };
+
+    // Size the GA so distinct evaluations stay within the budget
+    // (population × (generations + 1) with memoized costs).
+    let population = (budget / 3).clamp(4, 10);
+    let generations = (budget / population).saturating_sub(1).max(1);
+    let ga = GaConfig {
+        population,
+        generations,
+        ..GaConfig::default()
+    };
+    let mut tuner = AutoTuner::with_config(ConfigSpace::standard(), ga);
+    let explored = tuner.tune(|cfg| time_of(OptLevel::Full, cfg), rng);
+
+    // Final selection is a timed run-off of every opt level at the GA
+    // winner's tuning against the untuned default — and the default is
+    // *sticky*: a candidate must beat it by a clear margin to replace
+    // it, so timer noise on small layers (where all levels finish
+    // within microseconds of each other) can never talk a measured plan
+    // into a configuration slower than the default.
+    const KEEP_DEFAULT_MARGIN: f64 = 0.97;
+    let default = ExecConfig::default();
+    let t_default = time_of(default.opt_level, &default.tuning);
+    let (candidate, t_candidate) = OptLevel::all()
+        .into_iter()
+        .map(|level| {
+            let t = time_of(level, &explored.best);
+            ((level, explored.best), t)
+        })
+        .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite times"))
+        .expect("levels are non-empty");
+    let (opt_level, tuning) = if t_candidate < t_default * KEEP_DEFAULT_MARGIN {
+        candidate
+    } else {
+        (default.opt_level, default.tuning)
+    };
+    ExecConfig {
+        opt_level,
+        tuning,
+        threads,
+    }
+}
+
+/// Picks the cheapest opt level at a fixed tuning configuration under
+/// the given cost oracle (analytic for `Estimate`, timed for `Measure`).
+fn cheapest_level(
+    tuning: &TuningConfig,
+    mut cost: impl FnMut(OptLevel, &TuningConfig) -> f64,
+) -> OptLevel {
+    OptLevel::all()
+        .into_iter()
+        .map(|level| (level, cost(level, tuning)))
+        .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite costs"))
+        .expect("levels are non-empty")
+        .0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use patdnn_compiler::fkr::filter_kernel_reorder;
+    use patdnn_core::pattern_set::PatternSet;
+    use patdnn_core::project::prune_layer;
+
+    fn pruned_layer(
+        oc: usize,
+        ic: usize,
+        hw: usize,
+        alpha: usize,
+        seed: u64,
+    ) -> (Conv2dGeometry, FkwLayer) {
+        let mut rng = Rng::seed_from(seed);
+        let mut w = Tensor::randn(&[oc, ic, 3, 3], &mut rng);
+        let set = PatternSet::standard(8);
+        let lp = prune_layer("t", &mut w, &set, alpha);
+        let order = filter_kernel_reorder(&lp);
+        let fkw = FkwLayer::from_pruned(&w, &lp, &set, &order);
+        (Conv2dGeometry::new(oc, ic, 3, 3, hw, hw, 1, 1), fkw)
+    }
+
+    #[test]
+    fn analytic_cost_orders_opt_levels_like_figure_13() {
+        let (geo, fkw) = pruned_layer(16, 16, 16, 72, 1);
+        let cfg = TuningConfig::tuned_default();
+        let costs: Vec<f64> = OptLevel::all()
+            .into_iter()
+            .map(|l| analytic_cost(&geo, &fkw, l, &cfg))
+            .collect();
+        assert!(
+            costs[0] > costs[1] && costs[1] > costs[2] && costs[2] > costs[3],
+            "levels must be monotone at a sane config: {costs:?}"
+        );
+    }
+
+    #[test]
+    fn estimate_is_deterministic_and_valid() {
+        let (geo, fkw) = pruned_layer(16, 16, 16, 72, 2);
+        let a = estimate_exec_config(&geo, &fkw, 1, &mut Rng::seed_from(9));
+        let b = estimate_exec_config(&geo, &fkw, 1, &mut Rng::seed_from(9));
+        assert_eq!(a, b, "same seed must reproduce the same config");
+        a.validate().expect("estimated config is codec-valid");
+    }
+
+    #[test]
+    fn estimate_differs_across_unlike_layers() {
+        // A narrow cache-resident layer and a wide cache-busting layer
+        // should not land on the same configuration.
+        let (geo_a, fkw_a) = pruned_layer(16, 8, 8, 36, 3);
+        let (geo_b, fkw_b) = pruned_layer(64, 64, 32, 1024, 4);
+        let a = estimate_exec_config(&geo_a, &fkw_a, 1, &mut Rng::seed_from(5));
+        let b = estimate_exec_config(&geo_b, &fkw_b, 1, &mut Rng::seed_from(5));
+        assert_ne!(
+            a.tuning, b.tuning,
+            "per-layer tuning must be geometry-sensitive"
+        );
+    }
+
+    #[test]
+    fn measure_returns_a_valid_config_within_budget_scale() {
+        let (geo, fkw) = pruned_layer(8, 8, 8, 24, 6);
+        let mut rng = Rng::seed_from(7);
+        let cfg = measure_exec_config(&geo, &fkw, None, 8, 2, &mut rng);
+        cfg.validate().expect("measured config is codec-valid");
+        assert_eq!(cfg.threads, 2, "thread schedule is recorded as given");
+    }
+}

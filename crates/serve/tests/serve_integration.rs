@@ -180,10 +180,10 @@ fn vgg_small_compiles_and_serves_from_reloaded_artifact() {
 }
 
 /// Backward compatibility: a chain model encoded in the legacy v1
-/// layout decodes into the v2 plan representation and infers
-/// bit-identically to the engine built from the v2 encoding.
+/// layout decodes into the current plan representation and infers
+/// bit-identically to the engine built from the current encoding.
 #[test]
-fn v1_chain_artifact_loads_and_infers_bit_identically() {
+fn cross_version_v1_chain_artifact_infers_bit_identically() {
     let mut rng = Rng::seed_from(31);
     let mut net = vgg_small(10, &mut rng);
     pattern_project_network(&mut net, 8, 3.6);
@@ -192,13 +192,13 @@ fn v1_chain_artifact_loads_and_infers_bit_identically() {
 
     let v1_bytes = artifact.encode_v1().expect("chains encode as v1");
     let from_v1 = ModelArtifact::decode(&v1_bytes).expect("v1 decodes");
-    assert_eq!(artifact, from_v1, "v1 decodes into the v2 chain plan");
+    assert_eq!(artifact, from_v1, "v1 decodes into the current chain plan");
 
-    let engine_v2 = Engine::new(artifact, EngineOptions::default()).expect("v2 engine");
+    let engine_now = Engine::new(artifact, EngineOptions::default()).expect("current engine");
     let engine_v1 = Engine::new(from_v1, EngineOptions::default()).expect("v1 engine");
     for batch in [1usize, 4] {
         let x = Tensor::randn(&[batch, 3, 32, 32], &mut rng);
-        let a = engine_v2.infer(&x).expect("v2 infer");
+        let a = engine_now.infer(&x).expect("current infer");
         let b = engine_v1.infer(&x).expect("v1 infer");
         let bits_a: Vec<u32> = a.data().iter().map(|v| v.to_bits()).collect();
         let bits_b: Vec<u32> = b.data().iter().map(|v| v.to_bits()).collect();
@@ -207,6 +207,101 @@ fn v1_chain_artifact_loads_and_infers_bit_identically() {
             "batch {batch}: outputs must be bit-identical"
         );
     }
+}
+
+/// Backward compatibility: a DAG model encoded in the v2 layout (no
+/// exec configs) decodes in the current build with default configs and
+/// infers bit-identically to a freshly compiled default plan.
+#[test]
+fn cross_version_v2_artifact_infers_bit_identically() {
+    let mut rng = Rng::seed_from(33);
+    let mut net = patdnn_nn::models::resnet_small(10, &mut rng);
+    pattern_project_network(&mut net, 8, 3.6);
+    let artifact = compile_network("v2compat", &net, [3, 32, 32]).expect("compiles");
+    assert!(!artifact.is_chain(), "resnet_small is a DAG model");
+
+    let v2_bytes = artifact.encode_v2().expect("default plans encode as v2");
+    let from_v2 = ModelArtifact::decode(&v2_bytes).expect("v2 decodes");
+    assert_eq!(artifact, from_v2, "v2 decodes into the default-config plan");
+    assert!(
+        from_v2
+            .steps
+            .iter()
+            .all(|s| s.exec == patdnn_serve::ExecConfig::default()),
+        "v2 steps decode to the default exec config"
+    );
+
+    let engine_now = Engine::new(artifact, EngineOptions::default()).expect("current engine");
+    let engine_v2 = Engine::new(from_v2, EngineOptions::default()).expect("v2 engine");
+    for batch in [1usize, 3] {
+        let x = Tensor::randn(&[batch, 3, 32, 32], &mut rng);
+        let a = engine_now.infer(&x).expect("current infer");
+        let b = engine_v2.infer(&x).expect("v2 infer");
+        let bits_a: Vec<u32> = a.data().iter().map(|v| v.to_bits()).collect();
+        let bits_b: Vec<u32> = b.data().iter().map(|v| v.to_bits()).collect();
+        assert_eq!(
+            bits_a, bits_b,
+            "batch {batch}: outputs must be bit-identical"
+        );
+    }
+}
+
+/// The tuned-plan pipeline end to end: `Estimate` compiles per-layer
+/// exec configs, the v3 artifact round-trips them intact, and the
+/// reloaded engine serves without retuning, numerically equivalent to
+/// the default plan.
+#[test]
+fn tuned_artifact_serves_tuned_without_retuning() {
+    use patdnn_serve::compile::{compile_network_with, CompileOptions};
+    use patdnn_serve::TunePolicy;
+
+    let mut rng = Rng::seed_from(35);
+    let mut net = patdnn_nn::models::resnet_small(10, &mut rng);
+    pattern_project_network(&mut net, 8, 3.6);
+    let default_plan = compile_network("tuned", &net, [3, 32, 32]).expect("compiles");
+    let tuned_plan = compile_network_with(
+        "tuned",
+        &net,
+        [3, 32, 32],
+        &CompileOptions {
+            tune: TunePolicy::Estimate,
+            ..CompileOptions::default()
+        },
+    )
+    .expect("compiles tuned");
+
+    // The estimator makes per-layer choices: the plan dump must not be
+    // one uniform config across pattern-conv steps.
+    let configs: Vec<_> = tuned_plan
+        .steps
+        .iter()
+        .filter(|s| s.op.kind() == "pattern-conv")
+        .map(|s| s.exec)
+        .collect();
+    assert!(configs.len() > 1, "resnet_small has several pattern convs");
+    assert!(
+        configs.iter().any(|c| *c != configs[0]),
+        "estimated configs must be non-uniform across layers"
+    );
+
+    // v3 round trip preserves every step's config; the same compile is
+    // reproducible (tuning is deterministic under Estimate).
+    let reloaded = ModelArtifact::decode(&tuned_plan.encode()).expect("v3 round trip");
+    assert_eq!(tuned_plan, reloaded, "per-step configs survive the codec");
+
+    // Tuned and default plans agree numerically with the nn reference.
+    let tuned_engine = Engine::new(reloaded, EngineOptions::default()).expect("tuned engine");
+    let default_engine = Engine::new(default_plan, EngineOptions::default()).expect("engine");
+    let x = Tensor::randn(&[2, 3, 32, 32], &mut rng);
+    let want = net.forward(&x, Mode::Eval);
+    let tuned_out = tuned_engine.infer(&x).expect("tuned infer");
+    let default_out = default_engine.infer(&x).expect("default infer");
+    assert!(
+        want.approx_eq(&tuned_out, 1e-4),
+        "tuned engine diverges from the nn reference: {:?}",
+        want.max_abs_diff(&tuned_out)
+    );
+    assert!(default_out.approx_eq(&tuned_out, 1e-4));
 }
 
 /// A pruned residual model served through the dynamic-batching server:

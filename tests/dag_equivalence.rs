@@ -147,14 +147,7 @@ fn random_residual_topologies_match_across_thread_counts() {
         let artifact = compile_network("rand", &net, [3, 16, 16])
             .unwrap_or_else(|e| panic!("seed {seed}: compile failed: {e}"));
         let serial = Engine::new(artifact.clone(), EngineOptions::default()).expect("serial");
-        let par = Engine::new(
-            artifact,
-            EngineOptions {
-                threads: 3,
-                ..EngineOptions::default()
-            },
-        )
-        .expect("parallel");
+        let par = Engine::new(artifact, EngineOptions { threads: Some(3) }).expect("parallel");
         let x = Tensor::randn(&[2, 3, 16, 16], &mut rng);
         let a = serial.infer(&x).expect("serial infer");
         let b = par.infer(&x).expect("parallel infer");
