@@ -3,16 +3,21 @@
 //! Usage:
 //!
 //! ```text
-//! repro <experiment>... [--quick] [--reps N] [--threads N]
+//! repro <experiment>... [--quick] [--reps N] [--threads N] [--json FILE]
 //! experiment: table1..table7, fig12..fig18, serving, serving-resnet,
-//!             serving-tuned, tables, figures, all
+//!             serving-tuned, serving-quant, tables, figures, all
 //! ```
+//!
+//! `--json FILE` additionally writes a machine-readable report for the
+//! experiments that produce one (currently `serving-quant`), so CI can
+//! upload the perf trajectory as a workflow artifact.
 
 use patdnn_bench::{figures, tables, RunOptions};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut opts = RunOptions::default();
+    let mut json_path: Option<String> = None;
     let mut selected: Vec<String> = Vec::new();
     let mut i = 0;
     while i < args.len() {
@@ -37,6 +42,14 @@ fn main() {
                     .get(i)
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| die("--threads needs a number"));
+            }
+            "--json" => {
+                i += 1;
+                json_path = Some(
+                    args.get(i)
+                        .cloned()
+                        .unwrap_or_else(|| die("--json needs a file path")),
+                );
             }
             other if other.starts_with("--") => die(&format!("unknown flag {other}")),
             other => selected.push(other.to_owned()),
@@ -68,6 +81,7 @@ fn main() {
                 "serving",
                 "serving-resnet",
                 "serving-tuned",
+                "serving-quant",
             ]),
             "tables" => expanded.extend([
                 "table1", "table2", "table3", "table4", "table5", "table6", "table7",
@@ -108,6 +122,15 @@ fn main() {
             "serving-tuned" => {
                 println!("{}", patdnn_bench::serving::tuned_serving(&opts));
             }
+            "serving-quant" => {
+                let (table, json) = patdnn_bench::serving::quant_serving_report(&opts);
+                println!("{table}");
+                if let Some(path) = &json_path {
+                    std::fs::write(path, &json)
+                        .unwrap_or_else(|e| die(&format!("writing {path}: {e}")));
+                    eprintln!("[json report written to {path}]");
+                }
+            }
             other => die(&format!("unknown experiment {other}")),
         }
         eprintln!("[{exp} took {:.1}s]", start.elapsed().as_secs_f64());
@@ -126,7 +149,7 @@ fn die(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
         "usage: repro <table1..table7|fig12..fig18|serving|serving-resnet|serving-tuned|\
-         tables|figures|all> [--quick] [--reps N] [--threads N]"
+         serving-quant|tables|figures|all> [--quick] [--reps N] [--threads N] [--json FILE]"
     );
     std::process::exit(2);
 }

@@ -10,11 +10,13 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use patdnn_core::prune::pattern_project_network;
+use patdnn_nn::calibrate::calibration_batch;
 use patdnn_nn::models::{resnet_small, vgg_small};
 use patdnn_nn::network::Sequential;
 use patdnn_serve::batching::BatchPolicy;
 use patdnn_serve::compile::{compile_network, compile_network_with, CompileOptions};
 use patdnn_serve::engine::{Engine, EngineOptions};
+use patdnn_serve::quant::compile_network_int8;
 use patdnn_serve::registry::ModelRegistry;
 use patdnn_serve::server::{Server, ServerConfig};
 use patdnn_serve::TunePolicy;
@@ -337,6 +339,206 @@ pub fn tuned_serving(opts: &RunOptions) -> Table {
     table
 }
 
+/// Per-precision serving measurements for one compiled plan.
+struct PrecisionRun {
+    weight_bytes: usize,
+    b1_p50_ms: f64,
+    qps: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+}
+
+/// One model's f32-vs-int8 comparison.
+struct QuantComparison {
+    model: &'static str,
+    f32_run: PrecisionRun,
+    int8_run: PrecisionRun,
+    /// Max elementwise |f32 - int8| over the calibration batch.
+    max_dev: f64,
+}
+
+fn measure_precision(
+    artifact: patdnn_serve::ModelArtifact,
+    model: &str,
+    reps: usize,
+    requests_per_client: usize,
+    seed: u64,
+) -> (PrecisionRun, Engine) {
+    let weight_bytes = artifact.weight_bytes();
+    let engine = Engine::new(artifact, EngineOptions::default()).expect("engine");
+
+    // Direct batch-1 latency: median of warm runs (the paper's
+    // real-time metric).
+    let mut lat_rng = Rng::seed_from(seed);
+    let x = Tensor::randn(&[1, 3, 32, 32], &mut lat_rng);
+    engine.infer(&x).expect("warmup");
+    let mut runs: Vec<f64> = (0..reps.max(1))
+        .map(|_| {
+            let t = Instant::now();
+            std::hint::black_box(engine.infer(&x).expect("infer"));
+            t.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    runs.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+    let b1_p50_ms = runs[runs.len() / 2];
+
+    // Served traffic through the dynamic-batching server. The engine is
+    // rebuilt for the registry; measurement uses the returned handle.
+    let registry = Arc::new(ModelRegistry::new());
+    let served = registry.register(
+        model,
+        Engine::new(engine.artifact().clone(), EngineOptions::default()).expect("engine"),
+    );
+    drop(served);
+    let server = Arc::new(Server::start(
+        Arc::clone(&registry),
+        ServerConfig {
+            workers: 2,
+            batch: BatchPolicy {
+                max_batch: 4,
+                max_wait: Duration::from_millis(2),
+            },
+            queue_capacity: 1024,
+        },
+    ));
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for client in 0..4usize {
+            let server = Arc::clone(&server);
+            let model = model.to_owned();
+            scope.spawn(move || {
+                let mut rng = Rng::seed_from(seed + 10 + client as u64);
+                for _ in 0..requests_per_client {
+                    let input = Tensor::randn(&[1, 3, 32, 32], &mut rng);
+                    let _ = server.infer(&model, input);
+                }
+            });
+        }
+    });
+    let wall = start.elapsed().as_secs_f64();
+    let snap = server.metrics().snapshot();
+    (
+        PrecisionRun {
+            weight_bytes,
+            b1_p50_ms,
+            qps: snap.requests as f64 / wall,
+            p50_ms: snap.p50_ms,
+            p99_ms: snap.p99_ms,
+        },
+        engine,
+    )
+}
+
+/// Runs the f32-vs-int8 comparison for both serving models.
+fn quant_comparisons(opts: &RunOptions) -> Vec<QuantComparison> {
+    let requests_per_client = if opts.quick { 5 } else { 25 };
+    let reps = if opts.quick { 9 } else { 30.max(opts.reps) };
+    let mut out = Vec::new();
+    for (model, seed) in [("vgg_small", 81u64), ("resnet_small", 82u64)] {
+        let mut rng = Rng::seed_from(seed);
+        let mut net: Sequential = match model {
+            "vgg_small" => vgg_small(10, &mut rng),
+            _ => resnet_small(10, &mut rng),
+        };
+        pattern_project_network(&mut net, 8, 3.6);
+        let calib = calibration_batch([3, 32, 32], 8, seed + 100);
+        let f32_plan = compile_network(model, &net, [3, 32, 32]).expect("compile");
+        let int8_plan =
+            compile_network_int8(model, &net, [3, 32, 32], &CompileOptions::default(), &calib)
+                .expect("quantized compile");
+        let (f32_run, f32_engine) =
+            measure_precision(f32_plan, model, reps, requests_per_client, seed + 200);
+        let (int8_run, int8_engine) =
+            measure_precision(int8_plan, model, reps, requests_per_client, seed + 300);
+        let a = f32_engine.infer(&calib).expect("f32 infer");
+        let b = int8_engine.infer(&calib).expect("int8 infer");
+        let max_dev = a.max_abs_diff(&b).expect("same shape") as f64;
+        out.push(QuantComparison {
+            model,
+            f32_run,
+            int8_run,
+            max_dev,
+        });
+    }
+    out
+}
+
+/// INT8 quantized serving next to the f32 path (`repro serving-quant`):
+/// both models compiled at both precisions, reporting batch-1 p50
+/// latency (the paper's real-time metric), served QPS and tail latency
+/// under synthetic traffic, weight storage, and the max elementwise
+/// output deviation of the quantized plan on its calibration batch.
+pub fn quant_serving(opts: &RunOptions) -> Table {
+    let (table, _) = quant_serving_report(opts);
+    table
+}
+
+/// [`quant_serving`] plus a machine-readable JSON report (written by
+/// `repro --json` and uploaded from CI as a workflow artifact, so the
+/// perf trajectory accumulates across commits).
+pub fn quant_serving_report(opts: &RunOptions) -> (Table, String) {
+    let comparisons = quant_comparisons(opts);
+    let mut table = Table::new(
+        "Serving: f32 vs int8 quantized plans (2 workers, max_batch=4, 4 clients)",
+        &[
+            "model",
+            "precision",
+            "weights KiB",
+            "b1 p50 ms",
+            "QPS",
+            "p50 ms",
+            "p99 ms",
+            "b1 speedup",
+            "max dev",
+        ],
+    );
+    let mut models_json = Vec::new();
+    for c in &comparisons {
+        let speedup = c.f32_run.b1_p50_ms / c.int8_run.b1_p50_ms;
+        for (precision, run, speedup_cell, dev_cell) in [
+            ("f32", &c.f32_run, "1.00x".to_owned(), "-".to_owned()),
+            (
+                "int8",
+                &c.int8_run,
+                format!("{speedup:.2}x"),
+                format!("{:.2e}", c.max_dev),
+            ),
+        ] {
+            table.push_row(vec![
+                c.model.to_owned(),
+                precision.to_owned(),
+                format!("{:.1}", run.weight_bytes as f64 / 1024.0),
+                format!("{:.3}", run.b1_p50_ms),
+                format!("{:.1}", run.qps),
+                format!("{:.3}", run.p50_ms),
+                format!("{:.3}", run.p99_ms),
+                speedup_cell,
+                dev_cell,
+            ]);
+        }
+        let run_json = |r: &PrecisionRun| {
+            format!(
+                "{{\"weight_bytes\":{},\"b1_p50_ms\":{:.5},\"qps\":{:.2},\"p50_ms\":{:.5},\"p99_ms\":{:.5}}}",
+                r.weight_bytes, r.b1_p50_ms, r.qps, r.p50_ms, r.p99_ms
+            )
+        };
+        models_json.push(format!(
+            "{{\"model\":\"{}\",\"f32\":{},\"int8\":{},\"b1_speedup\":{:.3},\"max_dev\":{:.3e}}}",
+            c.model,
+            run_json(&c.f32_run),
+            run_json(&c.int8_run),
+            speedup,
+            c.max_dev
+        ));
+    }
+    let json = format!(
+        "{{\"workload\":\"serving-quant\",\"quick\":{},\"models\":[{}]}}\n",
+        opts.quick,
+        models_json.join(",")
+    );
+    (table, json)
+}
+
 /// Both serving tables.
 pub fn serving(opts: &RunOptions) -> Vec<Table> {
     vec![engine_batch_sweep(opts), server_throughput(opts)]
@@ -382,6 +584,35 @@ mod tests {
                 "estimate policy must produce per-layer configs, got {est_cfgs}"
             );
         }
+    }
+
+    #[test]
+    fn quant_serving_reports_both_precisions_with_bounded_deviation() {
+        let opts = RunOptions::quick();
+        let (table, json) = quant_serving_report(&opts);
+        assert_eq!(table.rows.len(), 4, "2 models x 2 precisions");
+        for chunk in table.rows.chunks(2) {
+            let (f32_row, int8_row) = (&chunk[0], &chunk[1]);
+            assert_eq!(f32_row[1], "f32");
+            assert_eq!(int8_row[1], "int8");
+            let f32_kib: f64 = f32_row[2].parse().expect("numeric weights");
+            let int8_kib: f64 = int8_row[2].parse().expect("numeric weights");
+            assert!(int8_kib < f32_kib, "quantized weights must be smaller");
+            // Deviation on the calibration batch is deterministic (no
+            // timing involved) and must stay within the serving bound.
+            let dev: f64 = int8_row[8].parse().expect("numeric deviation");
+            assert!(dev <= 1e-2, "{}: deviation {dev}", int8_row[0]);
+            for row in [f32_row, int8_row] {
+                let qps: f64 = row[4].parse().expect("numeric QPS");
+                assert!(qps > 0.0);
+            }
+        }
+        // The JSON report carries both models and parses as one object
+        // per model with the same deterministic deviation bound.
+        assert!(json.contains("\"workload\":\"serving-quant\""));
+        assert!(json.contains("\"model\":\"vgg_small\""));
+        assert!(json.contains("\"model\":\"resnet_small\""));
+        assert!(json.contains("\"b1_speedup\""));
     }
 
     #[test]

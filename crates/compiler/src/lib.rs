@@ -31,9 +31,11 @@ pub mod graph;
 pub mod lr;
 pub mod lre;
 pub mod passes;
+pub mod quant;
 pub mod tune;
 
 pub use fkr::{filter_kernel_reorder, FilterOrder};
 pub use fkw::FkwLayer;
 pub use lr::LayerLr;
+pub use quant::QuantFkwLayer;
 pub use tune::space::{LoopPermutation, TuningConfig};

@@ -1,0 +1,346 @@
+//! Activation-range calibration export for quantized deployment.
+//!
+//! Post-training INT8 quantization needs one fact training never
+//! records: how large each layer's activations actually get. This
+//! module exports that fact — run a small sample batch through the
+//! exported network and record, per layer, the largest absolute input
+//! and output values observed. The serving compiler turns those ranges
+//! into symmetric activation scales (the compiler crate's `quant`
+//! module).
+//!
+//! Calibration interprets the [`LayerExport`] records rather than the
+//! live [`crate::layer::Layer`] objects so that residual blocks profile branch by
+//! branch (both branches read the block input; a flat layer walk would
+//! misattribute the shortcut's range). Because the serving compiler's
+//! graph passes (BN folding, ReLU fusion) are value-preserving, a
+//! layer's *input* range here equals its input range in the optimized
+//! plan — exactly the number the quantizer needs.
+
+use std::fmt;
+
+use patdnn_tensor::rng::Rng;
+use patdnn_tensor::{Conv2dGeometry, Tensor};
+
+use crate::export::{export_network, LayerExport};
+use crate::layer::{Layer, Mode};
+use crate::network::Sequential;
+use crate::pool::{GlobalAvgPool, MaxPool2d};
+
+/// Errors produced while calibrating.
+#[derive(Debug)]
+pub enum CalibrationError {
+    /// A layer kind the calibration interpreter cannot execute.
+    Unsupported {
+        /// Layer name.
+        name: String,
+        /// Layer kind label.
+        kind: String,
+    },
+    /// The sample batch does not fit the network (shape error mid-walk).
+    BadBatch(String),
+}
+
+impl fmt::Display for CalibrationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CalibrationError::Unsupported { name, kind } => {
+                write!(f, "layer {name:?} of kind {kind:?} cannot be calibrated")
+            }
+            CalibrationError::BadBatch(msg) => write!(f, "calibration batch: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CalibrationError {}
+
+/// One layer's observed activation ranges on the calibration batch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ActivationRecord {
+    /// Layer name (unique within a model by convention).
+    pub name: String,
+    /// Largest absolute value flowing *into* the layer.
+    pub in_max_abs: f32,
+    /// Largest absolute value flowing *out of* the layer.
+    pub out_max_abs: f32,
+}
+
+/// The calibration export: per-layer activation ranges in execution
+/// order (residual branches flattened depth-first), plus the network
+/// input's own range.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ActivationProfile {
+    /// Largest absolute value of the calibration batch itself.
+    pub input_max_abs: f32,
+    /// Per-layer records.
+    pub records: Vec<ActivationRecord>,
+}
+
+impl ActivationProfile {
+    /// The observed input range of the named layer.
+    pub fn input_of(&self, name: &str) -> Option<f32> {
+        self.records
+            .iter()
+            .find(|r| r.name == name)
+            .map(|r| r.in_max_abs)
+    }
+
+    /// The observed output range of the named layer.
+    pub fn output_of(&self, name: &str) -> Option<f32> {
+        self.records
+            .iter()
+            .find(|r| r.name == name)
+            .map(|r| r.out_max_abs)
+    }
+}
+
+/// A deterministic standard-normal sample batch of `n` items with the
+/// given per-item shape, for calibration runs without a real dataset.
+pub fn calibration_batch(item: [usize; 3], n: usize, seed: u64) -> Tensor {
+    let mut rng = Rng::seed_from(seed);
+    Tensor::randn(&[n, item[0], item[1], item[2]], &mut rng)
+}
+
+/// Calibrates a network: exports it and profiles the exported records
+/// over the sample batch.
+pub fn calibrate_network(
+    net: &Sequential,
+    batch: &Tensor,
+) -> Result<ActivationProfile, CalibrationError> {
+    calibrate_exports(&export_network(net), batch)
+}
+
+/// Profiles exported layer records over a sample batch.
+pub fn calibrate_exports(
+    layers: &[LayerExport],
+    batch: &Tensor,
+) -> Result<ActivationProfile, CalibrationError> {
+    let mut profile = ActivationProfile {
+        input_max_abs: max_abs(batch),
+        records: Vec::new(),
+    };
+    run_layers(layers, batch.clone(), &mut profile)?;
+    Ok(profile)
+}
+
+fn max_abs(t: &Tensor) -> f32 {
+    t.data().iter().fold(0.0f32, |m, &x| m.max(x.abs()))
+}
+
+fn run_layers(
+    layers: &[LayerExport],
+    mut x: Tensor,
+    profile: &mut ActivationProfile,
+) -> Result<Tensor, CalibrationError> {
+    for layer in layers {
+        let in_max = max_abs(&x);
+        let out = run_layer(layer, &x, profile)?;
+        profile.records.push(ActivationRecord {
+            name: layer.name().to_owned(),
+            in_max_abs: in_max,
+            out_max_abs: max_abs(&out),
+        });
+        x = out;
+    }
+    Ok(x)
+}
+
+/// Executes one exported record (inference semantics only).
+fn run_layer(
+    layer: &LayerExport,
+    x: &Tensor,
+    profile: &mut ActivationProfile,
+) -> Result<Tensor, CalibrationError> {
+    let bad = |msg: String| CalibrationError::BadBatch(msg);
+    let spatial = |x: &Tensor, name: &str| -> Result<(usize, usize, usize), CalibrationError> {
+        match x.shape() {
+            [_, c, h, w] => Ok((*c, *h, *w)),
+            other => Err(bad(format!("{name}: needs NCHW input, got {other:?}"))),
+        }
+    };
+    Ok(match layer {
+        LayerExport::Conv {
+            name,
+            out_c,
+            in_c,
+            kernel,
+            stride,
+            pad,
+            weights,
+            bias,
+        } => {
+            let (c, h, w) = spatial(x, name)?;
+            if c != *in_c {
+                return Err(bad(format!("{name}: expects {in_c} channels, got {c}")));
+            }
+            let geo = Conv2dGeometry::new(*out_c, *in_c, *kernel, *kernel, h, w, *stride, *pad);
+            patdnn_tensor::conv2d_ref(x, weights, Some(bias), &geo)
+        }
+        LayerExport::BatchNorm { name, scale, shift } => {
+            let (c, h, w) = spatial(x, name)?;
+            if c != scale.len() {
+                return Err(bad(format!("{name}: channel arity")));
+            }
+            let mut out = x.clone();
+            let hw = h * w;
+            for (i, v) in out.data_mut().iter_mut().enumerate() {
+                let ch = (i / hw) % c;
+                *v = scale[ch] * *v + shift[ch];
+            }
+            out
+        }
+        LayerExport::Relu { .. } => x.map(|v| v.max(0.0)),
+        LayerExport::Relu6 { .. } => x.map(|v| v.clamp(0.0, 6.0)),
+        // Pooling reuses the live nn layers (they are stateless in Eval
+        // mode), so calibration cannot drift from real execution.
+        LayerExport::MaxPool {
+            name,
+            kernel,
+            stride,
+            pad,
+        } => {
+            spatial(x, name)?;
+            MaxPool2d::new(name, *kernel, *stride, *pad).forward(x, Mode::Eval)
+        }
+        LayerExport::GlobalAvgPool { name } => {
+            spatial(x, name)?;
+            GlobalAvgPool::new(name).forward(x, Mode::Eval)
+        }
+        LayerExport::Flatten { name } => {
+            let n = x.shape()[0];
+            let rest: usize = x.shape()[1..].iter().product();
+            x.clone()
+                .reshape(&[n, rest])
+                .map_err(|e| bad(format!("{name}: {e:?}")))?
+        }
+        LayerExport::Linear {
+            name,
+            weights,
+            bias,
+        } => {
+            let n = x.shape()[0];
+            let feats: usize = x.shape()[1..].iter().product();
+            let (out_f, in_f) = (weights.shape()[0], weights.shape()[1]);
+            if feats != in_f {
+                return Err(bad(format!("{name}: expects {in_f} features, got {feats}")));
+            }
+            let mut out = Tensor::zeros(&[n, out_f]);
+            patdnn_tensor::gemm::gemm_bt(n, out_f, in_f, x.data(), weights.data(), out.data_mut());
+            for b in 0..n {
+                for (o, &bv) in bias.iter().enumerate() {
+                    out.data_mut()[b * out_f + o] += bv;
+                }
+            }
+            out
+        }
+        LayerExport::Residual {
+            main,
+            shortcut,
+            name,
+        } => {
+            let main_out = run_layers(main, x.clone(), profile)?;
+            let short_out = match shortcut {
+                Some(s) => run_layers(s, x.clone(), profile)?,
+                None => x.clone(),
+            };
+            main_out
+                .zip_map(&short_out, |a, b| a + b)
+                .map_err(|e| bad(format!("{name}: branch shapes disagree: {e:?}")))?
+        }
+        LayerExport::Opaque { name } => {
+            return Err(CalibrationError::Unsupported {
+                name: name.clone(),
+                kind: layer.kind().into(),
+            })
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::{Layer, Mode};
+    use crate::models::{resnet_small, small_cnn};
+
+    #[test]
+    fn calibration_batch_is_deterministic() {
+        let a = calibration_batch([3, 8, 8], 4, 7);
+        let b = calibration_batch([3, 8, 8], 4, 7);
+        assert_eq!(a, b);
+        assert_eq!(a.shape(), &[4, 3, 8, 8]);
+    }
+
+    #[test]
+    fn profile_matches_the_live_forward_pass() {
+        let mut rng = Rng::seed_from(1);
+        let mut net = small_cnn(3, 8, 4, &mut rng);
+        let batch = calibration_batch([3, 8, 8], 3, 2);
+        let profile = calibrate_network(&net, &batch).expect("calibrates");
+        // The interpreter's final output range equals the live network's.
+        let want = net.forward(&batch, Mode::Eval);
+        let last = profile.records.last().expect("records");
+        assert!(
+            (last.out_max_abs - max_abs(&want)).abs() <= 1e-4 * (1.0 + max_abs(&want)),
+            "interpreted output range diverges from live forward: {} vs {}",
+            last.out_max_abs,
+            max_abs(&want)
+        );
+    }
+
+    #[test]
+    fn every_layer_gets_a_record_with_chained_ranges() {
+        let mut rng = Rng::seed_from(3);
+        let net = small_cnn(3, 8, 4, &mut rng);
+        let batch = calibration_batch([3, 8, 8], 2, 4);
+        let profile = calibrate_network(&net, &batch).expect("calibrates");
+        let names: Vec<&str> = profile.records.iter().map(|r| r.name.as_str()).collect();
+        assert_eq!(names.len(), 8, "one record per exported layer");
+        // Chain models: each layer's input range is its predecessor's
+        // output range.
+        assert_eq!(profile.records[0].in_max_abs, profile.input_max_abs);
+        for pair in profile.records.windows(2) {
+            assert_eq!(pair[1].in_max_abs, pair[0].out_max_abs);
+        }
+        assert!(profile.input_of(names[0]).is_some());
+        assert!(profile.output_of("no-such-layer").is_none());
+    }
+
+    #[test]
+    fn residual_branches_profile_against_the_block_input() {
+        let mut rng = Rng::seed_from(5);
+        let mut net = resnet_small(10, &mut rng);
+        let batch = calibration_batch([3, 32, 32], 2, 6);
+        let profile = calibrate_network(&net, &batch).expect("calibrates");
+        // The interpreter agrees with the live network end to end (this
+        // exercises both identity and projection shortcuts).
+        let want = net.forward(&batch, Mode::Eval);
+        let last = profile.records.last().expect("records");
+        assert!(
+            (last.out_max_abs - max_abs(&want)).abs() <= 1e-3 * (1.0 + max_abs(&want)),
+            "residual interpretation diverges: {} vs {}",
+            last.out_max_abs,
+            max_abs(&want)
+        );
+        // Residual blocks contribute nested records plus their own: the
+        // projected block's shortcut conv must be profiled against the
+        // block input, not the main branch's intermediate value.
+        assert!(profile.records.iter().any(|r| r.name == "block2"));
+        let block2_in = profile.input_of("block2").expect("block record");
+        let proj_in = profile.input_of("block2_proj").expect("shortcut record");
+        assert_eq!(
+            proj_in, block2_in,
+            "projection shortcut reads the block input"
+        );
+    }
+
+    #[test]
+    fn opaque_layers_are_a_typed_error() {
+        let layers = vec![LayerExport::Opaque {
+            name: "mystery".into(),
+        }];
+        let batch = calibration_batch([3, 8, 8], 1, 1);
+        assert!(matches!(
+            calibrate_exports(&layers, &batch),
+            Err(CalibrationError::Unsupported { .. })
+        ));
+    }
+}

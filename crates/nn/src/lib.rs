@@ -28,6 +28,7 @@
 
 pub mod activation;
 pub mod batchnorm;
+pub mod calibrate;
 pub mod conv;
 pub mod data;
 pub mod export;

@@ -29,8 +29,10 @@ pub mod gpu;
 pub mod parallel;
 pub mod pattern_exec;
 pub mod platform;
+pub mod quant_exec;
 pub mod sparse_csr;
 
 pub use executor::ConvExecutor;
 pub use pattern_exec::{OptLevel, PatternConv};
 pub use platform::Platform;
+pub use quant_exec::QuantPatternConv;

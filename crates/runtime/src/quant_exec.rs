@@ -1,0 +1,524 @@
+//! INT8 pattern-based convolution executor over quantized FKW storage.
+//!
+//! [`QuantPatternConv`] is the reduced-precision counterpart of
+//! [`crate::pattern_exec::PatternConv`]: it traverses the *same* FKW
+//! arrays (reorder, per-pattern kernel runs, per-kernel channel index)
+//! but computes with exact `i8 × i8 → i32` arithmetic:
+//!
+//! 1. the input planes are quantized once per item with the layer's
+//!    calibrated activation scale (persisted in the artifact),
+//! 2. every stored kernel accumulates into an `i32` plane — borrow-free
+//!    inside the pixel loops, with the same 4-wide LRE fast path as the
+//!    `f32` executor, reading 1-byte instead of 4-byte activations,
+//! 3. each filter plane dequantizes with a single multiply
+//!    (`act_scale · filter_scale`) and the `f32` bias is added last.
+//!
+//! The executor honors the step's persisted [`OptLevel`] and
+//! [`TuningConfig`] the same way the `f32` one does: the LRE fast path
+//! is gated on the opt level, and `Full` adds `unroll_oc`-row
+//! filter-level chunking so kernels sharing a pattern run reuse
+//! register-resident input spans across adjacent filters.
+
+use std::sync::Mutex;
+
+use patdnn_compiler::quant::{quantize_slice_into, QuantFkwLayer};
+use patdnn_compiler::tune::space::TuningConfig;
+use patdnn_tensor::{Conv2dGeometry, Tensor};
+
+use crate::executor::ConvExecutor;
+use crate::pattern_exec::OptLevel;
+
+/// Per-call scratch of the INT8 executor: the quantized input image and
+/// the `i32` accumulation planes. Pooled so a warm executor allocates
+/// nothing on the steady-state path.
+struct QuantScratch {
+    qin: Vec<i8>,
+    acc: Vec<i32>,
+}
+
+/// Whether worst-case `i8 × i8 → i32` accumulation over `in_c` kernels
+/// of `entries` taps each fits `i32`. Callers that build executors from
+/// external artifacts must check this *before* construction (the
+/// serving layer turns it into a typed malformed-artifact error at
+/// decode and engine build); [`QuantPatternConv::new`] asserts it.
+pub fn accumulation_fits_i32(in_c: usize, entries_per_kernel: usize) -> bool {
+    in_c as i64 * entries_per_kernel as i64 * 127 * 127 <= i32::MAX as i64
+}
+
+/// INT8 pattern-based sparse convolution executor.
+pub struct QuantPatternConv {
+    geo: Conv2dGeometry,
+    qfkw: QuantFkwLayer,
+    bias: Option<Vec<f32>>,
+    level: OptLevel,
+    tuning: TuningConfig,
+    /// `(kh, kw)` taps per pattern, pre-decoded for the inner loops.
+    taps: Vec<Vec<(usize, usize)>>,
+    entries: usize,
+    /// `(row, original_filter)` pairs, pre-collected for the chunked
+    /// `Full`-level traversal.
+    rows: Vec<(usize, usize)>,
+    /// Filters with no stored kernels (their planes are bias-only).
+    unstored: Vec<usize>,
+    /// Pool of reusable scratch sets; concurrent callers each check out
+    /// their own, so `run_into(&self)` stays freely shareable.
+    scratch: Mutex<Vec<QuantScratch>>,
+}
+
+impl QuantPatternConv {
+    /// Creates the executor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the quantized FKW layer disagrees with the geometry or
+    /// if [`accumulation_fits_i32`] does not hold (impossible for
+    /// realistic layer widths; validated with typed errors upstream so
+    /// the kernel stays branch-free).
+    pub fn new(
+        geo: Conv2dGeometry,
+        qfkw: QuantFkwLayer,
+        bias: Option<Vec<f32>>,
+        level: OptLevel,
+        tuning: TuningConfig,
+    ) -> Self {
+        assert_eq!(qfkw.out_c, geo.out_channels, "filter count mismatch");
+        assert_eq!(qfkw.in_c, geo.in_channels, "channel count mismatch");
+        assert_eq!(qfkw.kernel, geo.kernel_h, "kernel size mismatch");
+        // Worst case per output pixel: every input channel contributes a
+        // kernel of `entries` saturated (±127 · ±127) products.
+        assert!(
+            accumulation_fits_i32(qfkw.in_c, qfkw.entries_per_kernel),
+            "i8 accumulation would overflow"
+        );
+        let taps = qfkw.patterns.iter().map(|p| p.positions()).collect();
+        let entries = qfkw.entries_per_kernel;
+        let rows: Vec<(usize, usize)> = qfkw.rows().collect();
+        let mut stored = vec![false; geo.out_channels];
+        for &(_, f) in &rows {
+            stored[f] = true;
+        }
+        let unstored = stored
+            .iter()
+            .enumerate()
+            .filter(|(_, &s)| !s)
+            .map(|(f, _)| f)
+            .collect();
+        QuantPatternConv {
+            geo,
+            qfkw,
+            bias,
+            level,
+            tuning,
+            taps,
+            entries,
+            rows,
+            unstored,
+            scratch: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The quantized FKW storage backing this executor.
+    pub fn qfkw(&self) -> &QuantFkwLayer {
+        &self.qfkw
+    }
+
+    /// The calibrated input-activation scale.
+    pub fn act_scale(&self) -> f32 {
+        self.qfkw.act_scale
+    }
+
+    /// Accumulates one kernel over the whole output plane with per-pixel
+    /// bounds checks (borders, and the whole plane for stride > 1).
+    fn kernel_plane_checked(&self, taps: &[(usize, usize)], w: &[i8], inp: &[i8], acc: &mut [i32]) {
+        let g = &self.geo;
+        for oh in 0..g.out_h {
+            let orow = oh * g.out_w;
+            for ow in 0..g.out_w {
+                let mut sum = 0i32;
+                for (e, &(kh, kw)) in taps.iter().enumerate() {
+                    let ih = (oh * g.stride + kh) as isize - g.pad as isize;
+                    let iw = (ow * g.stride + kw) as isize - g.pad as isize;
+                    if ih >= 0 && ih < g.in_h as isize && iw >= 0 && iw < g.in_w as isize {
+                        sum += w[e] as i32 * inp[ih as usize * g.in_w + iw as usize] as i32;
+                    }
+                }
+                acc[orow + ow] += sum;
+            }
+        }
+    }
+
+    /// Accumulates one kernel with the LRE fast path (stride 1): per
+    /// tap, each output row reduces to one contiguous span-accumulate
+    /// `acc[lo..hi] += w · input[lo'..hi']` with the tap weight hoisted
+    /// into a register — no per-pixel bounds checks, and a loop shape
+    /// the autovectorizer lifts straight into wide integer lanes (the
+    /// 1-byte loads quarter the f32 path's memory traffic).
+    fn kernel_plane_lre(&self, taps: &[(usize, usize)], w: &[i8], inp: &[i8], acc: &mut [i32]) {
+        let g = &self.geo;
+        debug_assert_eq!(g.stride, 1, "LRE fast path requires stride 1");
+        for (e, &(kh, kw)) in taps.iter().enumerate() {
+            let wv = w[e] as i32;
+            // Valid output columns for this tap: `ow + kw - pad` in
+            // `[0, in_w)`; everything outside reads implicit zero pad.
+            let lo = g.pad.saturating_sub(kw);
+            let hi = (g.in_w + g.pad - kw).min(g.out_w);
+            if lo >= hi {
+                continue;
+            }
+            for oh in 0..g.out_h {
+                let ih = oh + kh;
+                if ih < g.pad || ih - g.pad >= g.in_h {
+                    continue;
+                }
+                let ibase = (ih - g.pad) * g.in_w + lo + kw - g.pad;
+                let orow = oh * g.out_w;
+                let dst = &mut acc[orow + lo..orow + hi];
+                let src = &inp[ibase..ibase + hi - lo];
+                for (a, &v) in dst.iter_mut().zip(src) {
+                    *a += wv * v as i32;
+                }
+            }
+        }
+    }
+
+    /// Accumulates every kernel of one storage row into `acc`.
+    fn accumulate_row(&self, row: usize, qin: &[i8], acc: &mut [i32], lre_ok: bool) {
+        let g = &self.geo;
+        let in_hw = g.in_h * g.in_w;
+        for p in 0..self.qfkw.patterns.len() {
+            let taps = &self.taps[p];
+            for k in self.qfkw.pattern_run(row, p) {
+                let ic = self.qfkw.index[k] as usize;
+                let w = &self.qfkw.qweights[k * self.entries..(k + 1) * self.entries];
+                let in_plane = &qin[ic * in_hw..(ic + 1) * in_hw];
+                if lre_ok {
+                    self.kernel_plane_lre(taps, w, in_plane, acc);
+                } else {
+                    self.kernel_plane_checked(taps, w, in_plane, acc);
+                }
+            }
+        }
+    }
+
+    /// Dequantizes one accumulated filter plane into the output.
+    fn writeback(&self, f: usize, acc: &[i32], out_plane: &mut [f32]) {
+        let s = self.qfkw.act_scale * self.qfkw.scales[f];
+        let b = self.bias.as_ref().map_or(0.0, |b| b[f]);
+        for (o, &a) in out_plane.iter_mut().zip(acc) {
+            *o = a as f32 * s + b;
+        }
+    }
+
+    fn run_batch_item(&self, qin: &[i8], out: &mut [f32], acc: &mut [i32]) {
+        let g = &self.geo;
+        let out_hw = g.out_h * g.out_w;
+        let lre_ok =
+            g.stride == 1 && self.level != OptLevel::NoOpt && self.level != OptLevel::Reorder;
+        if self.level == OptLevel::Full {
+            // Filter-level LRE: unroll_oc adjacent rows interleave their
+            // pattern runs so shared input spans stay register-resident.
+            let uoc = self.tuning.unroll_oc.max(1);
+            for chunk in self.rows.chunks(uoc) {
+                let acc = &mut acc[..chunk.len() * out_hw];
+                acc.fill(0);
+                for p in 0..self.qfkw.patterns.len() {
+                    let taps = &self.taps[p];
+                    for (j, &(row, _)) in chunk.iter().enumerate() {
+                        let plane = &mut acc[j * out_hw..(j + 1) * out_hw];
+                        for k in self.qfkw.pattern_run(row, p) {
+                            let ic = self.qfkw.index[k] as usize;
+                            let w = &self.qfkw.qweights[k * self.entries..(k + 1) * self.entries];
+                            let in_plane = &qin[ic * g.in_h * g.in_w..(ic + 1) * g.in_h * g.in_w];
+                            if lre_ok {
+                                self.kernel_plane_lre(taps, w, in_plane, plane);
+                            } else {
+                                self.kernel_plane_checked(taps, w, in_plane, plane);
+                            }
+                        }
+                    }
+                }
+                for (j, &(_, f)) in chunk.iter().enumerate() {
+                    self.writeback(
+                        f,
+                        &acc[j * out_hw..(j + 1) * out_hw],
+                        &mut out[f * out_hw..(f + 1) * out_hw],
+                    );
+                }
+            }
+        } else {
+            for &(row, f) in &self.rows {
+                let acc = &mut acc[..out_hw];
+                acc.fill(0);
+                self.accumulate_row(row, qin, acc, lre_ok);
+                self.writeback(f, acc, &mut out[f * out_hw..(f + 1) * out_hw]);
+            }
+        }
+        // Filters with no stored kernels never accumulate; their planes
+        // still need the bias (matching the f32 executor's init).
+        for &f in &self.unstored {
+            let b = self.bias.as_ref().map_or(0.0, |b| b[f]);
+            out[f * out_hw..(f + 1) * out_hw].fill(b);
+        }
+    }
+
+    /// Runs the layer into a caller-provided output tensor (the serving
+    /// engine's buffer-reuse path). The `f32` input is quantized once per
+    /// batch item with the persisted activation scale.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out` does not have the batch-matched output shape.
+    pub fn run_into(&self, input: &Tensor, out: &mut Tensor) {
+        let g = &self.geo;
+        let s = input.shape4();
+        assert_eq!(s.c, g.in_channels, "input channel mismatch");
+        assert_eq!(
+            out.shape(),
+            &[s.n, g.out_channels, g.out_h, g.out_w],
+            "output buffer shape mismatch"
+        );
+        let in_img = g.in_channels * g.in_h * g.in_w;
+        let out_img = g.out_channels * g.out_h * g.out_w;
+        let acc_planes = if self.level == OptLevel::Full {
+            self.tuning.unroll_oc.max(1)
+        } else {
+            1
+        };
+        // Check a scratch set out of the pool (sizes are fixed per
+        // executor, so a reused set never reallocates: the warm serving
+        // path stays allocation-free).
+        let mut scratch = self
+            .scratch
+            .lock()
+            .expect("quant scratch pool")
+            .pop()
+            .unwrap_or(QuantScratch {
+                qin: Vec::new(),
+                acc: Vec::new(),
+            });
+        scratch.qin.resize(in_img, 0);
+        scratch.acc.resize(acc_planes * g.out_h * g.out_w, 0);
+        for n in 0..s.n {
+            let ind = &input.data()[n * in_img..(n + 1) * in_img];
+            quantize_slice_into(ind, self.qfkw.act_scale, &mut scratch.qin);
+            self.run_batch_item(
+                &scratch.qin,
+                &mut out.data_mut()[n * out_img..(n + 1) * out_img],
+                &mut scratch.acc,
+            );
+        }
+        self.scratch
+            .lock()
+            .expect("quant scratch pool")
+            .push(scratch);
+    }
+}
+
+impl ConvExecutor for QuantPatternConv {
+    fn name(&self) -> &str {
+        "pattern-int8"
+    }
+
+    fn geometry(&self) -> &Conv2dGeometry {
+        &self.geo
+    }
+
+    fn run(&self, input: &Tensor) -> Tensor {
+        let g = &self.geo;
+        let s = input.shape4();
+        let mut out = Tensor::zeros(&[s.n, g.out_channels, g.out_h, g.out_w]);
+        self.run_into(input, &mut out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pattern_exec::PatternConv;
+    use patdnn_compiler::fkr::filter_kernel_reorder;
+    use patdnn_compiler::fkw::FkwLayer;
+    use patdnn_compiler::quant::{max_abs, quantize_slice};
+    use patdnn_core::pattern_set::PatternSet;
+    use patdnn_core::project::prune_layer;
+    use patdnn_tensor::rng::Rng;
+
+    fn pruned_fkw(oc: usize, ic: usize, alpha: usize, seed: u64) -> FkwLayer {
+        let mut rng = Rng::seed_from(seed);
+        let mut w = Tensor::randn(&[oc, ic, 3, 3], &mut rng);
+        let set = PatternSet::standard(8);
+        let lp = prune_layer("t", &mut w, &set, alpha);
+        let order = filter_kernel_reorder(&lp);
+        FkwLayer::from_pruned(&w, &lp, &set, &order)
+    }
+
+    /// The INT8 computation is exact in i32, so running the f32 executor
+    /// over the *dequantized* weights and the *requantized* input must
+    /// reproduce the quantized output to f32 rounding.
+    #[test]
+    fn int8_matches_f32_over_dequantized_operands_at_every_level() {
+        let geo = Conv2dGeometry::new(8, 6, 3, 3, 11, 11, 1, 1);
+        let fkw = pruned_fkw(8, 6, 20, 1);
+        let mut rng = Rng::seed_from(2);
+        let x = Tensor::randn(&[2, 6, 11, 11], &mut rng);
+        let bias: Vec<f32> = (0..8).map(|_| rng.uniform(-0.5, 0.5)).collect();
+        let qfkw = QuantFkwLayer::from_fkw(&fkw, max_abs(x.data()));
+
+        // Requantize the input exactly as the executor does.
+        let sx = qfkw.act_scale;
+        let qx = quantize_slice(x.data(), sx);
+        let x_deq = Tensor::from_vec(x.shape(), qx.iter().map(|&q| q as f32 * sx).collect())
+            .expect("dequantized input");
+
+        for level in OptLevel::all() {
+            let quant = QuantPatternConv::new(
+                geo,
+                qfkw.clone(),
+                Some(bias.clone()),
+                level,
+                TuningConfig::tuned_default(),
+            );
+            let reference = PatternConv::new(
+                geo,
+                qfkw.to_fkw(),
+                Some(bias.clone()),
+                level,
+                TuningConfig::tuned_default(),
+            );
+            let got = quant.run(&x);
+            let want = reference.run(&x_deq);
+            assert!(
+                want.approx_eq(&got, 1e-3),
+                "{}: int8 diverges from its own dequantized reference: {:?}",
+                level.label(),
+                want.max_abs_diff(&got)
+            );
+        }
+    }
+
+    #[test]
+    fn int8_stays_close_to_the_unquantized_layer() {
+        let geo = Conv2dGeometry::new(8, 8, 3, 3, 12, 12, 1, 1);
+        let fkw = pruned_fkw(8, 8, 32, 3);
+        let mut rng = Rng::seed_from(4);
+        let x = Tensor::randn(&[1, 8, 12, 12], &mut rng);
+        let qfkw = QuantFkwLayer::from_fkw(&fkw, max_abs(x.data()));
+        let quant = QuantPatternConv::new(
+            geo,
+            qfkw,
+            None,
+            OptLevel::Full,
+            TuningConfig::tuned_default(),
+        );
+        let full = PatternConv::new(
+            geo,
+            fkw,
+            None,
+            OptLevel::Full,
+            TuningConfig::tuned_default(),
+        );
+        let got = quant.run(&x);
+        let want = full.run(&x);
+        let scale = max_abs(want.data());
+        let dev = want.max_abs_diff(&got).expect("same shape");
+        assert!(
+            dev <= 0.05 * scale.max(1.0),
+            "quantization error too large: {dev} vs output scale {scale}"
+        );
+    }
+
+    #[test]
+    fn strided_int8_layer_matches_dequantized_reference() {
+        let geo = Conv2dGeometry::new(4, 4, 3, 3, 9, 9, 2, 1);
+        let fkw = pruned_fkw(4, 4, 8, 5);
+        let mut rng = Rng::seed_from(6);
+        let x = Tensor::randn(&[1, 4, 9, 9], &mut rng);
+        let qfkw = QuantFkwLayer::from_fkw(&fkw, max_abs(x.data()));
+        let sx = qfkw.act_scale;
+        let x_deq = Tensor::from_vec(
+            x.shape(),
+            quantize_slice(x.data(), sx)
+                .iter()
+                .map(|&q| q as f32 * sx)
+                .collect(),
+        )
+        .expect("dequantized input");
+        let quant = QuantPatternConv::new(
+            geo,
+            qfkw.clone(),
+            None,
+            OptLevel::Full,
+            TuningConfig::tuned_default(),
+        );
+        let reference = PatternConv::new(
+            geo,
+            qfkw.to_fkw(),
+            None,
+            OptLevel::Full,
+            TuningConfig::tuned_default(),
+        );
+        assert!(reference.run(&x_deq).approx_eq(&quant.run(&x), 1e-3));
+    }
+
+    #[test]
+    fn batched_int8_matches_itemwise_runs() {
+        let geo = Conv2dGeometry::new(4, 4, 3, 3, 8, 8, 1, 1);
+        let fkw = pruned_fkw(4, 4, 10, 7);
+        let mut rng = Rng::seed_from(8);
+        let a = Tensor::randn(&[1, 4, 8, 8], &mut rng);
+        let b = Tensor::randn(&[1, 4, 8, 8], &mut rng);
+        let qfkw = QuantFkwLayer::from_fkw(&fkw, max_abs(a.data()).max(max_abs(b.data())));
+        let exec = QuantPatternConv::new(
+            geo,
+            qfkw,
+            None,
+            OptLevel::Full,
+            TuningConfig::tuned_default(),
+        );
+        let mut both = Tensor::zeros(&[2, 4, 8, 8]);
+        both.data_mut()[..a.len()].copy_from_slice(a.data());
+        both.data_mut()[a.len()..].copy_from_slice(b.data());
+        let out_a = exec.run(&a);
+        let out_b = exec.run(&b);
+        let out = exec.run(&both);
+        assert_eq!(&out.data()[..out_a.len()], out_a.data());
+        assert_eq!(&out.data()[out_a.len()..], out_b.data());
+    }
+
+    #[test]
+    fn connectivity_only_1x1_int8_matches_dequantized_reference() {
+        let mut rng = Rng::seed_from(10);
+        let mut w = Tensor::randn(&[8, 8, 1, 1], &mut rng);
+        let set = PatternSet::standard(8);
+        let lp = prune_layer("proj", &mut w, &set, 16);
+        let order = filter_kernel_reorder(&lp);
+        let fkw = FkwLayer::from_pruned(&w, &lp, &set, &order);
+        let geo = Conv2dGeometry::new(8, 8, 1, 1, 7, 7, 1, 0);
+        let x = Tensor::randn(&[1, 8, 7, 7], &mut rng);
+        let qfkw = QuantFkwLayer::from_fkw(&fkw, max_abs(x.data()));
+        let sx = qfkw.act_scale;
+        let x_deq = Tensor::from_vec(
+            x.shape(),
+            quantize_slice(x.data(), sx)
+                .iter()
+                .map(|&q| q as f32 * sx)
+                .collect(),
+        )
+        .expect("dequantized input");
+        let quant = QuantPatternConv::new(
+            geo,
+            qfkw.clone(),
+            None,
+            OptLevel::Full,
+            TuningConfig::tuned_default(),
+        );
+        let reference = PatternConv::new(
+            geo,
+            qfkw.to_fkw(),
+            None,
+            OptLevel::Full,
+            TuningConfig::tuned_default(),
+        );
+        assert!(reference.run(&x_deq).approx_eq(&quant.run(&x), 1e-3));
+    }
+}

@@ -15,21 +15,30 @@
 //!   | op payload (see LayerPlan)
 //! ```
 //!
-//! Version 3 (current) additionally records a per-step [`ExecConfig`]
-//! — the auto-tuner's chosen optimization level, tile/unroll parameters
-//! and thread schedule (§5.5) — so a tuned artifact serves tuned
-//! without retuning at load. Version 2 encodes the explicit DAG plan:
-//! every step reads one or more buffer *slots* and writes one, slot 0
-//! being the network input. Slot ids come from the compiler's liveness
-//! analysis ([`crate::compile`]), so two values whose live ranges do
-//! not overlap share a buffer. Version 1 artifacts (implicit chains, no
-//! topology) still decode: each record `i` is synthesized as reading
-//! slot `i` and writing slot `i + 1`, which is exactly the chain plan.
-//! v1 and v2 artifacts carry no execution configs; every step decodes
-//! to [`ExecConfig::default`], reproducing the pre-v3 engine behavior
-//! bit for bit.
+//! Version 4 (current) stamps a [`Precision`] on every step and adds
+//! INT8-quantized op payloads ([`LayerPlan::QuantPatternConv`],
+//! [`LayerPlan::QuantFc`]): i8 weight codes, per-filter dequantization
+//! scales, and the calibrated input-activation scale, so a quantized
+//! plan serves quantized with no calibration at load. The precision tag
+//! is validated against the op payload — a v4 buffer claiming `F32`
+//! over a quantized payload (or vice versa) is malformed. Version 3
+//! records a per-step [`ExecConfig`] — the auto-tuner's chosen
+//! optimization level, tile/unroll parameters and thread schedule
+//! (§5.5) — so a tuned artifact serves tuned without retuning at load.
+//! Version 2 encodes the explicit DAG plan: every step reads one or
+//! more buffer *slots* and writes one, slot 0 being the network input.
+//! Slot ids come from the compiler's liveness analysis
+//! ([`crate::compile`]), so two values whose live ranges do not overlap
+//! share a buffer. Version 1 artifacts (implicit chains, no topology)
+//! still decode: each record `i` is synthesized as reading slot `i` and
+//! writing slot `i + 1`, which is exactly the chain plan. Pre-v4
+//! artifacts decode every step to [`Precision::F32`] (and pre-v3 ones
+//! to [`ExecConfig::default`]), reproducing the older engine behavior
+//! bit for bit; the legacy encoders ([`ModelArtifact::encode_v3`] and
+//! older) refuse plans their version cannot represent with a typed
+//! error instead of silently dropping precision or tuning.
 //!
-//! Weights are stored as raw `f32` bit patterns, so a save → load round
+//! `f32` weights are stored as raw bit patterns, so a save → load round
 //! trip is bitwise lossless. Decoding validates slot topology (bounds,
 //! def-before-use, no in-place aliasing) so malformed plans fail at
 //! load, not at request time.
@@ -38,6 +47,7 @@ use std::fmt;
 use std::path::Path;
 
 use patdnn_compiler::fkw::FkwLayer;
+use patdnn_compiler::quant::QuantFkwLayer;
 use patdnn_compiler::tune::space::{LoopPermutation, TuningConfig};
 use patdnn_core::pattern::Pattern;
 use patdnn_runtime::pattern_exec::OptLevel;
@@ -45,12 +55,33 @@ use patdnn_tensor::Tensor;
 
 /// File magic.
 pub const MAGIC: &[u8; 6] = b"PATDNN";
-/// Current format version (DAG plans with per-step execution configs).
-pub const VERSION: u16 = 3;
+/// Current format version (per-step precision tags and INT8 payloads).
+pub const VERSION: u16 = 4;
+/// The tuned-plan format without precision tags; still decodable.
+pub const VERSION_V3: u16 = 3;
 /// The DAG format without execution configs; still decodable.
 pub const VERSION_V2: u16 = 2;
 /// The legacy chain format (no slot topology); still decodable.
 pub const VERSION_V1: u16 = 1;
+
+/// The numeric precision a plan step executes at.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Precision {
+    /// Full-precision `f32` execution (every pre-v4 step).
+    F32,
+    /// Symmetric INT8: i8 weights, i8 activations, i32 accumulation.
+    Int8,
+}
+
+impl Precision {
+    /// Display label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Precision::F32 => "f32",
+            Precision::Int8 => "int8",
+        }
+    }
+}
 
 /// Errors produced while decoding an artifact.
 #[derive(Debug)]
@@ -156,6 +187,40 @@ pub enum LayerPlan {
         /// Whether a ReLU was fused into this join.
         relu: bool,
     },
+    /// INT8-quantized pattern-pruned convolution: the FKW index layout
+    /// with i8 weight codes, per-filter scales, and the calibrated
+    /// input-activation scale.
+    QuantPatternConv {
+        /// Layer name.
+        name: String,
+        /// Stride.
+        stride: usize,
+        /// Padding.
+        pad: usize,
+        /// Quantized FKW storage (layout + i8 weights + scales).
+        qfkw: QuantFkwLayer,
+        /// Per-filter bias (`f32`, added after dequantization), if any.
+        bias: Option<Vec<f32>>,
+        /// Whether a ReLU was fused into this convolution.
+        relu: bool,
+    },
+    /// INT8-quantized fully-connected layer.
+    QuantFc {
+        /// Layer name.
+        name: String,
+        /// Output features.
+        out_f: usize,
+        /// Input features.
+        in_f: usize,
+        /// Quantized weights, row-major `[out_f, in_f]` codes.
+        qweights: Vec<i8>,
+        /// Per-output-row dequantization scales (`out_f` entries).
+        scales: Vec<f32>,
+        /// Calibrated input-activation scale.
+        act_scale: f32,
+        /// Per-output bias (`f32`, added after dequantization).
+        bias: Vec<f32>,
+    },
 }
 
 impl LayerPlan {
@@ -170,6 +235,8 @@ impl LayerPlan {
             LayerPlan::Relu => "relu",
             LayerPlan::Fc { .. } => "fc",
             LayerPlan::Add { .. } => "add",
+            LayerPlan::QuantPatternConv { .. } => "pattern-conv-i8",
+            LayerPlan::QuantFc { .. } => "fc-i8",
         }
     }
 
@@ -178,6 +245,16 @@ impl LayerPlan {
         match self {
             LayerPlan::Add { .. } => 2,
             _ => 1,
+        }
+    }
+
+    /// The precision this op's payload executes at. A step's stamped
+    /// [`PlanStep::precision`] must agree with it (validated at decode
+    /// and engine build).
+    pub fn precision(&self) -> Precision {
+        match self {
+            LayerPlan::QuantPatternConv { .. } | LayerPlan::QuantFc { .. } => Precision::Int8,
+            _ => Precision::F32,
         }
     }
 }
@@ -280,6 +357,25 @@ pub struct PlanStep {
     pub output: usize,
     /// The executor configuration this step runs with.
     pub exec: ExecConfig,
+    /// The numeric precision this step executes at. Stamped into v4
+    /// artifacts and validated against the op payload; pre-v4 artifacts
+    /// decode every step to [`Precision::F32`].
+    pub precision: Precision,
+}
+
+impl PlanStep {
+    /// A default-config `f32`-or-quantized step over the given slots,
+    /// with the precision stamped from the op payload.
+    pub fn new(op: LayerPlan, inputs: Vec<usize>, output: usize) -> Self {
+        let precision = op.precision();
+        PlanStep {
+            op,
+            inputs,
+            output,
+            exec: ExecConfig::default(),
+            precision,
+        }
+    }
 }
 
 /// A compiled model: input geometry plus the executable DAG plan.
@@ -303,12 +399,7 @@ impl ModelArtifact {
         let steps = ops
             .into_iter()
             .enumerate()
-            .map(|(i, op)| PlanStep {
-                op,
-                inputs: vec![i],
-                output: i + 1,
-                exec: ExecConfig::default(),
-            })
+            .map(|(i, op)| PlanStep::new(op, vec![i], i + 1))
             .collect::<Vec<_>>();
         ModelArtifact {
             name: name.to_owned(),
@@ -327,6 +418,10 @@ impl ModelArtifact {
                 LayerPlan::PatternConv { fkw, .. } => fkw.total_bytes(),
                 LayerPlan::DenseConv { weights, .. } => weights.len() * 4,
                 LayerPlan::Fc { weights, .. } => weights.len() * 4,
+                LayerPlan::QuantPatternConv { qfkw, .. } => qfkw.total_bytes(),
+                LayerPlan::QuantFc {
+                    qweights, scales, ..
+                } => qweights.len() + scales.len() * 4,
                 _ => 0,
             })
             .sum()
@@ -360,12 +455,39 @@ impl ModelArtifact {
         w.finish()
     }
 
+    /// Encodes the artifact in the v3 tuned-plan layout (per-step exec
+    /// configs but no precision tags). Fails with a typed error if any
+    /// step is INT8-quantized — v3 cannot represent reduced-precision
+    /// payloads, and a silently-lossy encode would break the codec's
+    /// round-trip invariant (mirroring the tuned-plan refusal of the
+    /// older encoders). Kept so the backward-compatibility path stays
+    /// testable against real v3 bytes.
+    pub fn encode_v3(&self) -> Result<Vec<u8>, ArtifactError> {
+        self.require_f32_steps("v3")?;
+        let mut w = ByteWriter::new();
+        w.bytes(MAGIC);
+        w.u16(VERSION_V3);
+        w.str(&self.name);
+        for d in self.input {
+            w.u32(d as u32);
+        }
+        w.u32(self.slots as u32);
+        w.u32(self.steps.len() as u32);
+        for step in &self.steps {
+            encode_step_topology(&mut w, step);
+            encode_exec_config(&mut w, &step.exec);
+            encode_op(&mut w, &step.op);
+        }
+        Ok(w.finish())
+    }
+
     /// Encodes the artifact in the legacy v1 chain layout (no slot
     /// topology, no execution configs). Fails unless
     /// [`ModelArtifact::is_chain`] and every step carries the default
-    /// config; kept so the backward-compatibility path stays testable
-    /// against real v1 bytes.
+    /// config at `f32` precision; kept so the backward-compatibility
+    /// path stays testable against real v1 bytes.
     pub fn encode_v1(&self) -> Result<Vec<u8>, ArtifactError> {
+        self.require_f32_steps("v1")?;
         if !self.is_chain() {
             return Err(ArtifactError::Malformed(
                 "v1 cannot represent non-chain plans".into(),
@@ -391,9 +513,11 @@ impl ModelArtifact {
 
     /// Encodes the artifact in the v2 DAG layout (slot topology but no
     /// execution configs). Fails if any step carries a non-default
-    /// config — v2 cannot represent tuned plans, and a silently-lossy
-    /// encode would break the codec's round-trip invariant.
+    /// config or INT8 precision — v2 cannot represent tuned or
+    /// quantized plans, and a silently-lossy encode would break the
+    /// codec's round-trip invariant.
     pub fn encode_v2(&self) -> Result<Vec<u8>, ArtifactError> {
+        self.require_f32_steps("v2")?;
         self.require_default_configs("v2")?;
         let mut w = ByteWriter::new();
         w.bytes(MAGIC);
@@ -411,6 +535,20 @@ impl ModelArtifact {
         Ok(w.finish())
     }
 
+    fn require_f32_steps(&self, version: &str) -> Result<(), ArtifactError> {
+        if let Some(i) = self
+            .steps
+            .iter()
+            .position(|s| s.precision != Precision::F32 || s.op.precision() != Precision::F32)
+        {
+            return Err(ArtifactError::Malformed(format!(
+                "{version} cannot represent int8-quantized steps (step {i} is {})",
+                self.steps[i].op.kind()
+            )));
+        }
+        Ok(())
+    }
+
     fn require_default_configs(&self, version: &str) -> Result<(), ArtifactError> {
         if let Some(i) = self
             .steps
@@ -424,7 +562,7 @@ impl ModelArtifact {
         Ok(())
     }
 
-    /// Decodes an artifact from its binary form (v1, v2 or v3).
+    /// Decodes an artifact from its binary form (v1 through v4).
     pub fn decode(buf: &[u8]) -> Result<Self, ArtifactError> {
         let mut r = ByteReader::new(buf);
         if r.bytes(MAGIC.len())? != MAGIC {
@@ -524,6 +662,13 @@ impl ModelArtifact {
             step.exec
                 .validate()
                 .map_err(|msg| malformed(format!("step {i} ({kind}): exec config: {msg}")))?;
+            if step.precision != step.op.precision() {
+                return Err(malformed(format!(
+                    "step {i} ({kind}): stamped precision {} disagrees with the {} op payload",
+                    step.precision.label(),
+                    step.op.precision().label()
+                )));
+            }
             written[step.output] = true;
         }
         Ok(())
@@ -549,6 +694,11 @@ const TAG_FLATTEN: u8 = 4;
 const TAG_RELU: u8 = 5;
 const TAG_FC: u8 = 6;
 const TAG_ADD: u8 = 7;
+const TAG_QPATTERN_CONV: u8 = 8;
+const TAG_QFC: u8 = 9;
+
+const PRECISION_F32: u8 = 0;
+const PRECISION_INT8: u8 = 1;
 
 fn encode_step_topology(w: &mut ByteWriter, step: &PlanStep) {
     assert!(step.inputs.len() <= u8::MAX as usize, "step arity");
@@ -561,6 +711,10 @@ fn encode_step_topology(w: &mut ByteWriter, step: &PlanStep) {
 
 fn encode_step(w: &mut ByteWriter, step: &PlanStep) {
     encode_step_topology(w, step);
+    w.u8(match step.precision {
+        Precision::F32 => PRECISION_F32,
+        Precision::Int8 => PRECISION_INT8,
+    });
     encode_exec_config(w, &step.exec);
     encode_op(w, &step.op);
 }
@@ -572,6 +726,22 @@ fn decode_step(r: &mut ByteReader, version: u16) -> Result<PlanStep, ArtifactErr
         inputs.push(r.u32()? as usize);
     }
     let output = r.u32()? as usize;
+    // v3 predates precision tags; its steps decode to f32, which the
+    // topology validation cross-checks against the op payload (so a
+    // forged pre-v4 buffer cannot smuggle a quantized op in).
+    let precision = if version > VERSION_V3 {
+        match r.u8()? {
+            PRECISION_F32 => Precision::F32,
+            PRECISION_INT8 => Precision::Int8,
+            other => {
+                return Err(ArtifactError::Malformed(format!(
+                    "unknown precision tag {other}"
+                )))
+            }
+        }
+    } else {
+        Precision::F32
+    };
     // v2 predates per-step configs; its steps decode to the default.
     // Gated on the fixed v2 boundary (not the floating current VERSION)
     // so future format bumps keep reading v3's config bytes.
@@ -586,6 +756,7 @@ fn decode_step(r: &mut ByteReader, version: u16) -> Result<PlanStep, ArtifactErr
         inputs,
         output,
         exec,
+        precision,
     })
 }
 
@@ -711,6 +882,40 @@ fn encode_op(w: &mut ByteWriter, layer: &LayerPlan) {
             w.u8(TAG_ADD);
             w.u8(u8::from(*relu));
         }
+        LayerPlan::QuantPatternConv {
+            name,
+            stride,
+            pad,
+            qfkw,
+            bias,
+            relu,
+        } => {
+            w.u8(TAG_QPATTERN_CONV);
+            w.str(name);
+            w.u32(*stride as u32);
+            w.u32(*pad as u32);
+            w.u8(u8::from(*relu));
+            encode_opt_f32s(w, bias.as_deref());
+            encode_qfkw(w, qfkw);
+        }
+        LayerPlan::QuantFc {
+            name,
+            out_f,
+            in_f,
+            qweights,
+            scales,
+            act_scale,
+            bias,
+        } => {
+            w.u8(TAG_QFC);
+            w.str(name);
+            w.u32(*out_f as u32);
+            w.u32(*in_f as u32);
+            w.u32(act_scale.to_bits());
+            encode_f32s(w, scales);
+            encode_f32s(w, bias);
+            encode_i8s(w, qweights);
+        }
     }
 }
 
@@ -805,6 +1010,63 @@ fn decode_op(r: &mut ByteReader) -> Result<LayerPlan, ArtifactError> {
             }
         }
         TAG_ADD => LayerPlan::Add { relu: r.u8()? != 0 },
+        TAG_QPATTERN_CONV => {
+            let name = r.str()?;
+            let stride = r.u32()? as usize;
+            let pad = r.u32()? as usize;
+            let relu = r.u8()? != 0;
+            let bias = decode_opt_f32s(r)?;
+            let qfkw = decode_qfkw(r)?;
+            if stride == 0 {
+                return Err(malformed(format!("{name}: zero conv stride")));
+            }
+            if let Some(b) = &bias {
+                if b.len() != qfkw.out_c {
+                    return Err(malformed(format!("{name}: bias arity")));
+                }
+            }
+            LayerPlan::QuantPatternConv {
+                name,
+                stride,
+                pad,
+                qfkw,
+                bias,
+                relu,
+            }
+        }
+        TAG_QFC => {
+            let name = r.str()?;
+            let out_f = r.u32()? as usize;
+            let in_f = r.u32()? as usize;
+            let act_scale = f32::from_bits(r.u32()?);
+            let scales = decode_f32s(r)?;
+            let bias = decode_f32s(r)?;
+            let qweights = decode_i8s(r)?;
+            if out_f == 0 || in_f == 0 {
+                return Err(malformed(format!("{name}: degenerate fc dimensions")));
+            }
+            if qweights.len() != out_f * in_f {
+                return Err(malformed(format!("{name}: quantized weight arity")));
+            }
+            if scales.len() != out_f || bias.len() != out_f {
+                return Err(malformed(format!("{name}: scale/bias arity")));
+            }
+            check_scales(&name, &scales, act_scale).map_err(malformed)?;
+            if !patdnn_runtime::quant_exec::accumulation_fits_i32(in_f, 1) {
+                return Err(malformed(format!(
+                    "{name}: i8 accumulation depth overflows i32"
+                )));
+            }
+            LayerPlan::QuantFc {
+                name,
+                out_f,
+                in_f,
+                qweights,
+                scales,
+                act_scale,
+                bias,
+            }
+        }
         other => {
             return Err(ArtifactError::Malformed(format!(
                 "unknown layer tag {other}"
@@ -813,36 +1075,78 @@ fn decode_op(r: &mut ByteReader) -> Result<LayerPlan, ArtifactError> {
     })
 }
 
-fn encode_fkw(w: &mut ByteWriter, fkw: &FkwLayer) {
-    w.u32(fkw.out_c as u32);
-    w.u32(fkw.in_c as u32);
-    w.u32(fkw.kernel as u32);
-    w.u32(fkw.entries_per_kernel as u32);
-    w.u32(fkw.patterns.len() as u32);
-    for p in &fkw.patterns {
+/// Dequantization scales must be strictly positive finite numbers: a
+/// zero, negative, or non-finite scale poisons every output element.
+fn check_scales(name: &str, scales: &[f32], act_scale: f32) -> Result<(), String> {
+    if !(act_scale.is_finite() && act_scale > 0.0) {
+        return Err(format!("{name}: activation scale {act_scale} is invalid"));
+    }
+    if let Some(s) = scales.iter().find(|s| !(s.is_finite() && **s > 0.0)) {
+        return Err(format!("{name}: weight scale {s} is invalid"));
+    }
+    Ok(())
+}
+
+/// The precision-independent half of FKW storage: the five index
+/// arrays plus the pattern table, shared byte-for-byte between the
+/// `f32` ([`FkwLayer`]) and INT8 ([`QuantFkwLayer`]) payloads.
+struct FkwLayout {
+    out_c: usize,
+    in_c: usize,
+    kernel: usize,
+    entries_per_kernel: usize,
+    patterns: Vec<Pattern>,
+    offsets: Vec<u32>,
+    reorder: Vec<u16>,
+    index: Vec<u16>,
+    stride: Vec<u16>,
+}
+
+#[allow(clippy::too_many_arguments)]
+fn encode_fkw_layout(
+    w: &mut ByteWriter,
+    out_c: usize,
+    in_c: usize,
+    kernel: usize,
+    entries_per_kernel: usize,
+    patterns: &[Pattern],
+    offsets: &[u32],
+    reorder: &[u16],
+    index: &[u16],
+    stride: &[u16],
+) {
+    w.u32(out_c as u32);
+    w.u32(in_c as u32);
+    w.u32(kernel as u32);
+    w.u32(entries_per_kernel as u32);
+    w.u32(patterns.len() as u32);
+    for p in patterns {
         w.u8(p.kernel() as u8);
         w.u64(p.mask());
     }
-    w.u32(fkw.offsets.len() as u32);
-    for &o in &fkw.offsets {
+    w.u32(offsets.len() as u32);
+    for &o in offsets {
         w.u32(o);
     }
-    w.u32(fkw.reorder.len() as u32);
-    for &x in &fkw.reorder {
+    w.u32(reorder.len() as u32);
+    for &x in reorder {
         w.u16(x);
     }
-    w.u32(fkw.index.len() as u32);
-    for &x in &fkw.index {
+    w.u32(index.len() as u32);
+    for &x in index {
         w.u16(x);
     }
-    w.u32(fkw.stride.len() as u32);
-    for &x in &fkw.stride {
+    w.u32(stride.len() as u32);
+    for &x in stride {
         w.u16(x);
     }
-    encode_f32s(w, &fkw.weights);
 }
 
-fn decode_fkw(r: &mut ByteReader) -> Result<FkwLayer, ArtifactError> {
+/// Decodes and structurally validates the shared FKW layout: everything
+/// the executors index with has to be in range here, so a corrupted
+/// artifact fails at load instead of panicking inside a worker at
+/// request time.
+fn decode_fkw_layout(r: &mut ByteReader) -> Result<FkwLayout, ArtifactError> {
     let out_c = r.u32()? as usize;
     let in_c = r.u32()? as usize;
     let kernel = r.u32()? as usize;
@@ -867,11 +1171,7 @@ fn decode_fkw(r: &mut ByteReader) -> Result<FkwLayer, ArtifactError> {
     let reorder = r.u16s()?;
     let index = r.u16s()?;
     let stride = r.u16s()?;
-    let weights = decode_f32s(r)?;
     let malformed = |msg: &str| ArtifactError::Malformed(format!("FKW {msg}"));
-    // Structural validation: everything the executors index with has to
-    // be in range here, so a corrupted artifact fails at load instead of
-    // panicking inside a worker at request time.
     if out_c == 0 || in_c == 0 || !(1..=7).contains(&kernel) {
         return Err(malformed("degenerate layer dimensions"));
     }
@@ -907,10 +1207,7 @@ fn decode_fkw(r: &mut ByteReader) -> Result<FkwLayer, ArtifactError> {
             return Err(malformed("stride runs do not tile the filter"));
         }
     }
-    if weights.len() != index.len() * entries_per_kernel {
-        return Err(malformed("weight arity"));
-    }
-    Ok(FkwLayer {
+    Ok(FkwLayout {
         out_c,
         in_c,
         kernel,
@@ -920,7 +1217,95 @@ fn decode_fkw(r: &mut ByteReader) -> Result<FkwLayer, ArtifactError> {
         reorder,
         index,
         stride,
+    })
+}
+
+fn encode_fkw(w: &mut ByteWriter, fkw: &FkwLayer) {
+    encode_fkw_layout(
+        w,
+        fkw.out_c,
+        fkw.in_c,
+        fkw.kernel,
+        fkw.entries_per_kernel,
+        &fkw.patterns,
+        &fkw.offsets,
+        &fkw.reorder,
+        &fkw.index,
+        &fkw.stride,
+    );
+    encode_f32s(w, &fkw.weights);
+}
+
+fn decode_fkw(r: &mut ByteReader) -> Result<FkwLayer, ArtifactError> {
+    let layout = decode_fkw_layout(r)?;
+    let weights = decode_f32s(r)?;
+    if weights.len() != layout.index.len() * layout.entries_per_kernel {
+        return Err(ArtifactError::Malformed("FKW weight arity".into()));
+    }
+    Ok(FkwLayer {
+        out_c: layout.out_c,
+        in_c: layout.in_c,
+        kernel: layout.kernel,
+        entries_per_kernel: layout.entries_per_kernel,
+        patterns: layout.patterns,
+        offsets: layout.offsets,
+        reorder: layout.reorder,
+        index: layout.index,
+        stride: layout.stride,
         weights,
+    })
+}
+
+fn encode_qfkw(w: &mut ByteWriter, qfkw: &QuantFkwLayer) {
+    encode_fkw_layout(
+        w,
+        qfkw.out_c,
+        qfkw.in_c,
+        qfkw.kernel,
+        qfkw.entries_per_kernel,
+        &qfkw.patterns,
+        &qfkw.offsets,
+        &qfkw.reorder,
+        &qfkw.index,
+        &qfkw.stride,
+    );
+    w.u32(qfkw.act_scale.to_bits());
+    encode_f32s(w, &qfkw.scales);
+    encode_i8s(w, &qfkw.qweights);
+}
+
+fn decode_qfkw(r: &mut ByteReader) -> Result<QuantFkwLayer, ArtifactError> {
+    let layout = decode_fkw_layout(r)?;
+    let act_scale = f32::from_bits(r.u32()?);
+    let scales = decode_f32s(r)?;
+    let qweights = decode_i8s(r)?;
+    let malformed = |msg: String| ArtifactError::Malformed(msg);
+    if qweights.len() != layout.index.len() * layout.entries_per_kernel {
+        return Err(malformed("FKW quantized weight arity".into()));
+    }
+    if scales.len() != layout.out_c {
+        return Err(malformed("FKW per-filter scale arity".into()));
+    }
+    check_scales("FKW", &scales, act_scale).map_err(malformed)?;
+    // The INT8 executor accumulates in i32; a layer wide enough to
+    // overflow in the worst case must fail here with a typed error, not
+    // panic inside the executor at engine build.
+    if !patdnn_runtime::quant_exec::accumulation_fits_i32(layout.in_c, layout.entries_per_kernel) {
+        return Err(malformed("FKW i8 accumulation depth overflows i32".into()));
+    }
+    Ok(QuantFkwLayer {
+        out_c: layout.out_c,
+        in_c: layout.in_c,
+        kernel: layout.kernel,
+        entries_per_kernel: layout.entries_per_kernel,
+        patterns: layout.patterns,
+        offsets: layout.offsets,
+        reorder: layout.reorder,
+        index: layout.index,
+        stride: layout.stride,
+        qweights,
+        scales,
+        act_scale,
     })
 }
 
@@ -961,6 +1346,18 @@ fn decode_f32s(r: &mut ByteReader) -> Result<Vec<f32>, ArtifactError> {
         out.push(f32::from_bits(r.u32()?));
     }
     Ok(out)
+}
+
+fn encode_i8s(w: &mut ByteWriter, xs: &[i8]) {
+    w.u32(xs.len() as u32);
+    for &x in xs {
+        w.u8(x as u8);
+    }
+}
+
+fn decode_i8s(r: &mut ByteReader) -> Result<Vec<i8>, ArtifactError> {
+    let n = r.u32()? as usize;
+    Ok(r.bytes(n)?.iter().map(|&b| b as i8).collect())
 }
 
 fn encode_opt_f32s(w: &mut ByteWriter, xs: Option<&[f32]>) {
@@ -1121,12 +1518,14 @@ mod tests {
                     inputs: vec![0],
                     output: 1,
                     exec: ExecConfig::default(),
+                    precision: Precision::F32,
                 },
                 PlanStep {
                     op: LayerPlan::Add { relu: true },
                     inputs: vec![1, 0],
                     output: 2,
                     exec: ExecConfig::default(),
+                    precision: Precision::F32,
                 },
             ],
         };
@@ -1169,12 +1568,14 @@ mod tests {
                     inputs: vec![0],
                     output: 1,
                     exec: ExecConfig::default(),
+                    precision: Precision::F32,
                 },
                 PlanStep {
                     op: LayerPlan::Add { relu: false },
                     inputs: vec![1, 0],
                     output: 2,
                     exec: ExecConfig::default(),
+                    precision: Precision::F32,
                 },
             ],
         };
@@ -1193,6 +1594,7 @@ mod tests {
                 inputs: vec![1],
                 output: 1,
                 exec: ExecConfig::default(),
+                precision: Precision::F32,
             }],
         };
         assert!(matches!(
@@ -1209,6 +1611,7 @@ mod tests {
                 inputs: vec![2],
                 output: 1,
                 exec: ExecConfig::default(),
+                precision: Precision::F32,
             }],
         };
         assert!(matches!(
@@ -1392,10 +1795,13 @@ mod tests {
 
     /// First step's exec config starts right after magic(6), version(2),
     /// name(2 + 1), input(12), slots(4), count(4), n_inputs(1),
-    /// input slot(4), output slot(4): byte 40. Field layout from there:
-    /// opt(1) permute(1) blocked(1) tile_oc(2) tile_hw(2) unroll_oc(2)
-    /// unroll_w(2) threads(2).
-    const FIRST_EXEC_OFFSET: usize = 40;
+    /// input slot(4), output slot(4), precision(1): byte 41. Field
+    /// layout from there: opt(1) permute(1) blocked(1) tile_oc(2)
+    /// tile_hw(2) unroll_oc(2) unroll_w(2) threads(2).
+    const FIRST_EXEC_OFFSET: usize = 41;
+
+    /// The first step's precision byte sits right before its exec config.
+    const FIRST_PRECISION_OFFSET: usize = FIRST_EXEC_OFFSET - 1;
 
     #[test]
     fn bad_tile_sizes_are_rejected_at_decode() {
@@ -1455,5 +1861,176 @@ mod tests {
             ModelArtifact::decode(&bytes),
             Err(ArtifactError::Malformed(_))
         ));
+    }
+
+    /// A small INT8-quantized artifact: one quantized pattern conv, a
+    /// flatten, and a quantized FC.
+    fn quantized_artifact(seed: u64) -> ModelArtifact {
+        use patdnn_compiler::fkr::filter_kernel_reorder;
+        use patdnn_compiler::quant::QuantFkwLayer;
+        use patdnn_core::pattern_set::PatternSet;
+        use patdnn_core::project::prune_layer;
+        use patdnn_tensor::rng::Rng;
+
+        let mut rng = Rng::seed_from(seed);
+        let mut w = Tensor::randn(&[4, 3, 3, 3], &mut rng);
+        let set = PatternSet::standard(8);
+        let lp = prune_layer("qc", &mut w, &set, 6);
+        let order = filter_kernel_reorder(&lp);
+        let fkw = patdnn_compiler::fkw::FkwLayer::from_pruned(&w, &lp, &set, &order);
+        let qfkw = QuantFkwLayer::from_fkw(&fkw, 2.5);
+        let in_f = 4 * 6 * 6;
+        ModelArtifact::chain(
+            "quant",
+            [3, 6, 6],
+            vec![
+                LayerPlan::QuantPatternConv {
+                    name: "qc".into(),
+                    stride: 1,
+                    pad: 1,
+                    qfkw,
+                    bias: Some(vec![0.1, -0.2, 0.3, 0.0]),
+                    relu: true,
+                },
+                LayerPlan::Flatten,
+                LayerPlan::QuantFc {
+                    name: "qfc".into(),
+                    out_f: 2,
+                    in_f,
+                    qweights: (0..2 * in_f).map(|i| (i % 255) as u8 as i8).collect(),
+                    scales: vec![0.01, 0.02],
+                    act_scale: 0.05,
+                    bias: vec![0.5, -0.5],
+                },
+            ],
+        )
+    }
+
+    #[test]
+    fn v4_round_trips_quantized_steps_with_precision_tags() {
+        let a = quantized_artifact(51);
+        assert_eq!(a.steps[0].precision, Precision::Int8);
+        assert_eq!(a.steps[1].precision, Precision::F32);
+        assert_eq!(a.steps[2].precision, Precision::Int8);
+        let bytes = a.encode();
+        assert_eq!(u16::from_le_bytes([bytes[6], bytes[7]]), VERSION);
+        let b = ModelArtifact::decode(&bytes).expect("v4 decodes");
+        assert_eq!(a, b, "quantized payloads survive the round trip");
+    }
+
+    #[test]
+    fn v3_bytes_decode_with_f32_precision() {
+        let mut a = two_step_chain();
+        a.steps[0].exec = tuned_exec();
+        let v3 = a.encode_v3().expect("f32 plans encode as v3");
+        assert_eq!(u16::from_le_bytes([v3[6], v3[7]]), VERSION_V3);
+        let b = ModelArtifact::decode(&v3).expect("v3 decodes");
+        assert_eq!(a, b, "v3 decodes into the tuned f32 plan");
+        assert!(b.steps.iter().all(|s| s.precision == Precision::F32));
+        // And the v4 re-encode of the decoded artifact round-trips.
+        assert_eq!(ModelArtifact::decode(&b.encode()).expect("v4"), a);
+    }
+
+    #[test]
+    fn legacy_encoders_refuse_quantized_plans() {
+        let a = quantized_artifact(52);
+        for (version, result) in [
+            ("v3", a.encode_v3()),
+            ("v2", a.encode_v2()),
+            ("v1", a.encode_v1()),
+        ] {
+            let err = result.expect_err("legacy encoders must refuse int8 steps");
+            assert!(
+                matches!(&err, ArtifactError::Malformed(msg) if msg.contains("int8")),
+                "{version}: got {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn forged_precision_tag_is_rejected_at_decode() {
+        // Claim Int8 over an f32 payload: typed Malformed, not a wrong
+        // executor at serve time.
+        let mut bytes = two_step_chain().encode();
+        assert_eq!(bytes[FIRST_PRECISION_OFFSET], 0, "encoded F32 tag");
+        bytes[FIRST_PRECISION_OFFSET] = 1;
+        assert!(matches!(
+            ModelArtifact::decode(&bytes),
+            Err(ArtifactError::Malformed(_))
+        ));
+        // An unknown precision tag is rejected outright.
+        let mut bytes = two_step_chain().encode();
+        bytes[FIRST_PRECISION_OFFSET] = 7;
+        assert!(matches!(
+            ModelArtifact::decode(&bytes),
+            Err(ArtifactError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn invalid_quant_scales_are_rejected_at_decode() {
+        for bad_scale in [0.0f32, -0.5, f32::NAN, f32::INFINITY] {
+            let mut a = quantized_artifact(53);
+            let LayerPlan::QuantFc { scales, .. } = &mut a.steps[2].op else {
+                panic!("third step is the quant fc");
+            };
+            scales[1] = bad_scale;
+            assert!(
+                matches!(
+                    ModelArtifact::decode(&a.encode()),
+                    Err(ArtifactError::Malformed(_))
+                ),
+                "scale {bad_scale} must be rejected"
+            );
+        }
+        // And a poisoned activation scale on the conv.
+        let mut a = quantized_artifact(54);
+        let LayerPlan::QuantPatternConv { qfkw, .. } = &mut a.steps[0].op else {
+            panic!("first step is the quant conv");
+        };
+        qfkw.act_scale = f32::NAN;
+        assert!(matches!(
+            ModelArtifact::decode(&a.encode()),
+            Err(ArtifactError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn overflow_prone_accumulation_depth_is_rejected_at_decode() {
+        // A quantized FC whose reduction depth could overflow i32 in the
+        // worst case must fail with a typed error at decode, not produce
+        // wrapped logits (or panic) at serve time.
+        let in_f = 200_000; // > i32::MAX / 127^2
+        let a = ModelArtifact::chain(
+            "wide",
+            [1, 1, in_f],
+            vec![
+                LayerPlan::Flatten,
+                LayerPlan::QuantFc {
+                    name: "wide_fc".into(),
+                    out_f: 1,
+                    in_f,
+                    qweights: vec![1i8; in_f],
+                    scales: vec![0.01],
+                    act_scale: 0.05,
+                    bias: vec![0.0],
+                },
+            ],
+        );
+        assert!(matches!(
+            ModelArtifact::decode(&a.encode()),
+            Err(ArtifactError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn quantized_artifact_truncation_is_detected_not_panicking() {
+        let bytes = quantized_artifact(55).encode();
+        for cut in 0..bytes.len() {
+            assert!(
+                ModelArtifact::decode(&bytes[..cut]).is_err(),
+                "cut at {cut} must error"
+            );
+        }
     }
 }

@@ -10,26 +10,36 @@
 //! workload through the dynamic-batching server and reports latency
 //! percentiles and throughput.
 //!
+//! With `--precision int8` the compiled plan is additionally quantized:
+//! activation ranges are calibrated on a small sample batch
+//! ([`patdnn_nn::calibrate`]), every pattern conv and the FC head get
+//! symmetric per-filter INT8 weights, and the v4 artifact persists the
+//! per-step precision so the reloaded engine serves quantized with no
+//! recalibration.
+//!
 //! ```text
 //! patdnn-serve [--model vgg_small|resnet_small] [--requests N]
 //!              [--clients N] [--workers N] [--max-batch N]
 //!              [--max-wait-ms N] [--threads N]
 //!              [--tune off|estimate|measure] [--budget N]
+//!              [--precision f32|int8]
 //! ```
 
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use patdnn_core::prune::pattern_project_network;
+use patdnn_nn::calibrate::{calibrate_network, calibration_batch};
 use patdnn_nn::layer::{Layer, Mode};
 use patdnn_nn::models::{resnet_small, vgg_small};
 use patdnn_nn::network::Sequential;
 use patdnn_serve::batching::BatchPolicy;
 use patdnn_serve::compile::{compile_network_with, CompileOptions};
 use patdnn_serve::engine::{Engine, EngineOptions};
+use patdnn_serve::quant::quantize_artifact;
 use patdnn_serve::registry::ModelRegistry;
 use patdnn_serve::server::{Server, ServerConfig};
-use patdnn_serve::{ModelArtifact, TunePolicy};
+use patdnn_serve::{ModelArtifact, Precision, TunePolicy};
 use patdnn_tensor::rng::Rng;
 use patdnn_tensor::Tensor;
 
@@ -43,6 +53,7 @@ struct Args {
     threads: usize,
     tune: TunePolicy,
     budget: usize,
+    precision: Precision,
 }
 
 fn parse_args() -> Args {
@@ -56,6 +67,7 @@ fn parse_args() -> Args {
         threads: 1,
         tune: TunePolicy::Off,
         budget: 24,
+        precision: Precision::F32,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -89,6 +101,13 @@ fn parse_args() -> Args {
                     )),
                 };
             }
+            "--precision" => {
+                args.precision = match argv.get(i + 1).map(String::as_str) {
+                    Some("f32") => Precision::F32,
+                    Some("int8") => Precision::Int8,
+                    other => die(&format!("--precision expects f32|int8, got {other:?}")),
+                };
+            }
             other => die(&format!("unknown flag {other}")),
         }
         i += 2;
@@ -119,7 +138,7 @@ fn die(msg: &str) -> ! {
     eprintln!(
         "usage: patdnn-serve [--model vgg_small|resnet_small] [--requests N] \
          [--clients N] [--workers N] [--max-batch N] [--max-wait-ms N] [--threads N] \
-         [--tune off|estimate|measure] [--budget N]"
+         [--tune off|estimate|measure] [--budget N] [--precision f32|int8]"
     );
     std::process::exit(2);
 }
@@ -146,22 +165,43 @@ fn main() {
     pattern_project_network(&mut net, 8, 3.6);
 
     // 2. Compile to an artifact (tuning each layer's execution config
-    //    under the selected policy), save, and reload from disk.
+    //    under the selected policy), quantize it if requested, save,
+    //    and reload from disk.
     println!(
-        "[2/5] compiling to a model artifact (tune policy: {})...",
-        args.tune.label()
+        "[2/5] compiling to a model artifact (tune policy: {}, precision: {})...",
+        args.tune.label(),
+        args.precision.label()
     );
     let compile_opts = CompileOptions {
         tune: args.tune,
         threads: args.threads,
         ..CompileOptions::default()
     };
-    let artifact = compile_network_with(&args.model, &net, [3, 32, 32], &compile_opts)
+    let mut artifact = compile_network_with(&args.model, &net, [3, 32, 32], &compile_opts)
         .unwrap_or_else(|e| die(&format!("compile failed: {e}")));
+    // Calibration inputs double as the int8 verification batch below.
+    let calib = calibration_batch([3, 32, 32], 8, 17);
+    if args.precision == Precision::Int8 {
+        let f32_bytes = artifact.weight_bytes();
+        let profile = calibrate_network(&net, &calib)
+            .unwrap_or_else(|e| die(&format!("calibration failed: {e}")));
+        artifact = quantize_artifact(&artifact, &profile)
+            .unwrap_or_else(|e| die(&format!("quantization failed: {e}")));
+        println!(
+            "      quantized {} steps to int8 ({:.1} KiB -> {:.1} KiB of weights)",
+            artifact
+                .steps
+                .iter()
+                .filter(|s| s.precision == Precision::Int8)
+                .count(),
+            f32_bytes as f64 / 1024.0,
+            artifact.weight_bytes() as f64 / 1024.0
+        );
+    }
     let pattern_layers = artifact
         .steps
         .iter()
-        .filter(|s| s.op.kind() == "pattern-conv")
+        .filter(|s| s.op.kind().starts_with("pattern-conv"))
         .count();
     let joins = artifact
         .steps
@@ -177,16 +217,17 @@ fn main() {
         artifact.slots,
         artifact.weight_bytes() as f64 / 1024.0
     );
-    println!("      plan (slots read -> written, per-step exec config):");
+    println!("      plan (slots read -> written, per-step precision + exec config):");
     for (i, step) in artifact.steps.iter().enumerate() {
-        let cfg = if step.op.kind() == "pattern-conv" {
+        let cfg = if step.op.kind().starts_with("pattern-conv") {
             format!("  [{}]", step.exec.summary())
         } else {
             String::new()
         };
         println!(
-            "        {i:>2} {:<13} {:?} -> {}{cfg}",
+            "        {i:>2} {:<15} {:<4} {:?} -> {}{cfg}",
             step.op.kind(),
+            step.precision.label(),
             step.inputs,
             step.output,
         );
@@ -201,19 +242,26 @@ fn main() {
     println!("      artifact save -> load round trip: OK ({path:?})");
 
     // 3. Build a fresh engine from the reloaded artifact and verify it
-    //    against the original network. The engine honors each step's
-    //    persisted exec config (a tuned artifact serves tuned).
+    //    against the original network on the calibration batch. The
+    //    engine honors each step's persisted exec config and precision
+    //    (a tuned artifact serves tuned; a quantized one quantized).
     println!("[3/5] verifying compiled engine against the nn forward pass...");
     let engine = Engine::new(reloaded, EngineOptions::default())
         .unwrap_or_else(|e| die(&format!("engine build failed: {e}")));
-    let x = Tensor::randn(&[1, 3, 32, 32], &mut rng);
-    let want = net.forward(&x, Mode::Eval);
+    let want = net.forward(&calib, Mode::Eval);
     let got = engine
-        .infer(&x)
+        .infer(&calib)
         .unwrap_or_else(|e| die(&format!("infer failed: {e}")));
     let diff = want.max_abs_diff(&got).unwrap_or(f32::INFINITY);
-    assert!(diff < 1e-4, "engine diverges from reference: {diff}");
-    println!("      max |engine - reference| = {diff:.2e} (< 1e-4): OK");
+    let tol = match args.precision {
+        Precision::F32 => 1e-4,
+        Precision::Int8 => 1e-2,
+    };
+    assert!(
+        diff < tol,
+        "engine diverges from reference: {diff} (tol {tol})"
+    );
+    println!("      max |engine - reference| = {diff:.2e} (< {tol:.0e}): OK");
 
     // 4. Serve synthetic traffic through the dynamic-batching server.
     println!(

@@ -452,11 +452,13 @@ pub fn compile_graph_with(
         slot_of[id] = Some(out_slot);
         let exec = select_exec_config(&op, in_shapes[0], opts, steps.len());
         shape_of[id] = Some(out_shape);
+        let precision = op.precision();
         steps.push(PlanStep {
             op,
             inputs,
             output: out_slot,
             exec,
+            precision,
         });
     }
 

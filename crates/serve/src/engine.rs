@@ -19,11 +19,13 @@
 
 use std::sync::Mutex;
 
+use patdnn_compiler::quant::quantize_slice_into;
 use patdnn_runtime::dense::TiledConv;
 use patdnn_runtime::executor::ConvExecutor;
 use patdnn_runtime::parallel::{ParallelPattern, Schedule};
 use patdnn_runtime::pattern_exec::PatternConv;
-use patdnn_tensor::gemm::gemm_bt;
+use patdnn_runtime::quant_exec::{accumulation_fits_i32, QuantPatternConv};
+use patdnn_tensor::gemm::{gemm_bt, gemm_i8_bt};
 use patdnn_tensor::{conv_out_dim, Conv2dGeometry, Tensor};
 
 use crate::artifact::{ArtifactError, LayerPlan, ModelArtifact};
@@ -63,6 +65,54 @@ enum StepExec {
     },
     /// Elementwise residual join of two slots.
     Add,
+    /// INT8 pattern convolution (`i8 × i8 → i32`, dequantized output).
+    QuantPattern(QuantPatternConv),
+    /// INT8 fully-connected layer.
+    QuantFc(QuantFcExec),
+}
+
+/// INT8 fully-connected executor: quantize the batch with the
+/// calibrated activation scale, run the exact `i8 × i8 → i32` GEMM,
+/// dequantize with per-output-row scales, add the `f32` bias. Scratch
+/// (quantized inputs + `i32` accumulators) is pooled so the warm path
+/// allocates nothing.
+struct QuantFcExec {
+    qweights: Vec<i8>,
+    out_f: usize,
+    in_f: usize,
+    scales: Vec<f32>,
+    act_scale: f32,
+    bias: Vec<f32>,
+    scratch: Mutex<Vec<(Vec<i8>, Vec<i32>)>>,
+}
+
+impl QuantFcExec {
+    fn run_into(&self, input: &Tensor, out: &mut Tensor) {
+        let batch = input.shape()[0];
+        let (mut qin, mut acc) = self
+            .scratch
+            .lock()
+            .expect("quant fc scratch")
+            .pop()
+            .unwrap_or_default();
+        qin.resize(batch * self.in_f, 0);
+        acc.resize(batch * self.out_f, 0);
+        acc.fill(0);
+        quantize_slice_into(input.data(), self.act_scale, &mut qin);
+        gemm_i8_bt(batch, self.out_f, self.in_f, &qin, &self.qweights, &mut acc);
+        let od = out.data_mut();
+        for b in 0..batch {
+            for o in 0..self.out_f {
+                od[b * self.out_f + o] = acc[b * self.out_f + o] as f32
+                    * (self.act_scale * self.scales[o])
+                    + self.bias[o];
+            }
+        }
+        self.scratch
+            .lock()
+            .expect("quant fc scratch")
+            .push((qin, acc));
+    }
 }
 
 struct Step {
@@ -252,6 +302,96 @@ impl Engine {
                         )));
                     }
                     (StepExec::Add, *relu, shape.clone())
+                }
+                LayerPlan::QuantPatternConv {
+                    name,
+                    stride,
+                    pad,
+                    qfkw,
+                    bias,
+                    relu,
+                } => {
+                    let [c, h, w] = spatial(&shape)
+                        .ok_or_else(|| malformed(format!("{name}: conv after flatten")))?;
+                    if c != qfkw.in_c {
+                        return Err(malformed(format!(
+                            "{name}: expects {} input channels, got {c}",
+                            qfkw.in_c
+                        )));
+                    }
+                    check_window(name, qfkw.kernel, *stride, *pad, h, w)?;
+                    let geo = Conv2dGeometry::new(
+                        qfkw.out_c,
+                        qfkw.in_c,
+                        qfkw.kernel,
+                        qfkw.kernel,
+                        h,
+                        w,
+                        *stride,
+                        *pad,
+                    );
+                    // Typed error, not the executor's internal assert:
+                    // in-memory artifacts can bypass decode validation.
+                    if !accumulation_fits_i32(qfkw.in_c, qfkw.entries_per_kernel) {
+                        return Err(malformed(format!(
+                            "{name}: i8 accumulation depth overflows i32"
+                        )));
+                    }
+                    // INT8 steps honor the persisted opt level and tuning
+                    // parameters; they always run serial (their memory
+                    // traffic is a quarter of the f32 path's, so the
+                    // thread schedule is an f32-only knob today).
+                    let cfg = plan_step.exec;
+                    let exec = QuantPatternConv::new(
+                        geo,
+                        qfkw.clone(),
+                        bias.clone(),
+                        cfg.opt_level,
+                        cfg.tuning,
+                    );
+                    let out_shape = vec![geo.out_channels, geo.out_h, geo.out_w];
+                    (StepExec::QuantPattern(exec), *relu, out_shape)
+                }
+                LayerPlan::QuantFc {
+                    name,
+                    out_f,
+                    in_f,
+                    qweights,
+                    scales,
+                    act_scale,
+                    bias,
+                } => {
+                    let features: usize = shape.iter().product();
+                    if features != *in_f {
+                        return Err(malformed(format!(
+                            "{name}: expects {in_f} input features, got {features}"
+                        )));
+                    }
+                    if bias.len() != *out_f || scales.len() != *out_f {
+                        return Err(malformed(format!("{name}: scale/bias arity")));
+                    }
+                    if qweights.len() != out_f * in_f {
+                        return Err(malformed(format!("{name}: quantized weight arity")));
+                    }
+                    // The FC reduction depth is `in_f` saturated products.
+                    if !accumulation_fits_i32(*in_f, 1) {
+                        return Err(malformed(format!(
+                            "{name}: i8 accumulation depth overflows i32"
+                        )));
+                    }
+                    (
+                        StepExec::QuantFc(QuantFcExec {
+                            qweights: qweights.clone(),
+                            out_f: *out_f,
+                            in_f: *in_f,
+                            scales: scales.clone(),
+                            act_scale: *act_scale,
+                            bias: bias.clone(),
+                            scratch: Mutex::new(Vec::new()),
+                        }),
+                        false,
+                        vec![*out_f],
+                    )
                 }
             };
             let (exec, relu, out_shape) = step;
@@ -484,6 +624,8 @@ fn run_step(step: &Step, inputs: &[&Tensor], buf: &mut Tensor) {
             }
         }
         StepExec::Fc { weights, bias } => fc_into(prev, weights, bias, buf),
+        StepExec::QuantPattern(exec) => exec.run_into(prev, buf),
+        StepExec::QuantFc(exec) => exec.run_into(prev, buf),
         StepExec::Add => {
             let b = inputs[1].data();
             for (o, (&x, &y)) in buf.data_mut().iter_mut().zip(prev.data().iter().zip(b)) {

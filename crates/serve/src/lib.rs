@@ -19,10 +19,16 @@
 //!   pattern-conv step's [`artifact::ExecConfig`] (opt level,
 //!   tile/unroll parameters, thread schedule) via the compiler's
 //!   performance estimator or GA exploration over real timed runs.
+//! - [`quant`] — the INT8 quantization pass: symmetric per-filter
+//!   weight scales over the artifact's own FKW storage, activation
+//!   scales calibrated from a sample batch
+//!   ([`patdnn_nn::calibrate`]), `i8 × i8 → i32` execution dispatched
+//!   per step from the persisted [`artifact::Precision`].
 //! - [`artifact`] — the versioned binary model format: pruned FKW
-//!   weights plus layer geometry, slot topology and per-step execution
-//!   configs (format v3), save/load without retraining, re-pruning or
-//!   retuning; legacy v1/v2 artifacts still decode (default configs).
+//!   weights plus layer geometry, slot topology, per-step execution
+//!   configs and per-step precision (format v4), save/load without
+//!   retraining, re-pruning, retuning or recalibrating; legacy v1–v3
+//!   artifacts still decode (default configs, f32 precision).
 //! - [`engine`] — the [`engine::Engine`]: an executable DAG plan of
 //!   per-step executors (residual `Add` joins included) reading and
 //!   writing pooled, liveness-shared slot buffers, with a single
@@ -58,17 +64,19 @@ pub mod batching;
 pub mod compile;
 pub mod engine;
 pub mod metrics;
+pub mod quant;
 pub mod registry;
 pub mod server;
 pub mod tune;
 
-pub use artifact::{ArtifactError, ExecConfig, LayerPlan, ModelArtifact};
+pub use artifact::{ArtifactError, ExecConfig, LayerPlan, ModelArtifact, Precision};
 pub use compile::{
     compile_graph, compile_graph_with, compile_network, compile_network_with, CompileError,
     CompileOptions,
 };
 pub use engine::{Engine, EngineOptions};
 pub use metrics::{MetricsSnapshot, ServerMetrics};
+pub use quant::{compile_network_int8, quantize_artifact, QuantError};
 pub use registry::ModelRegistry;
 pub use server::{Server, ServerConfig};
 pub use tune::TunePolicy;
@@ -95,6 +103,8 @@ pub enum ServeError {
     Compile(CompileError),
     /// Artifact decoding failed.
     Artifact(ArtifactError),
+    /// INT8 quantization failed.
+    Quant(QuantError),
     /// An unexpected failure inside a worker.
     Internal(String),
 }
@@ -113,6 +123,7 @@ impl fmt::Display for ServeError {
             }
             ServeError::Compile(e) => write!(f, "compile error: {e}"),
             ServeError::Artifact(e) => write!(f, "artifact error: {e}"),
+            ServeError::Quant(e) => write!(f, "quantization error: {e}"),
             ServeError::Internal(msg) => write!(f, "internal server error: {msg}"),
         }
     }

@@ -1,0 +1,304 @@
+//! The INT8 quantization pass: `f32` plan → mixed-precision plan.
+//!
+//! [`quantize_artifact`] rewrites a compiled [`ModelArtifact`] step by
+//! step: every pattern convolution and fully-connected layer whose
+//! input range was observed during calibration becomes an INT8 step
+//! (symmetric per-filter weight scales computed from the artifact's own
+//! exported weights, activation scale from the
+//! [`patdnn_nn::calibrate`] profile), stamped [`crate::artifact::Precision::Int8`] in
+//! the v4 artifact. Everything else — pooling, joins, flatten, and
+//! dense convolutions (which only appear for unpruned layers) — stays
+//! `f32`. Activations remain `f32` between steps; each INT8 step
+//! quantizes its input on entry with its persisted scale, so the plan
+//! is freely mixed-precision and pre-quantization engines can still
+//! run the same topology.
+//!
+//! Calibration happens at the `nn` level, before the serving compiler's
+//! graph passes. That is sound because every pass is value-preserving
+//! (BN folding and ReLU fusion change *who computes* a value, not the
+//! value itself), so a surviving conv or FC step reads exactly the
+//! activations its exported layer read — the profile's per-name input
+//! ranges transfer to plan steps unchanged.
+//!
+//! By default the classifier head stays `f32` (the usual last-layer
+//! exception): a small FC contributes a negligible share of the MACs,
+//! so quantizing it buys no latency while its rounding error lands
+//! directly on the logits with no averaging downstream to absorb it.
+//! [`QuantOptions::fc`] opts it in for models whose FC layers are big
+//! enough to matter.
+
+use std::fmt;
+
+use patdnn_compiler::quant::{quantize_slice, scale_for, QuantFkwLayer};
+use patdnn_nn::calibrate::{calibrate_network, ActivationProfile, CalibrationError};
+use patdnn_nn::network::Sequential;
+use patdnn_tensor::Tensor;
+
+use crate::artifact::{LayerPlan, ModelArtifact, PlanStep};
+use crate::compile::{compile_network_with, CompileOptions};
+use crate::ServeError;
+
+/// Errors produced by the quantization pass.
+#[derive(Debug)]
+pub enum QuantError {
+    /// A quantizable step has no activation record in the profile, so
+    /// its input scale cannot be derived.
+    MissingCalibration {
+        /// The step (layer) name.
+        step: String,
+    },
+    /// The calibration run itself failed.
+    Calibration(CalibrationError),
+}
+
+impl fmt::Display for QuantError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QuantError::MissingCalibration { step } => {
+                write!(f, "step {step:?} has no calibration record")
+            }
+            QuantError::Calibration(e) => write!(f, "calibration failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for QuantError {}
+
+impl From<CalibrationError> for QuantError {
+    fn from(e: CalibrationError) -> Self {
+        QuantError::Calibration(e)
+    }
+}
+
+/// Which step kinds the quantization pass converts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct QuantOptions {
+    /// Quantize fully-connected layers too. Off by default — the
+    /// classifier head is the paper-stack's only FC, it is a negligible
+    /// share of the MACs, and last-layer rounding error hits the logits
+    /// undamped.
+    pub fc: bool,
+}
+
+/// Quantizes a compiled plan using calibrated activation ranges, with
+/// the default policy (pattern convs INT8, FC head `f32`).
+pub fn quantize_artifact(
+    artifact: &ModelArtifact,
+    profile: &ActivationProfile,
+) -> Result<ModelArtifact, QuantError> {
+    quantize_artifact_with(artifact, profile, &QuantOptions::default())
+}
+
+/// Quantizes a compiled plan using calibrated activation ranges.
+///
+/// Pattern-conv steps (and FC steps, under [`QuantOptions::fc`]) become
+/// INT8; other steps pass through untouched (their `exec` configs
+/// included). Fails with a typed error if a quantizable step's layer
+/// name is missing from the profile — a silently-unquantized layer
+/// would misreport the plan's precision.
+pub fn quantize_artifact_with(
+    artifact: &ModelArtifact,
+    profile: &ActivationProfile,
+    opts: &QuantOptions,
+) -> Result<ModelArtifact, QuantError> {
+    let mut steps = Vec::with_capacity(artifact.steps.len());
+    for step in &artifact.steps {
+        let op = match &step.op {
+            LayerPlan::PatternConv {
+                name,
+                stride,
+                pad,
+                fkw,
+                bias,
+                relu,
+            } => {
+                let act = profile
+                    .input_of(name)
+                    .ok_or_else(|| QuantError::MissingCalibration { step: name.clone() })?;
+                LayerPlan::QuantPatternConv {
+                    name: name.clone(),
+                    stride: *stride,
+                    pad: *pad,
+                    qfkw: QuantFkwLayer::from_fkw(fkw, act),
+                    bias: bias.clone(),
+                    relu: *relu,
+                }
+            }
+            LayerPlan::Fc {
+                name,
+                weights,
+                bias,
+            } if opts.fc => {
+                let act = profile
+                    .input_of(name)
+                    .ok_or_else(|| QuantError::MissingCalibration { step: name.clone() })?;
+                let (out_f, in_f) = (weights.shape()[0], weights.shape()[1]);
+                // Per-output-row symmetric scales, mirroring the conv
+                // path's per-filter treatment.
+                let mut scales = Vec::with_capacity(out_f);
+                let mut qweights = Vec::with_capacity(out_f * in_f);
+                for row in weights.data().chunks_exact(in_f) {
+                    let s = scale_for(patdnn_compiler::quant::max_abs(row));
+                    scales.push(s);
+                    qweights.extend(quantize_slice(row, s));
+                }
+                LayerPlan::QuantFc {
+                    name: name.clone(),
+                    out_f,
+                    in_f,
+                    qweights,
+                    scales,
+                    act_scale: scale_for(act),
+                    bias: bias.clone(),
+                }
+            }
+            other => other.clone(),
+        };
+        let precision = op.precision();
+        steps.push(PlanStep {
+            op,
+            inputs: step.inputs.clone(),
+            output: step.output,
+            exec: step.exec,
+            precision,
+        });
+    }
+    Ok(ModelArtifact {
+        name: artifact.name.clone(),
+        input: artifact.input,
+        slots: artifact.slots,
+        steps,
+    })
+}
+
+/// Compiles a network straight to an INT8 plan: compile under `opts`,
+/// calibrate activation ranges on `calib`, quantize.
+///
+/// `calib` is the sample batch (NCHW, matching `input`); a handful of
+/// representative items is enough for the symmetric max-abs scheme.
+pub fn compile_network_int8(
+    name: &str,
+    net: &Sequential,
+    input: [usize; 3],
+    opts: &CompileOptions,
+    calib: &Tensor,
+) -> Result<ModelArtifact, ServeError> {
+    let artifact = compile_network_with(name, net, input, opts).map_err(ServeError::Compile)?;
+    let profile =
+        calibrate_network(net, calib).map_err(|e| ServeError::Quant(QuantError::Calibration(e)))?;
+    quantize_artifact(&artifact, &profile).map_err(ServeError::Quant)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{Engine, EngineOptions};
+    use crate::Precision;
+    use patdnn_core::prune::pattern_project_network;
+    use patdnn_nn::calibrate::calibration_batch;
+    use patdnn_nn::models::{resnet_small, vgg_small};
+    use patdnn_tensor::rng::Rng;
+
+    fn pruned(name: &str, seed: u64) -> Sequential {
+        let mut rng = Rng::seed_from(seed);
+        let mut net = match name {
+            "vgg_small" => vgg_small(10, &mut rng),
+            _ => resnet_small(10, &mut rng),
+        };
+        pattern_project_network(&mut net, 8, 3.6);
+        net
+    }
+
+    #[test]
+    fn quantize_pass_converts_pattern_convs_and_keeps_the_head_f32() {
+        let net = pruned("resnet_small", 61);
+        let calib = calibration_batch([3, 32, 32], 4, 62);
+        let artifact =
+            compile_network_int8("q", &net, [3, 32, 32], &CompileOptions::default(), &calib)
+                .expect("quantized compile");
+        let kinds: Vec<&str> = artifact.steps.iter().map(|s| s.op.kind()).collect();
+        assert!(kinds.contains(&"pattern-conv-i8"), "convs quantized");
+        assert!(!kinds.contains(&"pattern-conv"), "no f32 convs remain");
+        assert!(kinds.contains(&"fc"), "classifier head stays f32");
+        for step in &artifact.steps {
+            assert_eq!(step.precision, step.op.precision());
+        }
+        // Pooling/joins stay f32.
+        assert!(artifact.steps.iter().any(|s| s.precision == Precision::F32));
+    }
+
+    #[test]
+    fn fc_quantization_is_opt_in_and_stays_accurate() {
+        let net = pruned("resnet_small", 61);
+        let calib = calibration_batch([3, 32, 32], 4, 62);
+        let f32_plan = crate::compile::compile_network("q", &net, [3, 32, 32]).expect("compile");
+        let profile = patdnn_nn::calibrate::calibrate_network(&net, &calib).expect("calibrates");
+        let artifact = quantize_artifact_with(&f32_plan, &profile, &QuantOptions { fc: true })
+            .expect("quantize");
+        assert!(
+            artifact.steps.iter().any(|s| s.op.kind() == "fc-i8"),
+            "fc quantized under the opt-in"
+        );
+        let f32_engine = Engine::new(f32_plan, EngineOptions::default()).expect("engine");
+        let int8_engine = Engine::new(artifact, EngineOptions::default()).expect("engine");
+        let a = f32_engine.infer(&calib).expect("infer");
+        let b = int8_engine.infer(&calib).expect("infer");
+        let dev = a.max_abs_diff(&b).expect("same shape");
+        // The fully-quantized plan (classifier head included) is held to
+        // a looser bound: last-layer rounding lands on the logits.
+        assert!(dev <= 5e-2, "fully-quantized deviation too large: {dev}");
+    }
+
+    #[test]
+    fn quantized_engine_tracks_the_f32_engine_within_tolerance() {
+        let net = pruned("resnet_small", 63);
+        let calib = calibration_batch([3, 32, 32], 4, 64);
+        let f32_plan = crate::compile::compile_network("q", &net, [3, 32, 32]).expect("compile");
+        let int8_plan =
+            compile_network_int8("q", &net, [3, 32, 32], &CompileOptions::default(), &calib)
+                .expect("quantized compile");
+        // Storage shrinks: the weight payload drops 4x, diluted by the
+        // FKW index arrays both precisions share.
+        assert!(int8_plan.weight_bytes() < f32_plan.weight_bytes() * 2 / 3);
+        let f32_engine = Engine::new(f32_plan, EngineOptions::default()).expect("engine");
+        let int8_engine = Engine::new(int8_plan, EngineOptions::default()).expect("engine");
+        let a = f32_engine.infer(&calib).expect("f32 infer");
+        let b = int8_engine.infer(&calib).expect("int8 infer");
+        let dev = a.max_abs_diff(&b).expect("same shape");
+        assert!(
+            dev <= 1e-2,
+            "int8 deviates {dev} from f32 on the calibration batch"
+        );
+    }
+
+    #[test]
+    fn quantized_artifact_survives_its_codec_and_serves() {
+        let net = pruned("vgg_small", 65);
+        let calib = calibration_batch([3, 32, 32], 3, 66);
+        let artifact =
+            compile_network_int8("q", &net, [3, 32, 32], &CompileOptions::default(), &calib)
+                .expect("quantized compile");
+        let reloaded = ModelArtifact::decode(&artifact.encode()).expect("v4 round trip");
+        assert_eq!(artifact, reloaded);
+        let a = Engine::new(artifact, EngineOptions::default()).expect("engine");
+        let b = Engine::new(reloaded, EngineOptions::default()).expect("engine");
+        let out_a = a.infer(&calib).expect("infer");
+        let out_b = b.infer(&calib).expect("infer");
+        assert_eq!(
+            out_a.data(),
+            out_b.data(),
+            "reloaded quantized plan infers bit-identically"
+        );
+    }
+
+    #[test]
+    fn missing_calibration_record_is_a_typed_error() {
+        let net = pruned("vgg_small", 67);
+        let artifact = crate::compile::compile_network("q", &net, [3, 32, 32]).expect("compile");
+        let empty = ActivationProfile::default();
+        assert!(matches!(
+            quantize_artifact(&artifact, &empty),
+            Err(QuantError::MissingCalibration { .. })
+        ));
+    }
+}

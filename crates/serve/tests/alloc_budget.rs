@@ -45,6 +45,7 @@ use patdnn_nn::models::{resnet_small, vgg_small};
 use patdnn_nn::network::Sequential;
 use patdnn_serve::compile::compile_network;
 use patdnn_serve::engine::{Engine, EngineOptions};
+use patdnn_serve::Precision;
 use patdnn_tensor::rng::Rng;
 use patdnn_tensor::Tensor;
 
@@ -52,9 +53,22 @@ use patdnn_tensor::Tensor;
 /// vec) plus a small slack for platform-dependent `Vec` behaviour.
 const WARM_CALL_BUDGET: usize = 8;
 
-fn warm_allocation_count(mut net: Sequential, name: &str) -> usize {
+fn warm_allocation_count(mut net: Sequential, name: &str, precision: Precision) -> usize {
     pattern_project_network(&mut net, 8, 3.6);
-    let artifact = compile_network(name, &net, [3, 32, 32]).expect("compiles");
+    let artifact = match precision {
+        Precision::F32 => compile_network(name, &net, [3, 32, 32]).expect("compiles"),
+        Precision::Int8 => {
+            let calib = patdnn_nn::calibrate::calibration_batch([3, 32, 32], 4, 7);
+            patdnn_serve::quant::compile_network_int8(
+                name,
+                &net,
+                [3, 32, 32],
+                &patdnn_serve::CompileOptions::default(),
+                &calib,
+            )
+            .expect("quantized compile")
+        }
+    };
     assert!(
         artifact.steps.iter().all(|s| s.op.kind() != "dense-conv"),
         "{name}: budget only holds on the pattern-conv path"
@@ -89,14 +103,23 @@ fn warm_allocation_count(mut net: Sequential, name: &str) -> usize {
 #[test]
 fn warm_engines_stay_within_the_response_envelope() {
     let mut rng = Rng::seed_from(51);
-    let chain = warm_allocation_count(vgg_small(10, &mut rng), "vgg_small");
+    let chain = warm_allocation_count(vgg_small(10, &mut rng), "vgg_small", Precision::F32);
     assert!(
         chain <= WARM_CALL_BUDGET,
         "warm chain infer made {chain} allocations (budget {WARM_CALL_BUDGET})"
     );
-    let residual = warm_allocation_count(resnet_small(10, &mut rng), "resnet_small");
+    let residual =
+        warm_allocation_count(resnet_small(10, &mut rng), "resnet_small", Precision::F32);
     assert!(
         residual <= WARM_CALL_BUDGET,
         "warm residual infer made {residual} allocations (budget {WARM_CALL_BUDGET})"
+    );
+    // The INT8 path pools its quantized-input and accumulator scratch,
+    // so a warm quantized engine is held to the same envelope.
+    let quantized =
+        warm_allocation_count(resnet_small(10, &mut rng), "resnet_int8", Precision::Int8);
+    assert!(
+        quantized <= WARM_CALL_BUDGET,
+        "warm int8 infer made {quantized} allocations (budget {WARM_CALL_BUDGET})"
     );
 }

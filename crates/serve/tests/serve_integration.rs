@@ -304,6 +304,161 @@ fn tuned_artifact_serves_tuned_without_retuning() {
     assert!(default_out.approx_eq(&tuned_out, 1e-4));
 }
 
+/// Backward compatibility: a tuned plan encoded in the v3 layout (exec
+/// configs but no precision tags) decodes in the current build with
+/// every step at f32 precision and infers bit-identically to the v4
+/// encoding of the same plan.
+#[test]
+fn cross_version_v3_artifact_infers_bit_identically() {
+    use patdnn_serve::compile::{compile_network_with, CompileOptions};
+    use patdnn_serve::{Precision, TunePolicy};
+
+    let mut rng = Rng::seed_from(34);
+    let mut net = patdnn_nn::models::resnet_small(10, &mut rng);
+    pattern_project_network(&mut net, 8, 3.6);
+    let artifact = compile_network_with(
+        "v3compat",
+        &net,
+        [3, 32, 32],
+        &CompileOptions {
+            tune: TunePolicy::Estimate,
+            ..CompileOptions::default()
+        },
+    )
+    .expect("compiles tuned");
+
+    let v3_bytes = artifact.encode_v3().expect("f32 plans encode as v3");
+    let from_v3 = ModelArtifact::decode(&v3_bytes).expect("v3 decodes");
+    assert_eq!(artifact, from_v3, "v3 decodes into the tuned plan");
+    assert!(
+        from_v3.steps.iter().all(|s| s.precision == Precision::F32),
+        "v3 steps decode to f32 precision"
+    );
+
+    let engine_now = Engine::new(artifact, EngineOptions::default()).expect("current engine");
+    let engine_v3 = Engine::new(from_v3, EngineOptions::default()).expect("v3 engine");
+    for batch in [1usize, 3] {
+        let x = Tensor::randn(&[batch, 3, 32, 32], &mut rng);
+        let a = engine_now.infer(&x).expect("current infer");
+        let b = engine_v3.infer(&x).expect("v3 infer");
+        let bits_a: Vec<u32> = a.data().iter().map(|v| v.to_bits()).collect();
+        let bits_b: Vec<u32> = b.data().iter().map(|v| v.to_bits()).collect();
+        assert_eq!(
+            bits_a, bits_b,
+            "batch {batch}: outputs must be bit-identical"
+        );
+    }
+}
+
+/// The INT8 path across the version boundary: a quantized v4 artifact
+/// round-trips bit-identically, and every legacy encoder refuses it
+/// with a typed error instead of silently dropping precision.
+#[test]
+fn cross_version_quantized_v4_round_trips_and_legacy_encoders_refuse() {
+    use patdnn_serve::quant::compile_network_int8;
+    use patdnn_serve::{ArtifactError, CompileOptions, Precision};
+
+    let mut rng = Rng::seed_from(36);
+    let mut net = patdnn_nn::models::resnet_small(10, &mut rng);
+    pattern_project_network(&mut net, 8, 3.6);
+    let calib = patdnn_nn::calibrate::calibration_batch([3, 32, 32], 4, 37);
+    let artifact =
+        compile_network_int8("qv4", &net, [3, 32, 32], &CompileOptions::default(), &calib)
+            .expect("quantized compile");
+    assert!(
+        artifact
+            .steps
+            .iter()
+            .any(|s| s.precision == Precision::Int8),
+        "plan carries int8 steps"
+    );
+
+    // v4 round trip: structurally equal, bit-identical inference.
+    let reloaded = ModelArtifact::decode(&artifact.encode()).expect("v4 decodes");
+    assert_eq!(artifact, reloaded);
+    let engine_a = Engine::new(artifact.clone(), EngineOptions::default()).expect("engine");
+    let engine_b = Engine::new(reloaded, EngineOptions::default()).expect("engine");
+    let out_a = engine_a.infer(&calib).expect("infer");
+    let out_b = engine_b.infer(&calib).expect("infer");
+    let bits_a: Vec<u32> = out_a.data().iter().map(|v| v.to_bits()).collect();
+    let bits_b: Vec<u32> = out_b.data().iter().map(|v| v.to_bits()).collect();
+    assert_eq!(bits_a, bits_b, "reloaded quantized plan infers identically");
+
+    // Legacy encoders refuse with the typed precision error.
+    for (version, result) in [
+        ("v3", artifact.encode_v3()),
+        ("v2", artifact.encode_v2()),
+        ("v1", artifact.encode_v1()),
+    ] {
+        let err = result.expect_err("legacy encoders must refuse int8 plans");
+        assert!(
+            matches!(&err, ArtifactError::Malformed(msg) if msg.contains("int8")),
+            "{version}: got {err}"
+        );
+    }
+}
+
+/// A quantized model served through the dynamic-batching server:
+/// batched results equal per-request engine results, and the outputs
+/// track the f32 plan within the calibration tolerance.
+#[test]
+fn quantized_model_serves_through_dynamic_batching() {
+    use patdnn_serve::quant::compile_network_int8;
+    use patdnn_serve::CompileOptions;
+
+    let mut rng = Rng::seed_from(38);
+    let mut net = vgg_small(10, &mut rng);
+    pattern_project_network(&mut net, 8, 3.6);
+    let calib = patdnn_nn::calibrate::calibration_batch([3, 32, 32], 4, 39);
+    let f32_plan = compile_network("q", &net, [3, 32, 32]).expect("compiles");
+    let int8_plan =
+        compile_network_int8("q", &net, [3, 32, 32], &CompileOptions::default(), &calib)
+            .expect("quantized compile");
+    let f32_engine = Engine::new(f32_plan, EngineOptions::default()).expect("engine");
+
+    let registry = Arc::new(ModelRegistry::new());
+    let engine = registry.register(
+        "q",
+        Engine::new(int8_plan, EngineOptions::default()).unwrap(),
+    );
+    let server = Server::start(
+        Arc::clone(&registry),
+        ServerConfig {
+            workers: 2,
+            batch: BatchPolicy {
+                max_batch: 4,
+                max_wait: Duration::from_millis(5),
+            },
+            queue_capacity: 64,
+        },
+    );
+    // Serve the calibration items themselves: scales were fit on them,
+    // so the deviation bound is the calibrated one.
+    let item_len = 3 * 32 * 32;
+    let inputs: Vec<Tensor> = (0..4)
+        .map(|i| {
+            let slice = calib.data()[i * item_len..(i + 1) * item_len].to_vec();
+            Tensor::from_vec(&[1, 3, 32, 32], slice).expect("calib item")
+        })
+        .collect();
+    let receivers: Vec<_> = inputs
+        .iter()
+        .map(|x| server.submit("q", x.clone()).expect("submit"))
+        .collect();
+    for (x, rx) in inputs.iter().zip(receivers) {
+        let resp = rx.recv().expect("response").expect("served");
+        let direct = engine.infer(x).expect("direct");
+        assert!(
+            direct.approx_eq(&resp.output, 1e-5),
+            "batched quantized result diverges from per-request result"
+        );
+        let reference = f32_engine.infer(x).expect("f32 reference");
+        let dev = reference.max_abs_diff(&resp.output).expect("same shape");
+        assert!(dev <= 1e-2, "served int8 deviates {dev} from f32");
+    }
+    server.shutdown();
+}
+
 /// A pruned residual model served through the dynamic-batching server:
 /// batched results equal per-request engine results.
 #[test]

@@ -165,6 +165,45 @@ pub fn gemm_bt(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32]
     }
 }
 
+/// Integer `C += A * B^T` with exact `i8 × i8 → i32` accumulation,
+/// where `B` is stored row-major as `n×k`.
+///
+/// This is the quantized counterpart of [`gemm_bt`], used by the INT8
+/// fully-connected serving path: activations (`A`) and weights (`B`)
+/// arrive as symmetric 8-bit codes and the caller dequantizes the `i32`
+/// accumulators with one multiply per element. The 4-way split
+/// accumulators keep the reduction dependency chain short enough for
+/// the autovectorizer.
+///
+/// # Panics
+///
+/// Panics if any slice is shorter than its dimensions imply.
+pub fn gemm_i8_bt(m: usize, n: usize, k: usize, a: &[i8], b: &[i8], c: &mut [i32]) {
+    assert!(a.len() >= m * k, "A is too short");
+    assert!(b.len() >= n * k, "B is too short");
+    assert!(c.len() >= m * n, "C is too short");
+    for i in 0..m {
+        let arow = &a[i * k..i * k + k];
+        for j in 0..n {
+            let brow = &b[j * k..j * k + k];
+            let mut acc = [0i32; 4];
+            let mut p = 0;
+            while p + 4 <= k {
+                acc[0] += arow[p] as i32 * brow[p] as i32;
+                acc[1] += arow[p + 1] as i32 * brow[p + 1] as i32;
+                acc[2] += arow[p + 2] as i32 * brow[p + 2] as i32;
+                acc[3] += arow[p + 3] as i32 * brow[p + 3] as i32;
+                p += 4;
+            }
+            while p < k {
+                acc[0] += arow[p] as i32 * brow[p] as i32;
+                p += 1;
+            }
+            c[i * n + j] += acc[0] + acc[1] + acc[2] + acc[3];
+        }
+    }
+}
+
 /// `C += A^T * B` where `A` is stored row-major as `k×m`.
 ///
 /// Used by the fully-connected weight-gradient computation.
@@ -283,5 +322,33 @@ mod tests {
         let mut c_at = vec![0.0; m * n];
         gemm_at(m, n, k, &at, &b, &mut c_at);
         assert_close(&c_ref, &c_at, 1e-4);
+    }
+
+    #[test]
+    fn integer_gemm_matches_exact_reference_on_odd_sizes() {
+        let mut rng = Rng::seed_from(9);
+        for &(m, n, k) in &[(1usize, 1usize, 1usize), (3, 5, 7), (4, 9, 16), (6, 10, 33)] {
+            let a: Vec<i8> = (0..m * k).map(|_| rng.below(255) as i8).collect();
+            let b: Vec<i8> = (0..n * k).map(|_| rng.below(255) as i8).collect();
+            let mut c = vec![0i32; m * n];
+            gemm_i8_bt(m, n, k, &a, &b, &mut c);
+            for i in 0..m {
+                for j in 0..n {
+                    let want: i32 = (0..k)
+                        .map(|p| a[i * k + p] as i32 * b[j * k + p] as i32)
+                        .sum();
+                    assert_eq!(c[i * n + j], want, "({i}, {j})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn integer_gemm_accumulates_into_existing_values() {
+        let a = [127i8, -127];
+        let b = [127i8, 127];
+        let mut c = [5i32];
+        gemm_i8_bt(1, 1, 2, &a, &b, &mut c);
+        assert_eq!(c[0], 5 + 127 * 127 - 127 * 127);
     }
 }
