@@ -5,12 +5,13 @@
 //! ```text
 //! repro <experiment>... [--quick] [--reps N] [--threads N] [--json FILE]
 //! experiment: table1..table7, fig12..fig18, serving, serving-resnet,
-//!             serving-tuned, serving-quant, tables, figures, all
+//!             serving-tuned, serving-quant, serving-slo, tables,
+//!             figures, all
 //! ```
 //!
 //! `--json FILE` additionally writes a machine-readable report for the
-//! experiments that produce one (currently `serving-quant`), so CI can
-//! upload the perf trajectory as a workflow artifact.
+//! experiments that produce one (`serving-quant` and `serving-slo`),
+//! so CI can upload the perf trajectory as a workflow artifact.
 
 use patdnn_bench::{figures, tables, RunOptions};
 
@@ -82,6 +83,7 @@ fn main() {
                 "serving-resnet",
                 "serving-tuned",
                 "serving-quant",
+                "serving-slo",
             ]),
             "tables" => expanded.extend([
                 "table1", "table2", "table3", "table4", "table5", "table6", "table7",
@@ -125,16 +127,24 @@ fn main() {
             "serving-quant" => {
                 let (table, json) = patdnn_bench::serving::quant_serving_report(&opts);
                 println!("{table}");
-                if let Some(path) = &json_path {
-                    std::fs::write(path, &json)
-                        .unwrap_or_else(|e| die(&format!("writing {path}: {e}")));
-                    eprintln!("[json report written to {path}]");
-                }
+                write_json(&json_path, &json);
+            }
+            "serving-slo" => {
+                let (table, json) = patdnn_bench::serving::slo_serving_report(&opts);
+                println!("{table}");
+                write_json(&json_path, &json);
             }
             other => die(&format!("unknown experiment {other}")),
         }
         eprintln!("[{exp} took {:.1}s]", start.elapsed().as_secs_f64());
         println!();
+    }
+}
+
+fn write_json(path: &Option<String>, json: &str) {
+    if let Some(path) = path {
+        std::fs::write(path, json).unwrap_or_else(|e| die(&format!("writing {path}: {e}")));
+        eprintln!("[json report written to {path}]");
     }
 }
 
@@ -149,7 +159,8 @@ fn die(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
         "usage: repro <table1..table7|fig12..fig18|serving|serving-resnet|serving-tuned|\
-         serving-quant|tables|figures|all> [--quick] [--reps N] [--threads N] [--json FILE]"
+         serving-quant|serving-slo|tables|figures|all> [--quick] [--reps N] [--threads N] \
+         [--json FILE]"
     );
     std::process::exit(2);
 }

@@ -19,7 +19,7 @@ use patdnn_serve::engine::{Engine, EngineOptions};
 use patdnn_serve::quant::compile_network_int8;
 use patdnn_serve::registry::ModelRegistry;
 use patdnn_serve::server::{Server, ServerConfig};
-use patdnn_serve::TunePolicy;
+use patdnn_serve::{AdmissionPolicy, Priority, ServeError, Terminal, TunePolicy};
 use patdnn_tensor::rng::Rng;
 use patdnn_tensor::Tensor;
 
@@ -90,26 +90,29 @@ pub fn server_throughput(opts: &RunOptions) -> Table {
             "m",
             Engine::new(artifact.clone(), EngineOptions::default()).expect("engine"),
         );
-        let server = Arc::new(Server::start(
+        let server = Server::start(
             Arc::clone(&registry),
             ServerConfig {
                 workers,
                 batch: BatchPolicy {
                     max_batch,
                     max_wait: Duration::from_millis(2),
+                    ..BatchPolicy::default()
                 },
                 queue_capacity: 1024,
+                ..ServerConfig::default()
             },
-        ));
+        );
+        let serve_client = server.client();
         let start = Instant::now();
         std::thread::scope(|scope| {
             for client in 0..clients {
-                let server = Arc::clone(&server);
+                let serve_client = serve_client.clone();
                 scope.spawn(move || {
                     let mut rng = Rng::seed_from(500 + client as u64);
                     for _ in 0..requests_per_client {
                         let input = Tensor::randn(&[1, 3, 32, 32], &mut rng);
-                        let _ = server.infer("m", input);
+                        let _ = serve_client.infer("m", input);
                     }
                 });
             }
@@ -180,26 +183,29 @@ pub fn resnet_serving(opts: &RunOptions) -> Table {
             label,
             Engine::new(artifact, EngineOptions::default()).expect("engine"),
         );
-        let server = Arc::new(Server::start(
+        let server = Server::start(
             Arc::clone(&registry),
             ServerConfig {
                 workers: 2,
                 batch: BatchPolicy {
                     max_batch: 4,
                     max_wait: Duration::from_millis(2),
+                    ..BatchPolicy::default()
                 },
                 queue_capacity: 1024,
+                ..ServerConfig::default()
             },
-        ));
+        );
+        let serve_client = server.client();
         let start = Instant::now();
         std::thread::scope(|scope| {
             for client in 0..4usize {
-                let server = Arc::clone(&server);
+                let serve_client = serve_client.clone();
                 scope.spawn(move || {
                     let mut rng = Rng::seed_from(700 + client as u64);
                     for _ in 0..requests_per_client {
                         let input = Tensor::randn(&[1, 3, 32, 32], &mut rng);
-                        let _ = server.infer(label, input);
+                        let _ = serve_client.infer(label, input);
                     }
                 });
             }
@@ -299,26 +305,29 @@ pub fn tuned_serving(opts: &RunOptions) -> Table {
             // Served traffic through the dynamic-batching server.
             let registry = Arc::new(ModelRegistry::new());
             registry.register(name, engine);
-            let server = Arc::new(Server::start(
+            let server = Server::start(
                 Arc::clone(&registry),
                 ServerConfig {
                     workers: 2,
                     batch: BatchPolicy {
                         max_batch: 4,
                         max_wait: Duration::from_millis(2),
+                        ..BatchPolicy::default()
                     },
                     queue_capacity: 1024,
+                    ..ServerConfig::default()
                 },
-            ));
+            );
+            let serve_client = server.client();
             let start = Instant::now();
             std::thread::scope(|scope| {
                 for client in 0..4usize {
-                    let server = Arc::clone(&server);
+                    let serve_client = serve_client.clone();
                     scope.spawn(move || {
                         let mut rng = Rng::seed_from(900 + client as u64);
                         for _ in 0..requests_per_client {
                             let input = Tensor::randn(&[1, 3, 32, 32], &mut rng);
-                            let _ = server.infer(name, input);
+                            let _ = serve_client.infer(name, input);
                         }
                     });
                 }
@@ -390,27 +399,30 @@ fn measure_precision(
         Engine::new(engine.artifact().clone(), EngineOptions::default()).expect("engine"),
     );
     drop(served);
-    let server = Arc::new(Server::start(
+    let server = Server::start(
         Arc::clone(&registry),
         ServerConfig {
             workers: 2,
             batch: BatchPolicy {
                 max_batch: 4,
                 max_wait: Duration::from_millis(2),
+                ..BatchPolicy::default()
             },
             queue_capacity: 1024,
+            ..ServerConfig::default()
         },
-    ));
+    );
+    let serve_client = server.client();
     let start = Instant::now();
     std::thread::scope(|scope| {
         for client in 0..4usize {
-            let server = Arc::clone(&server);
+            let serve_client = serve_client.clone();
             let model = model.to_owned();
             scope.spawn(move || {
                 let mut rng = Rng::seed_from(seed + 10 + client as u64);
                 for _ in 0..requests_per_client {
                     let input = Tensor::randn(&[1, 3, 32, 32], &mut rng);
-                    let _ = server.infer(&model, input);
+                    let _ = serve_client.infer(&model, input);
                 }
             });
         }
@@ -539,6 +551,248 @@ pub fn quant_serving_report(opts: &RunOptions) -> (Table, String) {
     (table, json)
 }
 
+/// Client-side outcome tally for one logical request class in one
+/// SLO-workload run.
+#[derive(Default)]
+struct SloClassStats {
+    submitted: usize,
+    completed: usize,
+    expired: usize,
+    shed: usize,
+    /// Latencies of completed requests, milliseconds.
+    latencies_ms: Vec<f64>,
+}
+
+impl SloClassStats {
+    fn pct(&self, q: f64) -> f64 {
+        if self.latencies_ms.is_empty() {
+            return 0.0;
+        }
+        let mut sorted = self.latencies_ms.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+        sorted[(q * (sorted.len() - 1) as f64).round() as usize]
+    }
+}
+
+/// One run of the saturating priority-mix workload.
+struct SloRun {
+    mode: &'static str,
+    interactive: SloClassStats,
+    batch: SloClassStats,
+    /// Completed requests as counted by the server — must equal the
+    /// client-side completed tally (zero expired requests executed).
+    server_completed: u64,
+    server_expired: u64,
+    server_shed: u64,
+}
+
+/// Runs the priority-mix workload once. `with_slo` submits through the
+/// full lifecycle surface (priorities + deadlines); without it, every
+/// request is an undifferentiated `Standard` submission — the FIFO
+/// baseline the comparison is against.
+///
+/// The schedule saturates one worker: a deep backlog of batch-class
+/// work first (its tail overflows the admission budget and is shed),
+/// then interactive arrivals racing the backlog drain, including a
+/// tranche with deadlines deliberately tighter than one batch
+/// execution — under SLO scheduling those are dropped *before*
+/// execution instead of served late.
+fn slo_run(artifact: &patdnn_serve::ModelArtifact, with_slo: bool, opts: &RunOptions) -> SloRun {
+    let backlog = if opts.quick { 24 } else { 60 };
+    let interactive_n = if opts.quick { 8 } else { 16 };
+    let tight_n = if opts.quick { 4 } else { 6 };
+    // Per-model budget: the background model's backlog tail overflows
+    // it and is shed; the foreground model has its own headroom, so
+    // interactive arrivals are admitted against a still-deep backlog.
+    let budget = backlog * 4 / 5;
+
+    let registry = Arc::new(ModelRegistry::new());
+    for model in ["bg", "fg"] {
+        registry.register(
+            model,
+            Engine::new(artifact.clone(), EngineOptions::default()).expect("engine"),
+        );
+    }
+    let server = Server::start(
+        Arc::clone(&registry),
+        ServerConfig {
+            workers: 1,
+            batch: BatchPolicy {
+                max_batch: 4,
+                max_wait: Duration::from_millis(2),
+                ..BatchPolicy::default()
+            },
+            queue_capacity: backlog * 2,
+            admission: AdmissionPolicy {
+                max_in_flight: backlog * 2,
+                max_per_model: budget,
+            },
+        },
+    );
+    let client = server.client();
+    let mut rng = Rng::seed_from(0x510);
+    let mut submit = |model: &str, priority: Priority, deadline: Option<Duration>| {
+        let mut req = client
+            .request(model)
+            .input(Tensor::randn(&[1, 3, 32, 32], &mut rng))
+            .priority(if with_slo {
+                priority
+            } else {
+                Priority::Standard
+            });
+        if with_slo {
+            if let Some(d) = deadline {
+                req = req.deadline_in(d);
+            }
+        }
+        req.submit()
+    };
+
+    // Phase A: the batch-class backlog on the background model; its
+    // tail overflows the per-model budget and is shed at submit.
+    let mut batch_stats = SloClassStats::default();
+    let mut interactive_stats = SloClassStats::default();
+    let mut waiters = Vec::new();
+    for _ in 0..backlog {
+        batch_stats.submitted += 1;
+        match submit("bg", Priority::Batch, None) {
+            Ok(handle) => waiters.push((false, handle)),
+            Err(ServeError::Shed { .. }) => batch_stats.shed += 1,
+            Err(e) => panic!("unexpected submit failure: {e}"),
+        }
+    }
+    // Phase B: interactive arrivals on the foreground model racing the
+    // backlog drain. The generous deadline is meetable under priority
+    // scheduling; the tight tranche (shorter than one batch execution)
+    // is not, and must be dropped unexecuted.
+    for i in 0..interactive_n + tight_n {
+        interactive_stats.submitted += 1;
+        let deadline = if i < interactive_n {
+            Duration::from_secs(5)
+        } else {
+            Duration::from_millis(2)
+        };
+        match submit("fg", Priority::Interactive, Some(deadline)) {
+            Ok(handle) => waiters.push((true, handle)),
+            Err(ServeError::Shed { .. }) => interactive_stats.shed += 1,
+            Err(e) => panic!("unexpected submit failure: {e}"),
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    for (is_interactive, handle) in waiters {
+        let stats = if is_interactive {
+            &mut interactive_stats
+        } else {
+            &mut batch_stats
+        };
+        match handle.wait() {
+            Terminal::Completed(resp) => {
+                stats.completed += 1;
+                stats.latencies_ms.push(resp.latency.as_secs_f64() * 1e3);
+            }
+            Terminal::Expired { .. } => stats.expired += 1,
+            Terminal::Shed { .. } => stats.shed += 1,
+            other => panic!("unexpected terminal state {other:?}"),
+        }
+    }
+    let snap = server.metrics().snapshot();
+    server.shutdown();
+    SloRun {
+        mode: if with_slo { "slo" } else { "fifo" },
+        interactive: interactive_stats,
+        batch: batch_stats,
+        server_completed: snap.requests,
+        server_expired: snap.expired,
+        server_shed: snap.shed,
+    }
+}
+
+/// The latency-SLO serving workload (`repro serving-slo`): a
+/// saturating mixed-priority workload served twice — once as an
+/// undifferentiated FIFO baseline, once through the request-lifecycle
+/// API with priorities and deadlines — reporting per-class p50/p99 and
+/// shed/expired rates. With deadlines enabled, interactive tail
+/// latency drops well below the FIFO baseline and requests that cannot
+/// meet their SLO are dropped *before* execution, never served late.
+pub fn slo_serving(opts: &RunOptions) -> Table {
+    let (table, _) = slo_serving_report(opts);
+    table
+}
+
+/// [`slo_serving`] plus a machine-readable JSON report (written by
+/// `repro --json` and uploaded from CI as a workflow artifact).
+pub fn slo_serving_report(opts: &RunOptions) -> (Table, String) {
+    let net = pruned_model(91);
+    let artifact = compile_network("m", &net, [3, 32, 32]).expect("compile");
+    let runs = [
+        slo_run(&artifact, false, opts),
+        slo_run(&artifact, true, opts),
+    ];
+    let mut table = Table::new(
+        "Serving: latency-SLO priority mix, FIFO baseline vs deadline/priority scheduling \
+         (vgg_small, 1 worker, max_batch=4, saturating backlog)",
+        &[
+            "run",
+            "class",
+            "submitted",
+            "completed",
+            "expired",
+            "shed",
+            "p50 ms",
+            "p99 ms",
+        ],
+    );
+    let mut runs_json = Vec::new();
+    for run in &runs {
+        // The server completed exactly what the clients saw complete:
+        // zero expired (or shed) requests were ever executed.
+        assert_eq!(
+            run.server_completed as usize,
+            run.interactive.completed + run.batch.completed,
+            "{}: server executed a request the clients saw dropped",
+            run.mode
+        );
+        let mut classes_json = Vec::new();
+        for (class, stats) in [("interactive", &run.interactive), ("batch", &run.batch)] {
+            table.push_row(vec![
+                run.mode.to_string(),
+                class.to_string(),
+                stats.submitted.to_string(),
+                stats.completed.to_string(),
+                stats.expired.to_string(),
+                stats.shed.to_string(),
+                format!("{:.3}", stats.pct(0.50)),
+                format!("{:.3}", stats.pct(0.99)),
+            ]);
+            classes_json.push(format!(
+                "{{\"class\":\"{class}\",\"submitted\":{},\"completed\":{},\"expired\":{},\
+                 \"shed\":{},\"p50_ms\":{:.5},\"p99_ms\":{:.5}}}",
+                stats.submitted,
+                stats.completed,
+                stats.expired,
+                stats.shed,
+                stats.pct(0.50),
+                stats.pct(0.99)
+            ));
+        }
+        runs_json.push(format!(
+            "{{\"mode\":\"{}\",\"server_completed\":{},\"server_expired\":{},\
+             \"server_shed\":{},\"classes\":[{}]}}",
+            run.mode,
+            run.server_completed,
+            run.server_expired,
+            run.server_shed,
+            classes_json.join(",")
+        ));
+    }
+    let json = format!(
+        "{{\"workload\":\"serving-slo\",\"quick\":{},\"runs\":[{}]}}\n",
+        opts.quick,
+        runs_json.join(",")
+    );
+    (table, json)
+}
+
 /// Both serving tables.
 pub fn serving(opts: &RunOptions) -> Vec<Table> {
     vec![engine_batch_sweep(opts), server_throughput(opts)]
@@ -613,6 +867,55 @@ mod tests {
         assert!(json.contains("\"model\":\"vgg_small\""));
         assert!(json.contains("\"model\":\"resnet_small\""));
         assert!(json.contains("\"b1_speedup\""));
+    }
+
+    /// The SLO workload's acceptance contract: interactive p99 with
+    /// deadlines/priorities enabled beats the undifferentiated FIFO
+    /// baseline under saturation, no expired request executes, and the
+    /// per-row accounting closes.
+    #[test]
+    fn slo_serving_interactive_p99_beats_fifo_and_accounting_closes() {
+        let opts = RunOptions::quick();
+        let (table, json) = slo_serving_report(&opts);
+        assert_eq!(table.rows.len(), 4, "2 runs x 2 classes");
+        for row in &table.rows {
+            let submitted: usize = row[2].parse().expect("numeric submitted");
+            let completed: usize = row[3].parse().expect("numeric completed");
+            let expired: usize = row[4].parse().expect("numeric expired");
+            let shed: usize = row[5].parse().expect("numeric shed");
+            assert_eq!(
+                completed + expired + shed,
+                submitted,
+                "{} {}: every request reached exactly one terminal state",
+                row[0],
+                row[1]
+            );
+        }
+        let (fifo_interactive, slo_interactive) = (&table.rows[0], &table.rows[2]);
+        assert_eq!(fifo_interactive[0], "fifo");
+        assert_eq!(slo_interactive[0], "slo");
+        assert_eq!(fifo_interactive[1], "interactive");
+        assert_eq!(slo_interactive[1], "interactive");
+        let fifo_p99: f64 = fifo_interactive[7].parse().expect("numeric p99");
+        let slo_p99: f64 = slo_interactive[7].parse().expect("numeric p99");
+        assert!(
+            slo_p99 > 0.0 && fifo_p99 > 0.0,
+            "both runs completed interactive work"
+        );
+        assert!(
+            slo_p99 < fifo_p99,
+            "interactive p99 with deadlines ({slo_p99:.3}ms) must beat \
+             the FIFO baseline ({fifo_p99:.3}ms) under saturation"
+        );
+        // The tight-deadline tranche is dropped unexecuted under SLO
+        // scheduling (FIFO has no deadlines, so nothing can expire).
+        let slo_expired: usize = slo_interactive[4].parse().expect("numeric expired");
+        assert!(slo_expired > 0, "tight-SLO requests must expire unexecuted");
+        let fifo_expired: usize = fifo_interactive[4].parse().expect("numeric expired");
+        assert_eq!(fifo_expired, 0, "the FIFO baseline carries no deadlines");
+        assert!(json.contains("\"workload\":\"serving-slo\""));
+        assert!(json.contains("\"mode\":\"fifo\""));
+        assert!(json.contains("\"mode\":\"slo\""));
     }
 
     #[test]

@@ -1,24 +1,47 @@
-//! The bounded request queue with dynamic batching.
+//! The bounded request queue with deadline- and priority-aware dynamic
+//! batching.
 //!
 //! Requests enqueue individually; workers dequeue *batches*. A batch is
-//! all queued requests for one model, capped at `max_batch`; if fewer
-//! are waiting, the worker holds the batch open until the oldest
-//! request has waited `max_wait`, then runs with whatever arrived. This
-//! trades a bounded latency penalty on the first request of a batch for
-//! amortized execution of the whole batch — the classic dynamic
-//! batching policy (see DESIGN.md §7).
+//! up to `max_batch` queued requests for one model; if fewer are
+//! waiting, the worker holds the batch open until the model's oldest
+//! request has waited `max_wait`, then runs with whatever arrived —
+//! the classic dynamic batching policy (DESIGN.md §7), now scheduled
+//! by request urgency (DESIGN.md §10):
+//!
+//! - **Priority classes.** [`Priority::Interactive`] work dispatches
+//!   before [`Priority::Standard`] before [`Priority::Batch`]; within a
+//!   ready model, the batch is filled in urgency order, so a full
+//!   backlog of `Batch`-class requests cannot hold an `Interactive`
+//!   request beyond the in-flight batch already executing.
+//! - **Earliest-deadline-first.** Within one class, requests carrying a
+//!   deadline run before deadline-less ones, earliest deadline first;
+//!   ties break by arrival time.
+//! - **Expiry before execution.** Every pop first drops queued requests
+//!   whose deadline has passed (responding with
+//!   [`ServeError::Expired`]) and cancelled requests (responding with
+//!   [`ServeError::Cancelled`]); an expired request is *never* handed
+//!   to a worker.
+//! - **Bounded anti-starvation boost.** A request that has waited
+//!   `boost_after` is treated as one class more urgent per elapsed
+//!   `boost_after` (capped at `Interactive`), so sustained
+//!   higher-priority traffic cannot starve `Batch`-class work forever.
 //!
 //! The queue is bounded: pushes beyond `capacity` fail with
 //! [`ServeError::QueueFull`] so overload surfaces as backpressure
-//! instead of unbounded memory growth.
+//! instead of unbounded memory growth, and pushes after [`BatchQueue::close`]
+//! fail with the typed [`ServeError::QueueClosed`].
 
 use std::collections::VecDeque;
 use std::sync::mpsc::SyncSender;
 use std::sync::{Condvar, Mutex};
 use std::time::{Duration, Instant};
 
+use std::sync::Arc;
+
 use patdnn_tensor::Tensor;
 
+use crate::metrics::ServerMetrics;
+use crate::request::{AdmissionPermit, CancelToken, Priority};
 use crate::server::RequestResult;
 use crate::ServeError;
 
@@ -27,8 +50,13 @@ use crate::ServeError;
 pub struct BatchPolicy {
     /// Maximum requests per executed batch.
     pub max_batch: usize,
-    /// Maximum time the oldest queued request waits for batch-mates.
+    /// Maximum time a model's oldest queued request waits for
+    /// batch-mates before the partial batch flushes.
     pub max_wait: Duration,
+    /// Anti-starvation bound: a request waiting this long is treated
+    /// as one priority class more urgent (per elapsed `boost_after`,
+    /// capped at `Interactive`).
+    pub boost_after: Duration,
 }
 
 impl Default for BatchPolicy {
@@ -36,6 +64,7 @@ impl Default for BatchPolicy {
         BatchPolicy {
             max_batch: 8,
             max_wait: Duration::from_millis(2),
+            boost_after: Duration::from_millis(100),
         }
     }
 }
@@ -49,8 +78,94 @@ pub struct PendingRequest {
     /// When the request entered the queue (latency is measured from
     /// here, so queueing and batching delay are included).
     pub enqueued: Instant,
+    /// Drop-dead time: past it the request must not execute.
+    pub deadline: Option<Instant>,
+    /// Scheduling class.
+    pub priority: Priority,
+    /// Best-effort cancellation flag shared with the response handle.
+    pub cancel: CancelToken,
     /// Where to deliver the result.
     pub respond: SyncSender<RequestResult>,
+    /// Admission budget held while in flight (released on drop along
+    /// every terminal path). `None` for requests outside admission
+    /// control (unit tests, direct queue users).
+    pub permit: Option<AdmissionPermit>,
+}
+
+/// Why a queued request was resolved without executing.
+pub(crate) enum Dead {
+    /// The deadline passed.
+    Expired,
+    /// The cancel token fired.
+    Cancelled,
+}
+
+impl PendingRequest {
+    /// Resolves the request if its cancel token fired or its deadline
+    /// passed: the admission permit is released and the metric counted
+    /// *before* the typed terminal response is sent (so a caller woken
+    /// by the response observes the freed budget and the updated
+    /// counter), and the request is consumed. A live request is handed
+    /// back untouched. This is the single definition of the
+    /// drop-without-executing policy — the queue's prune and the
+    /// worker's pre-execution re-check both go through it.
+    pub(crate) fn resolve_if_dead(
+        mut self,
+        now: Instant,
+        metrics: Option<&ServerMetrics>,
+    ) -> Result<PendingRequest, Dead> {
+        if self.cancel.is_cancelled() {
+            drop(self.permit.take());
+            if let Some(m) = metrics {
+                m.record_cancelled(1);
+            }
+            let _ = self.respond.send(Err(ServeError::Cancelled));
+            return Err(Dead::Cancelled);
+        }
+        if let Some(d) = self.deadline.filter(|d| *d <= now) {
+            drop(self.permit.take());
+            if let Some(m) = metrics {
+                m.record_expired(1);
+            }
+            let _ = self.respond.send(Err(ServeError::Expired {
+                missed_by: now.saturating_duration_since(d),
+            }));
+            return Err(Dead::Expired);
+        }
+        Ok(self)
+    }
+
+    /// Scheduling key, most urgent first: boosted priority level, then
+    /// deadline-bearing before deadline-less, then earliest deadline,
+    /// then arrival. The boost is bounded — one level per elapsed
+    /// `boost_after`, never past `Interactive`.
+    fn urgency(&self, now: Instant, boost_after: Duration) -> (u8, bool, Instant, Instant) {
+        let waited = now.saturating_duration_since(self.enqueued);
+        let boost = if boost_after.is_zero() {
+            0
+        } else {
+            (waited.as_nanos() / boost_after.as_nanos().max(1)) as u64
+        };
+        let level = (self.priority.level() as u64).saturating_sub(boost) as u8;
+        match self.deadline {
+            Some(d) => (level, false, d, self.enqueued),
+            None => (level, true, self.enqueued, self.enqueued),
+        }
+    }
+}
+
+/// What one [`BatchQueue::pop_batch`] call produced: the batch to
+/// execute plus counts of requests the pop pruned (their terminal
+/// responses were already delivered by the queue).
+pub struct PoppedBatch {
+    /// Registry name the batch targets.
+    pub model: String,
+    /// The requests to execute, most urgent first.
+    pub requests: Vec<PendingRequest>,
+    /// Requests dropped because their deadline passed while queued.
+    pub expired: usize,
+    /// Requests dropped because their cancel token fired while queued.
+    pub cancelled: usize,
 }
 
 struct QueueState {
@@ -58,11 +173,16 @@ struct QueueState {
     closed: bool,
 }
 
-/// A bounded multi-producer queue whose consumers pop same-model batches.
+/// A bounded multi-producer queue whose consumers pop same-model
+/// batches in urgency order.
 pub struct BatchQueue {
     state: Mutex<QueueState>,
     cv: Condvar,
     capacity: usize,
+    /// Where prune outcomes (expired / cancelled) are counted the
+    /// moment they happen — they must not wait for the next popped
+    /// batch to surface.
+    metrics: Option<Arc<ServerMetrics>>,
 }
 
 impl BatchQueue {
@@ -76,14 +196,25 @@ impl BatchQueue {
             }),
             cv: Condvar::new(),
             capacity,
+            metrics: None,
         }
     }
 
-    /// Enqueues a request, failing fast when full or closed.
+    /// Like [`BatchQueue::new`], with prune outcomes recorded into
+    /// `metrics` as they happen.
+    pub fn with_metrics(capacity: usize, metrics: Arc<ServerMetrics>) -> Self {
+        BatchQueue {
+            metrics: Some(metrics),
+            ..BatchQueue::new(capacity)
+        }
+    }
+
+    /// Enqueues a request, failing fast when full ([`ServeError::QueueFull`])
+    /// or closed ([`ServeError::QueueClosed`] — never a silent drop).
     pub fn push(&self, req: PendingRequest) -> Result<(), ServeError> {
         let mut state = self.state.lock().expect("queue lock");
         if state.closed {
-            return Err(ServeError::Closed);
+            return Err(ServeError::QueueClosed);
         }
         if state.entries.len() >= self.capacity {
             return Err(ServeError::QueueFull);
@@ -103,29 +234,49 @@ impl BatchQueue {
         self.len() == 0
     }
 
-    /// Closes the queue: pending pushes fail, poppers drain what's left
-    /// and then observe `None`.
+    /// Closes the queue: subsequent pushes fail with
+    /// [`ServeError::QueueClosed`], poppers drain what's left and then
+    /// observe `None`. The close flag and the entry list share one
+    /// lock, so there is no window where a push can slip in after the
+    /// close and be lost.
     pub fn close(&self) {
         self.state.lock().expect("queue lock").closed = true;
         self.cv.notify_all();
     }
 
-    /// Blocks until a batch is ready under `policy`, returning the
-    /// model name and its requests in arrival order — or `None` once the
+    /// Empties the queue immediately, returning the removed requests
+    /// so the caller can fail them (used by fast shutdown).
+    pub fn drain_now(&self) -> Vec<PendingRequest> {
+        let mut state = self.state.lock().expect("queue lock");
+        let drained = state.entries.drain(..).collect();
+        self.cv.notify_all();
+        drained
+    }
+
+    /// Blocks until a batch is ready under `policy`, returning it with
+    /// the counts of requests pruned along the way — or `None` once the
     /// queue is closed and drained.
     ///
-    /// Batch formation scans every queued model in order of each
-    /// model's oldest request: the first model with a *ready* batch —
-    /// full, past its oldest request's `max_wait` deadline, or any
-    /// model once the queue is closed — is popped. A stalled head
-    /// therefore cannot block a full batch of another model queued
+    /// Every wake first prunes expired and cancelled requests from the
+    /// *whole* queue (delivering their terminal responses), then scans
+    /// per model: a model is *ready* when it has a full batch, when its
+    /// oldest request has waited `max_wait`, or whenever the queue is
+    /// closed. Among ready models the one holding the most urgent
+    /// request wins, and its batch is filled in urgency order. A
+    /// stalled head cannot block a ready batch of another model queued
     /// behind it (no head-of-line blocking). When no model is ready the
-    /// worker sleeps until the earliest deadline over all queued
-    /// models' oldest requests, or a push wakes it.
-    pub fn pop_batch(&self, policy: &BatchPolicy) -> Option<(String, Vec<PendingRequest>)> {
+    /// worker sleeps until the earliest of: any model's `max_wait`
+    /// flush deadline, any request's expiry deadline, or a push.
+    pub fn pop_batch(&self, policy: &BatchPolicy) -> Option<PoppedBatch> {
         assert!(policy.max_batch > 0, "max_batch must be positive");
         let mut state = self.state.lock().expect("queue lock");
+        let mut expired = 0usize;
+        let mut cancelled = 0usize;
         loop {
+            let now = Instant::now();
+            let (e, c) = prune(&mut state.entries, now, self.metrics.as_deref());
+            expired += e;
+            cancelled += c;
             if state.entries.is_empty() {
                 if state.closed {
                     return None;
@@ -133,88 +284,180 @@ impl BatchQueue {
                 state = self.cv.wait(state).expect("queue lock");
                 continue;
             }
-            let now = Instant::now();
-            // One pass accumulating per-model state in head-arrival
-            // order (each model's head is its first entry): waiting
-            // count plus the head's max_wait deadline. Kept to a single
-            // queue traversal so a wake under the lock stays O(entries
-            // × distinct models) in string compares, never a rescan of
-            // the whole queue per model.
-            let mut models: Vec<(&str, usize, Instant)> = Vec::new();
+            // One pass accumulating per-model readiness in head-arrival
+            // order: waiting count, the oldest request's flush deadline,
+            // and the model's most urgent scheduling key.
+            struct ModelScan<'q> {
+                model: &'q str,
+                waiting: usize,
+                flush_at: Instant,
+                best: (u8, bool, Instant, Instant),
+            }
+            let closed = state.closed;
+            let mut models: Vec<ModelScan> = Vec::new();
+            let mut next_expiry: Option<Instant> = None;
             for req in &state.entries {
-                match models.iter_mut().find(|(m, _, _)| *m == req.model) {
-                    Some((_, waiting, _)) => *waiting += 1,
-                    None => models.push((&req.model, 1, req.enqueued + policy.max_wait)),
+                let key = req.urgency(now, policy.boost_after);
+                if let Some(d) = req.deadline {
+                    next_expiry = Some(match next_expiry {
+                        Some(e) if e < d => e,
+                        _ => d,
+                    });
+                }
+                match models.iter_mut().find(|m| m.model == req.model) {
+                    Some(m) => {
+                        m.waiting += 1;
+                        m.flush_at = m.flush_at.min(req.enqueued + policy.max_wait);
+                        m.best = m.best.min(key);
+                    }
+                    None => models.push(ModelScan {
+                        model: &req.model,
+                        waiting: 1,
+                        flush_at: req.enqueued + policy.max_wait,
+                        best: key,
+                    }),
                 }
             }
-            // First ready model in head order wins; otherwise sleep to
-            // the earliest head deadline.
-            let mut ready: Option<String> = None;
-            let mut earliest_deadline: Option<Instant> = None;
-            for &(model, waiting, deadline) in &models {
-                if waiting >= policy.max_batch || now >= deadline || state.closed {
-                    ready = Some(model.to_owned());
-                    break;
+            // Most urgent ready model wins; otherwise sleep to the
+            // earliest flush or expiry deadline.
+            let mut winner: Option<(&ModelScan, (u8, bool, Instant, Instant))> = None;
+            let mut earliest_wake: Option<Instant> = None;
+            for m in &models {
+                if m.waiting >= policy.max_batch || now >= m.flush_at || closed {
+                    if winner.as_ref().is_none_or(|(_, best)| m.best < *best) {
+                        winner = Some((m, m.best));
+                    }
+                } else {
+                    earliest_wake = Some(match earliest_wake {
+                        Some(w) if w < m.flush_at => w,
+                        _ => m.flush_at,
+                    });
                 }
-                earliest_deadline = Some(match earliest_deadline {
-                    Some(d) if d < deadline => d,
-                    _ => deadline,
+            }
+            if let Some((m, _)) = winner {
+                let model = m.model.to_owned();
+                drop(models);
+                let requests = extract_batch(
+                    &mut state.entries,
+                    &model,
+                    policy.max_batch,
+                    now,
+                    policy.boost_after,
+                );
+                return Some(PoppedBatch {
+                    model,
+                    requests,
+                    expired,
+                    cancelled,
                 });
             }
             drop(models);
-            if let Some(model) = ready {
-                let batch = extract_model(&mut state.entries, &model, policy.max_batch);
-                return Some((model, batch));
-            }
-            let deadline = earliest_deadline.expect("non-empty queue yields a deadline");
+            let wake = match (earliest_wake, next_expiry) {
+                (Some(w), Some(e)) => w.min(e),
+                (Some(w), None) => w,
+                (None, Some(e)) => e,
+                (None, None) => unreachable!("non-empty queue yields a wake deadline"),
+            };
             let (next, _timeout) = self
                 .cv
-                .wait_timeout(state, deadline.saturating_duration_since(now))
+                .wait_timeout(state, wake.saturating_duration_since(now))
                 .expect("queue lock");
             state = next;
         }
     }
 }
 
-/// Removes up to `max` requests for `model`, preserving arrival order of
-/// both the batch and the requests left behind.
-fn extract_model(
+/// Drops expired and cancelled entries via
+/// [`PendingRequest::resolve_if_dead`], returning `(expired,
+/// cancelled)` counts. The common case — nothing to drop — is a
+/// read-only scan, so a wake under the queue lock does not rebuild the
+/// entry list for nothing.
+fn prune(
+    entries: &mut VecDeque<PendingRequest>,
+    now: Instant,
+    metrics: Option<&ServerMetrics>,
+) -> (usize, usize) {
+    let any_dead = entries
+        .iter()
+        .any(|r| r.cancel.is_cancelled() || r.deadline.is_some_and(|d| d <= now));
+    if !any_dead {
+        return (0, 0);
+    }
+    let (mut expired, mut cancelled) = (0, 0);
+    let mut kept = VecDeque::with_capacity(entries.len());
+    for req in entries.drain(..) {
+        match req.resolve_if_dead(now, metrics) {
+            Ok(live) => kept.push_back(live),
+            Err(Dead::Expired) => expired += 1,
+            Err(Dead::Cancelled) => cancelled += 1,
+        }
+    }
+    *entries = kept;
+    (expired, cancelled)
+}
+
+/// Removes up to `max` requests for `model` in urgency order (most
+/// urgent first). Entries left behind keep their arrival order;
+/// scheduling is timestamp-based, so queue position carries no policy
+/// weight.
+fn extract_batch(
     entries: &mut VecDeque<PendingRequest>,
     model: &str,
     max: usize,
+    now: Instant,
+    boost_after: Duration,
 ) -> Vec<PendingRequest> {
-    let mut batch = Vec::new();
+    let mut candidates = Vec::new();
     let mut rest = VecDeque::with_capacity(entries.len());
     for req in entries.drain(..) {
-        if batch.len() < max && req.model == model {
-            batch.push(req);
+        if req.model == model {
+            candidates.push(req);
         } else {
             rest.push_back(req);
         }
     }
+    candidates.sort_by_key(|req| req.urgency(now, boost_after));
+    let overflow = candidates.split_off(max.min(candidates.len()));
+    rest.extend(overflow);
     *entries = rest;
-    batch
+    candidates
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::mpsc::sync_channel;
+    use std::sync::mpsc::{sync_channel, Receiver};
 
     fn req(model: &str) -> PendingRequest {
-        let (tx, _rx) = sync_channel(1);
-        PendingRequest {
-            model: model.to_owned(),
-            input: Tensor::zeros(&[1, 1, 1, 1]),
-            enqueued: Instant::now(),
-            respond: tx,
-        }
+        req_with(model, Priority::Standard, None).0
+    }
+
+    fn req_with(
+        model: &str,
+        priority: Priority,
+        deadline: Option<Instant>,
+    ) -> (PendingRequest, Receiver<RequestResult>) {
+        let (tx, rx) = sync_channel(1);
+        (
+            PendingRequest {
+                model: model.to_owned(),
+                input: Tensor::zeros(&[1, 1, 1, 1]),
+                enqueued: Instant::now(),
+                deadline,
+                priority,
+                cancel: CancelToken::new(),
+                respond: tx,
+                permit: None,
+            },
+            rx,
+        )
     }
 
     fn policy(max_batch: usize, max_wait_ms: u64) -> BatchPolicy {
         BatchPolicy {
             max_batch,
             max_wait: Duration::from_millis(max_wait_ms),
+            ..BatchPolicy::default()
         }
     }
 
@@ -225,9 +468,10 @@ mod tests {
             q.push(req("m")).unwrap();
         }
         let start = Instant::now();
-        let (model, batch) = q.pop_batch(&policy(4, 10_000)).expect("batch");
-        assert_eq!(model, "m");
-        assert_eq!(batch.len(), 4);
+        let popped = q.pop_batch(&policy(4, 10_000)).expect("batch");
+        assert_eq!(popped.model, "m");
+        assert_eq!(popped.requests.len(), 4);
+        assert_eq!(popped.expired + popped.cancelled, 0);
         assert!(start.elapsed() < Duration::from_secs(1), "no deadline wait");
         assert!(q.is_empty());
     }
@@ -236,8 +480,8 @@ mod tests {
     fn deadline_flushes_partial_batch() {
         let q = BatchQueue::new(16);
         q.push(req("m")).unwrap();
-        let (_, batch) = q.pop_batch(&policy(8, 20)).expect("batch");
-        assert_eq!(batch.len(), 1, "partial batch after max_wait");
+        let popped = q.pop_batch(&policy(8, 20)).expect("batch");
+        assert_eq!(popped.requests.len(), 1, "partial batch after max_wait");
     }
 
     #[test]
@@ -246,13 +490,13 @@ mod tests {
         q.push(req("a")).unwrap();
         q.push(req("b")).unwrap();
         q.push(req("a")).unwrap();
-        let (model, batch) = q.pop_batch(&policy(8, 0)).expect("batch");
-        assert_eq!(model, "a");
-        assert_eq!(batch.len(), 2);
+        let popped = q.pop_batch(&policy(8, 0)).expect("batch");
+        assert_eq!(popped.model, "a");
+        assert_eq!(popped.requests.len(), 2);
         assert_eq!(q.len(), 1, "other model's request remains");
-        let (model, batch) = q.pop_batch(&policy(8, 0)).expect("batch");
-        assert_eq!(model, "b");
-        assert_eq!(batch.len(), 1);
+        let popped = q.pop_batch(&policy(8, 0)).expect("batch");
+        assert_eq!(popped.model, "b");
+        assert_eq!(popped.requests.len(), 1);
     }
 
     #[test]
@@ -263,21 +507,26 @@ mod tests {
         assert!(matches!(q.push(req("m")), Err(ServeError::QueueFull)));
     }
 
+    /// Pushing after close fails with the typed `QueueClosed` (never a
+    /// silent drop), and the closed queue still drains what it holds.
     #[test]
-    fn close_drains_then_ends() {
+    fn close_drains_then_ends_and_pushes_fail_typed() {
         let q = BatchQueue::new(4);
         q.push(req("m")).unwrap();
         q.close();
-        assert!(matches!(q.push(req("m")), Err(ServeError::Closed)));
-        let (_, batch) = q.pop_batch(&policy(8, 10_000)).expect("drain");
-        assert_eq!(batch.len(), 1);
+        assert!(matches!(q.push(req("m")), Err(ServeError::QueueClosed)));
+        let popped = q.pop_batch(&policy(8, 10_000)).expect("drain");
+        assert_eq!(popped.requests.len(), 1);
         assert!(q.pop_batch(&policy(8, 0)).is_none(), "closed and empty");
+        // The closed-queue window stays typed: still QueueClosed, and
+        // nothing was silently enqueued.
+        assert!(matches!(q.push(req("m")), Err(ServeError::QueueClosed)));
+        assert!(q.is_empty());
     }
 
     /// Head-of-line regression: a full batch for model B queued behind
     /// model A's still-waiting head must pop immediately, not after A's
-    /// deadline. (The pre-fix `pop_batch` slept on A's deadline and
-    /// hangs this test for its full 10s max_wait.)
+    /// deadline.
     #[test]
     fn full_batch_behind_a_waiting_head_pops_immediately() {
         let q = BatchQueue::new(16);
@@ -286,9 +535,12 @@ mod tests {
             q.push(req("b")).unwrap();
         }
         let start = Instant::now();
-        let (model, batch) = q.pop_batch(&policy(4, 10_000)).expect("batch");
-        assert_eq!(model, "b", "the ready batch must overtake the waiting head");
-        assert_eq!(batch.len(), 4);
+        let popped = q.pop_batch(&policy(4, 10_000)).expect("batch");
+        assert_eq!(
+            popped.model, "b",
+            "the ready batch must overtake the waiting head"
+        );
+        assert_eq!(popped.requests.len(), 4);
         assert!(
             start.elapsed() < Duration::from_secs(1),
             "must not sleep on model a's deadline"
@@ -304,9 +556,9 @@ mod tests {
         q.push(req("a")).unwrap();
         q.push(req("b")).unwrap();
         let start = Instant::now();
-        let (model, batch) = q.pop_batch(&policy(8, 30)).expect("batch");
-        assert_eq!(model, "a", "the oldest head expires first");
-        assert_eq!(batch.len(), 1);
+        let popped = q.pop_batch(&policy(8, 30)).expect("batch");
+        assert_eq!(popped.model, "a", "the oldest head expires first");
+        assert_eq!(popped.requests.len(), 1);
         assert!(start.elapsed() < Duration::from_millis(500));
     }
 
@@ -327,7 +579,11 @@ mod tests {
                 model: model.to_owned(),
                 input: Tensor::from_vec(&[1, 1, 1, 1], vec![i as f32]).expect("tagged input"),
                 enqueued: Instant::now(),
+                deadline: None,
+                priority: Priority::Standard,
+                cancel: CancelToken::new(),
                 respond: tx,
+                permit: None,
             })
             .unwrap();
             receivers.push((i, rx));
@@ -338,9 +594,9 @@ mod tests {
                 let q = Arc::clone(&q);
                 scope.spawn(move || {
                     let pol = policy(4, 0);
-                    while let Some((model, batch)) = q.pop_batch(&pol) {
-                        for r in batch {
-                            assert_eq!(r.model, model, "batches are single-model");
+                    while let Some(popped) = q.pop_batch(&pol) {
+                        for r in popped.requests {
+                            assert_eq!(r.model, popped.model, "batches are single-model");
                             r.respond
                                 .send(Ok(InferResponse {
                                     output: r.input.clone(),
@@ -374,9 +630,173 @@ mod tests {
         for _ in 0..7 {
             q.push(req("m")).unwrap();
         }
-        let (_, first) = q.pop_batch(&policy(4, 0)).expect("first");
-        assert_eq!(first.len(), 4);
-        let (_, second) = q.pop_batch(&policy(4, 0)).expect("second");
-        assert_eq!(second.len(), 3);
+        let first = q.pop_batch(&policy(4, 0)).expect("first");
+        assert_eq!(first.requests.len(), 4);
+        let second = q.pop_batch(&policy(4, 0)).expect("second");
+        assert_eq!(second.requests.len(), 3);
+    }
+
+    /// An interactive request never waits behind a full batch-class
+    /// backlog of its own model: the batch is filled in urgency order,
+    /// so it rides in the very next pop.
+    #[test]
+    fn interactive_request_jumps_a_full_batch_class_backlog() {
+        let q = BatchQueue::new(16);
+        let mut batch_rx = Vec::new();
+        for _ in 0..6 {
+            let (r, rx) = req_with("m", Priority::Batch, None);
+            q.push(r).unwrap();
+            batch_rx.push(rx);
+        }
+        let (interactive, _rx) = req_with("m", Priority::Interactive, None);
+        q.push(interactive).unwrap();
+        let popped = q.pop_batch(&policy(4, 0)).expect("batch");
+        assert_eq!(popped.requests.len(), 4);
+        assert_eq!(
+            popped.requests[0].priority,
+            Priority::Interactive,
+            "the interactive request leads the very next batch"
+        );
+        assert_eq!(q.len(), 3, "batch-class overflow stays queued");
+    }
+
+    /// Within a priority class, deadline-bearing requests pop earliest
+    /// deadline first, ahead of deadline-less peers.
+    #[test]
+    fn edf_orders_within_a_priority_class() {
+        let q = BatchQueue::new(16);
+        let now = Instant::now();
+        let (late, _rx_l) = req_with("m", Priority::Standard, Some(now + Duration::from_secs(60)));
+        let (none, _rx_n) = req_with("m", Priority::Standard, None);
+        let (soon, _rx_s) = req_with("m", Priority::Standard, Some(now + Duration::from_secs(5)));
+        q.push(late).unwrap();
+        q.push(none).unwrap();
+        q.push(soon).unwrap();
+        let popped = q.pop_batch(&policy(8, 0)).expect("batch");
+        let deadlines: Vec<Option<Instant>> = popped.requests.iter().map(|r| r.deadline).collect();
+        assert_eq!(
+            deadlines,
+            vec![
+                Some(now + Duration::from_secs(5)),
+                Some(now + Duration::from_secs(60)),
+                None
+            ],
+            "EDF first, deadline-less last"
+        );
+    }
+
+    /// Expired requests are dropped (and answered) before a batch
+    /// forms; they are never handed to a worker.
+    #[test]
+    fn expired_requests_are_dropped_before_execution() {
+        let q = BatchQueue::new(16);
+        let (dead, dead_rx) = req_with(
+            "m",
+            Priority::Standard,
+            Some(Instant::now() - Duration::from_millis(5)),
+        );
+        let (live, _live_rx) = req_with("m", Priority::Standard, None);
+        q.push(dead).unwrap();
+        q.push(live).unwrap();
+        let popped = q.pop_batch(&policy(8, 0)).expect("batch");
+        assert_eq!(popped.expired, 1, "the expired request was pruned");
+        assert_eq!(popped.requests.len(), 1, "only the live request executes");
+        assert!(popped.requests[0].deadline.is_none());
+        let outcome = dead_rx.recv().expect("expired response delivered");
+        assert!(matches!(outcome, Err(ServeError::Expired { .. })));
+    }
+
+    /// Cancelled requests are likewise pruned with a typed response.
+    #[test]
+    fn cancelled_requests_are_dropped_before_execution() {
+        let q = BatchQueue::new(16);
+        let (victim, victim_rx) = req_with("m", Priority::Standard, None);
+        let token = victim.cancel.clone();
+        let (live, _live_rx) = req_with("m", Priority::Standard, None);
+        q.push(victim).unwrap();
+        q.push(live).unwrap();
+        token.cancel();
+        let popped = q.pop_batch(&policy(8, 0)).expect("batch");
+        assert_eq!(popped.cancelled, 1);
+        assert_eq!(popped.requests.len(), 1);
+        assert!(matches!(
+            victim_rx.recv().expect("cancel response delivered"),
+            Err(ServeError::Cancelled)
+        ));
+    }
+
+    /// A sleeping pop wakes on a queued request's expiry deadline and
+    /// prunes it promptly rather than sleeping out the full max_wait.
+    #[test]
+    fn sleep_wakes_on_the_earliest_expiry_deadline() {
+        let q = BatchQueue::new(16);
+        let (doomed, doomed_rx) = req_with(
+            "m",
+            Priority::Standard,
+            Some(Instant::now() + Duration::from_millis(20)),
+        );
+        q.push(doomed).unwrap();
+        let start = Instant::now();
+        // max_wait is far away; the expiry at +20ms must bound the
+        // sleep. After pruning the queue is empty and closed-less pops
+        // would block, so close it from a helper thread.
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                std::thread::sleep(Duration::from_millis(60));
+                q.close();
+            });
+            assert!(
+                q.pop_batch(&policy(8, 10_000)).is_none(),
+                "expired request pruned; queue drains to close"
+            );
+        });
+        assert!(
+            start.elapsed() < Duration::from_secs(2),
+            "woke on expiry, not max_wait"
+        );
+        assert!(matches!(
+            doomed_rx.recv().expect("expiry delivered"),
+            Err(ServeError::Expired { .. })
+        ));
+    }
+
+    /// The anti-starvation boost: an old batch-class request overtakes
+    /// a fresh interactive one once it has waited past `boost_after`
+    /// levels, and the boost is bounded at the interactive level.
+    #[test]
+    fn aged_batch_class_work_is_boosted_but_bounded() {
+        let q = BatchQueue::new(16);
+        let old_enqueue = Instant::now() - Duration::from_millis(50);
+        let (mut aged, _rx_a) = req_with("m", Priority::Batch, None);
+        aged.enqueued = old_enqueue;
+        let (fresh, _rx_f) = req_with("m", Priority::Interactive, None);
+        q.push(fresh).unwrap();
+        q.push(aged).unwrap();
+        let pol = BatchPolicy {
+            max_batch: 1,
+            max_wait: Duration::ZERO,
+            boost_after: Duration::from_millis(10),
+        };
+        // 50ms waited / 10ms boost_after = 5 levels: batch (2) boosts to
+        // interactive (0), never beyond — so the *older* request wins
+        // only via its arrival-time tie-break at the same level.
+        let popped = q.pop_batch(&pol).expect("batch");
+        assert_eq!(popped.requests.len(), 1);
+        assert_eq!(
+            popped.requests[0].priority,
+            Priority::Batch,
+            "aged batch-class work reaches the front via the bounded boost"
+        );
+    }
+
+    #[test]
+    fn drain_now_empties_the_queue() {
+        let q = BatchQueue::new(16);
+        for _ in 0..5 {
+            q.push(req("m")).unwrap();
+        }
+        let drained = q.drain_now();
+        assert_eq!(drained.len(), 5);
+        assert!(q.is_empty());
     }
 }

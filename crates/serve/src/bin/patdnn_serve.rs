@@ -17,12 +17,20 @@
 //! per-step precision so the reloaded engine serves quantized with no
 //! recalibration.
 //!
+//! Traffic is submitted through the request-lifecycle API
+//! ([`patdnn_serve::request`]): `--priority` picks the scheduling
+//! class and `--deadline-ms` attaches a per-request deadline — expired
+//! requests are dropped *before* execution and reported, never served
+//! late. The final report breaks latency out per priority class and
+//! counts every terminal state (completed / expired / shed / rejected).
+//!
 //! ```text
 //! patdnn-serve [--model vgg_small|resnet_small] [--requests N]
 //!              [--clients N] [--workers N] [--max-batch N]
 //!              [--max-wait-ms N] [--threads N]
 //!              [--tune off|estimate|measure] [--budget N]
 //!              [--precision f32|int8]
+//!              [--priority interactive|standard|batch] [--deadline-ms N]
 //! ```
 
 use std::sync::Arc;
@@ -39,7 +47,7 @@ use patdnn_serve::engine::{Engine, EngineOptions};
 use patdnn_serve::quant::quantize_artifact;
 use patdnn_serve::registry::ModelRegistry;
 use patdnn_serve::server::{Server, ServerConfig};
-use patdnn_serve::{ModelArtifact, Precision, TunePolicy};
+use patdnn_serve::{ModelArtifact, Precision, Priority, ServeError, Terminal, TunePolicy};
 use patdnn_tensor::rng::Rng;
 use patdnn_tensor::Tensor;
 
@@ -54,6 +62,9 @@ struct Args {
     tune: TunePolicy,
     budget: usize,
     precision: Precision,
+    priority: Priority,
+    /// Per-request deadline in milliseconds; 0 disables deadlines.
+    deadline_ms: u64,
 }
 
 fn parse_args() -> Args {
@@ -68,6 +79,8 @@ fn parse_args() -> Args {
         tune: TunePolicy::Off,
         budget: 24,
         precision: Precision::F32,
+        priority: Priority::Standard,
+        deadline_ms: 0,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -108,6 +121,17 @@ fn parse_args() -> Args {
                     other => die(&format!("--precision expects f32|int8, got {other:?}")),
                 };
             }
+            "--priority" => {
+                args.priority = match argv.get(i + 1).map(String::as_str) {
+                    Some("interactive") => Priority::Interactive,
+                    Some("standard") => Priority::Standard,
+                    Some("batch") => Priority::Batch,
+                    other => die(&format!(
+                        "--priority expects interactive|standard|batch, got {other:?}"
+                    )),
+                };
+            }
+            "--deadline-ms" => args.deadline_ms = need(i) as u64,
             other => die(&format!("unknown flag {other}")),
         }
         i += 2;
@@ -138,7 +162,8 @@ fn die(msg: &str) -> ! {
     eprintln!(
         "usage: patdnn-serve [--model vgg_small|resnet_small] [--requests N] \
          [--clients N] [--workers N] [--max-batch N] [--max-wait-ms N] [--threads N] \
-         [--tune off|estimate|measure] [--budget N] [--precision f32|int8]"
+         [--tune off|estimate|measure] [--budget N] [--precision f32|int8] \
+         [--priority interactive|standard|batch] [--deadline-ms N]"
     );
     std::process::exit(2);
 }
@@ -263,44 +288,85 @@ fn main() {
     );
     println!("      max |engine - reference| = {diff:.2e} (< {tol:.0e}): OK");
 
-    // 4. Serve synthetic traffic through the dynamic-batching server.
+    // 4. Serve synthetic traffic through the dynamic-batching server
+    //    via the request-lifecycle API.
+    let deadline = (args.deadline_ms > 0).then(|| Duration::from_millis(args.deadline_ms));
     println!(
-        "[4/5] serving {} requests from {} clients ({} workers, max_batch={}, max_wait={}ms)...",
-        args.requests, args.clients, args.workers, args.max_batch, args.max_wait_ms
+        "[4/5] serving {} {} requests from {} clients ({} workers, max_batch={}, \
+         max_wait={}ms, deadline={})...",
+        args.requests,
+        args.priority.label(),
+        args.clients,
+        args.workers,
+        args.max_batch,
+        args.max_wait_ms,
+        match deadline {
+            Some(d) => format!("{}ms", d.as_millis()),
+            None => "none".into(),
+        }
     );
     let registry = Arc::new(ModelRegistry::new());
     registry.register(&args.model, engine);
-    let server = Arc::new(Server::start(
+    let server = Server::start(
         Arc::clone(&registry),
         ServerConfig {
             workers: args.workers,
             batch: BatchPolicy {
                 max_batch: args.max_batch,
                 max_wait: Duration::from_millis(args.max_wait_ms),
+                ..BatchPolicy::default()
             },
             queue_capacity: 1024,
+            ..ServerConfig::default()
         },
-    ));
+    );
+    let serve_client = server.client();
 
     let start = Instant::now();
     let per_client = args.requests.div_ceil(args.clients.max(1));
     let model = args.model.as_str();
+    let priority = args.priority;
+    // Terminal-state counts across all clients:
+    // [completed, expired, shed, rejected, other].
+    let counts = std::sync::Mutex::new([0u64; 5]);
     std::thread::scope(|scope| {
         for client in 0..args.clients {
-            let server = Arc::clone(&server);
+            let serve_client = serve_client.clone();
+            let counts = &counts;
             scope.spawn(move || {
                 let mut rng = Rng::seed_from(100 + client as u64);
+                let mut local = [0u64; 5];
                 for _ in 0..per_client {
                     let input = Tensor::randn(&[1, 3, 32, 32], &mut rng);
-                    match server.infer(model, input) {
-                        Ok(_) => {}
-                        Err(e) => eprintln!("client {client}: request failed: {e}"),
+                    let mut request = serve_client.request(model).input(input).priority(priority);
+                    if let Some(d) = deadline {
+                        request = request.deadline_in(d);
+                    }
+                    match request.submit().map(|handle| handle.wait()) {
+                        Ok(Terminal::Completed(_)) => local[0] += 1,
+                        Ok(Terminal::Expired { .. }) | Err(ServeError::Expired { .. }) => {
+                            local[1] += 1
+                        }
+                        Ok(Terminal::Shed { .. }) | Err(ServeError::Shed { .. }) => local[2] += 1,
+                        Err(ServeError::QueueFull) => local[3] += 1,
+                        Ok(other) => {
+                            eprintln!("client {client}: request ended {other:?}");
+                            local[4] += 1;
+                        }
+                        Err(e) => {
+                            eprintln!("client {client}: request failed: {e}");
+                            local[4] += 1;
+                        }
                     }
                     // Jittered think time keeps arrivals bursty enough
                     // to exercise partial batches.
                     if rng.chance(0.3) {
                         std::thread::sleep(Duration::from_micros(rng.below(500) as u64));
                     }
+                }
+                let mut totals = counts.lock().expect("counts lock");
+                for (t, l) in totals.iter_mut().zip(local) {
+                    *t += l;
                 }
             });
         }
@@ -310,9 +376,10 @@ fn main() {
     // 5. Report.
     println!("[5/5] results");
     let snap = server.metrics().snapshot();
+    let [completed, expired, shed, rejected, other] = *counts.lock().expect("counts lock");
     println!(
-        "      requests     {}  (rejected {})",
-        snap.requests, snap.rejected
+        "      requests     {completed} completed | {expired} expired | {shed} shed | \
+         {rejected} rejected | {other} other"
     );
     println!(
         "      batches      {}  (avg batch {:.2})",
@@ -322,10 +389,22 @@ fn main() {
         "      latency ms   p50 {:.3} | p95 {:.3} | p99 {:.3} | mean {:.3}",
         snap.p50_ms, snap.p95_ms, snap.p99_ms, snap.mean_ms
     );
+    for class in &snap.classes {
+        if class.requests > 0 {
+            println!(
+                "      {:<12} p50 {:.3} | p99 {:.3} (n={})",
+                class.priority.label(),
+                class.p50_ms,
+                class.p99_ms,
+                class.requests
+            );
+        }
+    }
     println!(
         "      throughput   {:.1} QPS over {:.2}s wall ({:.1} window QPS)",
         snap.requests as f64 / wall,
         wall,
         snap.qps
     );
+    server.shutdown();
 }

@@ -34,14 +34,28 @@
 //!   writing pooled, liveness-shared slot buffers, with a single
 //!   `infer` entry point; batch-N throughout.
 //! - [`registry`] — named models, shared between workers.
-//! - [`batching`] — the bounded request queue with dynamic batching:
-//!   collect up to `max_batch` same-model requests or a `max_wait`
-//!   deadline, execute as one batch, scatter the results.
-//! - [`server`] — the worker pool tying registry + queue together.
+//! - [`request`] — the request-lifecycle API: a [`request::Client`]
+//!   builds requests carrying a deadline, a [`request::Priority`]
+//!   class, and a [`request::CancelToken`]; submission returns a
+//!   [`request::ResponseHandle`] with `wait`/`wait_timeout`/`try_poll`
+//!   and typed [`request::Terminal`] states (`Completed`, `Expired`,
+//!   `Cancelled`, `Shed`). Admission control bounds global and
+//!   per-model in-flight work and sheds the overflow with a retry
+//!   hint.
+//! - [`batching`] — the bounded request queue with deadline- and
+//!   priority-aware dynamic batching: collect up to `max_batch`
+//!   same-model requests or a `max_wait` deadline, dispatch by
+//!   priority class with earliest-deadline-first ordering inside each
+//!   class, drop expired requests *before* execution, and protect
+//!   `Batch`-class work from starvation with a bounded boost.
+//! - [`server`] — the worker pool tying registry + queue together
+//!   (the old blocking `submit`/`infer` remain as deprecated shims).
 //! - [`metrics`] — per-request latency and throughput counters
-//!   (p50/p95/p99, QPS).
+//!   (p50/p95/p99, QPS), per priority class, plus shed / expired /
+//!   cancelled lifecycle counters.
 //!
-//! See `DESIGN.md` §7 for the serving architecture and batching policy.
+//! See `DESIGN.md` §7 for the serving architecture and batching
+//! policy, and §10 for the request lifecycle and admission control.
 //!
 //! # Examples
 //!
@@ -66,6 +80,7 @@ pub mod engine;
 pub mod metrics;
 pub mod quant;
 pub mod registry;
+pub mod request;
 pub mod server;
 pub mod tune;
 
@@ -75,9 +90,12 @@ pub use compile::{
     CompileOptions,
 };
 pub use engine::{Engine, EngineOptions};
-pub use metrics::{MetricsSnapshot, ServerMetrics};
+pub use metrics::{ClassSnapshot, MetricsSnapshot, ServerMetrics};
 pub use quant::{compile_network_int8, quantize_artifact, QuantError};
 pub use registry::ModelRegistry;
+pub use request::{
+    AdmissionPolicy, CancelToken, Client, Priority, RequestBuilder, ResponseHandle, Terminal,
+};
 pub use server::{Server, ServerConfig};
 pub use tune::TunePolicy;
 
@@ -90,7 +108,29 @@ pub enum ServeError {
     UnknownModel(String),
     /// The request queue is at capacity (backpressure).
     QueueFull,
-    /// The server is shutting down.
+    /// The batch queue was closed before the request could enqueue.
+    QueueClosed,
+    /// The server is shutting down; new requests are refused and, under
+    /// fast shutdown, still-queued requests fail with this error.
+    ShuttingDown,
+    /// The request's deadline passed before execution; it was dropped
+    /// without executing.
+    Expired {
+        /// How far past the deadline the drop happened.
+        missed_by: std::time::Duration,
+    },
+    /// The request's cancel token fired before execution.
+    Cancelled,
+    /// Admission control refused the request: the global or per-model
+    /// in-flight budget is exhausted.
+    Shed {
+        /// Server's estimate of when capacity may free up.
+        retry_after_hint: std::time::Duration,
+    },
+    /// A request was submitted without an input tensor.
+    MissingInput,
+    /// The server is shutting down (legacy name; response channels also
+    /// surface this when a server disappears mid-request).
     Closed,
     /// The request input does not match the model's input shape.
     ShapeMismatch {
@@ -114,6 +154,24 @@ impl fmt::Display for ServeError {
         match self {
             ServeError::UnknownModel(name) => write!(f, "unknown model {name:?}"),
             ServeError::QueueFull => write!(f, "request queue full"),
+            ServeError::QueueClosed => write!(f, "request queue closed"),
+            ServeError::ShuttingDown => write!(f, "server shutting down"),
+            ServeError::Expired { missed_by } => {
+                write!(
+                    f,
+                    "request expired {:.3}ms past its deadline without executing",
+                    missed_by.as_secs_f64() * 1e3
+                )
+            }
+            ServeError::Cancelled => write!(f, "request cancelled"),
+            ServeError::Shed { retry_after_hint } => {
+                write!(
+                    f,
+                    "request shed by admission control, retry after ~{:.0}ms",
+                    retry_after_hint.as_secs_f64() * 1e3
+                )
+            }
+            ServeError::MissingInput => write!(f, "request submitted without an input tensor"),
             ServeError::Closed => write!(f, "server closed"),
             ServeError::ShapeMismatch { expected, got } => {
                 write!(

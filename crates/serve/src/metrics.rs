@@ -1,12 +1,16 @@
-//! Serving counters: per-request latency and throughput.
+//! Serving counters: per-request latency and throughput, broken out by
+//! priority class, plus the request-lifecycle outcome counters
+//! (shed / expired / cancelled — see DESIGN.md §10).
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
-/// Cap on retained latency samples: percentiles are computed over the
-/// most recent window so a long-running server neither grows without
-/// bound nor pays ever-increasing snapshot costs.
+use crate::request::Priority;
+
+/// Cap on retained latency samples **per priority class**: percentiles
+/// are computed over the most recent window so a long-running server
+/// neither grows without bound nor pays ever-increasing snapshot costs.
 const MAX_SAMPLES: usize = 16_384;
 
 /// Fixed-capacity ring of the most recent latency samples, each with
@@ -46,10 +50,18 @@ impl LatencyRing {
 
 /// Live counters updated by server workers.
 pub struct ServerMetrics {
-    latencies_us: Mutex<LatencyRing>,
+    /// One latency ring per priority class (indexed by
+    /// [`Priority::index`]).
+    latencies_us: Mutex<[LatencyRing; 3]>,
     requests: AtomicU64,
     batches: AtomicU64,
     rejected: AtomicU64,
+    shed: AtomicU64,
+    expired: AtomicU64,
+    cancelled: AtomicU64,
+    /// Wall time of the most recent batch execution, microseconds
+    /// (feeds shed retry hints without a snapshot's sorting cost).
+    last_batch_us: AtomicU64,
     started: Instant,
 }
 
@@ -63,27 +75,45 @@ impl ServerMetrics {
     /// Creates zeroed counters; QPS is measured from this instant.
     pub fn new() -> Self {
         ServerMetrics {
-            latencies_us: Mutex::new(LatencyRing::default()),
+            latencies_us: Mutex::new(Default::default()),
             requests: AtomicU64::new(0),
             batches: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            expired: AtomicU64::new(0),
+            cancelled: AtomicU64::new(0),
+            last_batch_us: AtomicU64::new(0),
             started: Instant::now(),
         }
     }
 
-    /// Records one executed batch and its per-request latencies.
+    /// Records one executed batch and its per-request latencies with
+    /// their priority classes.
     ///
     /// Latency percentiles are computed over the most recent
-    /// `MAX_SAMPLES` requests; the request/batch totals are exact.
-    pub fn record_batch(&self, latencies: &[Duration]) {
+    /// `MAX_SAMPLES` requests per class; the request/batch totals are
+    /// exact.
+    pub fn record_batch(&self, latencies: &[(Priority, Duration)]) {
         self.batches.fetch_add(1, Ordering::Relaxed);
         self.requests
             .fetch_add(latencies.len() as u64, Ordering::Relaxed);
         let now = Instant::now();
-        let mut ring = self.latencies_us.lock().expect("metrics lock");
-        for d in latencies {
-            ring.push(d.as_micros() as u64, now);
+        let mut rings = self.latencies_us.lock().expect("metrics lock");
+        for (priority, d) in latencies {
+            rings[priority.index()].push(d.as_micros() as u64, now);
         }
+    }
+
+    /// Records a batch execution's wall time (the basis of the shed
+    /// retry hint).
+    pub fn record_batch_exec(&self, wall: Duration) {
+        self.last_batch_us
+            .store(wall.as_micros() as u64, Ordering::Relaxed);
+    }
+
+    /// The most recent batch execution wall time.
+    pub fn recent_batch_time(&self) -> Duration {
+        Duration::from_micros(self.last_batch_us.load(Ordering::Relaxed))
     }
 
     /// Records a rejected (queue-full) request.
@@ -91,16 +121,75 @@ impl ServerMetrics {
         self.rejected.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records a request refused by admission control.
+    pub fn record_shed(&self) {
+        self.shed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records `n` requests dropped unexecuted at their deadline.
+    pub fn record_expired(&self, n: u64) {
+        self.expired.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records `n` requests cancelled before execution.
+    pub fn record_cancelled(&self, n: u64) {
+        self.cancelled.fetch_add(n, Ordering::Relaxed);
+    }
+
     /// Takes a consistent snapshot of the counters.
     pub fn snapshot(&self) -> MetricsSnapshot {
-        let (latencies, window_oldest) = {
-            let ring = self.latencies_us.lock().expect("metrics lock");
-            (ring.samples.clone(), ring.oldest())
+        let (per_class_samples, window_oldest) = {
+            let rings = self.latencies_us.lock().expect("metrics lock");
+            let samples: [Vec<u64>; 3] = [
+                rings[0].samples.clone(),
+                rings[1].samples.clone(),
+                rings[2].samples.clone(),
+            ];
+            let oldest = rings.iter().filter_map(|r| r.oldest()).min();
+            (samples, oldest)
         };
         let requests = self.requests.load(Ordering::Relaxed);
         let batches = self.batches.load(Ordering::Relaxed);
         let rejected = self.rejected.load(Ordering::Relaxed);
+        let shed = self.shed.load(Ordering::Relaxed);
+        let expired = self.expired.load(Ordering::Relaxed);
+        let cancelled = self.cancelled.load(Ordering::Relaxed);
         let elapsed = self.started.elapsed().as_secs_f64();
+
+        let class_stats = |sorted: &[u64]| -> (f64, f64, f64, f64, f64) {
+            let pct = |q: f64| -> f64 {
+                if sorted.is_empty() {
+                    return 0.0;
+                }
+                let rank = (q * (sorted.len() - 1) as f64).round() as usize;
+                sorted[rank] as f64 / 1e3
+            };
+            let mean = if sorted.is_empty() {
+                0.0
+            } else {
+                sorted.iter().sum::<u64>() as f64 / sorted.len() as f64 / 1e3
+            };
+            (pct(0.50), pct(0.95), pct(0.99), mean, sorted.len() as f64)
+        };
+
+        let classes: [ClassSnapshot; 3] = std::array::from_fn(|i| {
+            let mut sorted = per_class_samples[i].clone();
+            sorted.sort_unstable();
+            let (p50_ms, _p95, p99_ms, mean_ms, _n) = class_stats(&sorted);
+            ClassSnapshot {
+                priority: Priority::ALL[i],
+                requests: per_class_samples[i].len() as u64,
+                p50_ms,
+                p99_ms,
+                mean_ms,
+            }
+        });
+
+        // Combined percentiles over every retained sample.
+        let mut all: Vec<u64> = per_class_samples.iter().flatten().copied().collect();
+        all.sort_unstable();
+        let (p50_ms, p95_ms, p99_ms, mean_ms, retained) = class_stats(&all);
+
         // Window throughput: retained samples over the span from the
         // oldest retained sample to now. Unlike requests/uptime this
         // does not stay decayed forever after an idle stretch — once
@@ -111,27 +200,16 @@ impl ServerMetrics {
         // record instant) cannot report an absurd spike.
         const MIN_WINDOW_SECS: f64 = 0.1;
         let window_qps = match window_oldest {
-            Some(t0) => latencies.len() as f64 / t0.elapsed().as_secs_f64().max(MIN_WINDOW_SECS),
+            Some(t0) => retained / t0.elapsed().as_secs_f64().max(MIN_WINDOW_SECS),
             None => 0.0,
-        };
-        let mut sorted = latencies;
-        sorted.sort_unstable();
-        let pct = |q: f64| -> f64 {
-            if sorted.is_empty() {
-                return 0.0;
-            }
-            let rank = (q * (sorted.len() - 1) as f64).round() as usize;
-            sorted[rank] as f64 / 1e3
-        };
-        let mean_ms = if sorted.is_empty() {
-            0.0
-        } else {
-            sorted.iter().sum::<u64>() as f64 / sorted.len() as f64 / 1e3
         };
         MetricsSnapshot {
             requests,
             batches,
             rejected,
+            shed,
+            expired,
+            cancelled,
             avg_batch: if batches == 0 {
                 0.0
             } else {
@@ -143,12 +221,28 @@ impl ServerMetrics {
             } else {
                 requests as f64 / elapsed
             },
-            p50_ms: pct(0.50),
-            p95_ms: pct(0.95),
-            p99_ms: pct(0.99),
+            p50_ms,
+            p95_ms,
+            p99_ms,
             mean_ms,
+            classes,
         }
     }
+}
+
+/// Latency stats for one priority class.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClassSnapshot {
+    /// Which class this row describes.
+    pub priority: Priority,
+    /// Retained completed requests in this class's window.
+    pub requests: u64,
+    /// Median latency (enqueue → response), milliseconds.
+    pub p50_ms: f64,
+    /// 99th percentile latency, milliseconds.
+    pub p99_ms: f64,
+    /// Mean latency, milliseconds.
+    pub mean_ms: f64,
 }
 
 /// A point-in-time view of the serving counters.
@@ -158,8 +252,14 @@ pub struct MetricsSnapshot {
     pub requests: u64,
     /// Batched executions run.
     pub batches: u64,
-    /// Requests rejected for backpressure.
+    /// Requests rejected for backpressure (queue full).
     pub rejected: u64,
+    /// Requests refused by admission control (in-flight budgets).
+    pub shed: u64,
+    /// Requests dropped unexecuted because their deadline passed.
+    pub expired: u64,
+    /// Requests cancelled before execution.
+    pub cancelled: u64,
     /// Mean requests per executed batch.
     pub avg_batch: f64,
     /// Completed requests per second over the retained sample window
@@ -177,17 +277,30 @@ pub struct MetricsSnapshot {
     pub p99_ms: f64,
     /// Mean latency, milliseconds.
     pub mean_ms: f64,
+    /// Per-priority-class latency breakdown, highest priority first.
+    pub classes: [ClassSnapshot; 3],
+}
+
+impl MetricsSnapshot {
+    /// The per-class stats for `priority`.
+    pub fn class(&self, priority: Priority) -> &ClassSnapshot {
+        &self.classes[priority.index()]
+    }
 }
 
 impl std::fmt::Display for MetricsSnapshot {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "requests={} batches={} rejected={} avg_batch={:.2} qps={:.1} \
-             (lifetime {:.1}) latency p50={:.3}ms p95={:.3}ms p99={:.3}ms mean={:.3}ms",
+            "requests={} batches={} rejected={} shed={} expired={} cancelled={} \
+             avg_batch={:.2} qps={:.1} (lifetime {:.1}) \
+             latency p50={:.3}ms p95={:.3}ms p99={:.3}ms mean={:.3}ms",
             self.requests,
             self.batches,
             self.rejected,
+            self.shed,
+            self.expired,
+            self.cancelled,
             self.avg_batch,
             self.qps,
             self.lifetime_qps,
@@ -195,13 +308,30 @@ impl std::fmt::Display for MetricsSnapshot {
             self.p95_ms,
             self.p99_ms,
             self.mean_ms,
-        )
+        )?;
+        for c in &self.classes {
+            if c.requests > 0 {
+                write!(
+                    f,
+                    " {}[n={} p50={:.3}ms p99={:.3}ms]",
+                    c.priority.label(),
+                    c.requests,
+                    c.p50_ms,
+                    c.p99_ms
+                )?;
+            }
+        }
+        Ok(())
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn standard(latencies: &[Duration]) -> Vec<(Priority, Duration)> {
+        latencies.iter().map(|d| (Priority::Standard, *d)).collect()
+    }
 
     #[test]
     fn empty_metrics_snapshot_is_zeroed() {
@@ -210,6 +340,12 @@ mod tests {
         assert_eq!(s.requests, 0);
         assert_eq!(s.p99_ms, 0.0);
         assert_eq!(s.avg_batch, 0.0);
+        assert_eq!(s.shed, 0);
+        assert_eq!(s.expired, 0);
+        assert_eq!(s.cancelled, 0);
+        for c in &s.classes {
+            assert_eq!(c.requests, 0);
+        }
     }
 
     #[test]
@@ -218,8 +354,8 @@ mod tests {
         // 100 requests in two batches: latencies 1ms..100ms.
         let first: Vec<Duration> = (1..=50).map(Duration::from_millis).collect();
         let second: Vec<Duration> = (51..=100).map(Duration::from_millis).collect();
-        m.record_batch(&first);
-        m.record_batch(&second);
+        m.record_batch(&standard(&first));
+        m.record_batch(&standard(&second));
         let s = m.snapshot();
         assert_eq!(s.requests, 100);
         assert_eq!(s.batches, 2);
@@ -231,11 +367,50 @@ mod tests {
     }
 
     #[test]
-    fn rejections_are_counted() {
+    fn per_class_stats_are_segregated() {
+        let m = ServerMetrics::new();
+        m.record_batch(&[
+            (Priority::Interactive, Duration::from_millis(2)),
+            (Priority::Interactive, Duration::from_millis(4)),
+            (Priority::Batch, Duration::from_millis(100)),
+            (Priority::Batch, Duration::from_millis(200)),
+        ]);
+        let s = m.snapshot();
+        let interactive = s.class(Priority::Interactive);
+        let batch = s.class(Priority::Batch);
+        assert_eq!(interactive.requests, 2);
+        assert_eq!(batch.requests, 2);
+        assert_eq!(s.class(Priority::Standard).requests, 0);
+        assert!(interactive.p99_ms <= 4.1, "{}", interactive.p99_ms);
+        assert!(batch.p50_ms >= 99.0, "{}", batch.p50_ms);
+        // Combined stats still cover everything.
+        assert_eq!(s.requests, 4);
+        assert!(s.p99_ms >= 199.0);
+    }
+
+    #[test]
+    fn lifecycle_counters_accumulate() {
         let m = ServerMetrics::new();
         m.record_rejected();
         m.record_rejected();
-        assert_eq!(m.snapshot().rejected, 2);
+        m.record_shed();
+        m.record_expired(3);
+        m.record_cancelled(2);
+        let s = m.snapshot();
+        assert_eq!(s.rejected, 2);
+        assert_eq!(s.shed, 1);
+        assert_eq!(s.expired, 3);
+        assert_eq!(s.cancelled, 2);
+    }
+
+    #[test]
+    fn recent_batch_time_tracks_the_latest_execution() {
+        let m = ServerMetrics::new();
+        assert!(m.recent_batch_time().is_zero());
+        m.record_batch_exec(Duration::from_millis(7));
+        assert_eq!(m.recent_batch_time(), Duration::from_millis(7));
+        m.record_batch_exec(Duration::from_millis(3));
+        assert_eq!(m.recent_batch_time(), Duration::from_millis(3));
     }
 
     #[test]
@@ -243,9 +418,9 @@ mod tests {
         let m = ServerMetrics::new();
         // Idle stretch before any traffic arrives.
         std::thread::sleep(Duration::from_millis(300));
-        m.record_batch(&vec![Duration::from_millis(1); 50]);
+        m.record_batch(&standard(&vec![Duration::from_millis(1); 50]));
         std::thread::sleep(Duration::from_millis(120));
-        m.record_batch(&vec![Duration::from_millis(1); 50]);
+        m.record_batch(&standard(&vec![Duration::from_millis(1); 50]));
         let s = m.snapshot();
         assert_eq!(s.requests, 100);
         // 100 requests over a ~120ms active window vs ~420ms of uptime:
@@ -262,7 +437,7 @@ mod tests {
     #[test]
     fn qps_is_bounded_right_after_a_single_burst() {
         let m = ServerMetrics::new();
-        m.record_batch(&vec![Duration::from_millis(1); 50]);
+        m.record_batch(&standard(&vec![Duration::from_millis(1); 50]));
         let s = m.snapshot();
         // All 50 samples share one record instant; the floored window
         // must keep the reading sane instead of dividing by ~0.
@@ -281,8 +456,11 @@ mod tests {
         let m = ServerMetrics::new();
         // Fill the ring with slow samples, then overwrite 3/4 of it
         // with fast ones: the window is now 3/4 fast, 1/4 slow.
-        m.record_batch(&vec![Duration::from_millis(100); MAX_SAMPLES]);
-        m.record_batch(&vec![Duration::from_millis(1); MAX_SAMPLES * 3 / 4]);
+        m.record_batch(&standard(&vec![Duration::from_millis(100); MAX_SAMPLES]));
+        m.record_batch(&standard(&vec![
+            Duration::from_millis(1);
+            MAX_SAMPLES * 3 / 4
+        ]));
         let s = m.snapshot();
         assert_eq!(s.requests, (MAX_SAMPLES + MAX_SAMPLES * 3 / 4) as u64);
         assert!(
@@ -304,9 +482,9 @@ mod tests {
         // Overfill the ring: MAX_SAMPLES slow requests, then MAX_SAMPLES
         // fast ones. The window must hold only the fast tail.
         let slow = vec![Duration::from_millis(1000); MAX_SAMPLES];
-        m.record_batch(&slow);
+        m.record_batch(&standard(&slow));
         let fast = vec![Duration::from_millis(1); MAX_SAMPLES];
-        m.record_batch(&fast);
+        m.record_batch(&standard(&fast));
         let s = m.snapshot();
         assert_eq!(s.requests, 2 * MAX_SAMPLES as u64, "totals stay exact");
         assert!(

@@ -43,6 +43,16 @@ impl ModelRegistry {
             .ok_or_else(|| ServeError::UnknownModel(name.to_owned()))
     }
 
+    /// Whether a model is registered under `name` (cheaper than
+    /// [`ModelRegistry::get`] when the engine itself is not needed,
+    /// e.g. request builders probing before submission).
+    pub fn contains(&self, name: &str) -> bool {
+        self.models
+            .read()
+            .expect("registry lock")
+            .contains_key(name)
+    }
+
     /// Removes a model; returns whether it existed.
     pub fn remove(&self, name: &str) -> bool {
         self.models
@@ -99,9 +109,12 @@ mod tests {
         reg.register("b", engine(2));
         assert_eq!(reg.names(), vec!["a".to_string(), "b".to_string()]);
         assert!(reg.get("a").is_ok());
+        assert!(reg.contains("a") && reg.contains("b"));
+        assert!(!reg.contains("c"));
         assert!(matches!(reg.get("c"), Err(ServeError::UnknownModel(_))));
         assert!(reg.remove("a"));
         assert!(!reg.remove("a"));
+        assert!(!reg.contains("a"));
         assert_eq!(reg.len(), 1);
     }
 

@@ -1,0 +1,574 @@
+//! The request-lifecycle API: clients, builders, handles, and admission.
+//!
+//! PatDNN's whole compiler stack exists to hit *real-time* latency
+//! targets, so the serving front-end must let a caller express what
+//! "real time" means for each request. This module replaces the old
+//! fire-and-block `Server::submit`/`infer` pair with an explicit
+//! lifecycle:
+//!
+//! ```text
+//! client.request("resnet_small")
+//!       .input(x)
+//!       .deadline_in(Duration::from_millis(50))
+//!       .priority(Priority::Interactive)
+//!       .cancel_token(token)
+//!       .submit()?              // -> ResponseHandle
+//!       .wait()                 // -> Terminal
+//! ```
+//!
+//! A submitted request ends in exactly one [`Terminal`] state:
+//! `Completed`, `Expired` (deadline passed before execution — expired
+//! requests are *never* executed), `Cancelled`, `Shed` (admission
+//! control refused it under load, with a retry hint), or `Failed`
+//! (model error, shutdown, internal fault).
+//!
+//! Admission control bounds the number of in-flight requests globally
+//! and per model ([`AdmissionPolicy`]); beyond the budget, new work is
+//! shed immediately with [`crate::ServeError::Shed`] instead of
+//! queueing without bound. See DESIGN.md §10.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, RecvTimeoutError, TryRecvError};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use patdnn_tensor::Tensor;
+
+use crate::batching::PendingRequest;
+use crate::server::{InferResponse, RequestResult, ServerShared};
+use crate::ServeError;
+
+/// Scheduling class of a request. Within the batch queue, higher
+/// priority classes are dispatched first; within one class, requests
+/// run earliest-deadline-first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub enum Priority {
+    /// Latency-sensitive foreground work (dispatched first).
+    Interactive,
+    /// The default class.
+    #[default]
+    Standard,
+    /// Throughput-oriented background work (dispatched last, but
+    /// protected from starvation by a bounded priority boost — see
+    /// [`crate::batching::BatchPolicy::boost_after`]).
+    Batch,
+}
+
+impl Priority {
+    /// All classes, highest priority first.
+    pub const ALL: [Priority; 3] = [Priority::Interactive, Priority::Standard, Priority::Batch];
+
+    /// Scheduling level: 0 is most urgent.
+    pub(crate) fn level(self) -> u8 {
+        match self {
+            Priority::Interactive => 0,
+            Priority::Standard => 1,
+            Priority::Batch => 2,
+        }
+    }
+
+    /// Class index for metrics arrays (same order as [`Self::ALL`]).
+    pub fn index(self) -> usize {
+        self.level() as usize
+    }
+
+    /// Human-readable class name.
+    pub fn label(self) -> &'static str {
+        match self {
+            Priority::Interactive => "interactive",
+            Priority::Standard => "standard",
+            Priority::Batch => "batch",
+        }
+    }
+}
+
+/// A shareable cancellation flag. Cloning yields another handle to the
+/// same flag; cancelling is sticky and best-effort: a request whose
+/// token is cancelled before execution is dropped with
+/// [`Terminal::Cancelled`], one already executing completes normally.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// Creates a fresh, uncancelled token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requests cancellation (idempotent).
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Release);
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Acquire)
+    }
+}
+
+/// The typed terminal state of a submitted request. Every submitted
+/// request reaches exactly one of these.
+#[derive(Debug)]
+pub enum Terminal {
+    /// The request executed; here is its output.
+    Completed(InferResponse),
+    /// The deadline passed while the request was queued or batched; it
+    /// was dropped *without executing*.
+    Expired {
+        /// How far past the deadline the drop happened.
+        missed_by: Duration,
+    },
+    /// The cancel token fired before execution.
+    Cancelled,
+    /// Admission control refused the request under load.
+    Shed {
+        /// Server's estimate of when capacity may free up.
+        retry_after_hint: Duration,
+    },
+    /// Anything else: unknown model mid-flight, shutdown, engine fault.
+    Failed(ServeError),
+}
+
+impl Terminal {
+    /// `true` for [`Terminal::Completed`].
+    pub fn is_completed(&self) -> bool {
+        matches!(self, Terminal::Completed(_))
+    }
+
+    /// Converts back into the flat `Result` the legacy API speaks.
+    pub fn into_result(self) -> Result<InferResponse, ServeError> {
+        match self {
+            Terminal::Completed(resp) => Ok(resp),
+            Terminal::Expired { missed_by } => Err(ServeError::Expired { missed_by }),
+            Terminal::Cancelled => Err(ServeError::Cancelled),
+            Terminal::Shed { retry_after_hint } => Err(ServeError::Shed { retry_after_hint }),
+            Terminal::Failed(e) => Err(e),
+        }
+    }
+
+    fn from_result(result: RequestResult) -> Terminal {
+        match result {
+            Ok(resp) => Terminal::Completed(resp),
+            Err(ServeError::Expired { missed_by }) => Terminal::Expired { missed_by },
+            Err(ServeError::Cancelled) => Terminal::Cancelled,
+            Err(ServeError::Shed { retry_after_hint }) => Terminal::Shed { retry_after_hint },
+            Err(e) => Terminal::Failed(e),
+        }
+    }
+}
+
+/// A live handle to one submitted request.
+///
+/// The waiting methods consume the handle on resolution (a request has
+/// exactly one terminal state); `wait_timeout` and `try_poll` hand the
+/// handle back when the request is still pending.
+pub struct ResponseHandle {
+    rx: Receiver<RequestResult>,
+    cancel: CancelToken,
+}
+
+impl ResponseHandle {
+    pub(crate) fn new(rx: Receiver<RequestResult>, cancel: CancelToken) -> Self {
+        ResponseHandle { rx, cancel }
+    }
+
+    /// The request's cancel token (clone of the one passed at submit,
+    /// or a fresh one the builder created).
+    pub fn cancel_token(&self) -> CancelToken {
+        self.cancel.clone()
+    }
+
+    /// Requests cancellation. Best-effort: if the request has not
+    /// started executing it resolves to [`Terminal::Cancelled`];
+    /// otherwise it completes normally.
+    pub fn cancel(&self) {
+        self.cancel.cancel();
+    }
+
+    /// Blocks until the request resolves.
+    pub fn wait(self) -> Terminal {
+        match self.rx.recv() {
+            Ok(result) => Terminal::from_result(result),
+            Err(_) => Terminal::Failed(ServeError::Closed),
+        }
+    }
+
+    /// Blocks up to `timeout`; `Err(self)` means still pending.
+    pub fn wait_timeout(self, timeout: Duration) -> Result<Terminal, ResponseHandle> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(result) => Ok(Terminal::from_result(result)),
+            Err(RecvTimeoutError::Timeout) => Err(self),
+            Err(RecvTimeoutError::Disconnected) => Ok(Terminal::Failed(ServeError::Closed)),
+        }
+    }
+
+    /// Non-blocking poll; `Err(self)` means still pending.
+    pub fn try_poll(self) -> Result<Terminal, ResponseHandle> {
+        match self.rx.try_recv() {
+            Ok(result) => Ok(Terminal::from_result(result)),
+            Err(TryRecvError::Empty) => Err(self),
+            Err(TryRecvError::Disconnected) => Ok(Terminal::Failed(ServeError::Closed)),
+        }
+    }
+
+    /// The raw result channel, for the legacy `Server::submit` shim.
+    pub(crate) fn into_raw_receiver(self) -> Receiver<RequestResult> {
+        self.rx
+    }
+}
+
+impl std::fmt::Debug for ResponseHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ResponseHandle")
+            .field("cancelled", &self.cancel.is_cancelled())
+            .finish()
+    }
+}
+
+/// In-flight budgets for admission control.
+#[derive(Debug, Clone, Copy)]
+pub struct AdmissionPolicy {
+    /// Requests in flight (admitted, not yet terminal) across all
+    /// models before new work is shed.
+    pub max_in_flight: usize,
+    /// Per-model in-flight bound.
+    pub max_per_model: usize,
+}
+
+impl Default for AdmissionPolicy {
+    fn default() -> Self {
+        AdmissionPolicy {
+            max_in_flight: 512,
+            max_per_model: 256,
+        }
+    }
+}
+
+struct AdmissionCounts {
+    total: usize,
+    per_model: HashMap<String, usize>,
+}
+
+/// Tracks in-flight requests against an [`AdmissionPolicy`].
+pub(crate) struct AdmissionControl {
+    policy: AdmissionPolicy,
+    counts: Mutex<AdmissionCounts>,
+}
+
+impl AdmissionControl {
+    pub(crate) fn new(policy: AdmissionPolicy) -> Arc<Self> {
+        assert!(policy.max_in_flight > 0, "global budget must be positive");
+        assert!(
+            policy.max_per_model > 0,
+            "per-model budget must be positive"
+        );
+        Arc::new(AdmissionControl {
+            policy,
+            counts: Mutex::new(AdmissionCounts {
+                total: 0,
+                per_model: HashMap::new(),
+            }),
+        })
+    }
+
+    /// Admits `model` or refuses it when a budget is exhausted. The
+    /// returned permit releases both counts on drop, so every terminal
+    /// path (respond, expire, cancel, shed, shutdown-drain) frees the
+    /// budget without bookkeeping at the call site.
+    pub(crate) fn try_admit(self: &Arc<Self>, model: &str) -> Option<AdmissionPermit> {
+        let mut counts = self.counts.lock().expect("admission lock");
+        let per_model = counts.per_model.get(model).copied().unwrap_or(0);
+        if counts.total >= self.policy.max_in_flight || per_model >= self.policy.max_per_model {
+            return None;
+        }
+        counts.total += 1;
+        *counts.per_model.entry(model.to_owned()).or_insert(0) += 1;
+        Some(AdmissionPermit {
+            control: Arc::clone(self),
+            model: model.to_owned(),
+        })
+    }
+
+    /// Requests currently in flight across all models.
+    pub(crate) fn in_flight(&self) -> usize {
+        self.counts.lock().expect("admission lock").total
+    }
+}
+
+/// RAII guard for one admitted request; dropping it releases the
+/// global and per-model budget.
+pub struct AdmissionPermit {
+    control: Arc<AdmissionControl>,
+    model: String,
+}
+
+impl Drop for AdmissionPermit {
+    fn drop(&mut self) {
+        let mut counts = self.control.counts.lock().expect("admission lock");
+        counts.total = counts.total.saturating_sub(1);
+        if let Some(n) = counts.per_model.get_mut(&self.model) {
+            *n = n.saturating_sub(1);
+            if *n == 0 {
+                counts.per_model.remove(&self.model);
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for AdmissionPermit {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AdmissionPermit")
+            .field("model", &self.model)
+            .finish()
+    }
+}
+
+/// The request-submission front door, cheaply cloneable and detached
+/// from the [`crate::server::Server`]'s lifetime (submissions after
+/// shutdown fail with [`ServeError::ShuttingDown`]).
+#[derive(Clone)]
+pub struct Client {
+    shared: Arc<ServerShared>,
+}
+
+impl Client {
+    pub(crate) fn new(shared: Arc<ServerShared>) -> Self {
+        Client { shared }
+    }
+
+    /// Starts building a request against `model`.
+    pub fn request(&self, model: &str) -> RequestBuilder<'_> {
+        RequestBuilder {
+            client: self,
+            model: model.to_owned(),
+            input: None,
+            deadline: None,
+            priority: Priority::default(),
+            cancel: None,
+        }
+    }
+
+    /// Convenience: submit `input` with default options and block for
+    /// the result (the lifecycle equivalent of the old `Server::infer`).
+    pub fn infer(&self, model: &str, input: Tensor) -> Result<InferResponse, ServeError> {
+        self.request(model)
+            .input(input)
+            .submit()?
+            .wait()
+            .into_result()
+    }
+
+    /// Live serving counters.
+    pub fn metrics(&self) -> &crate::metrics::ServerMetrics {
+        &self.shared.metrics
+    }
+
+    /// Names of the models this client can currently request, sorted.
+    pub fn models(&self) -> Vec<String> {
+        self.shared.registry.names()
+    }
+
+    /// Whether `model` is currently requestable.
+    pub fn has_model(&self, model: &str) -> bool {
+        self.shared.registry.contains(model)
+    }
+
+    fn submit_spec(&self, spec: RequestSpec) -> Result<ResponseHandle, ServeError> {
+        let shared = &self.shared;
+        let engine = shared.registry.get(&spec.model)?;
+        let expected = engine.input_shape();
+        let s = spec.input.shape();
+        if s.len() != 4 || s[0] != 1 || s[1..] != expected[..] {
+            return Err(ServeError::ShapeMismatch {
+                expected: expected.to_vec(),
+                got: s.to_vec(),
+            });
+        }
+        let now = Instant::now();
+        if let Some(deadline) = spec.deadline {
+            if deadline <= now {
+                shared.metrics.record_expired(1);
+                return Err(ServeError::Expired {
+                    missed_by: now.duration_since(deadline),
+                });
+            }
+        }
+        if spec.cancel.is_cancelled() {
+            return Err(ServeError::Cancelled);
+        }
+        let Some(permit) = shared.admission.try_admit(&spec.model) else {
+            shared.metrics.record_shed();
+            return Err(ServeError::Shed {
+                retry_after_hint: self.retry_after_hint(),
+            });
+        };
+        let (tx, rx) = sync_channel(1);
+        let push = shared.queue.push(PendingRequest {
+            model: spec.model,
+            input: spec.input,
+            enqueued: now,
+            deadline: spec.deadline,
+            priority: spec.priority,
+            cancel: spec.cancel.clone(),
+            respond: tx,
+            permit: Some(permit),
+        });
+        match push {
+            Ok(()) => Ok(ResponseHandle::new(rx, spec.cancel)),
+            Err(ServeError::QueueFull) => {
+                shared.metrics.record_rejected();
+                Err(ServeError::QueueFull)
+            }
+            Err(ServeError::QueueClosed) => Err(ServeError::ShuttingDown),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// How long a shed caller should back off: roughly the time to
+    /// drain the current queue at the recently observed batch rate.
+    fn retry_after_hint(&self) -> Duration {
+        let shared = &self.shared;
+        let per_batch = shared.metrics.recent_batch_time();
+        let per_batch = if per_batch.is_zero() {
+            Duration::from_millis(5)
+        } else {
+            per_batch
+        };
+        let queued_batches = shared.queue.len().div_ceil(shared.batch.max_batch.max(1)) + 1;
+        per_batch.saturating_mul(queued_batches as u32)
+    }
+}
+
+struct RequestSpec {
+    model: String,
+    input: Tensor,
+    deadline: Option<Instant>,
+    priority: Priority,
+    cancel: CancelToken,
+}
+
+/// Fluent builder for one request; see the module docs for the shape.
+pub struct RequestBuilder<'a> {
+    client: &'a Client,
+    model: String,
+    input: Option<Tensor>,
+    deadline: Option<Instant>,
+    priority: Priority,
+    cancel: Option<CancelToken>,
+}
+
+impl RequestBuilder<'_> {
+    /// The single-item input, `[1, c, h, w]`.
+    pub fn input(mut self, input: Tensor) -> Self {
+        self.input = Some(input);
+        self
+    }
+
+    /// Absolute deadline: past it, the request is dropped unexecuted
+    /// with [`Terminal::Expired`].
+    pub fn deadline(mut self, deadline: Instant) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Relative deadline, measured from submission.
+    pub fn deadline_in(mut self, budget: Duration) -> Self {
+        self.deadline = Some(Instant::now() + budget);
+        self
+    }
+
+    /// Scheduling class (default [`Priority::Standard`]).
+    pub fn priority(mut self, priority: Priority) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    /// Attaches an external cancel token; without one, the handle's
+    /// own token is the only way to cancel.
+    pub fn cancel_token(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// Validates and enqueues the request.
+    ///
+    /// Fails fast (no handle) on unknown models, shape mismatches,
+    /// missing input, already-passed deadlines, already-cancelled
+    /// tokens, admission shed, queue backpressure, and shutdown.
+    pub fn submit(self) -> Result<ResponseHandle, ServeError> {
+        let input = self.input.ok_or(ServeError::MissingInput)?;
+        self.client.submit_spec(RequestSpec {
+            model: self.model,
+            input,
+            deadline: self.deadline,
+            priority: self.priority,
+            cancel: self.cancel.unwrap_or_default(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn priority_levels_order_interactive_first() {
+        assert!(Priority::Interactive.level() < Priority::Standard.level());
+        assert!(Priority::Standard.level() < Priority::Batch.level());
+        assert_eq!(Priority::default(), Priority::Standard);
+        for (i, p) in Priority::ALL.iter().enumerate() {
+            assert_eq!(p.index(), i);
+        }
+    }
+
+    #[test]
+    fn cancel_token_is_sticky_and_shared() {
+        let t = CancelToken::new();
+        let clone = t.clone();
+        assert!(!t.is_cancelled());
+        clone.cancel();
+        assert!(t.is_cancelled());
+        t.cancel();
+        assert!(clone.is_cancelled());
+    }
+
+    #[test]
+    fn admission_budgets_bound_global_and_per_model() {
+        let control = AdmissionControl::new(AdmissionPolicy {
+            max_in_flight: 3,
+            max_per_model: 2,
+        });
+        let a1 = control.try_admit("a").expect("admit");
+        let _a2 = control.try_admit("a").expect("admit");
+        assert!(
+            control.try_admit("a").is_none(),
+            "per-model budget exhausted"
+        );
+        let _b1 = control.try_admit("b").expect("other model still admits");
+        assert!(control.try_admit("b").is_none(), "global budget exhausted");
+        assert_eq!(control.in_flight(), 3);
+        drop(a1);
+        assert_eq!(control.in_flight(), 2);
+        let _a3 = control.try_admit("a").expect("released budget readmits");
+    }
+
+    #[test]
+    fn terminal_round_trips_through_results() {
+        let t = Terminal::from_result(Err(ServeError::Expired {
+            missed_by: Duration::from_millis(3),
+        }));
+        assert!(matches!(t, Terminal::Expired { .. }));
+        assert!(matches!(
+            t.into_result(),
+            Err(ServeError::Expired { missed_by }) if missed_by == Duration::from_millis(3)
+        ));
+        let t = Terminal::from_result(Err(ServeError::Shed {
+            retry_after_hint: Duration::from_millis(7),
+        }));
+        assert!(matches!(t, Terminal::Shed { .. }));
+        assert!(!t.is_completed());
+        let t = Terminal::from_result(Err(ServeError::Cancelled));
+        assert!(matches!(t.into_result(), Err(ServeError::Cancelled)));
+    }
+}

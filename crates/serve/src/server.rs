@@ -1,22 +1,33 @@
 //! The serving front-end: a worker pool draining the batch queue.
 //!
-//! Workers pop same-model batches (see [`crate::batching`]), stack the
-//! inputs, run one batched execution on the registered engine, and
-//! scatter the results back to each request's response channel with its
-//! end-to-end latency. Engines themselves may use the runtime's
-//! FKR-balanced thread pool per layer ([`crate::engine::EngineOptions::threads`]),
-//! so total parallelism is `workers × threads`.
+//! Workers pop same-model batches in urgency order (see
+//! [`crate::batching`]), re-check each request's deadline and cancel
+//! token immediately before execution (an expired request is *never*
+//! executed), stack the surviving inputs, run one batched execution on
+//! the registered engine, and scatter the results back to each
+//! request's response channel with its end-to-end latency.
+//!
+//! Requests enter through the lifecycle API ([`crate::request`]):
+//! [`Server::client`] hands out a cheap [`Client`] whose
+//! [`Client::request`] builder carries deadline, priority, and
+//! cancellation. The old [`Server::submit`]/[`Server::infer`] pair
+//! remains as a deprecated shim over that API for one release.
+//!
+//! Engines themselves may use the runtime's FKR-balanced thread pool
+//! per layer ([`crate::engine::EngineOptions::threads`]), so total
+//! parallelism is `workers × threads`.
 
-use std::sync::mpsc::{sync_channel, Receiver};
+use std::sync::mpsc::Receiver;
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use patdnn_tensor::Tensor;
 
-use crate::batching::{BatchPolicy, BatchQueue, PendingRequest};
+use crate::batching::{BatchPolicy, BatchQueue};
 use crate::metrics::ServerMetrics;
 use crate::registry::ModelRegistry;
+use crate::request::{AdmissionControl, AdmissionPolicy, Client, Priority};
 use crate::ServeError;
 
 /// A completed inference.
@@ -42,6 +53,8 @@ pub struct ServerConfig {
     pub batch: BatchPolicy,
     /// Bounded queue capacity (backpressure threshold).
     pub queue_capacity: usize,
+    /// In-flight budgets for admission control (overflow is shed).
+    pub admission: AdmissionPolicy,
 }
 
 impl Default for ServerConfig {
@@ -50,15 +63,23 @@ impl Default for ServerConfig {
             workers: 2,
             batch: BatchPolicy::default(),
             queue_capacity: 256,
+            admission: AdmissionPolicy::default(),
         }
     }
 }
 
+/// State shared between the server, its workers, and every [`Client`].
+pub(crate) struct ServerShared {
+    pub(crate) registry: Arc<ModelRegistry>,
+    pub(crate) queue: Arc<BatchQueue>,
+    pub(crate) metrics: Arc<ServerMetrics>,
+    pub(crate) admission: Arc<AdmissionControl>,
+    pub(crate) batch: BatchPolicy,
+}
+
 /// A running model server.
 pub struct Server {
-    registry: Arc<ModelRegistry>,
-    queue: Arc<BatchQueue>,
-    metrics: Arc<ServerMetrics>,
+    shared: Arc<ServerShared>,
     workers: Vec<JoinHandle<()>>,
 }
 
@@ -66,104 +87,144 @@ impl Server {
     /// Starts `cfg.workers` worker threads over `registry`.
     pub fn start(registry: Arc<ModelRegistry>, cfg: ServerConfig) -> Self {
         assert!(cfg.workers > 0, "need at least one worker");
-        let queue = Arc::new(BatchQueue::new(cfg.queue_capacity));
         let metrics = Arc::new(ServerMetrics::new());
+        let shared = Arc::new(ServerShared {
+            registry,
+            queue: Arc::new(BatchQueue::with_metrics(
+                cfg.queue_capacity,
+                Arc::clone(&metrics),
+            )),
+            metrics,
+            admission: AdmissionControl::new(cfg.admission),
+            batch: cfg.batch,
+        });
         let workers = (0..cfg.workers)
             .map(|_| {
-                let queue = Arc::clone(&queue);
-                let registry = Arc::clone(&registry);
-                let metrics = Arc::clone(&metrics);
+                let shared = Arc::clone(&shared);
                 let policy = cfg.batch;
-                std::thread::spawn(move || worker_loop(&queue, &registry, &metrics, policy))
+                std::thread::spawn(move || worker_loop(&shared, policy))
             })
             .collect();
-        Server {
-            registry,
-            queue,
-            metrics,
-            workers,
-        }
+        Server { shared, workers }
+    }
+
+    /// Hands out a request-submission client. Clients are cheap to
+    /// clone and outlive the server (submissions after shutdown fail
+    /// with [`ServeError::ShuttingDown`]).
+    pub fn client(&self) -> Client {
+        Client::new(Arc::clone(&self.shared))
     }
 
     /// The registry this server resolves models against.
     pub fn registry(&self) -> &ModelRegistry {
-        &self.registry
+        &self.shared.registry
     }
 
     /// Live serving counters.
     pub fn metrics(&self) -> &ServerMetrics {
-        &self.metrics
+        &self.shared.metrics
+    }
+
+    /// Requests currently in flight (admitted, not yet terminal).
+    pub fn in_flight(&self) -> usize {
+        self.shared.admission.in_flight()
     }
 
     /// Submits a single-item request, returning the channel its result
-    /// will arrive on. Fails fast on unknown models, shape mismatches,
-    /// and queue backpressure.
+    /// will arrive on.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `Server::client()` and the `Client::request(..)` builder"
+    )]
     pub fn submit(
         &self,
         model: &str,
         input: Tensor,
     ) -> Result<Receiver<RequestResult>, ServeError> {
-        let engine = self.registry.get(model)?;
-        let expected = engine.input_shape();
-        let s = input.shape();
-        if s.len() != 4 || s[0] != 1 || s[1..] != expected[..] {
-            return Err(ServeError::ShapeMismatch {
-                expected: expected.to_vec(),
-                got: s.to_vec(),
-            });
-        }
-        let (tx, rx) = sync_channel(1);
-        let push = self.queue.push(PendingRequest {
-            model: model.to_owned(),
-            input,
-            enqueued: Instant::now(),
-            respond: tx,
-        });
-        if let Err(e) = push {
-            if matches!(e, ServeError::QueueFull) {
-                self.metrics.record_rejected();
-            }
-            return Err(e);
-        }
-        Ok(rx)
+        let handle = self.client().request(model).input(input).submit()?;
+        Ok(handle.into_raw_receiver())
     }
 
     /// Submits a request and blocks for its result.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `Server::client()` and `Client::infer(..)` (or the request builder)"
+    )]
     pub fn infer(&self, model: &str, input: Tensor) -> Result<InferResponse, ServeError> {
-        let rx = self.submit(model, input)?;
-        rx.recv().map_err(|_| ServeError::Closed)?
+        self.client().infer(model, input)
     }
 
-    /// Stops accepting requests, drains the queue, and joins workers.
+    /// Graceful shutdown: stops accepting requests, lets the workers
+    /// *complete* everything already queued (expired requests are still
+    /// dropped at their deadline, never executed), then joins them. No
+    /// admitted request is left without a terminal response.
     pub fn shutdown(mut self) {
-        self.queue.close();
+        self.finish(false);
+    }
+
+    /// Fast shutdown: stops accepting requests, fails everything still
+    /// queued with [`ServeError::ShuttingDown`], and joins the workers
+    /// (batches already executing run to completion). No admitted
+    /// request is left without a terminal response.
+    pub fn shutdown_now(mut self) {
+        self.finish(true);
+    }
+
+    fn finish(&mut self, fail_pending: bool) {
+        self.shared.queue.close();
+        if fail_pending {
+            // Drain-and-fail *before* joining: workers still executing
+            // keep their popped batches, but nothing queued behind them
+            // waits for a worker to get its terminal response.
+            for mut req in self.shared.queue.drain_now() {
+                drop(req.permit.take());
+                let _ = req.respond.send(Err(ServeError::ShuttingDown));
+            }
+        }
         for handle in self.workers.drain(..) {
             let _ = handle.join();
         }
+        debug_assert!(
+            self.shared.queue.is_empty(),
+            "shutdown must leave no queued request behind"
+        );
     }
 }
 
 impl Drop for Server {
     fn drop(&mut self) {
-        self.queue.close();
-        for handle in self.workers.drain(..) {
-            let _ = handle.join();
-        }
+        self.finish(false);
     }
 }
 
-fn worker_loop(
-    queue: &BatchQueue,
-    registry: &ModelRegistry,
-    metrics: &ServerMetrics,
-    policy: BatchPolicy,
-) {
-    while let Some((model, batch)) = queue.pop_batch(&policy) {
+fn worker_loop(shared: &ServerShared, policy: BatchPolicy) {
+    let queue = &shared.queue;
+    let registry = &shared.registry;
+    let metrics = &shared.metrics;
+    while let Some(popped) = queue.pop_batch(&policy) {
+        // Prune outcomes (popped.expired / popped.cancelled) were
+        // already counted by the metrics-wired queue.
+        // Last-chance lifecycle check between batch formation and
+        // execution: deadlines may have passed and cancel tokens fired
+        // while the batch sat in the queue. This is the invariant the
+        // lifecycle API promises — an expired request is never executed.
+        let now = Instant::now();
+        let mut batch = Vec::with_capacity(popped.requests.len());
+        for req in popped.requests {
+            if let Ok(live) = req.resolve_if_dead(now, Some(metrics)) {
+                batch.push(live);
+            }
+        }
+        if batch.is_empty() {
+            continue;
+        }
+        let model = popped.model;
         let engine = match registry.get(&model) {
             Ok(engine) => engine,
             Err(_) => {
                 // Model was removed while requests were queued.
-                for req in batch {
+                for mut req in batch {
+                    drop(req.permit.take());
                     let _ = req
                         .respond
                         .send(Err(ServeError::UnknownModel(model.clone())));
@@ -172,26 +233,32 @@ fn worker_loop(
             }
         };
         // Move the inputs out of the requests: the batch only needs its
-        // response channels and enqueue times afterwards, so the tensors
-        // are not cloned on the hot path.
+        // response channels, priorities, and enqueue times afterwards,
+        // so the tensors are not cloned on the hot path.
         let batch_size = batch.len();
         let mut inputs = Vec::with_capacity(batch_size);
         let mut responders = Vec::with_capacity(batch_size);
         for req in batch {
             inputs.push(req.input);
-            responders.push((req.respond, req.enqueued));
+            responders.push((req.respond, req.enqueued, req.priority, req.permit));
         }
+        let exec_start = Instant::now();
         match engine.infer_batch(&inputs) {
             Ok(outputs) => {
                 let done = Instant::now();
-                let latencies: Vec<Duration> = responders
+                metrics.record_batch_exec(done.duration_since(exec_start));
+                let latencies: Vec<(Priority, Duration)> = responders
                     .iter()
-                    .map(|(_, enqueued)| done.duration_since(*enqueued))
+                    .map(|(_, enqueued, priority, _)| (*priority, done.duration_since(*enqueued)))
                     .collect();
                 metrics.record_batch(&latencies);
-                for (((respond, _), output), latency) in
+                for (((respond, _, _, permit), output), (_, latency)) in
                     responders.into_iter().zip(outputs).zip(latencies)
                 {
+                    // Release the admission budget before the caller can
+                    // observe the response, so "I got my result" implies
+                    // "my in-flight slot is free".
+                    drop(permit);
                     let _ = respond.send(Ok(InferResponse {
                         output,
                         latency,
@@ -203,7 +270,8 @@ fn worker_loop(
                 // Shape errors are caught at submit; anything here is a
                 // per-batch failure every requester learns about.
                 let msg = e.to_string();
-                for (respond, _) in responders {
+                for (respond, _, _, permit) in responders {
+                    drop(permit);
                     let _ = respond.send(Err(ServeError::Internal(msg.clone())));
                 }
             }
@@ -216,6 +284,7 @@ mod tests {
     use super::*;
     use crate::compile::compile_network;
     use crate::engine::{Engine, EngineOptions};
+    use crate::request::Terminal;
     use patdnn_nn::models::small_cnn;
     use patdnn_tensor::rng::Rng;
 
@@ -232,16 +301,36 @@ mod tests {
     }
 
     #[test]
-    fn serves_a_request_end_to_end() {
+    fn serves_a_request_end_to_end_via_the_client() {
+        let registry = registry_with("m", 1);
+        let server = Server::start(Arc::clone(&registry), ServerConfig::default());
+        let client = server.client();
+        let mut rng = Rng::seed_from(2);
+        let x = Tensor::randn(&[1, 3, 8, 8], &mut rng);
+        let want = registry.get("m").unwrap().infer(&x).unwrap();
+        let resp = client.infer("m", x).expect("served");
+        assert_eq!(resp.output, want);
+        assert!(resp.latency > Duration::ZERO);
+        assert_eq!(server.metrics().snapshot().requests, 1);
+        assert_eq!(server.in_flight(), 0, "permit released on completion");
+        server.shutdown();
+    }
+
+    /// The legacy blocking API still works as a shim over the
+    /// lifecycle API.
+    #[test]
+    #[allow(deprecated)]
+    fn legacy_submit_and_infer_shims_still_serve() {
         let registry = registry_with("m", 1);
         let server = Server::start(Arc::clone(&registry), ServerConfig::default());
         let mut rng = Rng::seed_from(2);
         let x = Tensor::randn(&[1, 3, 8, 8], &mut rng);
         let want = registry.get("m").unwrap().infer(&x).unwrap();
-        let resp = server.infer("m", x).expect("served");
+        let resp = server.infer("m", x.clone()).expect("served");
         assert_eq!(resp.output, want);
-        assert!(resp.latency > Duration::ZERO);
-        assert_eq!(server.metrics().snapshot().requests, 1);
+        let rx = server.submit("m", x).expect("submitted");
+        let resp = rx.recv().expect("channel").expect("served");
+        assert_eq!(resp.output, want);
         server.shutdown();
     }
 
@@ -251,7 +340,7 @@ mod tests {
         let server = Server::start(registry, ServerConfig::default());
         let x = Tensor::zeros(&[1, 3, 8, 8]);
         assert!(matches!(
-            server.infer("nope", x),
+            server.client().infer("nope", x),
             Err(ServeError::UnknownModel(_))
         ));
     }
@@ -262,8 +351,107 @@ mod tests {
         let server = Server::start(registry, ServerConfig::default());
         let x = Tensor::zeros(&[1, 3, 9, 9]);
         assert!(matches!(
-            server.infer("m", x),
+            server.client().infer("m", x),
             Err(ServeError::ShapeMismatch { .. })
         ));
+    }
+
+    #[test]
+    fn missing_input_fails_typed() {
+        let registry = registry_with("m", 5);
+        let server = Server::start(registry, ServerConfig::default());
+        assert!(matches!(
+            server.client().request("m").submit(),
+            Err(ServeError::MissingInput)
+        ));
+    }
+
+    /// Graceful shutdown drains the queue: every queued request gets a
+    /// terminal response (here: completion), none is lost or left
+    /// hanging. Regression for the shutdown/queued-work race.
+    #[test]
+    fn graceful_shutdown_completes_all_queued_requests() {
+        let registry = registry_with("m", 6);
+        // One worker and a long max_wait so requests pile up queued.
+        let server = Server::start(
+            registry,
+            ServerConfig {
+                workers: 1,
+                batch: BatchPolicy {
+                    max_batch: 2,
+                    max_wait: Duration::from_secs(3600),
+                    ..BatchPolicy::default()
+                },
+                ..ServerConfig::default()
+            },
+        );
+        let client = server.client();
+        let handles: Vec<_> = (0..5)
+            .map(|_| {
+                client
+                    .request("m")
+                    .input(Tensor::zeros(&[1, 3, 8, 8]))
+                    .submit()
+                    .expect("submit")
+            })
+            .collect();
+        server.shutdown();
+        for h in handles {
+            match h.wait() {
+                Terminal::Completed(_) => {}
+                other => panic!("graceful shutdown must complete queued work, got {other:?}"),
+            }
+        }
+        // New submissions are refused with the typed shutdown error.
+        assert!(matches!(
+            client
+                .request("m")
+                .input(Tensor::zeros(&[1, 3, 8, 8]))
+                .submit(),
+            Err(ServeError::ShuttingDown)
+        ));
+    }
+
+    /// Fast shutdown fails still-queued requests with the typed
+    /// `ShuttingDown` error instead of executing or dropping them.
+    #[test]
+    fn shutdown_now_fails_pending_requests_typed() {
+        let registry = registry_with("m", 7);
+        let server = Server::start(
+            registry,
+            ServerConfig {
+                workers: 1,
+                batch: BatchPolicy {
+                    max_batch: 1,
+                    max_wait: Duration::from_secs(3600),
+                    ..BatchPolicy::default()
+                },
+                ..ServerConfig::default()
+            },
+        );
+        let client = server.client();
+        let handles: Vec<_> = (0..6)
+            .map(|_| {
+                client
+                    .request("m")
+                    .input(Tensor::zeros(&[1, 3, 8, 8]))
+                    .submit()
+                    .expect("submit")
+            })
+            .collect();
+        server.shutdown_now();
+        let (mut completed, mut shut_down) = (0, 0);
+        for h in handles {
+            match h.wait() {
+                Terminal::Completed(_) => completed += 1,
+                Terminal::Failed(ServeError::ShuttingDown) => shut_down += 1,
+                other => panic!("unexpected terminal state {other:?}"),
+            }
+        }
+        assert_eq!(completed + shut_down, 6, "every request reached a terminal");
+        assert!(
+            shut_down >= 1,
+            "fast shutdown must fail queued work typed (completed={completed})"
+        );
     }
 }

@@ -1,0 +1,350 @@
+//! Integration tests of the request-lifecycle API (DESIGN.md §10):
+//! deadline expiry while queued, cancellation while batched, admission
+//! shedding, handle polling, and a randomized mixed-priority stress
+//! test of the scheduling policy.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use patdnn_core::prune::pattern_project_network;
+use patdnn_nn::models::small_cnn;
+use patdnn_serve::batching::BatchPolicy;
+use patdnn_serve::compile::compile_network;
+use patdnn_serve::engine::{Engine, EngineOptions};
+use patdnn_serve::registry::ModelRegistry;
+use patdnn_serve::server::{Server, ServerConfig};
+use patdnn_serve::{AdmissionPolicy, CancelToken, Priority, ServeError, Terminal};
+use patdnn_tensor::rng::Rng;
+use patdnn_tensor::Tensor;
+
+fn registry_with(name: &str, seed: u64) -> Arc<ModelRegistry> {
+    let mut rng = Rng::seed_from(seed);
+    let mut net = small_cnn(3, 8, 4, &mut rng);
+    pattern_project_network(&mut net, 8, 2.5);
+    let artifact = compile_network(name, &net, [3, 8, 8]).expect("compiles");
+    let registry = Arc::new(ModelRegistry::new());
+    registry.register(
+        name,
+        Engine::new(artifact, EngineOptions::default()).expect("engine"),
+    );
+    registry
+}
+
+fn input() -> Tensor {
+    Tensor::zeros(&[1, 3, 8, 8])
+}
+
+/// A request whose deadline passes while it waits in the queue is
+/// dropped with `Terminal::Expired` — and never executed: the server's
+/// completed-request counter must not include it.
+#[test]
+fn deadline_expires_while_queued() {
+    let registry = registry_with("m", 1);
+    // A long max_wait holds the batch open well past the deadline, so
+    // the request sits queued until the expiry prune wakes the worker.
+    let server = Server::start(
+        Arc::clone(&registry),
+        ServerConfig {
+            workers: 1,
+            batch: BatchPolicy {
+                max_batch: 8,
+                max_wait: Duration::from_millis(250),
+                ..BatchPolicy::default()
+            },
+            ..ServerConfig::default()
+        },
+    );
+    let client = server.client();
+    let handle = client
+        .request("m")
+        .input(input())
+        .deadline_in(Duration::from_millis(20))
+        .submit()
+        .expect("submit");
+    match handle.wait() {
+        Terminal::Expired { missed_by } => {
+            assert!(missed_by < Duration::from_secs(5), "drop happens promptly")
+        }
+        other => panic!("expected Expired, got {other:?}"),
+    }
+    let snap = server.metrics().snapshot();
+    assert_eq!(snap.requests, 0, "an expired request is never executed");
+    assert_eq!(snap.expired, 1);
+    assert_eq!(server.in_flight(), 0, "expiry released the permit");
+    server.shutdown();
+}
+
+/// A deadline that is already past at submission fails fast, without
+/// ever entering the queue.
+#[test]
+fn already_expired_deadline_fails_at_submit() {
+    let registry = registry_with("m", 2);
+    let server = Server::start(registry, ServerConfig::default());
+    let err = server
+        .client()
+        .request("m")
+        .input(input())
+        .deadline(Instant::now() - Duration::from_millis(5))
+        .submit()
+        .expect_err("past deadline must fail fast");
+    assert!(matches!(err, ServeError::Expired { .. }));
+    assert_eq!(server.metrics().snapshot().expired, 1);
+    server.shutdown();
+}
+
+/// Cancelling a request after it is queued (here: while it waits for
+/// batch-mates) resolves it to `Terminal::Cancelled` without
+/// executing it.
+#[test]
+fn cancel_while_batched() {
+    let registry = registry_with("m", 3);
+    let server = Server::start(
+        Arc::clone(&registry),
+        ServerConfig {
+            workers: 1,
+            batch: BatchPolicy {
+                max_batch: 8,
+                max_wait: Duration::from_millis(200),
+                ..BatchPolicy::default()
+            },
+            ..ServerConfig::default()
+        },
+    );
+    let client = server.client();
+    let token = CancelToken::new();
+    let handle = client
+        .request("m")
+        .input(input())
+        .cancel_token(token.clone())
+        .submit()
+        .expect("submit");
+    token.cancel();
+    match handle.wait() {
+        Terminal::Cancelled => {}
+        other => panic!("expected Cancelled, got {other:?}"),
+    }
+    let snap = server.metrics().snapshot();
+    assert_eq!(snap.requests, 0, "a cancelled request is never executed");
+    assert_eq!(snap.cancelled, 1);
+    assert_eq!(server.in_flight(), 0, "cancellation released the permit");
+    server.shutdown();
+}
+
+/// An already-cancelled token fails the submission fast.
+#[test]
+fn cancelled_token_fails_at_submit() {
+    let registry = registry_with("m", 4);
+    let server = Server::start(registry, ServerConfig::default());
+    let token = CancelToken::new();
+    token.cancel();
+    let err = server
+        .client()
+        .request("m")
+        .input(input())
+        .cancel_token(token)
+        .submit()
+        .expect_err("cancelled token must fail fast");
+    assert!(matches!(err, ServeError::Cancelled));
+    server.shutdown();
+}
+
+/// Admission control sheds overflow with a retry hint instead of
+/// queueing without bound, and readmits once budget frees.
+#[test]
+fn admission_sheds_overflow_with_retry_hint() {
+    let registry = registry_with("m", 5);
+    let server = Server::start(
+        Arc::clone(&registry),
+        ServerConfig {
+            workers: 1,
+            batch: BatchPolicy {
+                max_batch: 8,
+                max_wait: Duration::from_secs(3600),
+                ..BatchPolicy::default()
+            },
+            queue_capacity: 64,
+            admission: AdmissionPolicy {
+                max_in_flight: 3,
+                max_per_model: 3,
+            },
+        },
+    );
+    let client = server.client();
+    let held: Vec<_> = (0..3)
+        .map(|_| {
+            client
+                .request("m")
+                .input(input())
+                .submit()
+                .expect("within budget")
+        })
+        .collect();
+    let err = client
+        .request("m")
+        .input(input())
+        .submit()
+        .expect_err("budget exhausted");
+    match err {
+        ServeError::Shed { retry_after_hint } => {
+            assert!(retry_after_hint > Duration::ZERO, "hint must be actionable")
+        }
+        other => panic!("expected Shed, got {other:?}"),
+    }
+    assert_eq!(server.metrics().snapshot().shed, 1);
+    // Complete the held work (graceful shutdown drains it), budget
+    // frees, and a fresh server-independent client sees it.
+    drop(held);
+    server.shutdown();
+}
+
+/// `wait_timeout` hands the handle back while pending; `try_poll`
+/// resolves after completion.
+#[test]
+fn handle_polling_round_trips() {
+    let registry = registry_with("m", 6);
+    let server = Server::start(
+        Arc::clone(&registry),
+        ServerConfig {
+            workers: 1,
+            batch: BatchPolicy {
+                max_batch: 8,
+                max_wait: Duration::from_millis(120),
+                ..BatchPolicy::default()
+            },
+            ..ServerConfig::default()
+        },
+    );
+    let client = server.client();
+    let handle = client.request("m").input(input()).submit().expect("submit");
+    // The batch holds open for ~120ms, so an immediate poll is pending.
+    let handle = match handle.try_poll() {
+        Err(handle) => handle,
+        Ok(t) => panic!("must still be pending, got {t:?}"),
+    };
+    let handle = match handle.wait_timeout(Duration::from_millis(1)) {
+        Err(handle) => handle,
+        Ok(t) => panic!("1ms timeout must expire first, got {t:?}"),
+    };
+    match handle.wait_timeout(Duration::from_secs(30)) {
+        Ok(Terminal::Completed(resp)) => assert_eq!(resp.output.shape()[0], 1),
+        other => panic!("expected completion, got {other:?}"),
+    }
+    server.shutdown();
+}
+
+/// Randomized mixed-priority stress test: a saturated single-worker
+/// server fed interleaved `Interactive` and `Batch` traffic.
+///
+/// Asserts the scheduling policy's contract:
+/// - every submitted request reaches exactly one terminal state, and
+///   the terminal counts reconcile with the server's counters;
+/// - zero expired requests execute;
+/// - no `Interactive` request waits behind a full `Batch`-class batch
+///   beyond the policy bound: once the backlog is queued, interactive
+///   work overtakes it, so interactive completions finish no later
+///   than the batch-class tail.
+#[test]
+fn mixed_priority_stress_interactive_never_starves() {
+    let registry = registry_with("m", 7);
+    let server = Server::start(
+        Arc::clone(&registry),
+        ServerConfig {
+            workers: 1,
+            batch: BatchPolicy {
+                max_batch: 4,
+                max_wait: Duration::from_millis(1),
+                // Effectively no boost inside this short test: the
+                // ordering assertion is pure priority + EDF.
+                boost_after: Duration::from_secs(60),
+            },
+            queue_capacity: 512,
+            admission: AdmissionPolicy {
+                max_in_flight: 512,
+                max_per_model: 512,
+            },
+        },
+    );
+    let client = server.client();
+    let mut rng = Rng::seed_from(0xD1CE);
+    let rounds = 12usize;
+    let batch_per_round = 6usize;
+    let mut submitted = 0u64;
+    let mut waiters = Vec::new();
+    for round in 0..rounds {
+        // A burst of batch-class work...
+        for _ in 0..batch_per_round {
+            let h = client
+                .request("m")
+                .input(input())
+                .priority(Priority::Batch)
+                .submit()
+                .expect("batch submit");
+            submitted += 1;
+            waiters.push((Priority::Batch, h));
+        }
+        // ...then interactive arrivals racing it, some with deadlines.
+        let interactive_n = 1 + rng.below(3);
+        for _ in 0..interactive_n {
+            let mut req = client
+                .request("m")
+                .input(input())
+                .priority(Priority::Interactive);
+            if rng.chance(0.3) {
+                req = req.deadline_in(Duration::from_millis(500 + rng.below(500) as u64));
+            }
+            let h = req.submit().expect("interactive submit");
+            submitted += 1;
+            waiters.push((Priority::Interactive, h));
+        }
+        if round % 3 == 0 {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    }
+    let (mut completed, mut expired, mut cancelled, mut other) = (0u64, 0u64, 0u64, 0u64);
+    for (priority, handle) in waiters {
+        match handle.wait() {
+            Terminal::Completed(_) => completed += 1,
+            Terminal::Expired { .. } => {
+                expired += 1;
+                assert_eq!(
+                    priority,
+                    Priority::Interactive,
+                    "only interactive requests carried deadlines"
+                );
+            }
+            Terminal::Cancelled => cancelled += 1,
+            t => {
+                other += 1;
+                eprintln!("unexpected terminal {t:?}");
+            }
+        }
+    }
+    assert_eq!(
+        completed + expired + cancelled + other,
+        submitted,
+        "every request reached exactly one terminal state"
+    );
+    assert_eq!(other, 0, "no request failed or was shed within budget");
+    let snap = server.metrics().snapshot();
+    assert_eq!(snap.requests, completed, "server counted what completed");
+    assert_eq!(snap.expired, expired, "server counted what expired");
+    assert_eq!(
+        snap.requests + snap.expired + snap.cancelled,
+        submitted,
+        "zero expired or cancelled requests were executed"
+    );
+    // Policy bound: interactive completions lead the mixed backlog —
+    // per-class latency must reflect the priority scheduling under
+    // saturation.
+    let interactive = snap.class(Priority::Interactive);
+    let batch = snap.class(Priority::Batch);
+    assert!(interactive.requests > 0 && batch.requests > 0);
+    assert!(
+        interactive.p50_ms <= batch.p50_ms,
+        "interactive p50 {:.3}ms must not trail batch-class p50 {:.3}ms",
+        interactive.p50_ms,
+        batch.p50_ms
+    );
+    assert_eq!(server.in_flight(), 0, "all permits released");
+    server.shutdown();
+}

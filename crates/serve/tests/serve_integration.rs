@@ -428,10 +428,13 @@ fn quantized_model_serves_through_dynamic_batching() {
             batch: BatchPolicy {
                 max_batch: 4,
                 max_wait: Duration::from_millis(5),
+                ..BatchPolicy::default()
             },
             queue_capacity: 64,
+            ..ServerConfig::default()
         },
     );
+    let client = server.client();
     // Serve the calibration items themselves: scales were fit on them,
     // so the deviation bound is the calibrated one.
     let item_len = 3 * 32 * 32;
@@ -441,12 +444,18 @@ fn quantized_model_serves_through_dynamic_batching() {
             Tensor::from_vec(&[1, 3, 32, 32], slice).expect("calib item")
         })
         .collect();
-    let receivers: Vec<_> = inputs
+    let handles: Vec<_> = inputs
         .iter()
-        .map(|x| server.submit("q", x.clone()).expect("submit"))
+        .map(|x| {
+            client
+                .request("q")
+                .input(x.clone())
+                .submit()
+                .expect("submit")
+        })
         .collect();
-    for (x, rx) in inputs.iter().zip(receivers) {
-        let resp = rx.recv().expect("response").expect("served");
+    for (x, handle) in inputs.iter().zip(handles) {
+        let resp = handle.wait().into_result().expect("served");
         let direct = engine.infer(x).expect("direct");
         assert!(
             direct.approx_eq(&resp.output, 1e-5),
@@ -479,19 +488,28 @@ fn residual_model_serves_through_dynamic_batching() {
             batch: BatchPolicy {
                 max_batch: 4,
                 max_wait: Duration::from_millis(5),
+                ..BatchPolicy::default()
             },
             queue_capacity: 64,
+            ..ServerConfig::default()
         },
     );
+    let client = server.client();
     let inputs: Vec<Tensor> = (0..8)
         .map(|_| Tensor::randn(&[1, 3, 32, 32], &mut rng))
         .collect();
-    let receivers: Vec<_> = inputs
+    let handles: Vec<_> = inputs
         .iter()
-        .map(|x| server.submit("res", x.clone()).expect("submit"))
+        .map(|x| {
+            client
+                .request("res")
+                .input(x.clone())
+                .submit()
+                .expect("submit")
+        })
         .collect();
-    for (x, rx) in inputs.iter().zip(receivers) {
-        let resp = rx.recv().expect("response").expect("served");
+    for (x, handle) in inputs.iter().zip(handles) {
+        let resp = handle.wait().into_result().expect("served");
         let direct = engine.infer(x).expect("direct");
         assert!(
             direct.approx_eq(&resp.output, 1e-5),
@@ -503,7 +521,12 @@ fn residual_model_serves_through_dynamic_batching() {
 
 /// Dynamic batching: results served through the batching queue equal
 /// per-request engine results, request by request.
+///
+/// This test deliberately stays on the deprecated `Server::submit`
+/// shim: the legacy blocking API must keep serving unchanged for one
+/// release over the new request-lifecycle plumbing.
 #[test]
+#[allow(deprecated)]
 fn batched_serving_matches_per_request_inference() {
     let net = pruned_cnn(5);
     let artifact = compile_network("batch", &net, [3, 8, 8]).expect("compiles");
@@ -520,8 +543,10 @@ fn batched_serving_matches_per_request_inference() {
             batch: BatchPolicy {
                 max_batch: 4,
                 max_wait: Duration::from_millis(5),
+                ..BatchPolicy::default()
             },
             queue_capacity: 64,
+            ..ServerConfig::default()
         },
     );
 
@@ -558,8 +583,10 @@ fn batched_serving_matches_per_request_inference() {
 }
 
 /// Backpressure: a full queue rejects with QueueFull rather than
-/// blocking or growing unboundedly.
+/// blocking or growing unboundedly. Stays on the deprecated shim to
+/// pin the legacy error surface (`QueueFull`, not `Shed`).
 #[test]
+#[allow(deprecated)]
 fn queue_backpressure_rejects_overload() {
     let net = pruned_cnn(7);
     let artifact = compile_network("bp", &net, [3, 8, 8]).expect("compiles");
@@ -578,8 +605,10 @@ fn queue_backpressure_rejects_overload() {
             batch: BatchPolicy {
                 max_batch: 64,
                 max_wait: Duration::from_secs(3600),
+                ..BatchPolicy::default()
             },
             queue_capacity: 2,
+            ..ServerConfig::default()
         },
     );
     let x = || Tensor::zeros(&[1, 3, 8, 8]);
