@@ -5,13 +5,14 @@
 //! ```text
 //! repro <experiment>... [--quick] [--reps N] [--threads N] [--json FILE]
 //! experiment: table1..table7, fig12..fig18, serving, serving-resnet,
-//!             serving-tuned, serving-quant, serving-slo, tables,
-//!             figures, all
+//!             serving-tuned, serving-quant, serving-slo,
+//!             serving-profile, tables, figures, all
 //! ```
 //!
 //! `--json FILE` additionally writes a machine-readable report for the
-//! experiments that produce one (`serving-quant` and `serving-slo`),
-//! so CI can upload the perf trajectory as a workflow artifact.
+//! experiments that produce one (`serving-quant`, `serving-slo`, and
+//! `serving-profile`), so CI can upload the perf trajectory as a
+//! workflow artifact.
 
 use patdnn_bench::{figures, tables, RunOptions};
 
@@ -84,6 +85,7 @@ fn main() {
                 "serving-tuned",
                 "serving-quant",
                 "serving-slo",
+                "serving-profile",
             ]),
             "tables" => expanded.extend([
                 "table1", "table2", "table3", "table4", "table5", "table6", "table7",
@@ -134,6 +136,11 @@ fn main() {
                 println!("{table}");
                 write_json(&json_path, &json);
             }
+            "serving-profile" => {
+                let (tables, json) = patdnn_bench::serving::serving_profile_report(&opts);
+                print_all(tables);
+                write_json(&json_path, &json);
+            }
             other => die(&format!("unknown experiment {other}")),
         }
         eprintln!("[{exp} took {:.1}s]", start.elapsed().as_secs_f64());
@@ -159,8 +166,8 @@ fn die(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
         "usage: repro <table1..table7|fig12..fig18|serving|serving-resnet|serving-tuned|\
-         serving-quant|serving-slo|tables|figures|all> [--quick] [--reps N] [--threads N] \
-         [--json FILE]"
+         serving-quant|serving-slo|serving-profile|tables|figures|all> [--quick] [--reps N] \
+         [--threads N] [--json FILE]"
     );
     std::process::exit(2);
 }

@@ -19,7 +19,7 @@ use patdnn_serve::engine::{Engine, EngineOptions};
 use patdnn_serve::quant::compile_network_int8;
 use patdnn_serve::registry::ModelRegistry;
 use patdnn_serve::server::{Server, ServerConfig};
-use patdnn_serve::{AdmissionPolicy, Priority, ServeError, Terminal, TunePolicy};
+use patdnn_serve::{AdmissionPolicy, Priority, ServeError, TelemetryPolicy, Terminal, TunePolicy};
 use patdnn_tensor::rng::Rng;
 use patdnn_tensor::Tensor;
 
@@ -627,6 +627,7 @@ fn slo_run(artifact: &patdnn_serve::ModelArtifact, with_slo: bool, opts: &RunOpt
                 max_in_flight: backlog * 2,
                 max_per_model: budget,
             },
+            ..ServerConfig::default()
         },
     );
     let client = server.client();
@@ -798,6 +799,182 @@ pub fn serving(opts: &RunOptions) -> Vec<Table> {
     vec![engine_batch_sweep(opts), server_throughput(opts)]
 }
 
+/// The serving-profile workload without the JSON report.
+pub fn serving_profile(opts: &RunOptions) -> Vec<Table> {
+    let (tables, _) = serving_profile_report(opts);
+    tables
+}
+
+/// Serves a mixed f32/int8 priority load with full telemetry and
+/// reports where request time goes: the per-stage latency breakdown
+/// (enqueue → delivery) and the hottest per-layer profiles, plus a
+/// machine-readable JSON report (written by `repro --json` and
+/// uploaded from CI as a workflow artifact, so the per-stage latency
+/// trajectory accumulates across commits).
+pub fn serving_profile_report(opts: &RunOptions) -> (Vec<Table>, String) {
+    let requests_per_client = if opts.quick { 10 } else { 30 };
+    let clients = 4;
+
+    // Two models, two precisions: a pruned f32 vgg_small next to an
+    // int8-quantized resnet_small, as in the quantized-serving
+    // workload, so the layer profiles cover both precisions.
+    let registry = Arc::new(ModelRegistry::new());
+    let vgg = compile_network("vgg_f32", &pruned_model(101), [3, 32, 32]).expect("compile");
+    registry.register(
+        "vgg_f32",
+        Engine::new(vgg, EngineOptions::default()).expect("engine"),
+    );
+    let mut rng = Rng::seed_from(102);
+    let mut resnet = resnet_small(10, &mut rng);
+    pattern_project_network(&mut resnet, 8, 3.6);
+    let calib = calibration_batch([3, 32, 32], 8, 103);
+    let resnet_int8 = compile_network_int8(
+        "resnet_int8",
+        &resnet,
+        [3, 32, 32],
+        &CompileOptions::default(),
+        &calib,
+    )
+    .expect("int8 compile");
+    registry.register(
+        "resnet_int8",
+        Engine::new(resnet_int8, EngineOptions::default()).expect("engine"),
+    );
+
+    let server = Server::start(
+        Arc::clone(&registry),
+        ServerConfig {
+            workers: 2,
+            batch: BatchPolicy {
+                max_batch: 4,
+                max_wait: Duration::from_millis(2),
+                ..BatchPolicy::default()
+            },
+            queue_capacity: 1024,
+            telemetry: TelemetryPolicy::Full,
+            ..ServerConfig::default()
+        },
+    );
+    let serve_client = server.client();
+    std::thread::scope(|scope| {
+        for client in 0..clients {
+            let serve_client = serve_client.clone();
+            scope.spawn(move || {
+                let mut rng = Rng::seed_from(700 + client as u64);
+                // Each client pins one model; priorities alternate so
+                // both scheduling classes appear in the trace.
+                let model = if client % 2 == 0 {
+                    "vgg_f32"
+                } else {
+                    "resnet_int8"
+                };
+                for r in 0..requests_per_client {
+                    let priority = if r % 2 == 0 {
+                        Priority::Interactive
+                    } else {
+                        Priority::Batch
+                    };
+                    let input = Tensor::randn(&[1, 3, 32, 32], &mut rng);
+                    let _ = serve_client
+                        .request(model)
+                        .input(input)
+                        .priority(priority)
+                        .submit()
+                        .map(|handle| handle.wait());
+                }
+            });
+        }
+    });
+
+    let snap = server.metrics().snapshot();
+    let stages = server.telemetry().stage_breakdown();
+    let mut layers = server.telemetry().layer_snapshots();
+    layers.sort_by(|a, b| b.total_ms.total_cmp(&a.total_ms));
+    server.shutdown();
+
+    let envelope_us: u64 = stages.iter().map(|s| s.total_us).sum();
+    let mut stage_table = Table::new(
+        "Serving profile: per-stage latency breakdown under a mixed f32/int8 \
+         priority load (full telemetry, 2 workers, max_batch=4)",
+        &["stage", "count", "mean ms", "share %"],
+    );
+    let mut stages_json = Vec::new();
+    for stat in stages {
+        let share = if envelope_us == 0 {
+            0.0
+        } else {
+            stat.total_us as f64 / envelope_us as f64 * 100.0
+        };
+        stage_table.push_row(vec![
+            stat.stage.label().to_string(),
+            stat.count.to_string(),
+            format!("{:.3}", stat.mean_ms()),
+            format!("{share:.1}"),
+        ]);
+        stages_json.push(format!(
+            "{{\"stage\":\"{}\",\"count\":{},\"mean_ms\":{:.5},\"share_pct\":{share:.3}}}",
+            stat.stage.label(),
+            stat.count,
+            stat.mean_ms()
+        ));
+    }
+
+    // Top layers per model (not globally), so the slower model's
+    // profile doesn't crowd the faster one out of the report.
+    let mut per_model: std::collections::HashMap<&str, usize> = std::collections::HashMap::new();
+    let hottest: Vec<_> = layers
+        .iter()
+        .filter(|l| {
+            let seen = per_model.entry(l.model.as_str()).or_insert(0);
+            *seen += 1;
+            *seen <= 4
+        })
+        .collect();
+    let mut layer_table = Table::new(
+        "Serving profile: hottest layers by total profiled wall time (top 4 per model)",
+        &[
+            "model", "step", "kind", "prec", "mean ms", "p99 ms", "GFLOP/s", "count",
+        ],
+    );
+    let mut layers_json = Vec::new();
+    for layer in hottest {
+        layer_table.push_row(vec![
+            layer.model.clone(),
+            layer.step.to_string(),
+            layer.kind.to_string(),
+            layer.precision.label().to_string(),
+            format!("{:.3}", layer.mean_ms),
+            format!("{:.3}", layer.p99_ms),
+            format!("{:.2}", layer.gflops),
+            layer.count.to_string(),
+        ]);
+        layers_json.push(format!(
+            "{{\"model\":\"{}\",\"step\":{},\"kind\":\"{}\",\"precision\":\"{}\",\
+             \"mean_ms\":{:.5},\"p99_ms\":{:.5},\"gflops\":{:.3},\"count\":{}}}",
+            layer.model,
+            layer.step,
+            layer.kind,
+            layer.precision.label(),
+            layer.mean_ms,
+            layer.p99_ms,
+            layer.gflops,
+            layer.count
+        ));
+    }
+
+    let json = format!(
+        "{{\"workload\":\"serving-profile\",\"quick\":{},\"requests\":{},\
+         \"p50_ms\":{:.5},\"p99_ms\":{:.5},\"stages\":[{}],\"layers\":[{}]}}\n",
+        opts.quick,
+        snap.requests,
+        snap.p50_ms,
+        snap.p99_ms,
+        stages_json.join(","),
+        layers_json.join(",")
+    );
+    (vec![stage_table, layer_table], json)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -916,6 +1093,47 @@ mod tests {
         assert!(json.contains("\"workload\":\"serving-slo\""));
         assert!(json.contains("\"mode\":\"fifo\""));
         assert!(json.contains("\"mode\":\"slo\""));
+    }
+
+    /// The profile workload's contract: every lifecycle stage is
+    /// observed for every completed request, the stage shares sum to
+    /// ~100%, and the layer profiles cover both precisions.
+    #[test]
+    fn serving_profile_covers_all_stages_and_both_precisions() {
+        let opts = RunOptions::quick();
+        let (tables, json) = serving_profile_report(&opts);
+        assert_eq!(tables.len(), 2, "stage table + layer table");
+        let (stage_table, layer_table) = (&tables[0], &tables[1]);
+        assert_eq!(stage_table.rows.len(), 6, "all six lifecycle stages");
+        let mut share_sum = 0.0;
+        for row in &stage_table.rows {
+            let count: u64 = row[1].parse().expect("numeric count");
+            assert!(count > 0, "{}: stage observed at least once", row[0]);
+            share_sum += row[3].parse::<f64>().expect("numeric share");
+        }
+        assert!(
+            (share_sum - 100.0).abs() < 1.0,
+            "stage shares must sum to ~100%, got {share_sum:.1}"
+        );
+        assert!(!layer_table.rows.is_empty(), "layer profiles recorded");
+        let precisions: std::collections::BTreeSet<&str> =
+            layer_table.rows.iter().map(|row| row[3].as_str()).collect();
+        assert!(precisions.contains("f32"), "f32 layers profiled");
+        assert!(precisions.contains("int8"), "int8 layers profiled");
+        assert!(json.contains("\"workload\":\"serving-profile\""));
+        for stage in [
+            "enqueue",
+            "admission",
+            "queue-wait",
+            "batch-assembly",
+            "execution",
+            "delivery",
+        ] {
+            assert!(
+                json.contains(&format!("\"stage\":\"{stage}\"")),
+                "{stage} in JSON"
+            );
+        }
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! The executor abstraction and timing helpers.
 
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use patdnn_tensor::{Conv2dGeometry, Tensor};
 
@@ -48,6 +48,51 @@ pub fn measure(exec: &dyn ConvExecutor, input: &Tensor, reps: usize) -> Measurem
     Measurement {
         seconds,
         dense_gflops: flops / seconds / 1e9,
+    }
+}
+
+/// Dense-equivalent GFLOP/s for `flops` of work finished in `wall`
+/// time — the single conversion every profiling consumer (engine step
+/// hooks, serving telemetry, bench reports) shares. Sub-resolution
+/// walls report 0.0 rather than a division-by-zero spike.
+pub fn effective_gflops(flops: f64, wall: Duration) -> f64 {
+    let secs = wall.as_secs_f64();
+    if secs > 0.0 {
+        flops / secs / 1e9
+    } else {
+        0.0
+    }
+}
+
+/// A started wall-clock timer for one executor or plan-step run: the
+/// scoped form of [`measure`] for callers timing real traffic instead
+/// of repeated benchmark runs.
+#[derive(Debug)]
+pub struct StepClock {
+    started: Instant,
+}
+
+impl StepClock {
+    /// Starts timing now.
+    pub fn start() -> Self {
+        StepClock {
+            started: Instant::now(),
+        }
+    }
+
+    /// When the clock started.
+    pub fn started(&self) -> Instant {
+        self.started
+    }
+
+    /// Elapsed wall time since start.
+    pub fn elapsed(&self) -> Duration {
+        self.started.elapsed()
+    }
+
+    /// Stops the clock: `(start instant, wall time)`.
+    pub fn stop(self) -> (Instant, Duration) {
+        (self.started, self.started.elapsed())
     }
 }
 
@@ -101,6 +146,25 @@ mod tests {
         let m = measure(&exec, &input, 3);
         assert!(m.seconds > 0.0);
         assert!(m.dense_gflops > 0.0);
+    }
+
+    #[test]
+    fn effective_gflops_matches_hand_arithmetic() {
+        // 2e9 FLOPs in 1s is 2 GFLOP/s; zero wall degrades to 0.0.
+        assert!((effective_gflops(2e9, Duration::from_secs(1)) - 2.0).abs() < 1e-12);
+        assert!((effective_gflops(1e9, Duration::from_millis(500)) - 2.0).abs() < 1e-12);
+        assert_eq!(effective_gflops(1e9, Duration::ZERO), 0.0);
+    }
+
+    #[test]
+    fn step_clock_reports_monotone_wall_time() {
+        let clock = StepClock::start();
+        let t0 = clock.started();
+        std::hint::black_box((0..1000).sum::<u64>());
+        let early = clock.elapsed();
+        let (started, wall) = clock.stop();
+        assert_eq!(started, t0);
+        assert!(wall >= early);
     }
 
     #[test]

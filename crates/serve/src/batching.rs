@@ -43,6 +43,7 @@ use patdnn_tensor::Tensor;
 use crate::metrics::ServerMetrics;
 use crate::request::{AdmissionPermit, CancelToken, Priority};
 use crate::server::RequestResult;
+use crate::telemetry::RequestTrace;
 use crate::ServeError;
 
 /// Dynamic batching policy knobs.
@@ -90,6 +91,10 @@ pub struct PendingRequest {
     /// every terminal path). `None` for requests outside admission
     /// control (unit tests, direct queue users).
     pub permit: Option<AdmissionPermit>,
+    /// Trace context for telemetry-sampled requests; `None` when the
+    /// request is untraced (the common case under sampling, always
+    /// under [`crate::TelemetryPolicy::Off`]).
+    pub trace: Option<RequestTrace>,
 }
 
 /// Why a queued request was resolved without executing.
@@ -220,8 +225,18 @@ impl BatchQueue {
             return Err(ServeError::QueueFull);
         }
         state.entries.push_back(req);
+        self.sync_depth_gauge(state.entries.len());
         self.cv.notify_all();
         Ok(())
+    }
+
+    /// Publishes the queue-depth gauge. Called under the queue lock
+    /// after every entry-list mutation, so the gauge never drifts from
+    /// the real depth.
+    fn sync_depth_gauge(&self, depth: usize) {
+        if let Some(m) = &self.metrics {
+            m.set_queue_depth(depth);
+        }
     }
 
     /// Number of waiting requests.
@@ -249,6 +264,7 @@ impl BatchQueue {
     pub fn drain_now(&self) -> Vec<PendingRequest> {
         let mut state = self.state.lock().expect("queue lock");
         let drained = state.entries.drain(..).collect();
+        self.sync_depth_gauge(0);
         self.cv.notify_all();
         drained
     }
@@ -275,6 +291,9 @@ impl BatchQueue {
         loop {
             let now = Instant::now();
             let (e, c) = prune(&mut state.entries, now, self.metrics.as_deref());
+            if e + c > 0 {
+                self.sync_depth_gauge(state.entries.len());
+            }
             expired += e;
             cancelled += c;
             if state.entries.is_empty() {
@@ -344,6 +363,7 @@ impl BatchQueue {
                     now,
                     policy.boost_after,
                 );
+                self.sync_depth_gauge(state.entries.len());
                 return Some(PoppedBatch {
                     model,
                     requests,
@@ -448,6 +468,7 @@ mod tests {
                 cancel: CancelToken::new(),
                 respond: tx,
                 permit: None,
+                trace: None,
             },
             rx,
         )
@@ -584,6 +605,7 @@ mod tests {
                 cancel: CancelToken::new(),
                 respond: tx,
                 permit: None,
+                trace: None,
             })
             .unwrap();
             receivers.push((i, rx));
@@ -798,5 +820,40 @@ mod tests {
         let drained = q.drain_now();
         assert_eq!(drained.len(), 5);
         assert!(q.is_empty());
+    }
+
+    /// Satellite regression: the queue-depth gauge tracks every
+    /// mutation — push, pop, prune — and returns to zero after drain.
+    #[test]
+    fn queue_depth_gauge_tracks_mutations_and_returns_to_zero() {
+        let metrics = Arc::new(ServerMetrics::new());
+        let q = BatchQueue::with_metrics(16, Arc::clone(&metrics));
+        for _ in 0..3 {
+            q.push(req("m")).unwrap();
+        }
+        assert_eq!(metrics.snapshot().queue_depth, 3, "pushes raise the gauge");
+        let popped = q.pop_batch(&policy(2, 0)).expect("batch");
+        assert_eq!(popped.requests.len(), 2);
+        assert_eq!(metrics.snapshot().queue_depth, 1, "pop lowers the gauge");
+        // An expired request pruned on the next pop also updates it.
+        let (dead, _dead_rx) = req_with(
+            "m",
+            Priority::Standard,
+            Some(Instant::now() - Duration::from_millis(1)),
+        );
+        q.push(dead).unwrap();
+        assert_eq!(metrics.snapshot().queue_depth, 2);
+        let popped = q.pop_batch(&policy(8, 0)).expect("batch");
+        assert_eq!(popped.expired, 1);
+        assert_eq!(
+            metrics.snapshot().queue_depth,
+            0,
+            "gauge returns to zero once the queue drains"
+        );
+        // drain_now likewise zeroes it.
+        q.push(req("m")).unwrap();
+        assert_eq!(metrics.snapshot().queue_depth, 1);
+        q.drain_now();
+        assert_eq!(metrics.snapshot().queue_depth, 0);
     }
 }

@@ -24,6 +24,14 @@
 //! late. The final report breaks latency out per priority class and
 //! counts every terminal state (completed / expired / shed / rejected).
 //!
+//! With `--telemetry full` (or `sampled:N`) the server records
+//! request-scoped trace spans and per-layer execution profiles
+//! ([`patdnn_serve::telemetry`]); the report then includes a
+//! per-stage latency breakdown and the hottest layers. `--trace-out
+//! FILE` additionally dumps every span as Chrome-trace JSON (open in
+//! `chrome://tracing` or Perfetto) and implies `--telemetry full`
+//! unless a policy was given explicitly.
+//!
 //! ```text
 //! patdnn-serve [--model vgg_small|resnet_small] [--requests N]
 //!              [--clients N] [--workers N] [--max-batch N]
@@ -31,6 +39,7 @@
 //!              [--tune off|estimate|measure] [--budget N]
 //!              [--precision f32|int8]
 //!              [--priority interactive|standard|batch] [--deadline-ms N]
+//!              [--telemetry off|full|sampled:N] [--trace-out FILE]
 //! ```
 
 use std::sync::Arc;
@@ -47,7 +56,9 @@ use patdnn_serve::engine::{Engine, EngineOptions};
 use patdnn_serve::quant::quantize_artifact;
 use patdnn_serve::registry::ModelRegistry;
 use patdnn_serve::server::{Server, ServerConfig};
-use patdnn_serve::{ModelArtifact, Precision, Priority, ServeError, Terminal, TunePolicy};
+use patdnn_serve::{
+    ModelArtifact, Precision, Priority, ServeError, TelemetryPolicy, Terminal, TunePolicy,
+};
 use patdnn_tensor::rng::Rng;
 use patdnn_tensor::Tensor;
 
@@ -65,6 +76,10 @@ struct Args {
     priority: Priority,
     /// Per-request deadline in milliseconds; 0 disables deadlines.
     deadline_ms: u64,
+    telemetry: TelemetryPolicy,
+    /// Chrome-trace JSON output path; implies full telemetry when no
+    /// policy was given explicitly.
+    trace_out: Option<std::path::PathBuf>,
 }
 
 fn parse_args() -> Args {
@@ -81,7 +96,10 @@ fn parse_args() -> Args {
         precision: Precision::F32,
         priority: Priority::Standard,
         deadline_ms: 0,
+        telemetry: TelemetryPolicy::Off,
+        trace_out: None,
     };
+    let mut telemetry_explicit = false;
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < argv.len() {
@@ -132,6 +150,29 @@ fn parse_args() -> Args {
                 };
             }
             "--deadline-ms" => args.deadline_ms = need(i) as u64,
+            "--telemetry" => {
+                args.telemetry = match argv.get(i + 1).map(String::as_str) {
+                    Some("off") => TelemetryPolicy::Off,
+                    Some("full") => TelemetryPolicy::Full,
+                    Some(v) if v.starts_with("sampled:") => {
+                        let every = v["sampled:".len()..].parse().unwrap_or_else(|_| {
+                            die("--telemetry sampled:N needs a number after the colon")
+                        });
+                        TelemetryPolicy::Sampled { every }
+                    }
+                    other => die(&format!(
+                        "--telemetry expects off|full|sampled:N, got {other:?}"
+                    )),
+                };
+                telemetry_explicit = true;
+            }
+            "--trace-out" => {
+                args.trace_out = Some(
+                    argv.get(i + 1)
+                        .map(std::path::PathBuf::from)
+                        .unwrap_or_else(|| die("--trace-out needs a file path")),
+                );
+            }
             other => die(&format!("unknown flag {other}")),
         }
         i += 2;
@@ -154,6 +195,11 @@ fn parse_args() -> Args {
     if args.threads > 256 {
         die("--threads must be at most 256 (the artifact codec's bound)");
     }
+    // Asking for a trace file without picking a policy means "trace
+    // everything": a sampled or off policy would leave holes in it.
+    if args.trace_out.is_some() && !telemetry_explicit {
+        args.telemetry = TelemetryPolicy::Full;
+    }
     args
 }
 
@@ -163,7 +209,8 @@ fn die(msg: &str) -> ! {
         "usage: patdnn-serve [--model vgg_small|resnet_small] [--requests N] \
          [--clients N] [--workers N] [--max-batch N] [--max-wait-ms N] [--threads N] \
          [--tune off|estimate|measure] [--budget N] [--precision f32|int8] \
-         [--priority interactive|standard|batch] [--deadline-ms N]"
+         [--priority interactive|standard|batch] [--deadline-ms N] \
+         [--telemetry off|full|sampled:N] [--trace-out FILE]"
     );
     std::process::exit(2);
 }
@@ -317,6 +364,7 @@ fn main() {
                 ..BatchPolicy::default()
             },
             queue_capacity: 1024,
+            telemetry: args.telemetry,
             ..ServerConfig::default()
         },
     );
@@ -406,5 +454,41 @@ fn main() {
         wall,
         snap.qps
     );
+    if server.telemetry().enabled() {
+        println!("      stage breakdown (mean ms across traced requests):");
+        for stat in server.telemetry().stage_breakdown() {
+            if stat.count > 0 {
+                println!(
+                    "        {:<15} {:.3} (n={})",
+                    stat.stage.label(),
+                    stat.mean_ms(),
+                    stat.count
+                );
+            }
+        }
+        let mut layers = server.telemetry().layer_snapshots();
+        layers.sort_by(|a, b| b.total_ms.total_cmp(&a.total_ms));
+        println!("      hottest layers (by total profiled wall time):");
+        for layer in layers.iter().take(5) {
+            println!(
+                "        step {:>2} {:<15} {:<4} mean {:.3}ms p99 {:.3}ms | {:>7.2} GFLOP/s (n={})",
+                layer.step,
+                layer.kind,
+                layer.precision.label(),
+                layer.mean_ms,
+                layer.p99_ms,
+                layer.gflops,
+                layer.count
+            );
+        }
+    }
+    if let Some(path) = &args.trace_out {
+        let json = server.telemetry().chrome_trace_json();
+        std::fs::write(path, &json).unwrap_or_else(|e| die(&format!("trace write failed: {e}")));
+        println!(
+            "      wrote {} span events to {path:?} (chrome://tracing / Perfetto)",
+            server.telemetry().events().len()
+        );
+    }
     server.shutdown();
 }

@@ -18,18 +18,46 @@
 //! fast path) and splits the results back out.
 
 use std::sync::Mutex;
+use std::time::{Duration, Instant};
 
 use patdnn_compiler::quant::quantize_slice_into;
 use patdnn_runtime::dense::TiledConv;
-use patdnn_runtime::executor::ConvExecutor;
+use patdnn_runtime::executor::{effective_gflops, ConvExecutor, StepClock};
 use patdnn_runtime::parallel::{ParallelPattern, Schedule};
 use patdnn_runtime::pattern_exec::PatternConv;
 use patdnn_runtime::quant_exec::{accumulation_fits_i32, QuantPatternConv};
 use patdnn_tensor::gemm::{gemm_bt, gemm_i8_bt};
 use patdnn_tensor::{conv_out_dim, Conv2dGeometry, Tensor};
 
-use crate::artifact::{ArtifactError, LayerPlan, ModelArtifact};
+use crate::artifact::{ArtifactError, LayerPlan, ModelArtifact, Precision};
 use crate::ServeError;
+
+/// Wall-time and throughput record of one executed plan step, produced
+/// by the profiled inference paths ([`Engine::infer_profiled`],
+/// [`Engine::infer_batch_profiled`]) and consumed by
+/// [`crate::telemetry::Telemetry`].
+#[derive(Debug, Clone)]
+pub struct StepTiming {
+    /// Plan step index.
+    pub index: usize,
+    /// Step kind (`pattern-conv`, `quant-fc`, `add`, …).
+    pub kind: &'static str,
+    /// Numeric precision the step executed at.
+    pub precision: Precision,
+    /// When the step started.
+    pub started: Instant,
+    /// Wall time of the step (fused ReLU included).
+    pub wall: Duration,
+    /// Dense-equivalent FLOPs the step performed (batch included).
+    pub flops: f64,
+}
+
+impl StepTiming {
+    /// Dense-equivalent GFLOP/s achieved by this execution.
+    pub fn dense_gflops(&self) -> f64 {
+        effective_gflops(self.flops, self.wall)
+    }
+}
 
 /// Engine construction options.
 ///
@@ -125,6 +153,12 @@ struct Step {
     output: usize,
     /// Per-item output shape: `[c, h, w]` or `[features]`.
     out_shape: Vec<usize>,
+    /// Artifact step kind, for profiling labels.
+    kind: &'static str,
+    /// Numeric precision this step executes at.
+    precision: Precision,
+    /// Dense-equivalent FLOPs per batch item.
+    flops_per_item: f64,
 }
 
 /// A compiled network ready to serve inference.
@@ -406,12 +440,16 @@ impl Engine {
                 }
                 Some(_) => {}
             }
+            let flops_per_item = step_flops(&plan_step.op, &shape, &out_shape);
             steps.push(Step {
                 exec,
                 relu,
                 inputs: plan_step.inputs.clone(),
                 output: plan_step.output,
                 out_shape,
+                kind: plan_step.op.kind(),
+                precision: plan_step.precision,
+                flops_per_item,
             });
         }
         Ok(Engine {
@@ -468,6 +506,26 @@ impl Engine {
     /// engine serving a stable batch size reallocates nothing (slot
     /// reuse is shape-exact by construction).
     pub fn infer(&self, input: &Tensor) -> Result<Tensor, ServeError> {
+        self.infer_impl(input, None)
+    }
+
+    /// Like [`Engine::infer`], additionally timing every plan step into
+    /// `profile` (wall time, precision, dense-equivalent FLOPs). The
+    /// unprofiled path pays nothing for this: `infer` compiles to the
+    /// same loop with the timing branch dead.
+    pub fn infer_profiled(
+        &self,
+        input: &Tensor,
+        profile: &mut Vec<StepTiming>,
+    ) -> Result<Tensor, ServeError> {
+        self.infer_impl(input, Some(profile))
+    }
+
+    fn infer_impl(
+        &self,
+        input: &Tensor,
+        mut profile: Option<&mut Vec<StepTiming>>,
+    ) -> Result<Tensor, ServeError> {
         let shape = input.shape();
         if shape.len() != 4 || shape[1..] != self.input[..] {
             return Err(ServeError::ShapeMismatch {
@@ -499,7 +557,8 @@ impl Engine {
             }
         }
 
-        for step in &self.steps {
+        for (index, step) in self.steps.iter().enumerate() {
+            let clock = profile.as_ref().map(|_| StepClock::start());
             // Slot 0 never holds data (the input is the caller's borrow),
             // so park the output buffer there to borrow it mutably while
             // the input slots stay readable.
@@ -522,6 +581,17 @@ impl Engine {
                 buf.map_inplace(|x| x.max(0.0));
             }
             slots.swap(0, step.output);
+            if let (Some(sink), Some(clock)) = (profile.as_deref_mut(), clock) {
+                let (started, wall) = clock.stop();
+                sink.push(StepTiming {
+                    index,
+                    kind: step.kind,
+                    precision: step.precision,
+                    started,
+                    wall,
+                    flops: step.flops_per_item * batch as f64,
+                });
+            }
         }
 
         let out = match self.steps.last() {
@@ -537,6 +607,24 @@ impl Engine {
     ///
     /// Each input must be `[1, c, h, w]` with the model's item shape.
     pub fn infer_batch(&self, inputs: &[Tensor]) -> Result<Vec<Tensor>, ServeError> {
+        self.infer_batch_impl(inputs, None)
+    }
+
+    /// Like [`Engine::infer_batch`], timing every plan step of the one
+    /// batched execution into `profile`.
+    pub fn infer_batch_profiled(
+        &self,
+        inputs: &[Tensor],
+        profile: &mut Vec<StepTiming>,
+    ) -> Result<Vec<Tensor>, ServeError> {
+        self.infer_batch_impl(inputs, Some(profile))
+    }
+
+    fn infer_batch_impl(
+        &self,
+        inputs: &[Tensor],
+        profile: Option<&mut Vec<StepTiming>>,
+    ) -> Result<Vec<Tensor>, ServeError> {
         if inputs.is_empty() {
             return Ok(Vec::new());
         }
@@ -555,7 +643,7 @@ impl Engine {
         for (n, t) in inputs.iter().enumerate() {
             stacked.data_mut()[n * item_len..(n + 1) * item_len].copy_from_slice(t.data());
         }
-        let out = self.infer(&stacked)?;
+        let out = self.infer_impl(&stacked, profile)?;
         let out_item: usize = self.output_shape().iter().product();
         let mut per_request = Vec::with_capacity(inputs.len());
         let mut out_shape = vec![1usize];
@@ -565,6 +653,34 @@ impl Engine {
             per_request.push(Tensor::from_vec(&out_shape, slice).expect("split batch"));
         }
         Ok(per_request)
+    }
+}
+
+/// Dense-equivalent FLOPs per batch item for one plan step, derived
+/// from the op payload and the shapes flowing through it. Convolutions
+/// and FC layers count 2 FLOPs per MAC of their *dense* geometry (the
+/// paper's Figure 17 convention, so pruned executors report speedup as
+/// higher effective GFLOP/s); data-movement and elementwise steps count
+/// one op per touched element.
+fn step_flops(op: &LayerPlan, in_shape: &[usize], out_shape: &[usize]) -> f64 {
+    let in_elems: f64 = in_shape.iter().product::<usize>() as f64;
+    let out_elems: f64 = out_shape.iter().product::<usize>() as f64;
+    match op {
+        LayerPlan::PatternConv { fkw, .. } => {
+            2.0 * (fkw.in_c * fkw.kernel * fkw.kernel) as f64 * out_elems
+        }
+        LayerPlan::QuantPatternConv { qfkw, .. } => {
+            2.0 * (qfkw.in_c * qfkw.kernel * qfkw.kernel) as f64 * out_elems
+        }
+        LayerPlan::DenseConv { weights, .. } => {
+            let ws = weights.shape4();
+            2.0 * (ws.c * ws.h * ws.w) as f64 * out_elems
+        }
+        LayerPlan::MaxPool { kernel, .. } => (kernel * kernel) as f64 * out_elems,
+        LayerPlan::GlobalAvgPool => in_elems,
+        LayerPlan::Flatten | LayerPlan::Relu | LayerPlan::Add { .. } => out_elems,
+        LayerPlan::Fc { weights, .. } => 2.0 * (weights.shape()[0] * weights.shape()[1]) as f64,
+        LayerPlan::QuantFc { out_f, in_f, .. } => 2.0 * (out_f * in_f) as f64,
     }
 }
 
@@ -882,6 +998,70 @@ mod tests {
         assert!(want.approx_eq(&got, 1e-4), "tuned engine diverges");
         let base = reference.infer(&x).expect("infer");
         assert!(base.approx_eq(&got, 1e-4));
+    }
+
+    #[test]
+    fn profiled_infer_matches_plain_and_times_every_step() {
+        let net = pruned_cnn(15);
+        let artifact = compile_network("m", &net, [3, 8, 8]).expect("compiles");
+        let plan: Vec<(&'static str, Precision)> = artifact
+            .steps
+            .iter()
+            .map(|s| (s.op.kind(), s.precision))
+            .collect();
+        let engine = Engine::new(artifact, EngineOptions::default()).expect("engine");
+        let mut rng = Rng::seed_from(16);
+        let x = Tensor::randn(&[1, 3, 8, 8], &mut rng);
+        let plain = engine.infer(&x).expect("plain");
+        let mut profile = Vec::new();
+        let profiled = engine.infer_profiled(&x, &mut profile).expect("profiled");
+        assert_eq!(plain, profiled, "profiling must not change results");
+        assert_eq!(profile.len(), plan.len(), "one timing per plan step");
+        for (i, t) in profile.iter().enumerate() {
+            assert_eq!(t.index, i, "timings are in plan order");
+            assert_eq!((t.kind, t.precision), plan[i]);
+            assert!(t.flops > 0.0, "step {i} ({}) has work", t.kind);
+            assert!(t.dense_gflops() >= 0.0);
+        }
+        // Conv steps dominate the FLOP count by orders of magnitude.
+        let conv_flops: f64 = profile
+            .iter()
+            .filter(|t| t.kind.ends_with("conv"))
+            .map(|t| t.flops)
+            .sum();
+        let other_flops: f64 = profile
+            .iter()
+            .filter(|t| !t.kind.ends_with("conv"))
+            .map(|t| t.flops)
+            .sum();
+        assert!(conv_flops > other_flops);
+    }
+
+    #[test]
+    fn batch_profile_scales_flops_with_batch_size() {
+        let net = pruned_cnn(17);
+        let artifact = compile_network("m", &net, [3, 8, 8]).expect("compiles");
+        let engine = Engine::new(artifact, EngineOptions::default()).expect("engine");
+        let mut rng = Rng::seed_from(18);
+        let one = vec![Tensor::randn(&[1, 3, 8, 8], &mut rng)];
+        let three: Vec<Tensor> = (0..3)
+            .map(|_| Tensor::randn(&[1, 3, 8, 8], &mut rng))
+            .collect();
+        let mut p1 = Vec::new();
+        let mut p3 = Vec::new();
+        engine.infer_batch_profiled(&one, &mut p1).expect("batch 1");
+        let outs = engine
+            .infer_batch_profiled(&three, &mut p3)
+            .expect("batch 3");
+        assert_eq!(outs.len(), 3);
+        assert_eq!(p1.len(), p3.len(), "same plan either way");
+        for (a, b) in p1.iter().zip(&p3) {
+            assert!(
+                (b.flops / a.flops - 3.0).abs() < 1e-9,
+                "step {} batch-3 flops must be 3x batch-1",
+                a.index
+            );
+        }
     }
 
     #[test]

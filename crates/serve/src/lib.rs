@@ -52,7 +52,16 @@
 //!   (the old blocking `submit`/`infer` remain as deprecated shims).
 //! - [`metrics`] — per-request latency and throughput counters
 //!   (p50/p95/p99, QPS), per priority class, plus shed / expired /
-//!   cancelled lifecycle counters.
+//!   cancelled lifecycle counters and live queue-depth / in-flight
+//!   gauges.
+//! - [`telemetry`] — request-scoped tracing and per-layer profiling:
+//!   every served request (per the sampling
+//!   [`telemetry::TelemetryPolicy`]) leaves a span tree — enqueue,
+//!   admission, queue wait, batch assembly, execution, delivery —
+//!   in a bounded lock-light ring, execution is profiled per plan
+//!   step (wall time, precision, effective dense GFLOP/s), and the
+//!   whole record exports as Chrome-trace JSON or per-layer
+//!   p50/p99 snapshots.
 //!
 //! See `DESIGN.md` §7 for the serving architecture and batching
 //! policy, and §10 for the request lifecycle and admission control.
@@ -82,6 +91,7 @@ pub mod quant;
 pub mod registry;
 pub mod request;
 pub mod server;
+pub mod telemetry;
 pub mod tune;
 
 pub use artifact::{ArtifactError, ExecConfig, LayerPlan, ModelArtifact, Precision};
@@ -89,7 +99,7 @@ pub use compile::{
     compile_graph, compile_graph_with, compile_network, compile_network_with, CompileError,
     CompileOptions,
 };
-pub use engine::{Engine, EngineOptions};
+pub use engine::{Engine, EngineOptions, StepTiming};
 pub use metrics::{ClassSnapshot, MetricsSnapshot, ServerMetrics};
 pub use quant::{compile_network_int8, quantize_artifact, QuantError};
 pub use registry::ModelRegistry;
@@ -97,6 +107,10 @@ pub use request::{
     AdmissionPolicy, CancelToken, Client, Priority, RequestBuilder, ResponseHandle, Terminal,
 };
 pub use server::{Server, ServerConfig};
+pub use telemetry::{
+    LayerSnapshot, RequestTrace, SpanEvent, SpanKind, Stage, StageStat, Telemetry, TelemetryPolicy,
+    TraceId,
+};
 pub use tune::TunePolicy;
 
 use std::fmt;

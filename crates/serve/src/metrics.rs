@@ -1,12 +1,14 @@
 //! Serving counters: per-request latency and throughput, broken out by
-//! priority class, plus the request-lifecycle outcome counters
-//! (shed / expired / cancelled — see DESIGN.md §10).
+//! priority class, the request-lifecycle outcome counters
+//! (shed / expired / cancelled — see DESIGN.md §10), and live
+//! queue-depth / in-flight gauges (DESIGN.md §11).
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 use crate::request::Priority;
+use crate::telemetry::LayerSnapshot;
 
 /// Cap on retained latency samples **per priority class**: percentiles
 /// are computed over the most recent window so a long-running server
@@ -62,8 +64,24 @@ pub struct ServerMetrics {
     /// Wall time of the most recent batch execution, microseconds
     /// (feeds shed retry hints without a snapshot's sorting cost).
     last_batch_us: AtomicU64,
+    /// When that execution was recorded, as microseconds since
+    /// `started` (`u64::MAX` = never): [`Self::recent_batch_time`]
+    /// expires the reading after [`BATCH_RATE_TTL`] so an idle server
+    /// does not quote stale batch rates in shed retry hints.
+    last_batch_at_us: AtomicU64,
+    /// Requests currently waiting in the batch queue (gauge, set by the
+    /// queue under its own lock).
+    queue_depth: AtomicU64,
+    /// Requests currently holding an admission permit (gauge).
+    in_flight: AtomicU64,
     started: Instant,
 }
+
+/// How long [`ServerMetrics::recent_batch_time`] keeps quoting the
+/// last batch execution. Past this, the reading decays to zero and
+/// shed retry hints fall back to their default floor instead of a
+/// rate measured before an idle stretch.
+pub const BATCH_RATE_TTL: Duration = Duration::from_millis(500);
 
 impl Default for ServerMetrics {
     fn default() -> Self {
@@ -83,6 +101,9 @@ impl ServerMetrics {
             expired: AtomicU64::new(0),
             cancelled: AtomicU64::new(0),
             last_batch_us: AtomicU64::new(0),
+            last_batch_at_us: AtomicU64::new(u64::MAX),
+            queue_depth: AtomicU64::new(0),
+            in_flight: AtomicU64::new(0),
             started: Instant::now(),
         }
     }
@@ -109,11 +130,36 @@ impl ServerMetrics {
     pub fn record_batch_exec(&self, wall: Duration) {
         self.last_batch_us
             .store(wall.as_micros() as u64, Ordering::Relaxed);
+        self.last_batch_at_us
+            .store(self.started.elapsed().as_micros() as u64, Ordering::Relaxed);
     }
 
-    /// The most recent batch execution wall time.
+    /// The most recent batch execution wall time — zero when no batch
+    /// has run yet *or* none ran within [`BATCH_RATE_TTL`], so callers
+    /// sizing retry hints fall back to their default instead of a rate
+    /// measured before an idle period.
     pub fn recent_batch_time(&self) -> Duration {
+        let at = self.last_batch_at_us.load(Ordering::Relaxed);
+        if at == u64::MAX {
+            return Duration::ZERO;
+        }
+        let age_us = (self.started.elapsed().as_micros() as u64).saturating_sub(at);
+        if age_us > BATCH_RATE_TTL.as_micros() as u64 {
+            return Duration::ZERO;
+        }
         Duration::from_micros(self.last_batch_us.load(Ordering::Relaxed))
+    }
+
+    /// Sets the queued-request gauge (called by the batch queue under
+    /// its lock after every mutation, so the gauge tracks exactly).
+    pub fn set_queue_depth(&self, depth: usize) {
+        self.queue_depth.store(depth as u64, Ordering::Relaxed);
+    }
+
+    /// Sets the in-flight-admission gauge (called by admission control
+    /// under its lock on every admit and permit release).
+    pub fn set_in_flight(&self, in_flight: usize) {
+        self.in_flight.store(in_flight as u64, Ordering::Relaxed);
     }
 
     /// Records a rejected (queue-full) request.
@@ -210,6 +256,8 @@ impl ServerMetrics {
             shed,
             expired,
             cancelled,
+            queue_depth: self.queue_depth.load(Ordering::Relaxed),
+            in_flight: self.in_flight.load(Ordering::Relaxed),
             avg_batch: if batches == 0 {
                 0.0
             } else {
@@ -226,6 +274,7 @@ impl ServerMetrics {
             p99_ms,
             mean_ms,
             classes,
+            layers: Vec::new(),
         }
     }
 }
@@ -260,6 +309,11 @@ pub struct MetricsSnapshot {
     pub expired: u64,
     /// Requests cancelled before execution.
     pub cancelled: u64,
+    /// Requests waiting in the batch queue right now (gauge).
+    pub queue_depth: u64,
+    /// Requests holding an admission permit right now (gauge; returns
+    /// to zero once the server drains).
+    pub in_flight: u64,
     /// Mean requests per executed batch.
     pub avg_batch: f64,
     /// Completed requests per second over the retained sample window
@@ -279,6 +333,11 @@ pub struct MetricsSnapshot {
     pub mean_ms: f64,
     /// Per-priority-class latency breakdown, highest priority first.
     pub classes: [ClassSnapshot; 3],
+    /// Per-model per-layer execution profiles (p50/p99/GFLOP-s gauges).
+    /// Empty unless telemetry profiled some executions and the
+    /// snapshot came from [`crate::Server::snapshot`], which merges
+    /// them in; [`ServerMetrics::snapshot`] alone leaves this empty.
+    pub layers: Vec<LayerSnapshot>,
 }
 
 impl MetricsSnapshot {
@@ -293,6 +352,7 @@ impl std::fmt::Display for MetricsSnapshot {
         write!(
             f,
             "requests={} batches={} rejected={} shed={} expired={} cancelled={} \
+             depth={} in_flight={} \
              avg_batch={:.2} qps={:.1} (lifetime {:.1}) \
              latency p50={:.3}ms p95={:.3}ms p99={:.3}ms mean={:.3}ms",
             self.requests,
@@ -301,6 +361,8 @@ impl std::fmt::Display for MetricsSnapshot {
             self.shed,
             self.expired,
             self.cancelled,
+            self.queue_depth,
+            self.in_flight,
             self.avg_batch,
             self.qps,
             self.lifetime_qps,
@@ -411,6 +473,43 @@ mod tests {
         assert_eq!(m.recent_batch_time(), Duration::from_millis(7));
         m.record_batch_exec(Duration::from_millis(3));
         assert_eq!(m.recent_batch_time(), Duration::from_millis(3));
+    }
+
+    /// Satellite regression: after an idle stretch longer than the TTL,
+    /// the last batch rate must expire to zero so shed retry hints fall
+    /// back to their default instead of quoting a pre-idle rate.
+    #[test]
+    fn recent_batch_time_expires_after_an_idle_period() {
+        let m = ServerMetrics::new();
+        m.record_batch_exec(Duration::from_millis(7));
+        assert_eq!(m.recent_batch_time(), Duration::from_millis(7));
+        std::thread::sleep(BATCH_RATE_TTL + Duration::from_millis(150));
+        assert!(
+            m.recent_batch_time().is_zero(),
+            "stale batch rate must decay to zero"
+        );
+        // Fresh traffic revives the reading.
+        m.record_batch_exec(Duration::from_millis(2));
+        assert_eq!(m.recent_batch_time(), Duration::from_millis(2));
+    }
+
+    #[test]
+    fn gauges_surface_in_the_snapshot() {
+        let m = ServerMetrics::new();
+        assert_eq!(m.snapshot().queue_depth, 0);
+        assert_eq!(m.snapshot().in_flight, 0);
+        m.set_queue_depth(5);
+        m.set_in_flight(3);
+        let s = m.snapshot();
+        assert_eq!(s.queue_depth, 5);
+        assert_eq!(s.in_flight, 3);
+        let line = s.to_string();
+        assert!(line.contains("depth=5"), "{line}");
+        assert!(line.contains("in_flight=3"), "{line}");
+        m.set_queue_depth(0);
+        m.set_in_flight(0);
+        let s = m.snapshot();
+        assert_eq!((s.queue_depth, s.in_flight), (0, 0));
     }
 
     #[test]

@@ -36,7 +36,9 @@ use std::time::{Duration, Instant};
 use patdnn_tensor::Tensor;
 
 use crate::batching::PendingRequest;
+use crate::metrics::ServerMetrics;
 use crate::server::{InferResponse, RequestResult, ServerShared};
+use crate::telemetry::{RequestTrace, Stage};
 use crate::ServeError;
 
 /// Scheduling class of a request. Within the batch queue, higher
@@ -254,10 +256,15 @@ struct AdmissionCounts {
 pub(crate) struct AdmissionControl {
     policy: AdmissionPolicy,
     counts: Mutex<AdmissionCounts>,
+    /// When wired, the in-flight gauge is published here under the
+    /// admission lock on every admit and permit release.
+    metrics: Option<Arc<ServerMetrics>>,
 }
 
 impl AdmissionControl {
-    pub(crate) fn new(policy: AdmissionPolicy) -> Arc<Self> {
+    /// Builds the admission tracker; when `metrics` is wired, the
+    /// in-flight gauge is published there on every count change.
+    pub(crate) fn new(policy: AdmissionPolicy, metrics: Option<Arc<ServerMetrics>>) -> Arc<Self> {
         assert!(policy.max_in_flight > 0, "global budget must be positive");
         assert!(
             policy.max_per_model > 0,
@@ -269,6 +276,7 @@ impl AdmissionControl {
                 total: 0,
                 per_model: HashMap::new(),
             }),
+            metrics,
         })
     }
 
@@ -284,6 +292,9 @@ impl AdmissionControl {
         }
         counts.total += 1;
         *counts.per_model.entry(model.to_owned()).or_insert(0) += 1;
+        if let Some(m) = &self.metrics {
+            m.set_in_flight(counts.total);
+        }
         Some(AdmissionPermit {
             control: Arc::clone(self),
             model: model.to_owned(),
@@ -312,6 +323,9 @@ impl Drop for AdmissionPermit {
             if *n == 0 {
                 counts.per_model.remove(&self.model);
             }
+        }
+        if let Some(m) = &self.control.metrics {
+            m.set_in_flight(counts.total);
         }
     }
 }
@@ -375,6 +389,9 @@ impl Client {
     }
 
     fn submit_spec(&self, spec: RequestSpec) -> Result<ResponseHandle, ServeError> {
+        // The traced request's envelope (and its enqueue stage) starts
+        // at submission entry, before any validation work.
+        let submit_start = Instant::now();
         let shared = &self.shared;
         let engine = shared.registry.get(&spec.model)?;
         let expected = engine.input_shape();
@@ -397,6 +414,9 @@ impl Client {
         if spec.cancel.is_cancelled() {
             return Err(ServeError::Cancelled);
         }
+        let trace = shared.telemetry.begin_trace();
+        // Enqueue stage ends where the admission stage begins.
+        let admission_start = Instant::now();
         let Some(permit) = shared.admission.try_admit(&spec.model) else {
             shared.metrics.record_shed();
             return Err(ServeError::Shed {
@@ -404,6 +424,10 @@ impl Client {
             });
         };
         let (tx, rx) = sync_channel(1);
+        // Capture the name before `spec.model` moves into the queue;
+        // untraced requests skip the allocation.
+        let model_name: Option<Arc<str>> = trace.map(|_| Arc::from(spec.model.as_str()));
+        let queued_at = Instant::now();
         let push = shared.queue.push(PendingRequest {
             model: spec.model,
             input: spec.input,
@@ -413,9 +437,23 @@ impl Client {
             cancel: spec.cancel.clone(),
             respond: tx,
             permit: Some(permit),
+            trace: trace.map(|id| RequestTrace {
+                id,
+                started: submit_start,
+                queued_at,
+            }),
         });
         match push {
-            Ok(()) => Ok(ResponseHandle::new(rx, spec.cancel)),
+            Ok(()) => {
+                // Spans are recorded only once the request is really
+                // queued; a rejected push leaves no partial trace.
+                if let (Some(id), Some(model)) = (trace, &model_name) {
+                    let t = &shared.telemetry;
+                    t.record_stage(id, model, Stage::Enqueue, submit_start, admission_start, 1);
+                    t.record_stage(id, model, Stage::Admission, admission_start, queued_at, 1);
+                }
+                Ok(ResponseHandle::new(rx, spec.cancel))
+            }
             Err(ServeError::QueueFull) => {
                 shared.metrics.record_rejected();
                 Err(ServeError::QueueFull)
@@ -535,10 +573,13 @@ mod tests {
 
     #[test]
     fn admission_budgets_bound_global_and_per_model() {
-        let control = AdmissionControl::new(AdmissionPolicy {
-            max_in_flight: 3,
-            max_per_model: 2,
-        });
+        let control = AdmissionControl::new(
+            AdmissionPolicy {
+                max_in_flight: 3,
+                max_per_model: 2,
+            },
+            None,
+        );
         let a1 = control.try_admit("a").expect("admit");
         let _a2 = control.try_admit("a").expect("admit");
         assert!(

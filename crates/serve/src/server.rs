@@ -25,9 +25,11 @@ use std::time::{Duration, Instant};
 use patdnn_tensor::Tensor;
 
 use crate::batching::{BatchPolicy, BatchQueue};
-use crate::metrics::ServerMetrics;
+use crate::engine::StepTiming;
+use crate::metrics::{MetricsSnapshot, ServerMetrics};
 use crate::registry::ModelRegistry;
 use crate::request::{AdmissionControl, AdmissionPolicy, Client, Priority};
+use crate::telemetry::{Stage, Telemetry, TelemetryPolicy};
 use crate::ServeError;
 
 /// A completed inference.
@@ -55,6 +57,10 @@ pub struct ServerConfig {
     pub queue_capacity: usize,
     /// In-flight budgets for admission control (overflow is shed).
     pub admission: AdmissionPolicy,
+    /// How much request tracing / layer profiling to record
+    /// (see [`crate::telemetry`]). Off by default: the hot path then
+    /// pays nothing beyond one branch per submission.
+    pub telemetry: TelemetryPolicy,
 }
 
 impl Default for ServerConfig {
@@ -64,6 +70,7 @@ impl Default for ServerConfig {
             batch: BatchPolicy::default(),
             queue_capacity: 256,
             admission: AdmissionPolicy::default(),
+            telemetry: TelemetryPolicy::Off,
         }
     }
 }
@@ -75,6 +82,7 @@ pub(crate) struct ServerShared {
     pub(crate) metrics: Arc<ServerMetrics>,
     pub(crate) admission: Arc<AdmissionControl>,
     pub(crate) batch: BatchPolicy,
+    pub(crate) telemetry: Arc<Telemetry>,
 }
 
 /// A running model server.
@@ -94,9 +102,10 @@ impl Server {
                 cfg.queue_capacity,
                 Arc::clone(&metrics),
             )),
+            admission: AdmissionControl::new(cfg.admission, Some(Arc::clone(&metrics))),
             metrics,
-            admission: AdmissionControl::new(cfg.admission),
             batch: cfg.batch,
+            telemetry: Arc::new(Telemetry::new(cfg.telemetry)),
         });
         let workers = (0..cfg.workers)
             .map(|_| {
@@ -123,6 +132,21 @@ impl Server {
     /// Live serving counters.
     pub fn metrics(&self) -> &ServerMetrics {
         &self.shared.metrics
+    }
+
+    /// The telemetry hub: trace spans, stage aggregates, and per-layer
+    /// profiles (all empty under [`TelemetryPolicy::Off`]).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.shared.telemetry
+    }
+
+    /// A full metrics snapshot with the telemetry layer profiles
+    /// merged in (unlike [`ServerMetrics::snapshot`], whose `layers`
+    /// field is always empty).
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let mut snap = self.shared.metrics.snapshot();
+        snap.layers = self.shared.telemetry.layer_snapshots();
+        snap
     }
 
     /// Requests currently in flight (admitted, not yet terminal).
@@ -201,6 +225,7 @@ fn worker_loop(shared: &ServerShared, policy: BatchPolicy) {
     let queue = &shared.queue;
     let registry = &shared.registry;
     let metrics = &shared.metrics;
+    let telemetry = &shared.telemetry;
     while let Some(popped) = queue.pop_batch(&policy) {
         // Prune outcomes (popped.expired / popped.cancelled) were
         // already counted by the metrics-wired queue.
@@ -208,6 +233,8 @@ fn worker_loop(shared: &ServerShared, policy: BatchPolicy) {
         // execution: deadlines may have passed and cancel tokens fired
         // while the batch sat in the queue. This is the invariant the
         // lifecycle API promises — an expired request is never executed.
+        // For traced requests this instant also closes their
+        // queue-wait stage and opens batch assembly.
         let now = Instant::now();
         let mut batch = Vec::with_capacity(popped.requests.len());
         for req in popped.requests {
@@ -240,25 +267,71 @@ fn worker_loop(shared: &ServerShared, policy: BatchPolicy) {
         let mut responders = Vec::with_capacity(batch_size);
         for req in batch {
             inputs.push(req.input);
-            responders.push((req.respond, req.enqueued, req.priority, req.permit));
+            responders.push((
+                req.respond,
+                req.enqueued,
+                req.priority,
+                req.permit,
+                req.trace,
+            ));
         }
+        // Pay for step profiling only when at least one request in the
+        // batch is traced, so `Sampled` genuinely samples the cost.
+        let any_trace = telemetry.enabled().then(|| {
+            responders
+                .iter()
+                .find_map(|(_, _, _, _, trace)| trace.as_ref().map(|t| t.id))
+        });
+        let model_arc: Option<std::sync::Arc<str>> = any_trace
+            .flatten()
+            .map(|_| std::sync::Arc::from(model.as_str()));
+        let mut timings: Vec<StepTiming> = Vec::new();
         let exec_start = Instant::now();
-        match engine.infer_batch(&inputs) {
+        let result = if model_arc.is_some() {
+            engine.infer_batch_profiled(&inputs, &mut timings)
+        } else {
+            engine.infer_batch(&inputs)
+        };
+        match result {
             Ok(outputs) => {
                 let done = Instant::now();
                 metrics.record_batch_exec(done.duration_since(exec_start));
                 let latencies: Vec<(Priority, Duration)> = responders
                     .iter()
-                    .map(|(_, enqueued, priority, _)| (*priority, done.duration_since(*enqueued)))
+                    .map(|(_, enqueued, priority, _, _)| {
+                        (*priority, done.duration_since(*enqueued))
+                    })
                     .collect();
                 metrics.record_batch(&latencies);
-                for (((respond, _, _, permit), output), (_, latency)) in
+                if let (Some(model), Some(id)) = (&model_arc, any_trace.flatten()) {
+                    telemetry.record_step_timings(model, &timings, batch_size as u32, Some(id));
+                }
+                for (((respond, _, _, permit, trace), output), (_, latency)) in
                     responders.into_iter().zip(outputs).zip(latencies)
                 {
                     // Release the admission budget before the caller can
                     // observe the response, so "I got my result" implies
                     // "my in-flight slot is free".
                     drop(permit);
+                    // Close out this request's span tree at the delivery
+                    // hand-off, *before* the send: once the caller holds
+                    // the response, its trace is complete and readable.
+                    if let (Some(t), Some(model)) = (trace, &model_arc) {
+                        let sent = Instant::now();
+                        let b = batch_size as u32;
+                        telemetry.record_stage(t.id, model, Stage::QueueWait, t.queued_at, now, b);
+                        telemetry.record_stage(
+                            t.id,
+                            model,
+                            Stage::BatchAssembly,
+                            now,
+                            exec_start,
+                            b,
+                        );
+                        telemetry.record_stage(t.id, model, Stage::Execution, exec_start, done, b);
+                        telemetry.record_stage(t.id, model, Stage::Delivery, done, sent, b);
+                        telemetry.record_request(t.id, model, t.started, sent, b);
+                    }
                     let _ = respond.send(Ok(InferResponse {
                         output,
                         latency,
@@ -270,7 +343,7 @@ fn worker_loop(shared: &ServerShared, policy: BatchPolicy) {
                 // Shape errors are caught at submit; anything here is a
                 // per-batch failure every requester learns about.
                 let msg = e.to_string();
-                for (respond, _, _, permit) in responders {
+                for (respond, _, _, permit, _) in responders {
                     drop(permit);
                     let _ = respond.send(Err(ServeError::Internal(msg.clone())));
                 }

@@ -1,0 +1,755 @@
+//! End-to-end serving telemetry: request-scoped trace spans, per-layer
+//! execution profiles, and exporters.
+//!
+//! PatDNN's headline claims are *per-layer* execution-time wins, but a
+//! serving stack only observes end-to-end latency unless something
+//! attributes time to each handoff. This module instruments the whole
+//! request lifecycle (DESIGN.md §11):
+//!
+//! - **Trace spans.** Every traced request gets a [`TraceId`] at
+//!   submission and records one span per lifecycle stage — enqueue,
+//!   admission, queue wait, batch assembly, execution, delivery — plus
+//!   a whole-request envelope span. Stage boundaries are shared
+//!   instants, so the stage durations of a completed request tile its
+//!   end-to-end latency exactly (the integration test holds the sum to
+//!   within 5%).
+//! - **Per-step profiles.** Traced batches run through the engine's
+//!   profiled path, which times every plan step (pattern conv, int8
+//!   conv, FC, `Add` joins, …) and reports precision and
+//!   dense-equivalent GFLOP/s. Steps aggregate into per-model
+//!   per-layer log₂ histograms cheap enough to leave on in production.
+//! - **Bounded lock-light ring.** Span events land in a fixed-size
+//!   ring: writers claim a slot with one atomic `fetch_add` and take
+//!   only that slot's mutex, so concurrent workers never contend on a
+//!   global lock and a long-running server's memory stays flat (old
+//!   events are overwritten).
+//! - **Sampling.** [`TelemetryPolicy`] picks how much to pay:
+//!   `Off` keeps the hot path exactly as fast as before (the
+//!   non-profiled engine path runs, nothing is recorded), `Sampled{n}`
+//!   traces every n-th request, `Full` traces everything.
+//!
+//! Exporters: [`Telemetry::chrome_trace_json`] writes the Chrome trace
+//! event format (load it in `chrome://tracing` or Perfetto; the
+//! `patdnn-serve` binary's `--trace-out FILE` flag dumps it), and
+//! [`Telemetry::layer_snapshots`] / [`Telemetry::stage_breakdown`]
+//! feed the pull-based [`crate::MetricsSnapshot`].
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use crate::artifact::Precision;
+use crate::engine::StepTiming;
+
+/// How much the telemetry layer records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TelemetryPolicy {
+    /// Record nothing; the serving hot path is untouched (the engine
+    /// runs its non-profiled path and no span is allocated).
+    #[default]
+    Off,
+    /// Trace every `every`-th submitted request (1 behaves like
+    /// [`TelemetryPolicy::Full`]). Untraced requests pay one relaxed
+    /// atomic increment at submission and nothing else.
+    Sampled {
+        /// Sampling period: 1 of every `every` requests is traced.
+        every: u64,
+    },
+    /// Trace every request.
+    Full,
+}
+
+impl TelemetryPolicy {
+    /// Whether this policy ever records anything.
+    pub fn enabled(self) -> bool {
+        !matches!(self, TelemetryPolicy::Off)
+    }
+}
+
+/// Identifier shared by all spans of one traced request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TraceId(pub u64);
+
+/// One lifecycle stage of a served request, in lifecycle order. The
+/// six stages partition a completed request's end-to-end latency:
+/// each stage's end instant is the next stage's start.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stage {
+    /// Submission entry to admission entry: validation (model lookup,
+    /// shape, deadline, cancel checks).
+    Enqueue,
+    /// Admission control plus the queue push.
+    Admission,
+    /// Queued, waiting for a worker to pop a batch containing this
+    /// request.
+    QueueWait,
+    /// Popped, waiting while the worker re-checks lifecycles and
+    /// stacks the batch inputs.
+    BatchAssembly,
+    /// The batched engine execution.
+    Execution,
+    /// Result scatter: engine output to the response channel.
+    Delivery,
+}
+
+impl Stage {
+    /// All stages, lifecycle order.
+    pub const ALL: [Stage; 6] = [
+        Stage::Enqueue,
+        Stage::Admission,
+        Stage::QueueWait,
+        Stage::BatchAssembly,
+        Stage::Execution,
+        Stage::Delivery,
+    ];
+
+    /// Index into per-stage arrays (same order as [`Self::ALL`]).
+    pub fn index(self) -> usize {
+        match self {
+            Stage::Enqueue => 0,
+            Stage::Admission => 1,
+            Stage::QueueWait => 2,
+            Stage::BatchAssembly => 3,
+            Stage::Execution => 4,
+            Stage::Delivery => 5,
+        }
+    }
+
+    /// Human-readable stage name (also the Chrome trace span name).
+    pub fn label(self) -> &'static str {
+        match self {
+            Stage::Enqueue => "enqueue",
+            Stage::Admission => "admission",
+            Stage::QueueWait => "queue-wait",
+            Stage::BatchAssembly => "batch-assembly",
+            Stage::Execution => "execution",
+            Stage::Delivery => "delivery",
+        }
+    }
+}
+
+/// Per-request trace context carried through the batch queue by a
+/// [`crate::batching::PendingRequest`]. The two instants are the span
+/// boundaries the submitting side already fixed; the worker supplies
+/// the rest (pop, execution, delivery), so the stages of a completed
+/// request tile its end-to-end latency with no gaps.
+#[derive(Debug, Clone)]
+pub struct RequestTrace {
+    /// The request's trace id.
+    pub id: TraceId,
+    /// Submission entry: the whole-request envelope starts here.
+    pub started: Instant,
+    /// When the request cleared admission and entered the queue:
+    /// queue-wait starts here.
+    pub queued_at: Instant,
+}
+
+/// What a [`SpanEvent`] describes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SpanKind {
+    /// The whole-request envelope: submission entry to delivered
+    /// response. Its duration is the request's end-to-end latency.
+    Request,
+    /// One lifecycle stage of a request.
+    Stage(Stage),
+    /// One executed plan step inside a traced batch execution.
+    Step {
+        /// Plan step index.
+        index: usize,
+        /// Step kind (`pattern-conv`, `quant-fc`, `add`, …).
+        kind: &'static str,
+        /// Numeric precision the step executed at.
+        precision: Precision,
+        /// Dense-equivalent GFLOP/s achieved by the step.
+        dense_gflops: f64,
+    },
+}
+
+impl SpanKind {
+    /// The span name used by exporters.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SpanKind::Request => "request",
+            SpanKind::Stage(s) => s.label(),
+            SpanKind::Step { kind, .. } => kind,
+        }
+    }
+}
+
+/// One recorded span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanEvent {
+    /// Global record order (ring overwrite keeps the highest `seq`s).
+    pub seq: u64,
+    /// The traced request (step spans carry the trace of the first
+    /// traced request in their batch).
+    pub trace: TraceId,
+    /// Model the request targeted.
+    pub model: Arc<str>,
+    /// What this span covers.
+    pub kind: SpanKind,
+    /// Start, microseconds since the telemetry epoch (server start).
+    pub start_us: u64,
+    /// Duration, microseconds.
+    pub dur_us: u64,
+    /// Size of the executed batch (1 until the request joins one).
+    pub batch: u32,
+}
+
+/// Default event-ring capacity: at ~7 lifecycle spans plus one span
+/// per plan step per traced request, 32 Ki events retain on the order
+/// of a thousand recent traced requests.
+pub const DEFAULT_RING_CAPACITY: usize = 32 * 1024;
+
+/// Fixed-capacity multi-producer span store. A writer claims a slot
+/// index with one atomic `fetch_add` and locks only that slot, so
+/// concurrent workers contend on nothing shared; the ring overwrites
+/// oldest-first when full.
+struct EventRing {
+    slots: Vec<Mutex<Option<SpanEvent>>>,
+    head: AtomicU64,
+}
+
+impl EventRing {
+    fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "ring capacity must be positive");
+        EventRing {
+            slots: (0..capacity).map(|_| Mutex::new(None)).collect(),
+            head: AtomicU64::new(0),
+        }
+    }
+
+    fn push(&self, mut event: SpanEvent) {
+        let seq = self.head.fetch_add(1, Ordering::Relaxed);
+        event.seq = seq;
+        let slot = (seq % self.slots.len() as u64) as usize;
+        let mut guard = self.slots[slot].lock().expect("ring slot");
+        // A lapped writer may already have stored a newer event in this
+        // slot (it claimed a higher seq and won the lock first).
+        if guard.as_ref().is_none_or(|held| held.seq < seq) {
+            *guard = Some(event);
+        }
+    }
+
+    fn collect(&self) -> Vec<SpanEvent> {
+        let mut events: Vec<SpanEvent> = self
+            .slots
+            .iter()
+            .filter_map(|s| s.lock().expect("ring slot").clone())
+            .collect();
+        events.sort_by_key(|e| e.seq);
+        events
+    }
+}
+
+/// Log₂ microsecond histogram buckets per (model, step). Bucket `i`
+/// holds durations in `[2^i, 2^(i+1))` µs, which spans sub-µs steps
+/// to half-hour outliers in 31 buckets.
+const HIST_BUCKETS: usize = 32;
+
+/// Running profile of one plan step of one model.
+#[derive(Debug, Clone)]
+struct LayerProfile {
+    kind: &'static str,
+    precision: Precision,
+    count: u64,
+    sum_us: u64,
+    max_us: u64,
+    hist: [u32; HIST_BUCKETS],
+    /// Dense-equivalent FLOPs executed (batch included).
+    sum_flops: f64,
+    sum_secs: f64,
+}
+
+impl LayerProfile {
+    fn new(kind: &'static str, precision: Precision) -> Self {
+        LayerProfile {
+            kind,
+            precision,
+            count: 0,
+            sum_us: 0,
+            max_us: 0,
+            hist: [0; HIST_BUCKETS],
+            sum_flops: 0.0,
+            sum_secs: 0.0,
+        }
+    }
+
+    fn record(&mut self, wall: Duration, flops: f64) {
+        let us = wall.as_micros() as u64;
+        self.count += 1;
+        self.sum_us += us;
+        self.max_us = self.max_us.max(us);
+        let bucket = (63 - us.max(1).leading_zeros() as usize).min(HIST_BUCKETS - 1);
+        self.hist[bucket] += 1;
+        self.sum_flops += flops;
+        self.sum_secs += wall.as_secs_f64();
+    }
+
+    /// Bucket-estimated quantile: the geometric midpoint of the bucket
+    /// holding the q-th sample (coarse — within ~1.4× — by design; the
+    /// histogram costs a handful of words per layer).
+    fn quantile_us(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = (q * (self.count - 1) as f64).round() as u64;
+        let mut seen = 0u64;
+        for (i, &n) in self.hist.iter().enumerate() {
+            seen += n as u64;
+            if seen > rank {
+                let lo = (1u64 << i) as f64;
+                return lo * std::f64::consts::SQRT_2;
+            }
+        }
+        self.max_us as f64
+    }
+}
+
+/// Point-in-time per-layer profile, exported through
+/// [`crate::MetricsSnapshot::layers`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerSnapshot {
+    /// Model name.
+    pub model: String,
+    /// Plan step index within the model.
+    pub step: usize,
+    /// Step kind (`pattern-conv`, `quant-fc`, `add`, …).
+    pub kind: &'static str,
+    /// Numeric precision the step executes at.
+    pub precision: Precision,
+    /// Profiled executions.
+    pub count: u64,
+    /// Mean wall time per execution, milliseconds.
+    pub mean_ms: f64,
+    /// Median wall time (histogram-estimated), milliseconds.
+    pub p50_ms: f64,
+    /// 99th percentile wall time (histogram-estimated), milliseconds.
+    pub p99_ms: f64,
+    /// Total wall time across all profiled executions, milliseconds.
+    pub total_ms: f64,
+    /// Mean dense-equivalent GFLOP/s across profiled executions.
+    pub gflops: f64,
+}
+
+/// Aggregate stats for one lifecycle stage across traced requests.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StageStat {
+    /// Which stage.
+    pub stage: Stage,
+    /// Spans recorded.
+    pub count: u64,
+    /// Total time spent in this stage, microseconds.
+    pub total_us: u64,
+}
+
+impl StageStat {
+    /// Mean stage duration, milliseconds.
+    pub fn mean_ms(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total_us as f64 / self.count as f64 / 1e3
+        }
+    }
+}
+
+/// The serving telemetry hub: trace sampling, the span ring, stage
+/// aggregates, and per-model per-layer profiles. One per server,
+/// shared by every worker and client.
+pub struct Telemetry {
+    policy: TelemetryPolicy,
+    /// Timestamp zero for every exported span.
+    epoch: Instant,
+    ring: EventRing,
+    next_trace: AtomicU64,
+    sample_tick: AtomicU64,
+    stage_total_us: [AtomicU64; 6],
+    stage_count: [AtomicU64; 6],
+    /// `(model, step index)` → running profile. BTreeMap so snapshots
+    /// list models and steps in a stable order.
+    layers: Mutex<BTreeMap<(Arc<str>, usize), LayerProfile>>,
+}
+
+impl Telemetry {
+    /// Creates a hub with the default ring capacity.
+    pub fn new(policy: TelemetryPolicy) -> Self {
+        Telemetry::with_capacity(policy, DEFAULT_RING_CAPACITY)
+    }
+
+    /// Creates a hub retaining at most `ring_capacity` span events.
+    pub fn with_capacity(policy: TelemetryPolicy, ring_capacity: usize) -> Self {
+        Telemetry {
+            policy,
+            epoch: Instant::now(),
+            ring: EventRing::new(ring_capacity),
+            next_trace: AtomicU64::new(1),
+            sample_tick: AtomicU64::new(0),
+            stage_total_us: std::array::from_fn(|_| AtomicU64::new(0)),
+            stage_count: std::array::from_fn(|_| AtomicU64::new(0)),
+            layers: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// The active policy.
+    pub fn policy(&self) -> TelemetryPolicy {
+        self.policy
+    }
+
+    /// Whether anything is ever recorded.
+    pub fn enabled(&self) -> bool {
+        self.policy.enabled()
+    }
+
+    /// Decides whether to trace a new request: `None` means record
+    /// nothing for it. Called once per submission.
+    pub fn begin_trace(&self) -> Option<TraceId> {
+        match self.policy {
+            TelemetryPolicy::Off => None,
+            TelemetryPolicy::Full => Some(TraceId(self.next_trace.fetch_add(1, Ordering::Relaxed))),
+            TelemetryPolicy::Sampled { every } => {
+                let tick = self.sample_tick.fetch_add(1, Ordering::Relaxed);
+                if tick.is_multiple_of(every.max(1)) {
+                    Some(TraceId(self.next_trace.fetch_add(1, Ordering::Relaxed)))
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    fn us_since_epoch(&self, t: Instant) -> u64 {
+        t.saturating_duration_since(self.epoch).as_micros() as u64
+    }
+
+    /// Records one lifecycle stage span `[start, end)` and feeds the
+    /// stage aggregates.
+    pub fn record_stage(
+        &self,
+        trace: TraceId,
+        model: &Arc<str>,
+        stage: Stage,
+        start: Instant,
+        end: Instant,
+        batch: u32,
+    ) {
+        let dur_us = end.saturating_duration_since(start).as_micros() as u64;
+        self.stage_total_us[stage.index()].fetch_add(dur_us, Ordering::Relaxed);
+        self.stage_count[stage.index()].fetch_add(1, Ordering::Relaxed);
+        self.ring.push(SpanEvent {
+            seq: 0,
+            trace,
+            model: Arc::clone(model),
+            kind: SpanKind::Stage(stage),
+            start_us: self.us_since_epoch(start),
+            dur_us,
+            batch,
+        });
+    }
+
+    /// Records the whole-request envelope span `[start, end)`.
+    pub fn record_request(
+        &self,
+        trace: TraceId,
+        model: &Arc<str>,
+        start: Instant,
+        end: Instant,
+        batch: u32,
+    ) {
+        self.ring.push(SpanEvent {
+            seq: 0,
+            trace,
+            model: Arc::clone(model),
+            kind: SpanKind::Request,
+            start_us: self.us_since_epoch(start),
+            dur_us: end.saturating_duration_since(start).as_micros() as u64,
+            batch,
+        });
+    }
+
+    /// Ingests a profiled batch execution: every step timing joins the
+    /// per-model per-layer histograms, and (under `trace`) becomes a
+    /// step span in the ring.
+    pub fn record_step_timings(
+        &self,
+        model: &Arc<str>,
+        timings: &[StepTiming],
+        batch: u32,
+        trace: Option<TraceId>,
+    ) {
+        {
+            let mut layers = self.layers.lock().expect("layer profiles");
+            for t in timings {
+                layers
+                    .entry((Arc::clone(model), t.index))
+                    .or_insert_with(|| LayerProfile::new(t.kind, t.precision))
+                    .record(t.wall, t.flops);
+            }
+        }
+        if let Some(trace) = trace {
+            for t in timings {
+                self.ring.push(SpanEvent {
+                    seq: 0,
+                    trace,
+                    model: Arc::clone(model),
+                    kind: SpanKind::Step {
+                        index: t.index,
+                        kind: t.kind,
+                        precision: t.precision,
+                        dense_gflops: t.dense_gflops(),
+                    },
+                    start_us: self.us_since_epoch(t.started),
+                    dur_us: t.wall.as_micros() as u64,
+                    batch,
+                });
+            }
+        }
+    }
+
+    /// The retained span events, oldest first.
+    pub fn events(&self) -> Vec<SpanEvent> {
+        self.ring.collect()
+    }
+
+    /// Aggregate per-stage totals across every traced request.
+    pub fn stage_breakdown(&self) -> [StageStat; 6] {
+        std::array::from_fn(|i| StageStat {
+            stage: Stage::ALL[i],
+            count: self.stage_count[i].load(Ordering::Relaxed),
+            total_us: self.stage_total_us[i].load(Ordering::Relaxed),
+        })
+    }
+
+    /// Point-in-time per-model per-layer profiles, model order stable.
+    pub fn layer_snapshots(&self) -> Vec<LayerSnapshot> {
+        let layers = self.layers.lock().expect("layer profiles");
+        layers
+            .iter()
+            .map(|((model, step), p)| LayerSnapshot {
+                model: model.to_string(),
+                step: *step,
+                kind: p.kind,
+                precision: p.precision,
+                count: p.count,
+                mean_ms: if p.count == 0 {
+                    0.0
+                } else {
+                    p.sum_us as f64 / p.count as f64 / 1e3
+                },
+                p50_ms: p.quantile_us(0.50) / 1e3,
+                p99_ms: p.quantile_us(0.99) / 1e3,
+                total_ms: p.sum_us as f64 / 1e3,
+                gflops: if p.sum_secs > 0.0 {
+                    p.sum_flops / p.sum_secs / 1e9
+                } else {
+                    0.0
+                },
+            })
+            .collect()
+    }
+
+    /// Serializes the retained spans as Chrome trace event format
+    /// (`chrome://tracing` / Perfetto): one complete (`ph: "X"`) event
+    /// per span, trace id as `tid` so each request renders as a row.
+    pub fn chrome_trace_json(&self) -> String {
+        let events = self.events();
+        let mut out = String::with_capacity(events.len() * 160 + 32);
+        out.push_str("{\"traceEvents\":[");
+        for (i, e) in events.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"name\":\"");
+            json_escape_into(&mut out, e.kind.name());
+            out.push_str("\",\"cat\":\"");
+            out.push_str(match e.kind {
+                SpanKind::Request => "request",
+                SpanKind::Stage(_) => "stage",
+                SpanKind::Step { .. } => "step",
+            });
+            out.push_str("\",\"ph\":\"X\",\"pid\":1,\"tid\":");
+            out.push_str(&e.trace.0.to_string());
+            out.push_str(",\"ts\":");
+            out.push_str(&e.start_us.to_string());
+            out.push_str(",\"dur\":");
+            out.push_str(&e.dur_us.to_string());
+            out.push_str(",\"args\":{\"model\":\"");
+            json_escape_into(&mut out, &e.model);
+            out.push_str("\",\"batch\":");
+            out.push_str(&e.batch.to_string());
+            if let SpanKind::Step {
+                index,
+                precision,
+                dense_gflops,
+                ..
+            } = &e.kind
+            {
+                out.push_str(",\"step\":");
+                out.push_str(&index.to_string());
+                out.push_str(",\"precision\":\"");
+                out.push_str(precision.label());
+                out.push_str("\",\"dense_gflops\":");
+                out.push_str(&format!("{dense_gflops:.3}"));
+            }
+            out.push_str("}}");
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+fn json_escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> Arc<str> {
+        Arc::from("m")
+    }
+
+    fn timing(index: usize, wall_us: u64) -> StepTiming {
+        StepTiming {
+            index,
+            kind: "pattern-conv",
+            precision: Precision::F32,
+            started: Instant::now(),
+            wall: Duration::from_micros(wall_us),
+            flops: 1e6,
+        }
+    }
+
+    #[test]
+    fn off_policy_traces_nothing() {
+        let t = Telemetry::new(TelemetryPolicy::Off);
+        assert!(!t.enabled());
+        assert!(t.begin_trace().is_none());
+        assert!(t.events().is_empty());
+    }
+
+    #[test]
+    fn full_policy_traces_every_request_with_fresh_ids() {
+        let t = Telemetry::new(TelemetryPolicy::Full);
+        let a = t.begin_trace().expect("traced");
+        let b = t.begin_trace().expect("traced");
+        assert_ne!(a, b, "trace ids are unique");
+    }
+
+    #[test]
+    fn sampled_policy_traces_one_in_n() {
+        let t = Telemetry::new(TelemetryPolicy::Sampled { every: 3 });
+        let traced = (0..9).filter(|_| t.begin_trace().is_some()).count();
+        assert_eq!(traced, 3, "1 of every 3 requests is traced");
+        // `every: 0` must not divide by zero; it degrades to full.
+        let t = Telemetry::new(TelemetryPolicy::Sampled { every: 0 });
+        assert!(t.begin_trace().is_some());
+    }
+
+    #[test]
+    fn stage_spans_land_in_the_ring_and_aggregates() {
+        let t = Telemetry::new(TelemetryPolicy::Full);
+        let id = t.begin_trace().unwrap();
+        let start = Instant::now();
+        let end = start + Duration::from_micros(250);
+        t.record_stage(id, &model(), Stage::QueueWait, start, end, 4);
+        let events = t.events();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].kind, SpanKind::Stage(Stage::QueueWait));
+        assert_eq!(events[0].dur_us, 250);
+        assert_eq!(events[0].batch, 4);
+        let stats = t.stage_breakdown();
+        let qw = stats[Stage::QueueWait.index()];
+        assert_eq!(qw.count, 1);
+        assert_eq!(qw.total_us, 250);
+        assert_eq!(stats[Stage::Execution.index()].count, 0);
+    }
+
+    #[test]
+    fn ring_overwrites_oldest_and_keeps_seq_order() {
+        let t = Telemetry::with_capacity(TelemetryPolicy::Full, 4);
+        let id = t.begin_trace().unwrap();
+        let start = Instant::now();
+        for _ in 0..10 {
+            t.record_request(id, &model(), start, start, 1);
+        }
+        let events = t.events();
+        assert_eq!(events.len(), 4, "bounded at capacity");
+        let seqs: Vec<u64> = events.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![6, 7, 8, 9], "newest events survive, sorted");
+    }
+
+    #[test]
+    fn step_timings_aggregate_into_layer_profiles() {
+        let t = Telemetry::new(TelemetryPolicy::Full);
+        let m = model();
+        let id = t.begin_trace().unwrap();
+        for _ in 0..8 {
+            t.record_step_timings(&m, &[timing(0, 100), timing(1, 400)], 2, Some(id));
+        }
+        let layers = t.layer_snapshots();
+        assert_eq!(layers.len(), 2, "one profile per (model, step)");
+        assert_eq!(layers[0].step, 0);
+        assert_eq!(layers[0].count, 8);
+        assert!(
+            (layers[0].mean_ms - 0.1).abs() < 0.01,
+            "{}",
+            layers[0].mean_ms
+        );
+        assert!(layers[1].mean_ms > layers[0].mean_ms);
+        // p50 is histogram-estimated: within its bucket's 2x span.
+        assert!(layers[0].p50_ms >= 0.064 && layers[0].p50_ms <= 0.128);
+        assert!(layers[0].gflops > 0.0);
+        // Step spans were also recorded for the traced batch.
+        let steps = t
+            .events()
+            .iter()
+            .filter(|e| matches!(e.kind, SpanKind::Step { .. }))
+            .count();
+        assert_eq!(steps, 16);
+    }
+
+    #[test]
+    fn untraced_step_timings_profile_without_ring_events() {
+        let t = Telemetry::new(TelemetryPolicy::Sampled { every: 1000 });
+        t.record_step_timings(&model(), &[timing(0, 50)], 1, None);
+        assert_eq!(t.layer_snapshots().len(), 1, "histogram still fed");
+        assert!(t.events().is_empty(), "no span without a trace");
+    }
+
+    #[test]
+    fn chrome_trace_is_valid_shape_and_escaped() {
+        let t = Telemetry::new(TelemetryPolicy::Full);
+        let id = t.begin_trace().unwrap();
+        let tricky: Arc<str> = Arc::from("mo\"del\\x");
+        let start = Instant::now();
+        t.record_stage(id, &tricky, Stage::Execution, start, start, 2);
+        t.record_step_timings(&tricky, &[timing(3, 75)], 2, Some(id));
+        let json = t.chrome_trace_json();
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.ends_with("]}"));
+        assert!(json.contains("\"name\":\"execution\""));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("mo\\\"del\\\\x"), "model name escaped");
+        assert!(json.contains("\"precision\":\"f32\""));
+        // Brace/bracket balance as a cheap well-formedness check.
+        let opens = json.matches('{').count();
+        let closes = json.matches('}').count();
+        assert_eq!(opens, closes);
+    }
+
+    #[test]
+    fn empty_trace_still_parses() {
+        let t = Telemetry::new(TelemetryPolicy::Full);
+        assert_eq!(t.chrome_trace_json(), "{\"traceEvents\":[]}");
+    }
+}

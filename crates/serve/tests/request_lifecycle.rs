@@ -167,6 +167,7 @@ fn admission_sheds_overflow_with_retry_hint() {
                 max_in_flight: 3,
                 max_per_model: 3,
             },
+            ..ServerConfig::default()
         },
     );
     let client = server.client();
@@ -262,6 +263,7 @@ fn mixed_priority_stress_interactive_never_starves() {
                 max_in_flight: 512,
                 max_per_model: 512,
             },
+            ..ServerConfig::default()
         },
     );
     let client = server.client();

@@ -1,0 +1,182 @@
+//! Integration tests of end-to-end request tracing (DESIGN.md §11):
+//! under `TelemetryPolicy::Full` a served request leaves a complete
+//! span tree whose stage durations tile its measured end-to-end
+//! latency; `Off` records nothing; `Sampled` traces one in N.
+
+use std::collections::BTreeSet;
+use std::sync::Arc;
+use std::time::Duration;
+
+use patdnn_core::prune::pattern_project_network;
+use patdnn_nn::models::small_cnn;
+use patdnn_serve::batching::BatchPolicy;
+use patdnn_serve::compile::compile_network;
+use patdnn_serve::engine::{Engine, EngineOptions};
+use patdnn_serve::registry::ModelRegistry;
+use patdnn_serve::server::{Server, ServerConfig};
+use patdnn_serve::{SpanKind, Stage, TelemetryPolicy, TraceId};
+use patdnn_tensor::rng::Rng;
+use patdnn_tensor::Tensor;
+
+fn registry_with(name: &str, seed: u64) -> Arc<ModelRegistry> {
+    let mut rng = Rng::seed_from(seed);
+    let mut net = small_cnn(3, 8, 4, &mut rng);
+    pattern_project_network(&mut net, 8, 2.5);
+    let artifact = compile_network(name, &net, [3, 8, 8]).expect("compiles");
+    let registry = Arc::new(ModelRegistry::new());
+    registry.register(
+        name,
+        Engine::new(artifact, EngineOptions::default()).expect("engine"),
+    );
+    registry
+}
+
+fn server_with_policy(policy: TelemetryPolicy) -> Server {
+    Server::start(
+        registry_with("m", 1),
+        ServerConfig {
+            workers: 1,
+            // A short but non-zero batch window keeps the envelope in
+            // the milliseconds, so µs span rounding is far inside the
+            // 5% tiling tolerance asserted below.
+            batch: BatchPolicy {
+                max_batch: 4,
+                max_wait: Duration::from_millis(2),
+                ..BatchPolicy::default()
+            },
+            telemetry: policy,
+            ..ServerConfig::default()
+        },
+    )
+}
+
+fn input() -> Tensor {
+    Tensor::zeros(&[1, 3, 8, 8])
+}
+
+/// The acceptance criterion for the telemetry subsystem: with the
+/// `Full` policy, one served request produces a span tree with every
+/// lifecycle stage exactly once, and the stage durations sum to the
+/// request envelope within 5%.
+#[test]
+fn full_policy_leaves_a_complete_span_tree_tiling_the_latency() {
+    let server = server_with_policy(TelemetryPolicy::Full);
+    let client = server.client();
+    let resp = client.infer("m", input()).expect("served");
+
+    let events = server.telemetry().events();
+    let request = events
+        .iter()
+        .find(|e| e.kind == SpanKind::Request)
+        .expect("request envelope span");
+
+    // Every lifecycle stage appears exactly once, under the same trace.
+    let stages: Vec<_> = events
+        .iter()
+        .filter(|e| e.trace == request.trace)
+        .filter_map(|e| match e.kind {
+            SpanKind::Stage(s) => Some((s, e.start_us, e.dur_us)),
+            _ => None,
+        })
+        .collect();
+    let labels: BTreeSet<&str> = stages.iter().map(|(s, _, _)| s.label()).collect();
+    assert_eq!(stages.len(), Stage::ALL.len(), "one span per stage");
+    assert_eq!(
+        labels,
+        Stage::ALL.iter().map(|s| s.label()).collect(),
+        "all six lifecycle stages present"
+    );
+
+    // The stages tile the envelope: they are recorded from shared
+    // boundary instants, so their sum matches the request span (and
+    // the independently measured response latency) to within 5%.
+    let stage_sum: u64 = stages.iter().map(|(_, _, dur)| dur).sum();
+    let envelope = request.dur_us;
+    assert!(envelope > 0, "envelope must have measurable duration");
+    let diff = stage_sum.abs_diff(envelope);
+    assert!(
+        diff as f64 <= envelope as f64 * 0.05,
+        "stage sum {stage_sum}µs must tile envelope {envelope}µs within 5%"
+    );
+    let measured = resp.latency.as_micros() as u64;
+    assert!(
+        envelope.abs_diff(measured) as f64 <= measured as f64 * 0.05 + 200.0,
+        "envelope {envelope}µs must track measured latency {measured}µs"
+    );
+
+    // Stages appear in lifecycle order and butt against each other.
+    let mut ordered = stages.clone();
+    ordered.sort_by_key(|(_, start, _)| *start);
+    let order: Vec<_> = ordered.iter().map(|(s, _, _)| *s).collect();
+    assert_eq!(order, Stage::ALL.to_vec(), "stages in lifecycle order");
+
+    // Execution was profiled: at least one per-step span under the
+    // same trace, and the layer profiles surface in the snapshot.
+    let steps = events
+        .iter()
+        .filter(|e| e.trace == request.trace && matches!(e.kind, SpanKind::Step { .. }))
+        .count();
+    assert!(steps >= 1, "traced execution must emit step spans");
+    let snap = server.snapshot();
+    assert!(!snap.layers.is_empty(), "layer profiles in the snapshot");
+    assert!(snap.layers.iter().all(|l| l.count >= 1 && l.mean_ms >= 0.0));
+
+    // After the request completes, both gauges must have drained.
+    assert_eq!(snap.queue_depth, 0, "queue gauge drains to zero");
+    assert_eq!(snap.in_flight, 0, "in-flight gauge drains to zero");
+
+    // The Chrome trace export carries the same spans.
+    let json = server.telemetry().chrome_trace_json();
+    assert!(json.contains("\"traceEvents\""));
+    for stage in Stage::ALL {
+        assert!(
+            json.contains(&format!("\"name\":\"{}\"", stage.label())),
+            "chrome trace must contain a {} span",
+            stage.label()
+        );
+    }
+    server.shutdown();
+}
+
+/// `Off` is genuinely off: serving requests records no spans, no stage
+/// aggregates, and no layer profiles.
+#[test]
+fn off_policy_records_nothing_while_serving() {
+    let server = server_with_policy(TelemetryPolicy::Off);
+    let client = server.client();
+    for _ in 0..3 {
+        client.infer("m", input()).expect("served");
+    }
+    assert!(server.telemetry().events().is_empty(), "no spans");
+    assert!(
+        server
+            .telemetry()
+            .stage_breakdown()
+            .iter()
+            .all(|s| s.count == 0),
+        "no stage aggregates"
+    );
+    let snap = server.snapshot();
+    assert!(snap.layers.is_empty(), "no layer profiles");
+    assert_eq!(snap.requests, 3, "serving itself still counted");
+    server.shutdown();
+}
+
+/// `Sampled { every: 2 }` traces every other submission: 4 serial
+/// requests leave exactly 2 distinct request envelopes.
+#[test]
+fn sampled_policy_traces_one_in_n_requests() {
+    let server = server_with_policy(TelemetryPolicy::Sampled { every: 2 });
+    let client = server.client();
+    for _ in 0..4 {
+        client.infer("m", input()).expect("served");
+    }
+    let events = server.telemetry().events();
+    let traced: BTreeSet<TraceId> = events
+        .iter()
+        .filter(|e| e.kind == SpanKind::Request)
+        .map(|e| e.trace)
+        .collect();
+    assert_eq!(traced.len(), 2, "2 of 4 submissions traced");
+    server.shutdown();
+}
