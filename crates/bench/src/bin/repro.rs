@@ -6,13 +6,13 @@
 //! repro <experiment>... [--quick] [--reps N] [--threads N] [--json FILE]
 //! experiment: table1..table7, fig12..fig18, serving, serving-resnet,
 //!             serving-tuned, serving-quant, serving-slo,
-//!             serving-profile, tables, figures, all
+//!             serving-profile, serving-kernels, tables, figures, all
 //! ```
 //!
 //! `--json FILE` additionally writes a machine-readable report for the
-//! experiments that produce one (`serving-quant`, `serving-slo`, and
-//! `serving-profile`), so CI can upload the perf trajectory as a
-//! workflow artifact.
+//! experiments that produce one (`serving-quant`, `serving-slo`,
+//! `serving-profile`, and `serving-kernels`), so CI can upload the perf
+//! trajectory as a workflow artifact.
 
 use patdnn_bench::{figures, tables, RunOptions};
 
@@ -86,6 +86,7 @@ fn main() {
                 "serving-quant",
                 "serving-slo",
                 "serving-profile",
+                "serving-kernels",
             ]),
             "tables" => expanded.extend([
                 "table1", "table2", "table3", "table4", "table5", "table6", "table7",
@@ -141,6 +142,11 @@ fn main() {
                 print_all(tables);
                 write_json(&json_path, &json);
             }
+            "serving-kernels" => {
+                let (table, json) = patdnn_bench::serving::serving_kernels_report(&opts);
+                println!("{table}");
+                write_json(&json_path, &json);
+            }
             other => die(&format!("unknown experiment {other}")),
         }
         eprintln!("[{exp} took {:.1}s]", start.elapsed().as_secs_f64());
@@ -166,8 +172,8 @@ fn die(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
         "usage: repro <table1..table7|fig12..fig18|serving|serving-resnet|serving-tuned|\
-         serving-quant|serving-slo|serving-profile|tables|figures|all> [--quick] [--reps N] \
-         [--threads N] [--json FILE]"
+         serving-quant|serving-slo|serving-profile|serving-kernels|tables|figures|all> \
+         [--quick] [--reps N] [--threads N] [--json FILE]"
     );
     std::process::exit(2);
 }

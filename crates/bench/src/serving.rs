@@ -234,7 +234,9 @@ pub fn resnet_serving(opts: &RunOptions) -> Table {
 /// real-time metric) and served QPS/tail latency under synthetic
 /// traffic. The `cfgs` column counts distinct pattern-conv exec
 /// configs, showing that tuned plans are genuinely per-layer rather
-/// than one global choice.
+/// than one global choice; the `algos` column is a histogram of the
+/// per-step *algorithm* choice (direct FKW vs im2col+GEMM vs Winograd)
+/// the tuner baked into the plan.
 pub fn tuned_serving(opts: &RunOptions) -> Table {
     let requests_per_client = if opts.quick { 5 } else { 25 };
     let reps = if opts.quick { 5 } else { 30.max(opts.reps) };
@@ -255,6 +257,7 @@ pub fn tuned_serving(opts: &RunOptions) -> Table {
             "QPS",
             "p50 ms",
             "p99 ms",
+            "algos",
         ],
     );
     for (name, seed) in [("vgg_small", 41u64), ("resnet_small", 42u64)] {
@@ -286,6 +289,7 @@ pub fn tuned_serving(opts: &RunOptions) -> Table {
                 cfgs.dedup();
                 cfgs.len()
             };
+            let algo_histogram = algo_histogram(&artifact);
             let engine = Engine::new(artifact.clone(), EngineOptions::default()).expect("engine");
 
             // Direct batch-1 latency: median of `reps` warm runs.
@@ -342,10 +346,38 @@ pub fn tuned_serving(opts: &RunOptions) -> Table {
                 format!("{:.1}", snap.requests as f64 / wall),
                 format!("{:.3}", snap.p50_ms),
                 format!("{:.3}", snap.p99_ms),
+                algo_histogram,
             ]);
         }
     }
     table
+}
+
+/// Histogram of the per-step algorithm choice over a plan's pattern
+/// convs, e.g. `direct x5 winograd x2`.
+fn algo_histogram(artifact: &patdnn_serve::ModelArtifact) -> String {
+    use patdnn_compiler::tune::space::ConvAlgo;
+    let counts: Vec<(ConvAlgo, usize)> = ConvAlgo::all()
+        .iter()
+        .map(|&algo| {
+            let n = artifact
+                .steps
+                .iter()
+                .filter(|s| s.op.kind() == "pattern-conv" && s.exec.algo == algo)
+                .count();
+            (algo, n)
+        })
+        .collect();
+    let parts: Vec<String> = counts
+        .iter()
+        .filter(|(_, n)| *n > 0)
+        .map(|(algo, n)| format!("{} x{n}", algo.label()))
+        .collect();
+    if parts.is_empty() {
+        "-".to_owned()
+    } else {
+        parts.join(" ")
+    }
 }
 
 /// Per-precision serving measurements for one compiled plan.
@@ -975,6 +1007,136 @@ pub fn serving_profile_report(opts: &RunOptions) -> (Vec<Table>, String) {
     (vec![stage_table, layer_table], json)
 }
 
+/// Median warm batch-1 latency of one engine, milliseconds.
+fn warm_b1_p50_ms(engine: &Engine, reps: usize, seed: u64) -> f64 {
+    let mut rng = Rng::seed_from(seed);
+    let x = Tensor::randn(&[1, 3, 32, 32], &mut rng);
+    engine.infer(&x).expect("warmup");
+    let mut runs: Vec<f64> = (0..reps.max(1))
+        .map(|_| {
+            let t = Instant::now();
+            std::hint::black_box(engine.infer(&x).expect("infer"));
+            t.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    runs.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+    runs[runs.len() / 2]
+}
+
+/// The micro-kernel serving workload without the JSON report.
+pub fn serving_kernels(opts: &RunOptions) -> Table {
+    let (table, _) = serving_kernels_report(opts);
+    table
+}
+
+/// The micro-kernel serving workload (`repro serving-kernels`): one
+/// pruned model compiled once per lowering — direct FKW, forced
+/// im2col+GEMM, Winograd on eligible steps — plus the int8 direct
+/// path, each run batch-1 through the register-tiled micro-kernels the
+/// runtime dispatched for this CPU. Reports the dispatched kernel
+/// variant, the pre-packed weight footprint, and the batch-1 p50 next
+/// to the f32 direct baseline, plus a machine-readable JSON report
+/// (written by `repro --json` and uploaded from CI as a workflow
+/// artifact, so the micro-kernel perf trajectory accumulates across
+/// commits).
+pub fn serving_kernels_report(opts: &RunOptions) -> (Table, String) {
+    use patdnn_compiler::tune::space::ConvAlgo;
+    use patdnn_serve::algo_exec::{fkw_density, WINOGRAD_DENSITY_THRESHOLD};
+    use patdnn_serve::LayerPlan;
+
+    let reps = if opts.quick { 9 } else { 40.max(opts.reps) };
+    let kernel = patdnn_tensor::kernels::active_variant().label();
+    // Pruned lightly (1.5x): at the serving default 3.6x every layer
+    // falls under the Winograd density gate (>= 0.25) and the
+    // "winograd" row would silently run direct, so the lowering
+    // comparison uses a dense-ish model where all three are legal.
+    let net = {
+        let mut rng = Rng::seed_from(111);
+        let mut net = vgg_small(10, &mut rng);
+        pattern_project_network(&mut net, 8, 1.5);
+        net
+    };
+    let direct = compile_network("vgg_small", &net, [3, 32, 32]).expect("compile");
+
+    // Forced lowerings: the same plan with every pattern conv routed
+    // through the densified executors (Winograd only where the
+    // eligibility guard admits it).
+    let mut im2col = direct.clone();
+    for step in &mut im2col.steps {
+        if matches!(step.op, LayerPlan::PatternConv { .. }) {
+            step.exec.algo = ConvAlgo::Im2col;
+        }
+    }
+    let mut winograd = direct.clone();
+    let mut wino_steps = 0;
+    for step in &mut winograd.steps {
+        if let LayerPlan::PatternConv { stride, fkw, .. } = &step.op {
+            if *stride == 1 && fkw.kernel == 3 && fkw_density(fkw) >= WINOGRAD_DENSITY_THRESHOLD {
+                step.exec.algo = ConvAlgo::Winograd;
+                wino_steps += 1;
+            }
+        }
+    }
+    assert!(wino_steps > 0, "winograd row must exercise the lowering");
+    let calib = calibration_batch([3, 32, 32], 8, 112);
+    let int8 = compile_network_int8(
+        "vgg_small",
+        &net,
+        [3, 32, 32],
+        &CompileOptions::default(),
+        &calib,
+    )
+    .expect("quantized compile");
+
+    let mut table = Table::new(
+        "Serving: register-tiled micro-kernel lowerings, batch-1 latency \
+         (vgg_small, 1.5x pruned)",
+        &[
+            "config",
+            "kernel",
+            "packed KiB",
+            "b1 p50 ms",
+            "vs f32 direct",
+        ],
+    );
+    let mut rows_json = Vec::new();
+    let mut direct_p50 = 0.0f64;
+    for (i, (config, artifact)) in [
+        ("f32 direct", direct),
+        ("f32 im2col", im2col),
+        ("f32 winograd", winograd),
+        ("int8 direct", int8),
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        let engine = Engine::new(artifact, EngineOptions::default()).expect("engine");
+        let packed_bytes = engine.packed_weight_bytes();
+        let p50 = warm_b1_p50_ms(&engine, reps, 113 + i as u64);
+        if i == 0 {
+            direct_p50 = p50;
+        }
+        let speedup = direct_p50 / p50;
+        table.push_row(vec![
+            config.to_owned(),
+            kernel.to_owned(),
+            format!("{:.1}", packed_bytes as f64 / 1024.0),
+            format!("{p50:.3}"),
+            format!("{speedup:.2}x"),
+        ]);
+        rows_json.push(format!(
+            "{{\"config\":\"{config}\",\"packed_bytes\":{packed_bytes},\
+             \"b1_p50_ms\":{p50:.5},\"speedup\":{speedup:.3}}}"
+        ));
+    }
+    let json = format!(
+        "{{\"workload\":\"serving-kernels\",\"quick\":{},\"kernel\":\"{kernel}\",\"rows\":[{}]}}\n",
+        opts.quick,
+        rows_json.join(",")
+    );
+    (table, json)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1013,6 +1175,57 @@ mod tests {
             assert!(
                 est_cfgs > 1,
                 "estimate policy must produce per-layer configs, got {est_cfgs}"
+            );
+        }
+        // Every row reports its per-step algorithm histogram; the
+        // untuned plan is all-direct by construction.
+        for row in &table.rows {
+            assert!(!row[7].is_empty(), "algos column populated");
+        }
+        for chunk in table.rows.chunks(3) {
+            assert!(
+                chunk[0][7].starts_with("direct x")
+                    && !chunk[0][7].contains("im2col")
+                    && !chunk[0][7].contains("winograd"),
+                "off policy keeps every step direct, got {:?}",
+                chunk[0][7]
+            );
+        }
+    }
+
+    #[test]
+    fn serving_kernels_reports_every_lowering() {
+        let opts = RunOptions::quick();
+        let (table, json) = serving_kernels_report(&opts);
+        assert_eq!(table.rows.len(), 4, "three f32 lowerings plus int8");
+        assert_eq!(table.rows[0][0], "f32 direct");
+        assert_eq!(table.rows[0][4], "1.00x", "baseline row is its own unit");
+        for row in &table.rows {
+            let packed_kib: f64 = row[2].parse().expect("numeric packed KiB");
+            assert!(packed_kib > 0.0, "{}: weights pre-pack at load", row[0]);
+            let p50: f64 = row[3].parse().expect("numeric p50");
+            assert!(p50 > 0.0, "{}: positive latency", row[0]);
+        }
+        // The densified rows really packed conv weights: their
+        // footprint must exceed the direct row's (FC panels only).
+        let direct_kib: f64 = table.rows[0][2].parse().expect("numeric");
+        for row in [&table.rows[1], &table.rows[2]] {
+            let kib: f64 = row[2].parse().expect("numeric");
+            assert!(
+                kib > direct_kib,
+                "{}: densified lowering must pack conv weights",
+                row[0]
+            );
+        }
+        assert!(json.contains("\"workload\":\"serving-kernels\""));
+        assert!(json.contains(&format!(
+            "\"kernel\":\"{}\"",
+            patdnn_tensor::kernels::active_variant().label()
+        )));
+        for config in ["f32 direct", "f32 im2col", "f32 winograd", "int8 direct"] {
+            assert!(
+                json.contains(&format!("\"config\":\"{config}\"")),
+                "{config}"
             );
         }
     }

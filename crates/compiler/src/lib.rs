@@ -38,4 +38,4 @@ pub use fkr::{filter_kernel_reorder, FilterOrder};
 pub use fkw::FkwLayer;
 pub use lr::LayerLr;
 pub use quant::QuantFkwLayer;
-pub use tune::space::{LoopPermutation, TuningConfig};
+pub use tune::space::{ConvAlgo, LoopPermutation, TuningConfig};

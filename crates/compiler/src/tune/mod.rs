@@ -13,5 +13,5 @@ pub mod tuner;
 
 pub use estimator::PerfEstimator;
 pub use ga::{GaConfig, GaExplorer};
-pub use space::{ConfigSpace, LoopPermutation, TuningConfig};
+pub use space::{ConfigSpace, ConvAlgo, LoopPermutation, TuningConfig};
 pub use tuner::{AutoTuner, TuningResult};

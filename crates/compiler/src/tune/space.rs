@@ -1,7 +1,44 @@
 //! The tuning configuration space: loop permutations, blocking, tiling
-//! and unrolling factors (the knobs of Figures 13 and 15).
+//! and unrolling factors (the knobs of Figures 13 and 15), plus the
+//! per-layer *algorithm* axis ([`ConvAlgo`]) the serving tuner selects
+//! over — direct FKW traversal, im2col+GEMM, or Winograd `F(2×2,3×3)`.
 
 use patdnn_tensor::rng::Rng;
+
+/// Which convolution lowering executes a layer.
+///
+/// The tile/unroll knobs of [`TuningConfig`] parameterize a lowering;
+/// this picks the lowering itself. `Direct` is the pattern-aware FKW
+/// executor (the only sensible choice for heavily pruned layers, whose
+/// stored-MAC count is far below dense); `Im2col` and `Winograd`
+/// densify the layer and pay dense-cost arithmetic through the packed
+/// SIMD micro-kernels, which can win on dense-ish layers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ConvAlgo {
+    /// Pattern-aware direct convolution over FKW storage.
+    #[default]
+    Direct,
+    /// Densified im2col lowering + register-tiled GEMM.
+    Im2col,
+    /// Winograd `F(2×2, 3×3)` (stride-1 3×3 layers only).
+    Winograd,
+}
+
+impl ConvAlgo {
+    /// Short label for reports and plan dumps.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ConvAlgo::Direct => "direct",
+            ConvAlgo::Im2col => "im2col",
+            ConvAlgo::Winograd => "winograd",
+        }
+    }
+
+    /// All algorithms, in persistence-tag order.
+    pub fn all() -> [ConvAlgo; 3] {
+        [ConvAlgo::Direct, ConvAlgo::Im2col, ConvAlgo::Winograd]
+    }
+}
 
 /// Computation loop order of a convolution layer.
 ///
@@ -223,6 +260,13 @@ mod tests {
     fn labels_match_paper_notation() {
         assert_eq!(LoopPermutation::CoHwCi.label(true), "cohwci_b");
         assert_eq!(LoopPermutation::CoCiHw.label(false), "cocihw");
+    }
+
+    #[test]
+    fn algo_labels_are_distinct_and_direct_is_default() {
+        assert_eq!(ConvAlgo::default(), ConvAlgo::Direct);
+        let labels: Vec<&str> = ConvAlgo::all().iter().map(|a| a.label()).collect();
+        assert_eq!(labels, vec!["direct", "im2col", "winograd"]);
     }
 
     #[test]

@@ -7,14 +7,16 @@
 //!   per-kernel dispatch *inside* the pixel loops (the branchy `switch`).
 //! - [`OptLevel::Reorder`] — traverses FKW pattern runs: the dispatch is
 //!   hoisted out of the pixel loops; execution is branch-free inside.
-//! - [`OptLevel::ReorderLre`] — adds kernel-level register reuse via a
-//!   4-wide output-width unrolled interior path.
+//! - [`OptLevel::ReorderLre`] — adds kernel-level register reuse: each
+//!   tap becomes one contiguous span-accumulate over the output row,
+//!   executed by the dispatched SIMD micro-kernels.
 //! - [`OptLevel::Full`] — adds output-channel unrolling (filter-level
 //!   LRE) and tuned tiling.
 
 use patdnn_compiler::fkw::FkwLayer;
 use patdnn_compiler::tune::space::TuningConfig;
 use patdnn_core::pattern::Pattern;
+use patdnn_tensor::kernels;
 use patdnn_tensor::{Conv2dGeometry, Tensor};
 
 use crate::executor::ConvExecutor;
@@ -154,9 +156,12 @@ impl PatternConv {
         }
     }
 
-    /// Accumulates one kernel with the LRE interior fast path: 4-wide
-    /// output unrolling keeps each loaded input element in a register for
-    /// all unrolled outputs that need it.
+    /// Accumulates one kernel with the LRE fast path (stride 1): per
+    /// tap, each output row reduces to one contiguous span-accumulate
+    /// `out[lo..hi] += w · input[lo'..hi']` with the tap weight hoisted
+    /// into a register — no per-pixel bounds checks, and the span runs
+    /// through the dispatched [`kernels`] `axpy_f32` tile (8-wide FMA on
+    /// AVX2, portable loop otherwise).
     fn kernel_plane_lre(
         &self,
         taps: &[(usize, usize)],
@@ -166,43 +171,28 @@ impl PatternConv {
     ) {
         let g = &self.geo;
         debug_assert_eq!(g.stride, 1, "LRE fast path requires stride 1");
-        for oh in 0..g.out_h {
-            let orow = oh * g.out_w;
-            let fast_h = oh + g.kernel_h <= g.in_h + g.pad && oh >= g.pad;
-            let mut ow = 0;
-            while ow + 4 <= g.out_w
-                && fast_h
-                && ow >= g.pad
-                && ow + 3 + g.kernel_w <= g.in_w + g.pad
-            {
-                let mut acc = [0.0f32; 4];
-                for (e, &(kh, kw)) in taps.iter().enumerate() {
-                    let ih = oh + kh - g.pad;
-                    let base = ih * g.in_w + ow + kw - g.pad;
-                    // One register-resident span serves all four outputs.
-                    let wv = w[e];
-                    acc[0] += wv * in_plane[base];
-                    acc[1] += wv * in_plane[base + 1];
-                    acc[2] += wv * in_plane[base + 2];
-                    acc[3] += wv * in_plane[base + 3];
-                }
-                out_plane[orow + ow] += acc[0];
-                out_plane[orow + ow + 1] += acc[1];
-                out_plane[orow + ow + 2] += acc[2];
-                out_plane[orow + ow + 3] += acc[3];
-                ow += 4;
+        let kernel = kernels::active_kernel();
+        for (e, &(kh, kw)) in taps.iter().enumerate() {
+            let wv = w[e];
+            // Valid output columns for this tap: `ow + kw - pad` in
+            // `[0, in_w)`; everything outside reads implicit zero pad.
+            let lo = g.pad.saturating_sub(kw);
+            let hi = (g.in_w + g.pad - kw).min(g.out_w);
+            if lo >= hi {
+                continue;
             }
-            while ow < g.out_w {
-                let mut acc = 0.0f32;
-                for (e, &(kh, kw)) in taps.iter().enumerate() {
-                    let ih = (oh * g.stride + kh) as isize - g.pad as isize;
-                    let iw = (ow * g.stride + kw) as isize - g.pad as isize;
-                    if ih >= 0 && ih < g.in_h as isize && iw >= 0 && iw < g.in_w as isize {
-                        acc += w[e] * in_plane[ih as usize * g.in_w + iw as usize];
-                    }
+            for oh in 0..g.out_h {
+                let ih = oh + kh;
+                if ih < g.pad || ih - g.pad >= g.in_h {
+                    continue;
                 }
-                out_plane[orow + ow] += acc;
-                ow += 1;
+                let ibase = (ih - g.pad) * g.in_w + lo + kw - g.pad;
+                let orow = oh * g.out_w;
+                kernel.axpy_f32(
+                    wv,
+                    &in_plane[ibase..ibase + hi - lo],
+                    &mut out_plane[orow + lo..orow + hi],
+                );
             }
         }
     }

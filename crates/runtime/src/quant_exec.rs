@@ -23,6 +23,7 @@ use std::sync::Mutex;
 
 use patdnn_compiler::quant::{quantize_slice_into, QuantFkwLayer};
 use patdnn_compiler::tune::space::TuningConfig;
+use patdnn_tensor::kernels;
 use patdnn_tensor::{Conv2dGeometry, Tensor};
 
 use crate::executor::ConvExecutor;
@@ -150,12 +151,15 @@ impl QuantPatternConv {
     /// Accumulates one kernel with the LRE fast path (stride 1): per
     /// tap, each output row reduces to one contiguous span-accumulate
     /// `acc[lo..hi] += w · input[lo'..hi']` with the tap weight hoisted
-    /// into a register — no per-pixel bounds checks, and a loop shape
-    /// the autovectorizer lifts straight into wide integer lanes (the
-    /// 1-byte loads quarter the f32 path's memory traffic).
+    /// into a register — no per-pixel bounds checks. The span runs
+    /// through the dispatched [`kernels`] `axpy_i8` tile (8-lane
+    /// sign-extended i32 math on AVX2, portable loop otherwise); integer
+    /// accumulation is order-independent, so both variants are
+    /// bit-identical.
     fn kernel_plane_lre(&self, taps: &[(usize, usize)], w: &[i8], inp: &[i8], acc: &mut [i32]) {
         let g = &self.geo;
         debug_assert_eq!(g.stride, 1, "LRE fast path requires stride 1");
+        let kernel = kernels::active_kernel();
         for (e, &(kh, kw)) in taps.iter().enumerate() {
             let wv = w[e] as i32;
             // Valid output columns for this tap: `ow + kw - pad` in
@@ -172,11 +176,11 @@ impl QuantPatternConv {
                 }
                 let ibase = (ih - g.pad) * g.in_w + lo + kw - g.pad;
                 let orow = oh * g.out_w;
-                let dst = &mut acc[orow + lo..orow + hi];
-                let src = &inp[ibase..ibase + hi - lo];
-                for (a, &v) in dst.iter_mut().zip(src) {
-                    *a += wv * v as i32;
-                }
+                kernel.axpy_i8(
+                    wv,
+                    &inp[ibase..ibase + hi - lo],
+                    &mut acc[orow + lo..orow + hi],
+                );
             }
         }
     }

@@ -48,15 +48,17 @@ use std::path::Path;
 
 use patdnn_compiler::fkw::FkwLayer;
 use patdnn_compiler::quant::QuantFkwLayer;
-use patdnn_compiler::tune::space::{LoopPermutation, TuningConfig};
+use patdnn_compiler::tune::space::{ConvAlgo, LoopPermutation, TuningConfig};
 use patdnn_core::pattern::Pattern;
 use patdnn_runtime::pattern_exec::OptLevel;
 use patdnn_tensor::Tensor;
 
 /// File magic.
 pub const MAGIC: &[u8; 6] = b"PATDNN";
-/// Current format version (per-step precision tags and INT8 payloads).
-pub const VERSION: u16 = 4;
+/// Current format version (per-step convolution algorithm choice).
+pub const VERSION: u16 = 5;
+/// The quantized format without per-step algorithm tags; still decodable.
+pub const VERSION_V4: u16 = 4;
 /// The tuned-plan format without precision tags; still decodable.
 pub const VERSION_V3: u16 = 3;
 /// The DAG format without execution configs; still decodable.
@@ -276,16 +278,21 @@ pub struct ExecConfig {
     /// Intra-layer CPU threads (1 = serial; >1 uses the runtime's
     /// FKR-balanced parallel schedule).
     pub threads: usize,
+    /// Which convolution lowering executes the step (v5 tag; pre-v5
+    /// artifacts decode to [`ConvAlgo::Direct`]). Only meaningful on
+    /// `f32` pattern-conv steps; every other op carries `Direct`.
+    pub algo: ConvAlgo,
 }
 
 impl Default for ExecConfig {
     /// The untuned configuration every pre-v3 artifact decodes to:
-    /// `OptLevel::Full` at the global tuned default, serial.
+    /// `OptLevel::Full` at the global tuned default, serial, direct.
     fn default() -> Self {
         ExecConfig {
             opt_level: OptLevel::Full,
             tuning: TuningConfig::tuned_default(),
             threads: 1,
+            algo: ConvAlgo::Direct,
         }
     }
 }
@@ -328,10 +335,10 @@ impl ExecConfig {
     }
 
     /// Compact human-readable form for plan dumps, e.g.
-    /// `Reorder+LRE+Tune cohwci_b tile 16x32 unroll 4x8 1t`.
+    /// `Reorder+LRE+Tune cohwci_b tile 16x32 unroll 4x8 1t direct`.
     pub fn summary(&self) -> String {
         format!(
-            "{} {} tile {}x{} unroll {}x{} {}t",
+            "{} {} tile {}x{} unroll {}x{} {}t {}",
             self.opt_level.label(),
             self.tuning.permute.label(self.tuning.blocked),
             self.tuning.tile_oc,
@@ -339,6 +346,7 @@ impl ExecConfig {
             self.tuning.unroll_oc,
             self.tuning.unroll_w,
             self.threads,
+            self.algo.label(),
         )
     }
 }
@@ -455,15 +463,48 @@ impl ModelArtifact {
         w.finish()
     }
 
+    /// Encodes the artifact in the v4 quantized layout (per-step
+    /// precision tags and exec configs but no algorithm choice). Fails
+    /// with a typed error if any step selects a non-direct convolution
+    /// lowering — v4 cannot represent algorithm-choice plans, and a
+    /// silently-lossy encode would break the codec's round-trip
+    /// invariant. Kept so the backward-compatibility path stays
+    /// testable against real v4 bytes.
+    pub fn encode_v4(&self) -> Result<Vec<u8>, ArtifactError> {
+        self.require_direct_algos("v4")?;
+        let mut w = ByteWriter::new();
+        w.bytes(MAGIC);
+        w.u16(VERSION_V4);
+        w.str(&self.name);
+        for d in self.input {
+            w.u32(d as u32);
+        }
+        w.u32(self.slots as u32);
+        w.u32(self.steps.len() as u32);
+        for step in &self.steps {
+            encode_step_topology(&mut w, step);
+            w.u8(match step.precision {
+                Precision::F32 => PRECISION_F32,
+                Precision::Int8 => PRECISION_INT8,
+            });
+            encode_exec_config(&mut w, &step.exec);
+            encode_op(&mut w, &step.op);
+        }
+        Ok(w.finish())
+    }
+
     /// Encodes the artifact in the v3 tuned-plan layout (per-step exec
     /// configs but no precision tags). Fails with a typed error if any
-    /// step is INT8-quantized — v3 cannot represent reduced-precision
-    /// payloads, and a silently-lossy encode would break the codec's
-    /// round-trip invariant (mirroring the tuned-plan refusal of the
-    /// older encoders). Kept so the backward-compatibility path stays
-    /// testable against real v3 bytes.
+    /// step is INT8-quantized or selects a non-direct convolution
+    /// lowering — v3 cannot represent reduced-precision payloads or
+    /// algorithm-choice plans, and a silently-lossy encode would break
+    /// the codec's round-trip invariant (mirroring the tuned-plan
+    /// refusal of the older encoders). Kept so the
+    /// backward-compatibility path stays testable against real v3
+    /// bytes.
     pub fn encode_v3(&self) -> Result<Vec<u8>, ArtifactError> {
         self.require_f32_steps("v3")?;
+        self.require_direct_algos("v3")?;
         let mut w = ByteWriter::new();
         w.bytes(MAGIC);
         w.u16(VERSION_V3);
@@ -549,6 +590,20 @@ impl ModelArtifact {
         Ok(())
     }
 
+    fn require_direct_algos(&self, version: &str) -> Result<(), ArtifactError> {
+        if let Some(i) = self
+            .steps
+            .iter()
+            .position(|s| s.exec.algo != ConvAlgo::Direct)
+        {
+            return Err(ArtifactError::Malformed(format!(
+                "{version} cannot represent per-step algorithm choice (step {i} is {})",
+                self.steps[i].exec.algo.label()
+            )));
+        }
+        Ok(())
+    }
+
     fn require_default_configs(&self, version: &str) -> Result<(), ArtifactError> {
         if let Some(i) = self
             .steps
@@ -562,7 +617,7 @@ impl ModelArtifact {
         Ok(())
     }
 
-    /// Decodes an artifact from its binary form (v1 through v4).
+    /// Decodes an artifact from its binary form (v1 through v5).
     pub fn decode(buf: &[u8]) -> Result<Self, ArtifactError> {
         let mut r = ByteReader::new(buf);
         if r.bytes(MAGIC.len())? != MAGIC {
@@ -716,6 +771,9 @@ fn encode_step(w: &mut ByteWriter, step: &PlanStep) {
         Precision::Int8 => PRECISION_INT8,
     });
     encode_exec_config(w, &step.exec);
+    // v5 appends the algorithm tag after the fixed-width exec record,
+    // so every pre-v5 byte offset is preserved.
+    w.u8(algo_tag(step.exec.algo));
     encode_op(w, &step.op);
 }
 
@@ -745,11 +803,16 @@ fn decode_step(r: &mut ByteReader, version: u16) -> Result<PlanStep, ArtifactErr
     // v2 predates per-step configs; its steps decode to the default.
     // Gated on the fixed v2 boundary (not the floating current VERSION)
     // so future format bumps keep reading v3's config bytes.
-    let exec = if version > VERSION_V2 {
+    let mut exec = if version > VERSION_V2 {
         decode_exec_config(r)?
     } else {
         ExecConfig::default()
     };
+    // v4 predates per-step algorithm choice; its steps decode to the
+    // direct FKW lowering.
+    if version > VERSION_V4 {
+        exec.algo = decode_algo_tag(r.u8()?)?;
+    }
     let op = decode_op(r)?;
     Ok(PlanStep {
         op,
@@ -766,6 +829,22 @@ const OPT_TAGS: [OptLevel; 4] = [
     OptLevel::ReorderLre,
     OptLevel::Full,
 ];
+
+const ALGO_TAGS: [ConvAlgo; 3] = [ConvAlgo::Direct, ConvAlgo::Im2col, ConvAlgo::Winograd];
+
+fn algo_tag(algo: ConvAlgo) -> u8 {
+    ALGO_TAGS
+        .iter()
+        .position(|&a| a == algo)
+        .expect("every algorithm has a tag") as u8
+}
+
+fn decode_algo_tag(tag: u8) -> Result<ConvAlgo, ArtifactError> {
+    ALGO_TAGS
+        .get(tag as usize)
+        .copied()
+        .ok_or_else(|| ArtifactError::Malformed(format!("unknown conv algorithm tag {tag}")))
+}
 
 fn encode_exec_config(w: &mut ByteWriter, cfg: &ExecConfig) {
     // Validated before writing: the fields below are cast to u16, and a
@@ -815,6 +894,9 @@ fn decode_exec_config(r: &mut ByteReader) -> Result<ExecConfig, ArtifactError> {
             unroll_w: r.u16()? as usize,
         },
         threads: r.u16()? as usize,
+        // The algorithm tag lives outside the fixed-width record (v5
+        // appends it); pre-v5 decodes keep the direct lowering.
+        algo: ConvAlgo::Direct,
     };
     cfg.validate()
         .map_err(|msg| malformed(format!("exec config: {msg}")))?;
@@ -1743,6 +1825,7 @@ mod tests {
                 unroll_w: 4,
             },
             threads: 3,
+            algo: ConvAlgo::Im2col,
         }
     }
 
@@ -1793,12 +1876,56 @@ mod tests {
         assert!(matches!(a.encode_v1(), Err(ArtifactError::Malformed(_))));
     }
 
+    #[test]
+    fn v5_round_trips_per_step_algorithm_choice() {
+        let mut a = two_step_chain();
+        a.steps[0].exec.algo = ConvAlgo::Winograd;
+        a.steps[1].exec = tuned_exec(); // algo: Im2col
+        let bytes = a.encode();
+        assert_eq!(u16::from_le_bytes([bytes[6], bytes[7]]), VERSION);
+        let b = ModelArtifact::decode(&bytes).expect("v5 decodes");
+        assert_eq!(a, b, "per-step algorithm choices survive the codec");
+        assert_eq!(b.steps[0].exec.algo, ConvAlgo::Winograd);
+        assert_eq!(b.steps[1].exec.algo, ConvAlgo::Im2col);
+    }
+
+    #[test]
+    fn v4_bytes_decode_with_direct_algos() {
+        let mut a = two_step_chain();
+        a.steps[0].exec = tuned_exec();
+        a.steps[0].exec.algo = ConvAlgo::Direct;
+        let v4 = a.encode_v4().expect("direct plans encode as v4");
+        assert_eq!(u16::from_le_bytes([v4[6], v4[7]]), VERSION_V4);
+        let b = ModelArtifact::decode(&v4).expect("v4 decodes");
+        assert_eq!(a, b, "v4 decodes into the tuned direct plan");
+        assert!(b.steps.iter().all(|s| s.exec.algo == ConvAlgo::Direct));
+        // And the current re-encode of the decoded artifact round-trips.
+        assert_eq!(ModelArtifact::decode(&b.encode()).expect("v5"), a);
+    }
+
+    #[test]
+    fn pre_v5_encoders_reject_algorithm_choice_with_typed_errors() {
+        let mut a = two_step_chain();
+        a.steps[1].exec.algo = ConvAlgo::Im2col;
+        for (version, result) in [("v4", a.encode_v4()), ("v3", a.encode_v3())] {
+            let err = result.expect_err("pre-v5 encoders must refuse algorithm choice");
+            assert!(
+                matches!(&err, ArtifactError::Malformed(msg) if msg.contains("algorithm")),
+                "{version}: got {err}"
+            );
+        }
+    }
+
     /// First step's exec config starts right after magic(6), version(2),
     /// name(2 + 1), input(12), slots(4), count(4), n_inputs(1),
     /// input slot(4), output slot(4), precision(1): byte 41. Field
     /// layout from there: opt(1) permute(1) blocked(1) tile_oc(2)
-    /// tile_hw(2) unroll_oc(2) unroll_w(2) threads(2).
+    /// tile_hw(2) unroll_oc(2) unroll_w(2) threads(2) — 13 bytes, then
+    /// the v5 algorithm tag.
     const FIRST_EXEC_OFFSET: usize = 41;
+
+    /// The v5 per-step algorithm tag follows the fixed-width exec record.
+    const FIRST_ALGO_OFFSET: usize = FIRST_EXEC_OFFSET + 13;
 
     /// The first step's precision byte sits right before its exec config.
     const FIRST_PRECISION_OFFSET: usize = FIRST_EXEC_OFFSET - 1;
@@ -1830,6 +1957,18 @@ mod tests {
         assert!(matches!(
             ModelArtifact::decode(&bytes),
             Err(ArtifactError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn unknown_algo_tag_is_rejected_at_decode() {
+        let a = two_step_chain();
+        let mut bytes = a.encode();
+        assert_eq!(bytes[FIRST_ALGO_OFFSET], 0, "encoded Direct algo tag");
+        bytes[FIRST_ALGO_OFFSET] = 7;
+        assert!(matches!(
+            ModelArtifact::decode(&bytes),
+            Err(ArtifactError::Malformed(msg)) if msg.contains("algorithm")
         ));
     }
 
@@ -1922,6 +2061,8 @@ mod tests {
     fn v3_bytes_decode_with_f32_precision() {
         let mut a = two_step_chain();
         a.steps[0].exec = tuned_exec();
+        // v3 predates per-step algorithm choice: only direct plans encode.
+        a.steps[0].exec.algo = ConvAlgo::Direct;
         let v3 = a.encode_v3().expect("f32 plans encode as v3");
         assert_eq!(u16::from_le_bytes([v3[6], v3[7]]), VERSION_V3);
         let b = ModelArtifact::decode(&v3).expect("v3 decodes");

@@ -21,14 +21,16 @@ use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 use patdnn_compiler::quant::quantize_slice_into;
+use patdnn_compiler::tune::space::ConvAlgo;
 use patdnn_runtime::dense::TiledConv;
 use patdnn_runtime::executor::{effective_gflops, ConvExecutor, StepClock};
 use patdnn_runtime::parallel::{ParallelPattern, Schedule};
 use patdnn_runtime::pattern_exec::PatternConv;
 use patdnn_runtime::quant_exec::{accumulation_fits_i32, QuantPatternConv};
-use patdnn_tensor::gemm::{gemm_bt, gemm_i8_bt};
+use patdnn_tensor::kernels;
 use patdnn_tensor::{conv_out_dim, Conv2dGeometry, Tensor};
 
+use crate::algo_exec::{winograd_eligible, Im2colConv, WinogradConv};
 use crate::artifact::{ArtifactError, LayerPlan, ModelArtifact, Precision};
 use crate::ServeError;
 
@@ -78,6 +80,10 @@ pub struct EngineOptions {
 enum StepExec {
     Pattern(PatternConv),
     PatternPar(ParallelPattern),
+    /// Tuner-selected im2col + packed-GEMM lowering of a pruned conv.
+    Im2col(Im2colConv),
+    /// Tuner-selected Winograd `F(2×2, 3×3)` lowering of a pruned conv.
+    Winograd(WinogradConv),
     Dense(TiledConv),
     MaxPool {
         kernel: usize,
@@ -87,10 +93,7 @@ enum StepExec {
     GlobalAvgPool,
     Flatten,
     Relu,
-    Fc {
-        weights: Tensor,
-        bias: Vec<f32>,
-    },
+    Fc(FcExec),
     /// Elementwise residual join of two slots.
     Add,
     /// INT8 pattern convolution (`i8 × i8 → i32`, dequantized output).
@@ -99,13 +102,73 @@ enum StepExec {
     QuantFc(QuantFcExec),
 }
 
+/// Fully-connected executor over pre-packed weight panels: the weight
+/// matrix is packed into the micro-kernels' `NR`-column panel layout
+/// once at engine build; each call packs the activation batch into
+/// `MR`-row panels (pooled scratch) and reduces through the dispatched
+/// register-tiled GEMM.
+struct FcExec {
+    /// Weights in packed-B panel layout (`in_f` deep, `out_f` wide).
+    packed_w: Vec<f32>,
+    out_f: usize,
+    in_f: usize,
+    bias: Vec<f32>,
+    /// Pool of packed-activation buffers.
+    scratch: Mutex<Vec<Vec<f32>>>,
+}
+
+impl FcExec {
+    fn new(weights: &Tensor, bias: Vec<f32>) -> Self {
+        let (out_f, in_f) = (weights.shape()[0], weights.shape()[1]);
+        let mut packed_w = vec![0.0f32; kernels::packed_b_len(in_f, out_f)];
+        kernels::pack_b_t_f32(in_f, out_f, weights.data(), in_f, &mut packed_w);
+        FcExec {
+            packed_w,
+            out_f,
+            in_f,
+            bias,
+            scratch: Mutex::new(Vec::new()),
+        }
+    }
+
+    fn run_into(&self, input: &Tensor, out: &mut Tensor) {
+        let batch = input.shape()[0];
+        let mut ap = self
+            .scratch
+            .lock()
+            .expect("fc scratch")
+            .pop()
+            .unwrap_or_default();
+        ap.resize(kernels::packed_a_len(batch, self.in_f), 0.0);
+        kernels::pack_a_f32(batch, self.in_f, input.data(), self.in_f, &mut ap);
+        let od = out.data_mut();
+        // Seed the accumulating GEMM with the bias.
+        for b in 0..batch {
+            od[b * self.out_f..(b + 1) * self.out_f].copy_from_slice(&self.bias);
+        }
+        kernels::gemm_packed_f32(
+            kernels::active_kernel(),
+            batch,
+            self.out_f,
+            self.in_f,
+            &ap,
+            &self.packed_w,
+            od,
+            self.out_f,
+        );
+        self.scratch.lock().expect("fc scratch").push(ap);
+    }
+}
+
 /// INT8 fully-connected executor: quantize the batch with the
-/// calibrated activation scale, run the exact `i8 × i8 → i32` GEMM,
-/// dequantize with per-output-row scales, add the `f32` bias. Scratch
-/// (quantized inputs + `i32` accumulators) is pooled so the warm path
-/// allocates nothing.
+/// calibrated activation scale, run the exact `i8 × i8 → i32`
+/// panel-packed GEMV, dequantize with per-output-row scales, add the
+/// `f32` bias. Weights are pre-packed into the micro-kernels' madd
+/// layout at engine build; scratch (quantized inputs + `i32`
+/// accumulators) is pooled so the warm path allocates nothing.
 struct QuantFcExec {
-    qweights: Vec<i8>,
+    /// Quantized weights in packed interleaved-pair panel layout.
+    packed_w: Vec<i8>,
     out_f: usize,
     in_f: usize,
     scales: Vec<f32>,
@@ -115,6 +178,27 @@ struct QuantFcExec {
 }
 
 impl QuantFcExec {
+    fn new(
+        qweights: &[i8],
+        out_f: usize,
+        in_f: usize,
+        scales: Vec<f32>,
+        act_scale: f32,
+        bias: Vec<f32>,
+    ) -> Self {
+        let mut packed_w = vec![0i8; kernels::packed_b_i8_len(in_f, out_f)];
+        kernels::pack_b_t_i8(in_f, out_f, qweights, &mut packed_w);
+        QuantFcExec {
+            packed_w,
+            out_f,
+            in_f,
+            scales,
+            act_scale,
+            bias,
+            scratch: Mutex::new(Vec::new()),
+        }
+    }
+
     fn run_into(&self, input: &Tensor, out: &mut Tensor) {
         let batch = input.shape()[0];
         let (mut qin, mut acc) = self
@@ -127,7 +211,16 @@ impl QuantFcExec {
         acc.resize(batch * self.out_f, 0);
         acc.fill(0);
         quantize_slice_into(input.data(), self.act_scale, &mut qin);
-        gemm_i8_bt(batch, self.out_f, self.in_f, &qin, &self.qweights, &mut acc);
+        let kernel = kernels::active_kernel();
+        for b in 0..batch {
+            kernel.gemv_i8(
+                self.out_f,
+                self.in_f,
+                &qin[b * self.in_f..(b + 1) * self.in_f],
+                &self.packed_w,
+                &mut acc[b * self.out_f..(b + 1) * self.out_f],
+            );
+        }
         let od = out.data_mut();
         for b in 0..batch {
             for o in 0..self.out_f {
@@ -230,18 +323,42 @@ impl Engine {
                     // The step's persisted config drives the executor;
                     // only the thread schedule can be overridden at load.
                     let cfg = plan_step.exec;
-                    let exec =
-                        PatternConv::new(geo, fkw.clone(), bias.clone(), cfg.opt_level, cfg.tuning);
                     let out_shape = vec![geo.out_channels, geo.out_h, geo.out_w];
-                    let threads = opts.threads.unwrap_or(cfg.threads);
-                    let exec = if threads > 1 {
-                        StepExec::PatternPar(ParallelPattern::new(
-                            exec,
-                            threads,
-                            Schedule::Balanced,
-                        ))
-                    } else {
-                        StepExec::Pattern(exec)
+                    let exec = match cfg.algo {
+                        ConvAlgo::Direct => {
+                            let exec = PatternConv::new(
+                                geo,
+                                fkw.clone(),
+                                bias.clone(),
+                                cfg.opt_level,
+                                cfg.tuning,
+                            );
+                            let threads = opts.threads.unwrap_or(cfg.threads);
+                            if threads > 1 {
+                                StepExec::PatternPar(ParallelPattern::new(
+                                    exec,
+                                    threads,
+                                    Schedule::Balanced,
+                                ))
+                            } else {
+                                StepExec::Pattern(exec)
+                            }
+                        }
+                        ConvAlgo::Im2col => StepExec::Im2col(Im2colConv::new(
+                            geo,
+                            &fkw.to_dense(),
+                            bias.clone().unwrap_or_default(),
+                        )),
+                        ConvAlgo::Winograd => {
+                            winograd_eligible(&geo, fkw).map_err(|why| {
+                                malformed(format!("{name}: winograd lowering rejected: {why}"))
+                            })?;
+                            StepExec::Winograd(WinogradConv::new(
+                                geo,
+                                &fkw.to_dense(),
+                                bias.clone().unwrap_or_default(),
+                            ))
+                        }
                     };
                     (exec, *relu, out_shape)
                 }
@@ -320,10 +437,7 @@ impl Engine {
                         return Err(malformed(format!("{name}: bias arity")));
                     }
                     (
-                        StepExec::Fc {
-                            weights: weights.clone(),
-                            bias: bias.clone(),
-                        },
+                        StepExec::Fc(FcExec::new(weights, bias.clone())),
                         false,
                         vec![out_f],
                     )
@@ -376,6 +490,12 @@ impl Engine {
                     // traffic is a quarter of the f32 path's, so the
                     // thread schedule is an f32-only knob today).
                     let cfg = plan_step.exec;
+                    if cfg.algo != ConvAlgo::Direct {
+                        return Err(malformed(format!(
+                            "{name}: the {} lowering is f32-only; quantized steps run direct",
+                            cfg.algo.label()
+                        )));
+                    }
                     let exec = QuantPatternConv::new(
                         geo,
                         qfkw.clone(),
@@ -414,15 +534,14 @@ impl Engine {
                         )));
                     }
                     (
-                        StepExec::QuantFc(QuantFcExec {
-                            qweights: qweights.clone(),
-                            out_f: *out_f,
-                            in_f: *in_f,
-                            scales: scales.clone(),
-                            act_scale: *act_scale,
-                            bias: bias.clone(),
-                            scratch: Mutex::new(Vec::new()),
-                        }),
+                        StepExec::QuantFc(QuantFcExec::new(
+                            qweights,
+                            *out_f,
+                            *in_f,
+                            scales.clone(),
+                            *act_scale,
+                            bias.clone(),
+                        )),
                         false,
                         vec![*out_f],
                     )
@@ -496,6 +615,23 @@ impl Engine {
     /// Number of plan steps.
     pub fn step_count(&self) -> usize {
         self.steps.len()
+    }
+
+    /// Total bytes of weights this engine holds in kernel-native packed
+    /// form (GEMM panels, interleaved INT8 panels, Winograd-domain
+    /// tiles), all prepared once at build so the warm inference path
+    /// never packs.
+    pub fn packed_weight_bytes(&self) -> usize {
+        self.steps
+            .iter()
+            .map(|s| match &s.exec {
+                StepExec::Fc(exec) => exec.packed_w.len() * std::mem::size_of::<f32>(),
+                StepExec::QuantFc(exec) => exec.packed_w.len(),
+                StepExec::Im2col(exec) => exec.packed_bytes(),
+                StepExec::Winograd(exec) => exec.packed_bytes(),
+                _ => 0,
+            })
+            .sum()
     }
 
     /// Runs the whole plan on a batched NCHW input.
@@ -719,6 +855,8 @@ fn run_step(step: &Step, inputs: &[&Tensor], buf: &mut Tensor) {
     let prev = inputs[0];
     match &step.exec {
         StepExec::Pattern(exec) => exec.run_into(prev, buf),
+        StepExec::Im2col(exec) => exec.run_into(prev, buf),
+        StepExec::Winograd(exec) => exec.run_into(prev, buf),
         StepExec::PatternPar(exec) => {
             let out = exec.run(prev);
             buf.data_mut().copy_from_slice(out.data());
@@ -739,7 +877,7 @@ fn run_step(step: &Step, inputs: &[&Tensor], buf: &mut Tensor) {
                 buf.map_inplace(|x| x.max(0.0));
             }
         }
-        StepExec::Fc { weights, bias } => fc_into(prev, weights, bias, buf),
+        StepExec::Fc(exec) => exec.run_into(prev, buf),
         StepExec::QuantPattern(exec) => exec.run_into(prev, buf),
         StepExec::QuantFc(exec) => exec.run_into(prev, buf),
         StepExec::Add => {
@@ -792,26 +930,6 @@ fn gap_into(input: &Tensor, out: &mut Tensor) {
             let base = (n * s.c + c) * hw;
             let mean = input.data()[base..base + hw].iter().sum::<f32>() / hw as f32;
             out.data_mut()[n * s.c + c] = mean;
-        }
-    }
-}
-
-fn fc_into(input: &Tensor, weights: &Tensor, bias: &[f32], out: &mut Tensor) {
-    let batch = input.shape()[0];
-    let in_f = weights.shape()[1];
-    let out_f = weights.shape()[0];
-    out.data_mut().fill(0.0);
-    gemm_bt(
-        batch,
-        out_f,
-        in_f,
-        input.data(),
-        weights.data(),
-        out.data_mut(),
-    );
-    for b in 0..batch {
-        for (o, &bv) in bias.iter().enumerate() {
-            out.data_mut()[b * out_f + o] += bv;
         }
     }
 }
@@ -950,7 +1068,7 @@ mod tests {
     #[test]
     fn per_step_exec_configs_are_honored_without_changing_results() {
         use crate::artifact::ExecConfig;
-        use patdnn_compiler::tune::space::{LoopPermutation, TuningConfig};
+        use patdnn_compiler::tune::space::{ConvAlgo, LoopPermutation, TuningConfig};
         use patdnn_runtime::pattern_exec::OptLevel;
 
         let mut net = pruned_cnn(11);
@@ -964,6 +1082,7 @@ mod tests {
                 opt_level: OptLevel::Reorder,
                 tuning: TuningConfig::baseline(),
                 threads: 1,
+                algo: ConvAlgo::Direct,
             },
             ExecConfig {
                 opt_level: OptLevel::ReorderLre,
@@ -976,6 +1095,7 @@ mod tests {
                     unroll_w: 2,
                 },
                 threads: 2,
+                algo: ConvAlgo::Direct,
             },
         ];
         let mut next = 0;

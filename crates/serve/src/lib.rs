@@ -17,8 +17,16 @@
 //! - [`tune`] — per-layer execution tuning (§5.5 at deployment): a
 //!   [`compile::CompileOptions`] tuning policy selects each
 //!   pattern-conv step's [`artifact::ExecConfig`] (opt level,
-//!   tile/unroll parameters, thread schedule) via the compiler's
-//!   performance estimator or GA exploration over real timed runs.
+//!   tile/unroll parameters, thread schedule, and lowering
+//!   *algorithm* — direct FKW, im2col+GEMM, or Winograd) via the
+//!   compiler's performance estimator or GA exploration plus an
+//!   algorithm run-off over real timed runs.
+//! - [`algo_exec`] — the densified lowerings behind the non-direct
+//!   algorithm choices: [`algo_exec::Im2colConv`] (im2col + packed
+//!   micro-kernel GEMM) and [`algo_exec::WinogradConv`]
+//!   (`F(2x2,3x3)`), both pre-packing weights at engine build, plus
+//!   the typed Winograd eligibility guard
+//!   ([`algo_exec::winograd_eligible`]).
 //! - [`quant`] — the INT8 quantization pass: symmetric per-filter
 //!   weight scales over the artifact's own FKW storage, activation
 //!   scales calibrated from a sample batch
@@ -26,9 +34,10 @@
 //!   per step from the persisted [`artifact::Precision`].
 //! - [`artifact`] — the versioned binary model format: pruned FKW
 //!   weights plus layer geometry, slot topology, per-step execution
-//!   configs and per-step precision (format v4), save/load without
-//!   retraining, re-pruning, retuning or recalibrating; legacy v1–v3
-//!   artifacts still decode (default configs, f32 precision).
+//!   configs, per-step precision, and per-step algorithm choice
+//!   (format v5), save/load without retraining, re-pruning, retuning
+//!   or recalibrating; legacy v1–v4 artifacts still decode (default
+//!   configs, f32 precision, direct algorithm).
 //! - [`engine`] — the [`engine::Engine`]: an executable DAG plan of
 //!   per-step executors (residual `Add` joins included) reading and
 //!   writing pooled, liveness-shared slot buffers, with a single
@@ -82,6 +91,7 @@
 //! assert_eq!(out.shape(), &[1, 4]);
 //! ```
 
+pub mod algo_exec;
 pub mod artifact;
 pub mod batching;
 pub mod compile;
@@ -94,6 +104,7 @@ pub mod server;
 pub mod telemetry;
 pub mod tune;
 
+pub use algo_exec::{winograd_eligible, WinogradRejection};
 pub use artifact::{ArtifactError, ExecConfig, LayerPlan, ModelArtifact, Precision};
 pub use compile::{
     compile_graph, compile_graph_with, compile_network, compile_network_with, CompileError,

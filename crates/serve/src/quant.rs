@@ -34,7 +34,9 @@ use patdnn_nn::calibrate::{calibrate_network, ActivationProfile, CalibrationErro
 use patdnn_nn::network::Sequential;
 use patdnn_tensor::Tensor;
 
-use crate::artifact::{LayerPlan, ModelArtifact, PlanStep};
+use patdnn_compiler::tune::space::ConvAlgo;
+
+use crate::artifact::{LayerPlan, ModelArtifact, PlanStep, Precision};
 use crate::compile::{compile_network_with, CompileOptions};
 use crate::ServeError;
 
@@ -155,11 +157,18 @@ pub fn quantize_artifact_with(
             other => other.clone(),
         };
         let precision = op.precision();
+        // Algorithm choice is an f32-only knob: a step the tuner lowered
+        // through im2col or Winograd runs the direct INT8 executor once
+        // quantized (the densified lowerings have no i8 path).
+        let mut exec = step.exec;
+        if precision == Precision::Int8 {
+            exec.algo = ConvAlgo::Direct;
+        }
         steps.push(PlanStep {
             op,
             inputs: step.inputs.clone(),
             output: step.output,
-            exec: step.exec,
+            exec,
             precision,
         });
     }

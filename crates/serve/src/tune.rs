@@ -31,7 +31,7 @@ use std::time::Instant;
 
 use patdnn_compiler::fkw::FkwLayer;
 use patdnn_compiler::tune::ga::GaConfig;
-use patdnn_compiler::tune::space::{ConfigSpace, LoopPermutation, TuningConfig};
+use patdnn_compiler::tune::space::{ConfigSpace, ConvAlgo, LoopPermutation, TuningConfig};
 use patdnn_compiler::tune::{AutoTuner, PerfEstimator};
 use patdnn_runtime::executor::ConvExecutor;
 use patdnn_runtime::parallel::{ParallelPattern, Schedule};
@@ -39,6 +39,7 @@ use patdnn_runtime::pattern_exec::{OptLevel, PatternConv};
 use patdnn_tensor::rng::Rng;
 use patdnn_tensor::{Conv2dGeometry, Tensor};
 
+use crate::algo_exec::{winograd_eligible, Im2colConv, WinogradConv};
 use crate::artifact::ExecConfig;
 
 /// How `serve::compile` selects each pattern-conv step's [`ExecConfig`].
@@ -146,9 +147,64 @@ fn rows_of(tile_hw: usize, out_h: usize) -> f64 {
     (out_h as f64 / tile_hw.min(out_h.max(1)) as f64).ceil()
 }
 
+/// Analytic cost of the im2col lowering relative to dense MACs: the
+/// packed GEMM retires dense arithmetic at roughly twice the direct
+/// executor's per-MAC rate, minus the lowering's expand/pack traffic.
+const IM2COL_DENSE_FACTOR: f64 = 0.5;
+
+/// Analytic cost of Winograd `F(2×2, 3×3)` relative to dense MACs:
+/// 16/36 multiplies per tile plus transform overhead.
+const WINOGRAD_DENSE_FACTOR: f64 = 0.35;
+
+/// Analytic cost of a *densified* lowering of this layer, in the same
+/// units as [`analytic_cost`]; `None` when the layer cannot lower that
+/// way (`Direct` has no densified cost, Winograd has eligibility
+/// rules). Calibrated so heavily pruned layers (where the direct
+/// executor's stored-MAC count is far below dense) keep the direct
+/// lowering, and only dense-ish layers densify.
+pub fn densified_cost(geo: &Conv2dGeometry, fkw: &FkwLayer, algo: ConvAlgo) -> Option<f64> {
+    let out_hw = (geo.out_h * geo.out_w) as f64;
+    let dense_macs = (fkw.out_c * fkw.in_c * fkw.kernel * fkw.kernel) as f64 * out_hw;
+    match algo {
+        ConvAlgo::Direct => None,
+        ConvAlgo::Im2col => Some(IM2COL_DENSE_FACTOR * dense_macs),
+        ConvAlgo::Winograd => winograd_eligible(geo, fkw)
+            .ok()
+            .map(|()| WINOGRAD_DENSE_FACTOR * dense_macs),
+    }
+}
+
+/// Picks the cheapest lowering given the direct executor's cost.
+///
+/// The densified executors are serial, so algorithm choice only opens
+/// up on single-threaded schedules — a multi-threaded step always runs
+/// direct through the FKR-balanced parallel wrapper.
+fn cheapest_algo(
+    geo: &Conv2dGeometry,
+    fkw: &FkwLayer,
+    threads: usize,
+    direct_cost: f64,
+) -> ConvAlgo {
+    let mut algo = ConvAlgo::Direct;
+    if threads != 1 {
+        return algo;
+    }
+    let mut best = direct_cost;
+    for cand in [ConvAlgo::Im2col, ConvAlgo::Winograd] {
+        if let Some(cost) = densified_cost(geo, fkw, cand) {
+            if cost < best {
+                best = cost;
+                algo = cand;
+            }
+        }
+    }
+    algo
+}
+
 /// The estimator path: fit a per-layer MLP on the analytic cost surface,
 /// pick the predicted-best configuration over the whole space, then the
-/// cheapest opt level at that configuration.
+/// cheapest opt level at that configuration, then the cheapest lowering
+/// (direct / im2col / winograd) by the analytic per-algorithm costs.
 pub fn estimate_exec_config(
     geo: &Conv2dGeometry,
     fkw: &FkwLayer,
@@ -178,10 +234,17 @@ pub fn estimate_exec_config(
         .expect("standard space is non-empty")
         .0;
     let opt_level = cheapest_level(&tuning, |level, cfg| analytic_cost(geo, fkw, level, cfg));
+    let algo = cheapest_algo(
+        geo,
+        fkw,
+        threads,
+        analytic_cost(geo, fkw, opt_level, &tuning),
+    );
     ExecConfig {
         opt_level,
         tuning,
         threads,
+        algo,
     }
 }
 
@@ -194,6 +257,11 @@ pub fn estimate_exec_config(
 /// sticky default) is timed through the same FKR-balanced parallel
 /// wrapper the engine will build at load, so the winner is the fastest
 /// configuration of what actually serves — not of a serial stand-in.
+///
+/// On serial schedules the winner then faces a timed *algorithm*
+/// run-off against the densified lowerings (im2col + packed GEMM, and
+/// Winograd where the layer is eligible), under the same sticky
+/// direct-stays margin.
 pub fn measure_exec_config(
     geo: &Conv2dGeometry,
     fkw: &FkwLayer,
@@ -258,15 +326,50 @@ pub fn measure_exec_config(
         })
         .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite times"))
         .expect("levels are non-empty");
-    let (opt_level, tuning) = if t_candidate < t_default * KEEP_DEFAULT_MARGIN {
-        candidate
+    let (opt_level, tuning, t_direct) = if t_candidate < t_default * KEEP_DEFAULT_MARGIN {
+        (candidate.0, candidate.1, t_candidate)
     } else {
-        (default.opt_level, default.tuning)
+        (default.opt_level, default.tuning, t_default)
     };
+
+    // Algorithm run-off: time the densified lowerings against the
+    // chosen direct configuration under the same sticky margin. Only on
+    // serial schedules (the densified executors run single-threaded),
+    // and Winograd only when the layer passes its eligibility guard.
+    let mut algo = ConvAlgo::Direct;
+    if threads == 1 {
+        let dense = fkw.to_dense();
+        let bias_vec: Vec<f32> = bias.map(<[f32]>::to_vec).unwrap_or_default();
+        let mut time_algo = |run: &dyn Fn(&Tensor, &mut Tensor)| -> f64 {
+            run(&input, &mut out); // warm the caches
+            let mut best = f64::INFINITY;
+            for _ in 0..3 {
+                let t = Instant::now();
+                run(&input, &mut out);
+                best = best.min(t.elapsed().as_secs_f64());
+            }
+            best
+        };
+        let mut t_best = t_direct;
+        let im2col = Im2colConv::new(*geo, &dense, bias_vec.clone());
+        let t_im2col = time_algo(&|x, y| im2col.run_into(x, y));
+        if t_im2col < t_best * KEEP_DEFAULT_MARGIN {
+            t_best = t_im2col;
+            algo = ConvAlgo::Im2col;
+        }
+        if winograd_eligible(geo, fkw).is_ok() {
+            let wino = WinogradConv::new(*geo, &dense, bias_vec);
+            let t_wino = time_algo(&|x, y| wino.run_into(x, y));
+            if t_wino < t_best * KEEP_DEFAULT_MARGIN {
+                algo = ConvAlgo::Winograd;
+            }
+        }
+    }
     ExecConfig {
         opt_level,
         tuning,
         threads,
+        algo,
     }
 }
 
@@ -351,5 +454,36 @@ mod tests {
         let cfg = measure_exec_config(&geo, &fkw, None, 8, 2, &mut rng);
         cfg.validate().expect("measured config is codec-valid");
         assert_eq!(cfg.threads, 2, "thread schedule is recorded as given");
+        assert_eq!(cfg.algo, ConvAlgo::Direct, "threaded steps stay direct");
+    }
+
+    #[test]
+    fn measure_algo_runoff_returns_a_valid_serial_config() {
+        let (geo, fkw) = pruned_layer(8, 8, 8, 64, 10);
+        let mut rng = Rng::seed_from(11);
+        let cfg = measure_exec_config(&geo, &fkw, None, 6, 1, &mut rng);
+        cfg.validate().expect("measured config is codec-valid");
+        assert!(ConvAlgo::all().contains(&cfg.algo));
+    }
+
+    #[test]
+    fn estimate_keeps_sparse_layers_direct() {
+        // ~25% of kernels kept at 4/9 entries each -> density ~0.11:
+        // the direct executor does a fraction of the dense arithmetic.
+        let (geo, fkw) = pruned_layer(16, 16, 16, 64, 8);
+        let cfg = estimate_exec_config(&geo, &fkw, 1, &mut Rng::seed_from(8));
+        assert_eq!(cfg.algo, ConvAlgo::Direct);
+    }
+
+    #[test]
+    fn estimate_densifies_dense_ish_layers_when_serial() {
+        // Every kernel kept (alpha = oc*ic) -> density 4/9: the stored
+        // MACs approach dense and Winograd's 0.35x wins the analytic
+        // run-off — but only on a serial schedule.
+        let (geo, fkw) = pruned_layer(16, 16, 16, 256, 9);
+        let serial = estimate_exec_config(&geo, &fkw, 1, &mut Rng::seed_from(8));
+        assert_eq!(serial.algo, ConvAlgo::Winograd);
+        let threaded = estimate_exec_config(&geo, &fkw, 2, &mut Rng::seed_from(8));
+        assert_eq!(threaded.algo, ConvAlgo::Direct);
     }
 }

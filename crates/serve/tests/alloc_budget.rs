@@ -40,18 +40,45 @@ fn allocations() -> usize {
     ALLOCATIONS.load(Ordering::Relaxed)
 }
 
+use patdnn_compiler::tune::space::ConvAlgo;
 use patdnn_core::prune::pattern_project_network;
 use patdnn_nn::models::{resnet_small, vgg_small};
 use patdnn_nn::network::Sequential;
+use patdnn_serve::algo_exec::{fkw_density, WINOGRAD_DENSITY_THRESHOLD};
 use patdnn_serve::compile::compile_network;
 use patdnn_serve::engine::{Engine, EngineOptions};
-use patdnn_serve::Precision;
+use patdnn_serve::{LayerPlan, Precision};
 use patdnn_tensor::rng::Rng;
 use patdnn_tensor::Tensor;
 
 /// The response envelope: the output tensor clone (data vec + shape
 /// vec) plus a small slack for platform-dependent `Vec` behaviour.
 const WARM_CALL_BUDGET: usize = 8;
+
+/// Allocations of one warm `infer` call, asserted steady call over call.
+fn count_warm(engine: &Engine, name: &str) -> usize {
+    let mut rng = Rng::seed_from(77);
+    let x = Tensor::randn(&[1, 3, 32, 32], &mut rng);
+
+    // Warm up: first call allocates the slot buffers, second settles any
+    // lazy internals.
+    engine.infer(&x).expect("warmup 1");
+    engine.infer(&x).expect("warmup 2");
+
+    let before = allocations();
+    engine.infer(&x).expect("warm call");
+    let per_call = allocations() - before;
+
+    // The count must also be stable call over call, not just small.
+    let again = allocations();
+    engine.infer(&x).expect("warm call 2");
+    assert_eq!(
+        allocations() - again,
+        per_call,
+        "{name}: warm allocation count must be steady"
+    );
+    per_call
+}
 
 fn warm_allocation_count(mut net: Sequential, name: &str, precision: Precision) -> usize {
     pattern_project_network(&mut net, 8, 3.6);
@@ -74,27 +101,49 @@ fn warm_allocation_count(mut net: Sequential, name: &str, precision: Precision) 
         "{name}: budget only holds on the pattern-conv path"
     );
     let engine = Engine::new(artifact, EngineOptions::default()).expect("engine");
-    let mut rng = Rng::seed_from(77);
-    let x = Tensor::randn(&[1, 3, 32, 32], &mut rng);
-
-    // Warm up: first call allocates the slot buffers, second settles any
-    // lazy internals.
-    engine.infer(&x).expect("warmup 1");
-    engine.infer(&x).expect("warmup 2");
-
-    let before = allocations();
-    engine.infer(&x).expect("warm call");
-    let per_call = allocations() - before;
-
-    // The count must also be stable call over call, not just small.
-    let again = allocations();
-    engine.infer(&x).expect("warm call 2");
-    assert_eq!(
-        allocations() - again,
-        per_call,
-        "{name}: warm allocation count must be steady"
+    // Weight pre-packing happens at load: the FC (and any quantized FC)
+    // weights are already in micro-kernel panel layout, so the warm path
+    // never packs weights.
+    assert!(
+        engine.packed_weight_bytes() > 0,
+        "{name}: weights must pre-pack at engine build"
     );
-    per_call
+    count_warm(&engine, name)
+}
+
+/// Allocations of a warm engine whose pattern convs run the *densified*
+/// micro-kernel lowerings: the executors pack weights at build and pool
+/// their patch/panel/tile scratch, so the warm path stays inside the
+/// same envelope. Pruned lightly (1.5x) so the layers clear the
+/// Winograd density gate; eligible steps alternate between the two
+/// densified executors so both pooled paths are measured.
+fn warm_allocation_count_densified(mut net: Sequential, name: &str) -> usize {
+    pattern_project_network(&mut net, 8, 1.5);
+    let mut artifact = compile_network(name, &net, [3, 32, 32]).expect("compiles");
+    let (mut wino, mut im2col) = (0, 0);
+    for step in &mut artifact.steps {
+        if let LayerPlan::PatternConv { stride, fkw, .. } = &step.op {
+            let eligible =
+                *stride == 1 && fkw.kernel == 3 && fkw_density(fkw) >= WINOGRAD_DENSITY_THRESHOLD;
+            step.exec.algo = if eligible && (wino + im2col) % 2 == 0 {
+                wino += 1;
+                ConvAlgo::Winograd
+            } else {
+                im2col += 1;
+                ConvAlgo::Im2col
+            };
+        }
+    }
+    assert!(
+        wino > 0 && im2col > 0,
+        "{name}: scenario must exercise both densified executors (wino {wino}, im2col {im2col})"
+    );
+    let engine = Engine::new(artifact, EngineOptions::default()).expect("engine");
+    assert!(
+        engine.packed_weight_bytes() > 0,
+        "{name}: densified weights must pre-pack at engine build"
+    );
+    count_warm(&engine, name)
 }
 
 /// One test fn for both models: the allocation counter is
@@ -121,5 +170,11 @@ fn warm_engines_stay_within_the_response_envelope() {
     assert!(
         quantized <= WARM_CALL_BUDGET,
         "warm int8 infer made {quantized} allocations (budget {WARM_CALL_BUDGET})"
+    );
+    // Densified lowerings (im2col + Winograd) pool their scratch too.
+    let dense = warm_allocation_count_densified(vgg_small(10, &mut rng), "vgg_densified");
+    assert!(
+        dense <= WARM_CALL_BUDGET,
+        "warm densified infer made {dense} allocations (budget {WARM_CALL_BUDGET})"
     );
 }

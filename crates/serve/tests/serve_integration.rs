@@ -316,7 +316,7 @@ fn cross_version_v3_artifact_infers_bit_identically() {
     let mut rng = Rng::seed_from(34);
     let mut net = patdnn_nn::models::resnet_small(10, &mut rng);
     pattern_project_network(&mut net, 8, 3.6);
-    let artifact = compile_network_with(
+    let mut artifact = compile_network_with(
         "v3compat",
         &net,
         [3, 32, 32],
@@ -326,6 +326,12 @@ fn cross_version_v3_artifact_infers_bit_identically() {
         },
     )
     .expect("compiles tuned");
+    // v3 predates per-step algorithm choice: the layout can only carry
+    // direct plans (the encoder refuses anything else with a typed
+    // error), so normalize the tuned plan before the round trip.
+    for step in &mut artifact.steps {
+        step.exec.algo = patdnn_compiler::tune::space::ConvAlgo::Direct;
+    }
 
     let v3_bytes = artifact.encode_v3().expect("f32 plans encode as v3");
     let from_v3 = ModelArtifact::decode(&v3_bytes).expect("v3 decodes");

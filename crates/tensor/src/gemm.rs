@@ -1,9 +1,15 @@
 //! Matrix multiplication kernels.
 //!
 //! Two implementations are provided: a straightforward reference
-//! ([`gemm_ref`]) and a cache-blocked, 4×4-unrolled kernel ([`gemm`]) used
-//! by the im2col convolution path of the dense baselines. Matrices are
-//! row-major: `A` is `m×k`, `B` is `k×n`, `C` is `m×n`.
+//! ([`gemm_ref`]) and a register-tiled kernel ([`gemm`]) that packs both
+//! operands into panels and drives the runtime-dispatched micro-kernels
+//! of [`crate::kernels`] (AVX2/FMA where detected, portable otherwise).
+//! The transposed variants ([`gemm_bt`], [`gemm_i8_bt`]) reduce each
+//! output through the dispatched dot-product primitives; `gemm_i8_bt`
+//! stays exact (`i8×i8→i32`) on every variant. Matrices are row-major:
+//! `A` is `m×k`, `B` is `k×n`, `C` is `m×n`.
+
+use crate::kernels;
 
 /// Reference `C += A * B` in row-major order.
 ///
@@ -29,16 +35,15 @@ pub fn gemm_ref(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32
     }
 }
 
-/// Cache-block sizes for [`gemm`] (fit comfortably in L1/L2 on any host).
-const MC: usize = 64;
-const NC: usize = 256;
-const KC: usize = 128;
-
-/// Blocked `C += A * B` with a 4×4 inner kernel.
+/// Register-tiled `C += A * B` over the dispatched micro-kernels.
 ///
-/// Produces results identical (up to FP reassociation) to [`gemm_ref`]
-/// but substantially faster for the layer-sized matrices the dense
-/// executors produce.
+/// Both operands are packed into `MR`×`NR` panel layout and reduced by
+/// [`crate::kernels::gemm_packed_f32`]. Produces results identical (up
+/// to FP reassociation) to [`gemm_ref`] but substantially faster for
+/// the layer-sized matrices the dense executors produce. Callers on the
+/// serving warm path should pack weights once and call
+/// `gemm_packed_f32` directly instead; this convenience wrapper packs
+/// per call.
 ///
 /// # Panics
 ///
@@ -47,98 +52,14 @@ pub fn gemm(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
     assert!(a.len() >= m * k, "A is too short");
     assert!(b.len() >= k * n, "B is too short");
     assert!(c.len() >= m * n, "C is too short");
-    for jc in (0..n).step_by(NC) {
-        let nb = NC.min(n - jc);
-        for pc in (0..k).step_by(KC) {
-            let kb = KC.min(k - pc);
-            for ic in (0..m).step_by(MC) {
-                let mb = MC.min(m - ic);
-                block_kernel(ic, jc, pc, mb, nb, kb, n, k, a, b, c);
-            }
-        }
+    if m == 0 || n == 0 || k == 0 {
+        return;
     }
-}
-
-#[allow(clippy::too_many_arguments)]
-fn block_kernel(
-    ic: usize,
-    jc: usize,
-    pc: usize,
-    mb: usize,
-    nb: usize,
-    kb: usize,
-    n: usize,
-    k: usize,
-    a: &[f32],
-    b: &[f32],
-    c: &mut [f32],
-) {
-    let mut i = 0;
-    while i + 4 <= mb {
-        let mut j = 0;
-        while j + 4 <= nb {
-            // 4x4 register tile.
-            let mut acc = [[0.0f32; 4]; 4];
-            for p in 0..kb {
-                let a0 = a[(ic + i) * k + pc + p];
-                let a1 = a[(ic + i + 1) * k + pc + p];
-                let a2 = a[(ic + i + 2) * k + pc + p];
-                let a3 = a[(ic + i + 3) * k + pc + p];
-                let boff = (pc + p) * n + jc + j;
-                let b0 = b[boff];
-                let b1 = b[boff + 1];
-                let b2 = b[boff + 2];
-                let b3 = b[boff + 3];
-                acc[0][0] += a0 * b0;
-                acc[0][1] += a0 * b1;
-                acc[0][2] += a0 * b2;
-                acc[0][3] += a0 * b3;
-                acc[1][0] += a1 * b0;
-                acc[1][1] += a1 * b1;
-                acc[1][2] += a1 * b2;
-                acc[1][3] += a1 * b3;
-                acc[2][0] += a2 * b0;
-                acc[2][1] += a2 * b1;
-                acc[2][2] += a2 * b2;
-                acc[2][3] += a2 * b3;
-                acc[3][0] += a3 * b0;
-                acc[3][1] += a3 * b1;
-                acc[3][2] += a3 * b2;
-                acc[3][3] += a3 * b3;
-            }
-            for (di, row) in acc.iter().enumerate() {
-                let coff = (ic + i + di) * n + jc + j;
-                c[coff] += row[0];
-                c[coff + 1] += row[1];
-                c[coff + 2] += row[2];
-                c[coff + 3] += row[3];
-            }
-            j += 4;
-        }
-        // Remainder columns.
-        while j < nb {
-            for di in 0..4 {
-                let mut acc = 0.0f32;
-                for p in 0..kb {
-                    acc += a[(ic + i + di) * k + pc + p] * b[(pc + p) * n + jc + j];
-                }
-                c[(ic + i + di) * n + jc + j] += acc;
-            }
-            j += 1;
-        }
-        i += 4;
-    }
-    // Remainder rows.
-    while i < mb {
-        for j in 0..nb {
-            let mut acc = 0.0f32;
-            for p in 0..kb {
-                acc += a[(ic + i) * k + pc + p] * b[(pc + p) * n + jc + j];
-            }
-            c[(ic + i) * n + jc + j] += acc;
-        }
-        i += 1;
-    }
+    let mut ap = vec![0.0f32; kernels::packed_a_len(m, k)];
+    let mut bp = vec![0.0f32; kernels::packed_b_len(k, n)];
+    kernels::pack_a_f32(m, k, a, k, &mut ap);
+    kernels::pack_b_f32(k, n, b, n, &mut bp);
+    kernels::gemm_packed_f32(kernels::active_kernel(), m, n, k, &ap, &bp, c, n);
 }
 
 /// `C += A * B^T` where `B` is stored row-major as `n×k`.
@@ -152,15 +73,11 @@ pub fn gemm_bt(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32]
     assert!(a.len() >= m * k, "A is too short");
     assert!(b.len() >= n * k, "B is too short");
     assert!(c.len() >= m * n, "C is too short");
+    let kernel = kernels::active_kernel();
     for i in 0..m {
         let arow = &a[i * k..i * k + k];
         for j in 0..n {
-            let brow = &b[j * k..j * k + k];
-            let mut acc = 0.0f32;
-            for (&av, &bv) in arow.iter().zip(brow) {
-                acc += av * bv;
-            }
-            c[i * n + j] += acc;
+            c[i * n + j] += kernel.dot_f32(arow, &b[j * k..j * k + k]);
         }
     }
 }
@@ -171,9 +88,10 @@ pub fn gemm_bt(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32]
 /// This is the quantized counterpart of [`gemm_bt`], used by the INT8
 /// fully-connected serving path: activations (`A`) and weights (`B`)
 /// arrive as symmetric 8-bit codes and the caller dequantizes the `i32`
-/// accumulators with one multiply per element. The 4-way split
-/// accumulators keep the reduction dependency chain short enough for
-/// the autovectorizer.
+/// accumulators with one multiply per element. The reduction runs
+/// through the dispatched [`crate::kernels`] `dot_i8` tile (AVX2
+/// `madd_epi16` or the portable loop); integer accumulation is
+/// order-independent, so both variants are bit-identical.
 ///
 /// # Panics
 ///
@@ -182,24 +100,11 @@ pub fn gemm_i8_bt(m: usize, n: usize, k: usize, a: &[i8], b: &[i8], c: &mut [i32
     assert!(a.len() >= m * k, "A is too short");
     assert!(b.len() >= n * k, "B is too short");
     assert!(c.len() >= m * n, "C is too short");
+    let kernel = kernels::active_kernel();
     for i in 0..m {
         let arow = &a[i * k..i * k + k];
         for j in 0..n {
-            let brow = &b[j * k..j * k + k];
-            let mut acc = [0i32; 4];
-            let mut p = 0;
-            while p + 4 <= k {
-                acc[0] += arow[p] as i32 * brow[p] as i32;
-                acc[1] += arow[p + 1] as i32 * brow[p + 1] as i32;
-                acc[2] += arow[p + 2] as i32 * brow[p + 2] as i32;
-                acc[3] += arow[p + 3] as i32 * brow[p + 3] as i32;
-                p += 4;
-            }
-            while p < k {
-                acc[0] += arow[p] as i32 * brow[p] as i32;
-                p += 1;
-            }
-            c[i * n + j] += acc[0] + acc[1] + acc[2] + acc[3];
+            c[i * n + j] += kernel.dot_i8(arow, &b[j * k..j * k + k]);
         }
     }
 }

@@ -4,7 +4,8 @@
 //!
 //! This crate provides the numeric foundation every other PatDNN crate builds
 //! on: a contiguous row-major [`Tensor`] of `f32`, a deterministic random
-//! number generator ([`rng::Rng`]), matrix multiplication kernels
+//! number generator ([`rng::Rng`]), register-tiled SIMD micro-kernels with
+//! runtime CPU dispatch ([`kernels`]), matrix multiplication built on them
 //! ([`gemm`]), the im2col lowering used by the convolution layers
 //! ([`im2col`]), Winograd `F(2x2, 3x3)` transforms used by the dense
 //! baselines ([`winograd`]), and a reference direct convolution
@@ -25,6 +26,7 @@
 pub mod conv;
 pub mod gemm;
 pub mod im2col;
+pub mod kernels;
 pub mod rng;
 pub mod shape;
 pub mod tensor;
