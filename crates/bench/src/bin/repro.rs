@@ -6,7 +6,8 @@
 //! repro <experiment>... [--quick] [--reps N] [--threads N] [--json FILE]
 //! experiment: table1..table7, fig12..fig18, serving, serving-resnet,
 //!             serving-tuned, serving-quant, serving-slo,
-//!             serving-profile, serving-kernels, tables, figures, all
+//!             serving-profile, serving-kernels, verify-corpus,
+//!             tables, figures, all
 //! ```
 //!
 //! `--json FILE` additionally writes a machine-readable report for the
@@ -87,6 +88,7 @@ fn main() {
                 "serving-slo",
                 "serving-profile",
                 "serving-kernels",
+                "verify-corpus",
             ]),
             "tables" => expanded.extend([
                 "table1", "table2", "table3", "table4", "table5", "table6", "table7",
@@ -147,6 +149,13 @@ fn main() {
                 println!("{table}");
                 write_json(&json_path, &json);
             }
+            "verify-corpus" => {
+                let report = patdnn_bench::corpus::run(opts.quick);
+                print!("{report}");
+                if !report.is_ok() {
+                    die("verify-corpus found rejection-harness failures (see above)");
+                }
+            }
             other => die(&format!("unknown experiment {other}")),
         }
         eprintln!("[{exp} took {:.1}s]", start.elapsed().as_secs_f64());
@@ -172,7 +181,8 @@ fn die(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
         "usage: repro <table1..table7|fig12..fig18|serving|serving-resnet|serving-tuned|\
-         serving-quant|serving-slo|serving-profile|serving-kernels|tables|figures|all> \
+         serving-quant|serving-slo|serving-profile|serving-kernels|verify-corpus|\
+         tables|figures|all> \
          [--quick] [--reps N] [--threads N] [--json FILE]"
     );
     std::process::exit(2);

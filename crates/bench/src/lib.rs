@@ -12,11 +12,16 @@
 //! - [`figures`] — Figures 12-18.
 //! - [`serving`] — beyond the paper: compiled-engine batch sweeps and
 //!   dynamic-batching server throughput (`repro serving`).
+//! - [`corpus`] — the plan-verifier mutation corpus (`repro
+//!   verify-corpus`): byte-flip, truncation, and semantic-forgery
+//!   mutants over real artifacts, each of which must be rejected with a
+//!   typed error (or decode bit-identically) without panicking.
 //!
 //! Run `cargo run -p patdnn-bench --release --bin repro -- all` to
 //! regenerate everything; see `EXPERIMENTS.md` for the paper-vs-measured
 //! record.
 
+pub mod corpus;
 pub mod figures;
 pub mod report;
 pub mod serving;

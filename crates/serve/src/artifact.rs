@@ -39,9 +39,22 @@
 //! error instead of silently dropping precision or tuning.
 //!
 //! `f32` weights are stored as raw bit patterns, so a save → load round
-//! trip is bitwise lossless. Decoding validates slot topology (bounds,
-//! def-before-use, no in-place aliasing) so malformed plans fail at
-//! load, not at request time.
+//! trip is bitwise lossless.
+//!
+//! # Wire-format vs. semantic checks
+//!
+//! Decoding enforces **wire-format** invariants only: magic, version,
+//! truncation, unknown tags (op / precision / opt-level / permutation /
+//! algorithm), string encoding, tensor-header consistency, and the
+//! pattern-mask bounds [`Pattern::from_mask`] would otherwise panic on.
+//! Everything *semantic* — slot topology and lifetimes, shape dataflow,
+//! FKW index bounds, weight/bias/scale arities, accumulation-depth
+//! proofs, exec-config bounds, algorithm eligibility — lives in one
+//! place, the plan verifier ([`mod@crate::verify`]). [`ModelArtifact::load`]
+//! runs it by default ([`LoadPolicy::Verify`]) and surfaces rejection
+//! as [`ArtifactError::Rejected`]; [`ModelArtifact::decode`] alone
+//! accepts any well-formed byte stream, verified or not, so tooling can
+//! inspect a broken artifact the verifier would refuse to serve.
 
 use std::fmt;
 use std::path::Path;
@@ -96,6 +109,9 @@ pub enum ArtifactError {
     Truncated,
     /// A structural invariant failed while decoding.
     Malformed(String),
+    /// The buffer decoded, but the plan verifier found semantic
+    /// violations; the full report is attached.
+    Rejected(Box<crate::verify::VerifyReport>),
     /// Filesystem error during save/load.
     Io(std::io::Error),
 }
@@ -109,6 +125,7 @@ impl fmt::Display for ArtifactError {
             }
             ArtifactError::Truncated => write!(f, "artifact truncated"),
             ArtifactError::Malformed(msg) => write!(f, "malformed artifact: {msg}"),
+            ArtifactError::Rejected(report) => write!(f, "artifact rejected: {report}"),
             ArtifactError::Io(e) => write!(f, "artifact i/o: {e}"),
         }
     }
@@ -654,79 +671,21 @@ impl ModelArtifact {
         if !r.is_empty() {
             return Err(ArtifactError::Malformed("trailing bytes".into()));
         }
-        artifact.validate_topology()?;
         Ok(artifact)
     }
 
-    /// Structural validation of the slot topology: bounds,
-    /// def-before-use, per-op arity, and the no-aliasing invariant the
-    /// engine's disjoint borrows rely on. Runs at decode and again at
-    /// engine build (artifacts can be constructed in memory).
-    pub(crate) fn validate_topology(&self) -> Result<(), ArtifactError> {
-        let malformed = |msg: String| ArtifactError::Malformed(msg);
-        if self.slots == 0 {
-            return Err(malformed("plan needs at least the input slot".into()));
+    /// Decodes an artifact and runs the plan verifier over the result;
+    /// a decodable buffer whose plan breaks any semantic invariant is
+    /// refused with [`ArtifactError::Rejected`] carrying the full
+    /// report.
+    pub fn decode_verified(buf: &[u8]) -> Result<Self, ArtifactError> {
+        let artifact = Self::decode(buf)?;
+        let report = crate::verify::verify(&artifact);
+        if report.is_ok() {
+            Ok(artifact)
+        } else {
+            Err(ArtifactError::Rejected(Box::new(report)))
         }
-        // Each step writes exactly one slot, so a meaningful plan never
-        // declares more than steps + 1 (input) slots. Checked before the
-        // per-slot allocations below so a tiny malformed buffer cannot
-        // request gigabytes.
-        if self.slots > self.steps.len() + 1 {
-            return Err(malformed(format!(
-                "{} slots declared but {} steps can write at most {}",
-                self.slots,
-                self.steps.len(),
-                self.steps.len() + 1
-            )));
-        }
-        let mut written = vec![false; self.slots];
-        written[0] = true; // the network input
-        for (i, step) in self.steps.iter().enumerate() {
-            let kind = step.op.kind();
-            if step.inputs.len() != step.op.arity() {
-                return Err(malformed(format!(
-                    "step {i} ({kind}): reads {} slots, op arity is {}",
-                    step.inputs.len(),
-                    step.op.arity()
-                )));
-            }
-            for &s in &step.inputs {
-                if s >= self.slots {
-                    return Err(malformed(format!(
-                        "step {i} ({kind}): input slot {s} out of range"
-                    )));
-                }
-                if !written[s] {
-                    return Err(malformed(format!(
-                        "step {i} ({kind}): reads slot {s} before any step wrote it"
-                    )));
-                }
-            }
-            if step.output == 0 || step.output >= self.slots {
-                return Err(malformed(format!(
-                    "step {i} ({kind}): output slot {} out of range",
-                    step.output
-                )));
-            }
-            if step.inputs.contains(&step.output) {
-                return Err(malformed(format!(
-                    "step {i} ({kind}): writes its own input slot {}",
-                    step.output
-                )));
-            }
-            step.exec
-                .validate()
-                .map_err(|msg| malformed(format!("step {i} ({kind}): exec config: {msg}")))?;
-            if step.precision != step.op.precision() {
-                return Err(malformed(format!(
-                    "step {i} ({kind}): stamped precision {} disagrees with the {} op payload",
-                    step.precision.label(),
-                    step.op.precision().label()
-                )));
-            }
-            written[step.output] = true;
-        }
-        Ok(())
     }
 
     /// Writes the encoded artifact to `path`.
@@ -735,10 +694,34 @@ impl ModelArtifact {
         Ok(())
     }
 
-    /// Reads and decodes an artifact from `path`.
+    /// Reads and decodes an artifact from `path`, verifying the plan
+    /// ([`LoadPolicy::Verify`]).
     pub fn load(path: impl AsRef<Path>) -> Result<Self, ArtifactError> {
-        Self::decode(&std::fs::read(path)?)
+        Self::load_with(path, LoadPolicy::Verify)
     }
+
+    /// Reads an artifact with an explicit [`LoadPolicy`]. Use
+    /// [`LoadPolicy::DecodeOnly`] when the caller verifies itself (the
+    /// engine does) or wants to inspect a plan the verifier rejects.
+    pub fn load_with(path: impl AsRef<Path>, policy: LoadPolicy) -> Result<Self, ArtifactError> {
+        let bytes = std::fs::read(path)?;
+        match policy {
+            LoadPolicy::Verify => Self::decode_verified(&bytes),
+            LoadPolicy::DecodeOnly => Self::decode(&bytes),
+        }
+    }
+}
+
+/// How much checking [`ModelArtifact::load_with`] performs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LoadPolicy {
+    /// Decode, then run the plan verifier ([`mod@crate::verify`]); semantic
+    /// violations surface as [`ArtifactError::Rejected`]. The default.
+    #[default]
+    Verify,
+    /// Decode only (wire-format checks). For tooling that inspects
+    /// broken artifacts, and for callers that verify themselves.
+    DecodeOnly,
 }
 
 const TAG_PATTERN_CONV: u8 = 0;
@@ -898,8 +881,8 @@ fn decode_exec_config(r: &mut ByteReader) -> Result<ExecConfig, ArtifactError> {
         // appends it); pre-v5 decodes keep the direct lowering.
         algo: ConvAlgo::Direct,
     };
-    cfg.validate()
-        .map_err(|msg| malformed(format!("exec config: {msg}")))?;
+    // Bounds on tile/unroll/thread values are semantic, not wire-format:
+    // the verifier checks `cfg.validate()` per step.
     Ok(cfg)
 }
 
@@ -1002,24 +985,15 @@ fn encode_op(w: &mut ByteWriter, layer: &LayerPlan) {
 }
 
 fn decode_op(r: &mut ByteReader) -> Result<LayerPlan, ArtifactError> {
-    let malformed = |msg: String| ArtifactError::Malformed(msg);
     let tag = r.u8()?;
     Ok(match tag {
         TAG_PATTERN_CONV => {
             let name = r.str()?;
             let stride = r.u32()? as usize;
             let pad = r.u32()? as usize;
-            let relu = r.u8()? != 0;
+            let relu = decode_flag(r)?;
             let bias = decode_opt_f32s(r)?;
             let fkw = decode_fkw(r)?;
-            if stride == 0 {
-                return Err(malformed(format!("{name}: zero conv stride")));
-            }
-            if let Some(b) = &bias {
-                if b.len() != fkw.out_c {
-                    return Err(malformed(format!("{name}: bias arity")));
-                }
-            }
             LayerPlan::PatternConv {
                 name,
                 stride,
@@ -1033,23 +1007,9 @@ fn decode_op(r: &mut ByteReader) -> Result<LayerPlan, ArtifactError> {
             let name = r.str()?;
             let stride = r.u32()? as usize;
             let pad = r.u32()? as usize;
-            let relu = r.u8()? != 0;
+            let relu = decode_flag(r)?;
             let bias = decode_opt_f32s(r)?;
             let weights = decode_tensor(r)?;
-            if stride == 0 {
-                return Err(malformed(format!("{name}: zero conv stride")));
-            }
-            let [oc, _, kh, kw] = weights.shape() else {
-                return Err(malformed(format!("{name}: conv weights must be OIHW")));
-            };
-            if *kh == 0 || *kw == 0 || *oc == 0 {
-                return Err(malformed(format!("{name}: degenerate conv weights")));
-            }
-            if let Some(b) = &bias {
-                if b.len() != *oc {
-                    return Err(malformed(format!("{name}: bias arity")));
-                }
-            }
             LayerPlan::DenseConv {
                 name,
                 stride,
@@ -1063,9 +1023,6 @@ fn decode_op(r: &mut ByteReader) -> Result<LayerPlan, ArtifactError> {
             let kernel = r.u32()? as usize;
             let stride = r.u32()? as usize;
             let pad = r.u32()? as usize;
-            if kernel == 0 || stride == 0 {
-                return Err(malformed("degenerate maxpool window".into()));
-            }
             LayerPlan::MaxPool {
                 kernel,
                 stride,
@@ -1079,34 +1036,22 @@ fn decode_op(r: &mut ByteReader) -> Result<LayerPlan, ArtifactError> {
             let name = r.str()?;
             let weights = decode_tensor(r)?;
             let bias = decode_f32s(r)?;
-            let [out_f, _] = weights.shape() else {
-                return Err(malformed(format!("{name}: fc weights must be 2-d")));
-            };
-            if bias.len() != *out_f {
-                return Err(malformed(format!("{name}: fc bias arity")));
-            }
             LayerPlan::Fc {
                 name,
                 weights,
                 bias,
             }
         }
-        TAG_ADD => LayerPlan::Add { relu: r.u8()? != 0 },
+        TAG_ADD => LayerPlan::Add {
+            relu: decode_flag(r)?,
+        },
         TAG_QPATTERN_CONV => {
             let name = r.str()?;
             let stride = r.u32()? as usize;
             let pad = r.u32()? as usize;
-            let relu = r.u8()? != 0;
+            let relu = decode_flag(r)?;
             let bias = decode_opt_f32s(r)?;
             let qfkw = decode_qfkw(r)?;
-            if stride == 0 {
-                return Err(malformed(format!("{name}: zero conv stride")));
-            }
-            if let Some(b) = &bias {
-                if b.len() != qfkw.out_c {
-                    return Err(malformed(format!("{name}: bias arity")));
-                }
-            }
             LayerPlan::QuantPatternConv {
                 name,
                 stride,
@@ -1124,21 +1069,6 @@ fn decode_op(r: &mut ByteReader) -> Result<LayerPlan, ArtifactError> {
             let scales = decode_f32s(r)?;
             let bias = decode_f32s(r)?;
             let qweights = decode_i8s(r)?;
-            if out_f == 0 || in_f == 0 {
-                return Err(malformed(format!("{name}: degenerate fc dimensions")));
-            }
-            if qweights.len() != out_f * in_f {
-                return Err(malformed(format!("{name}: quantized weight arity")));
-            }
-            if scales.len() != out_f || bias.len() != out_f {
-                return Err(malformed(format!("{name}: scale/bias arity")));
-            }
-            check_scales(&name, &scales, act_scale).map_err(malformed)?;
-            if !patdnn_runtime::quant_exec::accumulation_fits_i32(in_f, 1) {
-                return Err(malformed(format!(
-                    "{name}: i8 accumulation depth overflows i32"
-                )));
-            }
             LayerPlan::QuantFc {
                 name,
                 out_f,
@@ -1155,18 +1085,6 @@ fn decode_op(r: &mut ByteReader) -> Result<LayerPlan, ArtifactError> {
             )))
         }
     })
-}
-
-/// Dequantization scales must be strictly positive finite numbers: a
-/// zero, negative, or non-finite scale poisons every output element.
-fn check_scales(name: &str, scales: &[f32], act_scale: f32) -> Result<(), String> {
-    if !(act_scale.is_finite() && act_scale > 0.0) {
-        return Err(format!("{name}: activation scale {act_scale} is invalid"));
-    }
-    if let Some(s) = scales.iter().find(|s| !(s.is_finite() && **s > 0.0)) {
-        return Err(format!("{name}: weight scale {s} is invalid"));
-    }
-    Ok(())
 }
 
 /// The precision-independent half of FKW storage: the five index
@@ -1224,10 +1142,11 @@ fn encode_fkw_layout(
     }
 }
 
-/// Decodes and structurally validates the shared FKW layout: everything
-/// the executors index with has to be in range here, so a corrupted
-/// artifact fails at load instead of panicking inside a worker at
-/// request time.
+/// Decodes the shared FKW layout. Only wire-level invariants are
+/// enforced here (pattern kernel size and mask bounds, which
+/// [`Pattern::from_mask`] would otherwise panic on); the exhaustive
+/// index-bounds checks live in the verifier
+/// ([`crate::verify::Violation::PayloadInvariant`]).
 fn decode_fkw_layout(r: &mut ByteReader) -> Result<FkwLayout, ArtifactError> {
     let out_c = r.u32()? as usize;
     let in_c = r.u32()? as usize;
@@ -1253,42 +1172,6 @@ fn decode_fkw_layout(r: &mut ByteReader) -> Result<FkwLayout, ArtifactError> {
     let reorder = r.u16s()?;
     let index = r.u16s()?;
     let stride = r.u16s()?;
-    let malformed = |msg: &str| ArtifactError::Malformed(format!("FKW {msg}"));
-    if out_c == 0 || in_c == 0 || !(1..=7).contains(&kernel) {
-        return Err(malformed("degenerate layer dimensions"));
-    }
-    if patterns
-        .iter()
-        .any(|p| p.kernel() != kernel || p.entries() != entries_per_kernel)
-    {
-        return Err(malformed("pattern table disagrees with layer kernel"));
-    }
-    if offsets.len() != out_c + 1 || reorder.len() != out_c {
-        return Err(malformed("filter-level arity"));
-    }
-    if offsets[0] != 0
-        || offsets.windows(2).any(|w| w[0] > w[1])
-        || *offsets.last().expect("out_c+1 entries") as usize != index.len()
-    {
-        return Err(malformed("offsets are not a cumulative kernel count"));
-    }
-    if reorder.iter().any(|&f| f as usize >= out_c) {
-        return Err(malformed("reorder entry out of filter range"));
-    }
-    if index.iter().any(|&ic| ic as usize >= in_c) {
-        return Err(malformed("kernel index out of channel range"));
-    }
-    if stride.len() != out_c * (np + 1) {
-        return Err(malformed("stride arity"));
-    }
-    for row in 0..out_c {
-        let runs = &stride[row * (np + 1)..(row + 1) * (np + 1)];
-        let row_kernels = (offsets[row + 1] - offsets[row]) as usize;
-        if runs[0] != 0 || runs.windows(2).any(|w| w[0] > w[1]) || runs[np] as usize != row_kernels
-        {
-            return Err(malformed("stride runs do not tile the filter"));
-        }
-    }
     Ok(FkwLayout {
         out_c,
         in_c,
@@ -1321,9 +1204,6 @@ fn encode_fkw(w: &mut ByteWriter, fkw: &FkwLayer) {
 fn decode_fkw(r: &mut ByteReader) -> Result<FkwLayer, ArtifactError> {
     let layout = decode_fkw_layout(r)?;
     let weights = decode_f32s(r)?;
-    if weights.len() != layout.index.len() * layout.entries_per_kernel {
-        return Err(ArtifactError::Malformed("FKW weight arity".into()));
-    }
     Ok(FkwLayer {
         out_c: layout.out_c,
         in_c: layout.in_c,
@@ -1361,20 +1241,6 @@ fn decode_qfkw(r: &mut ByteReader) -> Result<QuantFkwLayer, ArtifactError> {
     let act_scale = f32::from_bits(r.u32()?);
     let scales = decode_f32s(r)?;
     let qweights = decode_i8s(r)?;
-    let malformed = |msg: String| ArtifactError::Malformed(msg);
-    if qweights.len() != layout.index.len() * layout.entries_per_kernel {
-        return Err(malformed("FKW quantized weight arity".into()));
-    }
-    if scales.len() != layout.out_c {
-        return Err(malformed("FKW per-filter scale arity".into()));
-    }
-    check_scales("FKW", &scales, act_scale).map_err(malformed)?;
-    // The INT8 executor accumulates in i32; a layer wide enough to
-    // overflow in the worst case must fail here with a typed error, not
-    // panic inside the executor at engine build.
-    if !patdnn_runtime::quant_exec::accumulation_fits_i32(layout.in_c, layout.entries_per_kernel) {
-        return Err(malformed("FKW i8 accumulation depth overflows i32".into()));
-    }
     Ok(QuantFkwLayer {
         out_c: layout.out_c,
         in_c: layout.in_c,
@@ -1453,11 +1319,24 @@ fn encode_opt_f32s(w: &mut ByteWriter, xs: Option<&[f32]>) {
 }
 
 fn decode_opt_f32s(r: &mut ByteReader) -> Result<Option<Vec<f32>>, ArtifactError> {
-    Ok(if r.u8()? != 0 {
+    Ok(if decode_flag(r)? {
         Some(decode_f32s(r)?)
     } else {
         None
     })
+}
+
+/// Boolean wire flags are canonically 0 or 1; any other byte is a
+/// corrupt stream, not a "truthy" value — accepting it would decode to
+/// a plan that no longer round-trips bit-identically.
+fn decode_flag(r: &mut ByteReader) -> Result<bool, ArtifactError> {
+    match r.u8()? {
+        0 => Ok(false),
+        1 => Ok(true),
+        b => Err(ArtifactError::Malformed(format!(
+            "flag byte {b} is not 0 or 1"
+        ))),
+    }
 }
 
 /// Little-endian byte sink.
@@ -1680,8 +1559,8 @@ mod tests {
             }],
         };
         assert!(matches!(
-            ModelArtifact::decode(&aliased.encode()),
-            Err(ArtifactError::Malformed(_))
+            ModelArtifact::decode_verified(&aliased.encode()),
+            Err(ArtifactError::Rejected(_))
         ));
         // A step reading a slot no earlier step wrote.
         let undef = ModelArtifact {
@@ -1697,27 +1576,29 @@ mod tests {
             }],
         };
         assert!(matches!(
-            ModelArtifact::decode(&undef.encode()),
-            Err(ArtifactError::Malformed(_))
+            ModelArtifact::decode_verified(&undef.encode()),
+            Err(ArtifactError::Rejected(_))
         ));
         // An add with chain arity.
         let bad_arity =
             ModelArtifact::chain("arity", [1, 4, 4], vec![LayerPlan::Add { relu: false }]);
         assert!(matches!(
-            ModelArtifact::decode(&bad_arity.encode()),
-            Err(ArtifactError::Malformed(_))
+            ModelArtifact::decode_verified(&bad_arity.encode()),
+            Err(ArtifactError::Rejected(_))
         ));
     }
 
     #[test]
     fn huge_unbacked_slot_count_is_rejected_without_allocating() {
         // A tiny buffer declaring a giant slot count must fail with a
-        // typed error before any per-slot allocation happens.
+        // typed error before any per-slot allocation happens (the
+        // verifier checks the slot bound before allocating its per-slot
+        // state).
         let mut artifact = ModelArtifact::chain("huge", [1, 4, 4], vec![]);
         artifact.slots = 100_000_000;
         assert!(matches!(
-            ModelArtifact::decode(&artifact.encode()),
-            Err(ArtifactError::Malformed(_))
+            ModelArtifact::decode_verified(&artifact.encode()),
+            Err(ArtifactError::Rejected(_))
         ));
     }
 
@@ -1760,7 +1641,7 @@ mod tests {
     }
 
     #[test]
-    fn degenerate_maxpool_window_is_rejected_at_decode() {
+    fn degenerate_maxpool_window_is_rejected_by_verifier() {
         let bytes = ModelArtifact::chain(
             "z",
             [1, 4, 4],
@@ -1772,13 +1653,13 @@ mod tests {
         )
         .encode();
         assert!(matches!(
-            ModelArtifact::decode(&bytes),
-            Err(ArtifactError::Malformed(_))
+            ModelArtifact::decode_verified(&bytes),
+            Err(ArtifactError::Rejected(_))
         ));
     }
 
     #[test]
-    fn out_of_range_fkw_index_is_rejected_at_decode() {
+    fn out_of_range_fkw_index_is_rejected_by_verifier() {
         use patdnn_compiler::fkr::filter_kernel_reorder;
         use patdnn_core::pattern_set::PatternSet;
         use patdnn_core::project::prune_layer;
@@ -1806,8 +1687,8 @@ mod tests {
         )
         .encode();
         assert!(matches!(
-            ModelArtifact::decode(&bytes),
-            Err(ArtifactError::Malformed(_))
+            ModelArtifact::decode_verified(&bytes),
+            Err(ArtifactError::Rejected(_))
         ));
     }
 
@@ -1931,17 +1812,18 @@ mod tests {
     const FIRST_PRECISION_OFFSET: usize = FIRST_EXEC_OFFSET - 1;
 
     #[test]
-    fn bad_tile_sizes_are_rejected_at_decode() {
+    fn bad_tile_sizes_are_rejected_by_verifier() {
         // Corrupt the encoded tile fields (encode itself refuses invalid
-        // configs, so malformed bytes are forged directly).
+        // configs, so malformed bytes are forged directly). The bytes
+        // decode — tile bounds are semantic — but never verify.
         for (field_offset, value) in [(3u16, 12u16), (3, 0), (5, 2048), (5, 0)] {
             let mut bytes = two_step_chain().encode();
             let at = FIRST_EXEC_OFFSET + field_offset as usize;
             bytes[at..at + 2].copy_from_slice(&value.to_le_bytes());
             assert!(
                 matches!(
-                    ModelArtifact::decode(&bytes),
-                    Err(ArtifactError::Malformed(_))
+                    ModelArtifact::decode_verified(&bytes),
+                    Err(ArtifactError::Rejected(_))
                 ),
                 "tile field at +{field_offset} = {value} must be rejected"
             );
@@ -1973,13 +1855,13 @@ mod tests {
     }
 
     #[test]
-    fn zero_threads_is_rejected_at_decode() {
+    fn zero_threads_is_rejected_by_verifier() {
         let mut bytes = two_step_chain().encode();
         let at = FIRST_EXEC_OFFSET + 11; // threads field
         bytes[at..at + 2].copy_from_slice(&0u16.to_le_bytes());
         assert!(matches!(
-            ModelArtifact::decode(&bytes),
-            Err(ArtifactError::Malformed(_))
+            ModelArtifact::decode_verified(&bytes),
+            Err(ArtifactError::Rejected(_))
         ));
     }
 
@@ -2089,15 +1971,16 @@ mod tests {
     }
 
     #[test]
-    fn forged_precision_tag_is_rejected_at_decode() {
-        // Claim Int8 over an f32 payload: typed Malformed, not a wrong
-        // executor at serve time.
+    fn forged_precision_tag_is_rejected() {
+        // Claim Int8 over an f32 payload: typed rejection from the
+        // verifier's precision-flow check, not a wrong executor at
+        // serve time.
         let mut bytes = two_step_chain().encode();
         assert_eq!(bytes[FIRST_PRECISION_OFFSET], 0, "encoded F32 tag");
         bytes[FIRST_PRECISION_OFFSET] = 1;
         assert!(matches!(
-            ModelArtifact::decode(&bytes),
-            Err(ArtifactError::Malformed(_))
+            ModelArtifact::decode_verified(&bytes),
+            Err(ArtifactError::Rejected(_))
         ));
         // An unknown precision tag is rejected outright.
         let mut bytes = two_step_chain().encode();
@@ -2109,7 +1992,7 @@ mod tests {
     }
 
     #[test]
-    fn invalid_quant_scales_are_rejected_at_decode() {
+    fn invalid_quant_scales_are_rejected_by_verifier() {
         for bad_scale in [0.0f32, -0.5, f32::NAN, f32::INFINITY] {
             let mut a = quantized_artifact(53);
             let LayerPlan::QuantFc { scales, .. } = &mut a.steps[2].op else {
@@ -2118,8 +2001,8 @@ mod tests {
             scales[1] = bad_scale;
             assert!(
                 matches!(
-                    ModelArtifact::decode(&a.encode()),
-                    Err(ArtifactError::Malformed(_))
+                    ModelArtifact::decode_verified(&a.encode()),
+                    Err(ArtifactError::Rejected(_))
                 ),
                 "scale {bad_scale} must be rejected"
             );
@@ -2131,16 +2014,16 @@ mod tests {
         };
         qfkw.act_scale = f32::NAN;
         assert!(matches!(
-            ModelArtifact::decode(&a.encode()),
-            Err(ArtifactError::Malformed(_))
+            ModelArtifact::decode_verified(&a.encode()),
+            Err(ArtifactError::Rejected(_))
         ));
     }
 
     #[test]
-    fn overflow_prone_accumulation_depth_is_rejected_at_decode() {
+    fn overflow_prone_accumulation_depth_is_rejected_by_verifier() {
         // A quantized FC whose reduction depth could overflow i32 in the
-        // worst case must fail with a typed error at decode, not produce
-        // wrapped logits (or panic) at serve time.
+        // worst case must fail with a typed rejection at verified load,
+        // not produce wrapped logits (or panic) at serve time.
         let in_f = 200_000; // > i32::MAX / 127^2
         let a = ModelArtifact::chain(
             "wide",
@@ -2159,8 +2042,8 @@ mod tests {
             ],
         );
         assert!(matches!(
-            ModelArtifact::decode(&a.encode()),
-            Err(ArtifactError::Malformed(_))
+            ModelArtifact::decode_verified(&a.encode()),
+            Err(ArtifactError::Rejected(_))
         ));
     }
 

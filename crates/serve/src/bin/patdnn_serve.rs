@@ -40,7 +40,19 @@
 //!              [--precision f32|int8]
 //!              [--priority interactive|standard|batch] [--deadline-ms N]
 //!              [--telemetry off|full|sampled:N] [--trace-out FILE]
+//!              [--artifact-out FILE]
+//! patdnn-serve --verify-only FILE
 //! ```
+//!
+//! `--verify-only FILE` is a standalone lint mode: it decodes the
+//! artifact (wire-format checks only), runs the plan verifier
+//! ([`patdnn_serve::verify`]) over it, prints the full
+//! [`patdnn_serve::VerifyReport`], and exits 0 if the plan holds every
+//! invariant, 1 if violations were found, 2 if the file does not even
+//! decode — without ever building an engine or loading weights into
+//! executors. `--artifact-out FILE` makes the demo leave its compiled
+//! artifact on disk (instead of a deleted temp file) so it can be fed
+//! to `--verify-only` or shipped.
 
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -80,6 +92,8 @@ struct Args {
     /// Chrome-trace JSON output path; implies full telemetry when no
     /// policy was given explicitly.
     trace_out: Option<std::path::PathBuf>,
+    /// Keep the compiled artifact at this path instead of a temp file.
+    artifact_out: Option<std::path::PathBuf>,
 }
 
 fn parse_args() -> Args {
@@ -98,6 +112,7 @@ fn parse_args() -> Args {
         deadline_ms: 0,
         telemetry: TelemetryPolicy::Off,
         trace_out: None,
+        artifact_out: None,
     };
     let mut telemetry_explicit = false;
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -173,6 +188,13 @@ fn parse_args() -> Args {
                         .unwrap_or_else(|| die("--trace-out needs a file path")),
                 );
             }
+            "--artifact-out" => {
+                args.artifact_out = Some(
+                    argv.get(i + 1)
+                        .map(std::path::PathBuf::from)
+                        .unwrap_or_else(|| die("--artifact-out needs a file path")),
+                );
+            }
             other => die(&format!("unknown flag {other}")),
         }
         i += 2;
@@ -210,12 +232,42 @@ fn die(msg: &str) -> ! {
          [--clients N] [--workers N] [--max-batch N] [--max-wait-ms N] [--threads N] \
          [--tune off|estimate|measure] [--budget N] [--precision f32|int8] \
          [--priority interactive|standard|batch] [--deadline-ms N] \
-         [--telemetry off|full|sampled:N] [--trace-out FILE]"
+         [--telemetry off|full|sampled:N] [--trace-out FILE] [--artifact-out FILE]\n   \
+         or: patdnn-serve --verify-only FILE"
     );
     std::process::exit(2);
 }
 
+/// The `--verify-only` lint mode: decode, verify, print the report,
+/// exit with a code reflecting the outcome. Never builds an engine.
+fn verify_only(path: &str) -> ! {
+    use patdnn_serve::artifact::LoadPolicy;
+    let artifact = match ModelArtifact::load_with(path, LoadPolicy::DecodeOnly) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {path}: {e}");
+            std::process::exit(2);
+        }
+    };
+    let report = patdnn_serve::verify(&artifact);
+    print!("{report}");
+    if report.is_ok() {
+        println!();
+        std::process::exit(0);
+    }
+    std::process::exit(1);
+}
+
 fn main() {
+    // `--verify-only FILE` short-circuits the demo entirely.
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(pos) = raw.iter().position(|a| a == "--verify-only") {
+        let path = raw
+            .get(pos + 1)
+            .unwrap_or_else(|| die("--verify-only needs a file path"));
+        verify_only(path);
+    }
+
     let args = parse_args();
     let mut rng = Rng::seed_from(7);
 
@@ -304,14 +356,24 @@ fn main() {
             step.output,
         );
     }
-    let path = std::env::temp_dir().join(format!("patdnn_serve_demo_{}.patdnn", args.model));
+    let (path, keep) = match &args.artifact_out {
+        Some(p) => (p.clone(), true),
+        None => (
+            std::env::temp_dir().join(format!("patdnn_serve_demo_{}.patdnn", args.model)),
+            false,
+        ),
+    };
     artifact
         .save(&path)
         .unwrap_or_else(|e| die(&format!("save failed: {e}")));
+    // The default load policy runs the plan verifier over the decoded
+    // artifact, so a reload doubles as a full invariant check.
     let reloaded = ModelArtifact::load(&path).unwrap_or_else(|e| die(&format!("load failed: {e}")));
-    std::fs::remove_file(&path).ok();
+    if !keep {
+        std::fs::remove_file(&path).ok();
+    }
     assert_eq!(artifact, reloaded, "artifact round trip");
-    println!("      artifact save -> load round trip: OK ({path:?})");
+    println!("      artifact save -> verified load round trip: OK ({path:?})");
 
     // 3. Build a fresh engine from the reloaded artifact and verify it
     //    against the original network on the calibration batch. The

@@ -26,11 +26,11 @@ use patdnn_runtime::dense::TiledConv;
 use patdnn_runtime::executor::{effective_gflops, ConvExecutor, StepClock};
 use patdnn_runtime::parallel::{ParallelPattern, Schedule};
 use patdnn_runtime::pattern_exec::PatternConv;
-use patdnn_runtime::quant_exec::{accumulation_fits_i32, QuantPatternConv};
+use patdnn_runtime::quant_exec::QuantPatternConv;
 use patdnn_tensor::kernels;
-use patdnn_tensor::{conv_out_dim, Conv2dGeometry, Tensor};
+use patdnn_tensor::{Conv2dGeometry, Tensor};
 
-use crate::algo_exec::{winograd_eligible, Im2colConv, WinogradConv};
+use crate::algo_exec::{Im2colConv, WinogradConv};
 use crate::artifact::{ArtifactError, LayerPlan, ModelArtifact, Precision};
 use crate::ServeError;
 
@@ -270,60 +270,53 @@ pub struct Engine {
 impl Engine {
     /// Builds the executable plan from an artifact.
     ///
-    /// Shape checking happens here: every step's input requirements are
-    /// verified against the shapes flowing through its slots from the
-    /// artifact's declared input, so a malformed artifact fails at
-    /// load, not at request time. Two steps writing the same slot must
-    /// produce the same per-item shape (the compiler's liveness
-    /// analysis guarantees this at the compiled resolution; an artifact
-    /// served at an incompatible resolution is rejected here).
+    /// The plan verifier ([`mod@crate::verify`]) runs first — slot
+    /// lifetimes, shape dataflow, FKW index bounds, accumulation
+    /// proofs, exec-config and algorithm eligibility all live there —
+    /// and any violation surfaces as
+    /// [`ArtifactError::Rejected`]. Construction below then trusts the
+    /// verified plan: it re-checks nothing and reuses the shapes the
+    /// analysis already propagated.
     pub fn new(artifact: ModelArtifact, opts: EngineOptions) -> Result<Self, ServeError> {
         assert!(
             opts.threads.is_none_or(|t| t > 0),
             "thread override needs at least one thread"
         );
-        let malformed = |msg: String| ServeError::Artifact(ArtifactError::Malformed(msg));
-        artifact.validate_topology().map_err(ServeError::Artifact)?;
+        let (report, facts) = crate::verify::analyze(&artifact);
+        if !report.is_ok() {
+            return Err(ServeError::Artifact(ArtifactError::Rejected(Box::new(
+                report,
+            ))));
+        }
         let mut steps = Vec::with_capacity(artifact.steps.len());
-        // Per-slot per-item shapes; slot 0 is the network input.
-        let mut slot_shapes: Vec<Option<Vec<usize>>> = vec![None; artifact.slots];
-        let input_shape: Vec<usize> = artifact.input.to_vec();
-        for plan_step in &artifact.steps {
-            let slot_shape = |slot: usize| -> Vec<usize> {
-                if slot == 0 {
-                    input_shape.clone()
-                } else {
-                    slot_shapes[slot].clone().expect("validated def-before-use")
+        for (i, plan_step) in artifact.steps.iter().enumerate() {
+            // The shapes the verifier's dataflow pass proved.
+            let shape = &facts.in_shapes[i];
+            let out_shape = facts.out_shapes[i].clone();
+            let chw = |shape: &[usize]| -> [usize; 3] {
+                match spatial(shape) {
+                    Some(chw) => chw,
+                    // A clean report guarantees spatial inputs for
+                    // spatial ops.
+                    None => unreachable!("verified spatial input"),
                 }
             };
-            // The shape flowing into this step (first input; `Add`
-            // checks its second against it below).
-            let shape: Vec<usize> = slot_shape(plan_step.inputs[0]);
-            let step = match &plan_step.op {
+            let (exec, relu) = match &plan_step.op {
                 LayerPlan::PatternConv {
-                    name,
                     stride,
                     pad,
                     fkw,
                     bias,
                     relu,
+                    ..
                 } => {
-                    let [c, h, w] = spatial(&shape)
-                        .ok_or_else(|| malformed(format!("{name}: conv after flatten")))?;
-                    if c != fkw.in_c {
-                        return Err(malformed(format!(
-                            "{name}: expects {} input channels, got {c}",
-                            fkw.in_c
-                        )));
-                    }
-                    check_window(name, fkw.kernel, *stride, *pad, h, w)?;
+                    let [_, h, w] = chw(shape);
                     let geo = Conv2dGeometry::new(
                         fkw.out_c, fkw.in_c, fkw.kernel, fkw.kernel, h, w, *stride, *pad,
                     );
                     // The step's persisted config drives the executor;
                     // only the thread schedule can be overridden at load.
                     let cfg = plan_step.exec;
-                    let out_shape = vec![geo.out_channels, geo.out_h, geo.out_w];
                     let exec = match cfg.algo {
                         ConvAlgo::Direct => {
                             let exec = PatternConv::new(
@@ -349,125 +342,59 @@ impl Engine {
                             &fkw.to_dense(),
                             bias.clone().unwrap_or_default(),
                         )),
-                        ConvAlgo::Winograd => {
-                            winograd_eligible(&geo, fkw).map_err(|why| {
-                                malformed(format!("{name}: winograd lowering rejected: {why}"))
-                            })?;
-                            StepExec::Winograd(WinogradConv::new(
-                                geo,
-                                &fkw.to_dense(),
-                                bias.clone().unwrap_or_default(),
-                            ))
-                        }
+                        // Eligibility was proven by the verifier.
+                        ConvAlgo::Winograd => StepExec::Winograd(WinogradConv::new(
+                            geo,
+                            &fkw.to_dense(),
+                            bias.clone().unwrap_or_default(),
+                        )),
                     };
-                    (exec, *relu, out_shape)
+                    (exec, *relu)
                 }
                 LayerPlan::DenseConv {
-                    name,
                     stride,
                     pad,
                     weights,
                     bias,
                     relu,
+                    ..
                 } => {
-                    let [c, h, w] = spatial(&shape)
-                        .ok_or_else(|| malformed(format!("{name}: conv after flatten")))?;
+                    let [_, h, w] = chw(shape);
                     let ws = weights.shape4();
-                    if c != ws.c {
-                        return Err(malformed(format!(
-                            "{name}: expects {} input channels, got {c}",
-                            ws.c
-                        )));
-                    }
-                    check_window(name, ws.h.max(ws.w), *stride, *pad, h, w)?;
                     let geo = Conv2dGeometry::new(ws.n, ws.c, ws.h, ws.w, h, w, *stride, *pad);
-                    let out_shape = vec![geo.out_channels, geo.out_h, geo.out_w];
                     (
                         StepExec::Dense(TiledConv::new(geo, weights.clone(), bias.clone())),
                         *relu,
-                        out_shape,
                     )
                 }
                 LayerPlan::MaxPool {
                     kernel,
                     stride,
                     pad,
-                } => {
-                    let [c, h, w] =
-                        spatial(&shape).ok_or_else(|| malformed("maxpool after flatten".into()))?;
-                    check_window("maxpool", *kernel, *stride, *pad, h, w)?;
-                    let out_shape = vec![
-                        c,
-                        conv_out_dim(h, *kernel, *stride, *pad),
-                        conv_out_dim(w, *kernel, *stride, *pad),
-                    ];
-                    (
-                        StepExec::MaxPool {
-                            kernel: *kernel,
-                            stride: *stride,
-                            pad: *pad,
-                        },
-                        false,
-                        out_shape,
-                    )
+                } => (
+                    StepExec::MaxPool {
+                        kernel: *kernel,
+                        stride: *stride,
+                        pad: *pad,
+                    },
+                    false,
+                ),
+                LayerPlan::GlobalAvgPool => (StepExec::GlobalAvgPool, false),
+                LayerPlan::Flatten => (StepExec::Flatten, false),
+                LayerPlan::Relu => (StepExec::Relu, false),
+                LayerPlan::Fc { weights, bias, .. } => {
+                    (StepExec::Fc(FcExec::new(weights, bias.clone())), false)
                 }
-                LayerPlan::GlobalAvgPool => {
-                    let [c, _, _] =
-                        spatial(&shape).ok_or_else(|| malformed("gap after flatten".into()))?;
-                    (StepExec::GlobalAvgPool, false, vec![c, 1, 1])
-                }
-                LayerPlan::Flatten => {
-                    let features: usize = shape.iter().product();
-                    (StepExec::Flatten, false, vec![features])
-                }
-                LayerPlan::Relu => (StepExec::Relu, false, shape.clone()),
-                LayerPlan::Fc {
-                    name,
-                    weights,
-                    bias,
-                } => {
-                    let features: usize = shape.iter().product();
-                    let (out_f, in_f) = (weights.shape()[0], weights.shape()[1]);
-                    if features != in_f {
-                        return Err(malformed(format!(
-                            "{name}: expects {in_f} input features, got {features}"
-                        )));
-                    }
-                    if bias.len() != out_f {
-                        return Err(malformed(format!("{name}: bias arity")));
-                    }
-                    (
-                        StepExec::Fc(FcExec::new(weights, bias.clone())),
-                        false,
-                        vec![out_f],
-                    )
-                }
-                LayerPlan::Add { relu } => {
-                    let other = slot_shape(plan_step.inputs[1]);
-                    if shape != other {
-                        return Err(malformed(format!(
-                            "add: branch shapes disagree ({shape:?} vs {other:?})"
-                        )));
-                    }
-                    (StepExec::Add, *relu, shape.clone())
-                }
+                LayerPlan::Add { relu } => (StepExec::Add, *relu),
                 LayerPlan::QuantPatternConv {
-                    name,
                     stride,
                     pad,
                     qfkw,
                     bias,
                     relu,
+                    ..
                 } => {
-                    let [c, h, w] = spatial(&shape)
-                        .ok_or_else(|| malformed(format!("{name}: conv after flatten")))?;
-                    if c != qfkw.in_c {
-                        return Err(malformed(format!(
-                            "{name}: expects {} input channels, got {c}",
-                            qfkw.in_c
-                        )));
-                    }
-                    check_window(name, qfkw.kernel, *stride, *pad, h, w)?;
+                    let [_, h, w] = chw(shape);
                     let geo = Conv2dGeometry::new(
                         qfkw.out_c,
                         qfkw.in_c,
@@ -478,24 +405,11 @@ impl Engine {
                         *stride,
                         *pad,
                     );
-                    // Typed error, not the executor's internal assert:
-                    // in-memory artifacts can bypass decode validation.
-                    if !accumulation_fits_i32(qfkw.in_c, qfkw.entries_per_kernel) {
-                        return Err(malformed(format!(
-                            "{name}: i8 accumulation depth overflows i32"
-                        )));
-                    }
                     // INT8 steps honor the persisted opt level and tuning
                     // parameters; they always run serial (their memory
                     // traffic is a quarter of the f32 path's, so the
                     // thread schedule is an f32-only knob today).
                     let cfg = plan_step.exec;
-                    if cfg.algo != ConvAlgo::Direct {
-                        return Err(malformed(format!(
-                            "{name}: the {} lowering is f32-only; quantized steps run direct",
-                            cfg.algo.label()
-                        )));
-                    }
                     let exec = QuantPatternConv::new(
                         geo,
                         qfkw.clone(),
@@ -503,63 +417,29 @@ impl Engine {
                         cfg.opt_level,
                         cfg.tuning,
                     );
-                    let out_shape = vec![geo.out_channels, geo.out_h, geo.out_w];
-                    (StepExec::QuantPattern(exec), *relu, out_shape)
+                    (StepExec::QuantPattern(exec), *relu)
                 }
                 LayerPlan::QuantFc {
-                    name,
                     out_f,
                     in_f,
                     qweights,
                     scales,
                     act_scale,
                     bias,
-                } => {
-                    let features: usize = shape.iter().product();
-                    if features != *in_f {
-                        return Err(malformed(format!(
-                            "{name}: expects {in_f} input features, got {features}"
-                        )));
-                    }
-                    if bias.len() != *out_f || scales.len() != *out_f {
-                        return Err(malformed(format!("{name}: scale/bias arity")));
-                    }
-                    if qweights.len() != out_f * in_f {
-                        return Err(malformed(format!("{name}: quantized weight arity")));
-                    }
-                    // The FC reduction depth is `in_f` saturated products.
-                    if !accumulation_fits_i32(*in_f, 1) {
-                        return Err(malformed(format!(
-                            "{name}: i8 accumulation depth overflows i32"
-                        )));
-                    }
-                    (
-                        StepExec::QuantFc(QuantFcExec::new(
-                            qweights,
-                            *out_f,
-                            *in_f,
-                            scales.clone(),
-                            *act_scale,
-                            bias.clone(),
-                        )),
-                        false,
-                        vec![*out_f],
-                    )
-                }
+                    ..
+                } => (
+                    StepExec::QuantFc(QuantFcExec::new(
+                        qweights,
+                        *out_f,
+                        *in_f,
+                        scales.clone(),
+                        *act_scale,
+                        bias.clone(),
+                    )),
+                    false,
+                ),
             };
-            let (exec, relu, out_shape) = step;
-            match &slot_shapes[plan_step.output] {
-                None => slot_shapes[plan_step.output] = Some(out_shape.clone()),
-                Some(existing) if *existing != out_shape => {
-                    return Err(malformed(format!(
-                        "slot {} shape conflict: {existing:?} vs {out_shape:?} \
-                         (artifact compiled for an incompatible resolution)",
-                        plan_step.output
-                    )));
-                }
-                Some(_) => {}
-            }
-            let flops_per_item = step_flops(&plan_step.op, &shape, &out_shape);
+            let flops_per_item = step_flops(&plan_step.op, shape, &out_shape);
             steps.push(Step {
                 exec,
                 relu,
@@ -571,6 +451,7 @@ impl Engine {
                 flops_per_item,
             });
         }
+        let slot_shapes = facts.slot_shapes;
         Ok(Engine {
             name: artifact.name.clone(),
             input: artifact.input,
@@ -581,12 +462,17 @@ impl Engine {
         })
     }
 
-    /// Loads an artifact from disk and builds the engine.
+    /// Loads an artifact from disk and builds the engine. Decode-only
+    /// load: [`Engine::new`] runs the verifier itself, so verifying at
+    /// load too would walk the plan twice.
     pub fn load(
         path: impl AsRef<std::path::Path>,
         opts: EngineOptions,
     ) -> Result<Self, ServeError> {
-        Engine::new(ModelArtifact::load(path)?, opts)
+        Engine::new(
+            ModelArtifact::load_with(path, crate::artifact::LoadPolicy::DecodeOnly)?,
+            opts,
+        )
     }
 
     /// The model name.
@@ -826,29 +712,6 @@ fn spatial(shape: &[usize]) -> Option<[usize; 3]> {
         [c, h, w] => Some([*c, *h, *w]),
         _ => None,
     }
-}
-
-/// Rejects window geometry `conv_out_dim` would panic on, so malformed
-/// artifacts fail at engine build with a typed error.
-fn check_window(
-    name: &str,
-    kernel: usize,
-    stride: usize,
-    pad: usize,
-    h: usize,
-    w: usize,
-) -> Result<(), ServeError> {
-    if kernel == 0 || stride == 0 {
-        return Err(ServeError::Artifact(ArtifactError::Malformed(format!(
-            "{name}: degenerate window (kernel {kernel}, stride {stride})"
-        ))));
-    }
-    if h + 2 * pad < kernel || w + 2 * pad < kernel {
-        return Err(ServeError::Artifact(ArtifactError::Malformed(format!(
-            "{name}: {kernel}x{kernel} window does not fit {h}x{w} input with pad {pad}"
-        ))));
-    }
-    Ok(())
 }
 
 fn run_step(step: &Step, inputs: &[&Tensor], buf: &mut Tensor) {

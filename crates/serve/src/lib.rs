@@ -38,6 +38,14 @@
 //!   (format v5), save/load without retraining, re-pruning, retuning
 //!   or recalibrating; legacy v1–v4 artifacts still decode (default
 //!   configs, f32 precision, direct algorithm).
+//! - [`mod@verify`] — the plan verifier: one static pass of abstract
+//!   interpretation over a decoded artifact proving every semantic
+//!   invariant (slot lifetimes, shape dataflow, FKW index bounds, i32
+//!   accumulation depth, precision flow, exec-config and algorithm
+//!   eligibility) before the engine trusts the plan; runs by default
+//!   at [`artifact::ModelArtifact::load`] and at engine build, and
+//!   returns a typed [`verify::VerifyReport`] rather than failing
+//!   fast.
 //! - [`engine`] — the [`engine::Engine`]: an executable DAG plan of
 //!   per-step executors (residual `Add` joins included) reading and
 //!   writing pooled, liveness-shared slot buffers, with a single
@@ -103,9 +111,10 @@ pub mod request;
 pub mod server;
 pub mod telemetry;
 pub mod tune;
+pub mod verify;
 
 pub use algo_exec::{winograd_eligible, WinogradRejection};
-pub use artifact::{ArtifactError, ExecConfig, LayerPlan, ModelArtifact, Precision};
+pub use artifact::{ArtifactError, ExecConfig, LayerPlan, LoadPolicy, ModelArtifact, Precision};
 pub use compile::{
     compile_graph, compile_graph_with, compile_network, compile_network_with, CompileError,
     CompileOptions,
@@ -123,6 +132,7 @@ pub use telemetry::{
     TraceId,
 };
 pub use tune::TunePolicy;
+pub use verify::{verify, VerifyReport, Violation};
 
 use std::fmt;
 

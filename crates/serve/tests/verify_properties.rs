@@ -1,0 +1,90 @@
+//! Soundness property of the plan verifier: the compiler never emits a
+//! plan the verifier rejects.
+//!
+//! `verify()` is the artifact pipeline's single semantic gatekeeper
+//! (the engine refuses plans it condemns), so a false positive here
+//! would brick a legitimately-compiled model. This sweep compiles
+//! across topology (chain CNN and residual DAG), pruning rate, tuning
+//! policy, and precision (f32, INT8 convs, fully-INT8), then asserts
+//! for every combination that the fresh plan verifies clean, the
+//! encode→decode round trip verifies clean (via the default
+//! [`LoadPolicy::Verify`] path `decode_verified`), and the engine
+//! accepts the plan.
+
+use patdnn_core::prune::pattern_project_network;
+use patdnn_nn::calibrate::{calibrate_network, calibration_batch};
+use patdnn_nn::models::{resnet_small, small_cnn};
+use patdnn_nn::network::Sequential;
+use patdnn_serve::artifact::ModelArtifact;
+use patdnn_serve::compile::{compile_network_with, CompileOptions};
+use patdnn_serve::engine::{Engine, EngineOptions};
+use patdnn_serve::quant::{quantize_artifact_with, QuantOptions};
+use patdnn_serve::tune::TunePolicy;
+use patdnn_serve::verify;
+use patdnn_tensor::rng::Rng;
+
+struct Case {
+    label: &'static str,
+    input: [usize; 3],
+    build: fn(&mut Rng) -> Sequential,
+}
+
+fn cases() -> Vec<Case> {
+    vec![
+        Case {
+            label: "small_cnn",
+            input: [3, 12, 12],
+            build: |rng| small_cnn(3, 12, 4, rng),
+        },
+        Case {
+            label: "resnet_small",
+            input: [3, 32, 32],
+            build: |rng| resnet_small(10, rng),
+        },
+    ]
+}
+
+/// Asserts the full acceptance chain for one artifact.
+fn assert_accepted(label: &str, artifact: &ModelArtifact) {
+    let report = verify::verify(artifact);
+    assert!(report.is_ok(), "{label}: fresh plan rejected:\n{report}");
+    let reloaded = ModelArtifact::decode_verified(&artifact.encode())
+        .unwrap_or_else(|e| panic!("{label}: round trip rejected: {e}"));
+    assert_eq!(artifact, &reloaded, "{label}: lossy round trip");
+    Engine::new(reloaded, EngineOptions::default())
+        .unwrap_or_else(|e| panic!("{label}: engine refused a verified plan: {e}"));
+}
+
+#[test]
+fn compiler_output_always_verifies() {
+    for case in cases() {
+        for (rate_label, conn_rate) in [("r2.4", 2.4f32), ("r3.6", 3.6f32)] {
+            for (tune_label, tune) in [("off", TunePolicy::Off), ("estimate", TunePolicy::Estimate)]
+            {
+                let mut rng = Rng::seed_from(0xC0FFEE ^ conn_rate.to_bits() as u64);
+                let mut net = (case.build)(&mut rng);
+                pattern_project_network(&mut net, 8, conn_rate);
+                let opts = CompileOptions {
+                    tune,
+                    threads: 2,
+                    ..CompileOptions::default()
+                };
+                let label = format!("{} {} {}", case.label, rate_label, tune_label);
+                let artifact = compile_network_with(&label, &net, case.input, &opts)
+                    .unwrap_or_else(|e| panic!("{label}: compile failed: {e}"));
+                assert_accepted(&format!("{label} f32"), &artifact);
+
+                // Both quantization policies over the same plan.
+                let calib = calibration_batch(case.input, 2, 99);
+                let profile = calibrate_network(&net, &calib)
+                    .unwrap_or_else(|e| panic!("{label}: calibration failed: {e}"));
+                for (q_label, fc) in [("int8", false), ("int8+fc", true)] {
+                    let quantized =
+                        quantize_artifact_with(&artifact, &profile, &QuantOptions { fc })
+                            .unwrap_or_else(|e| panic!("{label}: quantize failed: {e}"));
+                    assert_accepted(&format!("{label} {q_label}"), &quantized);
+                }
+            }
+        }
+    }
+}

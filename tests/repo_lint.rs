@@ -1,0 +1,18 @@
+//! Tier-1 gate for the zero-dependency repo lint (`tools/lint.rs`):
+//! `unsafe` blocks must carry `// SAFETY:` justifications, and the
+//! serving warm paths must not `unwrap`/`expect` outside the reviewed
+//! allowlist (`tools/lint_allow.txt`).
+
+#[path = "../tools/lint.rs"]
+mod lint;
+
+#[test]
+fn repo_is_lint_clean() {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"));
+    let violations = lint::run(root);
+    assert!(
+        violations.is_empty(),
+        "repo lint violations:\n  {}",
+        violations.join("\n  ")
+    );
+}

@@ -1,0 +1,31 @@
+//! Tier-1 gate for the plan-verifier mutation corpus.
+//!
+//! Runs the quick corpus (`patdnn_bench::corpus`): byte-flip,
+//! truncation, and semantic-forgery mutants over real compiled
+//! artifacts. Every mutant must be decode-rejected with a typed error,
+//! verifier-rejected with a typed violation, or decode bit-identically
+//! — with zero panics and zero mutants executed. The full-density sweep
+//! runs in CI via `repro verify-corpus`.
+
+#[test]
+fn every_mutant_is_rejected_or_roundtrips_without_panics() {
+    let report = patdnn_bench::corpus::run(true);
+    assert_eq!(report.panics, 0, "corpus panicked:\n{report}");
+    assert_eq!(report.executed, 0, "a mutant reached execution:\n{report}");
+    assert!(report.is_ok(), "corpus failures:\n{report}");
+    assert!(
+        report.mutants > 500,
+        "corpus unexpectedly small ({} mutants)",
+        report.mutants
+    );
+    // Both rejection layers must actually fire: wire-format errors at
+    // decode and typed violations from the verifier.
+    assert!(
+        report.decode_rejected > 0,
+        "no decode rejections:\n{report}"
+    );
+    assert!(
+        report.verify_rejected > 0,
+        "no verifier rejections:\n{report}"
+    );
+}

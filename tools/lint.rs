@@ -1,0 +1,171 @@
+//! Zero-dependency repo lint, run as a tier-1 test (`tests/repo_lint.rs`
+//! includes this file via `#[path]`) and as a CI step.
+//!
+//! Two rules, both mechanical enough that a text scan is sufficient and
+//! strict enough that tooling should enforce them rather than review:
+//!
+//! 1. **`unsafe` needs a justification.** Every `unsafe {` block and
+//!    `unsafe impl` in the workspace must have a `// SAFETY:` comment
+//!    within the three preceding lines stating why the invariants hold.
+//!    (`unsafe fn` *declarations* are exempt: they state an obligation
+//!    for callers; the call sites are where soundness is argued.) This
+//!    mirrors `clippy::undocumented_unsafe_blocks`, which CI also
+//!    enables — the duplication is deliberate, so the rule holds even
+//!    when clippy is skipped locally.
+//! 2. **No `unwrap`/`expect` on serving warm paths.** The request
+//!    lifecycle files (`engine.rs`, `batching.rs`, `server.rs`,
+//!    `request.rs` in `crates/serve/src`) must not panic on behalf of a
+//!    request. `.unwrap()` is banned outright; `.expect("msg")` is
+//!    allowed only when `msg` appears in `tools/lint_allow.txt` — the
+//!    reviewed set of lock-poisoning and scratch-pool expects whose
+//!    failure already means a panic elsewhere. Test modules (after
+//!    `#[cfg(test)]`) and comment lines are exempt.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Files subject to the warm-path `unwrap`/`expect` ban.
+const WARM_PATHS: [&str; 4] = [
+    "crates/serve/src/engine.rs",
+    "crates/serve/src/batching.rs",
+    "crates/serve/src/server.rs",
+    "crates/serve/src/request.rs",
+];
+
+/// Runs both rules over the repository rooted at `root`. Returns one
+/// human-readable line per violation; empty means clean.
+pub fn run(root: &Path) -> Vec<String> {
+    let mut violations = Vec::new();
+    let allow = load_allowlist(root);
+    for file in rust_files(root) {
+        let Ok(text) = fs::read_to_string(&file) else {
+            continue;
+        };
+        let rel = file
+            .strip_prefix(root)
+            .unwrap_or(&file)
+            .to_string_lossy()
+            .replace('\\', "/");
+        check_unsafe_comments(&rel, &text, &mut violations);
+        if WARM_PATHS.contains(&rel.as_str()) {
+            check_warm_path(&rel, &text, &allow, &mut violations);
+        }
+    }
+    violations
+}
+
+/// The reviewed `.expect("msg")` messages allowed on warm paths, one
+/// per line in `tools/lint_allow.txt` (`#` comments and blanks skipped).
+fn load_allowlist(root: &Path) -> Vec<String> {
+    fs::read_to_string(root.join("tools/lint_allow.txt"))
+        .unwrap_or_default()
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .map(str::to_string)
+        .collect()
+}
+
+/// All `.rs` files under the workspace's source roots.
+fn rust_files(root: &Path) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    for top in ["crates", "src", "tests", "tools", "benches"] {
+        walk(&root.join(top), &mut out);
+    }
+    out.sort();
+    out
+}
+
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name != "target" && !name.starts_with('.') {
+                walk(&path, out);
+            }
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// Whether a trimmed source line is (entirely) a comment.
+fn is_comment(line: &str) -> bool {
+    line.starts_with("//")
+}
+
+/// Rule 1: `unsafe {` / `unsafe impl` must follow a `SAFETY:` comment.
+fn check_unsafe_comments(rel: &str, text: &str, violations: &mut Vec<String>) {
+    // Needles are assembled with `concat!` so this file's own source
+    // never contains them contiguously (the lint scans itself too).
+    const BLOCK: &str = concat!("unsafe", " {");
+    const IMPL: &str = concat!("unsafe", " impl");
+    const FN: &str = concat!("unsafe", " fn");
+    let lines: Vec<&str> = text.lines().collect();
+    for (i, raw) in lines.iter().enumerate() {
+        let line = raw.trim();
+        if is_comment(line) || line.starts_with('*') {
+            continue;
+        }
+        let opens_block = line.contains(BLOCK) || line.ends_with("unsafe");
+        let opens_impl = line.starts_with(IMPL);
+        if !opens_block && !opens_impl {
+            continue;
+        }
+        // `unsafe fn` declares an obligation, it does not discharge one.
+        if line.contains(FN) && !line.contains(BLOCK) {
+            continue;
+        }
+        let documented = lines[i.saturating_sub(3)..i]
+            .iter()
+            .any(|prev| prev.trim().starts_with("//") && prev.contains("SAFETY:"))
+            || raw.contains("SAFETY:");
+        if !documented {
+            violations.push(format!(
+                "{rel}:{}: unsafe without a `// SAFETY:` comment on a preceding line",
+                i + 1
+            ));
+        }
+    }
+}
+
+/// Rule 2: no `unwrap`, allowlisted `expect` only, on warm paths.
+fn check_warm_path(rel: &str, text: &str, allow: &[String], violations: &mut Vec<String>) {
+    for (i, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        // The warm path ends where the test module starts.
+        if line.starts_with("#[cfg(test)]") {
+            break;
+        }
+        if is_comment(line) {
+            continue;
+        }
+        if line.contains(".unwrap()") {
+            violations.push(format!(
+                "{rel}:{}: .unwrap() on a serving warm path (return a ServeError instead)",
+                i + 1
+            ));
+        }
+        if let Some(pos) = line.find(".expect(\"") {
+            let msg = &line[pos + ".expect(\"".len()..];
+            let msg = msg.split('"').next().unwrap_or("");
+            if !allow.iter().any(|a| a == msg) {
+                violations.push(format!(
+                    "{rel}:{}: .expect({msg:?}) on a serving warm path is not in \
+                     tools/lint_allow.txt",
+                    i + 1
+                ));
+            }
+        } else if line.contains(".expect(") {
+            violations.push(format!(
+                "{rel}:{}: .expect(..) with a non-literal message on a serving warm path",
+                i + 1
+            ));
+        }
+    }
+}
