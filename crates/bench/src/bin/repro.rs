@@ -7,8 +7,12 @@
 //! experiment: table1..table7, fig12..fig18, serving, serving-resnet,
 //!             serving-tuned, serving-quant, serving-slo,
 //!             serving-profile, serving-kernels, verify-corpus,
-//!             tables, figures, all
+//!             wire-corpus, serving-router, tables, figures, all
 //! ```
+//!
+//! `serving-router` launches real `patdnn-serve`/`patdnn-router`
+//! processes, so build the serve binaries first (`cargo build -p
+//! patdnn-serve --bins`, same profile). It is not part of `all`.
 //!
 //! `--json FILE` additionally writes a machine-readable report for the
 //! experiments that produce one (`serving-quant`, `serving-slo`,
@@ -89,6 +93,7 @@ fn main() {
                 "serving-profile",
                 "serving-kernels",
                 "verify-corpus",
+                "wire-corpus",
             ]),
             "tables" => expanded.extend([
                 "table1", "table2", "table3", "table4", "table5", "table6", "table7",
@@ -156,6 +161,20 @@ fn main() {
                     die("verify-corpus found rejection-harness failures (see above)");
                 }
             }
+            "wire-corpus" => {
+                let report = patdnn_bench::wire_corpus::run(opts.quick);
+                print!("{report}");
+                if !report.is_ok() {
+                    die("wire-corpus found codec failures (see above)");
+                }
+            }
+            "serving-router" => {
+                let report = patdnn_bench::router_smoke::run(opts.quick);
+                print!("{report}");
+                if !report.is_ok() {
+                    die("serving-router smoke failed (see above)");
+                }
+            }
             other => die(&format!("unknown experiment {other}")),
         }
         eprintln!("[{exp} took {:.1}s]", start.elapsed().as_secs_f64());
@@ -182,7 +201,7 @@ fn die(msg: &str) -> ! {
     eprintln!(
         "usage: repro <table1..table7|fig12..fig18|serving|serving-resnet|serving-tuned|\
          serving-quant|serving-slo|serving-profile|serving-kernels|verify-corpus|\
-         tables|figures|all> \
+         wire-corpus|serving-router|tables|figures|all> \
          [--quick] [--reps N] [--threads N] [--json FILE]"
     );
     std::process::exit(2);

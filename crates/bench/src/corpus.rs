@@ -51,8 +51,15 @@ use patdnn_tensor::rng::Rng;
 use patdnn_tensor::Tensor;
 
 /// What the corpus run observed, with per-rejection-class counts.
+///
+/// Shared by the artifact corpus (this module) and the wire-frame
+/// corpus ([`crate::wire_corpus`]); `title` names which one produced
+/// the report.
 #[derive(Debug, Default)]
 pub struct CorpusReport {
+    /// Which corpus produced this report (empty means the artifact
+    /// corpus, `verify-corpus`).
+    pub title: &'static str,
     /// Base artifacts compiled (before encoding-version expansion).
     pub artifacts: usize,
     /// Encoded byte streams the byte track mutated.
@@ -92,9 +99,14 @@ impl CorpusReport {
 
 impl fmt::Display for CorpusReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let title = if self.title.is_empty() {
+            "verify-corpus"
+        } else {
+            self.title
+        };
         writeln!(
             f,
-            "verify-corpus: {} artifacts, {} encodings, {} mutants",
+            "{title}: {} artifacts, {} encodings, {} mutants",
             self.artifacts, self.encodings, self.mutants
         )?;
         writeln!(

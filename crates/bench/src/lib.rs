@@ -16,6 +16,15 @@
 //!   verify-corpus`): byte-flip, truncation, and semantic-forgery
 //!   mutants over real artifacts, each of which must be rejected with a
 //!   typed error (or decode bit-identically) without panicking.
+//! - [`wire_corpus`] — the same mutation discipline applied to the
+//!   network wire protocol (`repro wire-corpus`): mutated handshakes
+//!   and frames must be refused with a typed [`patdnn_serve::wire`]
+//!   error or decode bit-identically, never panic.
+//! - [`router_smoke`] — the multi-process router smoke (`repro
+//!   serving-router`): a real `patdnn-router` sharding two
+//!   `patdnn-serve --listen` replicas, asserting shed-retry, exact
+//!   typed-terminal accounting, per-class p99 bounds, and a clean
+//!   drain.
 //!
 //! Run `cargo run -p patdnn-bench --release --bin repro -- all` to
 //! regenerate everything; see `EXPERIMENTS.md` for the paper-vs-measured
@@ -24,8 +33,10 @@
 pub mod corpus;
 pub mod figures;
 pub mod report;
+pub mod router_smoke;
 pub mod serving;
 pub mod tables;
+pub mod wire_corpus;
 pub mod workloads;
 
 /// Global options for reproduction runs.

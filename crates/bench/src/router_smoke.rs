@@ -1,0 +1,474 @@
+//! Multi-process router smoke: a real `patdnn-router` sharding two
+//! real `patdnn-serve --listen` replica processes.
+//!
+//! This is the one harness that exercises the networked serving stack
+//! the way a deployment does — three OS processes, real sockets, the
+//! versioned wire protocol end to end — and asserts the contracts the
+//! in-process loopback tests can only approximate:
+//!
+//! - **Shed-retry**: per-replica admission is capped low enough that
+//!   sustained mixed-priority load overflows the preferred replica,
+//!   so the router must retry on the next replica in the ring
+//!   (observed via the router's own `/metrics`).
+//! - **Exact typed-terminal accounting**: every submitted request ends
+//!   in exactly one frozen terminal (completed / expired / shed /
+//!   failed); transport errors count as harness failures, and the sums
+//!   must reconcile.
+//! - **Zero expired requests execute**: probes with microsecond
+//!   deadlines must come back as a typed terminal — `Expired` when the
+//!   budget is spent before execution starts (the router refuses to
+//!   forward a spent budget and the replica drops expired work before
+//!   executing it), `Completed` only in the narrow race where a hot
+//!   worker starts the request inside its budget. At least one probe
+//!   must expire end to end, proving the typed expiry travels the
+//!   wire; the *deterministic* expiry parity is asserted by the
+//!   loopback tests against a saturated server.
+//! - **Per-class p99 bounds**: generous absolute ceilings per priority
+//!   class, so a scheduling regression that stalls a class fails the
+//!   smoke rather than just slowing it.
+//! - **Clean drain**: shutdown frames to the router and both replicas
+//!   must produce exit status 0 from all three processes, which the
+//!   serving layer only reports after every in-flight response was
+//!   written.
+//!
+//! Run via `repro serving-router` after `cargo build --release -p
+//! patdnn-serve --bins` (the harness locates the sibling binaries next
+//! to its own executable and says so if they are missing).
+
+use std::fmt;
+use std::io::{BufRead, BufReader};
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use patdnn_serve::net::{http_get, NetClient};
+use patdnn_serve::Priority;
+use patdnn_tensor::rng::Rng;
+use patdnn_tensor::Tensor;
+
+/// What the smoke run observed and asserted.
+#[derive(Debug, Default)]
+pub struct SmokeReport {
+    /// Requests submitted across all clients (excluding expiry probes).
+    pub submitted: usize,
+    /// Requests that completed with an output.
+    pub completed: usize,
+    /// Requests shed after the router exhausted every replica.
+    pub shed: usize,
+    /// Requests that expired (including the deliberate probes).
+    pub expired: usize,
+    /// Deliberate microsecond-deadline probes sent.
+    pub probes: usize,
+    /// Router shed-retries observed via `/metrics`.
+    pub shed_retries: u64,
+    /// Per-class `(label, completed, p99_ms)`.
+    pub classes: Vec<(&'static str, usize, f64)>,
+    /// Assertion failures; empty means the smoke passed.
+    pub failures: Vec<String>,
+}
+
+impl SmokeReport {
+    /// Whether every smoke contract held.
+    pub fn is_ok(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+impl fmt::Display for SmokeReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "serving-router: {} submitted -> {} completed, {} shed, {} expired \
+             ({} deliberate probes), {} router shed-retries",
+            self.submitted, self.completed, self.shed, self.expired, self.probes, self.shed_retries
+        )?;
+        for (label, completed, p99) in &self.classes {
+            writeln!(f, "  {label:<12} {completed} completed, p99 {p99:.1}ms")?;
+        }
+        if self.failures.is_empty() {
+            writeln!(f, "  clean drain: router + 2 replicas exited 0")?;
+        } else {
+            writeln!(f, "  FAILURES:")?;
+            for failure in &self.failures {
+                writeln!(f, "    {failure}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Locates a sibling binary next to the currently running executable
+/// (handling the `target/<profile>/deps/` layout of test binaries).
+fn find_binary(name: &str) -> Result<PathBuf, String> {
+    let exe = std::env::current_exe().map_err(|e| format!("current_exe: {e}"))?;
+    let mut dir = exe
+        .parent()
+        .ok_or_else(|| "executable has no parent directory".to_string())?
+        .to_path_buf();
+    if dir.ends_with("deps") {
+        dir.pop();
+    }
+    let candidate = dir.join(format!("{name}{}", std::env::consts::EXE_SUFFIX));
+    if candidate.exists() {
+        Ok(candidate)
+    } else {
+        Err(format!(
+            "{} not found at {} — build it first: cargo build -p patdnn-serve --bins",
+            name,
+            candidate.display()
+        ))
+    }
+}
+
+/// A spawned fleet process, killed on drop unless it already exited.
+struct Proc {
+    name: &'static str,
+    child: Child,
+    /// Drains the child's stdout so the pipe never fills.
+    drain: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Proc {
+    /// Spawns `bin args`, waits for a stdout line starting with
+    /// `ready_prefix`, and returns the process plus the rest of that
+    /// line (the bound address).
+    fn spawn(
+        name: &'static str,
+        bin: &PathBuf,
+        args: &[&str],
+        ready_prefix: &str,
+    ) -> Result<(Proc, String), String> {
+        let mut child = Command::new(bin)
+            .args(args)
+            .stdout(Stdio::piped())
+            .stderr(Stdio::inherit())
+            .spawn()
+            .map_err(|e| format!("{name}: spawn {}: {e}", bin.display()))?;
+        let stdout = child.stdout.take().expect("stdout piped");
+        let mut reader = BufReader::new(stdout);
+        let mut addr = None;
+        let mut line = String::new();
+        loop {
+            line.clear();
+            match reader.read_line(&mut line) {
+                Ok(0) => break,
+                Ok(_) => {
+                    if let Some(rest) = line.trim_end().strip_prefix(ready_prefix) {
+                        addr = Some(rest.to_string());
+                        break;
+                    }
+                }
+                Err(e) => {
+                    let _ = child.kill();
+                    return Err(format!("{name}: reading stdout: {e}"));
+                }
+            }
+        }
+        let Some(addr) = addr else {
+            let _ = child.kill();
+            return Err(format!(
+                "{name}: exited without printing \"{ready_prefix}\""
+            ));
+        };
+        let drain = std::thread::spawn(move || {
+            let mut sink = String::new();
+            while matches!(reader.read_line(&mut sink), Ok(n) if n > 0) {
+                sink.clear();
+            }
+        });
+        Ok((
+            Proc {
+                name,
+                child,
+                drain: Some(drain),
+            },
+            addr,
+        ))
+    }
+
+    /// Waits for exit and asserts status 0.
+    fn wait_clean(mut self, failures: &mut Vec<String>) {
+        match self.child.wait() {
+            Ok(status) if status.success() => {}
+            Ok(status) => failures.push(format!("{}: exited with {status}", self.name)),
+            Err(e) => failures.push(format!("{}: wait failed: {e}", self.name)),
+        }
+        if let Some(drain) = self.drain.take() {
+            let _ = drain.join();
+        }
+    }
+}
+
+impl Drop for Proc {
+    fn drop(&mut self) {
+        // Only reached on an early error path; a clean run has already
+        // waited the child out.
+        if matches!(self.child.try_wait(), Ok(None)) {
+            let _ = self.child.kill();
+            let _ = self.child.wait();
+        }
+    }
+}
+
+/// Parses one gauge/counter value out of a flat Prometheus-style text
+/// exposition.
+fn metric_value(text: &str, name: &str) -> Option<u64> {
+    text.lines().find_map(|line| {
+        let rest = line.strip_prefix(name)?;
+        rest.trim().parse().ok()
+    })
+}
+
+const CLASSES: [Priority; 3] = [Priority::Interactive, Priority::Standard, Priority::Batch];
+
+/// Runs the smoke. `quick` shrinks the load so the tier-1 wrapper
+/// stays fast; CI runs the full load against release binaries.
+pub fn run(quick: bool) -> SmokeReport {
+    let mut report = SmokeReport::default();
+    let serve_bin = match find_binary("patdnn-serve") {
+        Ok(p) => p,
+        Err(e) => {
+            report.failures.push(e);
+            return report;
+        }
+    };
+    let router_bin = match find_binary("patdnn-router") {
+        Ok(p) => p,
+        Err(e) => {
+            report.failures.push(e);
+            return report;
+        }
+    };
+
+    // Two replicas of the tiny model, each with a deliberately small
+    // admission budget so the client fleet overflows the preferred
+    // replica and forces shed-retries.
+    let replica_args = [
+        "--listen",
+        "127.0.0.1:0",
+        "--model",
+        "small_cnn",
+        "--workers",
+        "1",
+        "--max-batch",
+        "4",
+        "--max-wait-ms",
+        "1",
+        "--max-in-flight",
+        "2",
+    ];
+    let mut replicas = Vec::new();
+    for name in ["replica-a", "replica-b"] {
+        match Proc::spawn(name, &serve_bin, &replica_args, "listening on ") {
+            Ok(pair) => replicas.push(pair),
+            Err(e) => {
+                report.failures.push(e);
+                return report;
+            }
+        }
+    }
+    let replica_addrs: Vec<String> = replicas.iter().map(|(_, a)| a.clone()).collect();
+
+    let (router, router_addr) = match Proc::spawn(
+        "router",
+        &router_bin,
+        &[
+            "--listen",
+            "127.0.0.1:0",
+            "--replica",
+            &replica_addrs[0],
+            "--replica",
+            &replica_addrs[1],
+            "--max-in-flight",
+            "2",
+        ],
+        "routing on ",
+    ) {
+        Ok(pair) => pair,
+        Err(e) => {
+            report.failures.push(e);
+            return report;
+        }
+    };
+
+    // Mixed-priority load: each client owns a connection and cycles
+    // through the three classes. More clients than the fleet's total
+    // admission budget (2 replicas x 2 slots) guarantees overflow.
+    let clients = 6;
+    let per_client = if quick { 8 } else { 30 };
+    report.submitted = clients * per_client;
+    // outcome counts [completed, expired, shed, failed-other] and
+    // completed-latency samples per class.
+    let tally = Mutex::new(([0usize; 4], vec![Vec::new(), Vec::new(), Vec::new()]));
+    let client_failures: Vec<String> = std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for client_idx in 0..clients {
+            let router_addr = &router_addr;
+            let tally = &tally;
+            handles.push(scope.spawn(move || {
+                let mut failures = Vec::new();
+                let mut rng = Rng::seed_from(1000 + client_idx as u64);
+                let mut net = match NetClient::connect(router_addr) {
+                    Ok(c) => c,
+                    Err(e) => {
+                        return vec![format!("client {client_idx}: connect: {e}")];
+                    }
+                };
+                for req in 0..per_client {
+                    let class_idx = (client_idx + req) % CLASSES.len();
+                    let input = Tensor::randn(&[1, 3, 8, 8], &mut rng);
+                    let start = Instant::now();
+                    let outcome = net.infer(
+                        "small_cnn",
+                        &input,
+                        CLASSES[class_idx],
+                        Some(Duration::from_secs(10)),
+                    );
+                    let elapsed_ms = start.elapsed().as_secs_f64() * 1e3;
+                    let mut tally = tally.lock().expect("tally lock");
+                    match outcome.as_ref().map(|o| o.terminal_code()) {
+                        Ok(0) => {
+                            tally.0[0] += 1;
+                            tally.1[class_idx].push(elapsed_ms);
+                        }
+                        Ok(1) => tally.0[1] += 1,
+                        Ok(3) => tally.0[2] += 1,
+                        Ok(code) => {
+                            tally.0[3] += 1;
+                            failures.push(format!(
+                                "client {client_idx}: unexpected terminal code {code}"
+                            ));
+                        }
+                        Err(e) => {
+                            tally.0[3] += 1;
+                            failures.push(format!("client {client_idx}: transport: {e}"));
+                        }
+                    }
+                }
+                failures
+            }));
+        }
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("client thread panicked"))
+            .collect()
+    });
+    report.failures.extend(client_failures);
+    let (counts, latencies) = tally.into_inner().expect("tally lock");
+    report.completed = counts[0];
+    report.expired = counts[1];
+    report.shed = counts[2];
+    if counts[3] > 0 {
+        report.failures.push(format!(
+            "{} request(s) ended in a transport error or unknown terminal",
+            counts[3]
+        ));
+    }
+    let accounted = counts.iter().sum::<usize>();
+    if accounted != report.submitted {
+        report.failures.push(format!(
+            "terminal accounting mismatch: {accounted} accounted, {} submitted",
+            report.submitted
+        ));
+    }
+    for (class_idx, priority) in CLASSES.iter().enumerate() {
+        let mut samples = latencies[class_idx].clone();
+        if samples.is_empty() {
+            report
+                .failures
+                .push(format!("class {} completed 0 requests", priority.label()));
+            report.classes.push((priority.label(), 0, f64::NAN));
+            continue;
+        }
+        samples.sort_by(f64::total_cmp);
+        let p99 = samples[(samples.len() - 1) * 99 / 100];
+        // Generous absolute ceiling: the model runs in microseconds,
+        // so anything near this bound means a class is being starved.
+        let bound_ms = 5_000.0;
+        if p99 > bound_ms {
+            report.failures.push(format!(
+                "class {} p99 {p99:.1}ms exceeds {bound_ms}ms",
+                priority.label()
+            ));
+        }
+        report.classes.push((priority.label(), samples.len(), p99));
+    }
+
+    // Zero expired requests execute: a microsecond budget must come
+    // back Expired (terminal code 1), never Completed. This is
+    // deterministic: a lone probe on the now-idle fleet cannot form a
+    // batch (1 < max_batch) before its 1ms flush timer, and the
+    // batcher prunes expired requests before execution — so the 1us
+    // budget is always spent first, at the router or the replica.
+    report.probes = 6;
+    let mut probe_expired = 0usize;
+    match NetClient::connect(&router_addr) {
+        Ok(mut net) => {
+            let mut rng = Rng::seed_from(7);
+            for probe in 0..report.probes {
+                let input = Tensor::randn(&[1, 3, 8, 8], &mut rng);
+                match net.infer(
+                    "small_cnn",
+                    &input,
+                    Priority::Interactive,
+                    Some(Duration::from_micros(1)),
+                ) {
+                    Ok(outcome) => match outcome.terminal_code() {
+                        1 => probe_expired += 1,
+                        code => report.failures.push(format!(
+                            "expiry probe {probe}: terminal code {code} \
+                             (want 1/Expired — an expired budget was served)"
+                        )),
+                    },
+                    Err(e) => report
+                        .failures
+                        .push(format!("expiry probe {probe}: transport: {e}")),
+                }
+            }
+        }
+        Err(e) => report.failures.push(format!("probe connect: {e}")),
+    }
+    report.expired += probe_expired;
+
+    // Shed-retry observed through the router's own telemetry.
+    match http_get(&router_addr, "/metrics") {
+        Ok(text) => {
+            report.shed_retries =
+                metric_value(&text, "patdnn_router_shed_retries_total").unwrap_or(0);
+            if report.shed_retries == 0 {
+                report.failures.push(
+                    "router reported zero shed-retries under overflow load \
+                     (expected the preferred replica to overflow)"
+                        .into(),
+                );
+            }
+            match metric_value(&text, "patdnn_router_completed_total") {
+                Some(total) if total as usize >= report.completed => {}
+                other => report.failures.push(format!(
+                    "router completed_total {other:?} < client-side {}",
+                    report.completed
+                )),
+            }
+        }
+        Err(e) => report.failures.push(format!("router /metrics: {e}")),
+    }
+
+    // Clean drain: the router front-end first, then both replicas;
+    // all three processes must exit 0.
+    match NetClient::connect(&router_addr).and_then(|mut c| c.shutdown(true)) {
+        Ok(()) => {}
+        Err(e) => report.failures.push(format!("router shutdown: {e}")),
+    }
+    router.wait_clean(&mut report.failures);
+    for (replica, addr) in replicas {
+        match NetClient::connect(&addr).and_then(|mut c| c.shutdown(true)) {
+            Ok(()) => {}
+            Err(e) => report
+                .failures
+                .push(format!("{}: shutdown: {e}", replica.name)),
+        }
+        replica.wait_clean(&mut report.failures);
+    }
+    report
+}

@@ -1,0 +1,98 @@
+//! `patdnn-router` — the shard router front-end.
+//!
+//! Shards a fleet of `patdnn-serve --listen` replica processes by
+//! model name (consistent hashing over virtual nodes) and speaks the
+//! same versioned wire protocol to clients, so a router is
+//! indistinguishable from a single replica. Per replica the router
+//! enforces an in-flight budget (reusing the serving-tier
+//! [`patdnn_serve::AdmissionPolicy`]), retries shed requests on the
+//! next replica in the model's preference order, and ejects replicas
+//! after consecutive transport failures (readmitting them after a
+//! cooldown probe). `/metrics` and `/healthz` answer over HTTP on the
+//! same port. See [`patdnn_serve::router`] and DESIGN.md §14.
+//!
+//! ```text
+//! patdnn-router --listen ADDR --replica ADDR [--replica ADDR ...]
+//!               [--vnodes N] [--max-in-flight N] [--eject-after N]
+//!               [--cooldown-ms N]
+//! ```
+//!
+//! The process runs until a peer sends the shutdown frame on the
+//! router port, then exits 0. Replicas are *not* shut down with it —
+//! drain them via their own ports.
+
+use std::time::Duration;
+
+use patdnn_serve::router::{Router, RouterConfig, RouterServer};
+use patdnn_serve::AdmissionPolicy;
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!(
+        "usage: patdnn-router --listen ADDR --replica ADDR [--replica ADDR ...] \
+         [--vnodes N] [--max-in-flight N] [--eject-after N] [--cooldown-ms N]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut listen: Option<String> = None;
+    let mut cfg = RouterConfig::default();
+    let mut max_in_flight = cfg.replica_policy.max_in_flight;
+
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        let need = |i: usize| -> usize {
+            argv.get(i + 1)
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| die(&format!("{} needs a number", argv[i])))
+        };
+        let need_str = |i: usize, what: &str| -> String {
+            argv.get(i + 1)
+                .cloned()
+                .unwrap_or_else(|| die(&format!("{} needs {what}", argv[i])))
+        };
+        match argv[i].as_str() {
+            "--listen" => listen = Some(need_str(i, "an address (host:port)")),
+            "--replica" => cfg.replicas.push(need_str(i, "a replica address")),
+            "--vnodes" => cfg.vnodes = need(i),
+            "--max-in-flight" => max_in_flight = need(i),
+            "--eject-after" => cfg.eject_after = need(i) as u32,
+            "--cooldown-ms" => cfg.cooldown = Duration::from_millis(need(i) as u64),
+            other => die(&format!("unknown flag {other}")),
+        }
+        i += 2;
+    }
+    let listen = listen.unwrap_or_else(|| die("--listen is required"));
+    if cfg.replicas.is_empty() {
+        die("at least one --replica is required");
+    }
+    if cfg.vnodes == 0 || cfg.eject_after == 0 || max_in_flight == 0 {
+        die("--vnodes, --eject-after, and --max-in-flight must be at least 1");
+    }
+    cfg.replica_policy = AdmissionPolicy {
+        max_in_flight,
+        max_per_model: max_in_flight,
+    };
+
+    let replicas = cfg.replicas.clone();
+    let server = match RouterServer::bind(Router::new(cfg), &listen) {
+        Ok(s) => s,
+        Err(e) => die(&format!("bind {listen} failed: {e}")),
+    };
+    // The harness parses this line to learn the bound port.
+    println!("routing on {}", server.local_addr());
+    println!(
+        "sharding {} replica(s): {}",
+        replicas.len(),
+        replicas.join(", ")
+    );
+    match server.serve() {
+        Ok(()) => {
+            println!("router shut down cleanly");
+            std::process::exit(0);
+        }
+        Err(e) => die(&format!("serve failed: {e}")),
+    }
+}

@@ -41,8 +41,20 @@
 //!              [--priority interactive|standard|batch] [--deadline-ms N]
 //!              [--telemetry off|full|sampled:N] [--trace-out FILE]
 //!              [--artifact-out FILE]
+//! patdnn-serve --listen ADDR [--model ...] [--workers N] [--max-batch N]
+//!              [--max-wait-ms N] [--threads N] [--precision f32|int8]
+//!              [--max-in-flight N] [--queue-capacity N]
 //! patdnn-serve --verify-only FILE
 //! ```
+//!
+//! `--listen ADDR` replaces the synthetic-traffic demo with a network
+//! front-end: the compiled model is registered and served over the
+//! versioned binary wire protocol ([`patdnn_serve::wire`]) on `ADDR`,
+//! with `/metrics` and `/healthz` answered over HTTP on the same port
+//! (see [`patdnn_serve::net`]). `--model small_cnn` is also accepted
+//! here (a tiny 3x8x8 model, used by the router smoke harness). The
+//! process runs until a peer sends the shutdown frame, drains, and
+//! exits 0.
 //!
 //! `--verify-only FILE` is a standalone lint mode: it decodes the
 //! artifact (wire-format checks only), runs the plan verifier
@@ -94,6 +106,12 @@ struct Args {
     trace_out: Option<std::path::PathBuf>,
     /// Keep the compiled artifact at this path instead of a temp file.
     artifact_out: Option<std::path::PathBuf>,
+    /// Serve over TCP on this address instead of running the demo.
+    listen: Option<String>,
+    /// Admission budget (global in-flight cap) in listen mode.
+    max_in_flight: usize,
+    /// Bounded request-queue capacity in listen mode.
+    queue_capacity: usize,
 }
 
 fn parse_args() -> Args {
@@ -113,6 +131,9 @@ fn parse_args() -> Args {
         telemetry: TelemetryPolicy::Off,
         trace_out: None,
         artifact_out: None,
+        listen: None,
+        max_in_flight: 512,
+        queue_capacity: 1024,
     };
     let mut telemetry_explicit = false;
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -195,6 +216,15 @@ fn parse_args() -> Args {
                         .unwrap_or_else(|| die("--artifact-out needs a file path")),
                 );
             }
+            "--listen" => {
+                args.listen = Some(
+                    argv.get(i + 1)
+                        .cloned()
+                        .unwrap_or_else(|| die("--listen needs an address (host:port)")),
+                );
+            }
+            "--max-in-flight" => args.max_in_flight = need(i),
+            "--queue-capacity" => args.queue_capacity = need(i),
             other => die(&format!("unknown flag {other}")),
         }
         i += 2;
@@ -233,6 +263,9 @@ fn die(msg: &str) -> ! {
          [--tune off|estimate|measure] [--budget N] [--precision f32|int8] \
          [--priority interactive|standard|batch] [--deadline-ms N] \
          [--telemetry off|full|sampled:N] [--trace-out FILE] [--artifact-out FILE]\n   \
+         or: patdnn-serve --listen ADDR [--model vgg_small|resnet_small|small_cnn] \
+         [--workers N] [--max-batch N] [--max-wait-ms N] [--threads N] \
+         [--precision f32|int8] [--max-in-flight N] [--queue-capacity N]\n   \
          or: patdnn-serve --verify-only FILE"
     );
     std::process::exit(2);
@@ -258,6 +291,85 @@ fn verify_only(path: &str) -> ! {
     std::process::exit(1);
 }
 
+/// The `--listen` network front-end: compile + register the model,
+/// then serve the wire protocol (and the `/metrics` + `/healthz` HTTP
+/// shim) on `addr` until a peer sends the shutdown frame. Exits 0
+/// after a clean drain.
+fn run_listen(args: &Args, addr: &str) -> ! {
+    use patdnn_serve::net::{NetServer, NetServerConfig};
+    use patdnn_serve::AdmissionPolicy;
+
+    let mut rng = Rng::seed_from(7);
+    let (mut net, shape, prune_rate): (Sequential, [usize; 3], f32) = match args.model.as_str() {
+        "vgg_small" => (vgg_small(10, &mut rng), [3, 32, 32], 3.6),
+        "resnet_small" => (resnet_small(10, &mut rng), [3, 32, 32], 3.6),
+        // The tiny model the router smoke fleet serves: compiles in
+        // milliseconds, so replica startup is not the bottleneck.
+        "small_cnn" => (
+            patdnn_nn::models::small_cnn(3, 8, 4, &mut rng),
+            [3, 8, 8],
+            2.5,
+        ),
+        other => die(&format!(
+            "unknown model {other} (expected vgg_small, resnet_small, or small_cnn)"
+        )),
+    };
+    pattern_project_network(&mut net, 8, prune_rate);
+    let compile_opts = CompileOptions {
+        tune: args.tune,
+        threads: args.threads,
+        ..CompileOptions::default()
+    };
+    let mut artifact = compile_network_with(&args.model, &net, shape, &compile_opts)
+        .unwrap_or_else(|e| die(&format!("compile failed: {e}")));
+    if args.precision == Precision::Int8 {
+        let calib = calibration_batch(shape, 8, 17);
+        let profile = calibrate_network(&net, &calib)
+            .unwrap_or_else(|e| die(&format!("calibration failed: {e}")));
+        artifact = quantize_artifact(&artifact, &profile)
+            .unwrap_or_else(|e| die(&format!("quantization failed: {e}")));
+    }
+    let engine = Engine::new(artifact, EngineOptions::default())
+        .unwrap_or_else(|e| die(&format!("engine build failed: {e}")));
+    let registry = Arc::new(ModelRegistry::new());
+    registry.register(&args.model, engine);
+    let server = Server::start(
+        registry,
+        ServerConfig {
+            workers: args.workers,
+            batch: BatchPolicy {
+                max_batch: args.max_batch,
+                max_wait: Duration::from_millis(args.max_wait_ms),
+                ..BatchPolicy::default()
+            },
+            queue_capacity: args.queue_capacity,
+            admission: AdmissionPolicy {
+                max_in_flight: args.max_in_flight,
+                max_per_model: args.max_in_flight,
+            },
+            telemetry: args.telemetry,
+        },
+    );
+    let net_server = NetServer::bind(server, addr, NetServerConfig::default())
+        .unwrap_or_else(|e| die(&format!("bind {addr} failed: {e}")));
+    // The harness parses this line to learn the bound port (addr may
+    // have been host:0).
+    println!("listening on {}", net_server.local_addr());
+    println!(
+        "serving {} ({}, wire v{}, /metrics + /healthz over HTTP)",
+        args.model,
+        args.precision.label(),
+        patdnn_serve::wire::WIRE_VERSION
+    );
+    match net_server.serve() {
+        Ok(()) => {
+            println!("drained and shut down cleanly");
+            std::process::exit(0);
+        }
+        Err(e) => die(&format!("serve failed: {e}")),
+    }
+}
+
 fn main() {
     // `--verify-only FILE` short-circuits the demo entirely.
     let raw: Vec<String> = std::env::args().skip(1).collect();
@@ -269,6 +381,9 @@ fn main() {
     }
 
     let args = parse_args();
+    if let Some(addr) = args.listen.clone() {
+        run_listen(&args, &addr);
+    }
     let mut rng = Rng::seed_from(7);
 
     // 1. Train-stage stand-in: a chain (VGG-style) or residual DAG

@@ -65,8 +65,20 @@
 //!   priority class with earliest-deadline-first ordering inside each
 //!   class, drop expired requests *before* execution, and protect
 //!   `Batch`-class work from starvation with a bounded boost.
-//! - [`server`] — the worker pool tying registry + queue together
-//!   (the old blocking `submit`/`infer` remain as deprecated shims).
+//! - [`server`] — the worker pool tying registry + queue together.
+//! - [`mod@wire`] — the versioned length-prefixed binary protocol: the
+//!   request API rendered as frames, with every [`ServeError`] variant
+//!   and [`request::Terminal`] state carrying a stable numeric code
+//!   (the frozen v1 surface; see [`prelude`]).
+//! - [`net`] — the std-only TCP front-end (`patdnn-serve --listen`):
+//!   connections map onto the [`request::Client`] lifecycle so
+//!   deadlines, priorities, cancellation, and shed-with-retry-hint
+//!   travel over the wire as typed responses; plus a minimal HTTP/1.1
+//!   shim for `/metrics` and `/healthz` on the same port.
+//! - [`router`] — the shard router (`patdnn-router`): consistent
+//!   hashing of models over a replica fleet, per-replica in-flight
+//!   accounting, retry-on-shed to the next replica, and health-based
+//!   ejection/readmission.
 //! - [`metrics`] — per-request latency and throughput counters
 //!   (p50/p95/p99, QPS), per priority class, plus shed / expired /
 //!   cancelled lifecycle counters and live queue-depth / in-flight
@@ -105,13 +117,38 @@ pub mod batching;
 pub mod compile;
 pub mod engine;
 pub mod metrics;
+pub mod net;
 pub mod quant;
 pub mod registry;
 pub mod request;
+pub mod router;
 pub mod server;
 pub mod telemetry;
 pub mod tune;
 pub mod verify;
+pub mod wire;
+
+/// The frozen v1 request-API surface, shared by in-process callers and
+/// the wire protocol.
+///
+/// Everything here is what a caller needs to submit requests and
+/// interpret their typed outcomes — locally through
+/// [`Server::client`], or remotely through [`net::NetClient`] against
+/// a `patdnn-serve --listen` process or a `patdnn-router` shard
+/// router. The wire protocol ([`mod@wire`]) serializes exactly these
+/// types: [`ServeError::code`] / [`request::Terminal::code`] give
+/// every outcome a stable numeric code, so the two surfaces cannot
+/// drift apart.
+pub mod prelude {
+    pub use crate::net::{NetClient, NetServer, NetServerConfig, WireOutcome};
+    pub use crate::request::{
+        AdmissionPolicy, CancelToken, Client, Priority, RequestBuilder, ResponseHandle, Terminal,
+    };
+    pub use crate::router::{Router, RouterConfig};
+    pub use crate::server::{InferResponse, Server, ServerConfig};
+    pub use crate::wire::{Frame, WireError, WIRE_VERSION};
+    pub use crate::ServeError;
+}
 
 pub use algo_exec::{winograd_eligible, WinogradRejection};
 pub use artifact::{ArtifactError, ExecConfig, LayerPlan, LoadPolicy, ModelArtifact, Precision};
@@ -121,23 +158,34 @@ pub use compile::{
 };
 pub use engine::{Engine, EngineOptions, StepTiming};
 pub use metrics::{ClassSnapshot, MetricsSnapshot, ServerMetrics};
+pub use net::{NetClient, NetServer, NetServerConfig, WireOutcome};
 pub use quant::{compile_network_int8, quantize_artifact, QuantError};
 pub use registry::ModelRegistry;
 pub use request::{
     AdmissionPolicy, CancelToken, Client, Priority, RequestBuilder, ResponseHandle, Terminal,
 };
-pub use server::{Server, ServerConfig};
+pub use router::{Router, RouterConfig, RouterMetricsSnapshot};
+pub use server::{InferResponse, Server, ServerConfig};
 pub use telemetry::{
     LayerSnapshot, RequestTrace, SpanEvent, SpanKind, Stage, StageStat, Telemetry, TelemetryPolicy,
     TraceId,
 };
 pub use tune::TunePolicy;
 pub use verify::{verify, VerifyReport, Violation};
+pub use wire::{Frame, WireError};
 
 use std::fmt;
 
 /// Errors surfaced by the serving layer.
+///
+/// This enum is part of the **frozen v1 request API**: every variant
+/// has a stable numeric wire code ([`ServeError::code`]) that the
+/// network protocol ([`mod@wire`]) serializes, so remote callers see the
+/// same typed surface as in-process ones. New variants may be added
+/// (the enum is `#[non_exhaustive]`), but existing codes never change
+/// meaning. See DESIGN.md §14 for the code table.
 #[derive(Debug)]
+#[non_exhaustive]
 pub enum ServeError {
     /// The named model is not registered.
     UnknownModel(String),
@@ -182,6 +230,70 @@ pub enum ServeError {
     Quant(QuantError),
     /// An unexpected failure inside a worker.
     Internal(String),
+}
+
+impl ServeError {
+    /// The variant's stable v1 wire code.
+    ///
+    /// Codes are frozen: they are what the network protocol
+    /// ([`mod@wire`]) puts on the wire, what `from_code` round-trips,
+    /// and what routers key retry decisions on ([`ServeError::Shed`]
+    /// is retried on the next replica; most others are terminal).
+    /// Never renumber; new variants append new codes.
+    pub fn code(&self) -> u16 {
+        match self {
+            ServeError::UnknownModel(_) => 1,
+            ServeError::QueueFull => 2,
+            ServeError::QueueClosed => 3,
+            ServeError::ShuttingDown => 4,
+            ServeError::Expired { .. } => 5,
+            ServeError::Cancelled => 6,
+            ServeError::Shed { .. } => 7,
+            ServeError::MissingInput => 8,
+            ServeError::Closed => 9,
+            ServeError::ShapeMismatch { .. } => 10,
+            ServeError::Compile(_) => 11,
+            ServeError::Artifact(_) => 12,
+            ServeError::Quant(_) => 13,
+            ServeError::Internal(_) => 14,
+        }
+    }
+
+    /// Reconstructs the variant a v1 wire code names, with empty
+    /// payloads (`from_code(e.code())` always yields a variant whose
+    /// `code()` equals `e.code()`). Wire decoding uses this to map a
+    /// frame's code back to the typed error, then re-attaches the
+    /// payload fields the frame carries (durations, messages).
+    /// Unknown codes return `None` so a newer peer's error degrades to
+    /// a typed decode failure instead of a mis-typed variant.
+    pub fn from_code(code: u16) -> Option<ServeError> {
+        Some(match code {
+            1 => ServeError::UnknownModel(String::new()),
+            2 => ServeError::QueueFull,
+            3 => ServeError::QueueClosed,
+            4 => ServeError::ShuttingDown,
+            5 => ServeError::Expired {
+                missed_by: std::time::Duration::ZERO,
+            },
+            6 => ServeError::Cancelled,
+            7 => ServeError::Shed {
+                retry_after_hint: std::time::Duration::ZERO,
+            },
+            8 => ServeError::MissingInput,
+            9 => ServeError::Closed,
+            10 => ServeError::ShapeMismatch {
+                expected: Vec::new(),
+                got: Vec::new(),
+            },
+            11 => ServeError::Compile(CompileError::InvalidOptions(String::new())),
+            12 => ServeError::Artifact(ArtifactError::Truncated),
+            13 => ServeError::Quant(QuantError::MissingCalibration {
+                step: String::new(),
+            }),
+            14 => ServeError::Internal(String::new()),
+            _ => return None,
+        })
+    }
 }
 
 impl fmt::Display for ServeError {

@@ -1,0 +1,781 @@
+//! The std-only TCP front-end: `patdnn-serve --listen`.
+//!
+//! A [`NetServer`] binds one TCP port and speaks two protocols,
+//! distinguished by sniffing the first bytes of each connection:
+//!
+//! - the binary wire protocol ([`crate::wire`], connections opening
+//!   with the `PDNW` magic): inference requests with deadline,
+//!   priority, and cancellation mapped straight onto the in-process
+//!   [`Client`] lifecycle, so a remote caller sees exactly the typed
+//!   terminals an in-process caller does — `Completed`, `Expired`,
+//!   `Cancelled`, `Shed { retry_after_hint }` — as frames carrying the
+//!   frozen v1 codes;
+//! - a minimal HTTP/1.1 shim (connections opening with an ASCII
+//!   method): `GET /metrics` returns the serving counters in a flat
+//!   Prometheus-style text form, `GET /healthz` a liveness line.
+//!
+//! One connection can carry many requests concurrently: request ids
+//! are client-chosen and echoed back, responses are written under a
+//! per-connection writer lock as each request resolves (a dedicated
+//! waiter thread per in-flight request blocks on its
+//! [`crate::request::ResponseHandle`]). Deadlines arrive as relative
+//! budgets and are re-anchored on the server's monotonic clock, so
+//! client clock skew cannot expire requests in flight.
+//!
+//! [`NetClient`] is the matching blocking client — used by the router
+//! to forward requests, by the loopback tests, and by anything else
+//! that wants typed outcomes ([`WireOutcome`]) over TCP.
+
+use std::collections::HashMap;
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::net::{Shutdown as SockShutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+use patdnn_tensor::Tensor;
+
+use crate::metrics::MetricsSnapshot;
+use crate::request::{CancelToken, Client, Priority, Terminal};
+use crate::server::Server;
+use crate::wire::{self, duration_to_us, read_frame, write_frame, Frame, WireError, WIRE_MAGIC};
+use crate::ServeError;
+
+/// Network front-end knobs.
+#[derive(Debug, Clone)]
+pub struct NetServerConfig {
+    /// Honor [`Frame::Shutdown`] from peers. On for demo/smoke
+    /// deployments (the orchestration harness drains fleets with it);
+    /// turn off when the port is exposed beyond the orchestrator.
+    pub allow_remote_shutdown: bool,
+}
+
+impl Default for NetServerConfig {
+    fn default() -> Self {
+        NetServerConfig {
+            allow_remote_shutdown: true,
+        }
+    }
+}
+
+/// Counts in-flight response-waiter threads so shutdown can wait for
+/// every response to be written before the process exits. Shared with
+/// the router front-end.
+#[derive(Default)]
+pub(crate) struct WaitGroup {
+    count: Mutex<usize>,
+    zero: Condvar,
+}
+
+impl WaitGroup {
+    pub(crate) fn add(&self) {
+        *self.count.lock().expect("waitgroup lock") += 1;
+    }
+
+    pub(crate) fn done(&self) {
+        let mut n = self.count.lock().expect("waitgroup lock");
+        *n -= 1;
+        if *n == 0 {
+            self.zero.notify_all();
+        }
+    }
+
+    pub(crate) fn wait(&self) {
+        let mut n = self.count.lock().expect("waitgroup lock");
+        while *n > 0 {
+            n = self.zero.wait(n).expect("waitgroup lock");
+        }
+    }
+}
+
+/// State shared by every connection handler.
+struct NetShared {
+    client: Client,
+    cfg: NetServerConfig,
+    /// Set when a shutdown frame arrives; the accept loop exits on the
+    /// next wake-up.
+    stop: AtomicBool,
+    /// Whether the stop should drain queued work (vs fail it typed).
+    drain: AtomicBool,
+    waiters: WaitGroup,
+    local_addr: SocketAddr,
+}
+
+/// A TCP front-end wrapping a running [`Server`].
+pub struct NetServer {
+    server: Server,
+    listener: TcpListener,
+    shared: Arc<NetShared>,
+}
+
+impl NetServer {
+    /// Binds `addr` (e.g. `"127.0.0.1:0"`) over a running server.
+    pub fn bind(server: Server, addr: &str, cfg: NetServerConfig) -> std::io::Result<NetServer> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let shared = Arc::new(NetShared {
+            client: server.client(),
+            cfg,
+            stop: AtomicBool::new(false),
+            drain: AtomicBool::new(true),
+            waiters: WaitGroup::default(),
+            local_addr,
+        });
+        Ok(NetServer {
+            server,
+            listener,
+            shared,
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.shared.local_addr
+    }
+
+    /// Accepts connections until a shutdown frame arrives, then shuts
+    /// the inner server down (draining queued work for
+    /// `Shutdown { drain: true }`, failing it typed otherwise) and
+    /// waits until every in-flight response has been written.
+    pub fn serve(self) -> std::io::Result<()> {
+        let NetServer {
+            server,
+            listener,
+            shared,
+        } = self;
+        for stream in listener.incoming() {
+            if shared.stop.load(Ordering::Acquire) {
+                break;
+            }
+            let Ok(stream) = stream else { continue };
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || handle_connection(stream, &shared));
+        }
+        if shared.drain.load(Ordering::Acquire) {
+            server.shutdown();
+        } else {
+            server.shutdown_now();
+        }
+        // Every queued request now has a terminal; wait for the waiter
+        // threads to finish writing them to their sockets.
+        shared.waiters.wait();
+        Ok(())
+    }
+
+    /// Runs [`Self::serve`] on a background thread and returns a
+    /// handle for tests and embedders.
+    pub fn spawn(self) -> NetServerHandle {
+        let addr = self.local_addr();
+        let join = std::thread::spawn(move || self.serve());
+        NetServerHandle { addr, join }
+    }
+}
+
+/// Handle to a [`NetServer`] running on a background thread.
+pub struct NetServerHandle {
+    addr: SocketAddr,
+    join: std::thread::JoinHandle<std::io::Result<()>>,
+}
+
+impl NetServerHandle {
+    /// The bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Sends a shutdown frame (drain or fail-pending) and joins the
+    /// serve loop.
+    pub fn shutdown(self, drain: bool) -> std::io::Result<()> {
+        if let Ok(mut client) = NetClient::connect(&self.addr.to_string()) {
+            let _ = client.shutdown(drain);
+        }
+        self.join.join().expect("net server thread panicked")
+    }
+}
+
+/// Sniffs the protocol and dispatches the connection.
+fn handle_connection(stream: TcpStream, shared: &Arc<NetShared>) {
+    let _ = stream.set_nodelay(true);
+    let mut head = [0u8; 4];
+    let mut reader = stream;
+    if reader.read_exact(&mut head).is_err() {
+        return;
+    }
+    if &head == WIRE_MAGIC {
+        let _ = handle_wire_connection(reader, shared);
+    } else if head.is_ascii() {
+        // An HTTP request line ("GET ", "HEAD", ...): hand the already
+        // consumed bytes to the shim.
+        let _ = handle_http_connection(reader, &head, shared);
+    }
+    // Anything else: drop the connection silently.
+}
+
+/// The binary protocol loop for one connection.
+fn handle_wire_connection(stream: TcpStream, shared: &Arc<NetShared>) -> Result<(), WireError> {
+    let mut reader = BufReader::new(stream.try_clone()?);
+    wire::read_handshake_version(&mut reader)?;
+    let writer = Arc::new(Mutex::new(stream.try_clone()?));
+    // Cancel tokens of this connection's in-flight requests, so a
+    // `Cancel { id }` frame can reach them.
+    let inflight: Arc<Mutex<HashMap<u64, CancelToken>>> = Arc::new(Mutex::new(HashMap::new()));
+    // A read error means the peer hung up or sent garbage: the
+    // connection is done (in-flight requests still resolve; their
+    // writes fail harmlessly if the socket is gone).
+    while let Ok(frame) = read_frame(&mut reader) {
+        match frame {
+            Frame::Infer {
+                id,
+                model,
+                priority,
+                deadline_us,
+                input,
+            } => {
+                submit_remote(
+                    shared,
+                    &writer,
+                    &inflight,
+                    id,
+                    model,
+                    priority,
+                    deadline_us,
+                    input,
+                );
+            }
+            Frame::Cancel { id } => {
+                if let Some(token) = inflight.lock().expect("inflight lock").get(&id) {
+                    token.cancel();
+                }
+            }
+            Frame::Ping { token } => {
+                let snap = shared.client.metrics().snapshot();
+                let pong = Frame::Pong {
+                    token,
+                    queue_depth: snap.queue_depth,
+                    in_flight: snap.in_flight,
+                    models: shared.client.models().len() as u32,
+                };
+                write_locked(&writer, &pong)?;
+            }
+            Frame::Shutdown { drain } => {
+                if !shared.cfg.allow_remote_shutdown {
+                    write_locked(
+                        &writer,
+                        &Frame::reject(0, &ServeError::Internal("remote shutdown disabled".into())),
+                    )?;
+                    continue;
+                }
+                shared.drain.store(drain, Ordering::Release);
+                shared.stop.store(true, Ordering::Release);
+                write_locked(&writer, &Frame::ShutdownAck)?;
+                // Unblock the accept loop so `serve` can proceed to
+                // the actual server shutdown.
+                let _ = TcpStream::connect(shared.local_addr);
+                break;
+            }
+            // Server-originated frames arriving at the server are a
+            // protocol violation; drop the connection.
+            _ => break,
+        }
+    }
+    Ok(())
+}
+
+/// Submits one remote request onto the in-process lifecycle and spawns
+/// the waiter that writes its terminal back.
+#[allow(clippy::too_many_arguments)]
+fn submit_remote(
+    shared: &Arc<NetShared>,
+    writer: &Arc<Mutex<TcpStream>>,
+    inflight: &Arc<Mutex<HashMap<u64, CancelToken>>>,
+    id: u64,
+    model: String,
+    priority: Priority,
+    deadline_us: u64,
+    input: Tensor,
+) {
+    let token = CancelToken::new();
+    let mut builder = shared
+        .client
+        .request(&model)
+        .input(input)
+        .priority(priority)
+        .cancel_token(token.clone());
+    if deadline_us > 0 {
+        // Relative budget re-anchored on this host's monotonic clock.
+        builder = builder.deadline_in(Duration::from_micros(deadline_us));
+    }
+    match builder.submit() {
+        Ok(handle) => {
+            inflight.lock().expect("inflight lock").insert(id, token);
+            shared.waiters.add();
+            let shared = Arc::clone(shared);
+            let writer = Arc::clone(writer);
+            let inflight = Arc::clone(inflight);
+            std::thread::spawn(move || {
+                let terminal = handle.wait();
+                inflight.lock().expect("inflight lock").remove(&id);
+                let frame = terminal_to_frame(id, terminal);
+                let _ = write_locked(&writer, &frame);
+                shared.waiters.done();
+            });
+        }
+        // Fast-fail path: submission itself refused (unknown model,
+        // shape mismatch, expired-at-submit, shed, backpressure...).
+        Err(e) => {
+            let _ = write_locked(writer, &Frame::reject(id, &e));
+        }
+    }
+}
+
+/// Renders a typed terminal as its response frame.
+fn terminal_to_frame(id: u64, terminal: Terminal) -> Frame {
+    match terminal {
+        Terminal::Completed(resp) => Frame::Completed {
+            id,
+            latency_us: duration_to_us(resp.latency),
+            batch_size: resp.batch_size as u32,
+            output: resp.output,
+        },
+        other => match other.into_result() {
+            Ok(_) => unreachable!("non-completed terminal has no response"),
+            Err(e) => Frame::reject(id, &e),
+        },
+    }
+}
+
+fn write_locked(writer: &Arc<Mutex<TcpStream>>, frame: &Frame) -> Result<(), WireError> {
+    let mut guard = writer.lock().expect("net writer lock");
+    let mut buffered = BufWriter::new(&mut *guard);
+    write_frame(&mut buffered, frame)?;
+    buffered.flush()?;
+    Ok(())
+}
+
+// ---------------------------------------------------------------------
+// HTTP/1.1 shim
+// ---------------------------------------------------------------------
+
+/// Serves one HTTP request (`/metrics`, `/healthz`) and closes.
+fn handle_http_connection(
+    mut stream: TcpStream,
+    head: &[u8; 4],
+    shared: &Arc<NetShared>,
+) -> std::io::Result<()> {
+    let path = match read_http_request(&mut stream, head) {
+        Some(p) => p,
+        None => return Ok(()),
+    };
+    let snap = shared.client.metrics().snapshot();
+    let models = shared.client.models().len();
+    let (status, body) = match path.as_str() {
+        "/healthz" => (
+            "200 OK",
+            format!("ok models={models} in_flight={}\n", snap.in_flight),
+        ),
+        "/metrics" => ("200 OK", render_metrics_text(&snap, models)),
+        _ => ("404 Not Found", "not found\n".to_owned()),
+    };
+    write_http_response(&mut stream, status, &body)
+}
+
+/// Reads the request line + headers; returns the request path.
+pub(crate) fn read_http_request(stream: &mut TcpStream, head: &[u8]) -> Option<String> {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
+    let mut buf = head.to_vec();
+    let mut byte = [0u8; 1];
+    // Read until the blank line ending the header block (bounded so a
+    // hostile peer cannot grow the buffer without limit).
+    while !buf.ends_with(b"\r\n\r\n") && !buf.ends_with(b"\n\n") && buf.len() < 16 << 10 {
+        match stream.read(&mut byte) {
+            Ok(1) => buf.push(byte[0]),
+            _ => break,
+        }
+    }
+    let text = String::from_utf8_lossy(&buf);
+    let request_line = text.lines().next()?;
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next()?;
+    let path = parts.next()?;
+    if method != "GET" {
+        return None;
+    }
+    Some(path.to_owned())
+}
+
+pub(crate) fn write_http_response(
+    stream: &mut TcpStream,
+    status: &str,
+    body: &str,
+) -> std::io::Result<()> {
+    let response = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: text/plain; charset=utf-8\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(response.as_bytes())?;
+    stream.flush()?;
+    let _ = stream.shutdown(SockShutdown::Both);
+    Ok(())
+}
+
+/// Flat `name value` exposition of the serving counters (one gauge or
+/// counter per line, Prometheus text-format compatible).
+pub(crate) fn render_metrics_text(snap: &MetricsSnapshot, models: usize) -> String {
+    let mut out = String::new();
+    let mut line = |name: &str, value: String| {
+        out.push_str(name);
+        out.push(' ');
+        out.push_str(&value);
+        out.push('\n');
+    };
+    line("patdnn_models", models.to_string());
+    line("patdnn_requests_total", snap.requests.to_string());
+    line("patdnn_batches_total", snap.batches.to_string());
+    line("patdnn_rejected_total", snap.rejected.to_string());
+    line("patdnn_shed_total", snap.shed.to_string());
+    line("patdnn_expired_total", snap.expired.to_string());
+    line("patdnn_cancelled_total", snap.cancelled.to_string());
+    line("patdnn_queue_depth", snap.queue_depth.to_string());
+    line("patdnn_in_flight", snap.in_flight.to_string());
+    line("patdnn_qps", format!("{:.3}", snap.qps));
+    line("patdnn_latency_p50_ms", format!("{:.3}", snap.p50_ms));
+    line("patdnn_latency_p99_ms", format!("{:.3}", snap.p99_ms));
+    for class in &snap.classes {
+        let label = class.priority.label();
+        line(
+            &format!("patdnn_class_requests{{class=\"{label}\"}}"),
+            class.requests.to_string(),
+        );
+        line(
+            &format!("patdnn_class_latency_p50_ms{{class=\"{label}\"}}"),
+            format!("{:.3}", class.p50_ms),
+        );
+        line(
+            &format!("patdnn_class_latency_p99_ms{{class=\"{label}\"}}"),
+            format!("{:.3}", class.p99_ms),
+        );
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// Client
+// ---------------------------------------------------------------------
+
+/// The typed outcome a remote request resolves to — the wire-side
+/// mirror of [`Terminal`] (`Completed` carries the output; everything
+/// else is the typed [`ServeError`] rebuilt from its frozen code).
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum WireOutcome {
+    /// The request executed; here is its output.
+    Completed {
+        /// The model output, `[1, ...]`.
+        output: Tensor,
+        /// Server-side end-to-end latency.
+        latency: Duration,
+        /// Size of the executed batch this request rode in.
+        batch_size: usize,
+    },
+    /// The request resolved to a typed non-completed terminal.
+    Rejected(ServeError),
+}
+
+impl WireOutcome {
+    /// `true` for [`WireOutcome::Completed`].
+    pub fn is_completed(&self) -> bool {
+        matches!(self, WireOutcome::Completed { .. })
+    }
+
+    /// The terminal-state code this outcome corresponds to — equal to
+    /// [`Terminal::code`] for the same outcome in-process, which is
+    /// what the loopback parity tests assert.
+    pub fn terminal_code(&self) -> u16 {
+        match self {
+            WireOutcome::Completed { .. } => 0,
+            WireOutcome::Rejected(ServeError::Expired { .. }) => 1,
+            WireOutcome::Rejected(ServeError::Cancelled) => 2,
+            WireOutcome::Rejected(ServeError::Shed { .. }) => 3,
+            WireOutcome::Rejected(_) => 4,
+        }
+    }
+}
+
+/// Live gauges returned by a ping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PongInfo {
+    /// Requests waiting in the remote batch queue.
+    pub queue_depth: u64,
+    /// Requests holding a remote admission permit.
+    pub in_flight: u64,
+    /// Models registered on the remote server.
+    pub models: u32,
+}
+
+/// A blocking client speaking the wire protocol.
+///
+/// Requests are multiplexed by id, so callers may interleave
+/// [`NetClient::submit`] / [`NetClient::recv`]; the convenience
+/// [`NetClient::infer`] submits and waits for that id's response.
+pub struct NetClient {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+    next_id: u64,
+}
+
+impl NetClient {
+    /// Connects and performs the protocol handshake.
+    pub fn connect(addr: &str) -> Result<NetClient, WireError> {
+        Self::connect_timeout(addr, Duration::from_secs(5))
+    }
+
+    /// Connects with an explicit TCP connect timeout.
+    pub fn connect_timeout(addr: &str, timeout: Duration) -> Result<NetClient, WireError> {
+        let mut last_err: Option<std::io::Error> = None;
+        let addrs = addr.to_socket_addrs().map_err(WireError::Io)?;
+        let mut stream = None;
+        for candidate in addrs {
+            match TcpStream::connect_timeout(&candidate, timeout) {
+                Ok(s) => {
+                    stream = Some(s);
+                    break;
+                }
+                Err(e) => last_err = Some(e),
+            }
+        }
+        let stream = stream.ok_or_else(|| {
+            WireError::Io(last_err.unwrap_or_else(|| {
+                std::io::Error::new(std::io::ErrorKind::NotFound, "no resolvable address")
+            }))
+        })?;
+        let _ = stream.set_nodelay(true);
+        let mut writer = stream.try_clone()?;
+        wire::write_handshake(&mut writer)?;
+        Ok(NetClient {
+            reader: BufReader::new(stream),
+            writer,
+            next_id: 1,
+        })
+    }
+
+    /// Submits one request and returns its id (response read
+    /// separately via [`NetClient::recv`]).
+    pub fn submit(
+        &mut self,
+        model: &str,
+        input: &Tensor,
+        priority: Priority,
+        deadline: Option<Duration>,
+    ) -> Result<u64, WireError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.submit_with_id(id, model, input, priority, deadline)?;
+        Ok(id)
+    }
+
+    /// Submits with an explicit id (the router reuses upstream ids so
+    /// its per-replica connections stay correlated).
+    pub fn submit_with_id(
+        &mut self,
+        id: u64,
+        model: &str,
+        input: &Tensor,
+        priority: Priority,
+        deadline: Option<Duration>,
+    ) -> Result<(), WireError> {
+        self.next_id = self.next_id.max(id + 1);
+        let frame = Frame::Infer {
+            id,
+            model: model.to_owned(),
+            priority,
+            // `0` is the "no deadline" sentinel on the wire, so a
+            // still-live sub-microsecond budget must round up to 1 —
+            // truncating it to the sentinel would serve the request
+            // deadline-free (the router forwards *remaining* budgets,
+            // which legitimately shrink below 1µs).
+            deadline_us: deadline.map(|d| duration_to_us(d).max(1)).unwrap_or(0),
+            input: input.clone(),
+        };
+        let mut buffered = BufWriter::new(&mut self.writer);
+        write_frame(&mut buffered, &frame)?;
+        buffered.flush()?;
+        Ok(())
+    }
+
+    /// Requests best-effort cancellation of `id`.
+    pub fn cancel(&mut self, id: u64) -> Result<(), WireError> {
+        write_frame(&mut self.writer, &Frame::Cancel { id })
+    }
+
+    /// Blocks for the next response frame, returning `(id, outcome)`.
+    pub fn recv(&mut self) -> Result<(u64, WireOutcome), WireError> {
+        loop {
+            match read_frame(&mut self.reader)? {
+                Frame::Completed {
+                    id,
+                    latency_us,
+                    batch_size,
+                    output,
+                } => {
+                    return Ok((
+                        id,
+                        WireOutcome::Completed {
+                            output,
+                            latency: Duration::from_micros(latency_us),
+                            batch_size: batch_size as usize,
+                        },
+                    ))
+                }
+                Frame::Reject {
+                    id,
+                    code,
+                    aux_us,
+                    message,
+                } => {
+                    let err = wire::reject_to_error(code, aux_us, &message)?;
+                    return Ok((id, WireOutcome::Rejected(err)));
+                }
+                // Pongs may interleave with responses when a caller
+                // pings over a busy connection.
+                Frame::Pong { .. } | Frame::ShutdownAck => continue,
+                other => {
+                    return Err(WireError::Malformed(format!(
+                        "unexpected frame {:#04x} awaiting a response",
+                        other.tag()
+                    )))
+                }
+            }
+        }
+    }
+
+    /// Submits one request and blocks for *its* response (responses to
+    /// other outstanding ids arriving first are a protocol error on a
+    /// single-threaded connection).
+    pub fn infer(
+        &mut self,
+        model: &str,
+        input: &Tensor,
+        priority: Priority,
+        deadline: Option<Duration>,
+    ) -> Result<WireOutcome, WireError> {
+        let id = self.submit(model, input, priority, deadline)?;
+        let (got, outcome) = self.recv()?;
+        if got != id {
+            return Err(WireError::Malformed(format!(
+                "response id {got} does not match request id {id}"
+            )));
+        }
+        Ok(outcome)
+    }
+
+    /// Round-trips a ping, returning the remote gauges.
+    pub fn ping(&mut self) -> Result<PongInfo, WireError> {
+        let token = 0x50_49_4E_47 ^ self.next_id;
+        write_frame(&mut self.writer, &Frame::Ping { token })?;
+        loop {
+            if let Frame::Pong {
+                token: got,
+                queue_depth,
+                in_flight,
+                models,
+            } = read_frame(&mut self.reader)?
+            {
+                if got == token {
+                    return Ok(PongInfo {
+                        queue_depth,
+                        in_flight,
+                        models,
+                    });
+                }
+            }
+        }
+    }
+
+    /// Asks the remote process to shut down and waits for the ack.
+    pub fn shutdown(&mut self, drain: bool) -> Result<(), WireError> {
+        write_frame(&mut self.writer, &Frame::Shutdown { drain })?;
+        loop {
+            match read_frame(&mut self.reader) {
+                Ok(Frame::ShutdownAck) => return Ok(()),
+                // Responses to still-outstanding requests may arrive
+                // first; the ack terminates the stream.
+                Ok(_) => continue,
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+/// Fetches an HTTP path (e.g. `/metrics`) from a serving or router
+/// port, returning the response body. Std-only one-shot GET, shared by
+/// the smoke harness and tests.
+pub fn http_get(addr: &str, path: &str) -> std::io::Result<String> {
+    let mut stream = TcpStream::connect(addr)?;
+    let _ = stream.set_nodelay(true);
+    stream.write_all(
+        format!("GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n").as_bytes(),
+    )?;
+    let mut response = String::new();
+    stream.read_to_string(&mut response)?;
+    match response.split_once("\r\n\r\n") {
+        Some((_, body)) => Ok(body.to_owned()),
+        None => Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            "no http header terminator",
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::Priority;
+
+    #[test]
+    fn metrics_text_renders_every_counter() {
+        let snap = crate::metrics::ServerMetrics::new().snapshot();
+        let text = render_metrics_text(&snap, 2);
+        for needle in [
+            "patdnn_models 2",
+            "patdnn_requests_total 0",
+            "patdnn_queue_depth 0",
+            "patdnn_in_flight 0",
+            "patdnn_class_latency_p99_ms{class=\"interactive\"}",
+            "patdnn_class_latency_p99_ms{class=\"batch\"}",
+        ] {
+            assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+        }
+    }
+
+    #[test]
+    fn wire_outcome_codes_mirror_terminals() {
+        let shed = WireOutcome::Rejected(ServeError::Shed {
+            retry_after_hint: Duration::from_millis(1),
+        });
+        assert_eq!(shed.terminal_code(), 3);
+        let cancelled = WireOutcome::Rejected(ServeError::Cancelled);
+        assert_eq!(cancelled.terminal_code(), 2);
+        let expired = WireOutcome::Rejected(ServeError::Expired {
+            missed_by: Duration::ZERO,
+        });
+        assert_eq!(expired.terminal_code(), 1);
+        let failed = WireOutcome::Rejected(ServeError::Internal("x".into()));
+        assert_eq!(failed.terminal_code(), 4);
+        assert!(!failed.is_completed());
+        // Codes equal Terminal::code for the same outcomes.
+        assert_eq!(Terminal::Cancelled.code(), cancelled.terminal_code());
+    }
+
+    #[test]
+    fn submit_with_id_advances_the_id_counter() {
+        // Pure counter logic (no socket): ids never collide after an
+        // explicit id is used.
+        let mut next = 1u64;
+        for explicit in [5u64, 2, 9] {
+            next = next.max(explicit + 1);
+        }
+        assert_eq!(next, 10);
+        let _ = Priority::Standard;
+    }
+}

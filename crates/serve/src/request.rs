@@ -75,6 +75,13 @@ impl Priority {
         self.level() as usize
     }
 
+    /// Inverse of [`Self::index`], used by the wire protocol to decode
+    /// the class byte. Unknown indices are a typed decode error, not a
+    /// default class.
+    pub fn from_index(index: usize) -> Option<Priority> {
+        Priority::ALL.get(index).copied()
+    }
+
     /// Human-readable class name.
     pub fn label(self) -> &'static str {
         match self {
@@ -111,7 +118,13 @@ impl CancelToken {
 
 /// The typed terminal state of a submitted request. Every submitted
 /// request reaches exactly one of these.
+///
+/// Part of the frozen v1 request API: each state has a stable numeric
+/// wire code ([`Terminal::code`]) the network protocol serializes, and
+/// the enum is `#[non_exhaustive]` so codes can be appended without a
+/// breaking release. See DESIGN.md §14 for the code table.
 #[derive(Debug)]
+#[non_exhaustive]
 pub enum Terminal {
     /// The request executed; here is its output.
     Completed(InferResponse),
@@ -136,6 +149,31 @@ impl Terminal {
     /// `true` for [`Terminal::Completed`].
     pub fn is_completed(&self) -> bool {
         matches!(self, Terminal::Completed(_))
+    }
+
+    /// The state's stable v1 wire code (frozen; never renumbered).
+    /// `Failed` carries the inner [`ServeError::code`] alongside this
+    /// on the wire.
+    pub fn code(&self) -> u16 {
+        match self {
+            Terminal::Completed(_) => 0,
+            Terminal::Expired { .. } => 1,
+            Terminal::Cancelled => 2,
+            Terminal::Shed { .. } => 3,
+            Terminal::Failed(_) => 4,
+        }
+    }
+
+    /// Human-readable state label (stable, used in reports and the
+    /// router's terminal accounting).
+    pub fn label(&self) -> &'static str {
+        match self {
+            Terminal::Completed(_) => "completed",
+            Terminal::Expired { .. } => "expired",
+            Terminal::Cancelled => "cancelled",
+            Terminal::Shed { .. } => "shed",
+            Terminal::Failed(_) => "failed",
+        }
     }
 
     /// Converts back into the flat `Result` the legacy API speaks.
@@ -212,11 +250,6 @@ impl ResponseHandle {
             Err(TryRecvError::Empty) => Err(self),
             Err(TryRecvError::Disconnected) => Ok(Terminal::Failed(ServeError::Closed)),
         }
-    }
-
-    /// The raw result channel, for the legacy `Server::submit` shim.
-    pub(crate) fn into_raw_receiver(self) -> Receiver<RequestResult> {
-        self.rx
     }
 }
 
@@ -464,18 +497,52 @@ impl Client {
     }
 
     /// How long a shed caller should back off: roughly the time to
-    /// drain the current queue at the recently observed batch rate.
+    /// drain the current queue at the recently observed batch rate,
+    /// clamped to [`RETRY_HINT_FLOOR`]..[`RETRY_HINT_CEIL`].
     fn retry_after_hint(&self) -> Duration {
         let shared = &self.shared;
-        let per_batch = shared.metrics.recent_batch_time();
-        let per_batch = if per_batch.is_zero() {
-            Duration::from_millis(5)
-        } else {
-            per_batch
-        };
-        let queued_batches = shared.queue.len().div_ceil(shared.batch.max_batch.max(1)) + 1;
-        per_batch.saturating_mul(queued_batches as u32)
+        retry_after_hint(
+            shared.metrics.recent_batch_time(),
+            shared.queue.len(),
+            shared.batch.max_batch,
+        )
     }
+}
+
+/// Lower clamp on shed retry hints. A zero or near-zero hint over the
+/// wire would make a router's retry loop spin hot against an already
+/// overloaded replica.
+pub const RETRY_HINT_FLOOR: Duration = Duration::from_millis(1);
+
+/// Upper clamp on shed retry hints. A stale batch-time reading times a
+/// deep queue must not tell remote callers to go away for minutes.
+pub const RETRY_HINT_CEIL: Duration = Duration::from_secs(2);
+
+/// Computes a shed retry hint from the recently observed per-batch
+/// execution time and the queue state.
+///
+/// The result is **clamped** to `[RETRY_HINT_FLOOR, RETRY_HINT_CEIL]`
+/// (so it is always nonzero and bounded, safe to serialize into shed
+/// frames) and **monotone** in queue depth for a fixed batch rate: a
+/// deeper queue never yields a shorter hint, so remote retry loops
+/// back off harder as overload grows.
+pub(crate) fn retry_after_hint(
+    recent_batch_time: Duration,
+    queue_len: usize,
+    max_batch: usize,
+) -> Duration {
+    // An idle or never-exercised server reports a zero batch time
+    // (see `ServerMetrics::recent_batch_time`'s TTL); fall back to a
+    // small default rather than quoting zero drain time.
+    let per_batch = if recent_batch_time.is_zero() {
+        Duration::from_millis(5)
+    } else {
+        recent_batch_time
+    };
+    let queued_batches = queue_len.div_ceil(max_batch.max(1)) + 1;
+    per_batch
+        .saturating_mul(queued_batches.min(u32::MAX as usize) as u32)
+        .clamp(RETRY_HINT_FLOOR, RETRY_HINT_CEIL)
 }
 
 struct RequestSpec {
@@ -592,6 +659,73 @@ mod tests {
         drop(a1);
         assert_eq!(control.in_flight(), 2);
         let _a3 = control.try_admit("a").expect("released budget readmits");
+    }
+
+    /// Satellite regression: shed retry hints are always inside the
+    /// clamp band — never zero (a zero hint over the wire makes router
+    /// retry loops spin) and never unbounded (a stale rate times a
+    /// deep queue must not quote minutes).
+    #[test]
+    fn retry_hint_is_clamped_nonzero_and_bounded() {
+        // Zero batch time (idle TTL expired) still yields a hint at or
+        // above the floor.
+        let idle = retry_after_hint(Duration::ZERO, 0, 8);
+        assert!(idle >= RETRY_HINT_FLOOR, "{idle:?}");
+        // A sub-floor batch time over an empty queue clamps up.
+        let tiny = retry_after_hint(Duration::from_nanos(10), 0, 8);
+        assert!(tiny >= RETRY_HINT_FLOOR, "{tiny:?}");
+        // A huge stale batch time times a deep queue clamps down.
+        let huge = retry_after_hint(Duration::from_secs(30), 10_000, 1);
+        assert_eq!(huge, RETRY_HINT_CEIL);
+        // max_batch = 0 must not divide by zero.
+        let degenerate = retry_after_hint(Duration::from_millis(2), 5, 0);
+        assert!(degenerate >= RETRY_HINT_FLOOR && degenerate <= RETRY_HINT_CEIL);
+    }
+
+    /// The hint is monotone in queue depth for a fixed batch rate, so
+    /// remote callers back off harder as overload grows.
+    #[test]
+    fn retry_hint_is_monotone_in_queue_depth() {
+        let rate = Duration::from_millis(3);
+        let mut last = Duration::ZERO;
+        for queue_len in [0, 1, 7, 8, 9, 64, 1000, 100_000] {
+            let hint = retry_after_hint(rate, queue_len, 8);
+            assert!(
+                hint >= last,
+                "hint {hint:?} at depth {queue_len} dipped below {last:?}"
+            );
+            last = hint;
+        }
+    }
+
+    /// Frozen v1 codes: every terminal state maps to its stable code.
+    #[test]
+    fn terminal_codes_are_stable() {
+        assert_eq!(Terminal::Cancelled.code(), 2);
+        assert_eq!(
+            Terminal::Expired {
+                missed_by: Duration::ZERO
+            }
+            .code(),
+            1
+        );
+        assert_eq!(
+            Terminal::Shed {
+                retry_after_hint: Duration::ZERO
+            }
+            .code(),
+            3
+        );
+        assert_eq!(Terminal::Failed(ServeError::Closed).code(), 4);
+        assert_eq!(Terminal::Failed(ServeError::Closed).label(), "failed");
+    }
+
+    #[test]
+    fn priority_index_round_trips() {
+        for p in Priority::ALL {
+            assert_eq!(Priority::from_index(p.index()), Some(p));
+        }
+        assert_eq!(Priority::from_index(3), None);
     }
 
     #[test]

@@ -10,14 +10,14 @@
 //! Requests enter through the lifecycle API ([`crate::request`]):
 //! [`Server::client`] hands out a cheap [`Client`] whose
 //! [`Client::request`] builder carries deadline, priority, and
-//! cancellation. The old [`Server::submit`]/[`Server::infer`] pair
-//! remains as a deprecated shim over that API for one release.
+//! cancellation. (The pre-v1 `Server::submit`/`Server::infer` shims
+//! are gone; the lifecycle API is the one request surface, in-process
+//! and over the wire alike — see [`crate::prelude`].)
 //!
 //! Engines themselves may use the runtime's FKR-balanced thread pool
 //! per layer ([`crate::engine::EngineOptions::threads`]), so total
 //! parallelism is `workers × threads`.
 
-use std::sync::mpsc::Receiver;
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -152,30 +152,6 @@ impl Server {
     /// Requests currently in flight (admitted, not yet terminal).
     pub fn in_flight(&self) -> usize {
         self.shared.admission.in_flight()
-    }
-
-    /// Submits a single-item request, returning the channel its result
-    /// will arrive on.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `Server::client()` and the `Client::request(..)` builder"
-    )]
-    pub fn submit(
-        &self,
-        model: &str,
-        input: Tensor,
-    ) -> Result<Receiver<RequestResult>, ServeError> {
-        let handle = self.client().request(model).input(input).submit()?;
-        Ok(handle.into_raw_receiver())
-    }
-
-    /// Submits a request and blocks for its result.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `Server::client()` and `Client::infer(..)` (or the request builder)"
-    )]
-    pub fn infer(&self, model: &str, input: Tensor) -> Result<InferResponse, ServeError> {
-        self.client().infer(model, input)
     }
 
     /// Graceful shutdown: stops accepting requests, lets the workers
@@ -386,24 +362,6 @@ mod tests {
         assert!(resp.latency > Duration::ZERO);
         assert_eq!(server.metrics().snapshot().requests, 1);
         assert_eq!(server.in_flight(), 0, "permit released on completion");
-        server.shutdown();
-    }
-
-    /// The legacy blocking API still works as a shim over the
-    /// lifecycle API.
-    #[test]
-    #[allow(deprecated)]
-    fn legacy_submit_and_infer_shims_still_serve() {
-        let registry = registry_with("m", 1);
-        let server = Server::start(Arc::clone(&registry), ServerConfig::default());
-        let mut rng = Rng::seed_from(2);
-        let x = Tensor::randn(&[1, 3, 8, 8], &mut rng);
-        let want = registry.get("m").unwrap().infer(&x).unwrap();
-        let resp = server.infer("m", x.clone()).expect("served");
-        assert_eq!(resp.output, want);
-        let rx = server.submit("m", x).expect("submitted");
-        let resp = rx.recv().expect("channel").expect("served");
-        assert_eq!(resp.output, want);
         server.shutdown();
     }
 

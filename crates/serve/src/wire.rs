@@ -1,0 +1,906 @@
+//! The v1 wire protocol: the request API rendered as binary frames.
+//!
+//! `patdnn-serve --listen` and `patdnn-router` speak this protocol on
+//! plain TCP. It is deliberately tiny and dependency-free — a
+//! length-prefixed, versioned, little-endian frame format reusing the
+//! artifact codec's bounds-checked read/write discipline
+//! ([`crate::artifact`]): every read checks remaining bytes first,
+//! every length field is capped before allocation, and a frame must be
+//! consumed exactly (trailing bytes are a typed error, not ignored
+//! slack).
+//!
+//! ```text
+//! connection  = handshake, frame*
+//! handshake   = "PDNW" magic | u16 wire version        (client → server)
+//! frame       = u32 payload length | payload
+//! payload     = u8 frame tag | body
+//! ```
+//!
+//! Client → server frames: [`Frame::Infer`] (request id, model,
+//! priority class, relative deadline budget, input tensor),
+//! [`Frame::Cancel`], [`Frame::Ping`], [`Frame::Shutdown`].
+//! Server → client frames: [`Frame::Completed`], [`Frame::Reject`]
+//! (the typed non-completed terminals: the [`crate::ServeError`] wire
+//! code plus its payload — `missed_by` for expired, the clamped
+//! `retry_after_hint` for shed), [`Frame::Pong`], [`Frame::ShutdownAck`].
+//!
+//! Deadlines travel as **relative budgets** (microseconds from frame
+//! construction), not wall-clock instants, so client/server clock skew
+//! cannot expire a request in flight; the receiving side re-anchors
+//! the budget on its own monotonic clock.
+//!
+//! Request ids are chosen by the client and are opaque to the server;
+//! responses echo them, so one connection can carry many requests
+//! concurrently (the router multiplexes its per-replica connections
+//! this way).
+//!
+//! The typed codes on [`crate::ServeError`] and
+//! [`crate::request::Terminal`] are the **frozen v1 surface**: this
+//! module serializes those codes verbatim, and the round-trip tests in
+//! this file plus the wire mutation corpus
+//! (`patdnn_bench::wire_corpus`) pin them. See DESIGN.md §14 for the
+//! frame layout and code tables.
+
+use std::fmt;
+use std::io::{Read, Write};
+use std::time::Duration;
+
+use patdnn_tensor::Tensor;
+
+use crate::request::Priority;
+use crate::ServeError;
+
+/// Connection-handshake magic, sent once by the client before any
+/// frame. Distinguishes binary peers from the HTTP shim on the same
+/// port (HTTP requests start with an ASCII method).
+pub const WIRE_MAGIC: &[u8; 4] = b"PDNW";
+
+/// Current protocol version, sent in the handshake. Frame layouts and
+/// numeric codes within a version are frozen.
+pub const WIRE_VERSION: u16 = 1;
+
+/// Upper bound on one frame's payload, checked *before* any
+/// allocation. Caps tensors at ~16M f32 elements — far above any
+/// supported model input — so a forged length field cannot become an
+/// allocation bomb.
+pub const MAX_FRAME_LEN: usize = 64 << 20;
+
+/// Upper bound on model-name bytes in a frame.
+pub const MAX_NAME_LEN: usize = 256;
+
+/// Upper bound on error-message bytes in a reject frame.
+pub const MAX_MESSAGE_LEN: usize = 4096;
+
+/// Most dimensions a wire tensor may carry.
+pub const MAX_TENSOR_DIMS: usize = 8;
+
+/// Errors produced while encoding, decoding, or transporting frames.
+#[derive(Debug)]
+pub enum WireError {
+    /// The connection did not open with the `PDNW` magic.
+    BadMagic,
+    /// The peer speaks a protocol version this build does not.
+    UnsupportedVersion(u16),
+    /// The frame ended before its structure was complete.
+    Truncated,
+    /// A length field exceeds its cap ([`MAX_FRAME_LEN`],
+    /// [`MAX_NAME_LEN`], [`MAX_MESSAGE_LEN`], or the tensor bounds).
+    Oversize {
+        /// What was oversized (e.g. `"frame"`, `"model name"`).
+        what: &'static str,
+        /// The length the peer claimed.
+        len: u64,
+    },
+    /// An unknown frame tag (likely a newer peer).
+    UnknownFrame(u8),
+    /// A structural invariant failed while decoding.
+    Malformed(String),
+    /// The underlying transport failed.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::BadMagic => write!(f, "not a PatDNN wire connection (bad magic)"),
+            WireError::UnsupportedVersion(v) => {
+                write!(f, "unsupported wire version {v} (max {WIRE_VERSION})")
+            }
+            WireError::Truncated => write!(f, "frame truncated"),
+            WireError::Oversize { what, len } => {
+                write!(f, "oversized {what}: {len} bytes exceeds the wire cap")
+            }
+            WireError::UnknownFrame(tag) => write!(f, "unknown frame tag {tag:#04x}"),
+            WireError::Malformed(msg) => write!(f, "malformed frame: {msg}"),
+            WireError::Io(e) => write!(f, "wire i/o: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<std::io::Error> for WireError {
+    fn from(e: std::io::Error) -> Self {
+        WireError::Io(e)
+    }
+}
+
+/// Frame tags (the first payload byte). Client-originated frames use
+/// the low range, server-originated ones set the high bit.
+mod tag {
+    pub const INFER: u8 = 0x01;
+    pub const CANCEL: u8 = 0x02;
+    pub const PING: u8 = 0x03;
+    pub const SHUTDOWN: u8 = 0x04;
+    pub const COMPLETED: u8 = 0x81;
+    pub const REJECT: u8 = 0x82;
+    pub const PONG: u8 = 0x83;
+    pub const SHUTDOWN_ACK: u8 = 0x84;
+}
+
+/// One protocol frame. See the module docs for the layout.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Frame {
+    /// Submit one inference request.
+    Infer {
+        /// Client-chosen id, echoed in the response.
+        id: u64,
+        /// Registered model name.
+        model: String,
+        /// Scheduling class.
+        priority: Priority,
+        /// Relative deadline budget in microseconds; 0 = no deadline.
+        /// The receiver re-anchors this on its own monotonic clock.
+        deadline_us: u64,
+        /// The input, `[1, c, h, w]`.
+        input: Tensor,
+    },
+    /// Best-effort cancellation of a previously submitted request.
+    Cancel {
+        /// The id passed in the matching [`Frame::Infer`].
+        id: u64,
+    },
+    /// Liveness / health probe.
+    Ping {
+        /// Echoed in the matching [`Frame::Pong`].
+        token: u64,
+    },
+    /// Ask the server process to shut down (used by the orchestration
+    /// smoke for clean drains; production deployments gate it).
+    Shutdown {
+        /// `true` drains queued work first; `false` fails it typed.
+        drain: bool,
+    },
+    /// A completed request's output.
+    Completed {
+        /// The id from the matching [`Frame::Infer`].
+        id: u64,
+        /// End-to-end latency on the serving side, microseconds.
+        latency_us: u64,
+        /// Size of the executed batch this request rode in.
+        batch_size: u32,
+        /// The model output, `[1, ...]`.
+        output: Tensor,
+    },
+    /// A request's typed non-completed terminal.
+    Reject {
+        /// The id from the matching [`Frame::Infer`] (0 for
+        /// connection-level rejects with no request attached).
+        id: u64,
+        /// The [`ServeError::code`] naming the outcome.
+        code: u16,
+        /// Variant payload duration in microseconds: `missed_by` for
+        /// expired, the clamped `retry_after_hint` for shed, else 0.
+        aux_us: u64,
+        /// Human-readable detail (unknown model name, internal error
+        /// text); empty when the code says it all.
+        message: String,
+    },
+    /// Liveness / health answer with live gauges.
+    Pong {
+        /// The token from the matching [`Frame::Ping`].
+        token: u64,
+        /// Requests waiting in the batch queue.
+        queue_depth: u64,
+        /// Requests holding an admission permit.
+        in_flight: u64,
+        /// Registered model count.
+        models: u32,
+    },
+    /// Shutdown acknowledged; the server closes after sending this.
+    ShutdownAck,
+}
+
+impl Frame {
+    /// The frame's tag byte.
+    pub fn tag(&self) -> u8 {
+        match self {
+            Frame::Infer { .. } => tag::INFER,
+            Frame::Cancel { .. } => tag::CANCEL,
+            Frame::Ping { .. } => tag::PING,
+            Frame::Shutdown { .. } => tag::SHUTDOWN,
+            Frame::Completed { .. } => tag::COMPLETED,
+            Frame::Reject { .. } => tag::REJECT,
+            Frame::Pong { .. } => tag::PONG,
+            Frame::ShutdownAck => tag::SHUTDOWN_ACK,
+        }
+    }
+
+    /// Builds the reject frame for `err`, serializing its stable code
+    /// plus the variant payload the code implies.
+    pub fn reject(id: u64, err: &ServeError) -> Frame {
+        let aux = match err {
+            ServeError::Expired { missed_by } => duration_to_us(*missed_by),
+            ServeError::Shed { retry_after_hint } => duration_to_us(*retry_after_hint),
+            _ => 0,
+        };
+        let message = match err {
+            ServeError::UnknownModel(name) => name.clone(),
+            ServeError::ShapeMismatch { .. }
+            | ServeError::Compile(_)
+            | ServeError::Artifact(_)
+            | ServeError::Quant(_)
+            | ServeError::Internal(_) => err.to_string(),
+            _ => String::new(),
+        };
+        Frame::Reject {
+            id,
+            code: err.code(),
+            aux_us: aux,
+            message: truncate_message(message),
+        }
+    }
+
+    /// Encodes the frame payload (tag + body, no length prefix).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = FrameWriter::new();
+        w.u8(self.tag());
+        match self {
+            Frame::Infer {
+                id,
+                model,
+                priority,
+                deadline_us,
+                input,
+            } => {
+                w.u64(*id);
+                w.str(model);
+                w.u8(priority.index() as u8);
+                w.u64(*deadline_us);
+                w.tensor(input);
+            }
+            Frame::Cancel { id } => w.u64(*id),
+            Frame::Ping { token } => w.u64(*token),
+            Frame::Shutdown { drain } => w.u8(*drain as u8),
+            Frame::Completed {
+                id,
+                latency_us,
+                batch_size,
+                output,
+            } => {
+                w.u64(*id);
+                w.u64(*latency_us);
+                w.u32(*batch_size);
+                w.tensor(output);
+            }
+            Frame::Reject {
+                id,
+                code,
+                aux_us,
+                message,
+            } => {
+                w.u64(*id);
+                w.u16(*code);
+                w.u64(*aux_us);
+                w.str(message);
+            }
+            Frame::Pong {
+                token,
+                queue_depth,
+                in_flight,
+                models,
+            } => {
+                w.u64(*token);
+                w.u64(*queue_depth);
+                w.u64(*in_flight);
+                w.u32(*models);
+            }
+            Frame::ShutdownAck => {}
+        }
+        w.finish()
+    }
+
+    /// Decodes one frame payload. The payload must be consumed
+    /// exactly; trailing bytes are a typed error.
+    pub fn decode(payload: &[u8]) -> Result<Frame, WireError> {
+        if payload.len() > MAX_FRAME_LEN {
+            return Err(WireError::Oversize {
+                what: "frame",
+                len: payload.len() as u64,
+            });
+        }
+        let mut r = FrameReader::new(payload);
+        let tag = r.u8()?;
+        let frame = match tag {
+            tag::INFER => {
+                let id = r.u64()?;
+                let model = r.str(MAX_NAME_LEN, "model name")?;
+                let class = r.u8()?;
+                let priority = Priority::from_index(class as usize).ok_or_else(|| {
+                    WireError::Malformed(format!("unknown priority class {class}"))
+                })?;
+                let deadline_us = r.u64()?;
+                let input = r.tensor()?;
+                Frame::Infer {
+                    id,
+                    model,
+                    priority,
+                    deadline_us,
+                    input,
+                }
+            }
+            tag::CANCEL => Frame::Cancel { id: r.u64()? },
+            tag::PING => Frame::Ping { token: r.u64()? },
+            tag::SHUTDOWN => {
+                let drain = match r.u8()? {
+                    0 => false,
+                    1 => true,
+                    other => {
+                        return Err(WireError::Malformed(format!(
+                            "drain flag must be 0 or 1, got {other}"
+                        )))
+                    }
+                };
+                Frame::Shutdown { drain }
+            }
+            tag::COMPLETED => {
+                let id = r.u64()?;
+                let latency_us = r.u64()?;
+                let batch_size = r.u32()?;
+                let output = r.tensor()?;
+                Frame::Completed {
+                    id,
+                    latency_us,
+                    batch_size,
+                    output,
+                }
+            }
+            tag::REJECT => {
+                let id = r.u64()?;
+                let code = r.u16()?;
+                if ServeError::from_code(code).is_none() {
+                    return Err(WireError::Malformed(format!("unknown error code {code}")));
+                }
+                let aux_us = r.u64()?;
+                let message = r.str(MAX_MESSAGE_LEN, "message")?;
+                Frame::Reject {
+                    id,
+                    code,
+                    aux_us,
+                    message,
+                }
+            }
+            tag::PONG => Frame::Pong {
+                token: r.u64()?,
+                queue_depth: r.u64()?,
+                in_flight: r.u64()?,
+                models: r.u32()?,
+            },
+            tag::SHUTDOWN_ACK => Frame::ShutdownAck,
+            other => return Err(WireError::UnknownFrame(other)),
+        };
+        if !r.is_empty() {
+            return Err(WireError::Malformed(format!(
+                "{} trailing bytes after frame",
+                r.remaining()
+            )));
+        }
+        Ok(frame)
+    }
+}
+
+/// Reconstructs the [`ServeError`] a reject frame carries: the stable
+/// code names the variant, the aux duration and message refill its
+/// payload.
+pub fn reject_to_error(code: u16, aux_us: u64, message: &str) -> Result<ServeError, WireError> {
+    let base = ServeError::from_code(code)
+        .ok_or_else(|| WireError::Malformed(format!("unknown error code {code}")))?;
+    Ok(match base {
+        ServeError::Expired { .. } => ServeError::Expired {
+            missed_by: Duration::from_micros(aux_us),
+        },
+        ServeError::Shed { .. } => ServeError::Shed {
+            retry_after_hint: Duration::from_micros(aux_us),
+        },
+        ServeError::UnknownModel(_) => ServeError::UnknownModel(message.to_owned()),
+        ServeError::Internal(_) => ServeError::Internal(message.to_owned()),
+        // Variants whose payload does not survive the wire (shape
+        // vectors, nested compile/artifact errors) come back with
+        // default payloads; the *code* is what contracts key on, and
+        // the frame's rendered message is for humans.
+        other => other,
+    })
+}
+
+/// Writes the client handshake (`PDNW` magic + wire version).
+pub fn write_handshake(w: &mut impl Write) -> Result<(), WireError> {
+    w.write_all(WIRE_MAGIC)?;
+    w.write_all(&WIRE_VERSION.to_le_bytes())?;
+    Ok(())
+}
+
+/// Validates a handshake whose 4 magic bytes were already consumed
+/// (the net listener sniffs them to split binary peers from HTTP).
+pub fn read_handshake_version(r: &mut impl Read) -> Result<u16, WireError> {
+    let mut v = [0u8; 2];
+    r.read_exact(&mut v)?;
+    let version = u16::from_le_bytes(v);
+    if version == 0 || version > WIRE_VERSION {
+        return Err(WireError::UnsupportedVersion(version));
+    }
+    Ok(version)
+}
+
+/// Writes one length-prefixed frame.
+pub fn write_frame(w: &mut impl Write, frame: &Frame) -> Result<(), WireError> {
+    let payload = frame.encode();
+    debug_assert!(payload.len() <= MAX_FRAME_LEN, "encoder exceeded frame cap");
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(&payload)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads one length-prefixed frame, enforcing [`MAX_FRAME_LEN`]
+/// before allocating.
+pub fn read_frame(r: &mut impl Read) -> Result<Frame, WireError> {
+    let mut len = [0u8; 4];
+    r.read_exact(&mut len)?;
+    let len = u32::from_le_bytes(len) as usize;
+    if len > MAX_FRAME_LEN {
+        return Err(WireError::Oversize {
+            what: "frame",
+            len: len as u64,
+        });
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    Frame::decode(&payload)
+}
+
+/// Saturating duration → microseconds for wire fields.
+pub(crate) fn duration_to_us(d: Duration) -> u64 {
+    u64::try_from(d.as_micros()).unwrap_or(u64::MAX)
+}
+
+fn truncate_message(mut s: String) -> String {
+    if s.len() > MAX_MESSAGE_LEN {
+        // Truncate on a char boundary at or below the cap.
+        let mut cut = MAX_MESSAGE_LEN;
+        while !s.is_char_boundary(cut) {
+            cut -= 1;
+        }
+        s.truncate(cut);
+    }
+    s
+}
+
+/// Little-endian frame sink (the artifact codec's writer discipline).
+struct FrameWriter {
+    buf: Vec<u8>,
+}
+
+impl FrameWriter {
+    fn new() -> Self {
+        FrameWriter { buf: Vec::new() }
+    }
+
+    fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+
+    fn u8(&mut self, x: u8) {
+        self.buf.push(x);
+    }
+
+    fn u16(&mut self, x: u16) {
+        self.buf.extend_from_slice(&x.to_le_bytes());
+    }
+
+    fn u32(&mut self, x: u32) {
+        self.buf.extend_from_slice(&x.to_le_bytes());
+    }
+
+    fn u64(&mut self, x: u64) {
+        self.buf.extend_from_slice(&x.to_le_bytes());
+    }
+
+    fn str(&mut self, s: &str) {
+        let bytes = s.as_bytes();
+        assert!(bytes.len() <= u16::MAX as usize, "wire string too long");
+        self.u16(bytes.len() as u16);
+        self.buf.extend_from_slice(bytes);
+    }
+
+    fn tensor(&mut self, t: &Tensor) {
+        let shape = t.shape();
+        assert!(shape.len() <= MAX_TENSOR_DIMS, "too many tensor dims");
+        self.u8(shape.len() as u8);
+        for &d in shape {
+            self.u32(u32::try_from(d).expect("dimension fits u32"));
+        }
+        for &v in t.data() {
+            self.u32(v.to_bits());
+        }
+    }
+}
+
+/// Bounds-checked little-endian frame source.
+struct FrameReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> FrameReader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        FrameReader { buf, pos: 0 }
+    }
+
+    fn is_empty(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn bytes(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.remaining() < n {
+            return Err(WireError::Truncated);
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.bytes(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, WireError> {
+        Ok(u16::from_le_bytes(
+            self.bytes(2)?.try_into().expect("2 bytes"),
+        ))
+    }
+
+    fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(
+            self.bytes(4)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(
+            self.bytes(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    fn str(&mut self, cap: usize, what: &'static str) -> Result<String, WireError> {
+        let n = self.u16()? as usize;
+        if n > cap {
+            return Err(WireError::Oversize {
+                what,
+                len: n as u64,
+            });
+        }
+        let bytes = self.bytes(n)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| WireError::Malformed(format!("non-utf8 {what}")))
+    }
+
+    fn tensor(&mut self) -> Result<Tensor, WireError> {
+        let ndim = self.u8()? as usize;
+        if ndim == 0 || ndim > MAX_TENSOR_DIMS {
+            return Err(WireError::Malformed(format!(
+                "tensor rank {ndim} outside 1..={MAX_TENSOR_DIMS}"
+            )));
+        }
+        let mut shape = Vec::with_capacity(ndim);
+        let mut elems: usize = 1;
+        for _ in 0..ndim {
+            let d = self.u32()? as usize;
+            if d == 0 {
+                return Err(WireError::Malformed("zero tensor dimension".into()));
+            }
+            elems = elems
+                .checked_mul(d)
+                .filter(|&n| n <= MAX_FRAME_LEN / 4)
+                .ok_or(WireError::Oversize {
+                    what: "tensor",
+                    len: u64::MAX,
+                })?;
+            shape.push(d);
+        }
+        // One remaining-length check before the element loop: the
+        // whole data section must be present.
+        if self.remaining() < elems * 4 {
+            return Err(WireError::Truncated);
+        }
+        let mut data = Vec::with_capacity(elems);
+        for _ in 0..elems {
+            data.push(f32::from_bits(self.u32()?));
+        }
+        Tensor::from_vec(&shape, data)
+            .map_err(|e| WireError::Malformed(format!("tensor header: {e}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use patdnn_tensor::rng::Rng;
+
+    fn sample_frames() -> Vec<Frame> {
+        let mut rng = Rng::seed_from(11);
+        vec![
+            Frame::Infer {
+                id: 7,
+                model: "vgg_small".into(),
+                priority: Priority::Interactive,
+                deadline_us: 50_000,
+                input: Tensor::randn(&[1, 3, 8, 8], &mut rng),
+            },
+            Frame::Infer {
+                id: u64::MAX,
+                model: "m".into(),
+                priority: Priority::Batch,
+                deadline_us: 0,
+                input: Tensor::from_vec(&[1, 2], vec![f32::NEG_INFINITY, -0.0]).unwrap(),
+            },
+            Frame::Cancel { id: 3 },
+            Frame::Ping { token: 0xDEAD },
+            Frame::Shutdown { drain: true },
+            Frame::Shutdown { drain: false },
+            Frame::Completed {
+                id: 7,
+                latency_us: 1234,
+                batch_size: 4,
+                output: Tensor::randn(&[1, 10], &mut rng),
+            },
+            Frame::Reject {
+                id: 9,
+                code: ServeError::Shed {
+                    retry_after_hint: Duration::from_millis(5),
+                }
+                .code(),
+                aux_us: 5_000,
+                message: String::new(),
+            },
+            Frame::Reject {
+                id: 10,
+                code: ServeError::UnknownModel(String::new()).code(),
+                aux_us: 0,
+                message: "nope".into(),
+            },
+            Frame::Pong {
+                token: 0xDEAD,
+                queue_depth: 12,
+                in_flight: 3,
+                models: 2,
+            },
+            Frame::ShutdownAck,
+        ]
+    }
+
+    #[test]
+    fn every_frame_round_trips_bit_identically() {
+        for frame in sample_frames() {
+            let bytes = frame.encode();
+            let back = Frame::decode(&bytes).expect("decode");
+            assert_eq!(frame, back);
+            // Re-encode must be bit-identical: the codec has one
+            // canonical representation per frame.
+            assert_eq!(bytes, back.encode());
+        }
+    }
+
+    #[test]
+    fn length_prefixed_stream_round_trips() {
+        let frames = sample_frames();
+        let mut buf = Vec::new();
+        for f in &frames {
+            write_frame(&mut buf, f).expect("write");
+        }
+        let mut cursor = &buf[..];
+        for f in &frames {
+            let back = read_frame(&mut cursor).expect("read");
+            assert_eq!(*f, back);
+        }
+        assert!(cursor.is_empty());
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut bytes = Frame::Cancel { id: 1 }.encode();
+        bytes.push(0);
+        assert!(matches!(
+            Frame::decode(&bytes),
+            Err(WireError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn truncation_is_typed() {
+        let bytes = sample_frames()[0].encode();
+        for cut in [0, 1, 5, bytes.len() / 2, bytes.len() - 1] {
+            match Frame::decode(&bytes[..cut]) {
+                Err(_) => {}
+                Ok(f) => panic!("truncated frame decoded as {f:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_tags_priorities_and_codes_are_typed_errors() {
+        assert!(matches!(
+            Frame::decode(&[0x55]),
+            Err(WireError::UnknownFrame(0x55))
+        ));
+        // Unknown priority class byte.
+        let mut bytes = sample_frames()[0].encode();
+        // tag(1) + id(8) + len(2) + "vgg_small"(9) → priority at 20.
+        assert_eq!(bytes[20], Priority::Interactive.index() as u8);
+        bytes[20] = 9;
+        assert!(matches!(
+            Frame::decode(&bytes),
+            Err(WireError::Malformed(_))
+        ));
+        // Unknown error code in a reject frame.
+        let bytes = Frame::Reject {
+            id: 1,
+            code: 6,
+            aux_us: 0,
+            message: String::new(),
+        }
+        .encode();
+        let mut forged = bytes.clone();
+        forged[9] = 0xFF;
+        forged[10] = 0xFF;
+        assert!(matches!(
+            Frame::decode(&forged),
+            Err(WireError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn oversize_lengths_are_refused_before_allocation() {
+        // A forged u32 length prefix beyond the cap.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(MAX_FRAME_LEN as u32 + 1).to_le_bytes());
+        let mut cursor = &buf[..];
+        assert!(matches!(
+            read_frame(&mut cursor),
+            Err(WireError::Oversize { .. })
+        ));
+        // A forged tensor dimension product that would overflow.
+        let mut w = FrameWriter::new();
+        w.u8(tag::INFER);
+        w.u64(1);
+        w.str("m");
+        w.u8(0);
+        w.u64(0);
+        w.u8(2); // rank 2
+        w.u32(u32::MAX);
+        w.u32(u32::MAX);
+        assert!(matches!(
+            Frame::decode(&w.finish()),
+            Err(WireError::Oversize { .. }) | Err(WireError::Truncated)
+        ));
+    }
+
+    #[test]
+    fn handshake_round_trips_and_rejects_future_versions() {
+        let mut buf = Vec::new();
+        write_handshake(&mut buf).expect("handshake");
+        assert_eq!(&buf[..4], WIRE_MAGIC);
+        let mut cursor = &buf[4..];
+        assert_eq!(read_handshake_version(&mut cursor).expect("version"), 1);
+        let future = 99u16.to_le_bytes();
+        assert!(matches!(
+            read_handshake_version(&mut &future[..]),
+            Err(WireError::UnsupportedVersion(99))
+        ));
+        let zero = 0u16.to_le_bytes();
+        assert!(matches!(
+            read_handshake_version(&mut &zero[..]),
+            Err(WireError::UnsupportedVersion(0))
+        ));
+    }
+
+    /// Frozen v1 code table: `ServeError::code` values never change,
+    /// and `from_code` round-trips every one of them.
+    #[test]
+    fn serve_error_codes_are_frozen_and_round_trip() {
+        let samples: Vec<(u16, ServeError)> = vec![
+            (1, ServeError::UnknownModel("m".into())),
+            (2, ServeError::QueueFull),
+            (3, ServeError::QueueClosed),
+            (4, ServeError::ShuttingDown),
+            (
+                5,
+                ServeError::Expired {
+                    missed_by: Duration::from_millis(1),
+                },
+            ),
+            (6, ServeError::Cancelled),
+            (
+                7,
+                ServeError::Shed {
+                    retry_after_hint: Duration::from_millis(2),
+                },
+            ),
+            (8, ServeError::MissingInput),
+            (9, ServeError::Closed),
+            (
+                10,
+                ServeError::ShapeMismatch {
+                    expected: vec![3, 8, 8],
+                    got: vec![3, 9, 9],
+                },
+            ),
+            (14, ServeError::Internal("boom".into())),
+        ];
+        for (code, err) in &samples {
+            assert_eq!(err.code(), *code, "{err:?}");
+            let back = ServeError::from_code(*code).expect("known code");
+            assert_eq!(back.code(), *code, "from_code must round-trip {code}");
+        }
+        assert!(ServeError::from_code(0).is_none());
+        assert!(ServeError::from_code(15).is_none());
+        assert!(ServeError::from_code(u16::MAX).is_none());
+        // Codes 11-13 (compile/artifact/quant) round-trip too.
+        for code in 11..=13u16 {
+            assert_eq!(ServeError::from_code(code).expect("known").code(), code);
+        }
+    }
+
+    /// Reject frames rebuild the typed error with its payload.
+    #[test]
+    fn reject_frames_rebuild_typed_errors_with_payloads() {
+        let shed = ServeError::Shed {
+            retry_after_hint: Duration::from_millis(7),
+        };
+        let Frame::Reject {
+            code,
+            aux_us,
+            message,
+            ..
+        } = Frame::reject(1, &shed)
+        else {
+            panic!("reject() must build a Reject frame");
+        };
+        let back = reject_to_error(code, aux_us, &message).expect("decode");
+        assert!(
+            matches!(back, ServeError::Shed { retry_after_hint } if retry_after_hint == Duration::from_millis(7))
+        );
+
+        let expired = ServeError::Expired {
+            missed_by: Duration::from_micros(321),
+        };
+        let Frame::Reject { code, aux_us, .. } = Frame::reject(2, &expired) else {
+            panic!("reject() must build a Reject frame");
+        };
+        let back = reject_to_error(code, aux_us, "").expect("decode");
+        assert!(
+            matches!(back, ServeError::Expired { missed_by } if missed_by == Duration::from_micros(321))
+        );
+
+        let unknown = ServeError::UnknownModel("resnet".into());
+        let Frame::Reject { code, message, .. } = Frame::reject(3, &unknown) else {
+            panic!("reject() must build a Reject frame");
+        };
+        let back = reject_to_error(code, 0, &message).expect("decode");
+        assert!(matches!(back, ServeError::UnknownModel(name) if name == "resnet"));
+    }
+}

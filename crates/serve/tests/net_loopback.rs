@@ -1,0 +1,359 @@
+//! Loopback tests of the networked front-end and the shard router:
+//! the wire protocol must surface exactly the typed terminals the
+//! in-process lifecycle API produces (frozen v1 codes), and the router
+//! must retry sheds, survive dead replicas, and expose its counters.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use patdnn_core::prune::pattern_project_network;
+use patdnn_nn::models::small_cnn;
+use patdnn_serve::batching::BatchPolicy;
+use patdnn_serve::compile::compile_network;
+use patdnn_serve::engine::{Engine, EngineOptions};
+use patdnn_serve::net::{http_get, NetClient, NetServer, NetServerConfig};
+use patdnn_serve::registry::ModelRegistry;
+use patdnn_serve::request::{AdmissionPolicy, Priority, RETRY_HINT_CEIL, RETRY_HINT_FLOOR};
+use patdnn_serve::router::{Router, RouterConfig, RouterServer};
+use patdnn_serve::server::{Server, ServerConfig};
+use patdnn_serve::{ServeError, WireOutcome};
+use patdnn_tensor::rng::Rng;
+use patdnn_tensor::Tensor;
+
+fn registry_with(name: &str, seed: u64) -> Arc<ModelRegistry> {
+    let mut rng = Rng::seed_from(seed);
+    let mut net = small_cnn(3, 8, 4, &mut rng);
+    pattern_project_network(&mut net, 8, 2.5);
+    let artifact = compile_network(name, &net, [3, 8, 8]).expect("compiles");
+    let registry = Arc::new(ModelRegistry::new());
+    registry.register(
+        name,
+        Engine::new(artifact, EngineOptions::default()).expect("engine"),
+    );
+    registry
+}
+
+fn input(seed: u64) -> Tensor {
+    Tensor::randn(&[1, 3, 8, 8], &mut Rng::seed_from(seed))
+}
+
+/// Server whose requests linger in the queue long enough for deadline
+/// and cancel races to be deterministic.
+fn slow_server(registry: Arc<ModelRegistry>, max_in_flight: usize) -> Server {
+    Server::start(
+        registry,
+        ServerConfig {
+            workers: 1,
+            batch: BatchPolicy {
+                max_batch: 8,
+                max_wait: Duration::from_millis(200),
+                ..BatchPolicy::default()
+            },
+            queue_capacity: 64,
+            admission: AdmissionPolicy {
+                max_in_flight,
+                max_per_model: max_in_flight,
+            },
+            ..ServerConfig::default()
+        },
+    )
+}
+
+/// A remote inference round-trips bit-identically to a direct engine
+/// run, over a real TCP socket.
+#[test]
+fn loopback_inference_matches_direct_engine_run() {
+    let registry = registry_with("m", 1);
+    let server = Server::start(Arc::clone(&registry), ServerConfig::default());
+    let handle = NetServer::bind(server, "127.0.0.1:0", NetServerConfig::default())
+        .expect("bind")
+        .spawn();
+
+    let x = input(2);
+    let want = registry.get("m").expect("model").infer(&x).expect("infer");
+    let mut client = NetClient::connect(&handle.addr().to_string()).expect("connect");
+    match client
+        .infer("m", &x, Priority::Standard, None)
+        .expect("wire infer")
+    {
+        WireOutcome::Completed {
+            output,
+            latency,
+            batch_size,
+        } => {
+            let bits_want: Vec<u32> = want.data().iter().map(|v| v.to_bits()).collect();
+            let bits_got: Vec<u32> = output.data().iter().map(|v| v.to_bits()).collect();
+            assert_eq!(bits_want, bits_got, "wire output must be bit-identical");
+            assert!(latency > Duration::ZERO);
+            assert!(batch_size >= 1);
+        }
+        other => panic!("expected completion, got {other:?}"),
+    }
+    // Unknown models fail typed over the wire, with the frozen code.
+    match client
+        .infer("nope", &x, Priority::Standard, None)
+        .expect("wire infer")
+    {
+        WireOutcome::Rejected(e) => {
+            assert!(matches!(e, ServeError::UnknownModel(_)), "got {e:?}");
+            assert_eq!(e.code(), ServeError::UnknownModel(String::new()).code());
+        }
+        other => panic!("expected rejection, got {other:?}"),
+    }
+    handle.shutdown(true).expect("clean shutdown");
+}
+
+/// The satellite parity contract: deadline expiry and cancellation
+/// produce the same typed terminals (same v1 codes) over the wire as
+/// in-process.
+#[test]
+fn deadline_and_cancel_terminals_match_in_process() {
+    // In-process reference: an aggressive deadline on a slow queue
+    // expires before execution; a cancelled token resolves Cancelled.
+    let in_process = slow_server(registry_with("m", 3), 64);
+    let client = in_process.client();
+    let expired_terminal = client
+        .request("m")
+        .input(input(4))
+        .deadline_in(Duration::from_millis(5))
+        .submit()
+        .expect("submit")
+        .wait();
+    assert_eq!(expired_terminal.code(), 1, "in-process expiry code");
+    let cancel_handle = client
+        .request("m")
+        .input(input(5))
+        .submit()
+        .expect("submit");
+    cancel_handle.cancel();
+    let cancelled_terminal = cancel_handle.wait();
+    assert_eq!(cancelled_terminal.code(), 2, "in-process cancel code");
+    in_process.shutdown();
+
+    // Same scenarios over the wire.
+    let server = slow_server(registry_with("m", 3), 64);
+    let handle = NetServer::bind(server, "127.0.0.1:0", NetServerConfig::default())
+        .expect("bind")
+        .spawn();
+    let mut client = NetClient::connect(&handle.addr().to_string()).expect("connect");
+
+    let wire_expired = client
+        .infer(
+            "m",
+            &input(4),
+            Priority::Standard,
+            Some(Duration::from_millis(5)),
+        )
+        .expect("wire infer");
+    assert_eq!(
+        wire_expired.terminal_code(),
+        expired_terminal.code(),
+        "deadline expiry must carry the same terminal over the wire: {wire_expired:?}"
+    );
+    match &wire_expired {
+        WireOutcome::Rejected(ServeError::Expired { .. }) => {}
+        other => panic!("expected typed expiry, got {other:?}"),
+    }
+
+    let id = client
+        .submit("m", &input(5), Priority::Standard, None)
+        .expect("submit");
+    client.cancel(id).expect("cancel frame");
+    let (got_id, wire_cancelled) = client.recv().expect("response");
+    assert_eq!(got_id, id);
+    assert_eq!(
+        wire_cancelled.terminal_code(),
+        cancelled_terminal.code(),
+        "cancellation must carry the same terminal over the wire: {wire_cancelled:?}"
+    );
+    match &wire_cancelled {
+        WireOutcome::Rejected(ServeError::Cancelled) => {}
+        other => panic!("expected typed cancellation, got {other:?}"),
+    }
+    handle.shutdown(true).expect("clean shutdown");
+}
+
+/// Shed responses cross the wire typed, with a clamped nonzero retry
+/// hint (the satellite contract that keeps router retry loops from
+/// spinning).
+#[test]
+fn shed_over_the_wire_carries_clamped_retry_hint() {
+    let server = slow_server(registry_with("m", 6), 1);
+    let handle = NetServer::bind(server, "127.0.0.1:0", NetServerConfig::default())
+        .expect("bind")
+        .spawn();
+    let mut client = NetClient::connect(&handle.addr().to_string()).expect("connect");
+
+    // First request takes the single in-flight slot and lingers in the
+    // 200ms batch window; the second is shed at admission.
+    let first = client
+        .submit("m", &input(7), Priority::Standard, None)
+        .expect("submit");
+    let second = client
+        .submit("m", &input(8), Priority::Standard, None)
+        .expect("submit");
+    let (id, outcome) = client.recv().expect("response");
+    assert_eq!(id, second, "the shed rejection must come back first");
+    match outcome {
+        WireOutcome::Rejected(ServeError::Shed { retry_after_hint }) => {
+            assert!(
+                retry_after_hint >= RETRY_HINT_FLOOR && retry_after_hint <= RETRY_HINT_CEIL,
+                "hint {retry_after_hint:?} escaped the clamp band"
+            );
+        }
+        other => panic!("expected typed shed, got {other:?}"),
+    }
+    let (id, outcome) = client.recv().expect("response");
+    assert_eq!(id, first);
+    assert!(
+        outcome.is_completed(),
+        "first request completes: {outcome:?}"
+    );
+    handle.shutdown(true).expect("clean shutdown");
+}
+
+/// The HTTP shim on the wire port: `/healthz` and `/metrics` answer,
+/// unknown paths 404, and the metrics reflect served traffic.
+#[test]
+fn http_shim_serves_metrics_and_healthz() {
+    let registry = registry_with("m", 9);
+    let server = Server::start(registry, ServerConfig::default());
+    let handle = NetServer::bind(server, "127.0.0.1:0", NetServerConfig::default())
+        .expect("bind")
+        .spawn();
+    let addr = handle.addr().to_string();
+
+    let mut client = NetClient::connect(&addr).expect("connect");
+    let outcome = client
+        .infer("m", &input(10), Priority::Interactive, None)
+        .expect("wire infer");
+    assert!(outcome.is_completed());
+
+    let health = http_get(&addr, "/healthz").expect("healthz");
+    assert!(health.contains("ok models=1"), "got {health:?}");
+    let metrics = http_get(&addr, "/metrics").expect("metrics");
+    assert!(
+        metrics.contains("patdnn_requests_total 1"),
+        "served traffic must show up: {metrics:?}"
+    );
+    assert!(metrics.contains("patdnn_class_requests{class=\"interactive\"} 1"));
+    let missing = http_get(&addr, "/nope").expect("request");
+    assert!(missing.contains("not found"));
+    handle.shutdown(true).expect("clean shutdown");
+}
+
+/// Router end-to-end over loopback: a replica at capacity sheds, the
+/// router retries on the next replica, and both requests complete.
+#[test]
+fn router_retries_shed_requests_on_the_next_replica() {
+    // Two single-slot replicas over the same model.
+    let replica_a = NetServer::bind(
+        slow_server(registry_with("m", 11), 1),
+        "127.0.0.1:0",
+        NetServerConfig::default(),
+    )
+    .expect("bind a")
+    .spawn();
+    let replica_b = NetServer::bind(
+        slow_server(registry_with("m", 11), 1),
+        "127.0.0.1:0",
+        NetServerConfig::default(),
+    )
+    .expect("bind b")
+    .spawn();
+
+    let router = Arc::new(Router::new(RouterConfig {
+        replicas: vec![replica_a.addr().to_string(), replica_b.addr().to_string()],
+        ..RouterConfig::default()
+    }));
+    // Both requests target one model, so both prefer the same replica;
+    // the second must be shed there and retried on the other.
+    let results: Vec<WireOutcome> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..2)
+            .map(|i| {
+                let router = Arc::clone(&router);
+                scope.spawn(move || {
+                    router.route("m", &input(12 + i), Priority::Standard, None, None)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("route"))
+            .collect()
+    });
+    for outcome in &results {
+        assert!(outcome.is_completed(), "got {outcome:?}");
+    }
+    let snap = router.metrics_snapshot();
+    assert_eq!(snap.completed, 2);
+    assert!(
+        snap.shed_retries >= 1,
+        "the saturated replica must have caused a retry: {snap:?}"
+    );
+    assert!(
+        snap.replicas.iter().all(|r| r.1 >= 1),
+        "both replicas must have served work: {snap:?}"
+    );
+    replica_a.shutdown(true).expect("drain a");
+    replica_b.shutdown(true).expect("drain b");
+}
+
+/// A dead replica is retried around, ejected after the configured
+/// failures, and the fleet keeps serving; the router front-end port
+/// exposes the counters over HTTP.
+#[test]
+fn router_ejects_dead_replicas_and_keeps_serving() {
+    let live = NetServer::bind(
+        Server::start(registry_with("m", 13), ServerConfig::default()),
+        "127.0.0.1:0",
+        NetServerConfig::default(),
+    )
+    .expect("bind")
+    .spawn();
+
+    // Port 1 is never listening: connects fail fast.
+    let router_server = RouterServer::bind(
+        Router::new(RouterConfig {
+            replicas: vec!["127.0.0.1:1".into(), live.addr().to_string()],
+            eject_after: 1,
+            cooldown: Duration::from_secs(30),
+            connect_timeout: Duration::from_millis(200),
+            ..RouterConfig::default()
+        }),
+        "127.0.0.1:0",
+    )
+    .expect("bind router");
+    let router = router_server.router();
+    let handle = router_server.spawn();
+
+    // Route through the router's own wire port, several models so at
+    // least one prefers the dead replica first.
+    let mut client = NetClient::connect(&handle.addr().to_string()).expect("connect");
+    for i in 0..8u64 {
+        let outcome = client
+            .infer("m", &input(20 + i), Priority::Standard, None)
+            .expect("wire infer");
+        assert!(outcome.is_completed(), "request {i} got {outcome:?}");
+    }
+    let snap = router.metrics_snapshot();
+    assert_eq!(snap.completed, 8, "{snap:?}");
+    // The dead replica is first on the ring for the model or not; in
+    // either case no request may fail. If it was preferred, it must now
+    // be ejected after one transport failure.
+    if snap.transport_retries > 0 {
+        assert_eq!(snap.ejections, 1, "{snap:?}");
+        assert!(snap.replicas[0].3, "dead replica marked ejected: {snap:?}");
+    }
+
+    let metrics = http_get(&handle.addr().to_string(), "/metrics").expect("metrics");
+    assert!(
+        metrics.contains("patdnn_router_completed_total 8"),
+        "got {metrics:?}"
+    );
+    let health = http_get(&handle.addr().to_string(), "/healthz").expect("healthz");
+    assert!(health.contains("ok replicas=2"), "got {health:?}");
+
+    handle.shutdown().expect("router shutdown");
+    live.shutdown(true).expect("drain");
+}

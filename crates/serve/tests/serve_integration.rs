@@ -527,12 +527,7 @@ fn residual_model_serves_through_dynamic_batching() {
 
 /// Dynamic batching: results served through the batching queue equal
 /// per-request engine results, request by request.
-///
-/// This test deliberately stays on the deprecated `Server::submit`
-/// shim: the legacy blocking API must keep serving unchanged for one
-/// release over the new request-lifecycle plumbing.
 #[test]
-#[allow(deprecated)]
 fn batched_serving_matches_per_request_inference() {
     let net = pruned_cnn(5);
     let artifact = compile_network("batch", &net, [3, 8, 8]).expect("compiles");
@@ -562,13 +557,20 @@ fn batched_serving_matches_per_request_inference() {
     let inputs: Vec<Tensor> = (0..12)
         .map(|_| Tensor::randn(&[1, 3, 8, 8], &mut rng))
         .collect();
-    let receivers: Vec<_> = inputs
+    let client = server.client();
+    let handles: Vec<_> = inputs
         .iter()
-        .map(|x| server.submit("batch", x.clone()).expect("submit"))
+        .map(|x| {
+            client
+                .request("batch")
+                .input(x.clone())
+                .submit()
+                .expect("submit")
+        })
         .collect();
     let mut saw_multi_request_batch = false;
-    for (x, rx) in inputs.iter().zip(receivers) {
-        let resp = rx.recv().expect("response").expect("served");
+    for (x, handle) in inputs.iter().zip(handles) {
+        let resp = handle.wait().into_result().expect("served");
         let direct = engine.infer(x).expect("direct");
         assert!(
             direct.approx_eq(&resp.output, 1e-5),
@@ -589,10 +591,9 @@ fn batched_serving_matches_per_request_inference() {
 }
 
 /// Backpressure: a full queue rejects with QueueFull rather than
-/// blocking or growing unboundedly. Stays on the deprecated shim to
-/// pin the legacy error surface (`QueueFull`, not `Shed`).
+/// blocking or growing unboundedly — the lifecycle builder surfaces
+/// the same typed `QueueFull` (not `Shed`) the legacy shim did.
 #[test]
-#[allow(deprecated)]
 fn queue_backpressure_rejects_overload() {
     let net = pruned_cnn(7);
     let artifact = compile_network("bp", &net, [3, 8, 8]).expect("compiles");
@@ -617,14 +618,15 @@ fn queue_backpressure_rejects_overload() {
             ..ServerConfig::default()
         },
     );
+    let client = server.client();
     let x = || Tensor::zeros(&[1, 3, 8, 8]);
     // The worker may grab the first request into its forming batch; the
     // queue holds 2 more; beyond that pushes must fail.
     let mut rejected = false;
     let mut pending = Vec::new();
     for _ in 0..8 {
-        match server.submit("bp", x()) {
-            Ok(rx) => pending.push(rx),
+        match client.request("bp").input(x()).submit() {
+            Ok(handle) => pending.push(handle),
             Err(ServeError::QueueFull) => {
                 rejected = true;
                 break;

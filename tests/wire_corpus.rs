@@ -1,0 +1,32 @@
+//! Tier-1 gate for the wire-protocol mutation corpus.
+//!
+//! Runs the quick corpus (`patdnn_bench::wire_corpus`): byte-flip and
+//! truncation mutants over every frame the network protocol defines,
+//! plus hand-crafted streams aimed at the allocation guards. Every
+//! mutant must be refused with a typed `WireError` or decode into a
+//! frame that re-encodes bit-identically — with zero panics and
+//! nothing ever dispatched to a server. The full-density sweep runs in
+//! CI via `repro wire-corpus`.
+
+#[test]
+fn every_wire_mutant_is_rejected_or_roundtrips_without_panics() {
+    let report = patdnn_bench::wire_corpus::run(true);
+    assert_eq!(report.panics, 0, "wire corpus panicked:\n{report}");
+    assert_eq!(report.executed, 0, "a mutant was dispatched:\n{report}");
+    assert!(report.is_ok(), "wire corpus failures:\n{report}");
+    assert!(
+        report.mutants > 500,
+        "wire corpus unexpectedly small ({} mutants)",
+        report.mutants
+    );
+    assert!(report.decode_rejected > 0, "no typed rejections:\n{report}");
+    assert!(
+        report.benign > 0,
+        "no benign bit-identical mutants:\n{report}"
+    );
+    // The frame-cap and tensor-size guards must have fired.
+    assert!(
+        report.per_class.contains_key("wire:oversize"),
+        "no oversize rejection:\n{report}"
+    );
+}
