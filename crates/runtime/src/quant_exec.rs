@@ -63,6 +63,7 @@ pub struct QuantPatternConv {
     unstored: Vec<usize>,
     /// Pool of reusable scratch sets; concurrent callers each check out
     /// their own, so `run_into(&self)` stays freely shareable.
+    // lock: rt-quant-scratch
     scratch: Mutex<Vec<QuantScratch>>,
 }
 

@@ -122,6 +122,7 @@ pub struct Im2colConv {
     packed_w: Vec<f32>,
     bias: Vec<f32>,
     /// Pool of `(cols, packed_b)` scratch pairs.
+    // lock: algo-scratch
     scratch: Mutex<Vec<(Vec<f32>, Vec<f32>)>>,
 }
 
@@ -211,6 +212,7 @@ pub struct WinogradConv {
     u: Vec<[f32; 16]>,
     bias: Vec<f32>,
     /// Pool of per-call `v_tiles` buffers (`in_c` transformed tiles).
+    // lock: algo-scratch
     scratch: Mutex<Vec<Vec<[f32; 16]>>>,
 }
 

@@ -181,6 +181,7 @@ struct QueueState {
 /// A bounded multi-producer queue whose consumers pop same-model
 /// batches in urgency order.
 pub struct BatchQueue {
+    // lock: batch-queue
     state: Mutex<QueueState>,
     cv: Condvar,
     capacity: usize,
@@ -313,6 +314,7 @@ impl BatchQueue {
                 best: (u8, bool, Instant, Instant),
             }
             let closed = state.closed;
+            // warm-path: allow(per-wake scan list, bounded by the number of distinct queued models)
             let mut models: Vec<ModelScan> = Vec::new();
             let mut next_expiry: Option<Instant> = None;
             for req in &state.entries {
@@ -354,6 +356,7 @@ impl BatchQueue {
                 }
             }
             if let Some((m, _)) = winner {
+                // warm-path: allow(one short copy per popped batch, ends the borrow of entries before extraction)
                 let model = m.model.to_owned();
                 drop(models);
                 let requests = extract_batch(
@@ -376,6 +379,7 @@ impl BatchQueue {
                 (Some(w), Some(e)) => w.min(e),
                 (Some(w), None) => w,
                 (None, Some(e)) => e,
+                // warm-path: allow(non-empty queue always yields a wake or expiry deadline)
                 (None, None) => unreachable!("non-empty queue yields a wake deadline"),
             };
             let (next, _timeout) = self

@@ -553,6 +553,7 @@ fn main() {
     let priority = args.priority;
     // Terminal-state counts across all clients:
     // [completed, expired, shed, rejected, other].
+    // lock: demo-counts
     let counts = std::sync::Mutex::new([0u64; 5]);
     std::thread::scope(|scope| {
         for client in 0..args.clients {

@@ -114,6 +114,7 @@ struct FcExec {
     in_f: usize,
     bias: Vec<f32>,
     /// Pool of packed-activation buffers.
+    // lock: engine-scratch
     scratch: Mutex<Vec<Vec<f32>>>,
 }
 
@@ -174,6 +175,7 @@ struct QuantFcExec {
     scales: Vec<f32>,
     act_scale: f32,
     bias: Vec<f32>,
+    // lock: engine-scratch
     scratch: Mutex<Vec<(Vec<i8>, Vec<i32>)>>,
 }
 
@@ -264,6 +266,7 @@ pub struct Engine {
     slot_shapes: Vec<Option<Vec<usize>>>,
     artifact: ModelArtifact,
     /// Pool of per-call scratch buffer sets (one tensor per slot).
+    // lock: engine-scratch
     scratch: Mutex<Vec<Vec<Tensor>>>,
 }
 
@@ -298,6 +301,7 @@ impl Engine {
                     Some(chw) => chw,
                     // A clean report guarantees spatial inputs for
                     // spatial ops.
+                    // warm-path: allow(plan verifier rejects non-spatial inputs to spatial ops)
                     None => unreachable!("verified spatial input"),
                 }
             };
@@ -597,6 +601,7 @@ impl Engine {
                     let b = if b == 0 { input } else { &rest[b - 1] };
                     run_step(step, &[a, b], buf);
                 }
+                // warm-path: allow(step arity validated at engine build)
                 _ => unreachable!("step arity validated at engine build"),
             }
             if step.relu {
@@ -672,6 +677,7 @@ impl Engine {
         out_shape.extend_from_slice(self.output_shape());
         for n in 0..inputs.len() {
             let slice = out.data()[n * out_item..(n + 1) * out_item].to_vec();
+            // warm-path: allow(slice length is out_item * 1 by construction, from_vec cannot fail)
             per_request.push(Tensor::from_vec(&out_shape, slice).expect("split batch"));
         }
         Ok(per_request)

@@ -54,6 +54,7 @@ impl LatencyRing {
 pub struct ServerMetrics {
     /// One latency ring per priority class (indexed by
     /// [`Priority::index`]).
+    // lock: metrics-latency
     latencies_us: Mutex<[LatencyRing; 3]>,
     requests: AtomicU64,
     batches: AtomicU64,

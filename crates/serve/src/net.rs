@@ -63,6 +63,7 @@ impl Default for NetServerConfig {
 /// the router front-end.
 #[derive(Default)]
 pub(crate) struct WaitGroup {
+    // lock: waitgroup-count
     count: Mutex<usize>,
     zero: Condvar,
 }
@@ -215,9 +216,11 @@ fn handle_connection(stream: TcpStream, shared: &Arc<NetShared>) {
 fn handle_wire_connection(stream: TcpStream, shared: &Arc<NetShared>) -> Result<(), WireError> {
     let mut reader = BufReader::new(stream.try_clone()?);
     wire::read_handshake_version(&mut reader)?;
+    // lock: net-writer
     let writer = Arc::new(Mutex::new(stream.try_clone()?));
     // Cancel tokens of this connection's in-flight requests, so a
     // `Cancel { id }` frame can reach them.
+    // lock: net-inflight
     let inflight: Arc<Mutex<HashMap<u64, CancelToken>>> = Arc::new(Mutex::new(HashMap::new()));
     // A read error means the peer hung up or sent garbage: the
     // connection is done (in-flight requests still resolve; their
@@ -243,7 +246,10 @@ fn handle_wire_connection(stream: TcpStream, shared: &Arc<NetShared>) -> Result<
                 );
             }
             Frame::Cancel { id } => {
-                if let Some(token) = inflight.lock().expect("inflight lock").get(&id) {
+                // Clone the token out so the inflight registry lock is
+                // released before signalling.
+                let token = inflight.lock().expect("inflight lock").get(&id).cloned();
+                if let Some(token) = token {
                     token.cancel();
                 }
             }
@@ -347,6 +353,7 @@ fn terminal_to_frame(id: u64, terminal: Terminal) -> Frame {
 fn write_locked(writer: &Arc<Mutex<TcpStream>>, frame: &Frame) -> Result<(), WireError> {
     let mut guard = writer.lock().expect("net writer lock");
     let mut buffered = BufWriter::new(&mut *guard);
+    // lock-order: allow(net-writer serializes whole response frames; holding it across the socket write is the point)
     write_frame(&mut buffered, frame)?;
     buffered.flush()?;
     Ok(())

@@ -14,6 +14,7 @@ use crate::ServeError;
 /// engine they resolved.
 #[derive(Default)]
 pub struct ModelRegistry {
+    // lock: model-registry
     models: RwLock<HashMap<String, Arc<Engine>>>,
 }
 

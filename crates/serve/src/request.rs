@@ -288,6 +288,7 @@ struct AdmissionCounts {
 /// Tracks in-flight requests against an [`AdmissionPolicy`].
 pub(crate) struct AdmissionControl {
     policy: AdmissionPolicy,
+    // lock: admission-counts
     counts: Mutex<AdmissionCounts>,
     /// When wired, the in-flight gauge is published here under the
     /// admission lock on every admit and permit release.
@@ -324,12 +325,14 @@ impl AdmissionControl {
             return None;
         }
         counts.total += 1;
+        // warm-path: allow(one short model-name copy per admit; map key must be owned)
         *counts.per_model.entry(model.to_owned()).or_insert(0) += 1;
         if let Some(m) = &self.metrics {
             m.set_in_flight(counts.total);
         }
         Some(AdmissionPermit {
             control: Arc::clone(self),
+            // warm-path: allow(permit owns its model name so release needs no borrow)
             model: model.to_owned(),
         })
     }

@@ -104,9 +104,11 @@ struct Replica {
     addr: String,
     /// Idle connections to this replica (checked out per request,
     /// returned on success, dropped on failure).
+    // lock: replica-pool
     pool: Mutex<Vec<NetClient>>,
     /// Router-side in-flight accounting for this replica.
     admission: Arc<AdmissionControl>,
+    // lock: replica-health
     health: Mutex<Health>,
     /// Lifetime requests forwarded to this replica.
     forwarded: AtomicU64,
@@ -319,7 +321,12 @@ impl Router {
         priority: Priority,
         deadline: Option<Duration>,
     ) -> Result<WireOutcome, WireError> {
-        let mut conn = match replica.pool.lock().expect("router pool lock").pop() {
+        // Pop in its own statement: a match scrutinee's guard temporary
+        // lives for the whole match, which would hold the pool lock
+        // across the TCP connect below and stall every other request
+        // targeting this replica while a dead host times out.
+        let pooled = replica.pool.lock().expect("router pool lock").pop();
+        let mut conn = match pooled {
             Some(conn) => conn,
             None => NetClient::connect_timeout(&replica.addr, self.cfg.connect_timeout)?,
         };
@@ -574,7 +581,9 @@ fn wire_loop(
 ) -> Result<(), WireError> {
     let mut reader = BufReader::new(stream.try_clone()?);
     wire::read_handshake_version(&mut reader)?;
+    // lock: router-writer
     let writer = Arc::new(Mutex::new(stream.try_clone()?));
+    // lock: router-inflight
     let inflight: Arc<Mutex<HashMap<u64, CancelToken>>> = Arc::new(Mutex::new(HashMap::new()));
     // A read error means the peer hung up or sent garbage; the
     // connection is done.
@@ -608,8 +617,15 @@ fn wire_loop(
             }
             Frame::Cancel { id } => {
                 // Best-effort: stops un-forwarded attempts; a request
-                // already at a replica resolves there normally.
-                if let Some(token) = inflight.lock().expect("router inflight lock").get(&id) {
+                // already at a replica resolves there normally. Clone
+                // the token out so the registry lock is released before
+                // signalling.
+                let token = inflight
+                    .lock()
+                    .expect("router inflight lock")
+                    .get(&id)
+                    .cloned();
+                if let Some(token) = token {
                     token.cancel();
                 }
             }
@@ -669,6 +685,7 @@ fn outcome_to_frame(id: u64, outcome: WireOutcome) -> Frame {
 fn write_router_frame(writer: &Arc<Mutex<TcpStream>>, frame: &Frame) -> Result<(), WireError> {
     let mut guard = writer.lock().expect("router writer lock");
     let mut buffered = BufWriter::new(&mut *guard);
+    // lock-order: allow(router-writer serializes whole response frames; holding it across the socket write is the point)
     write_frame(&mut buffered, frame)?;
     buffered.flush()?;
     Ok(())

@@ -207,6 +207,7 @@ pub const DEFAULT_RING_CAPACITY: usize = 32 * 1024;
 /// concurrent workers contend on nothing shared; the ring overwrites
 /// oldest-first when full.
 struct EventRing {
+    // lock: telemetry-ring-slot
     slots: Vec<Mutex<Option<SpanEvent>>>,
     head: AtomicU64,
 }
@@ -236,6 +237,7 @@ impl EventRing {
         let mut events: Vec<SpanEvent> = self
             .slots
             .iter()
+            // lock: telemetry-ring-slot
             .filter_map(|s| s.lock().expect("ring slot").clone())
             .collect();
         events.sort_by_key(|e| e.seq);
@@ -369,6 +371,7 @@ pub struct Telemetry {
     stage_count: [AtomicU64; 6],
     /// `(model, step index)` → running profile. BTreeMap so snapshots
     /// list models and steps in a stable order.
+    // lock: telemetry-layers
     layers: Mutex<BTreeMap<(Arc<str>, usize), LayerProfile>>,
 }
 

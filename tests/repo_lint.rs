@@ -1,18 +1,20 @@
-//! Tier-1 gate for the zero-dependency repo lint (`tools/lint.rs`):
-//! `unsafe` blocks must carry `// SAFETY:` justifications, and the
-//! serving warm paths must not `unwrap`/`expect` outside the reviewed
-//! allowlist (`tools/lint_allow.txt`).
-
-#[path = "../tools/lint.rs"]
-mod lint;
+//! Tier-1 gate for the concurrency auditor: a thin shim over the
+//! `patdnn-analyze` crate (`tools/analyze/`), which replaced the old
+//! substring-based `tools/lint.rs`. Lock-order cycles, guards held
+//! across blocking ops, warm-path discipline, `// SAFETY:` coverage,
+//! and wire/catalog exhaustiveness must all be clean on every commit.
 
 #[test]
-fn repo_is_lint_clean() {
+fn repo_is_analysis_clean() {
     let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"));
-    let violations = lint::run(root);
-    assert!(
-        violations.is_empty(),
-        "repo lint violations:\n  {}",
-        violations.join("\n  ")
-    );
+    let analysis = patdnn_analyze::run(root);
+    if !analysis.findings.is_empty() {
+        for finding in &analysis.findings {
+            eprintln!("{finding}");
+        }
+        panic!(
+            "patdnn-analyze: {} findings (run `cargo run -p patdnn-analyze` for the full report)",
+            analysis.findings.len()
+        );
+    }
 }

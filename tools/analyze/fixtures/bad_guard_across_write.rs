@@ -1,0 +1,36 @@
+//! Known-bad: mutex guards held across socket IO, in both shapes the
+//! serving stack has grown: a let-bound guard live across
+//! `TcpStream::write_all`, and a match-scrutinee guard temporary that
+//! keeps the pool locked across `TcpStream::connect` (the temporary
+//! lives for the whole match under Rust 2021 rules).
+//! Expected findings: LOCK-BLOCKING x2.
+
+use std::io::Write;
+use std::net::TcpStream;
+use std::sync::Mutex;
+
+pub struct Conn {
+    // lock: fixture-writer
+    writer: Mutex<TcpStream>,
+}
+
+impl Conn {
+    pub fn send(&self, payload: &[u8]) -> std::io::Result<()> {
+        let mut stream = self.writer.lock().expect("fixture writer");
+        stream.write_all(payload)
+    }
+}
+
+pub struct Pool {
+    // lock: fixture-pool
+    pool: Mutex<Vec<TcpStream>>,
+}
+
+impl Pool {
+    pub fn checkout(&self, addr: &str) -> std::io::Result<TcpStream> {
+        match self.pool.lock().expect("fixture pool").pop() {
+            Some(conn) => Ok(conn),
+            None => TcpStream::connect(addr),
+        }
+    }
+}

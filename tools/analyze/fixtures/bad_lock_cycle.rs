@@ -1,0 +1,26 @@
+//! Known-bad: AB/BA acquisition order across two functions — the
+//! lock-order graph has the cycle `fixture-a -> fixture-b -> fixture-a`.
+//! Expected finding: LOCK-ORDER.
+
+use std::sync::Mutex;
+
+pub struct Shared {
+    // lock: fixture-a
+    a: Mutex<u32>,
+    // lock: fixture-b
+    b: Mutex<u32>,
+}
+
+impl Shared {
+    pub fn forward(&self) -> u32 {
+        let a = self.a.lock().unwrap();
+        let b = self.b.lock().unwrap();
+        *a + *b
+    }
+
+    pub fn backward(&self) -> u32 {
+        let b = self.b.lock().unwrap();
+        let a = self.a.lock().unwrap();
+        *a - *b
+    }
+}

@@ -1,0 +1,7 @@
+//! Known-bad: a reviewed allow annotation that no longer suppresses
+//! anything (left behind by a refactor). Expected finding: ALLOW-STALE.
+
+pub fn noop(x: u64) -> u64 {
+    // lock-order: allow(left over from a refactor)
+    x + 1
+}

@@ -1,0 +1,8 @@
+//! Known-bad: a `Mutex` field without a `// lock: <label>` class
+//! annotation. Expected finding: LOCK-LABEL.
+
+use std::sync::Mutex;
+
+pub struct Counters {
+    totals: Mutex<Vec<u64>>,
+}

@@ -1,0 +1,7 @@
+//! Known-bad: `.unwrap()` on a warm serving path (analyzed with the
+//! warm-path rules enabled). Expected finding: WARM-UNWRAP.
+
+pub fn admit(queue: &[u64], id: u64) -> u64 {
+    let slot = queue.iter().position(|&q| q == id).unwrap();
+    queue[slot]
+}

@@ -1,0 +1,45 @@
+//! Known-good twin of `bad_guard_across_write.rs`: the sequence lock is
+//! scoped to the frame assembly and released before the socket write,
+//! and the pool pop happens in its own statement so the connect runs
+//! unlocked.
+
+use std::io::Write;
+use std::net::TcpStream;
+use std::sync::Mutex;
+
+pub struct Conn {
+    // lock: fixture-seq
+    seq: Mutex<u64>,
+}
+
+fn encode(seq: u64, payload: &[u8]) -> Vec<u8> {
+    let mut out = seq.to_le_bytes().to_vec();
+    out.extend_from_slice(payload);
+    out
+}
+
+impl Conn {
+    pub fn send(&self, stream: &mut TcpStream, payload: &[u8]) -> std::io::Result<()> {
+        let frame = {
+            let mut seq = self.seq.lock().expect("fixture seq");
+            *seq += 1;
+            encode(*seq, payload)
+        };
+        stream.write_all(&frame)
+    }
+}
+
+pub struct Pool {
+    // lock: fixture-pool
+    pool: Mutex<Vec<TcpStream>>,
+}
+
+impl Pool {
+    pub fn checkout(&self, addr: &str) -> std::io::Result<TcpStream> {
+        let pooled = self.pool.lock().expect("fixture pool").pop();
+        match pooled {
+            Some(conn) => Ok(conn),
+            None => TcpStream::connect(addr),
+        }
+    }
+}

@@ -1,0 +1,25 @@
+//! Known-good twin of `bad_lock_cycle.rs`: both paths acquire
+//! `fixture-a` before `fixture-b`, so the order graph is acyclic.
+
+use std::sync::Mutex;
+
+pub struct Shared {
+    // lock: fixture-a
+    a: Mutex<u32>,
+    // lock: fixture-b
+    b: Mutex<u32>,
+}
+
+impl Shared {
+    pub fn forward(&self) -> u32 {
+        let a = self.a.lock().unwrap();
+        let b = self.b.lock().unwrap();
+        *a + *b
+    }
+
+    pub fn backward(&self) -> u32 {
+        let a = self.a.lock().unwrap();
+        let b = self.b.lock().unwrap();
+        *a - *b
+    }
+}

@@ -1,0 +1,19 @@
+//! Known-good twin of `bad_stale_allow.rs`: the allow suppresses a real
+//! guard-across-write finding, so it is consumed and not stale.
+
+use std::io::Write;
+use std::net::TcpStream;
+use std::sync::Mutex;
+
+pub struct Conn {
+    // lock: fixture-writer
+    writer: Mutex<TcpStream>,
+}
+
+impl Conn {
+    pub fn send(&self, payload: &[u8]) -> std::io::Result<()> {
+        let mut stream = self.writer.lock().expect("fixture writer");
+        // lock-order: allow(single-writer socket; holding the lock across the write is the design)
+        stream.write_all(payload)
+    }
+}

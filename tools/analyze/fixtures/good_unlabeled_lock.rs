@@ -1,0 +1,9 @@
+//! Known-good twin of `bad_unlabeled_lock.rs`: the lock declares its
+//! class.
+
+use std::sync::Mutex;
+
+pub struct Counters {
+    // lock: fixture-counters
+    totals: Mutex<Vec<u64>>,
+}

@@ -1,0 +1,7 @@
+//! Known-good twin of `bad_warm_unwrap.rs`: the miss is propagated as
+//! `None` instead of panicking.
+
+pub fn admit(queue: &[u64], id: u64) -> Option<u64> {
+    let slot = queue.iter().position(|&q| q == id)?;
+    Some(queue[slot])
+}

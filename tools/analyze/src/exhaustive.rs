@@ -1,0 +1,163 @@
+//! Exhaustiveness cross-checks tying the wire protocol and the verifier
+//! taxonomy to their enforcement artifacts:
+//!
+//! - every `mod tag` constant in `wire.rs` appears in both `fn tag`
+//!   (encode side) and `fn decode`;
+//! - every `Frame` variant has a seed in the wire mutation corpus
+//!   (`crates/bench/src/wire_corpus.rs`);
+//! - every `Violation` variant is documented in the DESIGN.md §13
+//!   catalog.
+
+use std::path::Path;
+
+use crate::lexer::{self, Tok, Token};
+use crate::model::{self, ident_of, is_ident, is_punct};
+use crate::{labels, Finding};
+
+const WIRE: &str = "crates/serve/src/wire.rs";
+const CORPUS: &str = "crates/bench/src/wire_corpus.rs";
+const VERIFY: &str = "crates/serve/src/verify.rs";
+const DESIGN: &str = "DESIGN.md";
+
+pub fn check(root: &Path, findings: &mut Vec<Finding>) {
+    let read = |rel: &str| std::fs::read_to_string(root.join(rel)).unwrap_or_default();
+    let wire_src = read(WIRE);
+    let corpus_src = read(CORPUS);
+    let verify_src = read(VERIFY);
+    let design_src = read(DESIGN);
+    if wire_src.is_empty() || verify_src.is_empty() {
+        return; // snippet-mode callers don't have the repo layout
+    }
+
+    let wire = lexer::lex(&wire_src);
+    let wire_model = model::build(&wire);
+
+    // 1. Tag constants vs encode/decode match arms.
+    let tags = mod_consts(&wire.tokens, "tag");
+    for fn_name in ["tag", "decode"] {
+        let Some(body) = fn_body_range(&wire_model, fn_name) else {
+            findings.push(Finding::new(
+                WIRE,
+                1,
+                labels::WIRE_EXHAUSTIVE,
+                format!("expected a `fn {fn_name}` handling every wire tag"),
+            ));
+            continue;
+        };
+        for (tag, line) in &tags {
+            let covered = wire.tokens[body.0..body.1]
+                .iter()
+                .any(|t| matches!(&t.kind, Tok::Ident(s) if s == tag));
+            if !covered {
+                findings.push(Finding::new(
+                    WIRE,
+                    *line,
+                    labels::WIRE_EXHAUSTIVE,
+                    format!("wire tag `{tag}` is not handled in `fn {fn_name}`"),
+                ));
+            }
+        }
+    }
+
+    // 2. Frame variants vs the wire mutation corpus seeds.
+    for (variant, line) in enum_variants(&wire.tokens, "Frame") {
+        if !corpus_src.contains(&format!("Frame::{variant}")) {
+            findings.push(Finding::new(
+                WIRE,
+                line,
+                labels::WIRE_EXHAUSTIVE,
+                format!(
+                    "frame variant `{variant}` has no seed/mutant coverage in {CORPUS} \
+                     (expected a `Frame::{variant}` construction or match)"
+                ),
+            ));
+        }
+    }
+
+    // 3. Violation variants vs the DESIGN.md §13 catalog.
+    let verify = lexer::lex(&verify_src);
+    for (variant, line) in enum_variants(&verify.tokens, "Violation") {
+        if !design_src.contains(&format!("`{variant}`")) {
+            findings.push(Finding::new(
+                VERIFY,
+                line,
+                labels::CATALOG_EXHAUSTIVE,
+                format!("`Violation::{variant}` is missing from the DESIGN.md §13 catalog"),
+            ));
+        }
+    }
+}
+
+/// `const NAME: ... = ...;` identifiers inside `mod <name> { ... }`.
+fn mod_consts(tokens: &[Token], mod_name: &str) -> Vec<(String, u32)> {
+    let mut out = Vec::new();
+    for i in 0..tokens.len() {
+        if is_ident(tokens.get(i), "mod")
+            && is_ident(tokens.get(i + 1), mod_name)
+            && is_punct(tokens.get(i + 2), '{')
+        {
+            let close = model::matching_close(tokens, i + 2);
+            let mut j = i + 3;
+            while j < close {
+                if is_ident(tokens.get(j), "const") {
+                    if let Some(name) = ident_of(tokens.get(j + 1)) {
+                        out.push((name.to_owned(), tokens[j + 1].line));
+                    }
+                }
+                j += 1;
+            }
+            break;
+        }
+    }
+    out
+}
+
+/// Top-level variant identifiers of `enum <name> { ... }`.
+fn enum_variants(tokens: &[Token], enum_name: &str) -> Vec<(String, u32)> {
+    let mut out = Vec::new();
+    for i in 0..tokens.len() {
+        if !(is_ident(tokens.get(i), "enum") && is_ident(tokens.get(i + 1), enum_name)) {
+            continue;
+        }
+        let mut open = i + 2;
+        while open < tokens.len() && !is_punct(tokens.get(open), '{') {
+            open += 1;
+        }
+        if open >= tokens.len() {
+            break;
+        }
+        let close = model::matching_close(tokens, open);
+        let mut depth = 0i32;
+        let mut j = open + 1;
+        while j < close {
+            match &tokens[j].kind {
+                Tok::Punct('{') | Tok::Punct('(') | Tok::Punct('[') => depth += 1,
+                Tok::Punct('}') | Tok::Punct(')') | Tok::Punct(']') => depth -= 1,
+                Tok::Ident(name) if depth == 0 => {
+                    // A variant name is followed by `,`, `}`, `(`, `{`,
+                    // or `=` (discriminant); field names inside variant
+                    // bodies sit at depth > 0.
+                    let prev_ok = is_punct(tokens.get(j - 1), '{')
+                        || is_punct(tokens.get(j - 1), ',')
+                        || is_punct(tokens.get(j - 1), ']');
+                    if prev_ok {
+                        out.push((name.clone(), tokens[j].line));
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        break;
+    }
+    out
+}
+
+/// Token range (exclusive of braces) of the body of `fn <name>`.
+fn fn_body_range(fm: &model::FileModel, name: &str) -> Option<(usize, usize)> {
+    let f = fm
+        .functions
+        .iter()
+        .find(|f| f.name == name && f.body_open.is_some())?;
+    Some((f.body_open? + 1, f.body_close?))
+}

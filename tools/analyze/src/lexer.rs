@@ -1,0 +1,406 @@
+//! Hand-written lexer for the Rust subset this repository uses.
+//!
+//! The analyzer never parses full Rust; it works off a token stream that
+//! is exact about the three things substring lints get wrong: comments
+//! (line and nested block), string/char literals (including raw and byte
+//! strings), and lifetimes vs char literals. Everything else is reduced
+//! to identifiers, numbers, and single-character punctuation.
+//!
+//! Line comments are additionally scanned for the analyzer's annotation
+//! grammar (see DESIGN.md §15):
+//!
+//! ```text
+//! // lock: <label>                  declares/names a lock class
+//! // lock-order: allow(<reason>)    reviewed guard-across-blocking/edge
+//! // warm-path: allow(<reason>)     reviewed warm-path discipline waiver
+//! // SAFETY: <why>                  justifies an unsafe block
+//! ```
+
+/// One lexical token with the 1-based source line it starts on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    pub kind: Tok,
+    pub line: u32,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier or keyword (the analyzer does not distinguish).
+    Ident(String),
+    /// Any single punctuation character (`{`, `.`, `!`, ...).
+    Punct(char),
+    /// Any string literal; contents are irrelevant to the analysis.
+    Str,
+    /// Any char literal.
+    Char,
+    /// A lifetime such as `'a` or `'static`.
+    Lifetime,
+    /// A numeric literal.
+    Num,
+}
+
+/// A structured comment recognized by the annotation grammar.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Annotation {
+    pub line: u32,
+    pub kind: AnnKind,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AnnKind {
+    /// `// lock: <label>` — names the lock class declared (or used) here.
+    LockLabel(String),
+    /// `// lock-order: allow(<reason>)`.
+    LockOrderAllow(String),
+    /// `// warm-path: allow(<reason>)`.
+    WarmAllow(String),
+    /// `// SAFETY: ...`.
+    Safety,
+    /// A `lock:`/`lock-order:`/`warm-path:` comment that does not parse.
+    Malformed(String),
+}
+
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub tokens: Vec<Token>,
+    pub annotations: Vec<Annotation>,
+}
+
+/// Lex `src` into tokens plus recognized annotations.
+pub fn lex(src: &str) -> Lexed {
+    let mut out = Lexed::default();
+    let b = src.as_bytes();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_ascii_whitespace() => i += 1,
+            b'/' if i + 1 < b.len() && b[i + 1] == b'/' => {
+                let start = i + 2;
+                let mut j = start;
+                while j < b.len() && b[j] != b'\n' {
+                    j += 1;
+                }
+                let text = &src[start..j];
+                if let Some(ann) = parse_annotation(text, line) {
+                    out.annotations.push(ann);
+                }
+                i = j;
+            }
+            b'/' if i + 1 < b.len() && b[i + 1] == b'*' => {
+                let mut depth = 1usize;
+                let mut j = i + 2;
+                while j < b.len() && depth > 0 {
+                    if b[j] == b'\n' {
+                        line += 1;
+                        j += 1;
+                    } else if b[j] == b'/' && j + 1 < b.len() && b[j + 1] == b'*' {
+                        depth += 1;
+                        j += 2;
+                    } else if b[j] == b'*' && j + 1 < b.len() && b[j + 1] == b'/' {
+                        depth -= 1;
+                        j += 2;
+                    } else {
+                        j += 1;
+                    }
+                }
+                i = j;
+            }
+            b'"' => {
+                out.tokens.push(Token {
+                    kind: Tok::Str,
+                    line,
+                });
+                i = skip_string(b, i, &mut line);
+            }
+            b'r' | b'b' => {
+                // Raw / byte string prefixes: r", r#", br", b", b'.
+                if let Some(next) = raw_or_byte_literal(b, i, &mut line) {
+                    out.tokens.push(Token {
+                        kind: Tok::Str,
+                        line,
+                    });
+                    i = next;
+                } else {
+                    let (ident, j) = take_ident(src, i);
+                    out.tokens.push(Token {
+                        kind: Tok::Ident(ident),
+                        line,
+                    });
+                    i = j;
+                }
+            }
+            b'\'' => {
+                // Lifetime vs char literal: a lifetime is `'ident` NOT
+                // followed by a closing quote.
+                if is_lifetime(b, i) {
+                    let (_, j) = take_ident(src, i + 1);
+                    out.tokens.push(Token {
+                        kind: Tok::Lifetime,
+                        line,
+                    });
+                    i = j;
+                } else {
+                    out.tokens.push(Token {
+                        kind: Tok::Char,
+                        line,
+                    });
+                    i = skip_char_literal(b, i);
+                }
+            }
+            c if c == b'_' || c.is_ascii_alphabetic() => {
+                let (ident, j) = take_ident(src, i);
+                out.tokens.push(Token {
+                    kind: Tok::Ident(ident),
+                    line,
+                });
+                i = j;
+            }
+            c if c.is_ascii_digit() => {
+                out.tokens.push(Token {
+                    kind: Tok::Num,
+                    line,
+                });
+                i = skip_number(b, i);
+            }
+            c => {
+                out.tokens.push(Token {
+                    kind: Tok::Punct(c as char),
+                    line,
+                });
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+fn parse_annotation(comment: &str, line: u32) -> Option<Annotation> {
+    let text = comment.trim_start_matches(['/', '!']).trim();
+    let kind = if let Some(rest) = text.strip_prefix("lock:") {
+        let label = rest.trim();
+        if !label.is_empty()
+            && label
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-')
+        {
+            AnnKind::LockLabel(label.to_owned())
+        } else {
+            AnnKind::Malformed(format!(
+                "lock label `{label}` must be non-empty kebab-case ([a-z0-9-]+)"
+            ))
+        }
+    } else if let Some(rest) = text.strip_prefix("lock-order:") {
+        match parse_allow(rest) {
+            Some(reason) => AnnKind::LockOrderAllow(reason),
+            None => AnnKind::Malformed("expected `lock-order: allow(<reason>)`".to_owned()),
+        }
+    } else if let Some(rest) = text.strip_prefix("warm-path:") {
+        match parse_allow(rest) {
+            Some(reason) => AnnKind::WarmAllow(reason),
+            None => AnnKind::Malformed("expected `warm-path: allow(<reason>)`".to_owned()),
+        }
+    } else if text.starts_with("SAFETY:") {
+        AnnKind::Safety
+    } else {
+        return None;
+    };
+    Some(Annotation { line, kind })
+}
+
+fn parse_allow(rest: &str) -> Option<String> {
+    let rest = rest.trim();
+    let inner = rest.strip_prefix("allow(")?.strip_suffix(')')?;
+    let reason = inner.trim();
+    if reason.is_empty() {
+        None
+    } else {
+        Some(reason.to_owned())
+    }
+}
+
+fn take_ident(src: &str, start: usize) -> (String, usize) {
+    let b = src.as_bytes();
+    let mut j = start;
+    while j < b.len() && (b[j] == b'_' || b[j].is_ascii_alphanumeric()) {
+        j += 1;
+    }
+    (src[start..j].to_owned(), j)
+}
+
+fn is_lifetime(b: &[u8], i: usize) -> bool {
+    // `'a` where the char after the ident is not `'` (that would be 'a').
+    if i + 1 >= b.len() {
+        return false;
+    }
+    let c = b[i + 1];
+    if !(c == b'_' || c.is_ascii_alphabetic()) {
+        return false;
+    }
+    let mut j = i + 1;
+    while j < b.len() && (b[j] == b'_' || b[j].is_ascii_alphanumeric()) {
+        j += 1;
+    }
+    !(j < b.len() && b[j] == b'\'')
+}
+
+fn skip_string(b: &[u8], start: usize, line: &mut u32) -> usize {
+    let mut j = start + 1;
+    while j < b.len() {
+        match b[j] {
+            b'\\' => j += 2,
+            b'\n' => {
+                *line += 1;
+                j += 1;
+            }
+            b'"' => return j + 1,
+            _ => j += 1,
+        }
+    }
+    j
+}
+
+fn skip_char_literal(b: &[u8], start: usize) -> usize {
+    let mut j = start + 1;
+    if j < b.len() && b[j] == b'\\' {
+        j += 2;
+    } else {
+        j += 1;
+    }
+    while j < b.len() && b[j] != b'\'' {
+        j += 1;
+    }
+    j + 1
+}
+
+fn skip_number(b: &[u8], start: usize) -> usize {
+    let mut j = start;
+    while j < b.len() && (b[j].is_ascii_alphanumeric() || b[j] == b'_') {
+        j += 1;
+    }
+    // Fractional part, but not the `..` of a range expression.
+    if j + 1 < b.len() && b[j] == b'.' && b[j + 1].is_ascii_digit() {
+        j += 1;
+        while j < b.len() && (b[j].is_ascii_alphanumeric() || b[j] == b'_') {
+            j += 1;
+        }
+    }
+    j
+}
+
+/// `true` when a raw/byte string starts at `i`; advances past it.
+fn raw_or_byte_literal(b: &[u8], i: usize, line: &mut u32) -> Option<usize> {
+    let rest = &b[i..];
+    let (hash_start, is_raw) = if rest.starts_with(b"r\"") || rest.starts_with(b"r#") {
+        (i + 1, true)
+    } else if rest.starts_with(b"br\"") || rest.starts_with(b"br#") {
+        (i + 2, true)
+    } else if rest.starts_with(b"b\"") {
+        (i + 1, false)
+    } else if rest.starts_with(b"b'") {
+        return Some(skip_char_literal(b, i + 1));
+    } else {
+        return None;
+    };
+    if !is_raw {
+        return Some(skip_string(b, hash_start, line));
+    }
+    let mut hashes = 0usize;
+    let mut j = hash_start;
+    while j < b.len() && b[j] == b'#' {
+        hashes += 1;
+        j += 1;
+    }
+    if j >= b.len() || b[j] != b'"' {
+        return None;
+    }
+    j += 1;
+    while j < b.len() {
+        if b[j] == b'\n' {
+            *line += 1;
+            j += 1;
+        } else if b[j] == b'"'
+            && b[j + 1..]
+                .iter()
+                .take(hashes)
+                .filter(|&&c| c == b'#')
+                .count()
+                == hashes
+        {
+            return Some(j + 1 + hashes);
+        } else {
+            j += 1;
+        }
+    }
+    Some(j)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter_map(|t| match t.kind {
+                Tok::Ident(s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn comments_and_strings_hide_tokens() {
+        let src = r##"
+            let x = "mutex.lock() // not real";
+            // mutex.lock() in a comment
+            /* nested /* mutex.lock() */ still comment */
+            let y = r#"raw "lock" text"#;
+            real.lock();
+        "##;
+        let ids = idents(src);
+        assert_eq!(ids.iter().filter(|s| *s == "lock").count(), 1);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let src = "fn f<'a>(x: &'a str) -> char { 'x' }";
+        let lexed = lex(src);
+        let lifetimes = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == Tok::Lifetime)
+            .count();
+        let chars = lexed.tokens.iter().filter(|t| t.kind == Tok::Char).count();
+        assert_eq!((lifetimes, chars), (2, 1));
+    }
+
+    #[test]
+    fn annotations_parse() {
+        let src = "\n// lock: net-writer\n// lock-order: allow(writer serialization)\n// warm-path: allow(bounded scan)\n// SAFETY: aligned by construction\n// lock: Bad Label\n";
+        let anns = lex(src).annotations;
+        assert_eq!(anns.len(), 5);
+        assert_eq!(anns[0].kind, AnnKind::LockLabel("net-writer".into()));
+        assert_eq!(
+            anns[1].kind,
+            AnnKind::LockOrderAllow("writer serialization".into())
+        );
+        assert_eq!(anns[2].kind, AnnKind::WarmAllow("bounded scan".into()));
+        assert_eq!(anns[3].kind, AnnKind::Safety);
+        assert!(matches!(anns[4].kind, AnnKind::Malformed(_)));
+        assert_eq!(anns[0].line, 2);
+    }
+
+    #[test]
+    fn line_numbers_survive_multiline_constructs() {
+        let src = "/* a\nb */\nfoo";
+        let lexed = lex(src);
+        assert_eq!(lexed.tokens[0].line, 3);
+    }
+}

@@ -1,0 +1,191 @@
+//! `patdnn-analyze`: zero-dependency static analysis for the PatDNN
+//! serving stack (see DESIGN.md §15).
+//!
+//! Four passes over `crates/serve/src` and `crates/runtime/src`:
+//!
+//! 1. **Lock-order graph** — every `Mutex`/`RwLock` declaration carries a
+//!    `// lock: <label>` class annotation; nested acquisitions form
+//!    edges; cycles (including re-entrant self-edges) are potential
+//!    deadlocks.
+//! 2. **Lock-held-across-blocking-op** — socket IO, sleeps, joins,
+//!    channel receives, and condvar waits under a live guard, with a
+//!    reviewed `// lock-order: allow(<reason>)` escape hatch whose
+//!    staleness is re-verified.
+//! 3. **Warm-path discipline** — scope-aware `unwrap`/`expect`/panic
+//!    and under-guard allocation bans on the hot serving files.
+//! 4. **Exhaustiveness cross-checks** — wire tags vs encode/decode/
+//!    mutation corpus, and `Violation` variants vs the DESIGN.md §13
+//!    catalog.
+//!
+//! `unsafe` blocks anywhere in the repo must carry `// SAFETY:`
+//! justifications (carried over from the retired `tools/lint.rs`).
+
+pub mod exhaustive;
+pub mod lexer;
+pub mod locks;
+pub mod model;
+pub mod safety;
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// Invariant labels carried by findings, mirroring the PR-8 `Violation`
+/// taxonomy: stable names the fixtures and CI reports key on.
+pub mod labels {
+    /// Unlabeled, conflicting, or unresolvable lock declaration/use.
+    pub const LOCK_LABEL: &str = "LOCK-LABEL";
+    /// Cycle in the lock-order graph (potential deadlock).
+    pub const LOCK_ORDER: &str = "LOCK-ORDER";
+    /// Guard held across a blocking operation.
+    pub const LOCK_BLOCKING: &str = "LOCK-BLOCKING";
+    /// An `allow(...)` annotation that no longer suppresses anything.
+    pub const ALLOW_STALE: &str = "ALLOW-STALE";
+    /// `// lock:`/`allow(...)` comment that does not parse.
+    pub const ANNOTATION_SYNTAX: &str = "ANNOTATION-SYNTAX";
+    /// `.unwrap()` in a warm serving path.
+    pub const WARM_UNWRAP: &str = "WARM-UNWRAP";
+    /// Non-lock `.expect()` in a warm serving path.
+    pub const WARM_EXPECT: &str = "WARM-EXPECT";
+    /// Panicking macro in a warm serving path.
+    pub const WARM_PANIC: &str = "WARM-PANIC";
+    /// Allocation while holding a lock in a warm serving path.
+    pub const WARM_ALLOC: &str = "WARM-ALLOC";
+    /// `unsafe` block without a `// SAFETY:` justification.
+    pub const UNSAFE_JUSTIFY: &str = "UNSAFE-JUSTIFY";
+    /// Wire frame tag missing encode/decode/corpus coverage.
+    pub const WIRE_EXHAUSTIVE: &str = "WIRE-EXHAUSTIVE";
+    /// `Violation` variant missing from the DESIGN.md §13 catalog.
+    pub const CATALOG_EXHAUSTIVE: &str = "CATALOG-EXHAUSTIVE";
+}
+
+/// One analysis finding: file:line plus an invariant label.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    pub file: String,
+    pub line: u32,
+    pub label: &'static str,
+    pub message: String,
+}
+
+impl Finding {
+    pub fn new(file: &str, line: u32, label: &'static str, message: String) -> Self {
+        Finding {
+            file: file.to_owned(),
+            line,
+            label,
+            message,
+        }
+    }
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.label, self.message
+        )
+    }
+}
+
+/// Warm serving paths: per-request hot code where panics and avoidable
+/// allocations under locks violate the latency discipline.
+pub const WARM_PATHS: &[&str] = &[
+    "crates/serve/src/engine.rs",
+    "crates/serve/src/batching.rs",
+    "crates/serve/src/server.rs",
+    "crates/serve/src/request.rs",
+];
+
+/// Directories whose `.rs` files feed the lock/warm passes.
+const LOCK_SCAN_DIRS: &[&str] = &["crates/serve/src", "crates/runtime/src"];
+
+/// Directories walked for the `unsafe`/SAFETY pass (entire repo source).
+const SAFETY_SCAN_DIRS: &[&str] = &["crates", "src", "tests", "tools", "benches"];
+
+/// Known-bad analyzer fixtures live here; never scan them as repo code.
+const FIXTURE_DIR: &str = "tools/analyze/fixtures";
+
+/// Full analysis over the repository rooted at `root`. Returns all
+/// findings plus the lock registry (for `--registry` reporting).
+pub fn run(root: &Path) -> locks::Analysis {
+    let mut files = Vec::new();
+    for dir in LOCK_SCAN_DIRS {
+        for path in rust_files(&root.join(dir)) {
+            let rel = rel_path(root, &path);
+            let src = std::fs::read_to_string(&path).unwrap_or_default();
+            files.push(locks::FileInput {
+                warm: WARM_PATHS.contains(&rel.as_str()),
+                path: rel,
+                lexed: lexer::lex(&src),
+            });
+        }
+    }
+    files.sort_by(|a, b| a.path.cmp(&b.path));
+    let mut analysis = locks::analyze(&files);
+
+    for dir in SAFETY_SCAN_DIRS {
+        for path in rust_files(&root.join(dir)) {
+            let rel = rel_path(root, &path);
+            if rel.starts_with(FIXTURE_DIR) {
+                continue;
+            }
+            let src = std::fs::read_to_string(&path).unwrap_or_default();
+            safety::check(&rel, &src, &mut analysis.findings);
+        }
+    }
+
+    exhaustive::check(root, &mut analysis.findings);
+    analysis
+        .findings
+        .sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    analysis
+}
+
+/// Analyze a single in-memory source file (fixture/unit-test entry
+/// point): lock registry, guard regions, and — when `warm` — the
+/// warm-path discipline rules.
+pub fn analyze_snippet(name: &str, src: &str, warm: bool) -> Vec<Finding> {
+    let files = vec![locks::FileInput {
+        path: name.to_owned(),
+        lexed: lexer::lex(src),
+        warm,
+    }];
+    let mut analysis = locks::analyze(&files);
+    safety::check(name, src, &mut analysis.findings);
+    analysis
+        .findings
+        .sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    analysis.findings
+}
+
+fn rel_path(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// All `.rs` files under `dir`, recursively, sorted for determinism.
+fn rust_files(dir: &Path) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return out;
+    };
+    let mut entries: Vec<_> = entries.flatten().collect();
+    entries.sort_by_key(|e| e.path());
+    for entry in entries {
+        let path = entry.path();
+        if path.is_dir() {
+            if path.file_name().is_some_and(|n| n == "target") {
+                continue;
+            }
+            out.extend(rust_files(&path));
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    out
+}

@@ -1,0 +1,1074 @@
+//! Lock-order and blocking-call analysis.
+//!
+//! Three cooperating pieces:
+//!
+//! 1. A **lock registry** built from declaration sites: every
+//!    `Mutex<T>`/`RwLock<T>` field or `Mutex::new` let-binding must carry
+//!    a `// lock: <label>` annotation naming its lock *class*
+//!    (lockdep-style: same label = same class, so the three `scratch`
+//!    pools in `engine.rs` share one class). Unlabeled locks are
+//!    findings.
+//! 2. A **guard-region walk** over each function body that tracks which
+//!    guards are live. Let-bound guards live to the end of their block
+//!    (or an explicit `drop(g)`); guard temporaries live to the end of
+//!    the enclosing statement — which models the Rust 2021
+//!    match-scrutinee/if-let temporary extension that makes
+//!    `match pool.lock().pop() { ... }` hold the lock across the whole
+//!    match. Nested acquisitions emit lock-order edges; blocking
+//!    operations under a live guard are findings.
+//! 3. A **call-graph fixpoint** that propagates "acquires class C" and
+//!    "may block" through direct calls, so a guard held across a call to
+//!    a function that blocks (or locks) transitively is still caught.
+//!    Ubiquitous method names (`push`, `get`, ...) are excluded from
+//!    propagation to avoid false edges; the blocking primitives
+//!    themselves are matched directly instead.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+
+use crate::lexer::{AnnKind, Lexed, Tok, Token};
+use crate::model::{self, FileModel};
+use crate::{labels, Finding};
+
+/// How many lines above a site an annotation may sit.
+const ANN_WINDOW: u32 = 2;
+
+/// Methods that acquire a guard when called with zero arguments on a
+/// registered lock (`.read()`/`.write()` with arguments are io traits).
+const ACQUIRE_METHODS: &[&str] = &["lock", "read", "write"];
+
+/// Blocking calls regardless of arity (socket IO, sleeps, wire helpers).
+const BLOCKING_ANY_ARITY: &[&str] = &[
+    "write_all",
+    "read_exact",
+    "read_to_end",
+    "read_to_string",
+    "flush",
+    "connect",
+    "connect_timeout",
+    "accept",
+    "recv_timeout",
+    "sleep",
+    "park",
+    "write_frame",
+    "read_frame",
+    "write_handshake",
+    "read_handshake_version",
+];
+
+/// Blocking only when called with zero arguments (`Path::join`,
+/// `Vec::join` and channel-like `recv(x)` lookalikes take arguments).
+const BLOCKING_ZERO_ARITY: &[&str] = &["join", "recv", "wait"];
+
+/// Names excluded from call-graph propagation: they are ubiquitous
+/// method names whose summaries would alias unrelated types. The
+/// blocking primitives among them are still matched directly above.
+const PROPAGATION_DENYLIST: &[&str] = &[
+    "push",
+    "pop",
+    "len",
+    "is_empty",
+    "insert",
+    "remove",
+    "get",
+    "get_mut",
+    "clone",
+    "drain",
+    "iter",
+    "iter_mut",
+    "next",
+    "collect",
+    "close",
+    "new",
+    "default",
+    "drop",
+    "send",
+    "try_send",
+    "wait",
+    "wait_timeout",
+    "recv",
+    "recv_timeout",
+    "join",
+    "lock",
+    "read",
+    "write",
+    "spawn",
+    "min",
+    "max",
+    "map",
+    "filter",
+    "expect",
+    "unwrap",
+    "contains",
+    "contains_key",
+    "entry",
+    "extend",
+    "clear",
+    "take",
+    "replace",
+    "from",
+    "to_owned",
+    "to_vec",
+    "to_string",
+    "set",
+    "load",
+    "store",
+    "swap",
+    "fetch_add",
+    "fetch_sub",
+];
+
+/// Allocation constructors banned in guard-live warm-path regions.
+const ALLOC_PATH_TYPES: &[&str] = &[
+    "Vec", "VecDeque", "HashMap", "BTreeMap", "HashSet", "Box", "String",
+];
+const ALLOC_PATH_FNS: &[&str] = &["new", "with_capacity", "from"];
+const ALLOC_METHODS: &[&str] = &["to_owned", "to_vec", "to_string"];
+
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+/// One analyzed source file.
+pub struct FileInput {
+    /// Repo-relative path with `/` separators (used in findings).
+    pub path: String,
+    pub lexed: Lexed,
+    pub warm: bool,
+}
+
+/// Annotation store with consumption tracking; unconsumed allows and
+/// labels become stale-annotation findings.
+pub struct AnnIndex {
+    entries: Vec<(u32, AnnKind, bool)>,
+}
+
+impl AnnIndex {
+    fn new(lexed: &Lexed) -> Self {
+        AnnIndex {
+            entries: lexed
+                .annotations
+                .iter()
+                .map(|a| (a.line, a.kind.clone(), false))
+                .collect(),
+        }
+    }
+
+    /// Nearest entry of the matching kind on `line` or up to
+    /// `ANN_WINDOW` lines above it; marks it consumed.
+    fn take<F: Fn(&AnnKind) -> bool>(&mut self, line: u32, pred: F) -> Option<&AnnKind> {
+        let mut best: Option<usize> = None;
+        for (i, (l, kind, _)) in self.entries.iter().enumerate() {
+            if *l <= line && line - *l <= ANN_WINDOW && pred(kind) {
+                best = Some(match best {
+                    Some(b) if self.entries[b].0 >= *l => b,
+                    _ => i,
+                });
+            }
+        }
+        best.map(|i| {
+            self.entries[i].2 = true;
+            &self.entries[i].1
+        })
+    }
+
+    fn take_lock_label(&mut self, line: u32) -> Option<String> {
+        match self.take(line, |k| matches!(k, AnnKind::LockLabel(_))) {
+            Some(AnnKind::LockLabel(l)) => Some(l.clone()),
+            _ => None,
+        }
+    }
+
+    fn take_lock_order_allow(&mut self, line: u32) -> bool {
+        self.take(line, |k| matches!(k, AnnKind::LockOrderAllow(_)))
+            .is_some()
+    }
+
+    fn take_warm_allow(&mut self, line: u32) -> bool {
+        self.take(line, |k| matches!(k, AnnKind::WarmAllow(_)))
+            .is_some()
+    }
+
+    fn stale(&self, path: &str, findings: &mut Vec<Finding>) {
+        for (line, kind, consumed) in &self.entries {
+            let what = match kind {
+                AnnKind::LockOrderAllow(r) => format!("lock-order: allow({r})"),
+                AnnKind::WarmAllow(r) => format!("warm-path: allow({r})"),
+                AnnKind::LockLabel(l) => format!("lock: {l}"),
+                AnnKind::Malformed(msg) => {
+                    findings.push(Finding::new(
+                        path,
+                        *line,
+                        labels::ANNOTATION_SYNTAX,
+                        msg.clone(),
+                    ));
+                    continue;
+                }
+                AnnKind::Safety => continue,
+            };
+            if !consumed {
+                findings.push(Finding::new(
+                    path,
+                    *line,
+                    labels::ALLOW_STALE,
+                    format!(
+                        "stale annotation `// {what}` no longer matches any finding or declaration"
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// A labeled lock declaration (for `--registry` reporting).
+#[derive(Debug, Clone)]
+pub struct LockDecl {
+    pub file: String,
+    pub line: u32,
+    pub ident: String,
+    pub label: String,
+}
+
+#[derive(Debug, Clone)]
+struct Edge {
+    from: String,
+    to: String,
+    from_site: (String, u32),
+    to_site: (String, u32),
+    via: Option<String>,
+}
+
+#[derive(Debug, Clone)]
+struct Region {
+    class: String,
+    binding: Option<String>,
+    acq_line: u32,
+    stmt_depth: u32,
+    is_let: bool,
+    spawn_key: Option<usize>,
+}
+
+#[derive(Debug, Default)]
+struct Summary {
+    acquires: BTreeSet<String>,
+    blocking: bool,
+    calls: BTreeSet<String>,
+}
+
+#[derive(Debug)]
+struct CallSite {
+    file: String,
+    line: u32,
+    callee: String,
+    guards: Vec<(String, u32)>,
+}
+
+/// Outcome of the lock/warm analysis over a file set.
+pub struct Analysis {
+    pub findings: Vec<Finding>,
+    pub decls: Vec<LockDecl>,
+    pub edge_count: usize,
+}
+
+pub fn analyze(files: &[FileInput]) -> Analysis {
+    let mut findings = Vec::new();
+    let mut anns: Vec<AnnIndex> = files.iter().map(|f| AnnIndex::new(&f.lexed)).collect();
+    let models: Vec<FileModel> = files.iter().map(|f| model::build(&f.lexed)).collect();
+
+    // Pass 1: lock registry from declaration sites.
+    let mut decls: Vec<LockDecl> = Vec::new();
+    let mut registries: Vec<HashMap<String, String>> = Vec::new();
+    for ((file, ann), fm) in files.iter().zip(anns.iter_mut()).zip(models.iter()) {
+        registries.push(build_registry(file, fm, ann, &mut decls, &mut findings));
+    }
+
+    // Pass 2: per-function guard-region walk.
+    let mut edges: Vec<Edge> = Vec::new();
+    let mut call_sites: Vec<CallSite> = Vec::new();
+    let mut summaries: HashMap<String, Summary> = HashMap::new();
+    for (i, file) in files.iter().enumerate() {
+        let fm = &models[i];
+        let spawn_ranges = spawn_ranges(&file.lexed.tokens);
+        for (fi, f) in fm.functions.iter().enumerate() {
+            let (Some(body_open), Some(body_close)) = (f.body_open, f.body_close) else {
+                continue;
+            };
+            if fm.in_test_region(f.fn_idx) {
+                continue;
+            }
+            // Skip nested fn items; they are walked as their own entry.
+            let nested: Vec<(usize, usize)> = fm
+                .functions
+                .iter()
+                .enumerate()
+                .filter(|(gi, g)| *gi != fi && g.fn_idx > body_open && g.fn_idx < body_close)
+                .filter_map(|(_, g)| g.body_close.map(|c| (g.fn_idx, c)))
+                .collect();
+            let mut walk = Walk {
+                file,
+                registry: &registries[i],
+                ann: &mut anns[i],
+                spawn_ranges: &spawn_ranges,
+                nested: &nested,
+                findings: &mut findings,
+                edges: &mut edges,
+                call_sites: &mut call_sites,
+                summary: Summary::default(),
+            };
+            walk.run(body_open, body_close);
+            let entry = summaries.entry(f.name.clone()).or_default();
+            entry.acquires.extend(walk.summary.acquires);
+            entry.blocking |= walk.summary.blocking;
+            entry.calls.extend(walk.summary.calls);
+        }
+    }
+
+    // Pass 3: call-graph fixpoint, then propagate to under-guard calls.
+    let (acquires_star, blocks_star) = fixpoint(&summaries);
+    let path_to_idx: HashMap<&str, usize> = files
+        .iter()
+        .enumerate()
+        .map(|(i, f)| (f.path.as_str(), i))
+        .collect();
+    for site in &call_sites {
+        if PROPAGATION_DENYLIST.contains(&site.callee.as_str()) {
+            continue;
+        }
+        let Some(acq) = acquires_star.get(site.callee.as_str()) else {
+            continue;
+        };
+        let blocks = blocks_star.contains(site.callee.as_str());
+        if acq.is_empty() && !blocks {
+            continue;
+        }
+        let ann = &mut anns[path_to_idx[site.file.as_str()]];
+        if ann.take_lock_order_allow(site.line) {
+            continue;
+        }
+        for (class, acq_line) in &site.guards {
+            for inner in acq {
+                edges.push(Edge {
+                    from: class.clone(),
+                    to: inner.clone(),
+                    from_site: (site.file.clone(), *acq_line),
+                    to_site: (site.file.clone(), site.line),
+                    via: Some(site.callee.clone()),
+                });
+            }
+            if blocks {
+                findings.push(Finding::new(
+                    &site.file,
+                    site.line,
+                    labels::LOCK_BLOCKING,
+                    format!(
+                        "`{class}` lock (acquired at {}:{acq_line}) held across call to \
+                         `{}` which may block",
+                        site.file, site.callee
+                    ),
+                ));
+            }
+        }
+    }
+
+    // Pass 4: cycle detection over the lock-order graph.
+    let edge_count = report_cycles(&edges, &mut findings);
+
+    // Pass 5: stale / malformed annotations.
+    for (file, ann) in files.iter().zip(anns.iter()) {
+        ann.stale(&file.path, &mut findings);
+    }
+
+    Analysis {
+        findings,
+        decls,
+        edge_count,
+    }
+}
+
+/// Find every `Mutex`/`RwLock` declaration site and its required label.
+fn build_registry(
+    file: &FileInput,
+    fm: &FileModel,
+    ann: &mut AnnIndex,
+    decls: &mut Vec<LockDecl>,
+    findings: &mut Vec<Finding>,
+) -> HashMap<String, String> {
+    let tokens = &file.lexed.tokens;
+    let mut registry: HashMap<String, String> = HashMap::new();
+    let mut seen: HashSet<(String, u32)> = HashSet::new();
+    for (i, tok) in tokens.iter().enumerate() {
+        let Tok::Ident(name) = &tok.kind else {
+            continue;
+        };
+        if name != "Mutex" && name != "RwLock" {
+            continue;
+        }
+        let decl = if is_path_new(tokens, i) {
+            // `Mutex::new(...)`: a declaration only when let-bound;
+            // struct-literal initializers are covered by their field.
+            let_binding_ident(tokens, i)
+        } else if model::is_punct(tokens.get(i + 1), '<') {
+            if fm.in_fn_signature(i) {
+                None // parameters reference a lock declared elsewhere
+            } else {
+                field_ident_before_type(tokens, i)
+            }
+        } else {
+            None
+        };
+        let Some((ident, line)) = decl else { continue };
+        if fm.in_test_region(i) || !seen.insert((ident.clone(), line)) {
+            continue;
+        }
+        match ann.take_lock_label(line) {
+            Some(label) => {
+                if let Some(prev) = registry.get(&ident) {
+                    if prev != &label {
+                        findings.push(Finding::new(
+                            &file.path,
+                            line,
+                            labels::LOCK_LABEL,
+                            format!(
+                                "lock `{ident}` declared with label `{label}` but an earlier \
+                                 declaration in this file uses `{prev}`; same ident must mean \
+                                 one lock class per file"
+                            ),
+                        ));
+                        continue;
+                    }
+                }
+                registry.insert(ident.clone(), label.clone());
+                decls.push(LockDecl {
+                    file: file.path.clone(),
+                    line,
+                    ident,
+                    label,
+                });
+            }
+            None => findings.push(Finding::new(
+                &file.path,
+                line,
+                labels::LOCK_LABEL,
+                format!("lock `{ident}` lacks a `// lock: <label>` annotation"),
+            )),
+        }
+    }
+    registry
+}
+
+fn is_path_new(tokens: &[Token], i: usize) -> bool {
+    model::is_punct(tokens.get(i + 1), ':')
+        && model::is_punct(tokens.get(i + 2), ':')
+        && model::is_ident(tokens.get(i + 3), "new")
+}
+
+/// For `Mutex::new` at `i`: the `let` binding of the enclosing
+/// statement, if any.
+fn let_binding_ident(tokens: &[Token], i: usize) -> Option<(String, u32)> {
+    let start = stmt_start_before(tokens, i);
+    if !model::is_ident(tokens.get(start), "let") {
+        return None;
+    }
+    let mut j = start + 1;
+    while j < i {
+        match &tokens[j].kind {
+            Tok::Ident(s) if s == "mut" => j += 1,
+            Tok::Punct('(') => j += 1,
+            Tok::Ident(s) => return Some((s.clone(), tokens[j].line)),
+            _ => return None,
+        }
+    }
+    None
+}
+
+fn stmt_start_before(tokens: &[Token], i: usize) -> usize {
+    let mut j = i;
+    while j > 0 {
+        match &tokens[j - 1].kind {
+            Tok::Punct(';') | Tok::Punct('{') | Tok::Punct('}') => return j,
+            Tok::Punct(')') | Tok::Punct(']') => j = model::matching_open(tokens, j - 1),
+            _ => j -= 1,
+        }
+    }
+    0
+}
+
+/// For `Mutex<` in type position at `i`: walk back over type wrappers
+/// (`Arc<`, `&`, `Vec<`, path `::`) to the `name:` field or binding.
+fn field_ident_before_type(tokens: &[Token], i: usize) -> Option<(String, u32)> {
+    let mut j = i;
+    while j > 0 {
+        match &tokens[j - 1].kind {
+            Tok::Punct('<') | Tok::Punct('&') | Tok::Lifetime => j -= 1,
+            Tok::Punct(':') if j >= 2 && model::is_punct(tokens.get(j - 2), ':') => j -= 2,
+            Tok::Punct(':') => {
+                let name = model::ident_of(tokens.get(j.checked_sub(2)?))?;
+                return Some((name.to_owned(), tokens[j - 2].line));
+            }
+            Tok::Ident(_) => j -= 1,
+            _ => return None,
+        }
+    }
+    None
+}
+
+/// Token index ranges of `spawn(...)` argument lists; guard regions do
+/// not cross into a spawned closure (it runs on another thread).
+fn spawn_ranges(tokens: &[Token]) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    for (i, tok) in tokens.iter().enumerate() {
+        if matches!(&tok.kind, Tok::Ident(s) if s == "spawn")
+            && model::is_punct(tokens.get(i + 1), '(')
+            && !model::is_punct(tokens.get(i + 2), ')')
+        {
+            out.push((i + 1, model::matching_close(tokens, i + 1)));
+        }
+    }
+    out
+}
+
+fn innermost_spawn(ranges: &[(usize, usize)], idx: usize) -> Option<usize> {
+    ranges
+        .iter()
+        .enumerate()
+        .filter(|(_, &(s, e))| idx > s && idx < e)
+        .min_by_key(|(_, &(s, e))| e - s)
+        .map(|(i, _)| i)
+}
+
+struct Walk<'a> {
+    file: &'a FileInput,
+    registry: &'a HashMap<String, String>,
+    ann: &'a mut AnnIndex,
+    spawn_ranges: &'a [(usize, usize)],
+    nested: &'a [(usize, usize)],
+    findings: &'a mut Vec<Finding>,
+    edges: &'a mut Vec<Edge>,
+    call_sites: &'a mut Vec<CallSite>,
+    summary: Summary,
+}
+
+impl Walk<'_> {
+    fn run(&mut self, body_open: usize, body_close: usize) {
+        let tokens = &self.file.lexed.tokens;
+        let mut regions: Vec<Region> = Vec::new();
+        let mut depth: u32 = 0;
+        let mut i = body_open + 1;
+        while i < body_close {
+            if let Some(&(_, end)) = self.nested.iter().find(|&&(s, _)| s == i) {
+                i = end + 1;
+                continue;
+            }
+            let tok = &tokens[i];
+            match &tok.kind {
+                Tok::Punct('{') => depth += 1,
+                Tok::Punct('}') => {
+                    let new_depth = depth.saturating_sub(1);
+                    regions.retain(|r| {
+                        if r.is_let {
+                            new_depth >= r.stmt_depth
+                        } else {
+                            new_depth > r.stmt_depth
+                        }
+                    });
+                    depth = new_depth;
+                }
+                Tok::Punct(';') => {
+                    regions.retain(|r| r.is_let || depth != r.stmt_depth);
+                }
+                Tok::Ident(name) => {
+                    if model::is_punct(tokens.get(i + 1), '(') {
+                        self.handle_call(name.clone(), i, depth, &mut regions);
+                    } else if self.file.warm
+                        && model::is_punct(tokens.get(i + 1), '!')
+                        && PANIC_MACROS.contains(&name.as_str())
+                        && !self.ann.take_warm_allow(tok.line)
+                    {
+                        self.findings.push(Finding::new(
+                            &self.file.path,
+                            tok.line,
+                            labels::WARM_PANIC,
+                            format!(
+                                "`{name}!` in a warm serving path; return a typed error or \
+                                     justify with `// warm-path: allow(<reason>)`"
+                            ),
+                        ));
+                    } else if self.file.warm {
+                        self.check_warm_alloc(name, i, &regions);
+                    }
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+
+    /// Regions visible at `idx`: created under the same innermost
+    /// `spawn(...)` closure (or none).
+    fn visible<'r>(&self, regions: &'r [Region], idx: usize) -> Vec<&'r Region> {
+        let key = innermost_spawn(self.spawn_ranges, idx);
+        regions.iter().filter(|r| r.spawn_key == key).collect()
+    }
+
+    fn handle_call(&mut self, name: String, i: usize, depth: u32, regions: &mut Vec<Region>) {
+        let tokens = &self.file.lexed.tokens;
+        let line = tokens[i].line;
+        let is_method = i > 0 && model::is_punct(tokens.get(i - 1), '.');
+        let zero_arg = model::is_punct(tokens.get(i + 2), ')');
+        let in_spawn = innermost_spawn(self.spawn_ranges, i);
+
+        // `drop(g)` releases a let-bound guard early.
+        if !is_method && name == "drop" && !zero_arg {
+            if let Some(arg) = model::ident_of(tokens.get(i + 2)) {
+                if model::is_punct(tokens.get(i + 3), ')') {
+                    regions.retain(|r| r.binding.as_deref() != Some(arg));
+                    return;
+                }
+            }
+        }
+
+        // Acquisition: `.lock()` / `.read()` / `.write()` with no args.
+        if is_method && zero_arg && ACQUIRE_METHODS.contains(&name.as_str()) {
+            self.handle_acquisition(&name, i, depth, regions);
+            return;
+        }
+
+        // Condvar wait: `cv.wait(guard)` releases that guard during the
+        // wait; other live guards are still held across it.
+        if is_method && (name == "wait" || name == "wait_timeout") && !zero_arg {
+            let close = model::matching_close(tokens, i + 1);
+            let first_arg = (i + 2..close).find_map(|j| model::ident_of(tokens.get(j)));
+            let own_idx = first_arg.and_then(|arg| {
+                regions
+                    .iter()
+                    .position(|r| r.binding.as_deref() == Some(arg))
+            });
+            if in_spawn.is_none() {
+                self.summary.blocking = true;
+            }
+            let held: Vec<(String, u32)> = regions
+                .iter()
+                .enumerate()
+                .filter(|(ri, r)| r.spawn_key == in_spawn && Some(*ri) != own_idx)
+                .map(|(_, r)| (r.class.clone(), r.acq_line))
+                .collect();
+            self.report_blocking(&name, line, &held);
+            return;
+        }
+
+        // Other blocking primitives.
+        let blocking = BLOCKING_ANY_ARITY.contains(&name.as_str())
+            || (zero_arg && BLOCKING_ZERO_ARITY.contains(&name.as_str()))
+            || (is_method && zero_arg && name == "spawn");
+        if blocking {
+            if in_spawn.is_none() {
+                self.summary.blocking = true;
+            }
+            let held: Vec<(String, u32)> = self
+                .visible(regions, i)
+                .into_iter()
+                .map(|r| (r.class.clone(), r.acq_line))
+                .collect();
+            self.report_blocking(&name, line, &held);
+            return;
+        }
+
+        // Warm-path discipline for method calls: unwrap/expect bans and
+        // guard-live allocation bans.
+        if self.file.warm && is_method {
+            if name == "unwrap" {
+                if !self.ann.take_warm_allow(line) {
+                    self.findings.push(Finding::new(
+                        &self.file.path,
+                        line,
+                        labels::WARM_UNWRAP,
+                        "`.unwrap()` in a warm serving path; use `?`/match or justify with \
+                         `// warm-path: allow(<reason>)`"
+                            .to_owned(),
+                    ));
+                }
+            } else if name == "expect" {
+                // `.lock().expect(..)` and condvar-wait results are
+                // auto-allowed: propagating lock poison is the reviewed
+                // policy, not a warm-path escape.
+                if !is_lock_result(tokens, i) && !self.ann.take_warm_allow(line) {
+                    self.findings.push(Finding::new(
+                        &self.file.path,
+                        line,
+                        labels::WARM_EXPECT,
+                        "`.expect()` on a non-lock result in a warm serving path; return a \
+                         typed error or justify with `// warm-path: allow(<reason>)`"
+                            .to_owned(),
+                    ));
+                }
+            } else if ALLOC_METHODS.contains(&name.as_str()) {
+                let live: Vec<(String, u32)> = self
+                    .visible(regions, i)
+                    .into_iter()
+                    .map(|r| (r.class.clone(), r.acq_line))
+                    .collect();
+                self.report_warm_alloc(&name, line, &live);
+            }
+        }
+
+        // Plain call: record for propagation.
+        let prev_ident = model::ident_of(tokens.get(i.wrapping_sub(1)));
+        if matches!(
+            prev_ident,
+            Some("fn" | "struct" | "enum" | "trait" | "union")
+        ) {
+            return;
+        }
+        self.summary.calls.insert(name.clone());
+        let guards: Vec<(String, u32)> = self
+            .visible(regions, i)
+            .into_iter()
+            .map(|r| (r.class.clone(), r.acq_line))
+            .collect();
+        if !guards.is_empty() {
+            self.call_sites.push(CallSite {
+                file: self.file.path.clone(),
+                line,
+                callee: name,
+                guards,
+            });
+        }
+    }
+
+    fn report_blocking(&mut self, op: &str, line: u32, held: &[(String, u32)]) {
+        if held.is_empty() || self.ann.take_lock_order_allow(line) {
+            return;
+        }
+        let classes = held
+            .iter()
+            .map(|(c, l)| format!("`{c}` (acquired at {}:{l})", self.file.path))
+            .collect::<Vec<_>>()
+            .join(", ");
+        self.findings.push(Finding::new(
+            &self.file.path,
+            line,
+            labels::LOCK_BLOCKING,
+            format!(
+                "{classes} held across blocking `{op}`; release the guard first or justify \
+                 with `// lock-order: allow(<reason>)`"
+            ),
+        ));
+    }
+
+    fn handle_acquisition(
+        &mut self,
+        method: &str,
+        i: usize,
+        depth: u32,
+        regions: &mut Vec<Region>,
+    ) {
+        let tokens = &self.file.lexed.tokens;
+        let line = tokens[i].line;
+        let chain = receiver_chain(tokens, i - 1);
+        if chain
+            .iter()
+            .any(|c| matches!(c.as_str(), "stdout" | "stderr" | "stdin"))
+        {
+            return;
+        }
+        let class = chain
+            .iter()
+            .find_map(|c| self.registry.get(c).cloned())
+            .or_else(|| self.ann.take_lock_label(line));
+        let Some(class) = class else {
+            // Unresolvable `.read()`/`.write()` are io traits, not locks;
+            // unresolvable `.lock()` means an unregistered Mutex.
+            if method == "lock" {
+                self.findings.push(Finding::new(
+                    &self.file.path,
+                    line,
+                    labels::LOCK_LABEL,
+                    format!(
+                        "cannot resolve the lock class of this `.lock()` (receiver `{}`); \
+                         label the declaration or add a use-site `// lock: <label>`",
+                        chain.first().map(String::as_str).unwrap_or("?")
+                    ),
+                ));
+            }
+            return;
+        };
+        if innermost_spawn(self.spawn_ranges, i).is_none() {
+            self.summary.acquires.insert(class.clone());
+        }
+
+        // Nested acquisition: one edge per live guard, unless allowed.
+        let live = self.visible(regions, i);
+        if !live.is_empty() && !self.ann.take_lock_order_allow(line) {
+            for r in &live {
+                self.edges.push(Edge {
+                    from: r.class.clone(),
+                    to: class.clone(),
+                    from_site: (self.file.path.clone(), r.acq_line),
+                    to_site: (self.file.path.clone(), line),
+                    via: None,
+                });
+            }
+        }
+
+        // Guard lifetime: a let binds the guard only when the chain ends
+        // at the acquisition (modulo one `.expect(..)`/`.unwrap()`);
+        // further chained calls consume the guard within the statement.
+        let mut after = model::matching_close(tokens, i + 1) + 1;
+        if model::is_punct(tokens.get(after), '.')
+            && matches!(
+                model::ident_of(tokens.get(after + 1)),
+                Some("expect" | "unwrap")
+            )
+            && model::is_punct(tokens.get(after + 2), '(')
+        {
+            after = model::matching_close(tokens, after + 2) + 1;
+        }
+        let chained_further = model::is_punct(tokens.get(after), '.');
+        let binding = if chained_further {
+            None
+        } else {
+            let_binding_ident(tokens, i).map(|(b, _)| b)
+        };
+        let is_let = binding.is_some();
+        regions.push(Region {
+            class,
+            binding,
+            acq_line: line,
+            stmt_depth: depth,
+            is_let,
+            spawn_key: innermost_spawn(self.spawn_ranges, i),
+        });
+    }
+
+    fn check_warm_alloc(&mut self, name: &str, i: usize, regions: &[Region]) {
+        let tokens = &self.file.lexed.tokens;
+        let line = tokens[i].line;
+        let is_alloc = if model::is_punct(tokens.get(i + 1), '!') {
+            name == "vec" || name == "format"
+        } else if ALLOC_PATH_TYPES.contains(&name)
+            && model::is_punct(tokens.get(i + 1), ':')
+            && model::is_punct(tokens.get(i + 2), ':')
+        {
+            matches!(model::ident_of(tokens.get(i + 3)), Some(f) if ALLOC_PATH_FNS.contains(&f))
+                && model::is_punct(tokens.get(i + 4), '(')
+        } else {
+            false
+        };
+        let is_alloc_method = ALLOC_METHODS.contains(&name)
+            && model::is_punct(tokens.get(i.wrapping_sub(1)), '.')
+            && model::is_punct(tokens.get(i + 1), '(');
+        if !(is_alloc || is_alloc_method) {
+            return;
+        }
+        let live: Vec<(String, u32)> = self
+            .visible(regions, i)
+            .into_iter()
+            .map(|r| (r.class.clone(), r.acq_line))
+            .collect();
+        self.report_warm_alloc(name, line, &live);
+    }
+
+    fn report_warm_alloc(&mut self, name: &str, line: u32, live: &[(String, u32)]) {
+        if live.is_empty() || self.ann.take_warm_allow(line) {
+            return;
+        }
+        let classes = live
+            .iter()
+            .map(|(c, _)| format!("`{c}`"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        self.findings.push(Finding::new(
+            &self.file.path,
+            line,
+            labels::WARM_ALLOC,
+            format!(
+                "allocation (`{name}`) while holding {classes} in a warm serving path; \
+                 move it outside the guard or justify with `// warm-path: allow(<reason>)`"
+            ),
+        ));
+    }
+}
+
+/// `true` when the `.expect(`/`.unwrap(` at `i` is chained directly onto
+/// a lock acquisition or condvar wait result.
+fn is_lock_result(tokens: &[Token], i: usize) -> bool {
+    // tokens[i-1] is `.`; tokens[i-2] must be the `)` of the producer.
+    if i < 2 || !model::is_punct(tokens.get(i - 2), ')') {
+        return false;
+    }
+    let open = model::matching_open(tokens, i - 2);
+    if open == i - 2 || open == 0 {
+        return false;
+    }
+    matches!(
+        model::ident_of(tokens.get(open - 1)),
+        Some("lock" | "read" | "write" | "wait" | "wait_timeout")
+    ) && model::is_punct(tokens.get(open.wrapping_sub(2)), '.')
+}
+
+/// `self.a.b[i].lock()` — idents of the receiver chain, nearest first.
+fn receiver_chain(tokens: &[Token], dot_idx: usize) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut j = dot_idx; // index of the `.` before the method
+    loop {
+        if j == 0 {
+            break;
+        }
+        match &tokens[j - 1].kind {
+            Tok::Punct(']') | Tok::Punct(')') => {
+                let open = model::matching_open(tokens, j - 1);
+                if open == j - 1 {
+                    break;
+                }
+                j = open;
+            }
+            Tok::Ident(s) => {
+                out.push(s.clone());
+                if j >= 2 && model::is_punct(tokens.get(j - 2), '.') {
+                    j -= 2;
+                } else {
+                    break;
+                }
+            }
+            _ => break,
+        }
+    }
+    out
+}
+
+/// Fixpoint of transitive acquires / may-block over the call graph.
+#[allow(clippy::type_complexity)]
+fn fixpoint(
+    summaries: &HashMap<String, Summary>,
+) -> (BTreeMap<String, BTreeSet<String>>, BTreeSet<String>) {
+    let mut acquires: BTreeMap<String, BTreeSet<String>> = summaries
+        .iter()
+        .map(|(k, v)| (k.clone(), v.acquires.clone()))
+        .collect();
+    let mut blocks: BTreeSet<String> = summaries
+        .iter()
+        .filter(|(_, v)| v.blocking)
+        .map(|(k, _)| k.clone())
+        .collect();
+    loop {
+        let mut changed = false;
+        for (name, summary) in summaries {
+            for callee in &summary.calls {
+                if PROPAGATION_DENYLIST.contains(&callee.as_str())
+                    || !summaries.contains_key(callee)
+                {
+                    continue;
+                }
+                let callee_acq = acquires.get(callee).cloned().unwrap_or_default();
+                let mine = acquires.entry(name.clone()).or_default();
+                for c in callee_acq {
+                    changed |= mine.insert(c);
+                }
+                if blocks.contains(callee) && blocks.insert(name.clone()) {
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            return (acquires, blocks);
+        }
+    }
+}
+
+/// Detect cycles in the lock-order graph; returns the edge count.
+fn report_cycles(edges: &[Edge], findings: &mut Vec<Finding>) -> usize {
+    // Dedupe parallel edges, keeping the first site pair per (from, to).
+    let mut dedup: BTreeMap<(String, String), &Edge> = BTreeMap::new();
+    for e in edges {
+        dedup.entry((e.from.clone(), e.to.clone())).or_insert(e);
+    }
+    let adj: BTreeMap<&str, Vec<&Edge>> = dedup.values().fold(BTreeMap::new(), |mut m, e| {
+        m.entry(e.from.as_str()).or_default().push(e);
+        m
+    });
+
+    let mut reported: BTreeSet<String> = BTreeSet::new();
+
+    // Self-edges (re-entrant acquisition of one class) deadlock on their
+    // own; report them directly, DFS only finds longer cycles.
+    for e in dedup.values() {
+        if e.from == e.to && reported.insert(e.from.clone()) {
+            let via = e
+                .via
+                .as_ref()
+                .map(|v| format!(" via `{v}()`"))
+                .unwrap_or_default();
+            findings.push(Finding::new(
+                &e.from_site.0,
+                e.from_site.1,
+                labels::LOCK_ORDER,
+                format!(
+                    "lock-order cycle (potential deadlock): `{}` ({}:{}) re-acquired while \
+                     already held ({}:{}){via}",
+                    e.from, e.from_site.0, e.from_site.1, e.to_site.0, e.to_site.1,
+                ),
+            ));
+        }
+    }
+    for start in adj.keys() {
+        let mut path: Vec<&Edge> = Vec::new();
+        dfs(
+            start,
+            &adj,
+            &mut path,
+            &mut BTreeSet::new(),
+            findings,
+            &mut reported,
+        );
+    }
+    dedup.len()
+}
+
+fn dfs<'e>(
+    node: &str,
+    adj: &BTreeMap<&str, Vec<&'e Edge>>,
+    path: &mut Vec<&'e Edge>,
+    visited: &mut BTreeSet<String>,
+    findings: &mut Vec<Finding>,
+    reported: &mut BTreeSet<String>,
+) {
+    if !visited.insert(node.to_owned()) {
+        return;
+    }
+    for &e in adj.get(node).into_iter().flatten() {
+        if let Some(pos) = path.iter().position(|p| p.from == e.to) {
+            // Cycle: path[pos..] + e closes back to e.to.
+            let cycle: Vec<&Edge> = path[pos..].iter().copied().chain([e]).collect();
+            let mut names: Vec<&str> = cycle.iter().map(|c| c.from.as_str()).collect();
+            names.sort_unstable();
+            let key = names.join("->");
+            if reported.insert(key) {
+                let desc = cycle
+                    .iter()
+                    .map(|c| {
+                        let via = c
+                            .via
+                            .as_ref()
+                            .map(|v| format!(" via `{v}()`"))
+                            .unwrap_or_default();
+                        format!(
+                            "`{}` ({}:{}) -> `{}` ({}:{}){via}",
+                            c.from, c.from_site.0, c.from_site.1, c.to, c.to_site.0, c.to_site.1,
+                        )
+                    })
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                findings.push(Finding::new(
+                    &cycle[0].from_site.0,
+                    cycle[0].from_site.1,
+                    labels::LOCK_ORDER,
+                    format!("lock-order cycle (potential deadlock): {desc}"),
+                ));
+            }
+            continue;
+        }
+        if e.from == e.to {
+            continue; // handled above via path check; defensive
+        }
+        path.push(e);
+        dfs(&e.to, adj, path, visited, findings, reported);
+        path.pop();
+    }
+}

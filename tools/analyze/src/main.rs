@@ -1,0 +1,87 @@
+//! CLI for the serving-stack static analyzer.
+//!
+//! ```text
+//! cargo run -p patdnn-analyze              # analyze the repo, exit 0/1
+//! cargo run -p patdnn-analyze -- --registry  # also print the lock registry
+//! cargo run -p patdnn-analyze -- --root PATH # analyze another checkout
+//! ```
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut show_registry = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(p) => root = PathBuf::from(p),
+                None => {
+                    eprintln!("--root requires a path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--registry" => show_registry = true,
+            "--help" | "-h" => {
+                eprintln!("usage: patdnn-analyze [--root PATH] [--registry]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument `{other}`");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    // Resolve a bare `cargo run` from anywhere inside the workspace.
+    if !root.join("Cargo.toml").exists() {
+        if let Ok(manifest_dir) = std::env::var("CARGO_MANIFEST_DIR") {
+            // tools/analyze -> repo root
+            let candidate = PathBuf::from(manifest_dir).join("../..");
+            if candidate.join("Cargo.toml").exists() {
+                root = candidate;
+            }
+        }
+    }
+
+    let analysis = patdnn_analyze::run(&root);
+
+    if show_registry {
+        println!("lock registry ({} classes):", {
+            let labels: std::collections::BTreeSet<_> =
+                analysis.decls.iter().map(|d| d.label.as_str()).collect();
+            labels.len()
+        });
+        for d in &analysis.decls {
+            println!("  {:<24} {}:{} ({})", d.label, d.file, d.line, d.ident);
+        }
+        println!();
+    }
+
+    if analysis.findings.is_empty() {
+        println!(
+            "patdnn-analyze: clean — {} labeled locks, {} lock-order edges, 0 findings",
+            analysis.decls.len(),
+            analysis.edge_count
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    let mut by_label: BTreeMap<&str, usize> = BTreeMap::new();
+    for f in &analysis.findings {
+        *by_label.entry(f.label).or_default() += 1;
+        println!("{f}");
+    }
+    let summary = by_label
+        .iter()
+        .map(|(l, n)| format!("{n} {l}"))
+        .collect::<Vec<_>>()
+        .join(", ");
+    println!(
+        "patdnn-analyze: {} finding(s): {summary}",
+        analysis.findings.len()
+    );
+    ExitCode::FAILURE
+}

@@ -1,0 +1,240 @@
+//! Structural view of one lexed file: function bodies, `#[cfg(test)]`
+//! regions, and small token-navigation helpers shared by the passes.
+
+use crate::lexer::{Lexed, Tok, Token};
+
+/// A function item: `fn <name>(...) { body }`.
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    pub name: String,
+    /// Index of the `fn` keyword token.
+    pub fn_idx: usize,
+    /// Index of the `(` opening the parameter list.
+    pub params_open: usize,
+    /// Index of the `)` closing the parameter list.
+    pub params_close: usize,
+    /// Index of the `{` opening the body (`None` for trait signatures).
+    pub body_open: Option<usize>,
+    /// Index of the matching `}` closing the body.
+    pub body_close: Option<usize>,
+}
+
+#[derive(Debug)]
+pub struct FileModel {
+    pub functions: Vec<FnItem>,
+    /// Token index ranges (inclusive start, exclusive end) under `#[cfg(test)]`.
+    pub test_regions: Vec<(usize, usize)>,
+}
+
+pub fn is_ident(tok: Option<&Token>, text: &str) -> bool {
+    matches!(tok, Some(Token { kind: Tok::Ident(s), .. }) if s == text)
+}
+
+pub fn is_punct(tok: Option<&Token>, c: char) -> bool {
+    matches!(tok, Some(Token { kind: Tok::Punct(p), .. }) if *p == c)
+}
+
+pub fn ident_of(tok: Option<&Token>) -> Option<&str> {
+    match tok {
+        Some(Token {
+            kind: Tok::Ident(s),
+            ..
+        }) => Some(s.as_str()),
+        _ => None,
+    }
+}
+
+/// Index of the token matching the opener at `open` (`(`/`[`/`{`), or
+/// the last token if unbalanced.
+pub fn matching_close(tokens: &[Token], open: usize) -> usize {
+    let (o, c) = match tokens[open].kind {
+        Tok::Punct('(') => ('(', ')'),
+        Tok::Punct('[') => ('[', ']'),
+        Tok::Punct('{') => ('{', '}'),
+        _ => return open,
+    };
+    let mut depth = 0usize;
+    for (j, t) in tokens.iter().enumerate().skip(open) {
+        match &t.kind {
+            Tok::Punct(p) if *p == o => depth += 1,
+            Tok::Punct(p) if *p == c => {
+                depth -= 1;
+                if depth == 0 {
+                    return j;
+                }
+            }
+            _ => {}
+        }
+    }
+    tokens.len() - 1
+}
+
+/// Walk backwards from the token before `open_close.0`'s matching
+/// opener; used to skip a balanced group right-to-left. Returns the
+/// index of the opener, or `idx` when `idx` is not a closer.
+pub fn matching_open(tokens: &[Token], close: usize) -> usize {
+    let (o, c) = match tokens[close].kind {
+        Tok::Punct(')') => ('(', ')'),
+        Tok::Punct(']') => ('[', ']'),
+        Tok::Punct('}') => ('{', '}'),
+        _ => return close,
+    };
+    let mut depth = 0usize;
+    let mut j = close;
+    loop {
+        match &tokens[j].kind {
+            Tok::Punct(p) if *p == c => depth += 1,
+            Tok::Punct(p) if *p == o => {
+                depth -= 1;
+                if depth == 0 {
+                    return j;
+                }
+            }
+            _ => {}
+        }
+        if j == 0 {
+            return close;
+        }
+        j -= 1;
+    }
+}
+
+/// Build the structural model: function items and `#[cfg(test)]` regions.
+pub fn build(lexed: &Lexed) -> FileModel {
+    let tokens = &lexed.tokens;
+    let mut functions = Vec::new();
+    let mut test_regions = Vec::new();
+
+    let mut i = 0usize;
+    while i < tokens.len() {
+        // #[cfg(test)] — attach to the following item (to its `{...}`
+        // block, or to the single statement when none, e.g. an
+        // attributed `use`).
+        if is_punct(tokens.get(i), '#')
+            && is_punct(tokens.get(i + 1), '[')
+            && is_ident(tokens.get(i + 2), "cfg")
+            && is_punct(tokens.get(i + 3), '(')
+            && is_ident(tokens.get(i + 4), "test")
+            && is_punct(tokens.get(i + 5), ')')
+            && is_punct(tokens.get(i + 6), ']')
+        {
+            let mut j = i + 7;
+            while j < tokens.len() && !is_punct(tokens.get(j), '{') && !is_punct(tokens.get(j), ';')
+            {
+                j += 1;
+            }
+            let end = if j < tokens.len() && is_punct(tokens.get(j), '{') {
+                matching_close(tokens, j) + 1
+            } else {
+                j + 1
+            };
+            test_regions.push((i, end.min(tokens.len())));
+            i = end.min(tokens.len());
+            continue;
+        }
+
+        if is_ident(tokens.get(i), "fn") {
+            if let Some(name) = ident_of(tokens.get(i + 1)) {
+                // Parameter list: first `(` after the name (skipping
+                // generics), then its matching `)`.
+                let mut j = i + 2;
+                while j < tokens.len()
+                    && !is_punct(tokens.get(j), '(')
+                    && !is_punct(tokens.get(j), '{')
+                    && !is_punct(tokens.get(j), ';')
+                {
+                    j += 1;
+                }
+                if j < tokens.len() && is_punct(tokens.get(j), '(') {
+                    let params_close = matching_close(tokens, j);
+                    // Body: first `{` after the params (return type and
+                    // where-clauses contain no braces in this codebase);
+                    // `;` first means a bodyless signature.
+                    let mut k = params_close + 1;
+                    while k < tokens.len()
+                        && !is_punct(tokens.get(k), '{')
+                        && !is_punct(tokens.get(k), ';')
+                    {
+                        k += 1;
+                    }
+                    let (body_open, body_close) =
+                        if k < tokens.len() && is_punct(tokens.get(k), '{') {
+                            (Some(k), Some(matching_close(tokens, k)))
+                        } else {
+                            (None, None)
+                        };
+                    functions.push(FnItem {
+                        name: name.to_owned(),
+                        fn_idx: i,
+                        params_open: j,
+                        params_close,
+                        body_open,
+                        body_close,
+                    });
+                }
+            }
+        }
+        i += 1;
+    }
+
+    FileModel {
+        functions,
+        test_regions,
+    }
+}
+
+impl FileModel {
+    pub fn in_test_region(&self, tok_idx: usize) -> bool {
+        self.test_regions
+            .iter()
+            .any(|&(s, e)| tok_idx >= s && tok_idx < e)
+    }
+
+    /// `true` when `tok_idx` sits inside any function's parameter list.
+    pub fn in_fn_signature(&self, tok_idx: usize) -> bool {
+        self.functions
+            .iter()
+            .any(|f| tok_idx > f.params_open && tok_idx < f.params_close)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn finds_functions_and_test_regions() {
+        let src = r#"
+            fn alpha(x: u32) -> u32 { x + 1 }
+            struct S;
+            impl S {
+                fn beta(&self) { let y = 2; }
+            }
+            #[cfg(test)]
+            mod tests {
+                fn gamma() {}
+            }
+        "#;
+        let lexed = lex(src);
+        let model = build(&lexed);
+        let names: Vec<_> = model.functions.iter().map(|f| f.name.as_str()).collect();
+        assert!(names.contains(&"alpha") && names.contains(&"beta"));
+        assert_eq!(model.test_regions.len(), 1);
+        // Items under #[cfg(test)] are skipped wholesale: test helpers
+        // never pollute the call-graph summaries.
+        assert!(!names.contains(&"gamma"));
+        let (start, end) = model.test_regions[0];
+        assert!(model.in_test_region(start) && model.in_test_region(end - 1));
+    }
+
+    #[test]
+    fn nested_parens_in_params() {
+        let src = "fn f(g: impl Fn(u32) -> u32) { g(1); }";
+        let lexed = lex(src);
+        let model = build(&lexed);
+        let f = &model.functions[0];
+        assert!(f.body_open.is_some());
+        assert!(model.in_fn_signature(f.params_open + 2));
+    }
+}

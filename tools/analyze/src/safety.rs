@@ -1,0 +1,73 @@
+//! `unsafe` blocks and impls must carry a nearby `// SAFETY:`
+//! justification. Token-based port of the rule from the retired
+//! `tools/lint.rs`: string literals and comments can no longer produce
+//! false positives, and `unsafe fn` declarations remain exempt (their
+//! obligation sits at the call sites).
+
+use crate::lexer::{self, AnnKind};
+use crate::model;
+use crate::{labels, Finding};
+
+/// Lines above the `unsafe` token in which the justification may sit.
+const SAFETY_WINDOW: u32 = 3;
+
+pub fn check(path: &str, src: &str, findings: &mut Vec<Finding>) {
+    let lexed = lexer::lex(src);
+    let safety_lines: Vec<u32> = lexed
+        .annotations
+        .iter()
+        .filter(|a| a.kind == AnnKind::Safety)
+        .map(|a| a.line)
+        .collect();
+    let tokens = &lexed.tokens;
+    for (i, tok) in tokens.iter().enumerate() {
+        if !matches!(&tok.kind, lexer::Tok::Ident(s) if s == "unsafe") {
+            continue;
+        }
+        let next = tokens.get(i + 1);
+        let needs_comment = model::is_punct(next, '{') || model::is_ident(next, "impl");
+        if !needs_comment {
+            continue;
+        }
+        let line = tok.line;
+        let justified = safety_lines
+            .iter()
+            .any(|&sl| sl <= line && line - sl <= SAFETY_WINDOW);
+        if !justified {
+            findings.push(Finding::new(
+                path,
+                line,
+                labels::UNSAFE_JUSTIFY,
+                "`unsafe` block/impl without a `// SAFETY:` justification within 3 lines above"
+                    .to_owned(),
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flags_unjustified_block_only() {
+        let src = r#"
+            fn ok() {
+                // SAFETY: bounds checked above
+                unsafe { core::hint::unreachable_unchecked() }
+            }
+            unsafe fn decl_is_exempt() {}
+            fn bad() {
+                unsafe { core::hint::unreachable_unchecked() }
+            }
+            fn not_code() {
+                let s = "unsafe { fake }";
+            }
+        "#;
+        let mut findings = Vec::new();
+        check("x.rs", src, &mut findings);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].label, labels::UNSAFE_JUSTIFY);
+        assert_eq!(findings[0].line, 8);
+    }
+}

@@ -1,0 +1,103 @@
+//! Runs the analyzer over the known-bad / known-good fixture corpus in
+//! `tools/analyze/fixtures/`. Every known-bad snippet must flag exactly
+//! its invariant label (no more, no less); every known-good twin must
+//! come back clean. The fixtures directory is excluded from whole-repo
+//! scans, so these snippets never pollute `patdnn_analyze::run`.
+
+use patdnn_analyze::{analyze_snippet, labels, Finding};
+
+fn fixture(name: &str) -> String {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+}
+
+fn run_fixture(name: &str, warm: bool) -> Vec<Finding> {
+    analyze_snippet(name, &fixture(name), warm)
+}
+
+fn assert_clean(name: &str, warm: bool) {
+    let findings = run_fixture(name, warm);
+    assert!(
+        findings.is_empty(),
+        "expected {name} clean, got {findings:?}"
+    );
+}
+
+fn labels_of(name: &str, warm: bool) -> Vec<&'static str> {
+    run_fixture(name, warm).iter().map(|f| f.label).collect()
+}
+
+#[test]
+fn bad_lock_cycle_flags_lock_order() {
+    assert_eq!(labels_of("bad_lock_cycle.rs", false), [labels::LOCK_ORDER]);
+}
+
+#[test]
+fn good_lock_cycle_is_clean() {
+    assert_clean("good_lock_cycle.rs", false);
+}
+
+#[test]
+fn bad_guard_across_write_flags_both_shapes() {
+    // One finding for the let-bound guard across `write_all`, one for
+    // the match-scrutinee guard temporary across `connect` — the exact
+    // bug shape fixed in `Router::forward`.
+    let findings = run_fixture("bad_guard_across_write.rs", false);
+    assert_eq!(
+        findings.iter().map(|f| f.label).collect::<Vec<_>>(),
+        [labels::LOCK_BLOCKING, labels::LOCK_BLOCKING]
+    );
+    assert!(
+        findings[0].message.contains("fixture-writer"),
+        "first finding should name the writer class: {}",
+        findings[0]
+    );
+    assert!(
+        findings[1].message.contains("fixture-pool"),
+        "second finding should name the pool class: {}",
+        findings[1]
+    );
+}
+
+#[test]
+fn good_guard_across_write_is_clean() {
+    assert_clean("good_guard_across_write.rs", false);
+}
+
+#[test]
+fn bad_warm_unwrap_flags_warm_unwrap() {
+    assert_eq!(labels_of("bad_warm_unwrap.rs", true), [labels::WARM_UNWRAP]);
+}
+
+#[test]
+fn good_warm_unwrap_is_clean() {
+    assert_clean("good_warm_unwrap.rs", true);
+}
+
+#[test]
+fn bad_unlabeled_lock_flags_lock_label() {
+    assert_eq!(
+        labels_of("bad_unlabeled_lock.rs", false),
+        [labels::LOCK_LABEL]
+    );
+}
+
+#[test]
+fn good_unlabeled_lock_is_clean() {
+    assert_clean("good_unlabeled_lock.rs", false);
+}
+
+#[test]
+fn bad_stale_allow_flags_allow_stale() {
+    assert_eq!(
+        labels_of("bad_stale_allow.rs", false),
+        [labels::ALLOW_STALE]
+    );
+}
+
+#[test]
+fn good_reviewed_allow_is_clean() {
+    assert_clean("good_reviewed_allow.rs", false);
+}
